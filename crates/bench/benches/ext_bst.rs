@@ -1,0 +1,30 @@
+//! Criterion bench for the BST extension: the three external trees,
+//! small + large (see `src/bin/ext_bst.rs` for the full sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use optik_bench::crit;
+use optik_bsts::{GlobalLockBst, OptikBst, OptikGlBst};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_bsts");
+    g.sample_size(10).throughput(Throughput::Elements(1));
+    for (label, size) in [("small128", 128u64), ("large16384", 16384)] {
+        macro_rules! case {
+            ($name:literal, $make:expr) => {
+                g.bench_function(format!("{}/{label}", $name), |b| {
+                    b.iter_custom(|iters| {
+                        let (ops, wall) = crit::set_window($make, size, 20, false);
+                        crit::scale(iters, ops, wall)
+                    })
+                });
+            };
+        }
+        case!("mcs-gl", GlobalLockBst::new);
+        case!("optik-gl", OptikGlBst::<optik::OptikVersioned>::new);
+        case!("optik-tk", OptikBst::new);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

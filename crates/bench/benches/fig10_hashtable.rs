@@ -1,0 +1,40 @@
+//! Criterion bench for Figure 10: the six hash tables.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use optik_bench::crit;
+use optik_hashtables::{
+    LazyGlHashTable, OptikGlHashTable, OptikHashTable, OptikMapHashTable, StripedHashTable,
+    StripedOptikHashTable,
+};
+
+const SIZE: u64 = 4096;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_hashtables");
+    g.sample_size(10).throughput(Throughput::Elements(1));
+    let buckets = SIZE as usize;
+    macro_rules! case {
+        ($name:literal, $make:expr) => {
+            g.bench_function($name, |b| {
+                b.iter_custom(|iters| {
+                    let (ops, wall) = crit::set_window($make, SIZE, 20, false);
+                    crit::scale(iters, ops, wall)
+                })
+            });
+        };
+    }
+    case!("lazy-gl", || LazyGlHashTable::new(buckets));
+    case!("java", || StripedHashTable::with_default_segments(buckets));
+    case!("java-optik", || StripedOptikHashTable::with_default_segments(
+        buckets
+    ));
+    case!("optik", || OptikHashTable::new(buckets));
+    case!("optik-gl", || OptikGlHashTable::new(buckets));
+    case!("optik-map", || OptikMapHashTable::with_bucket_capacity(
+        buckets, 8
+    ));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for Figure 11: the five skip lists (skewed workload).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use optik_bench::crit;
+use optik_skiplists::{
+    FraserSkipList, HerlihyOptikSkipList, HerlihySkipList, OptikSkipList1, OptikSkipList2,
+};
+
+const SIZE: u64 = 1024;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_skiplists");
+    g.sample_size(10).throughput(Throughput::Elements(1));
+    macro_rules! case {
+        ($name:literal, $make:expr) => {
+            g.bench_function($name, |b| {
+                b.iter_custom(|iters| {
+                    let (ops, wall) = crit::set_window($make, SIZE, 20, true);
+                    crit::scale(iters, ops, wall)
+                })
+            });
+        };
+    }
+    case!("fraser", FraserSkipList::new);
+    case!("herlihy", HerlihySkipList::new);
+    case!("herl-optik", HerlihyOptikSkipList::new);
+    case!("optik1", OptikSkipList1::new);
+    case!("optik2", OptikSkipList2::new);
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for Figure 12: the six queues, stable-size mix.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use optik_bench::crit;
+use optik_queues::{MsLbQueue, MsLfQueue, OptikQueue0, OptikQueue1, OptikQueue2, VictimQueue};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_queues");
+    g.sample_size(10).throughput(Throughput::Elements(1));
+    macro_rules! case {
+        ($name:literal, $make:expr) => {
+            g.bench_function($name, |b| {
+                b.iter_custom(|iters| {
+                    let (ops, wall) = crit::queue_window($make, 50);
+                    crit::scale(iters, ops, wall)
+                })
+            });
+        };
+    }
+    case!("ms-lf", MsLfQueue::new);
+    case!("ms-lb", MsLbQueue::new);
+    case!("optik0", OptikQueue0::new);
+    case!("optik1", OptikQueue1::new);
+    case!("optik2", OptikQueue2::new);
+    case!("optik3", VictimQueue::new);
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

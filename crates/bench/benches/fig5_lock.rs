@@ -1,0 +1,94 @@
+//! Criterion bench for Figure 5: validated lock acquisitions.
+//!
+//! Scaled-down companion of `cargo run -p optik-bench --bin fig5_lock`;
+//! reports per-acquisition time for each lock at a contended thread count.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use optik::{OptikLock, OptikTicket, OptikVersioned, ValidatedLock};
+use optik_harness::runner::run_workers;
+
+const THREADS: usize = 8;
+const WINDOW: Duration = Duration::from_millis(80);
+
+/// Runs a fixed window of contended validated acquisitions and returns the
+/// implied duration of `iters` operations.
+fn window_time_per_op(iters: u64, total_ops: u64, window: Duration) -> Duration {
+    let per_op = window.as_secs_f64() / total_ops.max(1) as f64;
+    Duration::from_secs_f64(per_op * iters as f64)
+}
+
+fn optik_ops<L: OptikLock>() -> u64 {
+    let lock = L::default();
+    run_workers(THREADS, WINDOW, |ctx| {
+        let mut ops = 0u64;
+        while !ctx.should_stop() {
+            loop {
+                let v = lock.get_version();
+                if L::is_locked_version(v) {
+                    core::hint::spin_loop();
+                    continue;
+                }
+                if lock.try_lock_version(v) {
+                    lock.unlock();
+                    break;
+                }
+            }
+            ops += 1;
+        }
+        ops
+    })
+    .iter()
+    .sum()
+}
+
+fn ttas_ops() -> u64 {
+    let lock = ValidatedLock::new();
+    run_workers(THREADS, WINDOW, |ctx| {
+        let mut ops = 0u64;
+        while !ctx.should_stop() {
+            loop {
+                let v = lock.get_version();
+                if lock.lock_and_validate(v) {
+                    lock.commit_unlock();
+                    break;
+                }
+            }
+            ops += 1;
+        }
+        ops
+    })
+    .iter()
+    .sum()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_validated_acquisition");
+    g.sample_size(10).throughput(Throughput::Elements(1));
+    g.bench_function("ttas", |b| {
+        b.iter_custom(|iters| {
+            let t0 = Instant::now();
+            let ops = ttas_ops();
+            window_time_per_op(iters, ops, t0.elapsed())
+        })
+    });
+    g.bench_function("optik-ticket", |b| {
+        b.iter_custom(|iters| {
+            let t0 = Instant::now();
+            let ops = optik_ops::<OptikTicket>();
+            window_time_per_op(iters, ops, t0.elapsed())
+        })
+    });
+    g.bench_function("optik-versioned", |b| {
+        b.iter_custom(|iters| {
+            let t0 = Instant::now();
+            let ops = optik_ops::<OptikVersioned>();
+            window_time_per_op(iters, ops, t0.elapsed())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for Figure 7: mcs vs optik array map, small and large.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use optik_bench::crit;
+use optik_harness::api::{ConcurrentSet, Key, Val};
+use optik_maps::{ArrayMap, LockArrayMap, OptikArrayMap};
+
+/// ArrayMap → ConcurrentSet adapter for the harness.
+struct AsSet<M: ArrayMap>(M);
+impl<M: ArrayMap> ConcurrentSet for AsSet<M> {
+    fn search(&self, key: Key) -> Option<Val> {
+        self.0.search(key)
+    }
+    fn insert(&self, key: Key, val: Val) -> bool {
+        self.0.insert(key, val)
+    }
+    fn delete(&self, key: Key) -> Option<Val> {
+        self.0.delete(key)
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_array_map");
+    g.sample_size(10).throughput(Throughput::Elements(1));
+    for (label, slots) in [("small4", 4u64), ("large1024", 1024)] {
+        g.bench_function(format!("mcs/{label}"), |b| {
+            b.iter_custom(|iters| {
+                let (ops, wall) =
+                    crit::set_window(|| AsSet(LockArrayMap::new(slots as usize)), slots, 10, false);
+                crit::scale(iters, ops, wall)
+            })
+        });
+        g.bench_function(format!("optik/{label}"), |b| {
+            b.iter_custom(|iters| {
+                let (ops, wall) = crit::set_window(
+                    || AsSet(OptikArrayMap::<optik::OptikVersioned>::new(slots as usize)),
+                    slots,
+                    10,
+                    false,
+                );
+                crit::scale(iters, ops, wall)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for Figure 9: the seven list algorithms, small + large.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use optik_bench::crit;
+use optik_lists::{
+    GlobalLockList, HarrisList, LazyCacheList, LazyList, OptikCacheList, OptikGlList, OptikList,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_lists");
+    g.sample_size(10).throughput(Throughput::Elements(1));
+    for (label, size) in [("small64", 64u64), ("large8192", 8192)] {
+        macro_rules! case {
+            ($name:literal, $make:expr) => {
+                g.bench_function(format!("{}/{label}", $name), |b| {
+                    b.iter_custom(|iters| {
+                        let (ops, wall) = crit::set_window($make, size, 20, false);
+                        crit::scale(iters, ops, wall)
+                    })
+                });
+            };
+        }
+        case!("harris", HarrisList::new);
+        case!("lazy", LazyList::new);
+        case!("lazy-cache", LazyCacheList::new);
+        case!("mcs-gl-opt", GlobalLockList::new);
+        case!("optik-gl", OptikGlList::<optik::OptikVersioned>::new);
+        case!("optik", OptikList::new);
+        case!("optik-cache", OptikCacheList::new);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

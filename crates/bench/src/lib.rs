@@ -1,0 +1,162 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every `figN_*` binary accepts the same environment knobs so full-scale
+//! runs (paper-like) and CI smoke runs use one code path:
+//!
+//! | variable         | meaning                               | default |
+//! |------------------|---------------------------------------|---------|
+//! | `BENCH_THREADS`  | comma-separated thread counts         | `1,2,4,8,...,2×cores` |
+//! | `BENCH_DUR_MS`   | measurement window per point (ms)     | `300`   |
+//! | `BENCH_REPS`     | repetitions per point (median taken)  | `3`     |
+//! | `BENCH_SEED`     | workload RNG seed                     | `42`    |
+//!
+//! The paper uses 5 s × 11 repetitions; set `BENCH_DUR_MS=5000
+//! BENCH_REPS=11` to match.
+
+use std::time::Duration;
+
+pub use optik_harness as harness;
+
+/// Parsed benchmark configuration (see module docs for the knobs).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// Measurement window per data point.
+    pub duration: Duration,
+    /// Repetitions per data point (median reported).
+    pub reps: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Reads the configuration from the environment.
+    pub fn from_env() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(8);
+        let threads = match std::env::var("BENCH_THREADS") {
+            Ok(s) => s
+                .split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&t| t > 0)
+                .collect(),
+            Err(_) => {
+                let mut v = vec![1, 2, 4, 8, 16, 24, 32, 48, 64];
+                v.retain(|&t| t <= 2 * cores);
+                if !v.contains(&cores) {
+                    v.push(cores);
+                }
+                if !v.contains(&(2 * cores)) {
+                    v.push(2 * cores);
+                }
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+        };
+        let duration = Duration::from_millis(
+            std::env::var("BENCH_DUR_MS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(300),
+        );
+        let reps = std::env::var("BENCH_REPS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(3)
+            .max(1);
+        let seed = std::env::var("BENCH_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42);
+        Self {
+            threads,
+            duration,
+            reps,
+            seed,
+        }
+    }
+}
+
+/// Pretty header shared by the binaries.
+pub fn banner(fig: &str, what: &str, cfg: &Config) {
+    println!("== {fig}: {what}");
+    println!(
+        "   threads={:?} duration={:?} reps={} seed={}",
+        cfg.threads, cfg.duration, cfg.reps, cfg.seed
+    );
+    println!();
+}
+
+/// Formats a latency percentile row: `p5/p25/p50/p75/p95 (n)`.
+pub fn fmt_percentiles(p: &harness::Percentiles) -> String {
+    format!(
+        "{}/{}/{}/{}/{} (n={})",
+        p.p5, p.p25, p.p50, p.p75, p.p95, p.count
+    )
+}
+
+/// Support for the Criterion benches: fixed-window measurements converted
+/// to per-operation time.
+pub mod crit {
+    use std::time::Duration;
+
+    use optik_harness::api::ConcurrentSet;
+    use optik_harness::runner::{run_queue_workload, run_set_workload};
+    use optik_harness::{ConcurrentQueue, Workload};
+
+    /// Default contended thread count for the Criterion smoke benches.
+    pub const THREADS: usize = 8;
+    /// Default measurement window.
+    pub const WINDOW: Duration = Duration::from_millis(80);
+
+    /// Converts "(ops executed, wall time)" into the duration `iters`
+    /// operations would take — the shape `Criterion::iter_custom` needs.
+    pub fn scale(iters: u64, total_ops: u64, window: Duration) -> Duration {
+        let per_op = window.as_secs_f64() / total_ops.max(1) as f64;
+        Duration::from_secs_f64(per_op * iters as f64)
+    }
+
+    /// One fixed-window set-workload run; returns `(ops, wall)`.
+    pub fn set_window<S: ConcurrentSet>(
+        make: impl Fn() -> S,
+        size: u64,
+        update_pct: u32,
+        skewed: bool,
+    ) -> (u64, Duration) {
+        let w = Workload::paper(size, update_pct, skewed);
+        let set = make();
+        w.initial_fill(1, |k, v| set.insert(k, v));
+        let res = run_set_workload(THREADS, WINDOW, &w, 2, false, |_| &set);
+        (res.counts.total(), res.duration)
+    }
+
+    /// One fixed-window queue run; returns `(ops, wall)`.
+    pub fn queue_window<Q: ConcurrentQueue>(
+        make: impl Fn() -> Q,
+        enqueue_pct: u32,
+    ) -> (u64, Duration) {
+        let q = make();
+        for i in 0..4096u64 {
+            q.enqueue(i);
+        }
+        let res = run_queue_workload(&q, THREADS, WINDOW, enqueue_pct, 2, false);
+        (res.counts.total(), res.duration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = Config::from_env();
+        assert!(!cfg.threads.is_empty());
+        assert!(cfg.threads.windows(2).all(|w| w[0] < w[1]));
+        assert!(cfg.reps >= 1);
+        assert!(cfg.duration.as_millis() > 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Sequential external BST: baseline and oracle.
+
+use std::cell::UnsafeCell;
+
+use crate::{assert_user_key, ConcurrentSet, Key, Val};
+
+enum Tree {
+    /// Pure router: `key < k` goes left, otherwise right.
+    Router {
+        k: Key,
+        left: Box<Tree>,
+        right: Box<Tree>,
+    },
+    /// Element leaf.
+    Leaf { k: Key, v: Val },
+    /// Empty tree (only ever the whole tree; subtrees are never empty).
+    Empty,
+}
+
+/// A plain single-threaded external (leaf-oriented) BST.
+///
+/// Implements [`ConcurrentSet`] for interface uniformity, but concurrent
+/// use must be externally serialized — it is the oracle the cross tests
+/// compare the concurrent trees against, and the sequential structure the
+/// OPTIK trees are derived from.
+pub struct SeqBst {
+    root: UnsafeCell<Tree>,
+    len: UnsafeCell<usize>,
+}
+
+// SAFETY: users serialize access externally (struct contract).
+unsafe impl Send for SeqBst {}
+unsafe impl Sync for SeqBst {}
+
+impl SeqBst {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self {
+            root: UnsafeCell::new(Tree::Empty),
+            len: UnsafeCell::new(0),
+        }
+    }
+
+    #[allow(clippy::mut_from_ref)]
+    fn root_mut(&self) -> &mut Tree {
+        // SAFETY: externally serialized (struct contract).
+        unsafe { &mut *self.root.get() }
+    }
+}
+
+impl Default for SeqBst {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConcurrentSet for SeqBst {
+    fn search(&self, key: Key) -> Option<Val> {
+        assert_user_key(key);
+        let mut cur = &*self.root_mut();
+        loop {
+            match cur {
+                Tree::Router { k, left, right } => {
+                    cur = if key < *k { left } else { right };
+                }
+                Tree::Leaf { k, v } => return (*k == key).then_some(*v),
+                Tree::Empty => return None,
+            }
+        }
+    }
+
+    fn insert(&self, key: Key, val: Val) -> bool {
+        assert_user_key(key);
+        let mut cur = self.root_mut();
+        loop {
+            match cur {
+                Tree::Router { k, left, right } => {
+                    cur = if key < *k { left } else { right };
+                }
+                Tree::Leaf { k, .. } => {
+                    if *k == key {
+                        return false;
+                    }
+                    // Replace this leaf with a router over {old leaf, new
+                    // leaf}; router key is the larger of the two so the
+                    // smaller routes left.
+                    let old = std::mem::replace(cur, Tree::Empty);
+                    let (ok, _) = match &old {
+                        Tree::Leaf { k, v } => (*k, *v),
+                        _ => unreachable!(),
+                    };
+                    let new = Tree::Leaf { k: key, v: val };
+                    *cur = if key < ok {
+                        Tree::Router {
+                            k: ok,
+                            left: Box::new(new),
+                            right: Box::new(old),
+                        }
+                    } else {
+                        Tree::Router {
+                            k: key,
+                            left: Box::new(old),
+                            right: Box::new(new),
+                        }
+                    };
+                    // SAFETY: serialized.
+                    unsafe { *self.len.get() += 1 };
+                    return true;
+                }
+                Tree::Empty => {
+                    *cur = Tree::Leaf { k: key, v: val };
+                    // SAFETY: serialized.
+                    unsafe { *self.len.get() += 1 };
+                    return true;
+                }
+            }
+        }
+    }
+
+    fn delete(&self, key: Key) -> Option<Val> {
+        assert_user_key(key);
+        // Walk down holding the *parent* slot so the matched leaf's sibling
+        // can be spliced into it (external-tree delete removes exactly one
+        // router and one leaf).
+        let root = self.root_mut();
+        match root {
+            Tree::Empty => return None,
+            Tree::Leaf { k, v } => {
+                if *k == key {
+                    let v = *v;
+                    *root = Tree::Empty;
+                    // SAFETY: serialized.
+                    unsafe { *self.len.get() -= 1 };
+                    return Some(v);
+                }
+                return None;
+            }
+            Tree::Router { .. } => {}
+        }
+        let mut parent_slot: *mut Tree = root;
+        loop {
+            // Probe the child with a scoped borrow, then act on the slot.
+            // SAFETY: serialized; parent_slot is a live subtree slot.
+            let (go_left, probe) = match unsafe { &*parent_slot } {
+                Tree::Router { k, left, right } => {
+                    let go_left = key < *k;
+                    let child = if go_left { &**left } else { &**right };
+                    match child {
+                        Tree::Router { .. } => (go_left, None),
+                        Tree::Leaf { k, v } => (go_left, Some((*k == key).then_some(*v))),
+                        Tree::Empty => unreachable!("subtrees are never empty"),
+                    }
+                }
+                _ => unreachable!("walk only descends through routers"),
+            };
+            match probe {
+                // Child is a router: descend into it.
+                None => {
+                    // SAFETY: serialized; re-borrow for the child slot.
+                    parent_slot = match unsafe { &mut *parent_slot } {
+                        Tree::Router { left, right, .. } => {
+                            if go_left {
+                                left.as_mut()
+                            } else {
+                                right.as_mut()
+                            }
+                        }
+                        _ => unreachable!(),
+                    };
+                }
+                // Child is a leaf with a different key: not present.
+                Some(None) => return None,
+                // Matched leaf: splice the sibling subtree into the parent
+                // slot, dropping the router and the leaf.
+                Some(Some(v)) => {
+                    // SAFETY: serialized.
+                    let parent = unsafe { &mut *parent_slot };
+                    let old = std::mem::replace(parent, Tree::Empty);
+                    let (left, right) = match old {
+                        Tree::Router { left, right, .. } => (left, right),
+                        _ => unreachable!(),
+                    };
+                    let sibling = if go_left { right } else { left };
+                    *parent = *sibling;
+                    // SAFETY: serialized.
+                    unsafe { *self.len.get() -= 1 };
+                    return Some(v);
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        // SAFETY: serialized.
+        unsafe { *self.len.get() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t = SeqBst::new();
+        assert!(t.is_empty());
+        assert_eq!(t.search(5), None);
+        assert_eq!(t.delete(5), None);
+    }
+
+    #[test]
+    fn single_leaf_root_is_deletable() {
+        let t = SeqBst::new();
+        assert!(t.insert(7, 70));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.delete(7), Some(70));
+        assert!(t.is_empty());
+        // reusable afterwards
+        assert!(t.insert(7, 71));
+        assert_eq!(t.search(7), Some(71));
+    }
+
+    #[test]
+    fn deleting_router_child_promotes_sibling_subtree() {
+        let t = SeqBst::new();
+        for k in [50, 25, 75, 12, 37] {
+            assert!(t.insert(k, k));
+        }
+        assert_eq!(t.delete(25), Some(25));
+        for k in [50, 75, 12, 37] {
+            assert_eq!(t.search(k), Some(k), "key {k} must survive");
+        }
+        assert_eq!(t.len(), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_btreemap_model(ops in proptest::collection::vec(
+            (0u8..3, 1u64..64, 0u64..100), 1..200)) {
+            let t = SeqBst::new();
+            let mut model = std::collections::BTreeMap::new();
+            for (op, key, val) in ops {
+                match op {
+                    0 => {
+                        let expect = !model.contains_key(&key);
+                        if expect { model.insert(key, val); }
+                        prop_assert_eq!(t.insert(key, val), expect);
+                    }
+                    1 => prop_assert_eq!(t.delete(key), model.remove(&key)),
+                    _ => prop_assert_eq!(t.search(key), model.get(&key).copied()),
+                }
+                prop_assert_eq!(t.len(), model.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! A safe, seqlock-style container built on an OPTIK lock.
+//!
+//! §1 of the paper: "we could imagine using OPTIK, instead of the classic
+//! lock interface, wherever a lock can be used. The only requirement is
+//! that the critical section must include a read-only prefix". [`OptikCell`]
+//! packages the most common such use: a small `Copy` value with
+//! wait-free-ish optimistic reads and mutually-exclusive writes — the
+//! seqlock functionality §6 notes "OPTIK locks can be used in
+//! implementing".
+//!
+//! Reads snapshot the value and validate the version (restarting on
+//! conflict); writes lock, mutate, and unlock (advancing the version).
+//! Unlike a seqlock, writers may also *compare-and-update* optimistically
+//! via [`OptikCell::try_update`], the OPTIK pattern proper.
+
+use core::cell::UnsafeCell;
+
+use crate::traits::OptikLock;
+use crate::versioned::OptikVersioned;
+
+/// A value with optimistic reads and OPTIK-validated writes.
+///
+/// `T: Copy` because optimistic readers copy the value out while a writer
+/// may be mid-store; the version validation discards torn snapshots, but
+/// the *copy itself* must be harmless, which `Copy` (no drop, no
+/// references) guarantees. Note the read of a torn `T` never materializes:
+/// it is copied to private memory and dropped (no drop glue) unless the
+/// version validates.
+pub struct OptikCell<T: Copy, L: OptikLock = OptikVersioned> {
+    lock: L,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: writes are mutually exclusive (OPTIK lock); reads validate the
+// version so only quiescent snapshots escape.
+unsafe impl<T: Copy + Send, L: OptikLock> Send for OptikCell<T, L> {}
+unsafe impl<T: Copy + Send + Sync, L: OptikLock> Sync for OptikCell<T, L> {}
+
+impl<T: Copy, L: OptikLock> OptikCell<T, L> {
+    /// Wraps `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            lock: L::default(),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Reads a consistent snapshot, restarting while writers interfere.
+    pub fn read(&self) -> T {
+        loop {
+            let v = self.lock.get_version_wait();
+            // SAFETY: the copy may race with a writer; `T: Copy` makes the
+            // transient copy harmless and the validation below discards it
+            // if any writer was concurrent. The release fence in the
+            // writer's acquisition pairs with validate()'s acquire fence.
+            let snapshot = unsafe { core::ptr::read_volatile(self.value.get()) };
+            if self.lock.validate(v) {
+                return snapshot;
+            }
+            core::hint::spin_loop();
+        }
+    }
+
+    /// Replaces the value (blocking write).
+    pub fn write(&self, value: T) {
+        self.lock.lock();
+        // SAFETY: we hold the lock; readers validate against our version.
+        unsafe { core::ptr::write_volatile(self.value.get(), value) };
+        self.lock.unlock();
+    }
+
+    /// Updates the value with `f` under the lock (blocking read-modify-
+    /// write).
+    pub fn update(&self, f: impl FnOnce(T) -> T) -> T {
+        self.lock.lock();
+        // SAFETY: exclusive under the lock.
+        let new = unsafe {
+            let cur = *self.value.get();
+            let new = f(cur);
+            core::ptr::write_volatile(self.value.get(), new);
+            new
+        };
+        self.lock.unlock();
+        new
+    }
+
+    /// The OPTIK pattern as an API: computes `f(snapshot)` optimistically;
+    /// commits it only if no writer intervened. Returns `Ok(new)` on
+    /// commit, `Err(())` if validation failed (caller may retry or give
+    /// up — useful for best-effort updates).
+    // `Err(())` mirrors the paper's boolean trylock: the only failure is
+    // "a writer intervened", which carries no further information.
+    #[allow(clippy::result_unit_err)]
+    pub fn try_update(&self, f: impl FnOnce(T) -> T) -> Result<T, ()> {
+        let v = self.lock.get_version();
+        if L::is_locked_version(v) {
+            return Err(());
+        }
+        // SAFETY: torn copies are discarded via validation inside
+        // try_lock_version (single CAS: lock + validate).
+        let snapshot = unsafe { core::ptr::read_volatile(self.value.get()) };
+        let new = f(snapshot);
+        if self.lock.try_lock_version(v) {
+            // SAFETY: exclusive under the lock; the snapshot was taken at
+            // version v, which just validated.
+            unsafe { core::ptr::write_volatile(self.value.get(), new) };
+            self.lock.unlock();
+            Ok(new)
+        } else {
+            Err(())
+        }
+    }
+
+    /// Retrying [`OptikCell::try_update`] with exponential backoff.
+    pub fn update_optimistic(&self, mut f: impl FnMut(T) -> T) -> T {
+        let mut bo = synchro::Backoff::new();
+        loop {
+            match self.try_update(&mut f) {
+                Ok(new) => return new,
+                Err(()) => bo.backoff(),
+            }
+        }
+    }
+
+    /// Consumes the cell, returning the value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+
+    /// Mutable access without synchronization (`&mut self` proves unique).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.value.get_mut()
+    }
+}
+
+impl<T: Copy + core::fmt::Debug, L: OptikLock> core::fmt::Debug for OptikCell<T, L> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("OptikCell").field("value", &self.read()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OptikTicket;
+    use std::sync::Arc;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let c: OptikCell<(u64, u64)> = OptikCell::new((1, 2));
+        assert_eq!(c.read(), (1, 2));
+        c.write((3, 4));
+        assert_eq!(c.read(), (3, 4));
+        assert_eq!(c.update(|(a, b)| (a + 1, b + 1)), (4, 5));
+        assert_eq!(c.into_inner(), (4, 5));
+    }
+
+    #[test]
+    fn try_update_applies_or_reports_conflict() {
+        let c: OptikCell<u64> = OptikCell::new(10);
+        assert_eq!(c.try_update(|x| x * 2), Ok(20));
+        assert_eq!(c.read(), 20);
+        assert_eq!(c.update_optimistic(|x| x + 1), 21);
+    }
+
+    #[test]
+    fn ticket_lock_variant() {
+        let c: OptikCell<u64, OptikTicket> = OptikCell::new(5);
+        assert_eq!(c.read(), 5);
+        c.write(6);
+        assert_eq!(c.update_optimistic(|x| x * 7), 42);
+    }
+
+    #[test]
+    fn readers_never_see_torn_pairs() {
+        // The classic seqlock test: writers keep both halves equal; any
+        // torn read surfaces as a mismatched pair.
+        let c: Arc<OptikCell<(u64, u64)>> = Arc::new(OptikCell::new((0, 0)));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 1..=50_000u64 {
+                    c.update_optimistic(|_| (i, i));
+                }
+            }));
+        }
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let (a, b) = c.read();
+                    assert_eq!(a, b, "torn snapshot escaped validation");
+                }
+            }));
+        }
+        for h in handles.drain(..2) {
+            h.join().unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn concurrent_optimistic_counting_is_exact() {
+        let c: Arc<OptikCell<u64>> = Arc::new(OptikCell::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.update_optimistic(|x| x + 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.read(), 80_000);
+    }
+}

@@ -1,0 +1,123 @@
+//! RAII guard layered over the raw OPTIK interface.
+//!
+//! The data-structure crates use the raw interface directly (matching the
+//! paper's code), but for application code a guard that cannot leak a held
+//! lock is friendlier. The guard defaults to *revert* on drop — "I made no
+//! modification" — and commits (unlock + version bump) only on an explicit
+//! [`OptikGuard::commit`], mirroring the pattern's rule that the version
+//! must advance exactly when the protected state changed.
+
+use crate::traits::{OptikLock, Version};
+
+/// A held OPTIK lock that reverts on drop unless committed.
+#[must_use = "dropping immediately reverts the lock"]
+#[derive(Debug)]
+pub struct OptikGuard<'a, L: OptikLock> {
+    lock: &'a L,
+    done: bool,
+}
+
+impl<'a, L: OptikLock> OptikGuard<'a, L> {
+    /// Attempts the atomic lock-and-validate; returns a guard on success.
+    pub fn try_acquire(lock: &'a L, target: Version) -> Option<Self> {
+        if lock.try_lock_version(target) {
+            Some(Self { lock, done: false })
+        } else {
+            None
+        }
+    }
+
+    /// Blocking acquisition; `Err(guard)` when the version did not match
+    /// (the caller may still use the critical section or bail by dropping).
+    pub fn acquire_validating(lock: &'a L, target: Version) -> Result<Self, Self> {
+        if lock.lock_version(target) {
+            Ok(Self { lock, done: false })
+        } else {
+            Err(Self { lock, done: false })
+        }
+    }
+
+    /// Commits the critical section: releases the lock, advancing the
+    /// version so concurrent optimistic work observes the modification.
+    pub fn commit(mut self) {
+        self.done = true;
+        self.lock.unlock();
+    }
+
+    /// Explicit alias for dropping: releases the lock restoring the
+    /// pre-acquisition version (no modification performed).
+    pub fn revert(self) {
+        drop(self);
+    }
+}
+
+impl<L: OptikLock> Drop for OptikGuard<'_, L> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.lock.revert();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OptikTicket, OptikVersioned};
+
+    fn commit_advances_version<L: OptikLock>() {
+        let lock = L::default();
+        let v0 = lock.get_version();
+        let g = OptikGuard::try_acquire(&lock, v0).expect("fresh lock");
+        g.commit();
+        assert!(!lock.is_locked());
+        assert!(!L::is_same_version(v0, lock.get_version()));
+    }
+
+    fn drop_reverts_version<L: OptikLock>() {
+        let lock = L::default();
+        let v0 = lock.get_version();
+        {
+            let _g = OptikGuard::try_acquire(&lock, v0).expect("fresh lock");
+        }
+        assert!(!lock.is_locked());
+        assert!(L::is_same_version(v0, lock.get_version()));
+        // And the original version is still acquirable.
+        assert!(lock.try_lock_version(lock.get_version()));
+        lock.unlock();
+    }
+
+    fn acquire_validating_reports_mismatch<L: OptikLock>() {
+        let lock = L::default();
+        let stale = lock.get_version();
+        OptikGuard::try_acquire(&lock, stale).expect("fresh").commit();
+        match OptikGuard::acquire_validating(&lock, stale) {
+            Ok(_) => panic!("stale version must not validate"),
+            Err(g) => g.revert(),
+        }
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn versioned_guard_semantics() {
+        commit_advances_version::<OptikVersioned>();
+        drop_reverts_version::<OptikVersioned>();
+        acquire_validating_reports_mismatch::<OptikVersioned>();
+    }
+
+    #[test]
+    fn ticket_guard_semantics() {
+        commit_advances_version::<OptikTicket>();
+        drop_reverts_version::<OptikTicket>();
+        acquire_validating_reports_mismatch::<OptikTicket>();
+    }
+
+    #[test]
+    fn failed_try_acquire_returns_none() {
+        let lock = OptikVersioned::new();
+        let v = lock.get_version();
+        let g = OptikGuard::try_acquire(&lock, v).unwrap();
+        assert!(OptikGuard::try_acquire(&lock, v).is_none());
+        g.commit();
+        assert!(OptikGuard::try_acquire(&lock, v).is_none(), "stale");
+    }
+}

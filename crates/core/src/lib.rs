@@ -1,0 +1,69 @@
+//! # OPTIK: optimistic concurrency with merged lock-and-validate
+//!
+//! This crate implements the core contribution of *"Optimistic Concurrency
+//! with OPTIK"* (Guerraoui & Trigonakis, PPoPP 2016): the **OPTIK pattern**
+//! and the **OPTIK lock** abstraction.
+//!
+//! ## The pattern
+//!
+//! A version number is coupled with a lock at the same granularity. An
+//! operation:
+//!
+//! 1. reads the version (`get_version`),
+//! 2. performs *optimistic*, non-synchronized work,
+//! 3. atomically acquires the lock **iff** the version is unchanged
+//!    (`try_lock_version`) — restarting on failure,
+//! 4. performs the critical section,
+//! 5. releases the lock, incrementing the version (`unlock`).
+//!
+//! The single-CAS `try_lock_version` is what distinguishes OPTIK from
+//! classic optimistic locking (acquire, *then* validate, possibly having
+//! waited behind the lock just to fail): with OPTIK, **if the lock is
+//! acquired, the critical section will run**.
+//!
+//! ## Implementations
+//!
+//! - [`OptikVersioned`] — one `u64` counter; odd = locked (Figure 4 of the
+//!   paper). The default used by all data structures.
+//! - [`OptikTicket`] — ticket lock (`ticket`/`current` u32 pair in one
+//!   `u64`); fair, exposes queue length ([`OptikTicket::num_queued`]) and
+//!   proportional backoff ([`OptikTicket::lock_version_backoff`]).
+//! - [`ValidatedLock`] — the paper's Figure-5 straw man: a TTAS lock plus a
+//!   *separate* version word, i.e. the OPTIK pattern **without** OPTIK
+//!   locks. Kept for the reproduction of Figure 5.
+//!
+//! ## Example
+//!
+//! ```
+//! use optik::{OptikLock, OptikVersioned};
+//!
+//! let lock = OptikVersioned::new();
+//! // 1. read version
+//! let v = lock.get_version();
+//! // 2. ... optimistic work ...
+//! // 3. lock + validate in one CAS
+//! assert!(lock.try_lock_version(v));
+//! // 4. ... critical section ...
+//! // 5. unlock, incrementing the version
+//! lock.unlock();
+//! assert!(!OptikVersioned::is_locked_version(lock.get_version()));
+//! assert!(!lock.try_lock_version(v), "version moved on");
+//! ```
+
+#![warn(missing_docs)]
+
+mod cell;
+mod guard;
+mod pattern;
+mod ticket;
+mod traits;
+mod validated;
+mod versioned;
+
+pub use cell::OptikCell;
+pub use guard::OptikGuard;
+pub use pattern::{transaction, transaction_with_backoff, TxStep};
+pub use ticket::OptikTicket;
+pub use traits::{OptikLock, Version};
+pub use validated::ValidatedLock;
+pub use versioned::OptikVersioned;

@@ -1,0 +1,336 @@
+//! OPTIK lock on top of a ticket lock.
+//!
+//! The implementation the name OPTIK comes from ("optimistic concurrency
+//! with ticket locks", footnote 1 of the paper). The lock is a `u64`
+//! packing two `u32`s: `current` (low half — being served, doubles as the
+//! version number) and `ticket` (high half — next ticket to hand out). The
+//! lock is free iff `ticket == current`.
+//!
+//! Extras over the versioned implementation (§3.2):
+//!
+//! - [`OptikTicket::num_queued`] — how many threads hold or wait for the
+//!   lock, read directly from `ticket - current`. The victim-queue design
+//!   (§5.4) keys off this.
+//! - [`OptikTicket::lock_version_backoff`] — blocking acquisition that
+//!   backs off proportionally to the thread's distance in the queue.
+//!
+//! The version half is 32 bits, so a thread that stores a version and then
+//! sleeps for 2^32 acquisitions could validate incorrectly (paper footnote
+//! 6 estimates ≥ 40 s of sleeping on hardware delivering an impossible
+//! 100 M acquisitions/s). The versioned implementation has no such caveat.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+use crate::traits::{OptikLock, Version};
+
+const TICKET_SHIFT: u32 = 32;
+const ONE_TICKET: u64 = 1 << TICKET_SHIFT;
+const CURRENT_MASK: u64 = u32::MAX as u64;
+
+#[inline]
+fn ticket_of(w: u64) -> u32 {
+    (w >> TICKET_SHIFT) as u32
+}
+
+#[inline]
+fn current_of(w: u64) -> u32 {
+    (w & CURRENT_MASK) as u32
+}
+
+#[inline]
+fn pack(ticket: u32, current: u32) -> u64 {
+    (u64::from(ticket) << TICKET_SHIFT) | u64::from(current)
+}
+
+/// The ticket-lock OPTIK implementation.
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct OptikTicket {
+    word: AtomicU64,
+}
+
+impl OptikTicket {
+    /// Creates a fresh, unlocked lock (version 0).
+    pub const fn new() -> Self {
+        Self {
+            word: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of threads holding or queued for the lock (0 = free).
+    ///
+    /// `optik_num_queued` in the paper: with a value of 3, the lock is held
+    /// and two more threads wait.
+    #[inline]
+    pub fn num_queued(&self) -> u32 {
+        let w = self.word.load(Ordering::Relaxed);
+        ticket_of(w).wrapping_sub(current_of(w))
+    }
+
+    /// Blocking acquisition with distance-proportional backoff
+    /// (`optik_lock_backoff`). Returns the version at acquisition.
+    pub fn lock_backoff(&self) -> Version {
+        let w = self.word.fetch_add(ONE_TICKET, Ordering::Relaxed);
+        let my = ticket_of(w);
+        loop {
+            let w = self.word.load(Ordering::Acquire);
+            let cur = current_of(w);
+            if cur == my {
+                crate::traits::acquired_fence();
+                // Free-shaped word, consistent with `lock()`.
+                return pack(my, my);
+            }
+            let distance = my.wrapping_sub(cur);
+            synchro::backoff::proportional(distance.min(1024), 32);
+        }
+    }
+
+    /// Blocking `lock_version` with proportional backoff: acquires the lock,
+    /// returns whether the version at acquisition matched `target`.
+    pub fn lock_version_backoff(&self, target: Version) -> bool {
+        let w = self.word.fetch_add(ONE_TICKET, Ordering::Relaxed);
+        let my = ticket_of(w);
+        loop {
+            let w = self.word.load(Ordering::Acquire);
+            let cur = current_of(w);
+            if cur == my {
+                crate::traits::acquired_fence();
+                return u64::from(cur) == target & CURRENT_MASK;
+            }
+            let distance = my.wrapping_sub(cur);
+            synchro::backoff::proportional(distance.min(1024), 32);
+        }
+    }
+}
+
+impl OptikLock for OptikTicket {
+    #[inline]
+    fn get_version(&self) -> Version {
+        // Full word: `is_locked_version` needs both halves. Version
+        // comparisons only look at the `current` half.
+        self.word.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn get_version_wait(&self) -> Version {
+        loop {
+            let w = self.word.load(Ordering::Acquire);
+            if ticket_of(w) == current_of(w) {
+                return w;
+            }
+            core::hint::spin_loop();
+        }
+    }
+
+    #[inline]
+    fn try_lock_version(&self, target: Version) -> bool {
+        let cur = current_of(target);
+        // Acquire iff free (ticket == current) at the target version.
+        let expected = pack(cur, cur);
+        if self.word.load(Ordering::Relaxed) != expected {
+            return false;
+        }
+        let locked = pack(cur.wrapping_add(1), cur);
+        let ok = self
+            .word
+            .compare_exchange(expected, locked, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok();
+        if ok {
+            crate::traits::acquired_fence();
+        }
+        ok
+    }
+
+    #[inline]
+    fn try_lock_version_counting(&self, target: Version) -> (bool, u32) {
+        let cur = current_of(target);
+        let expected = pack(cur, cur);
+        if self.word.load(Ordering::Relaxed) != expected {
+            return (false, 0);
+        }
+        let locked = pack(cur.wrapping_add(1), cur);
+        let ok = self
+            .word
+            .compare_exchange(expected, locked, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok();
+        if ok {
+            crate::traits::acquired_fence();
+        }
+        (ok, 1)
+    }
+
+    #[inline]
+    fn lock_version(&self, target: Version) -> bool {
+        let w = self.word.fetch_add(ONE_TICKET, Ordering::Relaxed);
+        let my = ticket_of(w);
+        loop {
+            let w = self.word.load(Ordering::Acquire);
+            if current_of(w) == my {
+                crate::traits::acquired_fence();
+                return u64::from(my) == target & CURRENT_MASK;
+            }
+            core::hint::spin_loop();
+        }
+    }
+
+    #[inline]
+    fn lock(&self) -> Version {
+        let w = self.word.fetch_add(ONE_TICKET, Ordering::Relaxed);
+        let my = ticket_of(w);
+        loop {
+            let w = self.word.load(Ordering::Acquire);
+            if current_of(w) == my {
+                crate::traits::acquired_fence();
+                // Report the version as a *free-shaped* word so a subsequent
+                // try_lock_version(reported) on the restored state succeeds.
+                return pack(my, my);
+            }
+            core::hint::spin_loop();
+        }
+    }
+
+    #[inline]
+    fn unlock(&self) {
+        // Holder-only: bump `current` (wrapping within its own 32 bits — a
+        // plain fetch_add(1) would carry into the ticket half when current
+        // is u32::MAX and corrupt the queue). Only the ticket half can
+        // change concurrently (waiters taking tickets), so the CAS loop
+        // retries at most once per arriving waiter.
+        let mut w = self.word.load(Ordering::Relaxed);
+        loop {
+            let new = pack(ticket_of(w), current_of(w).wrapping_add(1));
+            match self
+                .word
+                .compare_exchange_weak(w, new, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(observed) => w = observed,
+            }
+        }
+    }
+
+    #[inline]
+    fn revert(&self) {
+        // Holder with no waiters: give our ticket back, restoring the
+        // version. With waiters queued this is impossible (they already
+        // hold tickets), so fall back to a normal unlock; the version then
+        // advances, which can cause spurious validation failures but never
+        // incorrect validations.
+        let w = self.word.load(Ordering::Relaxed);
+        let cur = current_of(w);
+        if ticket_of(w) == cur.wrapping_add(1) {
+            let restored = pack(cur, cur);
+            if self
+                .word
+                .compare_exchange(w, restored, Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+        self.unlock();
+    }
+
+    #[inline]
+    fn is_locked_version(v: Version) -> bool {
+        ticket_of(v) != current_of(v)
+    }
+
+    #[inline]
+    fn is_same_version(a: Version, b: Version) -> bool {
+        // Versions are the `current` half; the ticket half only encodes
+        // queue state.
+        a & CURRENT_MASK == b & CURRENT_MASK
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::optik_conformance_tests;
+
+    optik_conformance_tests!(OptikTicket);
+
+    #[test]
+    fn num_queued_reflects_holder_and_waiters() {
+        let l = OptikTicket::new();
+        assert_eq!(l.num_queued(), 0);
+        let v = l.get_version();
+        assert!(l.try_lock_version(v));
+        assert_eq!(l.num_queued(), 1);
+        l.unlock();
+        assert_eq!(l.num_queued(), 0);
+    }
+
+    #[test]
+    fn revert_with_waiters_falls_back_to_unlock() {
+        use std::sync::Arc;
+        let l = Arc::new(OptikTicket::new());
+        let v0 = l.get_version();
+        assert!(l.try_lock_version(v0));
+
+        // Queue a waiter (it will block in lock()).
+        let waiter = {
+            let l = Arc::clone(&l);
+            std::thread::spawn(move || {
+                let _v = l.lock();
+                l.unlock();
+            })
+        };
+        while l.num_queued() < 2 {
+            std::hint::spin_loop();
+        }
+        // Revert cannot restore the version now; it must unlock instead so
+        // the waiter gets served.
+        l.revert();
+        waiter.join().unwrap();
+        assert_eq!(l.num_queued(), 0);
+        // Version advanced twice (fallback unlock + waiter's unlock).
+        let v_now = l.get_version();
+        assert!(!OptikTicket::is_same_version(v0, v_now));
+    }
+
+    #[test]
+    fn version_half_wraps_safely() {
+        // Seed current near u32::MAX and check wrap keeps lock usable.
+        let l = OptikTicket {
+            word: AtomicU64::new(pack(u32::MAX, u32::MAX)),
+        };
+        let v = l.get_version();
+        assert!(!OptikTicket::is_locked_version(v));
+        assert!(l.try_lock_version(v));
+        l.unlock(); // current wraps to 0... ticket already wrapped to 0 too
+        let v = l.get_version();
+        assert!(!OptikTicket::is_locked_version(v));
+        assert!(l.try_lock_version(v));
+        l.unlock();
+    }
+
+    #[test]
+    fn lock_version_backoff_validates() {
+        let l = OptikTicket::new();
+        let v = l.get_version();
+        assert!(l.lock_version_backoff(v));
+        l.unlock();
+        assert!(!l.lock_version_backoff(v));
+        l.unlock();
+    }
+
+    #[test]
+    fn counting_skips_cas_when_held_or_stale() {
+        let l = OptikTicket::new();
+        let v0 = l.get_version();
+        assert!(l.try_lock_version(v0));
+        let (ok, cas) = l.try_lock_version_counting(v0);
+        assert!(!ok);
+        assert_eq!(cas, 0);
+        l.unlock();
+        let (ok, cas) = l.try_lock_version_counting(v0);
+        assert!(!ok, "stale version");
+        assert_eq!(cas, 0);
+        let (ok, cas) = l.try_lock_version_counting(l.get_version());
+        assert!(ok);
+        assert_eq!(cas, 1);
+        l.unlock();
+    }
+}

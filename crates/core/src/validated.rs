@@ -1,0 +1,195 @@
+//! The OPTIK pattern *without* OPTIK locks: the Figure-5 straw man.
+//!
+//! "We implement this behavior using 8 bytes; 4 bytes for a
+//! test-and-test-and-set (TTAS) lock and 4 bytes for the version number.
+//! The version number is validated and incremented while holding the lock."
+//! (§3.2). A thread must therefore *acquire the lock first* — possibly
+//! contending for it — just to discover that its version is stale, which is
+//! precisely the wasted work OPTIK locks eliminate.
+
+use core::sync::atomic::{AtomicU32, Ordering};
+
+/// A TTAS lock plus a separate version word (non-OPTIK validation baseline).
+#[derive(Debug, Default)]
+pub struct ValidatedLock {
+    locked: AtomicU32,
+    version: AtomicU32,
+}
+
+impl ValidatedLock {
+    /// Creates a fresh, unlocked lock with version 0.
+    pub const fn new() -> Self {
+        Self {
+            locked: AtomicU32::new(0),
+            version: AtomicU32::new(0),
+        }
+    }
+
+    /// Reads the current version.
+    #[inline]
+    pub fn get_version(&self) -> u32 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Acquires the lock (TTAS), then validates `target` against the
+    /// version. On mismatch the lock is released and `false` returned — the
+    /// contended acquisition was wasted, which is the point of the straw
+    /// man. On success the caller holds the lock.
+    pub fn lock_and_validate(&self, target: u32) -> bool {
+        self.lock_raw();
+        if self.version.load(Ordering::Relaxed) == target {
+            true
+        } else {
+            self.unlock_raw();
+            false
+        }
+    }
+
+    /// Like [`ValidatedLock::lock_and_validate`], counting atomic
+    /// swap/CAS instructions issued while acquiring (for Figure 5's
+    /// "# CAS per validation" series).
+    pub fn lock_and_validate_counting(&self, target: u32) -> (bool, u32) {
+        let cas = self.lock_raw_counting();
+        if self.version.load(Ordering::Relaxed) == target {
+            (true, cas)
+        } else {
+            self.unlock_raw();
+            (false, cas)
+        }
+    }
+
+    /// Completes a successful critical section: bumps the version and
+    /// releases the lock. Caller must hold the lock.
+    #[inline]
+    pub fn commit_unlock(&self) {
+        // Holder-only, so a plain bump is race-free; Release publishes the
+        // critical section together with the new version.
+        let v = self.version.load(Ordering::Relaxed);
+        self.version.store(v.wrapping_add(1), Ordering::Release);
+        self.unlock_raw();
+    }
+
+    /// Releases the lock without bumping the version (no modification).
+    #[inline]
+    pub fn abort_unlock(&self) {
+        self.unlock_raw();
+    }
+
+    /// Whether the lock is currently held.
+    #[inline]
+    pub fn is_locked(&self) -> bool {
+        self.locked.load(Ordering::Relaxed) != 0
+    }
+
+    #[inline]
+    fn lock_raw(&self) {
+        loop {
+            while self.locked.load(Ordering::Relaxed) != 0 {
+                core::hint::spin_loop();
+            }
+            if self.locked.swap(1, Ordering::Acquire) == 0 {
+                return;
+            }
+        }
+    }
+
+    #[inline]
+    fn lock_raw_counting(&self) -> u32 {
+        let mut cas = 0;
+        loop {
+            while self.locked.load(Ordering::Relaxed) != 0 {
+                core::hint::spin_loop();
+            }
+            cas += 1;
+            if self.locked.swap(1, Ordering::Acquire) == 0 {
+                return cas;
+            }
+        }
+    }
+
+    #[inline]
+    fn unlock_raw(&self) {
+        self.locked.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn validate_succeeds_then_stale_fails() {
+        let l = ValidatedLock::new();
+        let v = l.get_version();
+        assert!(l.lock_and_validate(v));
+        l.commit_unlock();
+        assert!(!l.is_locked());
+        assert!(!l.lock_and_validate(v), "version advanced");
+        assert!(!l.is_locked(), "failed validation must release the lock");
+    }
+
+    #[test]
+    fn abort_does_not_advance_version() {
+        let l = ValidatedLock::new();
+        let v = l.get_version();
+        assert!(l.lock_and_validate(v));
+        l.abort_unlock();
+        assert_eq!(l.get_version(), v);
+        assert!(l.lock_and_validate(v), "aborted section is invisible");
+        l.commit_unlock();
+    }
+
+    #[test]
+    fn counting_reports_at_least_one_swap() {
+        let l = ValidatedLock::new();
+        let (ok, cas) = l.lock_and_validate_counting(l.get_version());
+        assert!(ok);
+        assert!(cas >= 1);
+        l.commit_unlock();
+    }
+
+    #[test]
+    fn concurrent_validated_increments_are_exact() {
+        const THREADS: usize = 8;
+        const OPS: u64 = 10_000;
+        let lock = Arc::new(ValidatedLock::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..OPS {
+                    loop {
+                        let v = lock.get_version();
+                        if lock.lock_and_validate(v) {
+                            let x = counter.load(Ordering::Relaxed);
+                            counter.store(x + 1, Ordering::Relaxed);
+                            lock.commit_unlock();
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), THREADS as u64 * OPS);
+    }
+
+    #[test]
+    fn version_wraps_without_breaking_lock() {
+        let l = ValidatedLock {
+            locked: AtomicU32::new(0),
+            version: AtomicU32::new(u32::MAX),
+        };
+        let v = l.get_version();
+        assert!(l.lock_and_validate(v));
+        l.commit_unlock();
+        assert_eq!(l.get_version(), 0);
+        assert!(!l.is_locked());
+    }
+}

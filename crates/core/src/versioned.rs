@@ -1,0 +1,200 @@
+//! OPTIK lock on top of a versioned lock (Figure 4 of the paper).
+//!
+//! A single 8-byte counter: even = free, odd = locked. Acquisition CASes an
+//! even value `v` to `v + 1`; `unlock` increments again (to the next even
+//! value, advancing the version), `revert` decrements (restoring the
+//! pre-acquisition version). A thread would have to sleep for 2^63
+//! acquisitions for the version to wrap into a false validation.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+use crate::traits::{OptikLock, Version};
+
+const LOCKED_BIT: u64 = 0x1;
+
+/// The versioned-lock OPTIK implementation (the paper's default; ours too).
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct OptikVersioned {
+    word: AtomicU64,
+}
+
+impl OptikVersioned {
+    /// Creates a fresh, unlocked lock with version 0 (`OPTIK_INIT`).
+    pub const fn new() -> Self {
+        Self {
+            word: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a lock seeded at an arbitrary (even) version — handy for
+    /// tests exercising wrap-around behaviour.
+    pub const fn with_version(v: u64) -> Self {
+        Self {
+            word: AtomicU64::new(v & !LOCKED_BIT),
+        }
+    }
+}
+
+impl OptikLock for OptikVersioned {
+    #[inline]
+    fn get_version(&self) -> Version {
+        self.word.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn get_version_wait(&self) -> Version {
+        loop {
+            let v = self.word.load(Ordering::Acquire);
+            if v & LOCKED_BIT == 0 {
+                return v;
+            }
+            core::hint::spin_loop();
+        }
+    }
+
+    #[inline]
+    fn try_lock_version(&self, target: Version) -> bool {
+        // Pre-checks (paper, Fig. 4 lines 6–7): a locked target can never be
+        // CASed (we would make an odd value even), and a mismatched current
+        // version makes the CAS pointless — skip the expensive instruction.
+        if target & LOCKED_BIT != 0 || self.word.load(Ordering::Relaxed) != target {
+            return false;
+        }
+        let ok = self
+            .word
+            .compare_exchange(target, target + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok();
+        if ok {
+            crate::traits::acquired_fence();
+        }
+        ok
+    }
+
+    #[inline]
+    fn try_lock_version_counting(&self, target: Version) -> (bool, u32) {
+        if target & LOCKED_BIT != 0 || self.word.load(Ordering::Relaxed) != target {
+            return (false, 0);
+        }
+        let ok = self
+            .word
+            .compare_exchange(target, target + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok();
+        if ok {
+            crate::traits::acquired_fence();
+        }
+        (ok, 1)
+    }
+
+    #[inline]
+    fn lock_version(&self, target: Version) -> bool {
+        loop {
+            let mut cur = self.word.load(Ordering::Relaxed);
+            while cur & LOCKED_BIT != 0 {
+                core::hint::spin_loop();
+                cur = self.word.load(Ordering::Relaxed);
+            }
+            if self
+                .word
+                .compare_exchange(cur, cur + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                crate::traits::acquired_fence();
+                return cur == target;
+            }
+        }
+    }
+
+    #[inline]
+    fn lock(&self) -> Version {
+        loop {
+            let mut cur = self.word.load(Ordering::Relaxed);
+            while cur & LOCKED_BIT != 0 {
+                core::hint::spin_loop();
+                cur = self.word.load(Ordering::Relaxed);
+            }
+            if self
+                .word
+                .compare_exchange(cur, cur + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                crate::traits::acquired_fence();
+                return cur;
+            }
+        }
+    }
+
+    #[inline]
+    fn unlock(&self) {
+        // Holder-only: value is odd; +1 makes it the next even version.
+        self.word.fetch_add(1, Ordering::Release);
+    }
+
+    #[inline]
+    fn revert(&self) {
+        // Holder-only: value is odd; −1 restores the pre-acquisition version.
+        self.word.fetch_sub(1, Ordering::Release);
+    }
+
+    #[inline]
+    fn is_locked_version(v: Version) -> bool {
+        v & LOCKED_BIT != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::optik_conformance_tests;
+
+    optik_conformance_tests!(OptikVersioned);
+
+    #[test]
+    fn odd_versions_are_locked() {
+        assert!(!OptikVersioned::is_locked_version(0));
+        assert!(OptikVersioned::is_locked_version(1));
+        assert!(!OptikVersioned::is_locked_version(2));
+        assert!(OptikVersioned::is_locked_version(u64::MAX));
+    }
+
+    #[test]
+    fn with_version_clears_lock_bit() {
+        let l = OptikVersioned::with_version(7);
+        assert_eq!(l.get_version(), 6);
+        assert!(!l.is_locked());
+    }
+
+    #[test]
+    fn version_advances_by_two_per_critical_section() {
+        let l = OptikVersioned::new();
+        let v0 = l.get_version();
+        assert!(l.try_lock_version(v0));
+        l.unlock();
+        assert_eq!(l.get_version(), v0 + 2);
+    }
+
+    #[test]
+    fn counting_skips_cas_on_mismatch() {
+        let l = OptikVersioned::new();
+        let stale = l.get_version();
+        assert!(l.try_lock_version(stale));
+        l.unlock();
+        let (ok, cas) = l.try_lock_version_counting(stale);
+        assert!(!ok);
+        assert_eq!(cas, 0, "pre-check must avoid the CAS");
+        let (ok, cas) = l.try_lock_version_counting(l.get_version());
+        assert!(ok);
+        assert_eq!(cas, 1);
+        l.unlock();
+    }
+
+    #[test]
+    fn wraparound_near_max_still_works() {
+        let l = OptikVersioned::with_version(u64::MAX - 1); // even
+        let v = l.get_version();
+        assert!(l.try_lock_version(v));
+        l.unlock(); // wraps to 0
+        assert_eq!(l.get_version(), 0);
+        assert!(!l.is_locked());
+    }
+}

@@ -1,0 +1,113 @@
+//! Shared interfaces the benchmarked data structures implement.
+
+/// Key type used across all search data structures.
+///
+/// The value `0` and `u64::MAX` are reserved for head/tail sentinels and
+/// empty-slot markers; user keys must lie strictly between them.
+pub type Key = u64;
+
+/// Value type used across all data structures.
+pub type Val = u64;
+
+/// Smallest user key.
+pub const MIN_USER_KEY: Key = 1;
+/// Largest user key.
+pub const MAX_USER_KEY: Key = u64::MAX - 1;
+
+/// A concurrent search data structure (list, hash table, skip list): the
+/// three-operation interface from §2 of the paper.
+pub trait ConcurrentSet: Send + Sync {
+    /// Searches for `key`, returning its value if present.
+    fn search(&self, key: Key) -> Option<Val>;
+    /// Inserts `key → val` if absent; returns whether it was inserted.
+    fn insert(&self, key: Key, val: Val) -> bool;
+    /// Deletes `key`, returning its value if it was present.
+    fn delete(&self, key: Key) -> Option<Val>;
+    /// Number of elements (O(n); exact only in quiescence).
+    fn len(&self) -> usize;
+    /// Whether the structure is empty (see [`ConcurrentSet::len`]).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-thread session on a [`ConcurrentSet`].
+///
+/// Structures with thread-local state (e.g. the node-caching lists of §5.1)
+/// implement their operations on a handle; stateless structures get a
+/// blanket handle that simply forwards. The benchmark runner always goes
+/// through handles.
+pub trait SetHandle {
+    /// See [`ConcurrentSet::search`].
+    fn search(&mut self, key: Key) -> Option<Val>;
+    /// See [`ConcurrentSet::insert`].
+    fn insert(&mut self, key: Key, val: Val) -> bool;
+    /// See [`ConcurrentSet::delete`].
+    fn delete(&mut self, key: Key) -> Option<Val>;
+}
+
+/// Blanket forwarding handle for stateless structures.
+impl<S: ConcurrentSet + ?Sized> SetHandle for &S {
+    fn search(&mut self, key: Key) -> Option<Val> {
+        ConcurrentSet::search(*self, key)
+    }
+    fn insert(&mut self, key: Key, val: Val) -> bool {
+        ConcurrentSet::insert(*self, key, val)
+    }
+    fn delete(&mut self, key: Key) -> Option<Val> {
+        ConcurrentSet::delete(*self, key)
+    }
+}
+
+/// A concurrent FIFO queue (§5.4).
+pub trait ConcurrentQueue: Send + Sync {
+    /// Enqueues `val` at the head of the queue.
+    fn enqueue(&self, val: Val);
+    /// Dequeues the tail element, if any.
+    fn dequeue(&self) -> Option<Val>;
+    /// Number of elements (O(n); exact only in quiescence).
+    fn len(&self) -> usize;
+    /// Whether the queue is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    struct MutexSet(Mutex<BTreeMap<Key, Val>>);
+    impl ConcurrentSet for MutexSet {
+        fn search(&self, key: Key) -> Option<Val> {
+            self.0.lock().unwrap().get(&key).copied()
+        }
+        fn insert(&self, key: Key, val: Val) -> bool {
+            let mut m = self.0.lock().unwrap();
+            if let std::collections::btree_map::Entry::Vacant(e) = m.entry(key) {
+                e.insert(val);
+                true
+            } else {
+                false
+            }
+        }
+        fn delete(&self, key: Key) -> Option<Val> {
+            self.0.lock().unwrap().remove(&key)
+        }
+        fn len(&self) -> usize {
+            self.0.lock().unwrap().len()
+        }
+    }
+
+    #[test]
+    fn blanket_handle_forwards() {
+        let set = MutexSet(Mutex::new(BTreeMap::new()));
+        let mut h: &MutexSet = &set;
+        assert!(SetHandle::insert(&mut h, 3, 30));
+        assert_eq!(SetHandle::search(&mut h, 3), Some(30));
+        assert_eq!(SetHandle::delete(&mut h, 3), Some(30));
+        assert!(set.is_empty());
+    }
+}

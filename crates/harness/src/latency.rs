@@ -1,0 +1,198 @@
+//! Per-operation latency recording (§5: per-core timestamp counter, 16K
+//! samples per thread, 5/25/50/75/95-percentile boxplots).
+
+/// Samples kept per operation kind per recorder (the paper's 16K).
+pub const SAMPLES_PER_KIND: usize = 16 * 1024;
+
+/// Operation classification used in the paper's latency plots
+/// (srch/insr/delt × successful/failed, Figure 7; enq/deq, Figure 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum OpKind {
+    /// Search that found its key.
+    SearchHit = 0,
+    /// Search that did not find its key.
+    SearchMiss = 1,
+    /// Insert that inserted.
+    InsertSuc = 2,
+    /// Insert that found the key present (or no space).
+    InsertFail = 3,
+    /// Delete that removed its key.
+    DeleteSuc = 4,
+    /// Delete that did not find its key.
+    DeleteFail = 5,
+}
+
+impl OpKind {
+    /// All kinds, in display order.
+    pub const ALL: [OpKind; 6] = [
+        OpKind::SearchHit,
+        OpKind::SearchMiss,
+        OpKind::InsertSuc,
+        OpKind::InsertFail,
+        OpKind::DeleteSuc,
+        OpKind::DeleteFail,
+    ];
+
+    /// Paper-style short label (srch-suc, insr-fal, ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::SearchHit => "srch-suc",
+            OpKind::SearchMiss => "srch-fal",
+            OpKind::InsertSuc => "insr-suc",
+            OpKind::InsertFail => "insr-fal",
+            OpKind::DeleteSuc => "delt-suc",
+            OpKind::DeleteFail => "delt-fal",
+        }
+    }
+}
+
+/// Boxplot percentiles reported by the paper (5th/25th/50th/75th/95th).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// 5th percentile.
+    pub p5: u64,
+    /// 25th percentile.
+    pub p25: u64,
+    /// Median.
+    pub p50: u64,
+    /// 75th percentile.
+    pub p75: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// Number of samples summarized.
+    pub count: usize,
+}
+
+/// Per-thread latency reservoir: a 16K-sample ring per operation kind.
+#[derive(Debug, Clone)]
+pub struct LatencyRecorder {
+    samples: Vec<Vec<u64>>, // one ring per OpKind
+    cursor: [usize; 6],
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self {
+            samples: (0..6).map(|_| Vec::new()).collect(),
+            cursor: [0; 6],
+        }
+    }
+
+    /// Records one measurement (in cycles) for `kind`. Once a kind's ring
+    /// is full, the oldest sample is overwritten.
+    #[inline]
+    pub fn record(&mut self, kind: OpKind, cycles: u64) {
+        let k = kind as usize;
+        let ring = &mut self.samples[k];
+        if ring.len() < SAMPLES_PER_KIND {
+            ring.push(cycles);
+        } else {
+            ring[self.cursor[k]] = cycles;
+            self.cursor[k] = (self.cursor[k] + 1) % SAMPLES_PER_KIND;
+        }
+    }
+
+    /// Absorbs another recorder's samples (end-of-run collection).
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        for k in 0..6 {
+            self.samples[k].extend_from_slice(&other.samples[k]);
+        }
+    }
+
+    /// Number of samples recorded for `kind`.
+    pub fn count(&self, kind: OpKind) -> usize {
+        self.samples[kind as usize].len()
+    }
+
+    /// Boxplot percentiles for `kind`, or `None` with no samples.
+    pub fn percentiles(&self, kind: OpKind) -> Option<Percentiles> {
+        let mut v = self.samples[kind as usize].clone();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_unstable();
+        let pick = |p: f64| {
+            let idx = ((v.len() - 1) as f64 * p).round() as usize;
+            v[idx]
+        };
+        Some(Percentiles {
+            p5: pick(0.05),
+            p25: pick(0.25),
+            p50: pick(0.50),
+            p75: pick(0.75),
+            p95: pick(0.95),
+            count: v.len(),
+        })
+    }
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=100u64 {
+            r.record(OpKind::SearchHit, i);
+        }
+        let p = r.percentiles(OpKind::SearchHit).unwrap();
+        assert_eq!(p.count, 100);
+        assert!(p.p50 == 50 || p.p50 == 51, "median of 1..=100: {}", p.p50);
+        assert!(p.p5 <= 7 && p.p5 >= 4);
+        assert!(p.p95 >= 94 && p.p95 <= 96);
+        assert!(p.p25 < p.p50 && p.p50 < p.p75);
+    }
+
+    #[test]
+    fn empty_kind_yields_none() {
+        let r = LatencyRecorder::new();
+        assert!(r.percentiles(OpKind::DeleteFail).is_none());
+        assert_eq!(r.count(OpKind::DeleteFail), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_after_capacity() {
+        let mut r = LatencyRecorder::new();
+        // Fill with large values, then overwrite everything with 1s.
+        for _ in 0..SAMPLES_PER_KIND {
+            r.record(OpKind::InsertSuc, 1_000_000);
+        }
+        for _ in 0..SAMPLES_PER_KIND {
+            r.record(OpKind::InsertSuc, 1);
+        }
+        let p = r.percentiles(OpKind::InsertSuc).unwrap();
+        assert_eq!(p.count, SAMPLES_PER_KIND);
+        assert_eq!(p.p95, 1, "old samples fully evicted");
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyRecorder::new();
+        let mut b = LatencyRecorder::new();
+        a.record(OpKind::DeleteSuc, 5);
+        b.record(OpKind::DeleteSuc, 15);
+        b.record(OpKind::SearchMiss, 1);
+        a.merge(&b);
+        assert_eq!(a.count(OpKind::DeleteSuc), 2);
+        assert_eq!(a.count(OpKind::SearchMiss), 1);
+        let p = a.percentiles(OpKind::DeleteSuc).unwrap();
+        assert_eq!(p.p5, 5);
+        assert_eq!(p.p95, 15);
+    }
+
+    #[test]
+    fn labels_match_paper_naming() {
+        assert_eq!(OpKind::SearchHit.label(), "srch-suc");
+        assert_eq!(OpKind::InsertFail.label(), "insr-fal");
+        assert_eq!(OpKind::ALL.len(), 6);
+    }
+}

@@ -1,0 +1,143 @@
+//! Fast per-thread pseudo-random number generation for workload driving.
+//!
+//! xorshift128+ — a few instructions per draw, so the generator never
+//! dominates the measured data-structure operation. Not cryptographic;
+//! deterministic per seed so runs are reproducible.
+
+/// A xorshift128+ generator.
+#[derive(Debug, Clone)]
+pub struct FastRng {
+    s0: u64,
+    s1: u64,
+}
+
+impl FastRng {
+    /// Creates a generator from a seed (any value; zero is remapped).
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 to diffuse the seed into two non-zero words.
+        let mut x = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut next = || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let s0 = next();
+        let s1 = next();
+        Self {
+            s0: if s0 == 0 { 1 } else { s0 },
+            s1: if s1 == 0 { 2 } else { s1 },
+        }
+    }
+
+    /// Per-thread seed derivation: distinct, deterministic streams.
+    pub fn for_thread(base_seed: u64, thread_id: usize) -> Self {
+        Self::new(base_seed ^ (thread_id as u64).wrapping_mul(0xA24BAED4963EE407))
+    }
+
+    /// Next raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.s0;
+        let y = self.s1;
+        self.s0 = y;
+        x ^= x << 23;
+        self.s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+        self.s1.wrapping_add(y)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be positive.
+    ///
+    /// Uses the widening-multiply trick (Lemire); the tiny modulo bias is
+    /// irrelevant for workload generation.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform draw in `[lo, hi]` (inclusive).
+    #[inline]
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = FastRng::new(42);
+        let mut b = FastRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_threads_get_different_streams() {
+        let mut a = FastRng::for_thread(42, 0);
+        let mut b = FastRng::for_thread(42, 1);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn bounded_draws_stay_in_bounds() {
+        let mut rng = FastRng::new(7);
+        for _ in 0..10_000 {
+            let x = rng.next_below(17);
+            assert!(x < 17);
+            let y = rng.range_inclusive(5, 9);
+            assert!((5..=9).contains(&y));
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bounded_draws_cover_the_range() {
+        let mut rng = FastRng::new(3);
+        let mut seen = [false; 8];
+        for _ in 0..10_000 {
+            seen[rng.next_below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = FastRng::new(11);
+        const BUCKETS: usize = 16;
+        const DRAWS: usize = 160_000;
+        let mut counts = [0usize; BUCKETS];
+        for _ in 0..DRAWS {
+            counts[rng.next_below(BUCKETS as u64) as usize] += 1;
+        }
+        let expected = DRAWS / BUCKETS;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > expected as f64 * 0.9 && (c as f64) < expected as f64 * 1.1,
+                "bucket {i} count {c} far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut rng = FastRng::new(0);
+        // Must not get stuck at zero.
+        let draws: Vec<u64> = (0..10).map(|_| rng.next_u64()).collect();
+        assert!(draws.iter().any(|&x| x != 0));
+    }
+}

@@ -1,0 +1,409 @@
+//! Duration-based multi-threaded benchmark runner.
+//!
+//! [`run_workers`] is the generic engine: spawn N workers, release them
+//! simultaneously, stop them after a wall-clock duration, collect their
+//! results. [`run_set_workload`] and [`run_queue_workload`] layer the
+//! paper's set/queue microbenchmarks on top.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use crate::api::{ConcurrentQueue, SetHandle};
+use crate::latency::{LatencyRecorder, OpKind};
+use crate::rng::FastRng;
+use crate::workload::{Op, Workload};
+
+/// Handed to each worker closure: identity plus the stop signal.
+pub struct WorkerCtx<'a> {
+    /// Worker index in `0..threads`.
+    pub tid: usize,
+    stop: &'a AtomicBool,
+}
+
+impl WorkerCtx<'_> {
+    /// Whether the measurement window has ended; poll between operations.
+    #[inline]
+    pub fn should_stop(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+}
+
+/// Runs `threads` copies of `worker` for `duration`, returning their
+/// results in thread order. Workers start simultaneously (barrier) and must
+/// poll [`WorkerCtx::should_stop`].
+pub fn run_workers<R, F>(threads: usize, duration: Duration, worker: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(WorkerCtx<'_>) -> R + Sync,
+{
+    assert!(threads > 0, "need at least one worker");
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(threads + 1);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for tid in 0..threads {
+            let stop = &stop;
+            let barrier = &barrier;
+            let worker = &worker;
+            handles.push(scope.spawn(move || {
+                barrier.wait();
+                worker(WorkerCtx { tid, stop })
+            }));
+        }
+        barrier.wait();
+        // The coordinator holds no references into any protected structure
+        // while it sleeps/joins; going QSBR-offline keeps it from stalling
+        // reclamation for the workers (a standard QSBR practice).
+        reclaim::offline_while(|| {
+            let start = Instant::now();
+            while start.elapsed() < duration {
+                std::thread::sleep(
+                    duration
+                        .saturating_sub(start.elapsed())
+                        .min(Duration::from_millis(5)),
+                );
+            }
+            stop.store(true, Ordering::Relaxed);
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+    })
+}
+
+/// Operation counters for one set-benchmark run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SetCounts {
+    /// Searches that found their key.
+    pub search_hit: u64,
+    /// Searches that missed.
+    pub search_miss: u64,
+    /// Successful inserts.
+    pub insert_suc: u64,
+    /// Failed inserts (key present / no space).
+    pub insert_fail: u64,
+    /// Successful deletes.
+    pub delete_suc: u64,
+    /// Failed deletes (key absent).
+    pub delete_fail: u64,
+}
+
+impl SetCounts {
+    /// Total operations executed.
+    pub fn total(&self) -> u64 {
+        self.search_hit
+            + self.search_miss
+            + self.insert_suc
+            + self.insert_fail
+            + self.delete_suc
+            + self.delete_fail
+    }
+
+    /// Net change in structure size implied by the counts.
+    pub fn net_inserted(&self) -> i64 {
+        self.insert_suc as i64 - self.delete_suc as i64
+    }
+
+    /// Element-wise sum.
+    pub fn merge(&mut self, o: &SetCounts) {
+        self.search_hit += o.search_hit;
+        self.search_miss += o.search_miss;
+        self.insert_suc += o.insert_suc;
+        self.insert_fail += o.insert_fail;
+        self.delete_suc += o.delete_suc;
+        self.delete_fail += o.delete_fail;
+    }
+}
+
+/// Result of a set-workload run.
+#[derive(Debug)]
+pub struct SetBenchResult {
+    /// Merged operation counters.
+    pub counts: SetCounts,
+    /// Wall-clock duration of the measurement window.
+    pub duration: Duration,
+    /// Merged latency samples (empty unless latency recording was on).
+    pub latency: LatencyRecorder,
+}
+
+impl SetBenchResult {
+    /// Throughput in million operations per second.
+    pub fn mops(&self) -> f64 {
+        self.counts.total() as f64 / self.duration.as_secs_f64() / 1e6
+    }
+}
+
+/// Runs the paper's set microbenchmark: each thread draws operations from
+/// `workload` against its own handle until the duration elapses.
+///
+/// `make_handle(tid)` builds the per-thread session (for node-caching
+/// structures this is where the cache lives). Threads announce QSBR
+/// quiescence between operations, as ssmem does in the paper.
+pub fn run_set_workload<H, F>(
+    threads: usize,
+    duration: Duration,
+    workload: &Workload,
+    seed: u64,
+    record_latency: bool,
+    make_handle: F,
+) -> SetBenchResult
+where
+    H: SetHandle,
+    F: Fn(usize) -> H + Sync,
+{
+    let start = Instant::now();
+    let results = run_workers(threads, duration, |ctx| {
+        let mut rng = FastRng::for_thread(seed, ctx.tid);
+        let mut handle = make_handle(ctx.tid);
+        let mut counts = SetCounts::default();
+        let mut lat = LatencyRecorder::new();
+        while !ctx.should_stop() {
+            let op = workload.next_op(&mut rng);
+            let t0 = record_latency.then(synchro::cycles::now);
+            let kind = match op {
+                Op::Search(k) => {
+                    if handle.search(k).is_some() {
+                        counts.search_hit += 1;
+                        OpKind::SearchHit
+                    } else {
+                        counts.search_miss += 1;
+                        OpKind::SearchMiss
+                    }
+                }
+                Op::Insert(k, v) => {
+                    if handle.insert(k, v) {
+                        counts.insert_suc += 1;
+                        OpKind::InsertSuc
+                    } else {
+                        counts.insert_fail += 1;
+                        OpKind::InsertFail
+                    }
+                }
+                Op::Delete(k) => {
+                    if handle.delete(k).is_some() {
+                        counts.delete_suc += 1;
+                        OpKind::DeleteSuc
+                    } else {
+                        counts.delete_fail += 1;
+                        OpKind::DeleteFail
+                    }
+                }
+            };
+            if let Some(t0) = t0 {
+                lat.record(kind, synchro::cycles::elapsed(t0, synchro::cycles::now()));
+            }
+            // Quiescent point between operations (ssmem-style).
+            reclaim::quiescent();
+        }
+        (counts, lat)
+    });
+    let duration = start.elapsed();
+    let mut counts = SetCounts::default();
+    let mut latency = LatencyRecorder::new();
+    for (c, l) in &results {
+        counts.merge(c);
+        latency.merge(l);
+    }
+    SetBenchResult {
+        counts,
+        duration,
+        latency,
+    }
+}
+
+/// Operation counters for one queue-benchmark run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueCounts {
+    /// Enqueues performed.
+    pub enqueue: u64,
+    /// Dequeues that returned an element.
+    pub dequeue_suc: u64,
+    /// Dequeues on an empty queue.
+    pub dequeue_empty: u64,
+}
+
+impl QueueCounts {
+    /// Total operations.
+    pub fn total(&self) -> u64 {
+        self.enqueue + self.dequeue_suc + self.dequeue_empty
+    }
+}
+
+/// Result of a queue-workload run.
+#[derive(Debug)]
+pub struct QueueBenchResult {
+    /// Merged counters.
+    pub counts: QueueCounts,
+    /// Measurement window.
+    pub duration: Duration,
+    /// Enqueue latencies (as [`OpKind::InsertSuc`]) and dequeue latencies
+    /// (as [`OpKind::DeleteSuc`]/[`OpKind::DeleteFail`]).
+    pub latency: LatencyRecorder,
+}
+
+impl QueueBenchResult {
+    /// Throughput in million operations per second.
+    pub fn mops(&self) -> f64 {
+        self.counts.total() as f64 / self.duration.as_secs_f64() / 1e6
+    }
+}
+
+/// Runs the paper's queue microbenchmark (Figure 12): `enqueue_pct`% of
+/// issued operations enqueue, the rest dequeue.
+pub fn run_queue_workload<Q: ConcurrentQueue + ?Sized>(
+    queue: &Q,
+    threads: usize,
+    duration: Duration,
+    enqueue_pct: u32,
+    seed: u64,
+    record_latency: bool,
+) -> QueueBenchResult {
+    assert!(enqueue_pct <= 100);
+    let start = Instant::now();
+    let results = run_workers(threads, duration, |ctx| {
+        let mut rng = FastRng::for_thread(seed, ctx.tid);
+        let mut counts = QueueCounts::default();
+        let mut lat = LatencyRecorder::new();
+        while !ctx.should_stop() {
+            let t0 = record_latency.then(synchro::cycles::now);
+            let kind = if rng.next_below(100) < u64::from(enqueue_pct) {
+                queue.enqueue(rng.next_u64());
+                counts.enqueue += 1;
+                OpKind::InsertSuc
+            } else if queue.dequeue().is_some() {
+                counts.dequeue_suc += 1;
+                OpKind::DeleteSuc
+            } else {
+                counts.dequeue_empty += 1;
+                OpKind::DeleteFail
+            };
+            if let Some(t0) = t0 {
+                lat.record(kind, synchro::cycles::elapsed(t0, synchro::cycles::now()));
+            }
+            reclaim::quiescent();
+            // "After every iteration, threads wait for a short duration, in
+            // order to avoid long runs [39]" — small randomized pause.
+            synchro::backoff::spin(rng.next_below(32) as u32);
+        }
+        (counts, lat)
+    });
+    let duration = start.elapsed();
+    let mut counts = QueueCounts::default();
+    let mut latency = LatencyRecorder::new();
+    for (c, l) in &results {
+        counts.enqueue += c.enqueue;
+        counts.dequeue_suc += c.dequeue_suc;
+        counts.dequeue_empty += c.dequeue_empty;
+        latency.merge(l);
+    }
+    QueueBenchResult {
+        counts,
+        duration,
+        latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{ConcurrentSet, Key, Val};
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    struct MutexSet(Mutex<BTreeMap<Key, Val>>);
+    impl MutexSet {
+        fn new() -> Self {
+            Self(Mutex::new(BTreeMap::new()))
+        }
+    }
+    impl ConcurrentSet for MutexSet {
+        fn search(&self, key: Key) -> Option<Val> {
+            self.0.lock().unwrap().get(&key).copied()
+        }
+        fn insert(&self, key: Key, val: Val) -> bool {
+            let mut m = self.0.lock().unwrap();
+            if let std::collections::btree_map::Entry::Vacant(e) = m.entry(key) {
+                e.insert(val);
+                true
+            } else {
+                false
+            }
+        }
+        fn delete(&self, key: Key) -> Option<Val> {
+            self.0.lock().unwrap().remove(&key)
+        }
+        fn len(&self) -> usize {
+            self.0.lock().unwrap().len()
+        }
+    }
+
+    struct MutexQueue(Mutex<std::collections::VecDeque<Val>>);
+    impl ConcurrentQueue for MutexQueue {
+        fn enqueue(&self, val: Val) {
+            self.0.lock().unwrap().push_back(val);
+        }
+        fn dequeue(&self) -> Option<Val> {
+            self.0.lock().unwrap().pop_front()
+        }
+        fn len(&self) -> usize {
+            self.0.lock().unwrap().len()
+        }
+    }
+
+    #[test]
+    fn run_workers_returns_in_thread_order() {
+        let out = run_workers(4, Duration::from_millis(10), |ctx| ctx.tid * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn run_workers_stops_workers() {
+        let t0 = Instant::now();
+        let counts = run_workers(2, Duration::from_millis(50), |ctx| {
+            let mut n = 0u64;
+            while !ctx.should_stop() {
+                n += 1;
+            }
+            n
+        });
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn set_workload_net_count_matches_final_size() {
+        let set = MutexSet::new();
+        let w = Workload::paper(64, 20, false);
+        w.initial_fill(1, |k, v| set.insert(k, v));
+        assert_eq!(set.len(), 64);
+
+        let res = run_set_workload(4, Duration::from_millis(100), &w, 2, false, |_| &set);
+        assert!(res.counts.total() > 0);
+        let expected = 64i64 + res.counts.net_inserted();
+        assert_eq!(set.len() as i64, expected, "counts vs final size");
+    }
+
+    #[test]
+    fn set_workload_latency_recording_collects_samples() {
+        let set = MutexSet::new();
+        let w = Workload::paper(16, 20, false);
+        w.initial_fill(1, |k, v| set.insert(k, v));
+        let res = run_set_workload(2, Duration::from_millis(50), &w, 3, true, |_| &set);
+        let any = OpKind::ALL.iter().any(|&k| res.latency.count(k) > 0);
+        assert!(any, "some latency samples must exist");
+        assert!(res.mops() > 0.0);
+    }
+
+    #[test]
+    fn queue_workload_counts_balance() {
+        let q = MutexQueue(Mutex::new(std::collections::VecDeque::new()));
+        for i in 0..100 {
+            q.enqueue(i);
+        }
+        let res = run_queue_workload(&q, 4, Duration::from_millis(100), 50, 4, false);
+        let expected = 100i64 + res.counts.enqueue as i64 - res.counts.dequeue_suc as i64;
+        assert_eq!(q.len() as i64, expected);
+    }
+}

@@ -1,0 +1,89 @@
+//! Small statistics helpers: the paper reports "the median value of 11
+//! repetitions of 5 seconds each".
+
+/// Default repetition count from the paper (scaled down by most benches).
+pub const PAPER_REPETITIONS: usize = 11;
+
+/// Median of a sample (averaging the middle pair for even sizes).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn median(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of empty sample");
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Arithmetic mean.
+pub fn mean(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "mean of empty sample");
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// Sample standard deviation (n-1 denominator); 0 for a single sample.
+pub fn stddev(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(samples);
+    let var = samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Runs `reps` repetitions of a measurement and returns the median —
+/// the paper's reporting rule.
+pub fn median_of_reps(reps: usize, mut measure: impl FnMut(usize) -> f64) -> f64 {
+    assert!(reps > 0);
+    let samples: Vec<f64> = (0..reps).map(&mut measure).collect();
+    median(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn median_is_robust_to_outliers() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0, 1e9]), 3.0);
+    }
+
+    #[test]
+    fn mean_and_stddev() {
+        let s = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&s), 5.0);
+        let sd = stddev(&s);
+        assert!((sd - 2.138).abs() < 0.01, "{sd}");
+        assert_eq!(stddev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn median_of_reps_runs_all_reps() {
+        let mut calls = 0;
+        let m = median_of_reps(5, |i| {
+            calls += 1;
+            i as f64
+        });
+        assert_eq!(calls, 5);
+        assert_eq!(m, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn median_empty_panics() {
+        let _ = median(&[]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Workload specification and operation generation (§5 methodology).
+
+use crate::api::{Key, Val};
+use crate::rng::FastRng;
+use crate::zipf::Zipf;
+
+/// One generated operation against a search data structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Look up a key.
+    Search(Key),
+    /// Insert a key–value pair.
+    Insert(Key, Val),
+    /// Delete a key.
+    Delete(Key),
+}
+
+/// Issued operation mix, in permille of issued operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Permille of issued operations that are insertions.
+    pub insert_pm: u32,
+    /// Permille of issued operations that are deletions.
+    pub delete_pm: u32,
+}
+
+impl OpMix {
+    /// Permille of issued operations that are searches.
+    pub fn search_pm(&self) -> u32 {
+        1000 - self.insert_pm - self.delete_pm
+    }
+}
+
+/// A search-data-structure workload in the paper's parameterization.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Target steady-state element count; the structure is pre-filled to
+    /// this size.
+    pub initial_size: u64,
+    /// Inclusive key range `[lo, hi]`. The paper keeps `hi - lo + 1 ==
+    /// 2 * initial_size` so half the key space is absent at any time.
+    pub key_lo: Key,
+    /// See [`Workload::key_lo`].
+    pub key_hi: Key,
+    /// *Effective* update percentage as reported in the paper's figures
+    /// (issued updates are double this; see
+    /// [`Workload::issued_update_permille`]).
+    pub effective_update_pct: u32,
+    /// Zipfian sampler for skewed workloads (`None` = uniform).
+    pub zipf: Option<Zipf>,
+}
+
+impl Workload {
+    /// Builds the paper's standard workload: key range double the initial
+    /// size (starting at key 1), equal insert/delete rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_size == 0` or `effective_update_pct > 50`.
+    pub fn paper(initial_size: u64, effective_update_pct: u32, skewed: bool) -> Self {
+        assert!(initial_size > 0, "initial size must be positive");
+        assert!(
+            effective_update_pct <= 50,
+            "effective updates cap at 50% (issued = 2x reported)"
+        );
+        let key_lo = 1;
+        let key_hi = 2 * initial_size;
+        let zipf = skewed.then(|| Zipf::paper((key_hi - key_lo + 1) as usize));
+        Self {
+            initial_size,
+            key_lo,
+            key_hi,
+            effective_update_pct,
+            zipf,
+        }
+    }
+
+    /// Number of keys in the range.
+    pub fn range_len(&self) -> u64 {
+        self.key_hi - self.key_lo + 1
+    }
+
+    /// Issued updates per mille: double the effective rate, split evenly
+    /// between inserts and deletes ("we keep ... the percentages of
+    /// insertions and deletions the same").
+    pub fn issued_update_permille(&self) -> OpMix {
+        let issued_total = 2 * self.effective_update_pct * 10; // pct -> permille
+        OpMix {
+            insert_pm: issued_total / 2,
+            delete_pm: issued_total / 2,
+        }
+    }
+
+    /// Draws a key from the configured distribution.
+    #[inline]
+    pub fn sample_key(&self, rng: &mut FastRng) -> Key {
+        match &self.zipf {
+            Some(z) => z.sample_key(rng, self.key_lo, self.key_hi),
+            None => rng.range_inclusive(self.key_lo, self.key_hi),
+        }
+    }
+
+    /// Draws the next operation. Values are derived from keys (`val = key`)
+    /// as in the paper's microbenchmarks.
+    #[inline]
+    pub fn next_op(&self, rng: &mut FastRng) -> Op {
+        let mix = self.issued_update_permille();
+        let p = rng.next_below(1000) as u32;
+        let key = self.sample_key(rng);
+        if p < mix.insert_pm {
+            Op::Insert(key, key)
+        } else if p < mix.insert_pm + mix.delete_pm {
+            Op::Delete(key)
+        } else {
+            Op::Search(key)
+        }
+    }
+
+    /// Pre-fills a structure to `initial_size` distinct uniform keys by
+    /// calling `insert` (which must return whether the key was new).
+    ///
+    /// Uniform *regardless of skew*: the paper initializes to a target size
+    /// and lets the skewed access pattern drive steady state.
+    pub fn initial_fill(&self, seed: u64, mut insert: impl FnMut(Key, Val) -> bool) {
+        let mut rng = FastRng::new(seed ^ 0xF111_0F11);
+        let mut inserted = 0;
+        while inserted < self.initial_size {
+            let k = rng.range_inclusive(self.key_lo, self.key_hi);
+            if insert(k, k) {
+                inserted += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workload_has_double_range() {
+        let w = Workload::paper(1024, 20, false);
+        assert_eq!(w.range_len(), 2048);
+        assert_eq!(w.key_lo, 1);
+        assert_eq!(w.key_hi, 2048);
+    }
+
+    #[test]
+    fn issued_updates_are_double_effective() {
+        let w = Workload::paper(64, 20, false);
+        let mix = w.issued_update_permille();
+        assert_eq!(mix.insert_pm, 200);
+        assert_eq!(mix.delete_pm, 200);
+        assert_eq!(mix.search_pm(), 600);
+    }
+
+    #[test]
+    fn zero_update_workload_only_searches() {
+        let w = Workload::paper(64, 0, false);
+        let mut rng = FastRng::new(9);
+        for _ in 0..1000 {
+            assert!(matches!(w.next_op(&mut rng), Op::Search(_)));
+        }
+    }
+
+    #[test]
+    fn op_mix_matches_spec_empirically() {
+        let w = Workload::paper(256, 10, false);
+        let mut rng = FastRng::new(10);
+        let (mut ins, mut del, mut srch) = (0u32, 0u32, 0u32);
+        const N: u32 = 100_000;
+        for _ in 0..N {
+            match w.next_op(&mut rng) {
+                Op::Insert(..) => ins += 1,
+                Op::Delete(_) => del += 1,
+                Op::Search(_) => srch += 1,
+            }
+        }
+        // Expect 10% / 10% / 80% of issued ops.
+        assert!((ins as f64 / N as f64 - 0.10).abs() < 0.01, "ins {ins}");
+        assert!((del as f64 / N as f64 - 0.10).abs() < 0.01, "del {del}");
+        assert!((srch as f64 / N as f64 - 0.80).abs() < 0.01, "srch {srch}");
+    }
+
+    #[test]
+    fn keys_stay_in_range_uniform_and_skewed() {
+        for skewed in [false, true] {
+            let w = Workload::paper(128, 20, skewed);
+            let mut rng = FastRng::new(11);
+            for _ in 0..10_000 {
+                let k = w.sample_key(&mut rng);
+                assert!((w.key_lo..=w.key_hi).contains(&k));
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_prefers_large_keys() {
+        let w = Workload::paper(512, 20, true);
+        let mut rng = FastRng::new(12);
+        let mid = (w.key_lo + w.key_hi) / 2;
+        let mut high = 0u32;
+        const N: u32 = 20_000;
+        for _ in 0..N {
+            if w.sample_key(&mut rng) > mid {
+                high += 1;
+            }
+        }
+        assert!(
+            high as f64 / N as f64 > 0.6,
+            "upper half should dominate: {high}/{N}"
+        );
+    }
+
+    #[test]
+    fn initial_fill_reaches_target_size() {
+        let w = Workload::paper(100, 20, false);
+        let mut set = std::collections::HashSet::new();
+        w.initial_fill(33, |k, _| set.insert(k));
+        assert_eq!(set.len(), 100);
+        assert!(set.iter().all(|&k| (1..=200).contains(&k)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cap at 50%")]
+    fn over_fifty_percent_updates_rejected() {
+        let _ = Workload::paper(10, 51, false);
+    }
+}

@@ -1,0 +1,179 @@
+//! Zipfian key distribution (§5: "a zipfian distribution of keys with
+//! a = 0.9, where the largest keys are the most popular").
+//!
+//! Rank `r` (1-based) has probability proportional to `1 / r^a`. Rank 1 —
+//! the most popular — is mapped to the **largest** key of the range, rank 2
+//! to the second largest, and so on, matching the paper's skew direction.
+//!
+//! Implementation: a precomputed cumulative table + binary search. Exact
+//! (no rejection), O(log n) per draw, and the table is shared read-only
+//! between threads.
+
+use crate::rng::FastRng;
+
+/// The paper's skew parameter.
+pub const PAPER_ALPHA: f64 = 0.9;
+
+/// A zipfian sampler over `n` ranks.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// cdf[i] = P(rank <= i+1), monotonically increasing to 1.0.
+    cdf: Box<[f64]>,
+}
+
+impl Zipf {
+    /// Builds a sampler for `n` ranks with exponent `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is negative/non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(alpha.is_finite() && alpha >= 0.0, "bad alpha {alpha}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 1..=n {
+            acc += 1.0 / (r as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point undershoot at the end.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Self {
+            cdf: cdf.into_boxed_slice(),
+        }
+    }
+
+    /// Builds the paper's sampler (`alpha = 0.9`) over `n` ranks.
+    pub fn paper(n: usize) -> Self {
+        Self::new(n, PAPER_ALPHA)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is empty (never true: `n > 0` enforced).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `[1, n]`; rank 1 is the most popular.
+    #[inline]
+    pub fn sample_rank(&self, rng: &mut FastRng) -> usize {
+        let u = rng.next_f64();
+        // First index whose cdf >= u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN in cdf"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i + 1,
+        }
+    }
+
+    /// Draws a key in `[lo, hi]`, mapping rank 1 → `hi` (largest keys most
+    /// popular, as in the paper).
+    ///
+    /// The sampler must have been built with `n == hi - lo + 1` ranks.
+    #[inline]
+    pub fn sample_key(&self, rng: &mut FastRng, lo: u64, hi: u64) -> u64 {
+        debug_assert_eq!(self.cdf.len() as u64, hi - lo + 1);
+        let rank = self.sample_rank(rng) as u64; // 1 = most popular
+        hi - (rank - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_stay_in_bounds() {
+        let z = Zipf::paper(100);
+        let mut rng = FastRng::new(1);
+        for _ in 0..10_000 {
+            let r = z.sample_rank(&mut rng);
+            assert!((1..=100).contains(&r));
+        }
+    }
+
+    #[test]
+    fn rank_one_is_most_frequent() {
+        let z = Zipf::paper(64);
+        let mut rng = FastRng::new(2);
+        let mut counts = vec![0usize; 65];
+        for _ in 0..100_000 {
+            counts[z.sample_rank(&mut rng)] += 1;
+        }
+        let max = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
+        assert_eq!(max, 1, "rank 1 must dominate: {counts:?}");
+        // Monotone-ish decay: rank 1 well above rank 32.
+        assert!(counts[1] > counts[32] * 2);
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = Zipf::new(8, 0.0);
+        let mut rng = FastRng::new(3);
+        let mut counts = [0usize; 9];
+        const DRAWS: usize = 80_000;
+        for _ in 0..DRAWS {
+            counts[z.sample_rank(&mut rng)] += 1;
+        }
+        let expected = DRAWS / 8;
+        for (r, &count) in counts.iter().enumerate().skip(1) {
+            let c = count as f64;
+            assert!(
+                c > expected as f64 * 0.9 && c < expected as f64 * 1.1,
+                "rank {r} count {c} not uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn keys_map_largest_most_popular() {
+        let z = Zipf::paper(16);
+        let mut rng = FastRng::new(4);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..50_000 {
+            let k = z.sample_key(&mut rng, 100, 115);
+            assert!((100..=115).contains(&k));
+            *counts.entry(k).or_insert(0usize) += 1;
+        }
+        let most = counts.iter().max_by_key(|(_, &c)| c).unwrap();
+        assert_eq!(*most.0, 115, "largest key must be most popular");
+    }
+
+    #[test]
+    fn empirical_frequencies_match_zipf_pmf() {
+        let n = 32;
+        let alpha = 0.9;
+        let z = Zipf::new(n, alpha);
+        let mut rng = FastRng::new(5);
+        const DRAWS: usize = 400_000;
+        let mut counts = vec![0usize; n + 1];
+        for _ in 0..DRAWS {
+            counts[z.sample_rank(&mut rng)] += 1;
+        }
+        let h: f64 = (1..=n).map(|r| 1.0 / (r as f64).powf(alpha)).sum();
+        for r in [1usize, 2, 4, 8, 16, 32] {
+            let expected = DRAWS as f64 / (r as f64).powf(alpha) / h;
+            let got = counts[r] as f64;
+            assert!(
+                (got - expected).abs() < expected * 0.15 + 30.0,
+                "rank {r}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::paper(0);
+    }
+}

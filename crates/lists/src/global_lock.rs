@@ -1,0 +1,211 @@
+//! Global-lock list with non-synchronized searches (*mcs-gl-opt*, §5.1).
+//!
+//! "An easy optimization on the global-lock algorithm is to implement the
+//! search operation so that it does not acquire the lock (given that memory
+//! reclamation is properly handled). The linearization point of updates is
+//! then the actual memory writes that access the predecessor node."
+//!
+//! Updates serialize behind one MCS lock; searches traverse lock-free and
+//! rely on QSBR for safety.
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+use synchro::McsLock;
+
+use crate::{assert_user_key, ConcurrentSet, Key, Val, TAIL_KEY};
+
+struct Node {
+    key: Key,
+    val: Val,
+    next: AtomicPtr<Node>,
+}
+
+impl Node {
+    fn boxed(key: Key, val: Val, next: *mut Node) -> *mut Node {
+        Box::into_raw(Box::new(Node {
+            key,
+            val,
+            next: AtomicPtr::new(next),
+        }))
+    }
+}
+
+/// The MCS global-lock list with lock-free searches (*mcs-gl-opt*).
+pub struct GlobalLockList {
+    lock: McsLock,
+    head: *mut Node,
+}
+
+// SAFETY: updates are serialized by the MCS lock; searches only read
+// QSBR-protected nodes through atomic next pointers.
+unsafe impl Send for GlobalLockList {}
+unsafe impl Sync for GlobalLockList {}
+
+impl GlobalLockList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        let tail = Node::boxed(TAIL_KEY, 0, std::ptr::null_mut());
+        let head = Node::boxed(crate::HEAD_KEY, 0, tail);
+        Self {
+            lock: McsLock::new(),
+            head,
+        }
+    }
+
+    /// Finds `(pred, cur)` with `pred.key < key <= cur.key`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be inside a QSBR grace period.
+    #[inline]
+    unsafe fn locate(&self, key: Key) -> (*mut Node, *mut Node) {
+        // SAFETY: per contract.
+        unsafe {
+            let mut pred = self.head;
+            let mut cur = (*pred).next.load(Ordering::Acquire);
+            while (*cur).key < key {
+                pred = cur;
+                cur = (*cur).next.load(Ordering::Acquire);
+            }
+            (pred, cur)
+        }
+    }
+}
+
+impl Default for GlobalLockList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConcurrentSet for GlobalLockList {
+    fn search(&self, key: Key) -> Option<Val> {
+        assert_user_key(key);
+        reclaim::quiescent();
+        // Lock-free: the "opt" in mcs-gl-opt.
+        // SAFETY: QSBR grace period.
+        unsafe {
+            let (_, cur) = self.locate(key);
+            ((*cur).key == key).then(|| (*cur).val)
+        }
+    }
+
+    fn insert(&self, key: Key, val: Val) -> bool {
+        assert_user_key(key);
+        reclaim::quiescent();
+        self.lock.with(|| {
+            // SAFETY: the global lock serializes all updates; QSBR covers
+            // the traversal against... nothing can change under the lock.
+            unsafe {
+                let (pred, cur) = self.locate(key);
+                if (*cur).key == key {
+                    return false;
+                }
+                let newnode = Node::boxed(key, val, cur);
+                (*pred).next.store(newnode, Ordering::Release);
+                true
+            }
+        })
+    }
+
+    fn delete(&self, key: Key) -> Option<Val> {
+        assert_user_key(key);
+        reclaim::quiescent();
+        self.lock.with(|| {
+            // SAFETY: updates serialized by the global lock.
+            unsafe {
+                let (pred, cur) = self.locate(key);
+                if (*cur).key != key {
+                    return None;
+                }
+                (*pred)
+                    .next
+                    .store((*cur).next.load(Ordering::Relaxed), Ordering::Release);
+                let val = (*cur).val;
+                // SAFETY: unlinked; concurrent searches may still hold it —
+                // hence retire, not free.
+                reclaim::with_local(|h| h.retire(cur));
+                Some(val)
+            }
+        })
+    }
+
+    fn len(&self) -> usize {
+        reclaim::quiescent();
+        // SAFETY: QSBR grace period.
+        unsafe {
+            let mut n = 0;
+            let mut cur = (*self.head).next.load(Ordering::Acquire);
+            while (*cur).key != TAIL_KEY {
+                n += 1;
+                cur = (*cur).next.load(Ordering::Acquire);
+            }
+            n
+        }
+    }
+}
+
+impl Drop for GlobalLockList {
+    fn drop(&mut self) {
+        let mut cur = self.head;
+        while !cur.is_null() {
+            // SAFETY: exclusive access at drop.
+            let next = unsafe { (*cur).next.load(Ordering::Relaxed) };
+            // SAFETY: chain nodes are uniquely owned here.
+            unsafe { drop(Box::from_raw(cur)) };
+            cur = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_roundtrip() {
+        let l = GlobalLockList::new();
+        assert!(l.insert(3, 30));
+        assert!(l.insert(1, 10));
+        assert!(!l.insert(3, 31));
+        assert_eq!(l.search(1), Some(10));
+        assert_eq!(l.delete(3), Some(30));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn readers_survive_concurrent_deletes() {
+        let l = Arc::new(GlobalLockList::new());
+        for k in 1..=1000u64 {
+            l.insert(k, k);
+        }
+        let mut handles = Vec::new();
+        // Deleter removes everything.
+        {
+            let l = Arc::clone(&l);
+            handles.push(std::thread::spawn(move || {
+                for k in 1..=1000u64 {
+                    assert_eq!(l.delete(k), Some(k));
+                }
+            }));
+        }
+        // Readers hammer searches through the shrinking list.
+        for _ in 0..6 {
+            let l = Arc::clone(&l);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    for k in (1..=1000u64).step_by(97) {
+                        if let Some(v) = l.search(k) {
+                            assert_eq!(v, k);
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(l.is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Sequential sorted linked list: baseline and oracle.
+
+use std::cell::UnsafeCell;
+
+use crate::{assert_user_key, ConcurrentSet, Key, Val};
+
+struct Node {
+    key: Key,
+    val: Val,
+    next: Option<Box<Node>>,
+}
+
+/// A plain single-threaded sorted list.
+///
+/// Implements [`ConcurrentSet`] for interface uniformity, but concurrent use
+/// must be externally serialized (it is the oracle for the cross tests and
+/// the "what the concurrent lists are derived from" baseline of §5.1).
+pub struct SeqList {
+    head: UnsafeCell<Option<Box<Node>>>,
+    len: UnsafeCell<usize>,
+}
+
+// SAFETY: users serialize access externally (struct contract).
+unsafe impl Send for SeqList {}
+unsafe impl Sync for SeqList {}
+
+impl SeqList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self {
+            head: UnsafeCell::new(None),
+            len: UnsafeCell::new(0),
+        }
+    }
+
+    #[allow(clippy::mut_from_ref)]
+    fn head_mut(&self) -> &mut Option<Box<Node>> {
+        // SAFETY: externally serialized (struct contract).
+        unsafe { &mut *self.head.get() }
+    }
+}
+
+impl Default for SeqList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConcurrentSet for SeqList {
+    fn search(&self, key: Key) -> Option<Val> {
+        assert_user_key(key);
+        let mut cur = self.head_mut().as_deref();
+        while let Some(n) = cur {
+            if n.key >= key {
+                return (n.key == key).then_some(n.val);
+            }
+            cur = n.next.as_deref();
+        }
+        None
+    }
+
+    fn insert(&self, key: Key, val: Val) -> bool {
+        assert_user_key(key);
+        let mut slot = self.head_mut();
+        loop {
+            match slot {
+                Some(n) if n.key < key => {
+                    // Move to the next link.
+                    slot = &mut slot.as_mut().expect("checked Some").next;
+                }
+                Some(n) if n.key == key => return false,
+                _ => {
+                    let next = slot.take();
+                    *slot = Some(Box::new(Node { key, val, next }));
+                    // SAFETY: externally serialized.
+                    unsafe { *self.len.get() += 1 };
+                    return true;
+                }
+            }
+        }
+    }
+
+    fn delete(&self, key: Key) -> Option<Val> {
+        assert_user_key(key);
+        let mut slot = self.head_mut();
+        loop {
+            match slot {
+                Some(n) if n.key < key => {
+                    slot = &mut slot.as_mut().expect("checked Some").next;
+                }
+                Some(n) if n.key == key => {
+                    let mut removed = slot.take().expect("checked Some");
+                    *slot = removed.next.take();
+                    // SAFETY: externally serialized.
+                    unsafe { *self.len.get() -= 1 };
+                    return Some(removed.val);
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        // SAFETY: externally serialized.
+        unsafe { *self.len.get() }
+    }
+}
+
+impl Drop for SeqList {
+    fn drop(&mut self) {
+        // Iterative teardown: avoid recursive Box drops on long lists.
+        let mut cur = self.head_mut().take();
+        while let Some(mut n) = cur {
+            cur = n.next.take();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn keeps_sorted_order_internally() {
+        let l = SeqList::new();
+        for k in [5u64, 1, 9, 3, 7] {
+            assert!(l.insert(k, k * 10));
+        }
+        // Walk and check sortedness.
+        let mut cur = l.head_mut().as_deref();
+        let mut prev = 0;
+        while let Some(n) = cur {
+            assert!(n.key > prev);
+            prev = n.key;
+            cur = n.next.as_deref();
+        }
+        assert_eq!(prev, 9);
+    }
+
+    #[test]
+    fn long_list_drop_does_not_overflow_stack() {
+        let l = SeqList::new();
+        for k in 1..=200_000u64 {
+            assert!(l.insert(k, k));
+        }
+        drop(l); // must not blow the stack
+    }
+
+    proptest! {
+        #[test]
+        fn matches_btreemap(ops in proptest::collection::vec(
+            (0u8..3, 1u64..100), 1..300))
+        {
+            let l = SeqList::new();
+            let mut model = std::collections::BTreeMap::new();
+            for (op, k) in ops {
+                match op {
+                    0 => {
+                        let expect = !model.contains_key(&k);
+                        if expect { model.insert(k, k); }
+                        prop_assert_eq!(l.insert(k, k), expect);
+                    }
+                    1 => prop_assert_eq!(l.delete(k), model.remove(&k)),
+                    _ => prop_assert_eq!(l.search(k), model.get(&k).copied()),
+                }
+                prop_assert_eq!(l.len(), model.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The Michael-Scott lock-free queue [39] (*ms-lf* in Figure 12).
+
+use std::sync::atomic::Ordering;
+
+use synchro::{Backoff, CachePadded};
+
+use crate::node::{drop_chain, Node};
+use crate::{ConcurrentQueue, Val};
+
+use std::sync::atomic::AtomicPtr;
+
+/// The classic lock-free MS queue.
+pub struct MsLfQueue {
+    head: CachePadded<AtomicPtr<Node>>,
+    tail: CachePadded<AtomicPtr<Node>>,
+}
+
+// SAFETY: all mutation is CAS; dummies are retired through QSBR.
+unsafe impl Send for MsLfQueue {}
+unsafe impl Sync for MsLfQueue {}
+
+impl MsLfQueue {
+    /// Creates an empty queue (a single dummy node).
+    pub fn new() -> Self {
+        let dummy = Node::boxed(0);
+        Self {
+            head: CachePadded::new(AtomicPtr::new(dummy)),
+            tail: CachePadded::new(AtomicPtr::new(dummy)),
+        }
+    }
+}
+
+impl Default for MsLfQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConcurrentQueue for MsLfQueue {
+    fn enqueue(&self, val: Val) {
+        reclaim::quiescent();
+        let node = Node::boxed(val);
+        let mut bo = Backoff::new();
+        // SAFETY: QSBR grace period; nodes reached via head/tail/next are
+        // alive until our next quiescent point.
+        unsafe {
+            loop {
+                let tail = self.tail.load(Ordering::Acquire);
+                let next = (*tail).next.load(Ordering::Acquire);
+                if tail != self.tail.load(Ordering::Acquire) {
+                    continue; // inconsistent snapshot
+                }
+                if next.is_null() {
+                    if (*tail)
+                        .next
+                        .compare_exchange(
+                            std::ptr::null_mut(),
+                            node,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        // Swing tail (failure is fine: someone helped).
+                        let _ = self.tail.compare_exchange(
+                            tail,
+                            node,
+                            Ordering::AcqRel,
+                            Ordering::Relaxed,
+                        );
+                        return;
+                    }
+                    bo.backoff();
+                } else {
+                    // Help a lagging tail forward.
+                    let _ = self.tail.compare_exchange(
+                        tail,
+                        next,
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    );
+                }
+            }
+        }
+    }
+
+    fn dequeue(&self) -> Option<Val> {
+        reclaim::quiescent();
+        let mut bo = Backoff::new();
+        // SAFETY: QSBR grace period.
+        unsafe {
+            loop {
+                let head = self.head.load(Ordering::Acquire);
+                let tail = self.tail.load(Ordering::Acquire);
+                let next = (*head).next.load(Ordering::Acquire);
+                if head != self.head.load(Ordering::Acquire) {
+                    continue;
+                }
+                if head == tail {
+                    if next.is_null() {
+                        return None;
+                    }
+                    // Tail lagging; help.
+                    let _ = self.tail.compare_exchange(
+                        tail,
+                        next,
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    );
+                    continue;
+                }
+                // Read value before the CAS (the paper's original order:
+                // after winning, `next` becomes the new dummy).
+                let val = (*next).val;
+                if self
+                    .head
+                    .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    // SAFETY: the old dummy is now unreachable from the
+                    // queue; concurrent snapshots retain it via QSBR.
+                    reclaim::with_local(|h| h.retire(head));
+                    return Some(val);
+                }
+                bo.backoff();
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        reclaim::quiescent();
+        // SAFETY: grace period traversal.
+        unsafe {
+            let mut n = 0;
+            let mut cur = (*self.head.load(Ordering::Acquire))
+                .next
+                .load(Ordering::Acquire);
+            while !cur.is_null() {
+                n += 1;
+                cur = (*cur).next.load(Ordering::Acquire);
+            }
+            n
+        }
+    }
+}
+
+impl Drop for MsLfQueue {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; the chain from the dummy is owned.
+        unsafe { drop_chain(self.head.load(Ordering::Relaxed)) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_basics() {
+        let q = MsLfQueue::new();
+        assert_eq!(q.dequeue(), None);
+        q.enqueue(1);
+        q.enqueue(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn mpmc_drains_exactly() {
+        let q = Arc::new(MsLfQueue::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25_000u64 {
+                    q.enqueue(t * 100_000 + i);
+                }
+            }));
+        }
+        let drained = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut consumers = Vec::new();
+        for _ in 0..4 {
+            let q = Arc::clone(&q);
+            let drained = Arc::clone(&drained);
+            let done = Arc::clone(&done);
+            consumers.push(std::thread::spawn(move || loop {
+                if q.dequeue().is_some() {
+                    drained.fetch_add(1, Ordering::Relaxed);
+                } else if done.load(Ordering::Acquire) && q.dequeue().is_none() {
+                    break;
+                }
+            }));
+        }
+        reclaim::offline_while(|| {
+            for h in handles {
+                h.join().unwrap();
+            }
+            done.store(true, Ordering::Release);
+            for c in consumers {
+                c.join().unwrap();
+            }
+        });
+        assert_eq!(drained.load(Ordering::Relaxed), 100_000);
+        assert!(q.is_empty());
+    }
+}

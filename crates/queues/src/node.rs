@@ -1,0 +1,39 @@
+//! Shared queue node.
+
+use std::sync::atomic::AtomicPtr;
+
+use optik_harness::api::Val;
+
+pub(crate) struct Node {
+    pub(crate) val: Val,
+    pub(crate) next: AtomicPtr<Node>,
+    /// Victim-queue visibility flag: set once the node has been spliced
+    /// into the main queue (see `victim.rs`). Unused by the other queues.
+    pub(crate) visible: std::sync::atomic::AtomicBool,
+}
+
+impl Node {
+    pub(crate) fn boxed(val: Val) -> *mut Node {
+        Box::into_raw(Box::new(Node {
+            val,
+            next: AtomicPtr::new(std::ptr::null_mut()),
+            visible: std::sync::atomic::AtomicBool::new(false),
+        }))
+    }
+}
+
+/// Frees an entire dummy-headed chain; for `Drop` impls (exclusive access).
+///
+/// # Safety
+///
+/// `head` must be the start of an exclusively-owned chain of Box nodes.
+pub(crate) unsafe fn drop_chain(head: *mut Node) {
+    let mut cur = head;
+    while !cur.is_null() {
+        // SAFETY: exclusive ownership per contract.
+        let next = unsafe { (*cur).next.load(std::sync::atomic::Ordering::Relaxed) };
+        // SAFETY: as above.
+        unsafe { drop(Box::from_raw(cur)) };
+        cur = next;
+    }
+}

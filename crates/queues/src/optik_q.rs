@@ -1,0 +1,417 @@
+//! The three OPTIK-optimized Michael-Scott queue variants (§5.4).
+//!
+//! All three share the same idea on the dequeue side: the dequeue is
+//! *prepared optimistically* — read the dummy, its successor, and the
+//! value with no lock held — and the OPTIK lock is then acquired with
+//! validation, so "if the validation succeeds, only a single store is
+//! performed in the critical section":
+//!
+//! - [`OptikQueue0`]: blocking `lock_version`; on validation failure the
+//!   dequeue is re-prepared inside the critical section (classic fallback).
+//! - [`OptikQueue1`]: non-blocking `try_lock_version`; on failure the whole
+//!   operation restarts — never waits behind the lock just to fail.
+//! - [`OptikQueue2`]: same dequeue as optik1, but the enqueue side is the
+//!   *lock-free* MS enqueue, "because the enqueue operations do not offer
+//!   any opportunities for optimism".
+//!
+//! Empty dequeues return without any synchronization. Dequeued dummies are
+//! retired via QSBR because concurrent preparations read them unlocked.
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+use optik::{OptikLock, OptikVersioned};
+use synchro::{Backoff, CachePadded, McsLock};
+
+use crate::node::{drop_chain, Node};
+use crate::{ConcurrentQueue, Val};
+
+/// Common state: MS list + OPTIK head lock + (optionally used) tail lock.
+struct Core {
+    head_lock: CachePadded<OptikVersioned>,
+    tail_lock: CachePadded<McsLock>,
+    head: CachePadded<AtomicPtr<Node>>,
+    tail: CachePadded<AtomicPtr<Node>>,
+}
+
+// SAFETY: head updates go through the OPTIK lock, tail updates through the
+// MCS lock or MS CAS protocol; QSBR protects unlocked reads.
+unsafe impl Send for Core {}
+unsafe impl Sync for Core {}
+
+impl Core {
+    fn new() -> Self {
+        let dummy = Node::boxed(0);
+        Self {
+            head_lock: CachePadded::new(OptikVersioned::new()),
+            tail_lock: CachePadded::new(McsLock::new()),
+            head: CachePadded::new(AtomicPtr::new(dummy)),
+            tail: CachePadded::new(AtomicPtr::new(dummy)),
+        }
+    }
+
+    /// Lock-based enqueue (the ms-lb side).
+    fn enqueue_locked(&self, val: Val) {
+        let node = Node::boxed(val);
+        self.tail_lock.with(|| {
+            // SAFETY: tail serialized by tail_lock; see mslb.rs.
+            unsafe {
+                let tail = self.tail.load(Ordering::Relaxed);
+                (*tail).next.store(node, Ordering::Release);
+                self.tail.store(node, Ordering::Release);
+            }
+        });
+    }
+
+    /// Lock-free MS enqueue (the ms-lf side).
+    fn enqueue_lockfree(&self, val: Val) {
+        let node = Node::boxed(val);
+        let mut bo = Backoff::new();
+        // SAFETY: QSBR grace period.
+        unsafe {
+            loop {
+                let tail = self.tail.load(Ordering::Acquire);
+                let next = (*tail).next.load(Ordering::Acquire);
+                if tail != self.tail.load(Ordering::Acquire) {
+                    continue;
+                }
+                if next.is_null() {
+                    if (*tail)
+                        .next
+                        .compare_exchange(
+                            std::ptr::null_mut(),
+                            node,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        let _ = self.tail.compare_exchange(
+                            tail,
+                            node,
+                            Ordering::AcqRel,
+                            Ordering::Relaxed,
+                        );
+                        return;
+                    }
+                    bo.backoff();
+                } else {
+                    let _ = self.tail.compare_exchange(
+                        tail,
+                        next,
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Optimistic dequeue preparation: `(version, dummy, next, val)`, or
+    /// `None` when the queue is observed empty (no synchronization).
+    ///
+    /// `help_tail` must be true when enqueues are lock-free (the tail may
+    /// lag onto the dummy we are about to retire).
+    ///
+    /// # Safety
+    ///
+    /// QSBR grace period.
+    unsafe fn prepare(&self, help_tail: bool) -> Result<(optik::Version, *mut Node, *mut Node, Val), Option<Val>> {
+        // SAFETY: per contract.
+        unsafe {
+            let v = self.head_lock.get_version();
+            if OptikVersioned::is_locked_version(v) {
+                core::hint::spin_loop();
+                return Err(Some(0)); // sentinel: retry
+            }
+            let dummy = self.head.load(Ordering::Acquire);
+            let next = (*dummy).next.load(Ordering::Acquire);
+            if next.is_null() {
+                return Err(None); // observed empty
+            }
+            if help_tail && dummy == self.tail.load(Ordering::Acquire) {
+                // The lock-free enqueue's tail swing is pending; help it
+                // past the dummy before we retire the dummy.
+                let _ = self.tail.compare_exchange(
+                    dummy,
+                    next,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                );
+            }
+            let val = (*next).val;
+            Ok((v, dummy, next, val))
+        }
+    }
+
+    /// Commits a validated dequeue: the "single store" of the paper.
+    ///
+    /// # Safety
+    ///
+    /// Caller holds the head OPTIK lock with a validated version.
+    unsafe fn commit(&self, dummy: *mut Node, next: *mut Node) {
+        self.head.store(next, Ordering::Release);
+        self.head_lock.unlock();
+        // SAFETY: dummy unreachable from the queue; retired once by the
+        // committing dequeuer.
+        unsafe { reclaim::with_local(|h| h.retire(dummy)) };
+    }
+
+    fn len(&self) -> usize {
+        // SAFETY: grace-period traversal.
+        unsafe {
+            let mut n = 0;
+            let mut cur = (*self.head.load(Ordering::Acquire))
+                .next
+                .load(Ordering::Acquire);
+            while !cur.is_null() {
+                n += 1;
+                cur = (*cur).next.load(Ordering::Acquire);
+            }
+            n
+        }
+    }
+}
+
+impl Drop for Core {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access.
+        unsafe { drop_chain(self.head.load(Ordering::Relaxed)) };
+    }
+}
+
+macro_rules! queue_wrapper {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        pub struct $name {
+            core: Core,
+        }
+
+        impl $name {
+            /// Creates an empty queue.
+            pub fn new() -> Self {
+                Self { core: Core::new() }
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+    };
+}
+
+queue_wrapper!(
+    /// *optik0*: blocking `lock_version` dequeue with in-critical-section
+    /// fallback; lock-based enqueue.
+    OptikQueue0
+);
+
+queue_wrapper!(
+    /// *optik1*: `try_lock_version` dequeue (restart on failure);
+    /// lock-based enqueue.
+    OptikQueue1
+);
+
+queue_wrapper!(
+    /// *optik2*: `try_lock_version` dequeue + lock-free MS enqueue — the
+    /// variant that "behaves practically the same as ms-lf, showing that
+    /// the simple CAS validation of OPTIK locks does resemble
+    /// lock-freedom".
+    OptikQueue2
+);
+
+impl ConcurrentQueue for OptikQueue0 {
+    fn enqueue(&self, val: Val) {
+        reclaim::quiescent();
+        self.core.enqueue_locked(val);
+    }
+
+    fn dequeue(&self) -> Option<Val> {
+        reclaim::quiescent();
+        loop {
+            // SAFETY: grace period.
+            unsafe {
+                match self.core.prepare(false) {
+                    Err(None) => return None,
+                    Err(Some(_)) => continue, // lock observed held
+                    Ok((v, dummy, next, val)) => {
+                        if self.core.head_lock.lock_version(v) {
+                            // Validated: single-store critical section.
+                            self.core.commit(dummy, next);
+                            return Some(val);
+                        }
+                        // Validation failed: full dequeue inside the CS.
+                        let dummy = self.core.head.load(Ordering::Relaxed);
+                        let next = (*dummy).next.load(Ordering::Acquire);
+                        if next.is_null() {
+                            self.core.head_lock.revert();
+                            return None;
+                        }
+                        let val = (*next).val;
+                        self.core.commit(dummy, next);
+                        return Some(val);
+                    }
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        reclaim::quiescent();
+        self.core.len()
+    }
+}
+
+impl ConcurrentQueue for OptikQueue1 {
+    fn enqueue(&self, val: Val) {
+        reclaim::quiescent();
+        self.core.enqueue_locked(val);
+    }
+
+    fn dequeue(&self) -> Option<Val> {
+        reclaim::quiescent();
+        let mut bo = Backoff::new();
+        loop {
+            // SAFETY: grace period.
+            unsafe {
+                match self.core.prepare(false) {
+                    Err(None) => return None,
+                    Err(Some(_)) => continue,
+                    Ok((v, dummy, next, val)) => {
+                        if self.core.head_lock.try_lock_version(v) {
+                            self.core.commit(dummy, next);
+                            return Some(val);
+                        }
+                        bo.backoff();
+                    }
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        reclaim::quiescent();
+        self.core.len()
+    }
+}
+
+impl ConcurrentQueue for OptikQueue2 {
+    fn enqueue(&self, val: Val) {
+        reclaim::quiescent();
+        self.core.enqueue_lockfree(val);
+    }
+
+    fn dequeue(&self) -> Option<Val> {
+        reclaim::quiescent();
+        let mut bo = Backoff::new();
+        loop {
+            // SAFETY: grace period.
+            unsafe {
+                match self.core.prepare(true) {
+                    Err(None) => return None,
+                    Err(Some(_)) => continue,
+                    Ok((v, dummy, next, val)) => {
+                        if self.core.head_lock.try_lock_version(v) {
+                            self.core.commit(dummy, next);
+                            return Some(val);
+                        }
+                        bo.backoff();
+                    }
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        reclaim::quiescent();
+        self.core.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn fifo_smoke<Q: ConcurrentQueue>(q: &Q) {
+        assert_eq!(q.dequeue(), None);
+        for i in 1..=50u64 {
+            q.enqueue(i);
+        }
+        assert_eq!(q.len(), 50);
+        for i in 1..=50u64 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn optik0_fifo() {
+        fifo_smoke(&OptikQueue0::new());
+    }
+
+    #[test]
+    fn optik1_fifo() {
+        fifo_smoke(&OptikQueue1::new());
+    }
+
+    #[test]
+    fn optik2_fifo() {
+        fifo_smoke(&OptikQueue2::new());
+    }
+
+    #[test]
+    fn optik2_tail_help_under_race() {
+        // Tail lag: lock-free enqueue + immediate dequeue from many
+        // threads; tail must never be left on a retired dummy.
+        let q = Arc::new(OptikQueue2::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                let mut balance = 0i64;
+                for i in 0..30_000u64 {
+                    q.enqueue(t * 1_000_000 + i);
+                    balance += 1;
+                    if q.dequeue().is_some() {
+                        balance -= 1;
+                    }
+                }
+                balance
+            }));
+        }
+        let balance: i64 = reclaim::offline_while(|| {
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(q.len() as i64, balance);
+        // Drain and verify emptiness behaves.
+        while q.dequeue().is_some() {}
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn optik0_fallback_path_is_exercised() {
+        // Heavy dequeue contention forces failed validations (and hence the
+        // in-critical-section fallback).
+        let q = Arc::new(OptikQueue0::new());
+        for i in 0..100_000u64 {
+            q.enqueue(i);
+        }
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                let mut got = 0u64;
+                while q.dequeue().is_some() {
+                    got += 1;
+                }
+                got
+            }));
+        }
+        let total: u64 = reclaim::offline_while(|| {
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, 100_000);
+    }
+}

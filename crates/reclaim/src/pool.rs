@@ -1,0 +1,342 @@
+//! Type-stable node pool.
+//!
+//! `ssmem`, the allocator the paper's structures use, is *type stable*:
+//! memory handed out for nodes of one structure is only ever recycled as
+//! nodes of the same structure, and is never unmapped while the allocator
+//! lives. The paper's node-caching optimization (§5.1) depends on this:
+//! a thread may keep a `(node pointer, version)` pair *across* operations,
+//! i.e. across quiescent points, and dereference it later. QSBR alone would
+//! make that a use-after-free; with a type-stable pool the dereference is
+//! always a read of a valid node, and OPTIK version validation rejects any
+//! node that was recycled in between.
+//!
+//! # Contract for pooled node types
+//!
+//! - `T` must not implement a meaningful `Drop` (asserted at construction):
+//!   slot contents are abandoned in place on recycle and at pool teardown.
+//! - Any field of `T` that a stale reader might inspect must be an atomic,
+//!   because recycling re-initializes slots through shared references while
+//!   stale readers may race with it. The pool returns `&T`; all mutation of
+//!   recycled slots therefore *has* to go through interior mutability.
+//! - Returning a slot to the pool must go through [`NodePool::retire`]
+//!   (grace period first) unless the node was never published, in which case
+//!   [`NodePool::dealloc_unpublished`] is allowed.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use synchro::{Lock, TtasLock};
+
+use crate::domain::{QsbrHandle, RetireCtx};
+
+/// Default number of node slots per chunk.
+pub const DEFAULT_CHUNK_CAPACITY: usize = 1024;
+
+#[repr(transparent)]
+struct Slot<T>(UnsafeCell<MaybeUninit<T>>);
+
+struct PoolInner<T> {
+    /// Owning storage; never shrinks while the pool lives (type stability).
+    chunks: Vec<Box<[Slot<T>]>>,
+    /// Recycled slots ready for reuse.
+    free: Vec<*mut T>,
+    /// Bump cursor into the last chunk.
+    bump: usize,
+    chunk_capacity: usize,
+}
+
+// SAFETY: the raw pointers in `free` all point into `chunks`, which the pool
+// owns; the surrounding spinlock serializes all structural access.
+unsafe impl<T: Send> Send for PoolInner<T> {}
+
+/// A type-stable arena allocator for concurrent data-structure nodes.
+pub struct NodePool<T> {
+    inner: Lock<PoolInner<T>, TtasLock>,
+    allocated: AtomicU64,
+    recycled: AtomicU64,
+}
+
+// SAFETY: `inner` is lock-protected; counters are atomics. `T: Send + Sync`
+// because slots are shared across threads as `&T`.
+unsafe impl<T: Send + Sync> Send for NodePool<T> {}
+unsafe impl<T: Send + Sync> Sync for NodePool<T> {}
+
+/// A pointer freshly handed out by [`NodePool::alloc`].
+#[derive(Debug)]
+pub struct PooledPtr<T> {
+    /// The slot. Valid (and type-stable) for the pool's lifetime.
+    pub ptr: *mut T,
+    /// `false` if the slot is brand new (initialized from `make_fresh`),
+    /// `true` if it is a recycled slot whose previous contents are still in
+    /// place — the caller must re-initialize every field through atomics.
+    pub recycled: bool,
+}
+
+impl<T: Send + Sync + 'static> NodePool<T> {
+    /// Creates a pool with the default chunk capacity.
+    pub fn new() -> Arc<Self> {
+        Self::with_chunk_capacity(DEFAULT_CHUNK_CAPACITY)
+    }
+
+    /// Creates a pool allocating `chunk_capacity` slots at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `T` needs drop (pooled nodes must be plain data + atomics)
+    /// or if `chunk_capacity` is zero.
+    pub fn with_chunk_capacity(chunk_capacity: usize) -> Arc<Self> {
+        assert!(
+            !std::mem::needs_drop::<T>(),
+            "NodePool requires nodes without Drop glue"
+        );
+        assert!(chunk_capacity > 0, "chunk capacity must be positive");
+        Arc::new(Self {
+            inner: Lock::new(PoolInner {
+                chunks: Vec::new(),
+                free: Vec::new(),
+                bump: chunk_capacity, // forces a chunk on first alloc
+                chunk_capacity,
+            }),
+            allocated: AtomicU64::new(0),
+            recycled: AtomicU64::new(0),
+        })
+    }
+
+    /// Allocates a slot. Fresh slots are initialized with `make_fresh`;
+    /// recycled slots are returned as-is (see [`PooledPtr::recycled`]).
+    pub fn alloc(&self, make_fresh: impl FnOnce() -> T) -> PooledPtr<T> {
+        self.allocated.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        if let Some(ptr) = inner.free.pop() {
+            self.recycled.fetch_add(1, Ordering::Relaxed);
+            return PooledPtr {
+                ptr,
+                recycled: true,
+            };
+        }
+        if inner.bump == inner.chunk_capacity {
+            let cap = inner.chunk_capacity;
+            let chunk: Box<[Slot<T>]> = (0..cap)
+                .map(|_| Slot(UnsafeCell::new(MaybeUninit::uninit())))
+                .collect();
+            inner.chunks.push(chunk);
+            inner.bump = 0;
+        }
+        let idx = inner.bump;
+        inner.bump += 1;
+        let chunk = inner.chunks.last().expect("chunk pushed above");
+        let ptr = chunk[idx].0.get().cast::<T>();
+        drop(inner);
+        // SAFETY: the slot is brand new: no other thread has seen it.
+        unsafe { ptr.write(make_fresh()) };
+        PooledPtr {
+            ptr,
+            recycled: false,
+        }
+    }
+
+    /// Returns `ptr` to the free list after a QSBR grace period.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have come from this pool's [`NodePool::alloc`], must be
+    /// unreachable to *new* readers (unlinked), and must not be retired
+    /// twice.
+    pub unsafe fn retire(self: &Arc<Self>, ptr: *mut T, handle: &QsbrHandle) {
+        unsafe fn recycle<T: Send + Sync + 'static>(p: *mut u8, ctx: Option<RetireCtx>) {
+            let pool = ctx
+                .expect("pool retire always carries ctx")
+                .downcast::<NodePool<T>>()
+                .expect("ctx is the originating pool");
+            pool.inner.lock().free.push(p.cast::<T>());
+        }
+        // SAFETY: after the grace period the slot has no in-operation
+        // readers with *liveness* expectations; pushing it on the free list
+        // does not overwrite its contents, so even stale cached pointers
+        // (node caching) keep reading a valid `T`.
+        unsafe {
+            handle.retire_with(
+                ptr.cast::<u8>(),
+                recycle::<T>,
+                Some(Arc::clone(self) as RetireCtx),
+            )
+        };
+    }
+
+    /// Immediately returns a never-published slot to the free list.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have come from this pool's [`NodePool::alloc`] and must
+    /// never have been made reachable from any shared structure.
+    pub unsafe fn dealloc_unpublished(&self, ptr: *mut T) {
+        self.inner.lock().free.push(ptr);
+    }
+
+    /// Total slots handed out (fresh + recycled) so far.
+    pub fn allocations(&self) -> u64 {
+        self.allocated.load(Ordering::Relaxed)
+    }
+
+    /// How many allocations were served from recycled slots.
+    pub fn recycle_hits(&self) -> u64 {
+        self.recycled.load(Ordering::Relaxed)
+    }
+
+    /// Slots currently sitting on the free list.
+    pub fn free_len(&self) -> usize {
+        self.inner.lock().free.len()
+    }
+
+    /// Total slot capacity currently reserved from the OS.
+    pub fn capacity(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.chunks.len() * inner.chunk_capacity
+    }
+}
+
+impl<T> std::fmt::Debug for NodePool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodePool")
+            .field("allocated", &self.allocated.load(Ordering::Relaxed))
+            .field("recycled", &self.recycled.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Qsbr;
+
+    #[derive(Default)]
+    struct Node {
+        key: AtomicU64,
+    }
+
+    #[test]
+    fn fresh_allocations_bump_through_chunks() {
+        let pool: Arc<NodePool<Node>> = NodePool::with_chunk_capacity(4);
+        let mut ptrs = Vec::new();
+        for i in 0..10u64 {
+            let p = pool.alloc(Node::default);
+            assert!(!p.recycled);
+            // SAFETY: fresh slot, valid for pool lifetime.
+            unsafe { (*p.ptr).key.store(i, Ordering::Relaxed) };
+            ptrs.push(p.ptr);
+        }
+        assert_eq!(pool.capacity(), 12); // three chunks of four
+        // All distinct.
+        let mut sorted = ptrs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        // Contents intact.
+        for (i, p) in ptrs.iter().enumerate() {
+            // SAFETY: slots live as long as the pool.
+            assert_eq!(unsafe { (**p).key.load(Ordering::Relaxed) }, i as u64);
+        }
+    }
+
+    #[test]
+    fn retire_recycles_after_grace_period() {
+        let domain = Qsbr::new();
+        let h = domain.register();
+        let pool: Arc<NodePool<Node>> = NodePool::with_chunk_capacity(8);
+
+        let p = pool.alloc(Node::default);
+        // SAFETY: p came from this pool and was never published.
+        unsafe { pool.retire(p.ptr, &h) };
+        h.flush();
+        h.quiescent();
+        h.collect();
+        assert_eq!(pool.free_len(), 1);
+
+        let q = pool.alloc(Node::default);
+        assert!(q.recycled);
+        assert_eq!(q.ptr, p.ptr, "recycled slot is the retired one");
+        drop(h);
+    }
+
+    #[test]
+    fn dealloc_unpublished_skips_grace_period() {
+        let pool: Arc<NodePool<Node>> = NodePool::with_chunk_capacity(8);
+        let p = pool.alloc(Node::default);
+        // SAFETY: never published.
+        unsafe { pool.dealloc_unpublished(p.ptr) };
+        assert_eq!(pool.free_len(), 1);
+        let q = pool.alloc(Node::default);
+        assert!(q.recycled);
+        assert_eq!(q.ptr, p.ptr);
+    }
+
+    #[test]
+    fn type_stability_stale_reader_sees_valid_node() {
+        // A "stale" pointer kept across retire + recycle still reads a valid
+        // Node (this is exactly what node caching does).
+        let domain = Qsbr::new();
+        let h = domain.register();
+        let pool: Arc<NodePool<Node>> = NodePool::with_chunk_capacity(8);
+
+        let p = pool.alloc(Node::default);
+        // SAFETY: fresh slot.
+        unsafe { (*p.ptr).key.store(7, Ordering::Relaxed) };
+        let stale = p.ptr;
+
+        // SAFETY: unlinked (never published in this test).
+        unsafe { pool.retire(p.ptr, &h) };
+        h.flush();
+        h.quiescent();
+        h.collect();
+        let q = pool.alloc(Node::default);
+        assert_eq!(q.ptr, stale);
+        // SAFETY: type-stable — stale pointer still addresses a Node.
+        unsafe { (*q.ptr).key.store(99, Ordering::Relaxed) };
+        // The stale reader observes the *new* contents — detectable via the
+        // version validation the data structures layer adds.
+        // SAFETY: as above.
+        assert_eq!(unsafe { (*stale).key.load(Ordering::Relaxed) }, 99);
+        drop(h);
+    }
+
+    #[test]
+    fn concurrent_alloc_retire_is_balanced() {
+        let domain = Qsbr::new();
+        let pool: Arc<NodePool<Node>> = NodePool::with_chunk_capacity(128);
+        const THREADS: usize = 8;
+        const OPS: usize = 10_000;
+
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let domain = Arc::clone(&domain);
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                let h = domain.register();
+                for i in 0..OPS {
+                    let p = pool.alloc(Node::default);
+                    // SAFETY: we are the only publisher of this slot.
+                    unsafe { (*p.ptr).key.store(i as u64, Ordering::Release) };
+                    // SAFETY: unlinked, retired once.
+                    unsafe { pool.retire(p.ptr, &h) };
+                    h.quiescent();
+                }
+                h.flush();
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(pool.allocations(), (THREADS * OPS) as u64);
+        // Recycling must have happened (the pool would otherwise hold
+        // THREADS*OPS slots).
+        assert!(pool.capacity() < THREADS * OPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk capacity")]
+    fn zero_chunk_capacity_panics() {
+        let _ = NodePool::<Node>::with_chunk_capacity(0);
+    }
+}

@@ -1,0 +1,644 @@
+//! Fraser's lock-free skip list [15] (*fraser* in Figure 11).
+//!
+//! Per-level marked next-pointers (LSB), as in Harris's list generalized
+//! to towers:
+//!
+//! - **insert** links level 0 with a CAS (the linearization point), then
+//!   links upper levels with CAS loops, re-searching on failure;
+//! - **delete** marks the victim's next pointers top-down, the level-0 mark
+//!   being the linearization point, then runs a cleanup search that
+//!   physically snips the victim at every level;
+//! - **searches** snip marked chains they encounter (helping).
+//!
+//! # Reclamation discipline
+//!
+//! A node may be *re-published* after it is logically deleted: insert
+//! links levels bottom-up while delete marks them top-down, so a lagging
+//! inserter's pred-link CAS can re-link its own just-deleted node at an
+//! upper level **after** the deleter's cleanup pass completed. Retiring
+//! the node at that point is fatal — QSBR only protects references
+//! acquired *before* retirement, and a fresh traversal can reach the
+//! re-published node afterwards. Therefore retirement is coordinated
+//! between the two parties that can touch the node:
+//!
+//! - the **level-0 mark winner** unlinks the victim at every level
+//!   ([`FraserSkipList::unlink_node`], an identity-based per-level sweep
+//!   that is immune to equal-key ties), then tries to CAS the node's
+//!   `state` from LINKING to RETIRE_HANDOFF: on success the node's own
+//!   inserter is still running and inherits the retirement; otherwise
+//!   (state == LINK_DONE) the deleter retires;
+//! - the **inserter**, when it finishes (normally or by abandoning a
+//!   deleted node), unlinks the node again if it was marked (covering any
+//!   re-publication it performed), then CASes LINKING → LINK_DONE; if
+//!   that fails it inherited the handoff and retires the node itself.
+//!
+//! Either way the handoff picks a *single* reclamation owner, after the
+//! final unlink that owner performed. Even so, frozen successor pointers
+//! allow **re-publication chains** (an unlink sweep re-installs a frozen
+//! pointer whose target is itself long-deleted), so no fixed number of
+//! grace periods bounds a dead node's reachability. Physical reclamation
+//! is therefore *deferred to drop* ([`FraserSkipList::retire_deferred`]):
+//! correct by construction, at the cost of holding deleted nodes' memory
+//! for the structure's lifetime. Long-lived structures should prefer the
+//! type-stable pool + stamp-validation approach of the node-caching
+//! lists. See EXPERIMENTS.md, correctness note 3, for the full analysis.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use synchro::Backoff;
+
+use crate::level::{random_level, MAX_LEVEL};
+use crate::{assert_user_key, ConcurrentSet, Key, Val, HEAD_KEY, TAIL_KEY};
+
+const MARK: usize = 1;
+
+#[inline]
+fn marked(w: usize) -> bool {
+    w & MARK != 0
+}
+
+#[inline]
+fn unmark(w: usize) -> usize {
+    w & !MARK
+}
+
+/// Insert still linking upper levels (may yet re-publish the node).
+const LINKING: usize = 0;
+/// Insert finished; the node can be retired by its deleter.
+const LINK_DONE: usize = 1;
+/// Delete finished first; retirement is handed to the inserter.
+const RETIRE_HANDOFF: usize = 2;
+
+pub(crate) struct Node {
+    key: Key,
+    val: Val,
+    top_level: usize,
+    /// Insert/delete retirement coordination (see the reclamation notes
+    /// in the module docs): LINKING → LINK_DONE (normal) or
+    /// LINKING → RETIRE_HANDOFF (deleter finished while the inserter was
+    /// still linking; the inserter unlinks its own re-publications and
+    /// retires).
+    state: AtomicUsize,
+    /// Intrusive link for the structure's deferred-reclamation list.
+    gc_next: AtomicUsize,
+    next: Box<[AtomicUsize]>,
+}
+
+impl Node {
+    fn boxed(key: Key, val: Val, top_level: usize) -> *mut Node {
+        Box::into_raw(Box::new(Node {
+            key,
+            val,
+            top_level,
+            state: AtomicUsize::new(LINKING),
+            gc_next: AtomicUsize::new(0),
+            next: (0..=top_level).map(|_| AtomicUsize::new(0)).collect(),
+        }))
+    }
+}
+
+/// Fraser's lock-free skip list.
+pub struct FraserSkipList {
+    head: *mut Node,
+    /// Head of the deferred-reclamation list (freed at drop).
+    garbage: AtomicUsize,
+}
+
+// SAFETY: all mutation is CAS on next words; QSBR + the single-retirer
+// discipline documented above handle reclamation.
+unsafe impl Send for FraserSkipList {}
+unsafe impl Sync for FraserSkipList {}
+
+impl FraserSkipList {
+    /// Creates an empty skip list.
+    pub fn new() -> Self {
+        let tail = Node::boxed(TAIL_KEY, 0, MAX_LEVEL - 1);
+        let head = Node::boxed(HEAD_KEY, 0, MAX_LEVEL - 1);
+        // SAFETY: fresh nodes.
+        unsafe {
+            for l in 0..MAX_LEVEL {
+                (*head).next[l].store(tail as usize, Ordering::Relaxed);
+            }
+        }
+        Self {
+            head,
+            garbage: AtomicUsize::new(0),
+        }
+    }
+
+    /// Fraser's search: fills per-level unmarked, adjacent `(pred, succ)`
+    /// pairs, physically snipping marked chains along the way. Restarts
+    /// from scratch whenever a snip CAS fails, so on return the traversed
+    /// path was clean. Does **not** retire snipped nodes (the deleter
+    /// does).
+    ///
+    /// # Safety
+    ///
+    /// QSBR grace period required.
+    unsafe fn locate(
+        &self,
+        key: Key,
+        preds: &mut [*mut Node; MAX_LEVEL],
+        succs: &mut [*mut Node; MAX_LEVEL],
+    ) {
+        // SAFETY: per contract; every dereferenced node is grace-protected.
+        unsafe {
+            'retry: loop {
+                let mut pred = self.head;
+                for l in (0..MAX_LEVEL).rev() {
+                    let mut pred_w = (*pred).next[l].load(Ordering::Acquire);
+                    if marked(pred_w) {
+                        // pred got deleted under us; restart.
+                        continue 'retry;
+                    }
+                    let mut cur = unmark(pred_w) as *mut Node;
+                    loop {
+                        // Skip over a chain of marked nodes.
+                        let mut cur_w = (*cur).next[l].load(Ordering::Acquire);
+                        while marked(cur_w) {
+                            cur = unmark(cur_w) as *mut Node;
+                            cur_w = (*cur).next[l].load(Ordering::Acquire);
+                        }
+                        if (*cur).key < key {
+                            pred = cur;
+                            pred_w = cur_w;
+                            cur = unmark(cur_w) as *mut Node;
+                            continue;
+                        }
+                        // Settle: snip the marked chain (if any).
+                        if unmark(pred_w) != cur as usize
+                            && (*pred)
+                                .next[l]
+                                .compare_exchange(
+                                    pred_w,
+                                    cur as usize,
+                                    Ordering::AcqRel,
+                                    Ordering::Acquire,
+                                )
+                                .is_err()
+                        {
+                            continue 'retry;
+                        }
+                        preds[l] = pred;
+                        succs[l] = cur;
+                        break;
+                    }
+                }
+                return;
+            }
+        }
+    }
+
+    /// One cleanup pass (just a search whose results are discarded).
+    ///
+    /// # Safety
+    ///
+    /// QSBR grace period required.
+    unsafe fn cleanup(&self, key: Key) {
+        let mut preds = [std::ptr::null_mut(); MAX_LEVEL];
+        let mut succs = [std::ptr::null_mut(); MAX_LEVEL];
+        // SAFETY: forwarded contract.
+        unsafe { self.locate(key, &mut preds, &mut succs) };
+    }
+
+    /// Physically unlinks `node` (which must be marked at every level) by
+    /// **identity**, level by level, walking each level from the head.
+    ///
+    /// Unlike a `locate`-based cleanup, this sweep cannot be defeated by
+    /// equal-key ties (a search stops at the first key match and misses
+    /// marked duplicates behind it) or by entering a level past the node:
+    /// it compares pointers, not keys. Predecessors may themselves be
+    /// marked; the snip CAS preserves their mark bit.
+    ///
+    /// # Safety
+    ///
+    /// QSBR grace period required; `node` must be level-0 marked (its next
+    /// pointers are frozen).
+    unsafe fn unlink_node(&self, node: *mut Node) {
+        // SAFETY: per contract; every walked pointer is grace-protected.
+        unsafe {
+            let key = (*node).key;
+            for l in (0..=(*node).top_level).rev() {
+                'level: loop {
+                    let mut pred = self.head;
+                    loop {
+                        let pred_w = (*pred).next[l].load(Ordering::Acquire);
+                        let cur = unmark(pred_w) as *mut Node;
+                        if cur == node {
+                            let next = unmark((*node).next[l].load(Ordering::Acquire));
+                            // Keep pred's own mark bit as-is: a marked
+                            // pred's pointer may be rewritten (skipping
+                            // `node`) but must stay marked.
+                            let new_w = next | (pred_w & MARK);
+                            if (*pred)
+                                .next[l]
+                                .compare_exchange(
+                                    pred_w,
+                                    new_w,
+                                    Ordering::AcqRel,
+                                    Ordering::Acquire,
+                                )
+                                .is_ok()
+                            {
+                                break 'level;
+                            }
+                            continue 'level; // contention: restart level
+                        }
+                        if cur.is_null() || (*cur).key > key {
+                            break 'level; // not linked at this level
+                        }
+                        pred = cur;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Defers `node` to the structure's garbage list, freed at drop.
+    ///
+    /// Fraser towers admit *re-publication chains*: a lagging thread whose
+    /// pre-deletion search returned the node can transiently re-link it,
+    /// and an unlink sweep can re-install a frozen successor pointer whose
+    /// target was itself deleted long ago. Under quiescent-state
+    /// reclamation this means no single grace period bounds the node's
+    /// reachability, so eager per-node freeing is unsound without extra
+    /// validation machinery (type-stable pools + stamps). The baseline
+    /// therefore defers physical reclamation to `Drop` — unbounded-lifetime
+    /// structures would want the pool approach the node-caching lists use.
+    ///
+    /// # Safety
+    ///
+    /// `node` must be level-0 marked and pushed at most once (the
+    /// `state` handshake guarantees a single owner).
+    unsafe fn retire_deferred(&self, node: *mut Node) {
+        // SAFETY: single pusher per node (handshake); gc_next is unused
+        // until the node is pushed.
+        unsafe {
+            let mut head = self.garbage.load(Ordering::Relaxed);
+            loop {
+                (*node).gc_next.store(head, Ordering::Relaxed);
+                match self.garbage.compare_exchange_weak(
+                    head,
+                    node as usize,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => return,
+                    Err(h) => head = h,
+                }
+            }
+        }
+    }
+
+    /// Inserter-side half of the retirement handshake; must be the last
+    /// action of every `insert` that published its node.
+    ///
+    /// # Safety
+    ///
+    /// QSBR grace period required; `node` published at level 0 by us.
+    unsafe fn finish_insert(&self, node: *mut Node) {
+        // SAFETY: per contract.
+        unsafe {
+            // If the node was deleted while we were linking, some of our
+            // links may have re-published it after the deleter's unlink
+            // sweep: sweep again before declaring ourselves done.
+            if marked((*node).next[0].load(Ordering::Acquire)) {
+                self.unlink_node(node);
+            }
+            if (*node)
+                .state
+                .compare_exchange(
+                    LINKING,
+                    LINK_DONE,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                // The deleter finished first and handed retirement to us;
+                // our sweep above ran after our last publication.
+                self.retire_deferred(node);
+            }
+        }
+    }
+}
+
+impl Default for FraserSkipList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConcurrentSet for FraserSkipList {
+    fn search(&self, key: Key) -> Option<Val> {
+        assert_user_key(key);
+        reclaim::quiescent();
+        // Read-only traversal (no helping), like the paper's wait-free
+        // searches.
+        // SAFETY: grace period.
+        unsafe {
+            let mut pred = self.head;
+            for l in (0..MAX_LEVEL).rev() {
+                let mut cur = unmark((*pred).next[l].load(Ordering::Acquire)) as *mut Node;
+                loop {
+                    let cur_w = (*cur).next[l].load(Ordering::Acquire);
+                    if marked(cur_w) {
+                        cur = unmark(cur_w) as *mut Node;
+                        continue;
+                    }
+                    if (*cur).key < key {
+                        pred = cur;
+                        cur = unmark(cur_w) as *mut Node;
+                        continue;
+                    }
+                    break;
+                }
+                if (*cur).key == key {
+                    return Some((*cur).val);
+                }
+            }
+            None
+        }
+    }
+
+    fn insert(&self, key: Key, val: Val) -> bool {
+        assert_user_key(key);
+        reclaim::quiescent();
+        let top_level = random_level() - 1;
+        let node = Node::boxed(key, val, top_level);
+        let mut preds = [std::ptr::null_mut(); MAX_LEVEL];
+        let mut succs = [std::ptr::null_mut(); MAX_LEVEL];
+        let mut bo = Backoff::new();
+        // Level-0 linking (linearization point).
+        // SAFETY: grace period for the whole operation.
+        unsafe {
+            loop {
+                self.locate(key, &mut preds, &mut succs);
+                if (*succs[0]).key == key {
+                    // SAFETY: node never published.
+                    drop(Box::from_raw(node));
+                    return false;
+                }
+                (*node).next[0].store(succs[0] as usize, Ordering::Relaxed);
+                if (*preds[0])
+                    .next[0]
+                    .compare_exchange(
+                        succs[0] as usize,
+                        node as usize,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+                {
+                    // post-link mark check (level 0): if succ was marked
+                    // between our search and the CAS, we re-published a
+                    // path to a logically-deleted node whose deleter's
+                    // cleanup may already have passed. Clean it ourselves
+                    // before this operation ends; QSBR keeps the victim
+                    // alive until we quiesce.
+                    if marked((*succs[0]).next[0].load(Ordering::Acquire)) {
+                        self.cleanup(key);
+                    }
+                    break;
+                }
+                bo.backoff();
+            }
+            // Upper-level linking.
+            let mut l = 1;
+            while l <= top_level {
+                // Abandon if our node got deleted meanwhile (its level-l
+                // pointer is marked).
+                let w = (*node).next[l].load(Ordering::Acquire);
+                if marked(w) {
+                    self.finish_insert(node);
+                    return true;
+                }
+                let succ = succs[l];
+                // Install our forward pointer for this level; a concurrent
+                // deleter may race to mark it, hence CAS.
+                if (*node)
+                    .next[l]
+                    .compare_exchange(w, succ as usize, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    // Only a marker can beat us; abandon.
+                    self.finish_insert(node);
+                    return true;
+                }
+                if (*preds[l])
+                    .next[l]
+                    .compare_exchange(
+                        succ as usize,
+                        node as usize,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+                {
+                    // post-link mark check (upper level): our own node may
+                    // have been deleted while we linked it (late link of a
+                    // dead node) — finish_insert sweeps it back out; a
+                    // marked successor just gets a helping pass.
+                    if marked((*node).next[l].load(Ordering::Acquire)) {
+                        self.finish_insert(node);
+                        return true;
+                    }
+                    if marked((*succ).next[l].load(Ordering::Acquire)) {
+                        self.cleanup((*succ).key);
+                    }
+                    l += 1;
+                    continue;
+                }
+                // Link failed: re-search and retry this level.
+                bo.backoff();
+                self.locate(key, &mut preds, &mut succs);
+                if succs[0] != node {
+                    // Our node vanished (deleted and snipped; identity
+                    // check — an equal-key successor is NOT our node).
+                    self.finish_insert(node);
+                    return true;
+                }
+            }
+            self.finish_insert(node);
+            true
+        }
+    }
+
+    fn delete(&self, key: Key) -> Option<Val> {
+        assert_user_key(key);
+        reclaim::quiescent();
+        let mut preds = [std::ptr::null_mut(); MAX_LEVEL];
+        let mut succs = [std::ptr::null_mut(); MAX_LEVEL];
+        // SAFETY: grace period for the whole operation.
+        unsafe {
+            self.locate(key, &mut preds, &mut succs);
+            if (*succs[0]).key != key {
+                return None;
+            }
+            let victim = succs[0];
+            // Mark upper levels top-down.
+            for l in (1..=(*victim).top_level).rev() {
+                loop {
+                    let w = (*victim).next[l].load(Ordering::Acquire);
+                    if marked(w) {
+                        break;
+                    }
+                    if (*victim)
+                        .next[l]
+                        .compare_exchange(w, w | MARK, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                }
+            }
+            // Level-0 mark: the linearization point; its winner owns
+            // reclamation.
+            loop {
+                let w = (*victim).next[0].load(Ordering::Acquire);
+                if marked(w) {
+                    // Another deleter won.
+                    return None;
+                }
+                if (*victim)
+                    .next[0]
+                    .compare_exchange(w, w | MARK, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    let val = (*victim).val;
+                    // Physically remove at every level by identity, then
+                    // run the retirement handshake with the victim's
+                    // inserter (see the module reclamation notes).
+                    self.unlink_node(victim);
+                    if (*victim)
+                        .state
+                        .compare_exchange(
+                            LINKING,
+                            RETIRE_HANDOFF,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_err()
+                    {
+                        // Inserter already done (LINK_DONE): we own
+                        // reclamation. SAFETY: single owner (handshake).
+                        self.retire_deferred(victim);
+                    }
+                    return Some(val);
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        reclaim::quiescent();
+        // SAFETY: grace period; level-0 walk.
+        unsafe {
+            let mut n = 0;
+            let mut cur = unmark((*self.head).next[0].load(Ordering::Acquire)) as *mut Node;
+            while (*cur).key != TAIL_KEY {
+                if !marked((*cur).next[0].load(Ordering::Acquire)) {
+                    n += 1;
+                }
+                cur = unmark((*cur).next[0].load(Ordering::Acquire)) as *mut Node;
+            }
+            n
+        }
+    }
+}
+
+impl Drop for FraserSkipList {
+    fn drop(&mut self) {
+        // Collect the level-0 chain and the deferred-garbage list, then
+        // free each node exactly once (a deferred node can in a pathological
+        // race still be transiently linked, so deduplicate by address).
+        let mut seen = std::collections::HashSet::new();
+        let mut cur = self.head;
+        while !cur.is_null() {
+            // SAFETY: exclusive at drop; level 0 reaches every live node.
+            let next =
+                unsafe { unmark((*cur).next[0].load(Ordering::Relaxed)) as *mut Node };
+            seen.insert(cur);
+            cur = next;
+        }
+        let mut g = self.garbage.load(Ordering::Relaxed) as *mut Node;
+        while !g.is_null() {
+            // SAFETY: exclusive at drop; gc links are plain chain.
+            let next = unsafe { (*g).gc_next.load(Ordering::Relaxed) as *mut Node };
+            seen.insert(g);
+            g = next;
+        }
+        for node in seen {
+            // SAFETY: unique ownership at drop; deduplicated above.
+            unsafe { drop(Box::from_raw(node)) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_roundtrip() {
+        let s = FraserSkipList::new();
+        assert!(s.insert(10, 100));
+        assert!(s.insert(5, 50));
+        assert!(!s.insert(10, 999));
+        assert_eq!(s.search(5), Some(50));
+        assert_eq!(s.delete(10), Some(100));
+        assert_eq!(s.delete(10), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn exactly_one_delete_wins() {
+        let s = Arc::new(FraserSkipList::new());
+        for round in 1..=50u64 {
+            assert!(s.insert(round, round));
+            let mut handles = Vec::new();
+            for _ in 0..6 {
+                let s = Arc::clone(&s);
+                handles.push(std::thread::spawn(move || s.delete(round).is_some()));
+            }
+            let winners: usize = handles
+                .into_iter()
+                .map(|h| usize::from(h.join().unwrap()))
+                .sum();
+            assert_eq!(winners, 1, "round {round}");
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn insert_delete_hammer_on_few_keys() {
+        let s = Arc::new(FraserSkipList::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let mut net = 0i64;
+                let mut x = t.wrapping_mul(0x2545F4914F6CDD1D) | 1;
+                for _ in 0..15_000u64 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let k = x % 8 + 1; // extremely hot
+                    if x % 2 == 0 {
+                        if s.insert(k, k) {
+                            net += 1;
+                        }
+                    } else if s.delete(k).is_some() {
+                        net -= 1;
+                    }
+                }
+                net
+            }));
+        }
+        let net: i64 = reclaim::offline_while(|| {
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(s.len() as i64, net);
+    }
+}

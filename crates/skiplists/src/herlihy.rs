@@ -1,0 +1,382 @@
+//! The optimistic skip list of Herlihy, Lev, Luchangco & Shavit [29]
+//! (*herlihy* in Figure 11).
+//!
+//! Updates traverse without locks, then lock the predecessor at every
+//! level and *validate* (predecessor unmarked, successor unmarked, link
+//! unchanged) — the classic lock-then-validate structure. A `fully_linked`
+//! flag makes multi-level insertion appear atomic; a `marked` flag makes
+//! deletion logical before physical.
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+use synchro::{Backoff, RawLock, TtasLock};
+
+use crate::level::{random_level, MAX_LEVEL};
+use crate::{assert_user_key, ConcurrentSet, Key, Val, HEAD_KEY, TAIL_KEY};
+
+pub(crate) struct Node {
+    key: Key,
+    val: Val,
+    /// Highest valid index into `next` (tower height − 1).
+    top_level: usize,
+    lock: TtasLock,
+    marked: AtomicBool,
+    fully_linked: AtomicBool,
+    next: Box<[AtomicPtr<Node>]>,
+}
+
+impl Node {
+    fn boxed(key: Key, val: Val, top_level: usize, linked: bool) -> *mut Node {
+        Box::into_raw(Box::new(Node {
+            key,
+            val,
+            top_level,
+            lock: TtasLock::new(),
+            marked: AtomicBool::new(false),
+            fully_linked: AtomicBool::new(linked),
+            next: (0..=top_level)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+        }))
+    }
+}
+
+/// The Herlihy et al. optimistic skip list.
+pub struct HerlihySkipList {
+    head: *mut Node,
+}
+
+// SAFETY: per-node locks + validation serialize updates; searches read
+// atomic fields of QSBR-protected nodes.
+unsafe impl Send for HerlihySkipList {}
+unsafe impl Sync for HerlihySkipList {}
+
+impl HerlihySkipList {
+    /// Creates an empty skip list.
+    pub fn new() -> Self {
+        let tail = Node::boxed(TAIL_KEY, 0, MAX_LEVEL - 1, true);
+        let head = Node::boxed(HEAD_KEY, 0, MAX_LEVEL - 1, true);
+        // SAFETY: fresh nodes, no concurrency yet.
+        unsafe {
+            for l in 0..MAX_LEVEL {
+                (*head).next[l].store(tail, Ordering::Relaxed);
+            }
+        }
+        Self { head }
+    }
+
+    /// Classic `find`: fills `preds`/`succs` per level; returns the highest
+    /// level at which `key` was found, if any.
+    ///
+    /// # Safety
+    ///
+    /// QSBR grace period required.
+    unsafe fn find(
+        &self,
+        key: Key,
+        preds: &mut [*mut Node; MAX_LEVEL],
+        succs: &mut [*mut Node; MAX_LEVEL],
+    ) -> Option<usize> {
+        // SAFETY: per contract.
+        unsafe {
+            let mut lfound = None;
+            let mut pred = self.head;
+            for l in (0..MAX_LEVEL).rev() {
+                let mut cur = (*pred).next[l].load(Ordering::Acquire);
+                while (*cur).key < key {
+                    pred = cur;
+                    cur = (*cur).next[l].load(Ordering::Acquire);
+                }
+                if lfound.is_none() && (*cur).key == key {
+                    lfound = Some(l);
+                }
+                preds[l] = pred;
+                succs[l] = cur;
+            }
+            lfound
+        }
+    }
+
+    /// Unlocks `preds[0..=highest]`, each distinct node once.
+    ///
+    /// # Safety
+    ///
+    /// The distinct nodes among `preds[0..=highest]` must be locked by the
+    /// caller.
+    unsafe fn unlock_preds(preds: &[*mut Node; MAX_LEVEL], highest: usize) {
+        let mut prev: *mut Node = std::ptr::null_mut();
+        for &p in preds.iter().take(highest + 1) {
+            if p != prev {
+                // SAFETY: locked by caller; nodes alive in grace period.
+                unsafe { (*p).lock.unlock() };
+                prev = p;
+            }
+        }
+    }
+}
+
+impl Default for HerlihySkipList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConcurrentSet for HerlihySkipList {
+    fn search(&self, key: Key) -> Option<Val> {
+        assert_user_key(key);
+        reclaim::quiescent();
+        // SAFETY: grace period.
+        unsafe {
+            let mut pred = self.head;
+            let mut found: *mut Node = std::ptr::null_mut();
+            for l in (0..MAX_LEVEL).rev() {
+                let mut cur = (*pred).next[l].load(Ordering::Acquire);
+                while (*cur).key < key {
+                    pred = cur;
+                    cur = (*cur).next[l].load(Ordering::Acquire);
+                }
+                if (*cur).key == key {
+                    found = cur;
+                    break;
+                }
+            }
+            (!found.is_null()
+                && (*found).fully_linked.load(Ordering::Acquire)
+                && !(*found).marked.load(Ordering::Acquire))
+            .then(|| (*found).val)
+        }
+    }
+
+    fn insert(&self, key: Key, val: Val) -> bool {
+        assert_user_key(key);
+        reclaim::quiescent();
+        let top_level = random_level() - 1;
+        let mut preds = [std::ptr::null_mut(); MAX_LEVEL];
+        let mut succs = [std::ptr::null_mut(); MAX_LEVEL];
+        let mut bo = Backoff::new();
+        loop {
+            // SAFETY: grace period per attempt.
+            unsafe {
+                if let Some(lf) = self.find(key, &mut preds, &mut succs) {
+                    let found = succs[lf];
+                    if !(*found).marked.load(Ordering::Acquire) {
+                        // Wait for a partially-inserted twin to complete.
+                        while !(*found).fully_linked.load(Ordering::Acquire) {
+                            core::hint::spin_loop();
+                        }
+                        return false;
+                    }
+                    // Being deleted: retry until physically gone.
+                    bo.backoff();
+                    continue;
+                }
+                // Lock preds bottom-up, each distinct node once.
+                let mut highest_locked: isize = -1;
+                let mut prev_pred: *mut Node = std::ptr::null_mut();
+                let mut valid = true;
+                for l in 0..=top_level {
+                    let pred = preds[l];
+                    let succ = succs[l];
+                    if pred != prev_pred {
+                        (*pred).lock.lock();
+                        highest_locked = l as isize;
+                        prev_pred = pred;
+                    }
+                    valid = !(*pred).marked.load(Ordering::Acquire)
+                        && !(*succ).marked.load(Ordering::Acquire)
+                        && (*pred).next[l].load(Ordering::Acquire) == succ;
+                    if !valid {
+                        break;
+                    }
+                }
+                if !valid {
+                    if highest_locked >= 0 {
+                        Self::unlock_preds(&preds, highest_locked as usize);
+                    }
+                    bo.backoff();
+                    continue;
+                }
+                let newnode = Node::boxed(key, val, top_level, false);
+                for l in 0..=top_level {
+                    (*newnode).next[l].store(succs[l], Ordering::Relaxed);
+                }
+                for l in 0..=top_level {
+                    (*preds[l]).next[l].store(newnode, Ordering::Release);
+                }
+                (*newnode).fully_linked.store(true, Ordering::Release);
+                Self::unlock_preds(&preds, top_level);
+                return true;
+            }
+        }
+    }
+
+    fn delete(&self, key: Key) -> Option<Val> {
+        assert_user_key(key);
+        reclaim::quiescent();
+        let mut preds = [std::ptr::null_mut(); MAX_LEVEL];
+        let mut succs = [std::ptr::null_mut(); MAX_LEVEL];
+        let mut victim: *mut Node = std::ptr::null_mut();
+        let mut is_marked = false;
+        let mut top_level = 0usize;
+        let mut bo = Backoff::new();
+        loop {
+            // SAFETY: grace period per attempt (the victim, once marked by
+            // us, is pinned: it cannot be retired before we unlink it).
+            unsafe {
+                let lf = self.find(key, &mut preds, &mut succs);
+                let ok = is_marked
+                    || match lf {
+                        Some(lf) => {
+                            let c = succs[lf];
+                            (*c).fully_linked.load(Ordering::Acquire)
+                                && (*c).top_level == lf
+                                && !(*c).marked.load(Ordering::Acquire)
+                        }
+                        None => false,
+                    };
+                if !ok {
+                    return None;
+                }
+                if !is_marked {
+                    victim = succs[lf.expect("ok && !is_marked implies found")];
+                    top_level = (*victim).top_level;
+                    (*victim).lock.lock();
+                    if (*victim).marked.load(Ordering::Acquire) {
+                        // Lost the race to another deleter.
+                        (*victim).lock.unlock();
+                        return None;
+                    }
+                    (*victim).marked.store(true, Ordering::Release);
+                    is_marked = true;
+                }
+                // Lock preds and validate links to the victim.
+                let mut highest_locked: isize = -1;
+                let mut prev_pred: *mut Node = std::ptr::null_mut();
+                let mut valid = true;
+                for l in 0..=top_level {
+                    let pred = preds[l];
+                    if pred != prev_pred {
+                        (*pred).lock.lock();
+                        highest_locked = l as isize;
+                        prev_pred = pred;
+                    }
+                    valid = !(*pred).marked.load(Ordering::Acquire)
+                        && (*pred).next[l].load(Ordering::Acquire) == victim;
+                    if !valid {
+                        break;
+                    }
+                }
+                if !valid {
+                    if highest_locked >= 0 {
+                        Self::unlock_preds(&preds, highest_locked as usize);
+                    }
+                    bo.backoff();
+                    continue;
+                }
+                for l in (0..=top_level).rev() {
+                    (*preds[l])
+                        .next[l]
+                        .store((*victim).next[l].load(Ordering::Relaxed), Ordering::Release);
+                }
+                let val = (*victim).val;
+                (*victim).lock.unlock();
+                Self::unlock_preds(&preds, top_level);
+                // SAFETY: fully unlinked; sole deleter (we won the marking).
+                reclaim::with_local(|h| h.retire(victim));
+                return Some(val);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        reclaim::quiescent();
+        // SAFETY: grace period; walk level 0.
+        unsafe {
+            let mut n = 0;
+            let mut cur = (*self.head).next[0].load(Ordering::Acquire);
+            while (*cur).key != TAIL_KEY {
+                if !(*cur).marked.load(Ordering::Relaxed)
+                    && (*cur).fully_linked.load(Ordering::Relaxed)
+                {
+                    n += 1;
+                }
+                cur = (*cur).next[0].load(Ordering::Acquire);
+            }
+            n
+        }
+    }
+}
+
+impl Drop for HerlihySkipList {
+    fn drop(&mut self) {
+        // Walk level 0; every node (incl. tail) appears there exactly once.
+        let mut cur = self.head;
+        while !cur.is_null() {
+            // SAFETY: exclusive at drop.
+            // Every tower has a level 0 (top_level >= 0), incl. sentinels.
+            let next = unsafe { (*cur).next[0].load(Ordering::Relaxed) };
+            // SAFETY: unique ownership of the remaining structure.
+            unsafe { drop(Box::from_raw(cur)) };
+            cur = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_roundtrip() {
+        let s = HerlihySkipList::new();
+        assert!(s.insert(10, 100));
+        assert!(s.insert(5, 50));
+        assert!(!s.insert(10, 101));
+        assert_eq!(s.search(5), Some(50));
+        assert_eq!(s.delete(10), Some(100));
+        assert_eq!(s.search(10), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn exactly_one_delete_wins() {
+        let s = Arc::new(HerlihySkipList::new());
+        for round in 1..=50u64 {
+            assert!(s.insert(round, round));
+            let mut handles = Vec::new();
+            for _ in 0..6 {
+                let s = Arc::clone(&s);
+                handles.push(std::thread::spawn(move || s.delete(round).is_some()));
+            }
+            let winners: usize = handles
+                .into_iter()
+                .map(|h| usize::from(h.join().unwrap()))
+                .sum();
+            assert_eq!(winners, 1, "round {round}");
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn tall_and_short_towers_coexist() {
+        let s = HerlihySkipList::new();
+        for k in 1..=500u64 {
+            assert!(s.insert(k, k));
+        }
+        // Level-0 walk sees everything in order.
+        // SAFETY: single-threaded.
+        unsafe {
+            let mut cur = (*s.head).next[0].load(Ordering::Relaxed);
+            let mut prev = 0u64;
+            let mut count = 0;
+            while (*cur).key != TAIL_KEY {
+                assert!((*cur).key > prev);
+                prev = (*cur).key;
+                count += 1;
+                cur = (*cur).next[0].load(Ordering::Relaxed);
+            }
+            assert_eq!(count, 500);
+        }
+    }
+}

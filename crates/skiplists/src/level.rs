@@ -1,0 +1,73 @@
+//! Tower-height generation shared by all skip lists.
+
+use std::cell::Cell;
+
+/// Number of levels in every skip list (towers use `1..=MAX_LEVEL`).
+///
+/// With p = 1/2 geometric heights, 24 levels comfortably cover the paper's
+/// largest structure (65536 elements).
+pub const MAX_LEVEL: usize = 24;
+
+thread_local! {
+    static LEVEL_RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Draws a tower height in `1..=MAX_LEVEL` with geometric distribution
+/// (p = 1/2), using a per-thread xorshift generator.
+pub fn random_level() -> usize {
+    LEVEL_RNG.with(|cell| {
+        let mut x = cell.get();
+        if x == 0 {
+            // Derive a distinct nonzero seed per thread.
+            let addr = &x as *const _ as u64;
+            x = addr
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(std::process::id() as u64)
+                | 1;
+        }
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        cell.set(x);
+        // Count trailing ones of a random word = geometric(1/2).
+        let h = (x.trailing_ones() as usize) + 1;
+        h.min(MAX_LEVEL)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_in_range() {
+        for _ in 0..100_000 {
+            let l = random_level();
+            assert!((1..=MAX_LEVEL).contains(&l));
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_geometric() {
+        let mut counts = [0usize; MAX_LEVEL + 1];
+        const N: usize = 200_000;
+        for _ in 0..N {
+            counts[random_level()] += 1;
+        }
+        // Level 1 ≈ 50%, level 2 ≈ 25%.
+        assert!(counts[1] as f64 > N as f64 * 0.45, "{}", counts[1]);
+        assert!(counts[1] as f64 * 0.4 < counts[2] as f64);
+        assert!(counts[2] as f64 * 0.4 < counts[3] as f64);
+        // Tall towers are rare but exist.
+        assert!(counts[8..].iter().sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn different_threads_draw_independently() {
+        let a: Vec<usize> = (0..64).map(|_| random_level()).collect();
+        let b = std::thread::spawn(|| (0..64).map(|_| random_level()).collect::<Vec<_>>())
+            .join()
+            .unwrap();
+        assert_ne!(a, b, "astronomically unlikely to coincide");
+    }
+}

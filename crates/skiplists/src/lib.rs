@@ -1,0 +1,213 @@
+//! Skip lists (§5.3 of the OPTIK paper).
+//!
+//! Figure 11 compares five algorithms, all implemented here:
+//!
+//! | paper name | type                      | design |
+//! |------------|---------------------------|--------|
+//! | `herlihy`  | [`HerlihySkipList`]       | optimistic skip list, Herlihy/Lev/Luchangco/Shavit \[29\] |
+//! | `herl-optik`| [`HerlihyOptikSkipList`] | same, with `lock_version` replacing per-level fine validation |
+//! | `optik1`   | [`OptikSkipList1`]        | new OPTIK design; fine-grained re-validation on version failure |
+//! | `optik2`   | [`OptikSkipList2`]        | new OPTIK design; immediate restart on version failure |
+//! | `fraser`   | [`FraserSkipList`]        | lock-free, per-level marked pointers (Fraser \[15\]) |
+//!
+//! The paper notes skip lists are "somewhat of an exception" for OPTIK:
+//! per-node version granularity covers *all* of a node's next pointers, so
+//! updates at one level falsely conflict with validation at another. The
+//! OPTIK designs win anyway under contention because failed validation
+//! costs one CAS instead of a lock acquisition.
+
+#![warn(missing_docs)]
+// Indexing preds/succs by level is the idiomatic way to express skip-list
+// algorithms (matching the paper's pseudocode); zip-based iteration would
+// obscure the per-level lockstep.
+#![allow(clippy::needless_range_loop)]
+
+mod fraser;
+mod herlihy;
+mod herlihy_optik;
+mod level;
+mod optik_sl;
+
+pub use fraser::FraserSkipList;
+pub use herlihy::HerlihySkipList;
+pub use herlihy_optik::HerlihyOptikSkipList;
+pub use level::{random_level, MAX_LEVEL};
+pub use optik_sl::{OptikSkipList1, OptikSkipList2};
+
+pub use optik_harness::api::{ConcurrentSet, Key, Val};
+
+/// Sentinel key of the head tower.
+pub const HEAD_KEY: Key = 0;
+/// Sentinel key of the tail tower.
+pub const TAIL_KEY: Key = u64::MAX;
+
+#[inline]
+pub(crate) fn assert_user_key(key: Key) {
+    debug_assert!(
+        key > HEAD_KEY && key < TAIL_KEY,
+        "user keys must be in (0, u64::MAX)"
+    );
+}
+
+#[cfg(test)]
+mod cross_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn implementations() -> Vec<(&'static str, Arc<dyn ConcurrentSet>)> {
+        vec![
+            ("herlihy", Arc::new(HerlihySkipList::new())),
+            ("herl-optik", Arc::new(HerlihyOptikSkipList::new())),
+            ("optik1", Arc::new(OptikSkipList1::new())),
+            ("optik2", Arc::new(OptikSkipList2::new())),
+            ("fraser", Arc::new(FraserSkipList::new())),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_semantics() {
+        for (name, s) in implementations() {
+            assert!(s.is_empty(), "{name}");
+            assert!(s.insert(50, 500), "{name}");
+            assert!(s.insert(30, 300), "{name}");
+            assert!(s.insert(70, 700), "{name}");
+            assert!(!s.insert(50, 501), "{name}: duplicate");
+            assert_eq!(s.search(30), Some(300), "{name}");
+            assert_eq!(s.search(50), Some(500), "{name}");
+            assert_eq!(s.search(40), None, "{name}");
+            assert_eq!(s.delete(50), Some(500), "{name}");
+            assert_eq!(s.delete(50), None, "{name}");
+            assert_eq!(s.len(), 2, "{name}");
+        }
+    }
+
+    #[test]
+    fn large_sequential_volume() {
+        for (name, s) in implementations() {
+            for k in 1..=2000u64 {
+                assert!(s.insert(k, k * 2), "{name} insert {k}");
+            }
+            assert_eq!(s.len(), 2000, "{name}");
+            for k in 1..=2000u64 {
+                assert_eq!(s.search(k), Some(k * 2), "{name} search {k}");
+            }
+            for k in (1..=2000u64).step_by(2) {
+                assert_eq!(s.delete(k), Some(k * 2), "{name} delete {k}");
+            }
+            assert_eq!(s.len(), 1000, "{name}");
+            for k in (1..=2000u64).step_by(2) {
+                assert_eq!(s.search(k), None, "{name}");
+            }
+            for k in (2..=2000u64).step_by(2) {
+                assert_eq!(s.search(k), Some(k * 2), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_ops_match_oracle() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        for (name, s) in implementations() {
+            let mut rng = StdRng::seed_from_u64(0x5EED);
+            let mut model = std::collections::BTreeMap::new();
+            for _ in 0..10_000 {
+                let k = rng.gen_range(1..=96u64);
+                match rng.gen_range(0..3) {
+                    0 => {
+                        let expect = !model.contains_key(&k);
+                        if expect {
+                            model.insert(k, k);
+                        }
+                        assert_eq!(s.insert(k, k), expect, "{name} insert {k}");
+                    }
+                    1 => {
+                        assert_eq!(s.delete(k), model.remove(&k), "{name} delete {k}");
+                    }
+                    _ => {
+                        assert_eq!(s.search(k), model.get(&k).copied(), "{name} search {k}");
+                    }
+                }
+            }
+            assert_eq!(s.len(), model.len(), "{name}");
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_ranges() {
+        const THREADS: u64 = 8;
+        const RANGE: u64 = 300;
+        for (name, s) in implementations() {
+            let mut handles = Vec::new();
+            for t in 0..THREADS {
+                let s = Arc::clone(&s);
+                handles.push(std::thread::spawn(move || {
+                    let lo = t * RANGE + 1;
+                    for k in lo..lo + RANGE {
+                        assert!(s.insert(k, k * 3));
+                    }
+                    for k in lo..lo + RANGE {
+                        assert_eq!(s.search(k), Some(k * 3));
+                    }
+                    for k in (lo..lo + RANGE).step_by(3) {
+                        assert_eq!(s.delete(k), Some(k * 3));
+                    }
+                }));
+            }
+            reclaim::offline_while(|| {
+                for h in handles {
+                    h.join().unwrap();
+                }
+            });
+            let expected = THREADS * RANGE - THREADS * RANGE.div_ceil(3);
+            assert_eq!(s.len() as u64, expected, "{name}");
+        }
+    }
+
+    #[test]
+    fn concurrent_contended_net_count() {
+        use std::sync::atomic::{AtomicI64, Ordering};
+        const THREADS: u64 = 8;
+        const OPS: u64 = 15_000;
+        const KEYS: u64 = 48;
+        for (name, s) in implementations() {
+            let net = Arc::new(AtomicI64::new(0));
+            let mut handles = Vec::new();
+            for t in 0..THREADS {
+                let s = Arc::clone(&s);
+                let net = Arc::clone(&net);
+                handles.push(std::thread::spawn(move || {
+                    let mut x = t.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                    for _ in 0..OPS {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let k = x % KEYS + 1;
+                        match x % 3 {
+                            0 => {
+                                if s.insert(k, k * 11) {
+                                    net.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            1 => {
+                                if s.delete(k).is_some() {
+                                    net.fetch_sub(1, Ordering::Relaxed);
+                                }
+                            }
+                            _ => {
+                                if let Some(v) = s.search(k) {
+                                    assert_eq!(v, k * 11, "{name}: corrupt value");
+                                }
+                            }
+                        }
+                    }
+                }));
+            }
+            reclaim::offline_while(|| {
+                for h in handles {
+                    h.join().unwrap();
+                }
+            });
+            assert_eq!(s.len() as i64, net.load(Ordering::Relaxed), "{name}");
+        }
+    }
+}

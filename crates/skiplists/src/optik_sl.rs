@@ -1,0 +1,503 @@
+//! The paper's novel OPTIK-based skip list (§5.3), in its two variants.
+//!
+//! Design (from the paper):
+//!
+//! - traversal tracks the predecessor **and its version** at every level;
+//! - insertions are **eager**: "once the OPTIK lock for a skip-list level
+//!   is acquired, the new node is linked to that level. If a subsequent
+//!   trylock fails, the operation is restarted, but the locks for the
+//!   already inserted levels are not reacquired" — insertion resumes from
+//!   the level that failed;
+//! - a `fully_linked`-style flag "ensures that a partially inserted node
+//!   will not be concurrently deleted";
+//! - a deletion claims its victim by locking the victim's OPTIK lock
+//!   **forever** (so concurrent operations validating against the victim
+//!   always fail) and sets its deleted flag, then acquires all predecessor
+//!   locks and unlinks top-down.
+//!
+//! The two variants differ in how a failed `try_lock_version` is handled:
+//!
+//! - [`OptikSkipList1`] (*optik1*): falls back to a blocking
+//!   `lock_version` plus the fine-grained Herlihy-style validation;
+//! - [`OptikSkipList2`] (*optik2*): immediately restarts the operation —
+//!   simpler, and the faster of the two under skew in the paper.
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+use optik::{OptikLock, OptikVersioned, Version};
+use synchro::Backoff;
+
+use crate::level::{random_level, MAX_LEVEL};
+use crate::{assert_user_key, ConcurrentSet, Key, Val, HEAD_KEY, TAIL_KEY};
+
+pub(crate) struct Node {
+    key: Key,
+    val: Val,
+    top_level: usize,
+    lock: OptikVersioned,
+    marked: AtomicBool,
+    fully_linked: AtomicBool,
+    next: Box<[AtomicPtr<Node>]>,
+}
+
+impl Node {
+    fn boxed(key: Key, val: Val, top_level: usize, linked: bool) -> *mut Node {
+        Box::into_raw(Box::new(Node {
+            key,
+            val,
+            top_level,
+            lock: OptikVersioned::new(),
+            marked: AtomicBool::new(false),
+            fully_linked: AtomicBool::new(linked),
+            next: (0..=top_level)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+        }))
+    }
+}
+
+/// Shared implementation; `FINE` selects the optik1 (fine re-validation)
+/// or optik2 (immediate restart) behaviour.
+pub struct OptikSkipList<const FINE: bool> {
+    head: *mut Node,
+}
+
+/// The *optik1* variant: fine-grained re-validation on version failure.
+pub type OptikSkipList1 = OptikSkipList<true>;
+/// The *optik2* variant: immediate restart on version failure.
+pub type OptikSkipList2 = OptikSkipList<false>;
+
+// SAFETY: per-node OPTIK locks serialize updates; searches read atomic
+// fields of QSBR-protected nodes.
+unsafe impl<const FINE: bool> Send for OptikSkipList<FINE> {}
+unsafe impl<const FINE: bool> Sync for OptikSkipList<FINE> {}
+
+impl<const FINE: bool> OptikSkipList<FINE> {
+    /// Creates an empty skip list.
+    pub fn new() -> Self {
+        let tail = Node::boxed(TAIL_KEY, 0, MAX_LEVEL - 1, true);
+        let head = Node::boxed(HEAD_KEY, 0, MAX_LEVEL - 1, true);
+        // SAFETY: fresh nodes.
+        unsafe {
+            for l in 0..MAX_LEVEL {
+                (*head).next[l].store(tail, Ordering::Relaxed);
+            }
+        }
+        Self { head }
+    }
+
+    /// Traversal with per-level predecessor version tracking.
+    ///
+    /// # Safety
+    ///
+    /// QSBR grace period required.
+    unsafe fn find_tracking(
+        &self,
+        key: Key,
+        preds: &mut [*mut Node; MAX_LEVEL],
+        predvs: &mut [Version; MAX_LEVEL],
+        succs: &mut [*mut Node; MAX_LEVEL],
+    ) -> Option<usize> {
+        // SAFETY: per contract.
+        unsafe {
+            let mut lfound = None;
+            let mut pred = self.head;
+            let mut predv = (*pred).lock.get_version();
+            for l in (0..MAX_LEVEL).rev() {
+                let mut cur = (*pred).next[l].load(Ordering::Acquire);
+                while (*cur).key < key {
+                    pred = cur;
+                    predv = (*pred).lock.get_version();
+                    cur = (*pred).next[l].load(Ordering::Acquire);
+                }
+                if lfound.is_none() && (*cur).key == key {
+                    lfound = Some(l);
+                }
+                preds[l] = pred;
+                predvs[l] = predv;
+                succs[l] = cur;
+            }
+            lfound
+        }
+    }
+
+    /// Tries to lock `pred` for one level: OPTIK trylock first; optik1
+    /// falls back to blocking-lock + fine validation.
+    ///
+    /// Returns whether the lock was acquired with a valid view (caller must
+    /// release with `unlock` after modifying, `revert` otherwise).
+    ///
+    /// # Safety
+    ///
+    /// Grace period; `succ` must be the expected successor at `level`.
+    unsafe fn acquire_level(
+        pred: *mut Node,
+        predv: Version,
+        succ: *mut Node,
+        level: usize,
+    ) -> bool {
+        // SAFETY: per contract.
+        unsafe {
+            if (*pred).lock.try_lock_version(predv) {
+                return true;
+            }
+            if !FINE {
+                return false; // optik2: restart immediately
+            }
+            // optik1: blocking acquisition, then fine-grained validation
+            // (the same checks the Herlihy list uses). The wait must be
+            // bounded by the `marked` flag: a deleter claims its victim by
+            // holding the victim's lock *forever*, so blocking on a marked
+            // predecessor would never return. `marked` is set right after
+            // the claim, so spinning "while locked and not marked" always
+            // terminates.
+            let matched = loop {
+                let v = (*pred).lock.get_version();
+                if !OptikVersioned::is_locked_version(v) {
+                    if (*pred).lock.try_lock_version(v) {
+                        break OptikVersioned::is_same_version(v, predv);
+                    }
+                    continue;
+                }
+                if (*pred).marked.load(Ordering::Acquire) {
+                    return false; // claimed victim: its lock never frees
+                }
+                core::hint::spin_loop();
+            };
+            if matched {
+                return true;
+            }
+            let ok = !(*pred).marked.load(Ordering::Acquire)
+                && !(*succ).marked.load(Ordering::Acquire)
+                && (*pred).next[level].load(Ordering::Acquire) == succ;
+            if ok {
+                return true;
+            }
+            (*pred).lock.revert();
+            false
+        }
+    }
+}
+
+impl<const FINE: bool> Default for OptikSkipList<FINE> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const FINE: bool> ConcurrentSet for OptikSkipList<FINE> {
+    fn search(&self, key: Key) -> Option<Val> {
+        assert_user_key(key);
+        reclaim::quiescent();
+        // SAFETY: grace period.
+        unsafe {
+            let mut pred = self.head;
+            let mut found: *mut Node = std::ptr::null_mut();
+            for l in (0..MAX_LEVEL).rev() {
+                let mut cur = (*pred).next[l].load(Ordering::Acquire);
+                while (*cur).key < key {
+                    pred = cur;
+                    cur = (*cur).next[l].load(Ordering::Acquire);
+                }
+                if (*cur).key == key {
+                    found = cur;
+                    break;
+                }
+            }
+            (!found.is_null()
+                && (*found).fully_linked.load(Ordering::Acquire)
+                && !(*found).marked.load(Ordering::Acquire))
+            .then(|| (*found).val)
+        }
+    }
+
+    fn insert(&self, key: Key, val: Val) -> bool {
+        assert_user_key(key);
+        reclaim::quiescent();
+        let top_level = random_level() - 1;
+        let mut preds = [std::ptr::null_mut(); MAX_LEVEL];
+        let mut predvs = [0; MAX_LEVEL];
+        let mut succs = [std::ptr::null_mut(); MAX_LEVEL];
+        let mut node: *mut Node = std::ptr::null_mut();
+        // Levels `0..start_level` are already linked (eager insertion).
+        let mut start_level = 0usize;
+        let mut bo = Backoff::new();
+        loop {
+            // SAFETY: grace period per attempt; our partially-linked node
+            // cannot be deleted (not fully linked).
+            unsafe {
+                let lf = self.find_tracking(key, &mut preds, &mut predvs, &mut succs);
+                if start_level == 0 {
+                    if let Some(lf) = lf {
+                        let found = succs[lf];
+                        if !(*found).marked.load(Ordering::Acquire) {
+                            while !(*found).fully_linked.load(Ordering::Acquire) {
+                                core::hint::spin_loop();
+                            }
+                            return false;
+                        }
+                        // Key is being deleted: wait for the unlink.
+                        bo.backoff();
+                        continue;
+                    }
+                    if node.is_null() {
+                        node = Node::boxed(key, val, top_level, false);
+                    }
+                }
+                // Link level by level, eagerly.
+                let mut l = start_level;
+                let mut progressed = true;
+                while l <= top_level {
+                    let pred = preds[l];
+                    let succ = succs[l];
+                    // Prepare the node's own pointer first; level `l` is
+                    // not yet reachable, so a plain store is fine.
+                    (*node).next[l].store(succ, Ordering::Relaxed);
+                    if !Self::acquire_level(pred, predvs[l], succ, l) {
+                        progressed = false;
+                        break;
+                    }
+                    (*pred).next[l].store(node, Ordering::Release);
+                    (*pred).lock.unlock();
+                    l += 1;
+                    start_level = l;
+                }
+                if l > top_level {
+                    (*node).fully_linked.store(true, Ordering::Release);
+                    return true;
+                }
+                if !progressed {
+                    bo.backoff();
+                }
+                // Restart: re-parse, continue from the level that failed
+                // ("the locks for the already inserted levels are not
+                // reacquired").
+            }
+        }
+    }
+
+    fn delete(&self, key: Key) -> Option<Val> {
+        assert_user_key(key);
+        reclaim::quiescent();
+        let mut preds = [std::ptr::null_mut(); MAX_LEVEL];
+        let mut predvs = [0; MAX_LEVEL];
+        let mut succs = [std::ptr::null_mut(); MAX_LEVEL];
+        let mut victim: *mut Node = std::ptr::null_mut();
+        let mut claimed = false;
+        let mut top_level = 0usize;
+        let mut bo = Backoff::new();
+        loop {
+            // SAFETY: grace period per attempt; a claimed victim is pinned
+            // (its lock is held forever by us until unlinked + retired).
+            unsafe {
+                let lf = self.find_tracking(key, &mut preds, &mut predvs, &mut succs);
+                if !claimed {
+                    let lf = lf?;
+                    let cand = succs[lf];
+                    // Read the candidate's version *before* the eligibility
+                    // checks, so claiming validates them.
+                    let candv = (*cand).lock.get_version();
+                    if !(*cand).fully_linked.load(Ordering::Acquire)
+                        || (*cand).top_level != lf
+                        || (*cand).marked.load(Ordering::Acquire)
+                    {
+                        return None;
+                    }
+                    // Claim: lock the victim FOREVER (its version can never
+                    // validate again) and flag it deleted.
+                    if !(*cand).lock.try_lock_version(candv) {
+                        bo.backoff();
+                        continue;
+                    }
+                    (*cand).marked.store(true, Ordering::Release);
+                    victim = cand;
+                    top_level = (*victim).top_level;
+                    claimed = true;
+                    // Re-parse so preds reflect the claimed victim.
+                    continue;
+                }
+                // Acquire every distinct predecessor (bottom-up), each with
+                // the version of its *highest* (earliest-read) level.
+                let mut acquired: Vec<*mut Node> = Vec::with_capacity(top_level + 1);
+                let mut valid = true;
+                for l in 0..=top_level {
+                    let pred = preds[l];
+                    if acquired.contains(&pred) {
+                        // Same pred covers this level; version validated at
+                        // its first-seen (higher) level... levels are
+                        // scanned bottom-up here, so validate equality.
+                        if succs[l] != victim {
+                            valid = false;
+                            break;
+                        }
+                        continue;
+                    }
+                    if succs[l] != victim {
+                        // Traversal no longer reaches the victim at this
+                        // level (e.g. a new node slid in between).
+                        valid = false;
+                        break;
+                    }
+                    if !Self::acquire_level(pred, predvs[l], victim, l) {
+                        valid = false;
+                        break;
+                    }
+                    acquired.push(pred);
+                }
+                if !valid {
+                    for p in acquired {
+                        (*p).lock.revert();
+                    }
+                    bo.backoff();
+                    continue;
+                }
+                // Unlink top-down under all pred locks; the victim's own
+                // next pointers are frozen (its lock is held by us).
+                for l in (0..=top_level).rev() {
+                    (*preds[l])
+                        .next[l]
+                        .store((*victim).next[l].load(Ordering::Relaxed), Ordering::Release);
+                }
+                for p in acquired {
+                    (*p).lock.unlock();
+                }
+                let val = (*victim).val;
+                // The victim's lock is never released ("locked forever").
+                // SAFETY: fully unlinked; sole claimer retires.
+                reclaim::with_local(|h| h.retire(victim));
+                return Some(val);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        reclaim::quiescent();
+        // SAFETY: grace period.
+        unsafe {
+            let mut n = 0;
+            let mut cur = (*self.head).next[0].load(Ordering::Acquire);
+            while (*cur).key != TAIL_KEY {
+                if !(*cur).marked.load(Ordering::Relaxed)
+                    && (*cur).fully_linked.load(Ordering::Relaxed)
+                {
+                    n += 1;
+                }
+                cur = (*cur).next[0].load(Ordering::Acquire);
+            }
+            n
+        }
+    }
+}
+
+impl<const FINE: bool> Drop for OptikSkipList<FINE> {
+    fn drop(&mut self) {
+        let mut cur = self.head;
+        while !cur.is_null() {
+            // SAFETY: exclusive at drop.
+            // Every tower has a level 0 (top_level >= 0), incl. sentinels.
+            let next = unsafe { (*cur).next[0].load(Ordering::Relaxed) };
+            // SAFETY: unique ownership.
+            unsafe { drop(Box::from_raw(cur)) };
+            cur = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn roundtrip<const FINE: bool>() {
+        let s: OptikSkipList<FINE> = OptikSkipList::new();
+        assert!(s.insert(10, 100));
+        assert!(s.insert(5, 50));
+        assert!(!s.insert(10, 999));
+        assert_eq!(s.search(5), Some(50));
+        assert_eq!(s.delete(10), Some(100));
+        assert_eq!(s.delete(10), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_optik1() {
+        roundtrip::<true>();
+    }
+
+    #[test]
+    fn roundtrip_optik2() {
+        roundtrip::<false>();
+    }
+
+    #[test]
+    fn victim_lock_stays_locked() {
+        let s = OptikSkipList2::new();
+        assert!(s.insert(7, 70));
+        // Grab the node before deletion.
+        let node = unsafe { (*s.head).next[0].load(Ordering::Relaxed) };
+        assert_eq!(s.delete(7), Some(70));
+        // SAFETY: we have not quiesced since the retire.
+        let v = unsafe { (*node).lock.get_version() };
+        assert!(OptikVersioned::is_locked_version(v));
+    }
+
+    fn one_delete_wins<const FINE: bool>() {
+        let s: Arc<OptikSkipList<FINE>> = Arc::new(OptikSkipList::new());
+        for round in 1..=50u64 {
+            assert!(s.insert(round, round));
+            let mut handles = Vec::new();
+            for _ in 0..6 {
+                let s = Arc::clone(&s);
+                handles.push(std::thread::spawn(move || s.delete(round).is_some()));
+            }
+            let winners: usize = handles
+                .into_iter()
+                .map(|h| usize::from(h.join().unwrap()))
+                .sum();
+            assert_eq!(winners, 1, "round {round}");
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn one_delete_wins_optik1() {
+        one_delete_wins::<true>();
+    }
+
+    #[test]
+    fn one_delete_wins_optik2() {
+        one_delete_wins::<false>();
+    }
+
+    #[test]
+    fn eager_insertion_survives_interleaved_deletes() {
+        // Concurrent inserts and deletes of overlapping tall towers.
+        let s = Arc::new(OptikSkipList2::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let mut net = 0i64;
+                let mut x = t.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                for _ in 0..10_000u64 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let k = x % 16 + 1; // very hot keys
+                    if x % 2 == 0 {
+                        if s.insert(k, k) {
+                            net += 1;
+                        }
+                    } else if s.delete(k).is_some() {
+                        net -= 1;
+                    }
+                }
+                net
+            }));
+        }
+        let net: i64 = reclaim::offline_while(|| {
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(s.len() as i64, net);
+    }
+}

@@ -1,0 +1,337 @@
+//! Elimination-backoff stack (Hendler, Shavit & Yerushalmi [24]).
+//!
+//! §5.5 of the paper names elimination as the known remedy for stack
+//! contention ("there are ways to alleviate this problem, such as
+//! aggressive backoff mechanisms, or elimination"). This implements that
+//! future-work pointer: a [`crate::TreiberStack`] core plus an exchanger
+//! array where a concurrent push and pop *eliminate* each other without
+//! ever touching the stack top.
+//!
+//! Each exchanger slot runs a stamped three-state protocol
+//! (`EMPTY → WAITING → DONE → EMPTY`, sequence number in the upper bits so
+//! transitions never ABA):
+//!
+//! - a pusher that lost the top CAS publishes its value in a random slot
+//!   and waits briefly for a popper; on timeout it withdraws;
+//! - a popper that lost the top CAS scans a random slot; if it finds a
+//!   waiting pusher it claims the value with one CAS.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use synchro::{Backoff, CachePadded};
+
+use crate::{ConcurrentStack, TreiberStack, Val};
+
+const TAG_EMPTY: u64 = 0;
+const TAG_WAITING: u64 = 1;
+const TAG_DONE: u64 = 2;
+/// Slot claimed by a pusher that has not yet published its value. The
+/// claim phase is what prevents two racing pushers from overwriting each
+/// other's `val` before either wins the state CAS.
+const TAG_CLAIM: u64 = 3;
+const TAG_MASK: u64 = 0b11;
+
+#[inline]
+fn tag(word: u64) -> u64 {
+    word & TAG_MASK
+}
+
+#[inline]
+fn bump(word: u64, new_tag: u64) -> u64 {
+    ((word >> 2) + 1) << 2 | new_tag
+}
+
+struct Slot {
+    state: AtomicU64,
+    val: AtomicU64,
+}
+
+/// How long a pusher camps on an exchanger slot before withdrawing.
+const EXCHANGE_SPINS: u32 = 256;
+
+/// A Treiber stack with an elimination layer.
+pub struct EliminationStack {
+    stack: TreiberStack,
+    slots: Box<[CachePadded<Slot>]>,
+    /// Cheap per-call slot randomization.
+    ticket: AtomicU64,
+}
+
+impl EliminationStack {
+    /// Default number of exchanger slots.
+    pub const DEFAULT_SLOTS: usize = 8;
+
+    /// Creates an empty stack with the default exchanger width.
+    pub fn new() -> Self {
+        Self::with_slots(Self::DEFAULT_SLOTS)
+    }
+
+    /// Creates an empty stack with `slots` exchanger slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0`.
+    pub fn with_slots(slots: usize) -> Self {
+        assert!(slots > 0, "need at least one exchanger slot");
+        Self {
+            stack: TreiberStack::new(),
+            slots: (0..slots)
+                .map(|_| {
+                    CachePadded::new(Slot {
+                        state: AtomicU64::new(TAG_EMPTY),
+                        val: AtomicU64::new(0),
+                    })
+                })
+                .collect(),
+            ticket: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn pick_slot(&self) -> &Slot {
+        let t = self.ticket.fetch_add(1, Ordering::Relaxed);
+        // Golden-ratio scramble to decorrelate adjacent tickets.
+        let i = (t.wrapping_mul(0x9E3779B97F4A7C15) >> 32) as usize % self.slots.len();
+        &self.slots[i]
+    }
+
+    /// Offers `val` on the elimination array; `true` if a popper took it.
+    fn try_eliminate_push(&self, val: Val) -> bool {
+        let slot = self.pick_slot();
+        let w = slot.state.load(Ordering::Acquire);
+        if tag(w) != TAG_EMPTY {
+            return false; // slot busy; fall back to the stack
+        }
+        // Claim first (CAS), publish the value second (store), open for
+        // poppers third (store). Writing `val` before winning the claim
+        // would let a racing pusher clobber the winner's value.
+        let claim = bump(w, TAG_CLAIM);
+        if slot
+            .state
+            .compare_exchange(w, claim, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return false;
+        }
+        slot.val.store(val, Ordering::Relaxed);
+        let waiting = bump(claim, TAG_WAITING);
+        slot.state.store(waiting, Ordering::Release);
+        // Camp briefly for a partner.
+        for _ in 0..EXCHANGE_SPINS {
+            let now = slot.state.load(Ordering::Acquire);
+            if now != waiting {
+                debug_assert_eq!(tag(now), TAG_DONE);
+                // Partner took the value; recycle the slot.
+                slot.state.store(bump(now, TAG_EMPTY), Ordering::Release);
+                return true;
+            }
+            core::hint::spin_loop();
+        }
+        // Withdraw; a concurrent popper may beat us to it.
+        match slot.state.compare_exchange(
+            waiting,
+            bump(waiting, TAG_EMPTY),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => false,
+            Err(now) => {
+                // Lost the withdrawal: the popper committed.
+                debug_assert_eq!(tag(now), TAG_DONE);
+                slot.state.store(bump(now, TAG_EMPTY), Ordering::Release);
+                true
+            }
+        }
+    }
+
+    /// Tries to take a waiting pusher's value from the elimination array.
+    fn try_eliminate_pop(&self) -> Option<Val> {
+        let slot = self.pick_slot();
+        let w = slot.state.load(Ordering::Acquire);
+        if tag(w) != TAG_WAITING {
+            return None;
+        }
+        // Read the value under the observed stamp; the stamped CAS below
+        // guarantees it still belongs to that pusher.
+        let val = slot.val.load(Ordering::Relaxed);
+        if slot
+            .state
+            .compare_exchange(w, bump(w, TAG_DONE), Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            Some(val)
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for EliminationStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConcurrentStack for EliminationStack {
+    fn push(&self, val: Val) {
+        // Fast path: one attempt on the stack top.
+        // (TreiberStack::push loops internally, so inline the attempt here
+        // via pop/push of the elimination layer instead: try the stack
+        // first with bounded retries, interleaving elimination attempts.)
+        let mut bo = Backoff::new();
+        loop {
+            // One optimistic stack attempt == full Treiber push when
+            // uncontended; under contention it spins, so bound it by trying
+            // elimination between backoffs.
+            if self.try_eliminate_push_or_stack(val, &mut bo) {
+                return;
+            }
+        }
+    }
+
+    fn pop(&self) -> Option<Val> {
+        let mut bo = Backoff::new();
+        loop {
+            match self.stack.try_pop_once() {
+                Ok(v) => return v,
+                Err(()) => {
+                    if let Some(v) = self.try_eliminate_pop() {
+                        return Some(v);
+                    }
+                    bo.backoff();
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+impl EliminationStack {
+    fn try_eliminate_push_or_stack(&self, val: Val, bo: &mut Backoff) -> bool {
+        match self.stack.try_push_once(val) {
+            Ok(()) => true,
+            Err(()) => {
+                if self.try_eliminate_push(val) {
+                    return true;
+                }
+                bo.backoff();
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lifo_when_uncontended() {
+        let s = EliminationStack::new();
+        assert_eq!(s.pop(), None);
+        s.push(1);
+        s.push(2);
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn elimination_slot_protocol_roundtrip() {
+        let s = EliminationStack::with_slots(1);
+        // Stage a pusher manually: publish on the single slot.
+        let slot = &s.slots[0];
+        let w = slot.state.load(Ordering::Relaxed);
+        slot.val.store(77, Ordering::Relaxed);
+        // Two bumps: claim then waiting, as the real pusher does.
+        slot.state
+            .store(bump(bump(w, TAG_CLAIM), TAG_WAITING), Ordering::Release);
+        // A popper must claim it.
+        assert_eq!(s.try_eliminate_pop(), Some(77));
+        assert_eq!(tag(slot.state.load(Ordering::Relaxed)), TAG_DONE);
+    }
+
+    #[test]
+    fn conserves_elements_under_heavy_contention() {
+        let s = Arc::new(EliminationStack::new());
+        let mut handles = Vec::new();
+        for t in 0..12u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let mut net = 0i64;
+                let mut x = t.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                for _ in 0..30_000u64 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    if x % 2 == 0 {
+                        s.push(x);
+                        net += 1;
+                    } else if s.pop().is_some() {
+                        net -= 1;
+                    }
+                }
+                net
+            }));
+        }
+        let net: i64 = reclaim::offline_while(|| {
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(s.len() as i64, net);
+    }
+
+    #[test]
+    fn no_value_is_duplicated_or_lost() {
+        let s = Arc::new(EliminationStack::new());
+        const PUSHERS: u64 = 6;
+        const PER: u64 = 20_000;
+        let mut handles = Vec::new();
+        for p in 0..PUSHERS {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER {
+                    s.push(p * PER + i + 1);
+                }
+            }));
+        }
+        let popped = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut poppers = Vec::new();
+        for _ in 0..6 {
+            let s = Arc::clone(&s);
+            let popped = Arc::clone(&popped);
+            let done = Arc::clone(&done);
+            poppers.push(std::thread::spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    match s.pop() {
+                        Some(v) => local.push(v),
+                        None => {
+                            if done.load(Ordering::Acquire) && s.pop().is_none() {
+                                break;
+                            }
+                        }
+                    }
+                }
+                popped.lock().unwrap().extend(local);
+            }));
+        }
+        reclaim::offline_while(|| {
+            for h in handles {
+                h.join().unwrap();
+            }
+            done.store(true, Ordering::Release);
+            for p in poppers {
+                p.join().unwrap();
+            }
+        });
+        let mut got = popped.lock().unwrap().clone();
+        got.sort_unstable();
+        let expect: Vec<u64> = (1..=PUSHERS * PER).collect();
+        assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,166 @@
+//! Exponential backoff, mirroring the paper's experimental methodology.
+//!
+//! §5 of the paper: "For fairness, all data structures use the exact same
+//! backoff function. We use exponentially increasing backoff times with up
+//! to 16k cycles maximum backoff." This module provides that function. The
+//! unit of waiting is one `core::hint::spin_loop()` invocation, which on
+//! x86 lowers to `pause`; a pause costs on the order of a few cycles, so the
+//! default cap of [`Backoff::DEFAULT_MAX_WAIT`] iterations approximates the
+//! paper's 16k-cycle ceiling.
+
+use core::hint;
+
+/// Exponentially increasing busy-wait backoff with a hard cap.
+///
+/// Each call to [`Backoff::backoff`] spins for the current wait amount and
+/// then doubles it, saturating at the configured maximum. Use one value per
+/// retry loop; the state is intentionally not shared between threads.
+///
+/// # Examples
+///
+/// ```
+/// use synchro::Backoff;
+///
+/// let mut bo = Backoff::new();
+/// for attempt in 0..4 {
+///     // ... try an optimistic operation, fail, then:
+///     bo.backoff();
+/// }
+/// assert!(bo.waited() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    current: u32,
+    max: u32,
+    total: u64,
+}
+
+impl Backoff {
+    /// Initial wait in spin iterations.
+    pub const INITIAL_WAIT: u32 = 2;
+    /// Default cap, approximating the paper's 16k-cycle maximum backoff.
+    pub const DEFAULT_MAX_WAIT: u32 = 1 << 12;
+
+    /// Creates a backoff with the default cap.
+    #[inline]
+    pub fn new() -> Self {
+        Self::with_max(Self::DEFAULT_MAX_WAIT)
+    }
+
+    /// Creates a backoff with a custom cap (in spin iterations).
+    #[inline]
+    pub fn with_max(max: u32) -> Self {
+        Self {
+            current: Self::INITIAL_WAIT,
+            max: max.max(1),
+            total: 0,
+        }
+    }
+
+    /// Spins for the current wait amount, then doubles it (saturating).
+    #[inline]
+    pub fn backoff(&mut self) {
+        let n = self.current;
+        spin(n);
+        self.total += u64::from(n);
+        self.current = (self.current.saturating_mul(2)).min(self.max);
+    }
+
+    /// Whether the backoff has reached its maximum wait.
+    #[inline]
+    pub fn is_saturated(&self) -> bool {
+        self.current >= self.max
+    }
+
+    /// Total spin iterations waited so far.
+    #[inline]
+    pub fn waited(&self) -> u64 {
+        self.total
+    }
+
+    /// Resets the wait back to the initial value.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.current = Self::INITIAL_WAIT;
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Spins for `n` iterations of the CPU's pause hint.
+#[inline]
+pub fn spin(n: u32) {
+    for _ in 0..n {
+        hint::spin_loop();
+    }
+}
+
+/// Proportional backoff: waits `distance * unit` pause iterations.
+///
+/// Used by the ticket-lock-based OPTIK `lock_backoff` extension (§3.2 of the
+/// paper): a thread that knows it is `distance` slots away from acquiring a
+/// ticket lock waits proportionally instead of hammering the lock word.
+#[inline]
+pub fn proportional(distance: u32, unit: u32) -> u32 {
+    let n = distance.saturating_mul(unit);
+    spin(n);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_exponentially_then_saturates() {
+        let mut bo = Backoff::with_max(16);
+        assert!(!bo.is_saturated());
+        bo.backoff(); // waited 2, current 4
+        bo.backoff(); // waited 4, current 8
+        bo.backoff(); // waited 8, current 16
+        assert!(bo.is_saturated());
+        bo.backoff(); // waited 16, current stays 16
+        assert!(bo.is_saturated());
+        assert_eq!(bo.waited(), 2 + 4 + 8 + 16);
+    }
+
+    #[test]
+    fn reset_restores_initial_wait() {
+        let mut bo = Backoff::with_max(8);
+        bo.backoff();
+        bo.backoff();
+        bo.reset();
+        assert!(!bo.is_saturated());
+        let before = bo.waited();
+        bo.backoff();
+        assert_eq!(bo.waited(), before + u64::from(Backoff::INITIAL_WAIT));
+    }
+
+    #[test]
+    fn max_is_clamped_to_at_least_one() {
+        let mut bo = Backoff::with_max(0);
+        bo.backoff();
+        assert!(bo.is_saturated());
+    }
+
+    #[test]
+    fn proportional_waits_product() {
+        assert_eq!(proportional(3, 10), 30);
+        assert_eq!(proportional(0, 10), 0);
+        // saturating multiply, not overflow (don't actually spin u32::MAX:
+        // exercise the arithmetic path the function uses)
+        assert_eq!(u32::MAX.saturating_mul(2), u32::MAX);
+    }
+
+    #[test]
+    fn default_matches_new() {
+        let a = Backoff::default();
+        let b = Backoff::new();
+        assert_eq!(a.max, b.max);
+        assert_eq!(a.current, b.current);
+    }
+}

@@ -1,0 +1,59 @@
+//! Cheap timestamp counter for latency measurements.
+//!
+//! The paper measures per-operation latencies with "the per-core timestamp
+//! counter for accurately measuring the duration of an operation in cycles"
+//! (§5). On x86_64 we read `rdtsc` directly; elsewhere we fall back to a
+//! monotonic clock scaled to nanoseconds (close enough to cycles at ~GHz
+//! clock rates for distribution *shapes*).
+
+/// Reads the current timestamp, in cycles on x86_64 (nanoseconds elsewhere).
+#[inline]
+#[cfg(target_arch = "x86_64")]
+pub fn now() -> u64 {
+    // SAFETY: `rdtsc` has no preconditions; it only reads the TSC.
+    unsafe { core::arch::x86_64::_rdtsc() }
+}
+
+/// Reads the current timestamp, in cycles on x86_64 (nanoseconds elsewhere).
+#[inline]
+#[cfg(not(target_arch = "x86_64"))]
+pub fn now() -> u64 {
+    use std::time::Instant;
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now().duration_since(epoch).as_nanos() as u64
+}
+
+/// Returns the elapsed ticks between two [`now`] readings.
+///
+/// Saturates at zero if the counter appears to run backwards (possible
+/// across socket migrations on exotic hardware).
+#[inline]
+pub fn elapsed(start: u64, end: u64) -> u64 {
+    end.saturating_sub(start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_is_monotonic_enough() {
+        let a = now();
+        // Burn a little time so even coarse clocks advance.
+        let mut x = 0u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_add(i * i);
+        }
+        std::hint::black_box(x);
+        let b = now();
+        assert!(b >= a, "timestamp went backwards: {a} -> {b}");
+    }
+
+    #[test]
+    fn elapsed_saturates() {
+        assert_eq!(elapsed(10, 5), 0);
+        assert_eq!(elapsed(5, 10), 5);
+    }
+}

@@ -1,0 +1,95 @@
+//! Test-and-set spinlock.
+//!
+//! The simplest possible spinlock: a single byte, acquired with an atomic
+//! swap. Every acquisition attempt writes the cache line, so under
+//! contention the line ping-pongs between cores — the paper uses this as the
+//! worst-case baseline ("if we use a test-and-set lock instead of a TTAS,
+//! the number of CAS per validation explodes", §3.2 footnote).
+
+use core::sync::atomic::{AtomicBool, Ordering};
+
+use crate::lock_api::RawLock;
+
+/// A test-and-set spinlock.
+#[derive(Debug, Default)]
+pub struct TasLock {
+    locked: AtomicBool,
+}
+
+impl TasLock {
+    /// Creates an unlocked lock.
+    pub const fn new() -> Self {
+        Self {
+            locked: AtomicBool::new(false),
+        }
+    }
+}
+
+impl RawLock for TasLock {
+    #[inline]
+    fn lock(&self) {
+        // Swap unconditionally: the "test-and-set" in the name.
+        while self.locked.swap(true, Ordering::Acquire) {
+            core::hint::spin_loop();
+        }
+    }
+
+    #[inline]
+    fn try_lock(&self) -> bool {
+        !self.locked.swap(true, Ordering::Acquire)
+    }
+
+    #[inline]
+    fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+
+    #[inline]
+    fn is_locked(&self) -> bool {
+        self.locked.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_lock_unlock() {
+        let l = TasLock::new();
+        assert!(!l.is_locked());
+        l.lock();
+        assert!(l.is_locked());
+        assert!(!l.try_lock());
+        l.unlock();
+        assert!(!l.is_locked());
+        assert!(l.try_lock());
+        l.unlock();
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        use std::sync::atomic::AtomicU32;
+        use std::sync::Arc;
+
+        let lock = Arc::new(TasLock::new());
+        let inside = Arc::new(AtomicU32::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let lock = Arc::clone(&lock);
+            let inside = Arc::clone(&inside);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..5_000 {
+                    lock.lock();
+                    let was = inside.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(was, 0, "two threads inside the TAS critical section");
+                    inside.fetch_sub(1, Ordering::SeqCst);
+                    lock.unlock();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! A warehouse inventory on the OPTIK external BST, with optimistic
+//! per-SKU stock counters.
+//!
+//! SKUs (stock-keeping units) live in an [`OptikBst`] — the workspace's
+//! extension structure, the BST-TK-style tree the paper's related work
+//! points to. Each SKU's on-hand count lives in an [`OptikCell`], so reads
+//! never lock and adjustments are single-CAS OPTIK transactions. Pickers
+//! take units, a restocker tops depleted SKUs back up, and auditors
+//! continuously check that counts stay within bounds. At the end the
+//! example asserts exact conservation: initial + restocked − picked ==
+//! on-hand.
+//!
+//! Run with: `cargo run --release -p optik-suite --example inventory`
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use optik_suite::harness::FastRng;
+use optik_suite::optik::OptikCell;
+use optik_suite::prelude::*;
+
+const SKUS: u64 = 512;
+const INITIAL_STOCK: u64 = 100;
+const PICKERS: u64 = 6;
+const AUDITORS: usize = 2;
+const RUN_MS: u64 = 300;
+
+fn main() {
+    // The catalog maps SKU -> slot index; per-slot stock counters are
+    // OPTIK cells (seqlock-style readers, single-CAS optimistic writers).
+    let catalog = Arc::new(OptikBst::new());
+    let stock: Arc<Vec<OptikCell<u64>>> =
+        Arc::new((0..SKUS).map(|_| OptikCell::new(INITIAL_STOCK)).collect());
+
+    for sku in 1..=SKUS {
+        assert!(catalog.insert(sku, sku - 1)); // value = slot index
+    }
+    println!(
+        "catalog seeded with {} SKUs x {INITIAL_STOCK} units",
+        catalog.len()
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let picked = Arc::new(AtomicU64::new(0));
+    let restocked = Arc::new(AtomicU64::new(0));
+    let oos_events = Arc::new(AtomicU64::new(0)); // out-of-stock
+
+    let mut handles = Vec::new();
+
+    // Pickers: look a SKU up in the tree, then try to take one unit. A
+    // failed `try_update` (conflicting picker/restocker) is simply
+    // retried on the next loop iteration — best-effort, like the paper's
+    // trylock-based operations.
+    for t in 0..PICKERS {
+        let catalog = Arc::clone(&catalog);
+        let stock = Arc::clone(&stock);
+        let stop = Arc::clone(&stop);
+        let picked = Arc::clone(&picked);
+        let oos = Arc::clone(&oos_events);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = FastRng::for_thread(7, t as usize);
+            while !stop.load(Ordering::Relaxed) {
+                let sku = rng.range_inclusive(1, SKUS);
+                let Some(slot) = catalog.search(sku) else {
+                    continue;
+                };
+                let cell = &stock[slot as usize];
+                let mut before = 0;
+                if cell
+                    .try_update(|n| {
+                        before = n;
+                        n.saturating_sub(1)
+                    })
+                    .is_ok()
+                {
+                    if before > 0 {
+                        picked.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        oos.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+
+    // Restocker: sweeps the shelves; SKUs below half get topped back up to
+    // the initial level. The read never locks; only actual top-ups
+    // synchronize (the OPTIK "infeasible operations return without
+    // locking" rule).
+    {
+        let stock = Arc::clone(&stock);
+        let stop = Arc::clone(&stop);
+        let restocked = Arc::clone(&restocked);
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                for cell in stock.iter() {
+                    if cell.read() >= INITIAL_STOCK / 2 {
+                        continue; // plenty left: no synchronization
+                    }
+                    let mut added = 0;
+                    if cell
+                        .try_update(|cur| {
+                            added = INITIAL_STOCK.saturating_sub(cur);
+                            INITIAL_STOCK.max(cur)
+                        })
+                        .is_ok()
+                    {
+                        restocked.fetch_add(added, Ordering::Relaxed);
+                    }
+                }
+                std::thread::yield_now();
+            }
+        }));
+    }
+
+    // Auditors: snapshots must always be sane — never above the restock
+    // level, and never torn.
+    for _ in 0..AUDITORS {
+        let stock = Arc::clone(&stock);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                for cell in stock.iter() {
+                    let n = cell.read();
+                    assert!(n <= INITIAL_STOCK, "stock overflowed: {n}");
+                }
+            }
+        }));
+    }
+
+    std::thread::sleep(std::time::Duration::from_millis(RUN_MS));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let total: u64 = stock.iter().map(|c| c.read()).sum();
+    println!(
+        "picked {} units, restocked {}, {} out-of-stock hits",
+        picked.load(Ordering::Relaxed),
+        restocked.load(Ordering::Relaxed),
+        oos_events.load(Ordering::Relaxed)
+    );
+    println!(
+        "on-hand now {total} units across {SKUS} SKUs (≤ {} by audit invariant)",
+        SKUS * INITIAL_STOCK
+    );
+    // Conservation: initial + restocked - picked == on-hand.
+    assert_eq!(
+        SKUS * INITIAL_STOCK + restocked.load(Ordering::Relaxed)
+            - picked.load(Ordering::Relaxed),
+        total,
+        "units must be conserved"
+    );
+    println!("conservation check passed");
+}

@@ -1,0 +1,130 @@
+//! A web-session store on the resizable striped hash table.
+//!
+//! Session stores rarely know their cardinality up front — exactly the
+//! situation the fixed-capacity `java` table of Figure 10 cannot handle
+//! and the [`ResizableStripedHashTable`] extension exists for. Login
+//! threads create sessions (forcing segment-local growth), request
+//! threads validate tokens, and a reaper expires old sessions. The store
+//! starts at 2 buckets per segment and grows itself by orders of
+//! magnitude while serving reads lock-free.
+//!
+//! Run with: `cargo run --release -p optik-suite --example session_store`
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use optik_suite::harness::FastRng;
+use optik_suite::prelude::*;
+
+const SEGMENTS: usize = 64;
+const LOGIN_THREADS: u64 = 4;
+const REQUEST_THREADS: u64 = 4;
+const RUN_MS: u64 = 300;
+
+fn main() {
+    let store = Arc::new(ResizableStripedHashTable::new(SEGMENTS, 2));
+    println!(
+        "session store: {SEGMENTS} segments, {} total buckets initially",
+        store.capacity()
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let next_session = Arc::new(AtomicU64::new(1));
+    let logins = Arc::new(AtomicU64::new(0));
+    let hits = Arc::new(AtomicU64::new(0));
+    let misses = Arc::new(AtomicU64::new(0));
+    let expired = Arc::new(AtomicU64::new(0));
+
+    let mut handles = Vec::new();
+
+    // Login threads: mint session ids, store token hashes.
+    for _ in 0..LOGIN_THREADS {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        let next = Arc::clone(&next_session);
+        let logins = Arc::clone(&logins);
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let sid = next.fetch_add(1, Ordering::Relaxed);
+                let token = sid.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                assert!(store.insert(sid, token), "session ids are unique");
+                logins.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+
+    // Request threads: validate tokens for random recent sessions.
+    for t in 0..REQUEST_THREADS {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        let next = Arc::clone(&next_session);
+        let hits = Arc::clone(&hits);
+        let misses = Arc::clone(&misses);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = FastRng::for_thread(31, t as usize);
+            while !stop.load(Ordering::Relaxed) {
+                let hi = next.load(Ordering::Relaxed);
+                if hi <= 1 {
+                    continue;
+                }
+                let sid = rng.range_inclusive(1, hi - 1);
+                match store.search(sid) {
+                    Some(token) => {
+                        // Token integrity: must be the exact hash minted at
+                        // login, never a torn/stale value.
+                        assert_eq!(token, sid.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        misses.fetch_add(1, Ordering::Relaxed); // reaped
+                    }
+                }
+            }
+        }));
+    }
+
+    // Reaper: expires the oldest half of the id space, continuously.
+    {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        let next = Arc::clone(&next_session);
+        let expired = Arc::clone(&expired);
+        handles.push(std::thread::spawn(move || {
+            let mut cursor = 1u64;
+            while !stop.load(Ordering::Relaxed) {
+                let hi = next.load(Ordering::Relaxed);
+                // Keep roughly the newest half alive.
+                while cursor < hi / 2 {
+                    if store.delete(cursor).is_some() {
+                        expired.fetch_add(1, Ordering::Relaxed);
+                    }
+                    cursor += 1;
+                }
+                std::thread::yield_now();
+            }
+        }));
+    }
+
+    std::thread::sleep(std::time::Duration::from_millis(RUN_MS));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let logins = logins.load(Ordering::Relaxed);
+    let expired = expired.load(Ordering::Relaxed);
+    println!(
+        "{} logins, {} validated, {} misses (reaped), {} expired",
+        logins,
+        hits.load(Ordering::Relaxed),
+        misses.load(Ordering::Relaxed),
+        expired
+    );
+    println!(
+        "store grew to {} buckets; {} sessions live",
+        store.capacity(),
+        store.len()
+    );
+    assert_eq!(store.len() as u64, logins - expired, "sessions conserved");
+    println!("conservation check passed");
+}

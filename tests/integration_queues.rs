@@ -1,0 +1,94 @@
+//! Cross-crate integration for the six queues: linearizable FIFO behaviour
+//! under the harness workload, plus conservation and drain checks.
+
+use std::sync::Arc;
+
+use optik_suite::harness::runner::run_queue_workload;
+use optik_suite::harness::ConcurrentQueue;
+use optik_suite::queues::{
+    MsLbQueue, MsLfQueue, OptikQueue0, OptikQueue1, OptikQueue2, VictimQueue,
+};
+
+fn all_queues() -> Vec<(&'static str, Arc<dyn ConcurrentQueue>)> {
+    vec![
+        ("ms-lf", Arc::new(MsLfQueue::new())),
+        ("ms-lb", Arc::new(MsLbQueue::new())),
+        ("optik0", Arc::new(OptikQueue0::new())),
+        ("optik1", Arc::new(OptikQueue1::new())),
+        ("optik2", Arc::new(OptikQueue2::new())),
+        ("optik3", Arc::new(VictimQueue::new())),
+    ]
+}
+
+#[test]
+fn harness_workload_balances_counts() {
+    for (name, q) in all_queues() {
+        for i in 0..5_000u64 {
+            q.enqueue(i);
+        }
+        let res = run_queue_workload(
+            q.as_ref(),
+            8,
+            std::time::Duration::from_millis(200),
+            50,
+            11,
+            false,
+        );
+        let expected = 5_000i64 + res.counts.enqueue as i64 - res.counts.dequeue_suc as i64;
+        assert_eq!(q.len() as i64, expected, "{name}");
+        assert!(res.counts.total() > 0, "{name}: did work");
+    }
+}
+
+#[test]
+fn drain_after_concurrent_fill_yields_every_element_once() {
+    for (name, q) in all_queues() {
+        const PRODUCERS: u64 = 6;
+        const PER: u64 = 30_000;
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER {
+                    q.enqueue(p * PER + i);
+                }
+            }));
+        }
+        reclaim::offline_while(|| {
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let mut seen = vec![false; (PRODUCERS * PER) as usize];
+        while let Some(v) = q.dequeue() {
+            let i = v as usize;
+            assert!(!seen[i], "{name}: {v} dequeued twice");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{name}: element lost");
+    }
+}
+
+#[test]
+fn alternating_enqueue_dequeue_is_exact_fifo() {
+    for (name, q) in all_queues() {
+        let mut next_out = 0u64;
+        let mut next_in = 0u64;
+        let mut x = 777u64;
+        for _ in 0..100_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if x % 3 != 0 {
+                q.enqueue(next_in);
+                next_in += 1;
+            } else if let Some(v) = q.dequeue() {
+                assert_eq!(v, next_out, "{name}: FIFO order broken");
+                next_out += 1;
+            } else {
+                assert_eq!(next_in, next_out, "{name}: empty only when balanced");
+            }
+        }
+        assert_eq!(q.len() as u64, next_in - next_out, "{name}");
+    }
+}

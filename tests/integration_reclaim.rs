@@ -1,0 +1,101 @@
+//! Integration of the reclamation substrate with real data structures:
+//! retired nodes are eventually freed, structures do not leak across heavy
+//! churn, and offline marking keeps reclamation flowing.
+
+use std::sync::Arc;
+
+use optik_suite::harness::api::ConcurrentSet;
+use optik_suite::lists::OptikList;
+use optik_suite::queues::MsLfQueue;
+use optik_suite::harness::ConcurrentQueue;
+
+#[test]
+fn global_domain_frees_list_churn() {
+    let before = reclaim::global().stats();
+    let list = OptikList::new();
+    for round in 0..2_000u64 {
+        let k = round % 64 + 1;
+        list.insert(k, k);
+        list.delete(k);
+    }
+    reclaim::with_local(|h| {
+        h.flush();
+        h.collect();
+    });
+    let after = reclaim::global().stats();
+    let retired = after.retired - before.retired;
+    assert!(retired >= 1_900, "deletes retired nodes: {retired}");
+    // Freed counts monotonically increase; we cannot assert equality here
+    // (other test threads may be registered), but progress must happen
+    // once this thread quiesces repeatedly.
+    let mut freed_progress = false;
+    for _ in 0..10_000 {
+        reclaim::quiescent();
+        reclaim::with_local(|h| h.collect());
+        let now = reclaim::global().stats();
+        if now.freed > before.freed {
+            freed_progress = true;
+            break;
+        }
+        std::thread::yield_now();
+    }
+    assert!(freed_progress, "no reclamation progress at all");
+}
+
+#[test]
+fn queue_churn_is_balanced_retire_wise() {
+    let before = reclaim::global().stats();
+    let q = MsLfQueue::new();
+    for i in 0..5_000u64 {
+        q.enqueue(i);
+        assert_eq!(q.dequeue(), Some(i));
+    }
+    let after = reclaim::global().stats();
+    // Every dequeue retires exactly one dummy.
+    assert!(
+        after.retired - before.retired >= 5_000,
+        "retires: {}",
+        after.retired - before.retired
+    );
+}
+
+#[test]
+fn many_short_lived_threads_do_not_exhaust_slots() {
+    // Threads register implicitly on first use and unregister at exit;
+    // hundreds of sequential short-lived threads must be fine.
+    for batch in 0..20 {
+        let list = Arc::new(OptikList::new());
+        let mut handles = Vec::new();
+        for t in 0..32u64 {
+            let list = Arc::clone(&list);
+            handles.push(std::thread::spawn(move || {
+                let k = batch * 100 + t + 1;
+                list.insert(k, k);
+                assert_eq!(list.delete(k), Some(k));
+            }));
+        }
+        reclaim::offline_while(|| {
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        assert!(list.is_empty());
+    }
+    assert!(
+        reclaim::global().stats().registered <= reclaim::MAX_THREADS,
+        "slots must be recycled"
+    );
+}
+
+#[test]
+fn offline_sections_do_not_break_operations() {
+    let list = OptikList::new();
+    list.insert(1, 10);
+    reclaim::offline_while(|| {
+        // No data-structure calls in here — just blocking-style work.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    });
+    // Back online: operations work normally.
+    assert_eq!(list.search(1), Some(10));
+    assert_eq!(list.delete(1), Some(10));
+}

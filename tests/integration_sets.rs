@@ -1,0 +1,266 @@
+//! Cross-crate integration: every `ConcurrentSet` in the workspace (lists,
+//! hash tables, skip lists, and the array map behind an adapter) is run
+//! through the same paper-style concurrent workload and checked against
+//! count and visibility invariants.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use optik_suite::bsts::{GlobalLockBst, OptikBst, OptikGlBst};
+use optik_suite::harness::api::{ConcurrentSet, Key, Val};
+use optik_suite::hashtables::{
+    LazyGlHashTable, OptikGlHashTable, OptikHashTable, OptikMapHashTable,
+    ResizableStripedHashTable, StripedHashTable, StripedOptikHashTable,
+};
+use optik_suite::lists::{
+    GlobalLockList, HarrisList, LazyCacheList, LazyList, OptikCacheList, OptikGlList, OptikList,
+};
+use optik_suite::maps::{ArrayMap, OptikArrayMap};
+use optik_suite::skiplists::{
+    FraserSkipList, HerlihyOptikSkipList, HerlihySkipList, OptikSkipList1, OptikSkipList2,
+};
+
+struct MapAsSet(OptikArrayMap);
+impl ConcurrentSet for MapAsSet {
+    fn search(&self, key: Key) -> Option<Val> {
+        self.0.search(key)
+    }
+    fn insert(&self, key: Key, val: Val) -> bool {
+        self.0.insert(key, val)
+    }
+    fn delete(&self, key: Key) -> Option<Val> {
+        self.0.delete(key)
+    }
+    fn len(&self) -> usize {
+        ArrayMap::len(&self.0)
+    }
+}
+
+fn all_sets() -> Vec<(&'static str, Arc<dyn ConcurrentSet>)> {
+    vec![
+        ("list/mcs-gl-opt", Arc::new(GlobalLockList::new())),
+        (
+            "list/optik-gl",
+            Arc::new(OptikGlList::<optik::OptikVersioned>::new()),
+        ),
+        ("list/optik", Arc::new(OptikList::new())),
+        ("list/optik-cache", Arc::new(OptikCacheList::new())),
+        ("list/lazy", Arc::new(LazyList::new())),
+        ("list/lazy-cache", Arc::new(LazyCacheList::new())),
+        ("list/harris", Arc::new(HarrisList::new())),
+        ("ht/optik-gl", Arc::new(OptikGlHashTable::new(64))),
+        ("ht/optik", Arc::new(OptikHashTable::new(64))),
+        (
+            "ht/optik-map",
+            Arc::new(OptikMapHashTable::with_bucket_capacity(64, 32)),
+        ),
+        ("ht/lazy-gl", Arc::new(LazyGlHashTable::new(64))),
+        ("ht/java", Arc::new(StripedHashTable::new(64, 16))),
+        ("ht/java-optik", Arc::new(StripedOptikHashTable::new(64, 16))),
+        (
+            "ht/java-resize",
+            Arc::new(ResizableStripedHashTable::new(16, 2)),
+        ),
+        ("sl/herlihy", Arc::new(HerlihySkipList::new())),
+        ("sl/herl-optik", Arc::new(HerlihyOptikSkipList::new())),
+        ("sl/optik1", Arc::new(OptikSkipList1::new())),
+        ("sl/optik2", Arc::new(OptikSkipList2::new())),
+        ("sl/fraser", Arc::new(FraserSkipList::new())),
+        ("map/optik", Arc::new(MapAsSet(OptikArrayMap::new(256)))),
+        ("bst/mcs-gl", Arc::new(GlobalLockBst::new())),
+        (
+            "bst/optik-gl",
+            Arc::new(OptikGlBst::<optik::OptikVersioned>::new()),
+        ),
+        ("bst/optik-tk", Arc::new(OptikBst::new())),
+    ]
+}
+
+#[test]
+fn concurrent_workload_preserves_net_count_everywhere() {
+    const THREADS: u64 = 8;
+    const OPS: u64 = 15_000;
+    const KEYS: u64 = 96;
+    for (name, set) in all_sets() {
+        let net = Arc::new(AtomicI64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let set = Arc::clone(&set);
+            let net = Arc::clone(&net);
+            handles.push(std::thread::spawn(move || {
+                let mut x = t.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                for _ in 0..OPS {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let k = x % KEYS + 1;
+                    match x % 3 {
+                        0 => {
+                            if set.insert(k, k * 31) {
+                                net.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        1 => {
+                            if set.delete(k).is_some() {
+                                net.fetch_sub(1, Ordering::Relaxed);
+                            }
+                        }
+                        _ => {
+                            if let Some(v) = set.search(k) {
+                                assert_eq!(v, k * 31, "{name}: corrupted value for key {k}");
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        reclaim::offline_while(|| {
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        assert_eq!(
+            set.len() as i64,
+            net.load(Ordering::Relaxed),
+            "{name}: final size vs net successful updates"
+        );
+    }
+}
+
+#[test]
+fn stable_keys_remain_visible_during_churn() {
+    // Half the key space is immutable; churning the other half must never
+    // make a stable key invisible or corrupt its value.
+    for (name, set) in all_sets() {
+        for k in (2..=120u64).step_by(2) {
+            assert!(set.insert(k, k + 7), "{name}");
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut churners = Vec::new();
+        for t in 0..4u64 {
+            let set = Arc::clone(&set);
+            churners.push(std::thread::spawn(move || {
+                for i in 0..30_000u64 {
+                    let k = ((t * 17 + i) % 60) * 2 + 1; // odd keys only
+                    if i % 2 == 0 {
+                        set.insert(k, k + 7);
+                    } else {
+                        set.delete(k);
+                    }
+                }
+            }));
+        }
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let set = Arc::clone(&set);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    for k in (2..=120u64).step_by(2) {
+                        assert_eq!(set.search(k), Some(k + 7), "stable key {k} lost");
+                    }
+                }
+            }));
+        }
+        reclaim::offline_while(|| {
+            for c in churners {
+                c.join().unwrap();
+            }
+            stop.store(true, Ordering::Relaxed);
+            for r in readers {
+                r.join().unwrap();
+            }
+        });
+        // Cleanup for the next implementation (fresh structures each loop,
+        // so nothing to do — but assert the stable half is intact).
+        for k in (2..=120u64).step_by(2) {
+            assert_eq!(set.search(k), Some(k + 7), "{name}");
+        }
+    }
+}
+
+#[test]
+fn single_key_histories_are_linearizable() {
+    // Four threads hammer one key; the recorded timed history must admit a
+    // legal linearization of the two-state set spec — checked exhaustively
+    // by the harness's Wing–Gong style checker.
+    use optik_suite::harness::linearize::{check_history, Recorder, SetOp};
+    use std::sync::{Barrier, Mutex};
+
+    const KEY: u64 = 42;
+    for (name, set) in all_sets() {
+        let all = Arc::new(Mutex::new(Vec::new()));
+        let barrier = Arc::new(Barrier::new(4));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let set = Arc::clone(&set);
+            let all = Arc::clone(&all);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let mut rec = Recorder::new();
+                barrier.wait();
+                for i in 0..12u64 {
+                    match (t + i) % 3 {
+                        0 => rec.record(SetOp::Insert, || set.insert(KEY, KEY)),
+                        1 => rec.record(SetOp::Delete, || set.delete(KEY).is_some()),
+                        _ => rec.record(SetOp::Search, || set.search(KEY).is_some()),
+                    }
+                }
+                all.lock().unwrap().extend(rec.into_ops());
+            }));
+        }
+        reclaim::offline_while(|| {
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let history = all.lock().unwrap().clone();
+        assert!(
+            check_history(&history, false),
+            "{name}: non-linearizable single-key history"
+        );
+        // Clean up the key for the next loop iteration's fresh structure.
+        let _ = set.delete(KEY);
+    }
+}
+
+#[test]
+fn sequential_agreement_across_all_implementations() {
+    // Drive every structure with the same operation tape; all must agree
+    // with a BTreeMap model (and hence with each other).
+    let sets = all_sets();
+    let mut model = std::collections::BTreeMap::new();
+    let mut x = 0x12345678u64;
+    for _ in 0..30_000 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let k = x % 128 + 1;
+        match x % 3 {
+            0 => {
+                let expect = !model.contains_key(&k);
+                if expect {
+                    model.insert(k, k);
+                }
+                for (name, s) in &sets {
+                    assert_eq!(s.insert(k, k), expect, "{name} insert {k}");
+                }
+            }
+            1 => {
+                let expect = model.remove(&k);
+                for (name, s) in &sets {
+                    assert_eq!(s.delete(k), expect, "{name} delete {k}");
+                }
+            }
+            _ => {
+                let expect = model.get(&k).copied();
+                for (name, s) in &sets {
+                    assert_eq!(s.search(k), expect, "{name} search {k}");
+                }
+            }
+        }
+    }
+    for (name, s) in &sets {
+        assert_eq!(s.len(), model.len(), "{name} final length");
+    }
+}

@@ -1,0 +1,349 @@
+//! Workspace-wide property-based model tests.
+//!
+//! Every concurrent structure, driven single-threaded by an arbitrary
+//! operation sequence, must agree step-for-step with the obvious standard
+//! library model (`BTreeMap` for sets, `VecDeque` for queues, `Vec` for
+//! stacks). Single-threaded model agreement plus per-crate concurrent
+//! invariant tests (counts, stable-key visibility, linearizable single-key
+//! histories) together give the correctness story of the reproduction.
+//!
+//! These tests deliberately use a *small* key range so that sequences of a
+//! few hundred operations revisit keys often — duplicate inserts, misses,
+//! and delete/re-insert cycles are where the validation logic lives.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use optik_suite::bsts::{GlobalLockBst, OptikBst, OptikGlBst};
+use optik_suite::harness::api::{ConcurrentQueue, ConcurrentSet};
+use optik_suite::hashtables::{
+    LazyGlHashTable, OptikGlHashTable, OptikHashTable, OptikMapHashTable,
+    ResizableStripedHashTable, StripedHashTable, StripedOptikHashTable,
+};
+use optik_suite::lists::{
+    GlobalLockList, HarrisList, LazyCacheList, LazyList, OptikCacheList, OptikGlList, OptikList,
+};
+use optik_suite::queues::{MsLbQueue, MsLfQueue, OptikQueue0, OptikQueue1, OptikQueue2, VictimQueue};
+use optik_suite::skiplists::{
+    FraserSkipList, HerlihyOptikSkipList, HerlihySkipList, OptikSkipList1, OptikSkipList2,
+};
+use optik_suite::stacks::{ConcurrentStack, EliminationStack, OptikStack, TreiberStack};
+
+/// One search-structure operation drawn by proptest.
+#[derive(Debug, Clone, Copy)]
+enum SetOp {
+    Insert(u64, u64),
+    Delete(u64),
+    Search(u64),
+}
+
+fn set_ops(max_key: u64, len: usize) -> impl Strategy<Value = Vec<SetOp>> {
+    proptest::collection::vec(
+        (0u8..3, 1..=max_key, 0u64..1_000).prop_map(|(op, k, v)| match op {
+            0 => SetOp::Insert(k, v),
+            1 => SetOp::Delete(k),
+            _ => SetOp::Search(k),
+        }),
+        1..len,
+    )
+}
+
+fn check_set_against_model(set: &dyn ConcurrentSet, ops: &[SetOp]) -> Result<(), TestCaseError> {
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for &op in ops {
+        match op {
+            SetOp::Insert(k, v) => {
+                let expect = !model.contains_key(&k);
+                if expect {
+                    model.insert(k, v);
+                }
+                prop_assert_eq!(set.insert(k, v), expect, "insert {}", k);
+            }
+            SetOp::Delete(k) => {
+                prop_assert_eq!(set.delete(k), model.remove(&k), "delete {}", k);
+            }
+            SetOp::Search(k) => {
+                prop_assert_eq!(set.search(k), model.get(&k).copied(), "search {}", k);
+            }
+        }
+    }
+    prop_assert_eq!(set.len(), model.len(), "final length");
+    // Every surviving key must still be visible with its exact value.
+    for (&k, &v) in &model {
+        prop_assert_eq!(set.search(k), Some(v), "survivor {}", k);
+    }
+    Ok(())
+}
+
+/// All sets, constructed fresh (hash tables sized so collisions occur).
+fn all_sets() -> Vec<(&'static str, Arc<dyn ConcurrentSet>)> {
+    vec![
+        ("list/mcs-gl-opt", Arc::new(GlobalLockList::new())),
+        (
+            "list/optik-gl",
+            Arc::new(OptikGlList::<optik::OptikVersioned>::new()),
+        ),
+        ("list/optik", Arc::new(OptikList::new())),
+        ("list/optik-cache", Arc::new(OptikCacheList::new())),
+        ("list/lazy", Arc::new(LazyList::new())),
+        ("list/lazy-cache", Arc::new(LazyCacheList::new())),
+        ("list/harris", Arc::new(HarrisList::new())),
+        ("ht/optik-gl", Arc::new(OptikGlHashTable::new(8))),
+        ("ht/optik", Arc::new(OptikHashTable::new(8))),
+        (
+            "ht/optik-map",
+            Arc::new(OptikMapHashTable::with_bucket_capacity(8, 48)),
+        ),
+        ("ht/lazy-gl", Arc::new(LazyGlHashTable::new(8))),
+        ("ht/java", Arc::new(StripedHashTable::new(8, 4))),
+        ("ht/java-optik", Arc::new(StripedOptikHashTable::new(8, 4))),
+        ("ht/java-resize", Arc::new(ResizableStripedHashTable::new(4, 2))),
+        ("sl/herlihy", Arc::new(HerlihySkipList::new())),
+        ("sl/herl-optik", Arc::new(HerlihyOptikSkipList::new())),
+        ("sl/optik1", Arc::new(OptikSkipList1::new())),
+        ("sl/optik2", Arc::new(OptikSkipList2::new())),
+        ("sl/fraser", Arc::new(FraserSkipList::new())),
+        ("bst/mcs-gl", Arc::new(GlobalLockBst::new())),
+        (
+            "bst/optik-gl",
+            Arc::new(OptikGlBst::<optik::OptikVersioned>::new()),
+        ),
+        ("bst/optik-tk", Arc::new(OptikBst::new())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_set_matches_btreemap(ops in set_ops(32, 300)) {
+        for (name, set) in all_sets() {
+            check_set_against_model(set.as_ref(), &ops)
+                .map_err(|e| TestCaseError::fail(format!("{name}: {e}")))?;
+        }
+    }
+
+    #[test]
+    fn every_set_matches_btreemap_dense_two_keys(ops in set_ops(2, 400)) {
+        // Two keys: maximal revisit rate; exercises duplicate-insert and
+        // delete-reinsert validation paths almost every step.
+        for (name, set) in all_sets() {
+            check_set_against_model(set.as_ref(), &ops)
+                .map_err(|e| TestCaseError::fail(format!("{name}: {e}")))?;
+        }
+    }
+}
+
+/// One queue operation drawn by proptest.
+#[derive(Debug, Clone, Copy)]
+enum QueueOp {
+    Enqueue(u64),
+    Dequeue,
+}
+
+fn queue_ops(len: usize) -> impl Strategy<Value = Vec<QueueOp>> {
+    proptest::collection::vec(
+        (0u8..2, 0u64..1_000).prop_map(|(op, v)| {
+            if op == 0 {
+                QueueOp::Enqueue(v)
+            } else {
+                QueueOp::Dequeue
+            }
+        }),
+        1..len,
+    )
+}
+
+fn all_queues() -> Vec<(&'static str, Arc<dyn ConcurrentQueue>)> {
+    vec![
+        ("ms-lf", Arc::new(MsLfQueue::new())),
+        ("ms-lb", Arc::new(MsLbQueue::new())),
+        ("optik0", Arc::new(OptikQueue0::new())),
+        ("optik1", Arc::new(OptikQueue1::new())),
+        ("optik2", Arc::new(OptikQueue2::new())),
+        ("optik3", Arc::new(VictimQueue::new())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_queue_matches_vecdeque(ops in queue_ops(400)) {
+        for (name, q) in all_queues() {
+            let mut model: VecDeque<u64> = VecDeque::new();
+            for &op in &ops {
+                match op {
+                    QueueOp::Enqueue(v) => {
+                        q.enqueue(v);
+                        model.push_back(v);
+                    }
+                    QueueOp::Dequeue => {
+                        prop_assert_eq!(q.dequeue(), model.pop_front(), "{}", name);
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), model.len(), "{}: final length", name);
+            // Drain: remaining order must be exact FIFO.
+            while let Some(expect) = model.pop_front() {
+                prop_assert_eq!(q.dequeue(), Some(expect), "{}: drain", name);
+            }
+            prop_assert_eq!(q.dequeue(), None, "{}: empty after drain", name);
+        }
+    }
+}
+
+/// One stack operation drawn by proptest.
+#[derive(Debug, Clone, Copy)]
+enum StackOp {
+    Push(u64),
+    Pop,
+}
+
+fn stack_ops(len: usize) -> impl Strategy<Value = Vec<StackOp>> {
+    proptest::collection::vec(
+        (0u8..2, 0u64..1_000).prop_map(|(op, v)| {
+            if op == 0 {
+                StackOp::Push(v)
+            } else {
+                StackOp::Pop
+            }
+        }),
+        1..len,
+    )
+}
+
+fn all_stacks() -> Vec<(&'static str, Arc<dyn ConcurrentStack>)> {
+    vec![
+        ("treiber", Arc::new(TreiberStack::new())),
+        ("optik", Arc::new(OptikStack::new())),
+        ("elimination", Arc::new(EliminationStack::new())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_stack_matches_vec(ops in stack_ops(400)) {
+        for (name, s) in all_stacks() {
+            let mut model: Vec<u64> = Vec::new();
+            for &op in &ops {
+                match op {
+                    StackOp::Push(v) => {
+                        s.push(v);
+                        model.push(v);
+                    }
+                    StackOp::Pop => {
+                        prop_assert_eq!(s.pop(), model.pop(), "{}", name);
+                    }
+                }
+            }
+            prop_assert_eq!(s.len(), model.len(), "{}: final length", name);
+            while let Some(expect) = model.pop() {
+                prop_assert_eq!(s.pop(), Some(expect), "{}: drain", name);
+            }
+        }
+    }
+}
+
+/// The OPTIK lock version algebra, modelled directly from the paper's
+/// Figure 4 semantics: unlock bumps the observable version, revert
+/// restores it, and stale versions never validate.
+#[derive(Debug, Clone, Copy)]
+enum LockOp {
+    /// Lock-validate the *current* version, then unlock (commit).
+    Commit,
+    /// Lock-validate the current version, then revert (abort).
+    Abort,
+    /// Try to lock with a version stale by the given number of commits.
+    TryStale(u8),
+}
+
+fn lock_ops(len: usize) -> impl Strategy<Value = Vec<LockOp>> {
+    proptest::collection::vec(
+        (0u8..3, 1u8..4).prop_map(|(op, n)| match op {
+            0 => LockOp::Commit,
+            1 => LockOp::Abort,
+            _ => LockOp::TryStale(n),
+        }),
+        1..len,
+    )
+}
+
+fn check_lock_algebra<L: optik::OptikLock>(ops: &[LockOp]) -> Result<(), TestCaseError> {
+    let lock = L::default();
+    let mut commits: u64 = 0;
+    let mut seen = vec![lock.get_version()];
+    for &op in ops {
+        match op {
+            LockOp::Commit => {
+                let v = lock.get_version();
+                prop_assert!(lock.try_lock_version(v), "current version must validate");
+                lock.unlock();
+                commits += 1;
+                let v2 = lock.get_version();
+                prop_assert!(!L::is_same_version(v, v2), "commit must change the version");
+                prop_assert!(!L::is_locked_version(v2), "unlock must free the lock");
+                seen.push(v2);
+            }
+            LockOp::Abort => {
+                let v = lock.get_version();
+                prop_assert!(lock.try_lock_version(v));
+                lock.revert();
+                prop_assert!(
+                    L::is_same_version(v, lock.get_version()),
+                    "revert must restore the version"
+                );
+            }
+            LockOp::TryStale(n) => {
+                // Any version observed `>= 1` commit ago must fail.
+                let idx = seen.len().saturating_sub(1 + n as usize);
+                let stale = seen[idx];
+                if !L::is_same_version(stale, lock.get_version()) {
+                    prop_assert!(
+                        !lock.try_lock_version(stale),
+                        "stale version must not validate"
+                    );
+                    prop_assert!(!lock.is_locked(), "failed trylock must not leave it locked");
+                }
+            }
+        }
+    }
+    // `commits` counts successful validations; the lock must be free at
+    // the end of any algebra sequence (every path unlocks or reverts).
+    let _ = commits;
+    prop_assert!(!lock.is_locked());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn versioned_lock_algebra(ops in lock_ops(200)) {
+        check_lock_algebra::<optik::OptikVersioned>(&ops)?;
+    }
+
+    #[test]
+    fn ticket_lock_algebra(ops in lock_ops(200)) {
+        check_lock_algebra::<optik::OptikTicket>(&ops)?;
+    }
+
+    #[test]
+    fn optik_cell_is_a_consistent_register(writes in proptest::collection::vec(0u64..1_000, 1..100)) {
+        let cell = optik::OptikCell::<u64>::new(0);
+        let mut last = 0;
+        for w in writes {
+            cell.write(w);
+            last = w;
+            prop_assert_eq!(cell.read(), last);
+            let doubled = cell.update(|x| x.wrapping_mul(2));
+            last = last.wrapping_mul(2);
+            prop_assert_eq!(doubled, last);
+        }
+        prop_assert_eq!(cell.into_inner(), last);
+    }
+}
