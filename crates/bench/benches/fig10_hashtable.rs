@@ -25,9 +25,9 @@ fn bench(c: &mut Criterion) {
     }
     case!("lazy-gl", || LazyGlHashTable::new(buckets));
     case!("java", || StripedHashTable::with_default_segments(buckets));
-    case!("java-optik", || StripedOptikHashTable::with_default_segments(
-        buckets
-    ));
+    case!("java-optik", || {
+        StripedOptikHashTable::with_default_segments(buckets)
+    });
     case!("optik", || OptikHashTable::new(buckets));
     case!("optik-gl", || OptikGlHashTable::new(buckets));
     case!("optik-map", || OptikMapHashTable::with_bucket_capacity(

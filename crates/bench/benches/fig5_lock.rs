@@ -27,7 +27,7 @@ fn optik_ops<L: OptikLock>() -> u64 {
             loop {
                 let v = lock.get_version();
                 if L::is_locked_version(v) {
-                    core::hint::spin_loop();
+                    synchro::relax();
                     continue;
                 }
                 if lock.try_lock_version(v) {

@@ -28,8 +28,12 @@ fn bench(c: &mut Criterion) {
     for (label, slots) in [("small4", 4u64), ("large1024", 1024)] {
         g.bench_function(format!("mcs/{label}"), |b| {
             b.iter_custom(|iters| {
-                let (ops, wall) =
-                    crit::set_window(|| AsSet(LockArrayMap::new(slots as usize)), slots, 10, false);
+                let (ops, wall) = crit::set_window(
+                    || AsSet(LockArrayMap::new(slots as usize)),
+                    slots,
+                    10,
+                    false,
+                );
                 crit::scale(iters, ops, wall)
             })
         });

@@ -22,9 +22,14 @@ fn measure<S: ConcurrentSet>(
         let set = make();
         w.initial_fill(cfg.seed + rep as u64, |k, v| set.insert(k, v));
         mops.push(
-            run_set_workload(threads, cfg.duration, w, cfg.seed + rep as u64, false, |_| {
-                &set
-            })
+            run_set_workload(
+                threads,
+                cfg.duration,
+                w,
+                cfg.seed + rep as u64,
+                false,
+                |_| &set,
+            )
             .mops(),
         );
     }

@@ -34,7 +34,8 @@ impl SetHandle for CountingHandle<'_> {
 
 impl Drop for CountingHandle<'_> {
     fn drop(&mut self) {
-        self.hits.fetch_add(self.inner.cache_hits(), Ordering::Relaxed);
+        self.hits
+            .fetch_add(self.inner.cache_hits(), Ordering::Relaxed);
         self.misses
             .fetch_add(self.inner.cache_misses(), Ordering::Relaxed);
     }
@@ -42,7 +43,11 @@ impl Drop for CountingHandle<'_> {
 
 fn main() {
     let cfg = Config::from_env();
-    banner("Ablation", "node caching: hit rate and throughput delta", &cfg);
+    banner(
+        "Ablation",
+        "node caching: hit rate and throughput delta",
+        &cfg,
+    );
 
     let threads = *cfg.threads.last().unwrap_or(&8);
     let mut t = Table::new(["size", "optik", "optik-cache", "gain", "hit-rate"]);
@@ -54,9 +59,14 @@ fn main() {
             let set = OptikList::new();
             w.initial_fill(cfg.seed + rep as u64, |k, v| set.insert(k, v));
             base.push(
-                run_set_workload(threads, cfg.duration, &w, cfg.seed + rep as u64, false, |_| {
-                    &set
-                })
+                run_set_workload(
+                    threads,
+                    cfg.duration,
+                    &w,
+                    cfg.seed + rep as u64,
+                    false,
+                    |_| &set,
+                )
                 .mops(),
             );
         }
@@ -69,13 +79,18 @@ fn main() {
             let set = OptikCacheList::new();
             w.initial_fill(cfg.seed + rep as u64, |k, v| set.insert(k, v));
             cached.push(
-                run_set_workload(threads, cfg.duration, &w, cfg.seed + rep as u64, false, |_| {
-                    CountingHandle {
+                run_set_workload(
+                    threads,
+                    cfg.duration,
+                    &w,
+                    cfg.seed + rep as u64,
+                    false,
+                    |_| CountingHandle {
                         inner: set.handle(),
                         hits: &hits,
                         misses: &misses,
-                    }
-                })
+                    },
+                )
                 .mops(),
             );
         }

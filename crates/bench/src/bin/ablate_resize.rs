@@ -28,9 +28,14 @@ fn measure<S: ConcurrentSet>(
     for rep in 0..cfg.reps {
         let set = make();
         w.initial_fill(cfg.seed + rep as u64, |k, v| set.insert(k, v));
-        let res = run_set_workload(threads, cfg.duration, w, cfg.seed + rep as u64, false, |_| {
-            &set
-        });
+        let res = run_set_workload(
+            threads,
+            cfg.duration,
+            w,
+            cfg.seed + rep as u64,
+            false,
+            |_| &set,
+        );
         mops.push(res.mops());
     }
     stats::median(&mops)

@@ -32,7 +32,9 @@ fn main() {
         &cfg,
     );
     let thresholds = [0u32, 1, 2, 4, 8, 16, u32::MAX];
-    let mut t = Table::new(["threads", "t=0", "t=1", "t=2*", "t=4", "t=8", "t=16", "t=inf"]);
+    let mut t = Table::new([
+        "threads", "t=0", "t=1", "t=2*", "t=4", "t=8", "t=16", "t=inf",
+    ]);
     for &n in &cfg.threads {
         let mut row = vec![n.to_string()];
         for &th in &thresholds {

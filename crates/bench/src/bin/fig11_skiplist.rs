@@ -26,9 +26,14 @@ fn measure<S: ConcurrentSet>(
     for rep in 0..cfg.reps {
         let set = make();
         w.initial_fill(cfg.seed + rep as u64, |k, v| set.insert(k, v));
-        let res = run_set_workload(threads, cfg.duration, w, cfg.seed + rep as u64, false, |_| {
-            &set
-        });
+        let res = run_set_workload(
+            threads,
+            cfg.duration,
+            w,
+            cfg.seed + rep as u64,
+            false,
+            |_| &set,
+        );
         mops.push(res.mops());
     }
     stats::median(&mops)
@@ -47,7 +52,12 @@ fn main() {
         let w = Workload::paper(size, 20, true);
         println!("{label}, 20% effective updates — throughput (Mops/s):");
         let mut t = Table::new([
-            "threads", "fraser", "herlihy", "herl-optik", "optik1", "optik2",
+            "threads",
+            "fraser",
+            "herlihy",
+            "herl-optik",
+            "optik1",
+            "optik2",
         ]);
         for &n in &cfg.threads {
             t.row([

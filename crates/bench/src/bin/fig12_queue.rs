@@ -96,11 +96,29 @@ fn main() {
             .unwrap_or_else(|| "-".into());
         t.row([name.to_string(), enq, deq]);
     };
-    lat_row("ms-lf", measure(MsLfQueue::new, 50, lat_threads, &cfg, true).1);
-    lat_row("ms-lb", measure(MsLbQueue::new, 50, lat_threads, &cfg, true).1);
-    lat_row("optik0", measure(OptikQueue0::new, 50, lat_threads, &cfg, true).1);
-    lat_row("optik1", measure(OptikQueue1::new, 50, lat_threads, &cfg, true).1);
-    lat_row("optik2", measure(OptikQueue2::new, 50, lat_threads, &cfg, true).1);
-    lat_row("optik3", measure(VictimQueue::new, 50, lat_threads, &cfg, true).1);
+    lat_row(
+        "ms-lf",
+        measure(MsLfQueue::new, 50, lat_threads, &cfg, true).1,
+    );
+    lat_row(
+        "ms-lb",
+        measure(MsLbQueue::new, 50, lat_threads, &cfg, true).1,
+    );
+    lat_row(
+        "optik0",
+        measure(OptikQueue0::new, 50, lat_threads, &cfg, true).1,
+    );
+    lat_row(
+        "optik1",
+        measure(OptikQueue1::new, 50, lat_threads, &cfg, true).1,
+    );
+    lat_row(
+        "optik2",
+        measure(OptikQueue2::new, 50, lat_threads, &cfg, true).1,
+    );
+    lat_row(
+        "optik3",
+        measure(VictimQueue::new, 50, lat_threads, &cfg, true).1,
+    );
     t.print();
 }

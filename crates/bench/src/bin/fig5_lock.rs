@@ -15,8 +15,8 @@ use std::time::Duration;
 use optik::{OptikLock, OptikTicket, OptikVersioned, ValidatedLock};
 use optik_bench::{banner, Config};
 use optik_harness::runner::run_workers;
-use optik_harness::table::{fmt_mops, Table};
 use optik_harness::stats;
+use optik_harness::table::{fmt_mops, Table};
 
 struct Point {
     mops: f64,
@@ -33,7 +33,7 @@ fn measure_optik<L: OptikLock>(threads: usize, duration: Duration) -> Point {
             loop {
                 let v = lock.get_version();
                 if L::is_locked_version(v) {
-                    core::hint::spin_loop();
+                    synchro::relax();
                     continue;
                 }
                 let (ok, c) = lock.try_lock_version_counting(v);

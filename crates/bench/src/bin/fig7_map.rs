@@ -64,7 +64,10 @@ fn main() {
         &cfg,
     );
 
-    for (label, slots) in [("Small map (4 slots)", 4u64), ("Large map (1024 slots)", 1024)] {
+    for (label, slots) in [
+        ("Small map (4 slots)", 4u64),
+        ("Large map (1024 slots)", 1024),
+    ] {
         println!("{label}, 10% effective updates — throughput (Mops/s):");
         let mut t = Table::new(["threads", "mcs", "optik", "optik/mcs"]);
         for &n in &cfg.threads {
@@ -94,7 +97,9 @@ fn main() {
         .copied()
         .min_by_key(|&t| t.abs_diff(10))
         .unwrap_or(10);
-    println!("Latency distribution at {lat_threads} threads, small map (cycles, p5/p25/p50/p75/p95):");
+    println!(
+        "Latency distribution at {lat_threads} threads, small map (cycles, p5/p25/p50/p75/p95):"
+    );
     let mut t = Table::new(["op", "mcs", "optik"]);
     let (_, lat_mcs) = run_point(|| LockArrayMap::new(4), 4, lat_threads, &cfg, true);
     let (_, lat_opt) = run_point(

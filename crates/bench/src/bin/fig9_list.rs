@@ -29,9 +29,14 @@ fn measure_plain<S: ConcurrentSet>(
     for rep in 0..cfg.reps {
         let set = make();
         w.initial_fill(cfg.seed + rep as u64, |k, v| set.insert(k, v));
-        let res = run_set_workload(threads, cfg.duration, w, cfg.seed + rep as u64, false, |_| {
-            &set
-        });
+        let res = run_set_workload(
+            threads,
+            cfg.duration,
+            w,
+            cfg.seed + rep as u64,
+            false,
+            |_| &set,
+        );
         mops.push(res.mops());
     }
     stats::median(&mops)
@@ -43,9 +48,14 @@ fn measure_optik_cache(w: &Workload, threads: usize, cfg: &Config) -> f64 {
     for rep in 0..cfg.reps {
         let set = OptikCacheList::new();
         w.initial_fill(cfg.seed + rep as u64, |k, v| set.insert(k, v));
-        let res = run_set_workload(threads, cfg.duration, w, cfg.seed + rep as u64, false, |_| {
-            set.handle()
-        });
+        let res = run_set_workload(
+            threads,
+            cfg.duration,
+            w,
+            cfg.seed + rep as u64,
+            false,
+            |_| set.handle(),
+        );
         mops.push(res.mops());
     }
     stats::median(&mops)
@@ -56,9 +66,14 @@ fn measure_lazy_cache(w: &Workload, threads: usize, cfg: &Config) -> f64 {
     for rep in 0..cfg.reps {
         let set = LazyCacheList::new();
         w.initial_fill(cfg.seed + rep as u64, |k, v| set.insert(k, v));
-        let res = run_set_workload(threads, cfg.duration, w, cfg.seed + rep as u64, false, |_| {
-            set.handle()
-        });
+        let res = run_set_workload(
+            threads,
+            cfg.duration,
+            w,
+            cfg.seed + rep as u64,
+            false,
+            |_| set.handle(),
+        );
         mops.push(res.mops());
     }
     stats::median(&mops)

@@ -42,7 +42,14 @@ fn main() {
         "Treiber vs OPTIK vs elimination stack (50/50 push/pop)",
         &cfg,
     );
-    let mut t = Table::new(["threads", "treiber", "optik", "elim", "optik/treiber", "elim/treiber"]);
+    let mut t = Table::new([
+        "threads",
+        "treiber",
+        "optik",
+        "elim",
+        "optik/treiber",
+        "elim/treiber",
+    ]);
     for &n in &cfg.threads {
         let tr = measure(TreiberStack::new, n, &cfg);
         let op = measure(OptikStack::new, n, &cfg);

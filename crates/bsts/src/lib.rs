@@ -63,7 +63,10 @@ mod cross_tests {
         vec![
             ("seq", Arc::new(SeqBst::new())),
             ("mcs-gl", Arc::new(GlobalLockBst::new())),
-            ("optik-gl", Arc::new(OptikGlBst::<optik::OptikVersioned>::new())),
+            (
+                "optik-gl",
+                Arc::new(OptikGlBst::<optik::OptikVersioned>::new()),
+            ),
             ("optik-tk", Arc::new(OptikBst::new())),
         ]
     }

@@ -383,7 +383,11 @@ mod tests {
                     })
                 })
                 .collect();
-            let wins = hs.into_iter().map(|h| h.join().unwrap()).filter(|&w| w).count();
+            let wins = hs
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .filter(|&w| w)
+                .count();
             reclaim::online();
             assert_eq!(wins, 1);
             assert_eq!(t.len(), 1);

@@ -57,7 +57,7 @@ impl<T: Copy, L: OptikLock> OptikCell<T, L> {
             if self.lock.validate(v) {
                 return snapshot;
             }
-            core::hint::spin_loop();
+            synchro::relax();
         }
     }
 
@@ -135,7 +135,9 @@ impl<T: Copy, L: OptikLock> OptikCell<T, L> {
 
 impl<T: Copy + core::fmt::Debug, L: OptikLock> core::fmt::Debug for OptikCell<T, L> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("OptikCell").field("value", &self.read()).finish()
+        f.debug_struct("OptikCell")
+            .field("value", &self.read())
+            .finish()
     }
 }
 

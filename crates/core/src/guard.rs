@@ -89,7 +89,9 @@ mod tests {
     fn acquire_validating_reports_mismatch<L: OptikLock>() {
         let lock = L::default();
         let stale = lock.get_version();
-        OptikGuard::try_acquire(&lock, stale).expect("fresh").commit();
+        OptikGuard::try_acquire(&lock, stale)
+            .expect("fresh")
+            .commit();
         match OptikGuard::acquire_validating(&lock, stale) {
             Ok(_) => panic!("stale version must not validate"),
             Err(g) => g.revert(),

@@ -53,7 +53,7 @@ pub fn transaction<L: OptikLock, P, R>(
     loop {
         let v = lock.get_version();
         if L::is_locked_version(v) {
-            core::hint::spin_loop();
+            synchro::relax();
             continue;
         }
         match optimistic(v) {

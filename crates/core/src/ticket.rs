@@ -118,7 +118,7 @@ impl OptikLock for OptikTicket {
             if ticket_of(w) == current_of(w) {
                 return w;
             }
-            core::hint::spin_loop();
+            synchro::relax();
         }
     }
 
@@ -169,7 +169,7 @@ impl OptikLock for OptikTicket {
                 crate::traits::acquired_fence();
                 return u64::from(my) == target & CURRENT_MASK;
             }
-            core::hint::spin_loop();
+            synchro::relax();
         }
     }
 
@@ -185,7 +185,7 @@ impl OptikLock for OptikTicket {
                 // try_lock_version(reported) on the restored state succeeds.
                 return pack(my, my);
             }
-            core::hint::spin_loop();
+            synchro::relax();
         }
     }
 
@@ -278,7 +278,7 @@ mod tests {
             })
         };
         while l.num_queued() < 2 {
-            std::hint::spin_loop();
+            synchro::relax();
         }
         // Revert cannot restore the version now; it must unlock instead so
         // the waiter gets served.

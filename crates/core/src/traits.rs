@@ -274,7 +274,7 @@ pub(crate) mod conformance {
                     loop {
                         let v = lock.get_version();
                         if L::is_locked_version(v) {
-                            core::hint::spin_loop();
+                            synchro::relax();
                             continue;
                         }
                         if lock.try_lock_version(v) {

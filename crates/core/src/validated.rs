@@ -85,7 +85,7 @@ impl ValidatedLock {
     fn lock_raw(&self) {
         loop {
             while self.locked.load(Ordering::Relaxed) != 0 {
-                core::hint::spin_loop();
+                synchro::relax();
             }
             if self.locked.swap(1, Ordering::Acquire) == 0 {
                 return;
@@ -98,7 +98,7 @@ impl ValidatedLock {
         let mut cas = 0;
         loop {
             while self.locked.load(Ordering::Relaxed) != 0 {
-                core::hint::spin_loop();
+                synchro::relax();
             }
             cas += 1;
             if self.locked.swap(1, Ordering::Acquire) == 0 {

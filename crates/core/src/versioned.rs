@@ -49,7 +49,7 @@ impl OptikLock for OptikVersioned {
             if v & LOCKED_BIT == 0 {
                 return v;
             }
-            core::hint::spin_loop();
+            synchro::relax();
         }
     }
 
@@ -91,7 +91,7 @@ impl OptikLock for OptikVersioned {
         loop {
             let mut cur = self.word.load(Ordering::Relaxed);
             while cur & LOCKED_BIT != 0 {
-                core::hint::spin_loop();
+                synchro::relax();
                 cur = self.word.load(Ordering::Relaxed);
             }
             if self
@@ -110,7 +110,7 @@ impl OptikLock for OptikVersioned {
         loop {
             let mut cur = self.word.load(Ordering::Relaxed);
             while cur & LOCKED_BIT != 0 {
-                core::hint::spin_loop();
+                synchro::relax();
                 cur = self.word.load(Ordering::Relaxed);
             }
             if self

@@ -156,10 +156,7 @@ mod tests {
     fn sequential_illegal_history_fails() {
         // Search finds the key before any insert completes — and no insert
         // is even concurrent.
-        let h = [
-            op(0, 1, SetOp::Search(true)),
-            op(2, 3, SetOp::Insert(true)),
-        ];
+        let h = [op(0, 1, SetOp::Search(true)), op(2, 3, SetOp::Insert(true))];
         assert!(!check_history(&h, false));
     }
 

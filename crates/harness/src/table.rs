@@ -56,7 +56,11 @@ impl Table {
             out.push('\n');
         };
         fmt_row(&mut out, &self.headers);
-        let total: usize = widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2);
+        let total: usize = widths
+            .iter()
+            .map(|w| w + 2)
+            .sum::<usize>()
+            .saturating_sub(2);
         out.push_str(&"-".repeat(total));
         out.push('\n');
         for row in &self.rows {

@@ -321,9 +321,8 @@ mod tests {
                 net
             }));
         }
-        let net: i64 = reclaim::offline_while(|| {
-            handles.into_iter().map(|h| h.join().unwrap()).sum()
-        });
+        let net: i64 =
+            reclaim::offline_while(|| handles.into_iter().map(|h| h.join().unwrap()).sum());
         assert_eq!(t.len() as i64, net);
     }
 }

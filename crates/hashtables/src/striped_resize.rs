@@ -173,10 +173,7 @@ impl ResizableStripedHashTable {
                     // the old table keep an intact chain.
                     let slot = Self::bucket(&*new, (*cur).key);
                     let head = slot.load(Ordering::Relaxed);
-                    slot.store(
-                        Node::boxed((*cur).key, (*cur).val, head),
-                        Ordering::Relaxed,
-                    );
+                    slot.store(Node::boxed((*cur).key, (*cur).val, head), Ordering::Relaxed);
                     cur = (*cur).next.load(Ordering::Relaxed);
                 }
             }
@@ -416,9 +413,8 @@ mod tests {
                 wins
             }));
         }
-        let wins: u64 = reclaim::offline_while(|| {
-            handles.into_iter().map(|h| h.join().unwrap()).sum()
-        });
+        let wins: u64 =
+            reclaim::offline_while(|| handles.into_iter().map(|h| h.join().unwrap()).sum());
         assert_eq!(t.len() as u64, wins);
         // Every key that reports inserted must be found.
         let mut present = 0;

@@ -140,8 +140,7 @@ impl ConcurrentSet for HarrisList {
                 cur = unmark((*cur).next.load(Ordering::Acquire)) as *mut Node;
             }
             // Present iff key matches and the node is not logically deleted.
-            ((*cur).key == key && !marked((*cur).next.load(Ordering::Acquire)))
-                .then(|| (*cur).val)
+            ((*cur).key == key && !marked((*cur).next.load(Ordering::Acquire))).then(|| (*cur).val)
         }
     }
 

@@ -108,8 +108,7 @@ impl ConcurrentSet for LazyList {
             while (*cur).key < key {
                 cur = (*cur).next.load(Ordering::Acquire);
             }
-            ((*cur).key == key && !(*cur).marked.load(Ordering::Acquire))
-                .then(|| (*cur).val)
+            ((*cur).key == key && !(*cur).marked.load(Ordering::Acquire)).then(|| (*cur).val)
         }
     }
 

@@ -65,7 +65,10 @@ mod cross_tests {
         vec![
             ("seq", Arc::new(SeqList::new())),
             ("mcs-gl-opt", Arc::new(GlobalLockList::new())),
-            ("optik-gl", Arc::new(OptikGlList::<optik::OptikVersioned>::new())),
+            (
+                "optik-gl",
+                Arc::new(OptikGlList::<optik::OptikVersioned>::new()),
+            ),
             ("optik", Arc::new(OptikList::new())),
             ("optik-cache", Arc::new(OptikCacheList::new())),
             ("lazy", Arc::new(LazyList::new())),

@@ -169,8 +169,8 @@ impl OptikCacheList {
                 version: predv,
                 key: (*pred).key.load(Ordering::Relaxed),
             });
-            let found =
-                ((*cur).key.load(Ordering::Relaxed) == key).then(|| (*cur).val.load(Ordering::Relaxed));
+            let found = ((*cur).key.load(Ordering::Relaxed) == key)
+                .then(|| (*cur).val.load(Ordering::Relaxed));
             (found, hit)
         }
     }
@@ -405,8 +405,8 @@ mod tests {
             l.insert(k, k);
         }
         let mut h = l.handle();
-        assert_eq!(h.search(20), Some(20)); // caches pred (node 10)
-        // Delete the cached node through another path.
+        // Search caches pred (node 10); delete it through another path.
+        assert_eq!(h.search(20), Some(20));
         assert_eq!(l.delete(10), Some(10));
         // The next op must not trust the stale entry (deleted ⇒ locked).
         assert_eq!(h.search(30), Some(30));
@@ -419,8 +419,9 @@ mod tests {
         let l = OptikCacheList::new();
         l.insert(10, 100);
         let mut h = l.handle();
-        assert_eq!(h.search(15), None); // caches node 10
-        // Delete 10 and churn enough allocations to recycle its slot.
+        // Search caches node 10; delete it and churn enough allocations to
+        // recycle its slot.
+        assert_eq!(h.search(15), None);
         assert_eq!(l.delete(10), Some(100));
         for r in 0..200u64 {
             let k = 1000 + r;

@@ -123,8 +123,7 @@ impl ConcurrentSet for OptikList {
             unsafe {
                 // Fig. 8(b): version of each node read before advancing.
                 let headv = (*self.head).lock.get_version();
-                let (pred, predv, cur, _curv) =
-                    self.locate_tracking(self.head, headv, key);
+                let (pred, predv, cur, _curv) = self.locate_tracking(self.head, headv, key);
                 if (*cur).key == key {
                     // Infeasible: returns without any synchronization.
                     return false;
@@ -151,8 +150,7 @@ impl ConcurrentSet for OptikList {
             // SAFETY: within the QSBR grace period (no quiescence below).
             unsafe {
                 let headv = (*self.head).lock.get_version();
-                let (pred, predv, cur, curv) =
-                    self.locate_tracking(self.head, headv, key);
+                let (pred, predv, cur, curv) = self.locate_tracking(self.head, headv, key);
                 if (*cur).key != key {
                     return None;
                 }

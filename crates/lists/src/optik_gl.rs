@@ -98,7 +98,7 @@ impl<L: OptikLock> ConcurrentSet for OptikGlList<L> {
         loop {
             let vn = self.lock.get_version();
             if L::is_locked_version(vn) {
-                core::hint::spin_loop();
+                synchro::relax();
                 continue;
             }
             // SAFETY: QSBR grace period; traversal is read-only.
@@ -129,7 +129,7 @@ impl<L: OptikLock> ConcurrentSet for OptikGlList<L> {
         loop {
             let vn = self.lock.get_version();
             if L::is_locked_version(vn) {
-                core::hint::spin_loop();
+                synchro::relax();
                 continue;
             }
             // SAFETY: QSBR grace period.

@@ -65,7 +65,10 @@ mod cross_tests {
         vec![
             ("seq", Box::new(SeqArrayMap::new(cap))),
             ("mcs", Box::new(LockArrayMap::new(cap))),
-            ("optik", Box::new(OptikArrayMap::<optik::OptikVersioned>::new(cap))),
+            (
+                "optik",
+                Box::new(OptikArrayMap::<optik::OptikVersioned>::new(cap)),
+            ),
         ]
     }
 
@@ -116,7 +119,10 @@ mod cross_tests {
         let oracle = SeqArrayMap::new(16);
         let subjects: Vec<(&str, Box<dyn ArrayMap>)> = vec![
             ("mcs", Box::new(LockArrayMap::new(16))),
-            ("optik", Box::new(OptikArrayMap::<optik::OptikVersioned>::new(16))),
+            (
+                "optik",
+                Box::new(OptikArrayMap::<optik::OptikVersioned>::new(16)),
+            ),
         ];
         for _ in 0..20_000 {
             let key = rng.gen_range(1..=24u64);

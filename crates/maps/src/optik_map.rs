@@ -82,7 +82,7 @@ impl<L: OptikLock> ArrayMap for OptikArrayMap<L> {
             let vn = self.lock.get_version();
             if L::is_locked_version(vn) {
                 // try_lock_version can never succeed on a locked baseline.
-                core::hint::spin_loop();
+                synchro::relax();
                 continue;
             }
             let mut free = None;
@@ -131,7 +131,7 @@ impl<L: OptikLock> ArrayMap for OptikArrayMap<L> {
         'restart: loop {
             let vn = self.lock.get_version();
             if L::is_locked_version(vn) {
-                core::hint::spin_loop();
+                synchro::relax();
                 continue;
             }
             for slot in self.slots.iter() {
@@ -261,11 +261,7 @@ mod tests {
                 while !stop.load(Ordering::Relaxed) {
                     for t in 1..=WRITERS {
                         if let Some(v) = m.search(t) {
-                            assert_eq!(
-                                v % t,
-                                0,
-                                "validated snapshot mixed key {t} with value {v}"
-                            );
+                            assert_eq!(v % t, 0, "validated snapshot mixed key {t} with value {v}");
                             hits += 1;
                         }
                     }

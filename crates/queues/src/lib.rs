@@ -115,7 +115,7 @@ mod cross_tests {
                                 {
                                     break;
                                 }
-                                std::hint::spin_loop();
+                                synchro::relax();
                             }
                         }
                     }
@@ -178,15 +178,11 @@ mod cross_tests {
                         if let Some(v) = q.dequeue() {
                             let p = (v >> 32) as usize;
                             let i = (v & 0xFFFF_FFFF) as i64;
-                            assert!(
-                                i > last[p],
-                                "producer {p}: saw {i} after {}",
-                                last[p]
-                            );
+                            assert!(i > last[p], "producer {p}: saw {i} after {}", last[p]);
                             last[p] = i;
                             n += 1;
                         } else {
-                            std::hint::spin_loop();
+                            synchro::relax();
                         }
                     }
                 })
@@ -227,9 +223,8 @@ mod cross_tests {
                     net
                 }));
             }
-            let net: i64 = reclaim::offline_while(|| {
-                handles.into_iter().map(|h| h.join().unwrap()).sum()
-            });
+            let net: i64 =
+                reclaim::offline_while(|| handles.into_iter().map(|h| h.join().unwrap()).sum());
             assert_eq!(q.len() as i64, 1000 + net, "{name}");
         }
     }

@@ -73,12 +73,9 @@ impl ConcurrentQueue for MsLfQueue {
                     bo.backoff();
                 } else {
                     // Help a lagging tail forward.
-                    let _ = self.tail.compare_exchange(
-                        tail,
-                        next,
-                        Ordering::AcqRel,
-                        Ordering::Relaxed,
-                    );
+                    let _ =
+                        self.tail
+                            .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Relaxed);
                 }
             }
         }
@@ -101,12 +98,9 @@ impl ConcurrentQueue for MsLfQueue {
                         return None;
                     }
                     // Tail lagging; help.
-                    let _ = self.tail.compare_exchange(
-                        tail,
-                        next,
-                        Ordering::AcqRel,
-                        Ordering::Relaxed,
-                    );
+                    let _ =
+                        self.tail
+                            .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Relaxed);
                     continue;
                 }
                 // Read value before the CAS (the paper's original order:

@@ -95,12 +95,9 @@ impl Core {
                     }
                     bo.backoff();
                 } else {
-                    let _ = self.tail.compare_exchange(
-                        tail,
-                        next,
-                        Ordering::AcqRel,
-                        Ordering::Relaxed,
-                    );
+                    let _ =
+                        self.tail
+                            .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Relaxed);
                 }
             }
         }
@@ -115,12 +112,15 @@ impl Core {
     /// # Safety
     ///
     /// QSBR grace period.
-    unsafe fn prepare(&self, help_tail: bool) -> Result<(optik::Version, *mut Node, *mut Node, Val), Option<Val>> {
+    unsafe fn prepare(
+        &self,
+        help_tail: bool,
+    ) -> Result<(optik::Version, *mut Node, *mut Node, Val), Option<Val>> {
         // SAFETY: per contract.
         unsafe {
             let v = self.head_lock.get_version();
             if OptikVersioned::is_locked_version(v) {
-                core::hint::spin_loop();
+                synchro::relax();
                 return Err(Some(0)); // sentinel: retry
             }
             let dummy = self.head.load(Ordering::Acquire);
@@ -131,12 +131,9 @@ impl Core {
             if help_tail && dummy == self.tail.load(Ordering::Acquire) {
                 // The lock-free enqueue's tail swing is pending; help it
                 // past the dummy before we retire the dummy.
-                let _ = self.tail.compare_exchange(
-                    dummy,
-                    next,
-                    Ordering::AcqRel,
-                    Ordering::Relaxed,
-                );
+                let _ =
+                    self.tail
+                        .compare_exchange(dummy, next, Ordering::AcqRel, Ordering::Relaxed);
             }
             let val = (*next).val;
             Ok((v, dummy, next, val))
@@ -381,9 +378,8 @@ mod tests {
                 balance
             }));
         }
-        let balance: i64 = reclaim::offline_while(|| {
-            handles.into_iter().map(|h| h.join().unwrap()).sum()
-        });
+        let balance: i64 =
+            reclaim::offline_while(|| handles.into_iter().map(|h| h.join().unwrap()).sum());
         assert_eq!(q.len() as i64, balance);
         // Drain and verify emptiness behaves.
         while q.dequeue().is_some() {}
@@ -409,9 +405,8 @@ mod tests {
                 got
             }));
         }
-        let total: u64 = reclaim::offline_while(|| {
-            handles.into_iter().map(|h| h.join().unwrap()).sum()
-        });
+        let total: u64 =
+            reclaim::offline_while(|| handles.into_iter().map(|h| h.join().unwrap()).sum());
         assert_eq!(total, 100_000);
     }
 }

@@ -119,7 +119,7 @@ impl ConcurrentQueue for VictimQueue {
             // SAFETY: node stays alive while we hold a reference (QSBR).
             unsafe {
                 while !(*node).visible.load(Ordering::Acquire) {
-                    core::hint::spin_loop();
+                    synchro::relax();
                 }
             }
             return;
@@ -136,7 +136,7 @@ impl ConcurrentQueue for VictimQueue {
             while cur != last {
                 let mut next = (*cur).next.load(Ordering::Acquire);
                 while next.is_null() {
-                    core::hint::spin_loop();
+                    synchro::relax();
                     next = (*cur).next.load(Ordering::Acquire);
                 }
                 cur = next;
@@ -164,7 +164,7 @@ impl ConcurrentQueue for VictimQueue {
         loop {
             let v = self.head_lock.get_version();
             if OptikVersioned::is_locked_version(v) {
-                core::hint::spin_loop();
+                synchro::relax();
                 continue;
             }
             // SAFETY: grace period.
@@ -259,7 +259,11 @@ mod tests {
         while let Some(v) = q.dequeue() {
             let p = (v >> 32) as usize;
             let i = (v & 0xFFFF_FFFF) as i64;
-            assert!(i > last[p], "producer {p} out of order: {i} after {}", last[p]);
+            assert!(
+                i > last[p],
+                "producer {p} out of order: {i} after {}",
+                last[p]
+            );
             last[p] = i;
         }
         assert!(last.iter().all(|&l| l == PER as i64 - 1));
@@ -291,9 +295,8 @@ mod tests {
                 net
             }));
         }
-        let net: i64 = reclaim::offline_while(|| {
-            handles.into_iter().map(|h| h.join().unwrap()).sum()
-        });
+        let net: i64 =
+            reclaim::offline_while(|| handles.into_iter().map(|h| h.join().unwrap()).sum());
         assert_eq!(q.len() as i64, 500 + net);
     }
 }

@@ -213,7 +213,11 @@ impl Qsbr {
             .lock()
             .expect("orphan list poisoned")
             .push(Batch {
-                items: vec![Garbage { ptr, drop_fn, ctx: None }],
+                items: vec![Garbage {
+                    ptr,
+                    drop_fn,
+                    ctx: None,
+                }],
                 snapshot,
             });
     }
@@ -239,7 +243,9 @@ impl Drop for Qsbr {
 
 impl std::fmt::Debug for Qsbr {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Qsbr").field("stats", &self.stats()).finish()
+        f.debug_struct("Qsbr")
+            .field("stats", &self.stats())
+            .finish()
     }
 }
 
@@ -351,7 +357,12 @@ impl QsbrHandle {
     /// Number of objects waiting (pending + limbo) in this handle.
     pub fn backlog(&self) -> usize {
         self.pending.borrow().len()
-            + self.limbo.borrow().iter().map(|b| b.items.len()).sum::<usize>()
+            + self
+                .limbo
+                .borrow()
+                .iter()
+                .map(|b| b.items.len())
+                .sum::<usize>()
     }
 
     fn seal(&self, items: Vec<Garbage>) {

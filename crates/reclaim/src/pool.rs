@@ -227,8 +227,9 @@ mod tests {
             unsafe { (*p.ptr).key.store(i, Ordering::Relaxed) };
             ptrs.push(p.ptr);
         }
-        assert_eq!(pool.capacity(), 12); // three chunks of four
-        // All distinct.
+        // Three chunks of four.
+        assert_eq!(pool.capacity(), 12);
+        // All pointers distinct.
         let mut sorted = ptrs.clone();
         sorted.sort();
         sorted.dedup();

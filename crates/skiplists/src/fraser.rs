@@ -167,8 +167,7 @@ impl FraserSkipList {
                         }
                         // Settle: snip the marked chain (if any).
                         if unmark(pred_w) != cur as usize
-                            && (*pred)
-                                .next[l]
+                            && (*pred).next[l]
                                 .compare_exchange(
                                     pred_w,
                                     cur as usize,
@@ -230,8 +229,7 @@ impl FraserSkipList {
                             // pred's pointer may be rewritten (skipping
                             // `node`) but must stay marked.
                             let new_w = next | (pred_w & MARK);
-                            if (*pred)
-                                .next[l]
+                            if (*pred).next[l]
                                 .compare_exchange(
                                     pred_w,
                                     new_w,
@@ -307,12 +305,7 @@ impl FraserSkipList {
             }
             if (*node)
                 .state
-                .compare_exchange(
-                    LINKING,
-                    LINK_DONE,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                )
+                .compare_exchange(LINKING, LINK_DONE, Ordering::AcqRel, Ordering::Acquire)
                 .is_err()
             {
                 // The deleter finished first and handed retirement to us;
@@ -380,8 +373,7 @@ impl ConcurrentSet for FraserSkipList {
                     return false;
                 }
                 (*node).next[0].store(succs[0] as usize, Ordering::Relaxed);
-                if (*preds[0])
-                    .next[0]
+                if (*preds[0]).next[0]
                     .compare_exchange(
                         succs[0] as usize,
                         node as usize,
@@ -416,8 +408,7 @@ impl ConcurrentSet for FraserSkipList {
                 let succ = succs[l];
                 // Install our forward pointer for this level; a concurrent
                 // deleter may race to mark it, hence CAS.
-                if (*node)
-                    .next[l]
+                if (*node).next[l]
                     .compare_exchange(w, succ as usize, Ordering::AcqRel, Ordering::Acquire)
                     .is_err()
                 {
@@ -425,8 +416,7 @@ impl ConcurrentSet for FraserSkipList {
                     self.finish_insert(node);
                     return true;
                 }
-                if (*preds[l])
-                    .next[l]
+                if (*preds[l]).next[l]
                     .compare_exchange(
                         succ as usize,
                         node as usize,
@@ -483,8 +473,7 @@ impl ConcurrentSet for FraserSkipList {
                     if marked(w) {
                         break;
                     }
-                    if (*victim)
-                        .next[l]
+                    if (*victim).next[l]
                         .compare_exchange(w, w | MARK, Ordering::AcqRel, Ordering::Acquire)
                         .is_ok()
                     {
@@ -500,8 +489,7 @@ impl ConcurrentSet for FraserSkipList {
                     // Another deleter won.
                     return None;
                 }
-                if (*victim)
-                    .next[0]
+                if (*victim).next[0]
                     .compare_exchange(w, w | MARK, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
@@ -556,8 +544,7 @@ impl Drop for FraserSkipList {
         let mut cur = self.head;
         while !cur.is_null() {
             // SAFETY: exclusive at drop; level 0 reaches every live node.
-            let next =
-                unsafe { unmark((*cur).next[0].load(Ordering::Relaxed)) as *mut Node };
+            let next = unsafe { unmark((*cur).next[0].load(Ordering::Relaxed)) as *mut Node };
             seen.insert(cur);
             cur = next;
         }
@@ -636,9 +623,8 @@ mod tests {
                 net
             }));
         }
-        let net: i64 = reclaim::offline_while(|| {
-            handles.into_iter().map(|h| h.join().unwrap()).sum()
-        });
+        let net: i64 =
+            reclaim::offline_while(|| handles.into_iter().map(|h| h.join().unwrap()).sum());
         assert_eq!(s.len() as i64, net);
     }
 }

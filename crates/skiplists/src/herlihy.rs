@@ -162,7 +162,7 @@ impl ConcurrentSet for HerlihySkipList {
                     if !(*found).marked.load(Ordering::Acquire) {
                         // Wait for a partially-inserted twin to complete.
                         while !(*found).fully_linked.load(Ordering::Acquire) {
-                            core::hint::spin_loop();
+                            synchro::relax();
                         }
                         return false;
                     }
@@ -274,8 +274,7 @@ impl ConcurrentSet for HerlihySkipList {
                     continue;
                 }
                 for l in (0..=top_level).rev() {
-                    (*preds[l])
-                        .next[l]
+                    (*preds[l]).next[l]
                         .store((*victim).next[l].load(Ordering::Relaxed), Ordering::Release);
                 }
                 let val = (*victim).val;

@@ -65,7 +65,9 @@ struct HeldPreds {
 
 impl HeldPreds {
     fn new() -> Self {
-        Self { nodes: Vec::with_capacity(MAX_LEVEL) }
+        Self {
+            nodes: Vec::with_capacity(MAX_LEVEL),
+        }
     }
 
     fn holds(&self, p: *mut Node) -> bool {
@@ -247,7 +249,7 @@ impl ConcurrentSet for HerlihyOptikSkipList {
                     let found = succs[lf];
                     if !(*found).marked.load(Ordering::Acquire) {
                         while !(*found).fully_linked.load(Ordering::Acquire) {
-                            core::hint::spin_loop();
+                            synchro::relax();
                         }
                         return false;
                     }
@@ -341,8 +343,7 @@ impl ConcurrentSet for HerlihyOptikSkipList {
                     continue;
                 }
                 for l in (0..=top_level).rev() {
-                    (*preds[l])
-                        .next[l]
+                    (*preds[l]).next[l]
                         .store((*victim).next[l].load(Ordering::Relaxed), Ordering::Release);
                     held.mark_modified(preds[l]);
                 }

@@ -162,7 +162,7 @@ impl<const FINE: bool> OptikSkipList<FINE> {
                 if (*pred).marked.load(Ordering::Acquire) {
                     return false; // claimed victim: its lock never frees
                 }
-                core::hint::spin_loop();
+                synchro::relax();
             };
             if matched {
                 return true;
@@ -232,7 +232,7 @@ impl<const FINE: bool> ConcurrentSet for OptikSkipList<FINE> {
                         let found = succs[lf];
                         if !(*found).marked.load(Ordering::Acquire) {
                             while !(*found).fully_linked.load(Ordering::Acquire) {
-                                core::hint::spin_loop();
+                                synchro::relax();
                             }
                             return false;
                         }
@@ -354,8 +354,7 @@ impl<const FINE: bool> ConcurrentSet for OptikSkipList<FINE> {
                 // Unlink top-down under all pred locks; the victim's own
                 // next pointers are frozen (its lock is held by us).
                 for l in (0..=top_level).rev() {
-                    (*preds[l])
-                        .next[l]
+                    (*preds[l]).next[l]
                         .store((*victim).next[l].load(Ordering::Relaxed), Ordering::Release);
                 }
                 for p in acquired {
@@ -495,9 +494,8 @@ mod tests {
                 net
             }));
         }
-        let net: i64 = reclaim::offline_while(|| {
-            handles.into_iter().map(|h| h.join().unwrap()).sum()
-        });
+        let net: i64 =
+            reclaim::offline_while(|| handles.into_iter().map(|h| h.join().unwrap()).sum());
         assert_eq!(s.len() as i64, net);
     }
 }

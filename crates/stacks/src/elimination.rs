@@ -125,7 +125,7 @@ impl EliminationStack {
                 slot.state.store(bump(now, TAG_EMPTY), Ordering::Release);
                 return true;
             }
-            core::hint::spin_loop();
+            synchro::relax();
         }
         // Withdraw; a concurrent popper may beat us to it.
         match slot.state.compare_exchange(
@@ -278,9 +278,8 @@ mod tests {
                 net
             }));
         }
-        let net: i64 = reclaim::offline_while(|| {
-            handles.into_iter().map(|h| h.join().unwrap()).sum()
-        });
+        let net: i64 =
+            reclaim::offline_while(|| handles.into_iter().map(|h| h.join().unwrap()).sum());
         assert_eq!(s.len() as i64, net);
     }
 

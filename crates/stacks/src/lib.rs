@@ -239,7 +239,7 @@ impl ConcurrentStack for OptikStack {
         loop {
             let v = self.lock.get_version();
             if OptikVersioned::is_locked_version(v) {
-                core::hint::spin_loop();
+                synchro::relax();
                 continue;
             }
             let top = self.top.load(Ordering::Acquire);
@@ -260,7 +260,7 @@ impl ConcurrentStack for OptikStack {
         loop {
             let v = self.lock.get_version();
             if OptikVersioned::is_locked_version(v) {
-                core::hint::spin_loop();
+                synchro::relax();
                 continue;
             }
             let top = self.top.load(Ordering::Acquire);
@@ -418,9 +418,8 @@ mod tests {
                     net
                 }));
             }
-            let net: i64 = reclaim::offline_while(|| {
-                handles.into_iter().map(|h| h.join().unwrap()).sum()
-            });
+            let net: i64 =
+                reclaim::offline_while(|| handles.into_iter().map(|h| h.join().unwrap()).sum());
             assert_eq!(s.len() as i64, net, "{name}");
         }
     }

@@ -7,6 +7,12 @@
 //! x86 lowers to `pause`; a pause costs on the order of a few cycles, so the
 //! default cap of [`Backoff::DEFAULT_MAX_WAIT`] iterations approximates the
 //! paper's 16k-cycle ceiling.
+//!
+//! One deliberate deviation: once saturated, each [`Backoff::backoff`] call
+//! also yields to the OS scheduler (see its docs), so on oversubscribed
+//! machines latency numbers can include scheduler time the paper's purely
+//! cycle-bounded backoff would not — same caveat as [`relax`] in the
+//! ROADMAP's single-core-fidelity open item.
 
 use core::hint;
 
@@ -58,11 +64,19 @@ impl Backoff {
     }
 
     /// Spins for the current wait amount, then doubles it (saturating).
+    ///
+    /// Once saturated, each call also yields to the OS scheduler: a retry
+    /// loop that has already waited the paper's maximum backoff is losing
+    /// to some other thread, and on an oversubscribed machine that thread
+    /// may be preempted and need the CPU to make progress at all.
     #[inline]
     pub fn backoff(&mut self) {
         let n = self.current;
         spin(n);
         self.total += u64::from(n);
+        if self.is_saturated() {
+            std::thread::yield_now();
+        }
         self.current = (self.current.saturating_mul(2)).min(self.max);
     }
 
@@ -95,6 +109,35 @@ impl Default for Backoff {
 #[inline]
 pub fn spin(n: u32) {
     for _ in 0..n {
+        hint::spin_loop();
+    }
+}
+
+/// One iteration of an unbounded wait loop: usually the CPU's pause hint,
+/// but every 128th call per thread yields to the OS scheduler.
+///
+/// Every spin-wait in the workspace that waits on *another thread's*
+/// action (lock hand-off, version change, queue link) must use this
+/// instead of a bare `spin_loop()`. On machines with more runnable
+/// threads than cores — CI boxes, laptops — a pure spin loop burns its
+/// entire scheduler quantum while the thread it waits on is preempted;
+/// the periodic yield lets the holder run. On an unloaded multicore the
+/// yield triggers at most once per 128 waited iterations, so measured
+/// behavior matches the paper's pause-spin loops.
+#[inline]
+pub fn relax() {
+    use core::cell::Cell;
+    std::thread_local! {
+        static SPINS: Cell<u32> = const { Cell::new(0) };
+    }
+    let n = SPINS.with(|c| {
+        let n = c.get().wrapping_add(1);
+        c.set(n);
+        n
+    });
+    if n & 0x7f == 0 {
+        std::thread::yield_now();
+    } else {
         hint::spin_loop();
     }
 }

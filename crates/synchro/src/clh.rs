@@ -49,7 +49,7 @@ impl ClhLock {
         // ownership transfers to us (we free it on unlock).
         unsafe {
             while (*pred).locked.load(Ordering::Acquire) {
-                core::hint::spin_loop();
+                crate::relax();
             }
         }
         ClhGuard {

@@ -18,8 +18,8 @@ pub fn now() -> u64 {
 #[inline]
 #[cfg(not(target_arch = "x86_64"))]
 pub fn now() -> u64 {
-    use std::time::Instant;
     use std::sync::OnceLock;
+    use std::time::Instant;
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     let epoch = *EPOCH.get_or_init(Instant::now);
     Instant::now().duration_since(epoch).as_nanos() as u64

@@ -26,7 +26,7 @@ pub mod tas;
 pub mod ticket;
 pub mod ttas;
 
-pub use backoff::Backoff;
+pub use backoff::{relax, Backoff};
 pub use clh::ClhLock;
 pub use crossbeam_utils::CachePadded;
 pub use lock_api::{Lock, LockGuard, RawLock};

@@ -72,7 +72,7 @@ impl McsLock {
             // can set (we are its successor).
             unsafe { (*pred).next.store(node_ptr, Ordering::Release) };
             while node.locked.load(Ordering::Acquire) {
-                core::hint::spin_loop();
+                crate::relax();
             }
         }
         McsGuard { lock: self, node }
@@ -84,7 +84,12 @@ impl McsLock {
         let node_ptr: *mut McsNode = node;
         if self
             .tail
-            .compare_exchange(ptr::null_mut(), node_ptr, Ordering::AcqRel, Ordering::Relaxed)
+            .compare_exchange(
+                ptr::null_mut(),
+                node_ptr,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
             .is_ok()
         {
             Some(McsGuard { lock: self, node })
@@ -128,7 +133,12 @@ impl Drop for McsGuard<'_> {
             if self
                 .lock
                 .tail
-                .compare_exchange(node_ptr, ptr::null_mut(), Ordering::AcqRel, Ordering::Relaxed)
+                .compare_exchange(
+                    node_ptr,
+                    ptr::null_mut(),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                )
                 .is_ok()
             {
                 return;
@@ -141,7 +151,7 @@ impl Drop for McsGuard<'_> {
                     unsafe { (*next).locked.store(false, Ordering::Release) };
                     return;
                 }
-                core::hint::spin_loop();
+                crate::relax();
             }
         }
         // SAFETY: as above.

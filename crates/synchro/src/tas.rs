@@ -30,7 +30,7 @@ impl RawLock for TasLock {
     fn lock(&self) {
         // Swap unconditionally: the "test-and-set" in the name.
         while self.locked.swap(true, Ordering::Acquire) {
-            core::hint::spin_loop();
+            crate::relax();
         }
     }
 

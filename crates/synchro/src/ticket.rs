@@ -67,7 +67,7 @@ impl RawLock for TicketLock {
             if current_of(w) == my_ticket {
                 return;
             }
-            core::hint::spin_loop();
+            crate::relax();
         }
     }
 
@@ -143,7 +143,7 @@ mod tests {
         };
         // Wait until the spawned thread has taken a ticket.
         while l.num_queued() < 2 {
-            std::hint::spin_loop();
+            crate::relax();
         }
         assert_eq!(l.num_queued(), 2); // holder + one waiter
         l.unlock();
@@ -168,7 +168,7 @@ mod tests {
                 // Thread `id` takes its ticket only once `id` earlier tickets
                 // (plus the main holder) are visible, serializing grabs.
                 while l.num_queued() != id + 1 {
-                    std::hint::spin_loop();
+                    crate::relax();
                 }
                 l.lock();
                 order.lock().unwrap().push(id);
@@ -177,7 +177,7 @@ mod tests {
         }
         // Wait for everyone to be queued, then start the convoy.
         while l.num_queued() < 5 {
-            std::hint::spin_loop();
+            crate::relax();
         }
         l.unlock();
         for h in handles {

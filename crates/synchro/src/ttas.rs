@@ -32,7 +32,7 @@ impl RawLock for TtasLock {
         loop {
             // Test: spin locally while held.
             while self.locked.load(Ordering::Relaxed) {
-                core::hint::spin_loop();
+                crate::relax();
             }
             // Test-and-set: attempt the acquisition.
             if !self.locked.swap(true, Ordering::Acquire) {

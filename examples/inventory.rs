@@ -147,8 +147,7 @@ fn main() {
     );
     // Conservation: initial + restocked - picked == on-hand.
     assert_eq!(
-        SKUS * INITIAL_STOCK + restocked.load(Ordering::Relaxed)
-            - picked.load(Ordering::Relaxed),
+        SKUS * INITIAL_STOCK + restocked.load(Ordering::Relaxed) - picked.load(Ordering::Relaxed),
         total,
         "units must be conserved"
     );

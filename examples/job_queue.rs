@@ -60,7 +60,7 @@ fn main() {
                     if done.load(Ordering::Acquire) && queue.is_empty() {
                         break;
                     }
-                    std::hint::spin_loop();
+                    synchro::relax();
                 }
             }
         }));

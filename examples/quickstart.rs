@@ -36,7 +36,10 @@ fn main() {
         let _g = OptikGuard::try_acquire(&lock, lock.get_version()).expect("free lock");
         // dropped without commit => version restored (no false conflicts)
     }
-    assert!(lock.try_lock_version(v0), "read-only sections are invisible");
+    assert!(
+        lock.try_lock_version(v0),
+        "read-only sections are invisible"
+    );
     lock.unlock();
     println!("guards: ok");
 
@@ -81,7 +84,10 @@ fn main() {
         h.join().unwrap();
     }
     assert_eq!(list.len(), 2000);
-    println!("fine-grained OPTIK list with 4 threads: ok ({} elements left)", list.len());
+    println!(
+        "fine-grained OPTIK list with 4 threads: ok ({} elements left)",
+        list.len()
+    );
 
     println!("\nquickstart complete.");
 }

@@ -97,7 +97,7 @@ fn num_queued_reports_contention() {
         })
         .collect();
     while lock.num_queued() < 4 {
-        std::hint::spin_loop();
+        synchro::relax();
     }
     assert!(lock.num_queued() >= 4, "holder + 3 waiters");
     lock.unlock();

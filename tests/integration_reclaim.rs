@@ -5,9 +5,9 @@
 use std::sync::Arc;
 
 use optik_suite::harness::api::ConcurrentSet;
+use optik_suite::harness::ConcurrentQueue;
 use optik_suite::lists::OptikList;
 use optik_suite::queues::MsLfQueue;
-use optik_suite::harness::ConcurrentQueue;
 
 #[test]
 fn global_domain_frees_list_churn() {

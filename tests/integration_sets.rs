@@ -56,7 +56,10 @@ fn all_sets() -> Vec<(&'static str, Arc<dyn ConcurrentSet>)> {
         ),
         ("ht/lazy-gl", Arc::new(LazyGlHashTable::new(64))),
         ("ht/java", Arc::new(StripedHashTable::new(64, 16))),
-        ("ht/java-optik", Arc::new(StripedOptikHashTable::new(64, 16))),
+        (
+            "ht/java-optik",
+            Arc::new(StripedOptikHashTable::new(64, 16)),
+        ),
         (
             "ht/java-resize",
             Arc::new(ResizableStripedHashTable::new(16, 2)),

@@ -60,7 +60,9 @@ fn cache_handles_survive_the_runner() {
     let w = Workload::paper(512, 20, false);
     let set = OptikCacheList::new();
     w.initial_fill(11, |k, v| set.insert(k, v));
-    let res = run_set_workload(8, Duration::from_millis(250), &w, 12, false, |_| set.handle());
+    let res = run_set_workload(8, Duration::from_millis(250), &w, 12, false, |_| {
+        set.handle()
+    });
     assert_eq!(set.len() as i64, 512 + res.counts.net_inserted());
     let (allocs, _) = set.pool_stats();
     assert!(allocs as i64 >= 512 + res.counts.insert_suc as i64);

@@ -25,7 +25,9 @@ use optik_suite::hashtables::{
 use optik_suite::lists::{
     GlobalLockList, HarrisList, LazyCacheList, LazyList, OptikCacheList, OptikGlList, OptikList,
 };
-use optik_suite::queues::{MsLbQueue, MsLfQueue, OptikQueue0, OptikQueue1, OptikQueue2, VictimQueue};
+use optik_suite::queues::{
+    MsLbQueue, MsLfQueue, OptikQueue0, OptikQueue1, OptikQueue2, VictimQueue,
+};
 use optik_suite::skiplists::{
     FraserSkipList, HerlihyOptikSkipList, HerlihySkipList, OptikSkipList1, OptikSkipList2,
 };
@@ -99,7 +101,10 @@ fn all_sets() -> Vec<(&'static str, Arc<dyn ConcurrentSet>)> {
         ("ht/lazy-gl", Arc::new(LazyGlHashTable::new(8))),
         ("ht/java", Arc::new(StripedHashTable::new(8, 4))),
         ("ht/java-optik", Arc::new(StripedOptikHashTable::new(8, 4))),
-        ("ht/java-resize", Arc::new(ResizableStripedHashTable::new(4, 2))),
+        (
+            "ht/java-resize",
+            Arc::new(ResizableStripedHashTable::new(4, 2)),
+        ),
         ("sl/herlihy", Arc::new(HerlihySkipList::new())),
         ("sl/herl-optik", Arc::new(HerlihyOptikSkipList::new())),
         ("sl/optik1", Arc::new(OptikSkipList1::new())),

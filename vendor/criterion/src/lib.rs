@@ -1,0 +1,241 @@
+//! Minimal offline stand-in for the `criterion` benchmark framework.
+//!
+//! Implements exactly the API surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `sample_size`, `throughput`, `bench_function`, `Bencher::iter` /
+//! `iter_custom`) with a plain timing loop: a warm-up call followed by
+//! `sample_size` measured samples, reporting the median per-iteration time.
+//! No statistics, plots, or HTML reports. Swap in the real crate by removing
+//! the `path` key in the root `[workspace.dependencies]`.
+//!
+//! Environment knobs:
+//!
+//! - `CRITERION_STUB_SAMPLES` — override every group's sample count
+//!   (useful to keep CI smoke runs short).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a value (re-export of
+/// [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark. Recorded and echoed in the
+/// report line; the stub performs no per-byte/per-element normalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+    /// Number of elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark manager: entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    samples: usize,
+    env_override: Option<usize>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let env_override = std::env::var("CRITERION_STUB_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(|n: usize| n.max(1));
+        Criterion {
+            samples: env_override.unwrap_or(3),
+            env_override,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of measured samples per benchmark.
+    /// `CRITERION_STUB_SAMPLES`, when set, beats this — it exists so CI
+    /// can shorten every bench regardless of what the bench files request.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.samples = self.env_override.unwrap_or(n.max(1));
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.samples,
+            env_override: self.env_override,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Benchmarks a function outside of any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.samples;
+        run_one(&id.into(), samples, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    env_override: Option<usize>,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples for benchmarks in this group.
+    /// `CRITERION_STUB_SAMPLES`, when set, beats this (see
+    /// [`Criterion::sample_size`]).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = self.env_override.unwrap_or(n.max(1));
+        self
+    }
+
+    /// Annotates the group's throughput (echoed in the report line).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Ignored by the stub; kept for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.samples, self.throughput, f);
+        self
+    }
+
+    /// Closes the group. (No-op in the stub; consumes the group.)
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(id: &str, samples: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: one tiny pass so one-time setup cost stays out of the samples.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / b.iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let spread = per_iter[per_iter.len() - 1] - per_iter[0];
+    let tp = match throughput {
+        Some(Throughput::Elements(n)) => format!("  ({n} elem/iter)"),
+        Some(Throughput::Bytes(n)) => format!("  ({n} B/iter)"),
+        None => String::new(),
+    };
+    println!(
+        "{id:<50} time: {}  (± {} over {samples} samples){tp}",
+        fmt_time(median),
+        fmt_time(spread),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:8.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:8.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:8.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:8.2} s ")
+    }
+}
+
+/// Timer handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f` with a monotonic wall clock.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Hands the iteration count to `f`, which returns the total elapsed
+    /// time for that many conceptual iterations.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target, running the
+/// listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes flags like `--bench`; the stub needs none of them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        {
+            let mut g = c.benchmark_group("stub");
+            g.sample_size(2).throughput(Throughput::Elements(1));
+            g.bench_function("iter", |b| b.iter(|| ran += 1));
+            g.bench_function("iter_custom", |b| b.iter_custom(Duration::from_nanos));
+            g.finish();
+        }
+        assert!(ran > 0, "closure must actually run");
+    }
+}

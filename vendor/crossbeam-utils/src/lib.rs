@@ -1,0 +1,86 @@
+//! Minimal offline stand-in for the `crossbeam-utils` crate.
+//!
+//! This workspace builds in environments without network access, so the
+//! handful of external APIs it consumes are vendored here. Only the items
+//! actually used by the workspace are provided — currently [`CachePadded`].
+//! The semantics match the upstream crate; swap this for the real
+//! `crossbeam-utils` by removing the `path` key in the root
+//! `[workspace.dependencies]`.
+
+#![warn(missing_docs)]
+
+use core::fmt;
+use core::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to the length of a cache line.
+///
+/// Mirrors `crossbeam_utils::CachePadded`: the value is aligned to 128 bytes
+/// (two 64-byte lines, matching upstream's choice for x86-64 where the
+/// spatial prefetcher pulls cache lines in pairs), so two `CachePadded`
+/// values never share a cache line and cannot false-share.
+#[derive(Default, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pads and aligns a value to the length of a cache line.
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+
+    /// Returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachePadded")
+            .field("value", &self.value)
+            .finish()
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(t: T) -> Self {
+        CachePadded::new(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_is_at_least_two_cache_lines() {
+        assert!(core::mem::align_of::<CachePadded<u8>>() >= 128);
+        let a = [CachePadded::new(0u8), CachePadded::new(1u8)];
+        let d = (&*a[1] as *const u8 as usize) - (&*a[0] as *const u8 as usize);
+        assert!(d >= 128);
+    }
+
+    #[test]
+    fn deref_and_into_inner() {
+        let mut c = CachePadded::new(7u64);
+        assert_eq!(*c, 7);
+        *c = 9;
+        assert_eq!(c.into_inner(), 9);
+    }
+}

@@ -1,0 +1,459 @@
+//! Minimal offline stand-in for the `proptest` property-testing framework.
+//!
+//! Implements the subset the workspace's `tests/property_models.rs` uses:
+//!
+//! - [`strategy::Strategy`] with `prop_map`, implemented for integer ranges
+//!   (`a..b`, `a..=b`) and tuples of strategies,
+//! - [`collection::vec`] for variable-length vectors,
+//! - the [`proptest!`] macro with `#![proptest_config(..)]`,
+//! - [`prop_assert!`] / [`prop_assert_eq!`] and
+//!   [`test_runner::TestCaseError`].
+//!
+//! Generation is deterministic: each test case seeds a SplitMix64 stream
+//! from the test's module path, name, and case index, so failures are
+//! reproducible run-to-run. There is **no shrinking** — a failing case
+//! reports the full generated value instead. Swap in the real crate by
+//! removing the `path` key in the root `[workspace.dependencies]`.
+
+#![warn(missing_docs)]
+
+/// Deterministic pseudo-random generation and test-case error types.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Deterministic SplitMix64 generator used to drive all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds a stream from an arbitrary label (test name) and case index.
+        pub fn deterministic(label: &str, case: u32) -> Self {
+            // FNV-1a over the label, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in label.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng {
+                state: h ^ ((case as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            }
+        }
+
+        /// Next 64 raw bits (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Multiply-shift (Lemire) keeps modulo bias negligible.
+            (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+        }
+    }
+
+    /// Why a single generated test case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The input was rejected (e.g. by a precondition), not failed.
+        Reject(String),
+        /// The property does not hold for the generated input.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failed property with the given message.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejected input with the given message.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Runs one generated case through the test body. Exists so the
+    /// `proptest!`-generated closure gets its argument type pinned to the
+    /// strategy's value type (a bare immediately-invoked closure would
+    /// infer the parameter from the body and can land on an unsized type).
+    pub fn run_case<V, F>(value: V, body: F) -> Result<(), TestCaseError>
+    where
+        F: FnOnce(V) -> Result<(), TestCaseError>,
+    {
+        body(value)
+    }
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Accepted for compatibility; the stub never shrinks.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of type `Self::Value`.
+    ///
+    /// The stub generates directly (no intermediate `ValueTree`, hence no
+    /// shrinking); otherwise the shape mirrors `proptest::strategy::Strategy`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64) - (self.start as u64);
+                    self.start + (rng.below(span) as $t)
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u64) - (lo as u64);
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + (rng.below(span + 1) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+/// Collection strategies ([`vec`](collection::vec)).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A length specification: a fixed size or a range of sizes.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<::std::ops::Range<usize>> for SizeRange {
+        fn from(r: ::std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<::std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: ::std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Generates a `Vec` whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span + 1) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::collection::SizeRange;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking)
+/// when it does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`): {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}` (both: `{:?}`): {}",
+            stringify!($left), stringify!($right), l, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Declares property tests.
+///
+/// Supports the common form used by this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+///
+///     #[test]
+///     fn my_property(xs in some_strategy()) {
+///         prop_assert!(!xs.is_empty());
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($pat:pat in $strat:expr) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let strategy = $strat;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    let value =
+                        $crate::strategy::Strategy::generate(&strategy, &mut rng);
+                    let repr = format!("{:?}", &value);
+                    let result = $crate::test_runner::run_case(value, |$pat| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    });
+                    match result {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {}
+                        ::std::result::Result::Err(e) => panic!(
+                            "property `{}` failed at case {}/{}:\n  {}\n  input: {}",
+                            stringify!($name), case, config.cases, e, repr,
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::deterministic("bounds", 0);
+        for _ in 0..10_000 {
+            let x = (5u64..17).generate(&mut rng);
+            assert!((5..17).contains(&x));
+            let y = (1u8..=3).generate(&mut rng);
+            assert!((1..=3).contains(&y));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = crate::collection::vec((0u8..3, 0u64..100).prop_map(|(a, b)| (a, b)), 1..50);
+        let a = strat.generate(&mut TestRng::deterministic("det", 7));
+        let b = strat.generate(&mut TestRng::deterministic("det", 7));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_smoke(xs in crate::collection::vec(0u64..10, 1..20)) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!(xs.len() < 20);
+            for &x in &xs {
+                prop_assert!(x < 10, "{} out of range", x);
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! Provides only what the workspace's unit tests use: `rngs::StdRng`,
+//! [`SeedableRng::seed_from_u64`], and [`Rng::gen_range`] over integer
+//! ranges. The generator is SplitMix64 — statistically fine for driving
+//! randomized tests, **not** the CSPRNG the real `StdRng` is. Swap in the
+//! real crate by removing the `path` key in the root
+//! `[workspace.dependencies]`.
+
+#![warn(missing_docs)]
+
+/// A random number generator that can be explicitly seeded.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling a value of type `T` from a range specification. Generic over
+/// `T` (rather than an associated type) so the compiled-against use sites
+/// infer integer literal types from the value's use site, like real `rand`.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range using `rng`.
+    fn sample(&self, rng: &mut dyn RngCore) -> T;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// Next 64 raw bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing convenience methods, blanket-implemented for any [`RngCore`].
+pub trait Rng: RngCore + Sized {
+    /// Draws one value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore + Sized> Rng for T {}
+
+macro_rules! int_sample_range {
+    ($(($t:ty, $u:ty)),*) => {$(
+        impl SampleRange<$t> for ::std::ops::Range<$t> {
+            fn sample(&self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Span via the unsigned twin: correct for signed ranges
+                // (e.g. -5..5) where `end - start` can exceed $t::MAX.
+                let span = self.end.wrapping_sub(self.start) as $u as u128;
+                let draw = ((rng.next_u64() as u128) * span) >> 64;
+                self.start.wrapping_add(draw as $t)
+            }
+        }
+
+        impl SampleRange<$t> for ::std::ops::RangeInclusive<$t> {
+            fn sample(&self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi.wrapping_sub(lo) as $u as u128) + 1;
+                let draw = ((rng.next_u64() as u128) * span) >> 64;
+                lo.wrapping_add(draw as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(
+    (u8, u8),
+    (u16, u16),
+    (u32, u32),
+    (u64, u64),
+    (usize, usize),
+    (i8, u8),
+    (i16, u16),
+    (i32, u32),
+    (i64, u64),
+    (isize, usize)
+);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic stand-in for `rand::rngs::StdRng` (SplitMix64, not a
+    /// CSPRNG).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn gen_range_respects_bounds_and_reaches_them() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(1..=48u64);
+            assert!((1..=48).contains(&x));
+            lo_seen |= x == 1;
+            hi_seen |= x == 48;
+            let y = rng.gen_range(0..3);
+            assert!((0..3).contains(&y));
+        }
+        assert!(lo_seen && hi_seen, "range endpoints should be reachable");
+    }
+
+    #[test]
+    fn signed_ranges_with_negative_start_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-5..5i64);
+            assert!((-5..5).contains(&x));
+            lo_seen |= x == -5;
+            hi_seen |= x == 4;
+            let y = rng.gen_range(i8::MIN..=i8::MAX);
+            let _ = y; // full-width span: must not overflow
+        }
+        assert!(lo_seen && hi_seen, "signed endpoints should be reachable");
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+}
