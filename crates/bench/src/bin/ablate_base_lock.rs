@@ -3,57 +3,19 @@
 //! Figure 5 shows the two lock implementations behave identically on a raw
 //! lock; this checks the claim holds inside a real structure (the
 //! global-lock OPTIK list, i.e. one contended OPTIK lock).
+//!
+//! Scenarios: `ablate-base-lock.*` in the registry (`bench_all --list`).
 
-use optik::{OptikTicket, OptikVersioned};
-use optik_bench::{banner, Config};
-use optik_harness::runner::run_set_workload;
-use optik_harness::table::{fmt_mops, Table};
-use optik_harness::{stats, ConcurrentSet, Workload};
-use optik_lists::OptikGlList;
-
-fn measure<S: ConcurrentSet>(
-    make: impl Fn() -> S,
-    w: &Workload,
-    threads: usize,
-    cfg: &Config,
-) -> f64 {
-    let mut mops = Vec::new();
-    for rep in 0..cfg.reps {
-        let set = make();
-        w.initial_fill(cfg.seed + rep as u64, |k, v| set.insert(k, v));
-        mops.push(
-            run_set_workload(
-                threads,
-                cfg.duration,
-                w,
-                cfg.seed + rep as u64,
-                false,
-                |_| &set,
-            )
-            .mops(),
-        );
-    }
-    stats::median(&mops)
-}
+use optik_bench::cli;
 
 fn main() {
-    let cfg = Config::from_env();
-    banner(
-        "Ablation",
+    let reports = cli::run_family(
+        "ablate-base-lock",
         "optik-gl list: versioned vs ticket base lock (small list, 20% updates)",
-        &cfg,
+        false,
     );
-    let w = Workload::paper(128, 20, false);
-    let mut t = Table::new(["threads", "versioned", "ticket", "ticket/versioned"]);
-    for &n in &cfg.threads {
-        let v = measure(OptikGlList::<OptikVersioned>::new, &w, n, &cfg);
-        let k = measure(OptikGlList::<OptikTicket>::new, &w, n, &cfg);
-        t.row([
-            n.to_string(),
-            fmt_mops(v),
-            fmt_mops(k),
-            format!("{:.2}x", k / v.max(1e-9)),
-        ]);
+    if let Some(t) = cli::ratio_table(&reports, "ablate-base-lock", "ticket", "versioned") {
+        println!("ablate-base-lock — ticket vs versioned:");
+        t.print();
     }
-    t.print();
 }

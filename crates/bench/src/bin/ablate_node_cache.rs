@@ -1,109 +1,27 @@
 //! Ablation: node caching (§5.1).
 //!
-//! Measures the node-cache hit rate and the throughput delta between the
-//! fine-grained OPTIK list with and without the cache across list sizes.
-//! The paper reports ~49.8% hit rate on the large list, ~40% on the small
-//! one, for throughput gains of ~50% and ~15% respectively.
+//! Measures the node-cache hit rate (the automatic `cache_hit_pct` extra
+//! table) and the throughput delta between the fine-grained OPTIK list
+//! with and without the cache across list sizes. The paper reports ~49.8%
+//! hit rate on the large list, ~40% on the small one, for throughput gains
+//! of ~50% and ~15% respectively.
+//!
+//! Scenarios: `ablate-node-cache.*` in the registry (`bench_all --list`).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-use optik_bench::{banner, Config};
-use optik_harness::runner::run_set_workload;
-use optik_harness::table::{fmt_mops, Table};
-use optik_harness::{stats, ConcurrentSet, SetHandle, Workload};
-use optik_lists::{OptikCacheList, OptikList};
-
-/// Handle wrapper that exports hit/miss counters on drop.
-struct CountingHandle<'a> {
-    inner: optik_lists::OptikCacheHandle<'a>,
-    hits: &'a AtomicU64,
-    misses: &'a AtomicU64,
-}
-
-impl SetHandle for CountingHandle<'_> {
-    fn search(&mut self, key: u64) -> Option<u64> {
-        self.inner.search(key)
-    }
-    fn insert(&mut self, key: u64, val: u64) -> bool {
-        self.inner.insert(key, val)
-    }
-    fn delete(&mut self, key: u64) -> Option<u64> {
-        self.inner.delete(key)
-    }
-}
-
-impl Drop for CountingHandle<'_> {
-    fn drop(&mut self) {
-        self.hits
-            .fetch_add(self.inner.cache_hits(), Ordering::Relaxed);
-        self.misses
-            .fetch_add(self.inner.cache_misses(), Ordering::Relaxed);
-    }
-}
+use optik_bench::cli;
 
 fn main() {
-    let cfg = Config::from_env();
-    banner(
-        "Ablation",
+    let reports = cli::run_family(
+        "ablate-node-cache",
         "node caching: hit rate and throughput delta",
-        &cfg,
+        false,
     );
-
-    let threads = *cfg.threads.last().unwrap_or(&8);
-    let mut t = Table::new(["size", "optik", "optik-cache", "gain", "hit-rate"]);
-    for size in [64u64, 1024, 8192] {
-        let w = Workload::paper(size, 20, false);
-
-        let mut base = Vec::new();
-        for rep in 0..cfg.reps {
-            let set = OptikList::new();
-            w.initial_fill(cfg.seed + rep as u64, |k, v| set.insert(k, v));
-            base.push(
-                run_set_workload(
-                    threads,
-                    cfg.duration,
-                    &w,
-                    cfg.seed + rep as u64,
-                    false,
-                    |_| &set,
-                )
-                .mops(),
-            );
+    for size in [64, 1024, 8192] {
+        let group = format!("ablate-node-cache.{size}");
+        if let Some(t) = cli::ratio_table(&reports, &group, "optik-cache", "optik") {
+            println!("{group} — caching gain:");
+            t.print();
+            println!();
         }
-        let base = stats::median(&base);
-
-        let hits = AtomicU64::new(0);
-        let misses = AtomicU64::new(0);
-        let mut cached = Vec::new();
-        for rep in 0..cfg.reps {
-            let set = OptikCacheList::new();
-            w.initial_fill(cfg.seed + rep as u64, |k, v| set.insert(k, v));
-            cached.push(
-                run_set_workload(
-                    threads,
-                    cfg.duration,
-                    &w,
-                    cfg.seed + rep as u64,
-                    false,
-                    |_| CountingHandle {
-                        inner: set.handle(),
-                        hits: &hits,
-                        misses: &misses,
-                    },
-                )
-                .mops(),
-            );
-        }
-        let cached = stats::median(&cached);
-        let h = hits.load(Ordering::Relaxed) as f64;
-        let m = misses.load(Ordering::Relaxed) as f64;
-        t.row([
-            size.to_string(),
-            fmt_mops(base),
-            fmt_mops(cached),
-            format!("{:+.1}%", (cached / base.max(1e-9) - 1.0) * 100.0),
-            format!("{:.1}%", 100.0 * h / (h + m).max(1.0)),
-        ]);
     }
-    t.print();
 }

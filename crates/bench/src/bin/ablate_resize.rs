@@ -10,83 +10,16 @@
 //!
 //! It also quantifies the cost of carrying resize support when the sizing
 //! *is* right: well-sized fixed vs resizable tables should be within a few
-//! percent of each other (one extra indirection per operation).
-
-use optik_bench::{banner, Config};
-use optik_harness::runner::run_set_workload;
-use optik_harness::table::{fmt_mops, Table};
-use optik_harness::{stats, ConcurrentSet, Workload};
-use optik_hashtables::{ResizableStripedHashTable, StripedHashTable};
-
-fn measure<S: ConcurrentSet>(
-    make: impl Fn() -> S,
-    w: &Workload,
-    threads: usize,
-    cfg: &Config,
-) -> f64 {
-    let mut mops = Vec::new();
-    for rep in 0..cfg.reps {
-        let set = make();
-        w.initial_fill(cfg.seed + rep as u64, |k, v| set.insert(k, v));
-        let res = run_set_workload(
-            threads,
-            cfg.duration,
-            w,
-            cfg.seed + rep as u64,
-            false,
-            |_| &set,
-        );
-        mops.push(res.mops());
-    }
-    stats::median(&mops)
-}
+//! percent of each other (one extra indirection per operation). The
+//! `java-resize` scenario starts at 2 buckets/segment and must grow to fit
+//! 8192 elements during the initial fill of every repetition.
+//!
+//! Scenarios: `ablate-resize.*` in the registry (`bench_all --list`).
 
 fn main() {
-    let cfg = Config::from_env();
-    banner(
-        "Ablation: resizing",
+    optik_bench::cli::run_family(
+        "ablate-resize",
         "fixed vs per-segment-resizable striped tables",
-        &cfg,
+        false,
     );
-
-    const ELEMS: u64 = 8192;
-    const SEGMENTS: usize = 128;
-    let w = Workload::paper(ELEMS, 20, false);
-
-    println!("{ELEMS} elements, 20% effective updates — throughput (Mops/s):");
-    println!("  well-sized  = buckets == elements (the paper's Figure 10 setup)");
-    println!("  under-sized = 64x fewer buckets than elements\n");
-    let mut t = Table::new([
-        "threads",
-        "java well-sized",
-        "java under-sized",
-        "java-resize (2/seg start)",
-    ]);
-    for &n in &cfg.threads {
-        t.row([
-            n.to_string(),
-            fmt_mops(measure(
-                || StripedHashTable::new(ELEMS as usize, SEGMENTS),
-                &w,
-                n,
-                &cfg,
-            )),
-            fmt_mops(measure(
-                || StripedHashTable::new(ELEMS as usize / 64, SEGMENTS),
-                &w,
-                n,
-                &cfg,
-            )),
-            fmt_mops(measure(
-                || ResizableStripedHashTable::new(SEGMENTS, 2),
-                &w,
-                n,
-                &cfg,
-            )),
-        ]);
-    }
-    t.print();
-    println!();
-    println!("(java-resize starts at 2 buckets/segment and must grow to fit");
-    println!(" {ELEMS} elements during the initial fill of every repetition.)");
 }

@@ -3,45 +3,15 @@
 //! The paper diverts enqueues to the victim queue when "more than two"
 //! threads queue behind the tail lock. This sweep shows the sensitivity of
 //! that choice on the enqueue-heavy workload (60% enqueues), where victim
-//! queues matter most.
-
-use optik_bench::{banner, Config};
-use optik_harness::runner::run_queue_workload;
-use optik_harness::table::{fmt_mops, Table};
-use optik_harness::{stats, ConcurrentQueue};
-use optik_queues::VictimQueue;
-
-fn measure(threshold: u32, threads: usize, cfg: &Config) -> f64 {
-    let mut mops = Vec::new();
-    for rep in 0..cfg.reps {
-        let q = VictimQueue::with_threshold(threshold);
-        for i in 0..65_536u64 {
-            q.enqueue(i);
-        }
-        let res = run_queue_workload(&q, threads, cfg.duration, 60, cfg.seed + rep as u64, false);
-        mops.push(res.mops());
-    }
-    stats::median(&mops)
-}
+//! queues matter most. `t2` is the paper's choice; `tinf` disables the
+//! victim queue entirely.
+//!
+//! Scenarios: `ablate-victim.*` in the registry (`bench_all --list`).
 
 fn main() {
-    let cfg = Config::from_env();
-    banner(
-        "Ablation",
+    optik_bench::cli::run_family(
+        "ablate-victim",
         "victim-queue threshold sweep (increasing-size workload)",
-        &cfg,
+        false,
     );
-    let thresholds = [0u32, 1, 2, 4, 8, 16, u32::MAX];
-    let mut t = Table::new([
-        "threads", "t=0", "t=1", "t=2*", "t=4", "t=8", "t=16", "t=inf",
-    ]);
-    for &n in &cfg.threads {
-        let mut row = vec![n.to_string()];
-        for &th in &thresholds {
-            row.push(fmt_mops(measure(th, n, &cfg)));
-        }
-        t.row(row);
-    }
-    t.print();
-    println!("(* = the paper's choice; t=inf disables the victim queue)");
 }

@@ -1,0 +1,224 @@
+//! `bench_all` — run any subset of the scenario registry, write JSON
+//! reports, and compare against a baseline.
+//!
+//! ```text
+//! bench_all --list                 # enumerate every registered scenario
+//! bench_all                        # run everything, write BENCH_<family>.json
+//! bench_all fig9 fig12.stable      # run by family/group/scenario name
+//! bench_all fig9 --json out.json   # single combined report instead
+//! bench_all --baseline BENCH_baseline.json --tolerance 25
+//!                                  # exit 1 on >25% throughput regression
+//! ```
+//!
+//! Sweep knobs come from the usual environment variables
+//! (`BENCH_THREADS`, `BENCH_DUR_MS`, `BENCH_REPS`, `BENCH_SEED`); the
+//! machine class recorded in the report can be overridden with
+//! `BENCH_MACHINE`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use optik_bench::cli;
+use optik_bench::scenarios;
+use optik_harness::driver::SweepConfig;
+use optik_harness::report::{compare, Report};
+use optik_harness::table::Table;
+
+struct Args {
+    patterns: Vec<String>,
+    list: bool,
+    json: Option<PathBuf>,
+    out_dir: PathBuf,
+    baseline: Option<PathBuf>,
+    tolerance_pct: f64,
+    latency: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_all [PATTERN ...] [--list] [--json FILE] [--out-dir DIR]\n\
+         \x20                [--baseline FILE] [--tolerance PCT] [--no-latency]\n\
+         \n\
+         PATTERN selects scenarios by exact name or dot-boundary prefix\n\
+         (family or group); no patterns = the whole registry."
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        patterns: Vec::new(),
+        list: false,
+        json: None,
+        out_dir: PathBuf::from("."),
+        baseline: None,
+        tolerance_pct: 25.0,
+        latency: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--list" => args.list = true,
+            "--json" => args.json = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--out-dir" => {
+                args.out_dir = PathBuf::from(it.next().unwrap_or_else(|| usage()));
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
+            }
+            "--tolerance" => {
+                args.tolerance_pct = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--no-latency" => args.latency = false,
+            "--help" | "-h" => usage(),
+            p if p.starts_with('-') => usage(),
+            p => args.patterns.push(p.to_string()),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let reg = scenarios::registry();
+
+    if args.list {
+        let mut t = Table::new(["scenario", "subject", "id", "description"]);
+        for s in reg.iter() {
+            t.row([s.name(), s.subject().kind(), s.subject_id(), s.about()]);
+        }
+        t.print();
+        println!("\n{} scenarios registered", reg.len());
+        return ExitCode::SUCCESS;
+    }
+
+    let cfg = SweepConfig::from_env();
+    cli::banner("bench_all", "unified scenario sweep", &cfg);
+    let selected = reg.select(&args.patterns);
+    if selected.is_empty() {
+        eprintln!("no scenarios match {:?}; try --list", args.patterns);
+        return ExitCode::from(2);
+    }
+    println!("{} scenarios selected\n", selected.len());
+    let reports = cli::run_selection(&reg, &args.patterns, &cfg, args.latency);
+
+    let machine = std::env::var("BENCH_MACHINE").unwrap_or_else(|_| Report::machine_class());
+    let combined = Report::new(&machine, &cfg, reports);
+
+    // Write artifacts: one combined file, or one per family.
+    if let Some(path) = &args.json {
+        if let Err(e) = combined.save(path) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    } else {
+        let mut families: Vec<&str> = Vec::new();
+        for s in &combined.scenarios {
+            let fam = s.scenario.split('.').next().expect("non-empty");
+            if !families.contains(&fam) {
+                families.push(fam);
+            }
+        }
+        for fam in families {
+            let sub = Report::new(
+                &machine,
+                &cfg,
+                combined
+                    .scenarios
+                    .iter()
+                    .filter(|s| s.scenario.split('.').next() == Some(fam))
+                    .cloned()
+                    .collect(),
+            );
+            let path = args.out_dir.join(format!("BENCH_{fam}.json"));
+            if let Err(e) = sub.save(&path) {
+                eprintln!("failed to write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", path.display());
+        }
+    }
+
+    // Baseline comparison.
+    if let Some(path) = &args.baseline {
+        let baseline = match Report::load(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("failed to load baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let cmp = compare(&combined, &baseline);
+        let tol = args.tolerance_pct / 100.0;
+        // Absolute Mops/s only compare meaningfully on the same machine
+        // class: cross-class deltas measure hardware, not code. On a
+        // mismatch the gate reports regressions but does not fail.
+        let same_machine = baseline.machine == machine;
+        println!();
+        println!(
+            "baseline: {} ({} matched points, geomean ratio {:.3})",
+            path.display(),
+            cmp.deltas.len(),
+            cmp.geomean_ratio()
+        );
+        if !same_machine {
+            println!(
+                "warning: baseline machine class differs\n  baseline: {}\n  current:  {}\n\
+                 cross-class throughput deltas measure hardware, not code; the\n\
+                 regression gate is advisory until the baseline is re-recorded\n\
+                 on this machine class",
+                baseline.machine, machine
+            );
+        }
+        if !cmp.missing_in_current.is_empty() {
+            if args.patterns.is_empty() {
+                // A full-registry run must cover everything the baseline
+                // covers: a missing scenario means regression protection
+                // silently shrank (rename/delete without re-recording).
+                eprintln!(
+                    "error: {} baseline scenarios missing from this full run \
+                     (renamed/deleted without re-recording the baseline?):",
+                    cmp.missing_in_current.len()
+                );
+                for s in &cmp.missing_in_current {
+                    eprintln!("  {s}");
+                }
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "note: {} baseline scenarios not in this subset run",
+                cmp.missing_in_current.len()
+            );
+        }
+        let regressions = cmp.regressions(tol);
+        if regressions.is_empty() {
+            println!("no regressions beyond {:.0}% tolerance", args.tolerance_pct);
+        } else {
+            println!(
+                "{} regressions beyond {:.0}% tolerance:",
+                regressions.len(),
+                args.tolerance_pct
+            );
+            let mut t = Table::new(["scenario", "threads", "baseline", "current", "ratio"]);
+            for d in &regressions {
+                t.row([
+                    d.scenario.clone(),
+                    d.threads.to_string(),
+                    format!("{:.3}", d.baseline_mops),
+                    format!("{:.3}", d.current_mops),
+                    format!("{:.2}x", d.ratio()),
+                ]);
+            }
+            t.print();
+            if same_machine {
+                return ExitCode::FAILURE;
+            }
+            println!("(advisory only: machine class mismatch — see warning above)");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -15,69 +15,9 @@
 //! three are close at 1 thread; as threads grow, optik-tk pulls ahead of
 //! optik-gl, which pulls ahead of mcs-gl; skew compresses optik-tk's lead
 //! (hot routers), mirroring the paper's list results.
-
-use optik_bench::{banner, Config};
-use optik_bsts::{GlobalLockBst, OptikBst, OptikGlBst};
-use optik_harness::runner::run_set_workload;
-use optik_harness::table::{fmt_mops, Table};
-use optik_harness::{stats, ConcurrentSet, Workload};
-
-fn measure<S: ConcurrentSet>(
-    make: impl Fn() -> S,
-    w: &Workload,
-    threads: usize,
-    cfg: &Config,
-) -> f64 {
-    let mut mops = Vec::new();
-    for rep in 0..cfg.reps {
-        let set = make();
-        w.initial_fill(cfg.seed + rep as u64, |k, v| set.insert(k, v));
-        let res = run_set_workload(
-            threads,
-            cfg.duration,
-            w,
-            cfg.seed + rep as u64,
-            false,
-            |_| &set,
-        );
-        mops.push(res.mops());
-    }
-    stats::median(&mops)
-}
+//!
+//! Scenarios: `bst.*` in the registry (`bench_all --list`).
 
 fn main() {
-    let cfg = Config::from_env();
-    banner(
-        "Extension: BSTs",
-        "external binary search trees with OPTIK",
-        &cfg,
-    );
-
-    let workloads: [(&str, u64, bool); 4] = [
-        ("Large (16384 elements)", 16384, false),
-        ("Medium (2048 elements)", 2048, false),
-        ("Small (128 elements)", 128, false),
-        ("Small skewed (128 elements)", 128, true),
-    ];
-
-    for (label, size, skewed) in workloads {
-        let w = Workload::paper(size, 20, skewed);
-        println!("{label}, 20% effective updates — throughput (Mops/s):");
-        let mut t = Table::new(["threads", "mcs-gl", "optik-gl", "optik-tk"]);
-        for &n in &cfg.threads {
-            t.row([
-                n.to_string(),
-                fmt_mops(measure(GlobalLockBst::new, &w, n, &cfg)),
-                fmt_mops(measure(
-                    OptikGlBst::<optik::OptikVersioned>::new,
-                    &w,
-                    n,
-                    &cfg,
-                )),
-                fmt_mops(measure(OptikBst::new, &w, n, &cfg)),
-            ]);
-        }
-        t.print();
-        println!();
-    }
+    optik_bench::cli::run_family("bst", "external binary search trees with OPTIK", false);
 }

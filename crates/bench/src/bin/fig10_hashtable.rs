@@ -8,90 +8,9 @@
 //! small-skewed); optik ~9% behind optik-gl; java-optik helps only under
 //! contention; optik-map wins once tables are large enough (its small-table
 //! pathology was a Xeon prefetcher artifact).
-
-use optik_bench::{banner, Config};
-use optik_harness::runner::run_set_workload;
-use optik_harness::table::{fmt_mops, Table};
-use optik_harness::{stats, ConcurrentSet, Workload};
-use optik_hashtables::{
-    LazyGlHashTable, OptikGlHashTable, OptikHashTable, OptikMapHashTable, StripedHashTable,
-    StripedOptikHashTable,
-};
-
-fn measure<S: ConcurrentSet>(
-    make: impl Fn() -> S,
-    w: &Workload,
-    threads: usize,
-    cfg: &Config,
-) -> f64 {
-    let mut mops = Vec::new();
-    for rep in 0..cfg.reps {
-        let set = make();
-        w.initial_fill(cfg.seed + rep as u64, |k, v| set.insert(k, v));
-        let res = run_set_workload(
-            threads,
-            cfg.duration,
-            w,
-            cfg.seed + rep as u64,
-            false,
-            |_| &set,
-        );
-        mops.push(res.mops());
-    }
-    stats::median(&mops)
-}
+//!
+//! Scenarios: `fig10.*` in the registry (`bench_all --list`).
 
 fn main() {
-    let cfg = Config::from_env();
-    banner("Figure 10", "hash tables on two workloads", &cfg);
-
-    let workloads: [(&str, u64, bool); 2] = [
-        ("Medium (8192 elements)", 8192, false),
-        ("Small skewed (512 elements)", 512, true),
-    ];
-
-    for (label, size, skewed) in workloads {
-        let w = Workload::paper(size, 20, skewed);
-        let buckets = size as usize; // paper: one element per bucket
-        println!("{label}, 20% effective updates, {buckets} buckets — throughput (Mops/s):");
-        let mut t = Table::new([
-            "threads",
-            "lazy-gl",
-            "java",
-            "java-optik",
-            "optik",
-            "optik-gl",
-            "optik-map",
-        ]);
-        for &n in &cfg.threads {
-            t.row([
-                n.to_string(),
-                fmt_mops(measure(|| LazyGlHashTable::new(buckets), &w, n, &cfg)),
-                fmt_mops(measure(
-                    || StripedHashTable::with_default_segments(buckets),
-                    &w,
-                    n,
-                    &cfg,
-                )),
-                fmt_mops(measure(
-                    || StripedOptikHashTable::with_default_segments(buckets),
-                    &w,
-                    n,
-                    &cfg,
-                )),
-                fmt_mops(measure(|| OptikHashTable::new(buckets), &w, n, &cfg)),
-                fmt_mops(measure(|| OptikGlHashTable::new(buckets), &w, n, &cfg)),
-                fmt_mops(measure(
-                    // Bucket capacity 8 keeps overflow probability negligible
-                    // at load factor 1 while preserving the contiguous layout.
-                    || OptikMapHashTable::with_bucket_capacity(buckets, 8),
-                    &w,
-                    n,
-                    &cfg,
-                )),
-            ]);
-        }
-        t.print();
-        println!();
-    }
+    optik_bench::cli::run_family("fig10", "hash tables on two workloads", false);
 }

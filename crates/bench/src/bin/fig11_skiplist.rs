@@ -7,69 +7,9 @@
 //! Paper shape: all ≈equal at low contention; herl-optik ≥ herlihy (fewer
 //! restarts); optik2 > optik1 under skew and ~10% over fraser at peak, but
 //! optik2 drops under multiprogramming while fraser sustains.
-
-use optik_bench::{banner, Config};
-use optik_harness::runner::run_set_workload;
-use optik_harness::table::{fmt_mops, Table};
-use optik_harness::{stats, ConcurrentSet, Workload};
-use optik_skiplists::{
-    FraserSkipList, HerlihyOptikSkipList, HerlihySkipList, OptikSkipList1, OptikSkipList2,
-};
-
-fn measure<S: ConcurrentSet>(
-    make: impl Fn() -> S,
-    w: &Workload,
-    threads: usize,
-    cfg: &Config,
-) -> f64 {
-    let mut mops = Vec::new();
-    for rep in 0..cfg.reps {
-        let set = make();
-        w.initial_fill(cfg.seed + rep as u64, |k, v| set.insert(k, v));
-        let res = run_set_workload(
-            threads,
-            cfg.duration,
-            w,
-            cfg.seed + rep as u64,
-            false,
-            |_| &set,
-        );
-        mops.push(res.mops());
-    }
-    stats::median(&mops)
-}
+//!
+//! Scenarios: `fig11.*` in the registry (`bench_all --list`).
 
 fn main() {
-    let cfg = Config::from_env();
-    banner("Figure 11", "skip lists on two skewed workloads", &cfg);
-
-    let workloads: [(&str, u64); 2] = [
-        ("Large skewed (65536 elements)", 65536),
-        ("Small skewed (1024 elements)", 1024),
-    ];
-
-    for (label, size) in workloads {
-        let w = Workload::paper(size, 20, true);
-        println!("{label}, 20% effective updates — throughput (Mops/s):");
-        let mut t = Table::new([
-            "threads",
-            "fraser",
-            "herlihy",
-            "herl-optik",
-            "optik1",
-            "optik2",
-        ]);
-        for &n in &cfg.threads {
-            t.row([
-                n.to_string(),
-                fmt_mops(measure(FraserSkipList::new, &w, n, &cfg)),
-                fmt_mops(measure(HerlihySkipList::new, &w, n, &cfg)),
-                fmt_mops(measure(HerlihyOptikSkipList::new, &w, n, &cfg)),
-                fmt_mops(measure(OptikSkipList1::new, &w, n, &cfg)),
-                fmt_mops(measure(OptikSkipList2::new, &w, n, &cfg)),
-            ]);
-        }
-        t.print();
-        println!();
-    }
+    optik_bench::cli::run_family("fig11", "skip lists on two skewed workloads", false);
 }

@@ -2,123 +2,15 @@
 //!
 //! Queues start with 65536 elements; three workloads: decreasing size
 //! (40% enqueue), stable (50%), increasing (60%). Algorithms: ms-lf,
-//! ms-lb, optik0..optik3. Latency boxplots at 10 threads on the stable
-//! workload.
+//! ms-lb, optik0..optik3. Latency boxplots at ~10 threads.
 //!
 //! Paper shape: ms-lb flat/stable (MCS) but collapses at
 //! multiprogramming; optik2 ≈ ms-lf; optik3 (victim queues) ~7% over
 //! ms-lf overall, ~28% on the enqueue-heavy workload; optik0 suffers
 //! under contention (blocking lock), optik1 between.
-
-use optik_bench::{banner, fmt_percentiles, Config};
-use optik_harness::runner::run_queue_workload;
-use optik_harness::table::{fmt_mops, Table};
-use optik_harness::{stats, ConcurrentQueue, OpKind};
-use optik_queues::{MsLbQueue, MsLfQueue, OptikQueue0, OptikQueue1, OptikQueue2, VictimQueue};
-
-const INITIAL: u64 = 65_536;
-
-fn measure<Q: ConcurrentQueue>(
-    make: impl Fn() -> Q,
-    enqueue_pct: u32,
-    threads: usize,
-    cfg: &Config,
-    latency: bool,
-) -> (f64, optik_harness::LatencyRecorder) {
-    let mut mops = Vec::new();
-    let mut lat = optik_harness::LatencyRecorder::new();
-    for rep in 0..cfg.reps {
-        let q = make();
-        for i in 0..INITIAL {
-            q.enqueue(i);
-        }
-        let res = run_queue_workload(
-            &q,
-            threads,
-            cfg.duration,
-            enqueue_pct,
-            cfg.seed + rep as u64,
-            latency,
-        );
-        mops.push(res.mops());
-        lat.merge(&res.latency);
-    }
-    (stats::median(&mops), lat)
-}
+//!
+//! Scenarios: `fig12.*` in the registry (`bench_all --list`).
 
 fn main() {
-    let cfg = Config::from_env();
-    banner("Figure 12", "queues on three enqueue/dequeue mixes", &cfg);
-
-    let workloads: [(&str, u32); 3] = [
-        ("Decreasing size (40% enq / 60% deq)", 40),
-        ("Stable size (50% enq / 50% deq)", 50),
-        ("Increasing size (60% enq / 40% deq)", 60),
-    ];
-
-    for (label, enq) in workloads {
-        println!("{label} — throughput (Mops/s):");
-        let mut t = Table::new([
-            "threads", "ms-lf", "ms-lb", "optik0", "optik1", "optik2", "optik3",
-        ]);
-        for &n in &cfg.threads {
-            t.row([
-                n.to_string(),
-                fmt_mops(measure(MsLfQueue::new, enq, n, &cfg, false).0),
-                fmt_mops(measure(MsLbQueue::new, enq, n, &cfg, false).0),
-                fmt_mops(measure(OptikQueue0::new, enq, n, &cfg, false).0),
-                fmt_mops(measure(OptikQueue1::new, enq, n, &cfg, false).0),
-                fmt_mops(measure(OptikQueue2::new, enq, n, &cfg, false).0),
-                fmt_mops(measure(VictimQueue::new, enq, n, &cfg, false).0),
-            ]);
-        }
-        t.print();
-        println!();
-    }
-
-    // Latency distributions at ~10 threads, stable-size workload.
-    let lat_threads = cfg
-        .threads
-        .iter()
-        .copied()
-        .min_by_key(|&t| t.abs_diff(10))
-        .unwrap_or(10);
-    println!("Latency at {lat_threads} threads, stable size (cycles, p5/p25/p50/p75/p95):");
-    let mut t = Table::new(["queue", "enqueue", "dequeue"]);
-    let mut lat_row = |name: &str, lat: optik_harness::LatencyRecorder| {
-        let enq = lat
-            .percentiles(OpKind::InsertSuc)
-            .map(|p| fmt_percentiles(&p))
-            .unwrap_or_else(|| "-".into());
-        let deq = lat
-            .percentiles(OpKind::DeleteSuc)
-            .map(|p| fmt_percentiles(&p))
-            .unwrap_or_else(|| "-".into());
-        t.row([name.to_string(), enq, deq]);
-    };
-    lat_row(
-        "ms-lf",
-        measure(MsLfQueue::new, 50, lat_threads, &cfg, true).1,
-    );
-    lat_row(
-        "ms-lb",
-        measure(MsLbQueue::new, 50, lat_threads, &cfg, true).1,
-    );
-    lat_row(
-        "optik0",
-        measure(OptikQueue0::new, 50, lat_threads, &cfg, true).1,
-    );
-    lat_row(
-        "optik1",
-        measure(OptikQueue1::new, 50, lat_threads, &cfg, true).1,
-    );
-    lat_row(
-        "optik2",
-        measure(OptikQueue2::new, 50, lat_threads, &cfg, true).1,
-    );
-    lat_row(
-        "optik3",
-        measure(VictimQueue::new, 50, lat_threads, &cfg, true).1,
-    );
-    t.print();
+    optik_bench::cli::run_family("fig12", "queues on three enqueue/dequeue mixes", true);
 }

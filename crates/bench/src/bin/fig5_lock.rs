@@ -3,130 +3,19 @@
 //! A single lock; every "operation" is one validated acquisition: read the
 //! version, then lock-and-validate, retrying until success, then unlock.
 //! Reproduces both panels: throughput (Mops/s) and the average number of
-//! CAS instructions per successful validation.
+//! CAS instructions per successful validation (the automatic
+//! `cas_per_validation` extra table).
 //!
 //! Paper shape: the two OPTIK implementations are identical and >10×
 //! faster than the TTAS+version straw man on average, whose CAS count
 //! per validation grows with contention while OPTIK's stays near 1.
-
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
-
-use optik::{OptikLock, OptikTicket, OptikVersioned, ValidatedLock};
-use optik_bench::{banner, Config};
-use optik_harness::runner::run_workers;
-use optik_harness::stats;
-use optik_harness::table::{fmt_mops, Table};
-
-struct Point {
-    mops: f64,
-    cas_per_validation: f64,
-}
-
-fn measure_optik<L: OptikLock>(threads: usize, duration: Duration) -> Point {
-    let lock = L::default();
-    let casses = AtomicU64::new(0);
-    let results = run_workers(threads, duration, |ctx| {
-        let mut ops = 0u64;
-        let mut cas = 0u64;
-        while !ctx.should_stop() {
-            loop {
-                let v = lock.get_version();
-                if L::is_locked_version(v) {
-                    synchro::relax();
-                    continue;
-                }
-                let (ok, c) = lock.try_lock_version_counting(v);
-                cas += u64::from(c);
-                if ok {
-                    lock.unlock();
-                    break;
-                }
-            }
-            ops += 1;
-        }
-        (ops, cas)
-    });
-    let ops: u64 = results.iter().map(|r| r.0).sum();
-    casses.fetch_add(results.iter().map(|r| r.1).sum(), Ordering::Relaxed);
-    Point {
-        mops: ops as f64 / duration.as_secs_f64() / 1e6,
-        cas_per_validation: casses.load(Ordering::Relaxed) as f64 / ops.max(1) as f64,
-    }
-}
-
-fn measure_ttas(threads: usize, duration: Duration) -> Point {
-    let lock = ValidatedLock::new();
-    let results = run_workers(threads, duration, |ctx| {
-        let mut ops = 0u64;
-        let mut cas = 0u64;
-        while !ctx.should_stop() {
-            loop {
-                let v = lock.get_version();
-                let (ok, c) = lock.lock_and_validate_counting(v);
-                cas += u64::from(c);
-                if ok {
-                    lock.commit_unlock();
-                    break;
-                }
-            }
-            ops += 1;
-        }
-        (ops, cas)
-    });
-    let ops: u64 = results.iter().map(|r| r.0).sum();
-    let cas: u64 = results.iter().map(|r| r.1).sum();
-    Point {
-        mops: ops as f64 / duration.as_secs_f64() / 1e6,
-        cas_per_validation: cas as f64 / ops.max(1) as f64,
-    }
-}
+//!
+//! Scenarios: `fig5.*` in the registry (`bench_all --list`).
 
 fn main() {
-    let cfg = Config::from_env();
-    banner(
-        "Figure 5",
+    optik_bench::cli::run_family(
+        "fig5",
         "validated lock acquisitions: ttas vs optik-ticket vs optik-versioned",
-        &cfg,
+        false,
     );
-
-    let mut thr = Table::new(["threads", "ttas", "optik-ticket", "optik-versioned"]);
-    let mut cas = Table::new(["threads", "ttas", "optik-ticket", "optik-versioned"]);
-    for &t in &cfg.threads {
-        let mut pts = Vec::new();
-        for name in 0..3 {
-            let series: Vec<Point> = (0..cfg.reps)
-                .map(|_| match name {
-                    0 => measure_ttas(t, cfg.duration),
-                    1 => measure_optik::<OptikTicket>(t, cfg.duration),
-                    _ => measure_optik::<OptikVersioned>(t, cfg.duration),
-                })
-                .collect();
-            let mops = stats::median(&series.iter().map(|p| p.mops).collect::<Vec<_>>());
-            let cpv = stats::median(
-                &series
-                    .iter()
-                    .map(|p| p.cas_per_validation)
-                    .collect::<Vec<_>>(),
-            );
-            pts.push((mops, cpv));
-        }
-        thr.row([
-            t.to_string(),
-            fmt_mops(pts[0].0),
-            fmt_mops(pts[1].0),
-            fmt_mops(pts[2].0),
-        ]);
-        cas.row([
-            t.to_string(),
-            format!("{:.2}", pts[0].1),
-            format!("{:.2}", pts[1].1),
-            format!("{:.2}", pts[2].1),
-        ]);
-    }
-    println!("Throughput (Mops/s):");
-    thr.print();
-    println!();
-    println!("# CAS per successful validation:");
-    cas.print();
 }

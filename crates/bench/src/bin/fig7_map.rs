@@ -1,124 +1,27 @@
 //! Figure 7: lock-based (MCS) vs OPTIK-based array map.
 //!
 //! Two workloads at 10% effective updates — *small* (4 slots) and *large*
-//! (1024 slots) — plus the latency distributions at 10 threads.
+//! (1024 slots) — plus the latency distributions at ~10 threads.
 //!
 //! Paper shape: optik beats mcs everywhere; ≈4.7× on the small map and
 //! ≈1.4× on the large one (excluding multiprogramming), mostly from
 //! lock-free searches and unsynchronized infeasible updates.
+//!
+//! Scenarios: `fig7.*` in the registry (`bench_all --list`).
 
-use optik_bench::{banner, fmt_percentiles, Config};
-use optik_harness::runner::run_set_workload;
-use optik_harness::table::{fmt_mops, Table};
-use optik_harness::{stats, OpKind, Workload};
-use optik_maps::{ArrayMap, LockArrayMap, OptikArrayMap};
-
-/// Adapter: expose an [`ArrayMap`] through the harness `SetHandle`.
-struct MapRef<'a, M: ArrayMap>(&'a M);
-
-impl<M: ArrayMap> optik_harness::SetHandle for MapRef<'_, M> {
-    fn search(&mut self, key: u64) -> Option<u64> {
-        self.0.search(key)
-    }
-    fn insert(&mut self, key: u64, val: u64) -> bool {
-        self.0.insert(key, val)
-    }
-    fn delete(&mut self, key: u64) -> Option<u64> {
-        self.0.delete(key)
-    }
-}
-
-fn run_point<M: ArrayMap>(
-    make: impl Fn() -> M,
-    slots: u64,
-    threads: usize,
-    cfg: &Config,
-    latency: bool,
-) -> (f64, optik_harness::LatencyRecorder) {
-    // Workload: key range = 2x the slot count, 10% effective updates.
-    let w = Workload::paper(slots, 10, false);
-    let mut mops = Vec::new();
-    let mut lat = optik_harness::LatencyRecorder::new();
-    for rep in 0..cfg.reps {
-        let map = make();
-        w.initial_fill(cfg.seed + rep as u64, |k, v| map.insert(k, v));
-        let res = run_set_workload(
-            threads,
-            cfg.duration,
-            &w,
-            cfg.seed + rep as u64,
-            latency,
-            |_| MapRef(&map),
-        );
-        mops.push(res.mops());
-        lat.merge(&res.latency);
-    }
-    (stats::median(&mops), lat)
-}
+use optik_bench::cli;
 
 fn main() {
-    let cfg = Config::from_env();
-    banner(
-        "Figure 7",
+    let reports = cli::run_family(
+        "fig7",
         "array maps: mcs (global MCS lock) vs optik (OPTIK pattern)",
-        &cfg,
-    );
-
-    for (label, slots) in [
-        ("Small map (4 slots)", 4u64),
-        ("Large map (1024 slots)", 1024),
-    ] {
-        println!("{label}, 10% effective updates — throughput (Mops/s):");
-        let mut t = Table::new(["threads", "mcs", "optik", "optik/mcs"]);
-        for &n in &cfg.threads {
-            let (mcs, _) = run_point(|| LockArrayMap::new(slots as usize), slots, n, &cfg, false);
-            let (opt, _) = run_point(
-                || OptikArrayMap::<optik::OptikVersioned>::new(slots as usize),
-                slots,
-                n,
-                &cfg,
-                false,
-            );
-            t.row([
-                n.to_string(),
-                fmt_mops(mcs),
-                fmt_mops(opt),
-                format!("{:.2}x", opt / mcs.max(1e-9)),
-            ]);
-        }
-        t.print();
-        println!();
-    }
-
-    // Latency distributions at 10 threads (or the closest configured).
-    let lat_threads = cfg
-        .threads
-        .iter()
-        .copied()
-        .min_by_key(|&t| t.abs_diff(10))
-        .unwrap_or(10);
-    println!(
-        "Latency distribution at {lat_threads} threads, small map (cycles, p5/p25/p50/p75/p95):"
-    );
-    let mut t = Table::new(["op", "mcs", "optik"]);
-    let (_, lat_mcs) = run_point(|| LockArrayMap::new(4), 4, lat_threads, &cfg, true);
-    let (_, lat_opt) = run_point(
-        || OptikArrayMap::<optik::OptikVersioned>::new(4),
-        4,
-        lat_threads,
-        &cfg,
         true,
     );
-    for kind in OpKind::ALL {
-        let m = lat_mcs
-            .percentiles(kind)
-            .map(|p| fmt_percentiles(&p))
-            .unwrap_or_else(|| "-".into());
-        let o = lat_opt
-            .percentiles(kind)
-            .map(|p| fmt_percentiles(&p))
-            .unwrap_or_else(|| "-".into());
-        t.row([kind.label().to_string(), m, o]);
+    for group in ["fig7.small", "fig7.large"] {
+        if let Some(t) = cli::ratio_table(&reports, group, "optik", "mcs") {
+            println!("{group} — speedup:");
+            t.print();
+            println!();
+        }
     }
-    t.print();
 }

@@ -9,119 +9,9 @@
 //! mcs-gl-opt everywhere; fine-grained optik ≈ lazy/harris at low
 //! contention, ~22% faster than lazy on small lists, and far ahead of lazy
 //! on small-skewed.
-
-use optik_bench::{banner, Config};
-use optik_harness::runner::run_set_workload;
-use optik_harness::table::{fmt_mops, Table};
-use optik_harness::{stats, ConcurrentSet, Workload};
-use optik_lists::{
-    GlobalLockList, HarrisList, LazyCacheList, LazyList, OptikCacheList, OptikGlList, OptikList,
-};
-
-/// Median Mops/s for a plain (stateless-handle) set.
-fn measure_plain<S: ConcurrentSet>(
-    make: impl Fn() -> S,
-    w: &Workload,
-    threads: usize,
-    cfg: &Config,
-) -> f64 {
-    let mut mops = Vec::new();
-    for rep in 0..cfg.reps {
-        let set = make();
-        w.initial_fill(cfg.seed + rep as u64, |k, v| set.insert(k, v));
-        let res = run_set_workload(
-            threads,
-            cfg.duration,
-            w,
-            cfg.seed + rep as u64,
-            false,
-            |_| &set,
-        );
-        mops.push(res.mops());
-    }
-    stats::median(&mops)
-}
-
-/// Median Mops/s for the node-caching lists (per-thread handles).
-fn measure_optik_cache(w: &Workload, threads: usize, cfg: &Config) -> f64 {
-    let mut mops = Vec::new();
-    for rep in 0..cfg.reps {
-        let set = OptikCacheList::new();
-        w.initial_fill(cfg.seed + rep as u64, |k, v| set.insert(k, v));
-        let res = run_set_workload(
-            threads,
-            cfg.duration,
-            w,
-            cfg.seed + rep as u64,
-            false,
-            |_| set.handle(),
-        );
-        mops.push(res.mops());
-    }
-    stats::median(&mops)
-}
-
-fn measure_lazy_cache(w: &Workload, threads: usize, cfg: &Config) -> f64 {
-    let mut mops = Vec::new();
-    for rep in 0..cfg.reps {
-        let set = LazyCacheList::new();
-        w.initial_fill(cfg.seed + rep as u64, |k, v| set.insert(k, v));
-        let res = run_set_workload(
-            threads,
-            cfg.duration,
-            w,
-            cfg.seed + rep as u64,
-            false,
-            |_| set.handle(),
-        );
-        mops.push(res.mops());
-    }
-    stats::median(&mops)
-}
+//!
+//! Scenarios: `fig9.*` in the registry (`bench_all --list`).
 
 fn main() {
-    let cfg = Config::from_env();
-    banner("Figure 9", "linked lists on five workloads", &cfg);
-
-    let workloads: [(&str, u64, bool); 5] = [
-        ("Large (8192 elements)", 8192, false),
-        ("Medium (1024 elements)", 1024, false),
-        ("Small (64 elements)", 64, false),
-        ("Large skewed (8192 elements)", 8192, true),
-        ("Small skewed (64 elements)", 64, true),
-    ];
-
-    for (label, size, skewed) in workloads {
-        let w = Workload::paper(size, 20, skewed);
-        println!("{label}, 20% effective updates — throughput (Mops/s):");
-        let mut t = Table::new([
-            "threads",
-            "harris",
-            "lazy",
-            "lazy-cache",
-            "mcs-gl-opt",
-            "optik-gl",
-            "optik",
-            "optik-cache",
-        ]);
-        for &n in &cfg.threads {
-            t.row([
-                n.to_string(),
-                fmt_mops(measure_plain(HarrisList::new, &w, n, &cfg)),
-                fmt_mops(measure_plain(LazyList::new, &w, n, &cfg)),
-                fmt_mops(measure_lazy_cache(&w, n, &cfg)),
-                fmt_mops(measure_plain(GlobalLockList::new, &w, n, &cfg)),
-                fmt_mops(measure_plain(
-                    OptikGlList::<optik::OptikVersioned>::new,
-                    &w,
-                    n,
-                    &cfg,
-                )),
-                fmt_mops(measure_plain(OptikList::new, &w, n, &cfg)),
-                fmt_mops(measure_optik_cache(&w, n, &cfg)),
-            ]);
-        }
-        t.print();
-        println!();
-    }
+    optik_bench::cli::run_family("fig9", "linked lists on five workloads", false);
 }

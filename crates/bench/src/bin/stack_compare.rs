@@ -1,67 +1,23 @@
-//! §5.5's stack experiment: Treiber vs OPTIK stack.
+//! §5.5's stack experiment: Treiber vs OPTIK vs elimination stack.
 //!
 //! Paper: "The original and the OPTIK-based variants behave similarly" —
 //! the stack's single point of contention offers no optimistic prefix.
+//!
+//! Scenarios: `stacks.*` in the registry (`bench_all --list`).
 
-use optik_bench::{banner, Config};
-use optik_harness::runner::run_workers;
-use optik_harness::table::{fmt_mops, Table};
-use optik_harness::{stats, FastRng};
-use optik_stacks::{ConcurrentStack, EliminationStack, OptikStack, TreiberStack};
-
-fn measure<S: ConcurrentStack>(make: impl Fn() -> S, threads: usize, cfg: &Config) -> f64 {
-    let mut mops = Vec::new();
-    for rep in 0..cfg.reps {
-        let s = make();
-        for i in 0..1024u64 {
-            s.push(i);
-        }
-        let results = run_workers(threads, cfg.duration, |ctx| {
-            let mut rng = FastRng::for_thread(cfg.seed + rep as u64, ctx.tid);
-            let mut ops = 0u64;
-            while !ctx.should_stop() {
-                if rng.next_u64() % 2 == 0 {
-                    s.push(ops);
-                } else {
-                    let _ = s.pop();
-                }
-                ops += 1;
-            }
-            ops
-        });
-        let total: u64 = results.iter().sum();
-        mops.push(total as f64 / cfg.duration.as_secs_f64() / 1e6);
-    }
-    stats::median(&mops)
-}
+use optik_bench::cli;
 
 fn main() {
-    let cfg = Config::from_env();
-    banner(
-        "§5.5 stacks",
+    let reports = cli::run_family(
+        "stacks",
         "Treiber vs OPTIK vs elimination stack (50/50 push/pop)",
-        &cfg,
+        false,
     );
-    let mut t = Table::new([
-        "threads",
-        "treiber",
-        "optik",
-        "elim",
-        "optik/treiber",
-        "elim/treiber",
-    ]);
-    for &n in &cfg.threads {
-        let tr = measure(TreiberStack::new, n, &cfg);
-        let op = measure(OptikStack::new, n, &cfg);
-        let el = measure(EliminationStack::new, n, &cfg);
-        t.row([
-            n.to_string(),
-            fmt_mops(tr),
-            fmt_mops(op),
-            fmt_mops(el),
-            format!("{:.2}x", op / tr.max(1e-9)),
-            format!("{:.2}x", el / tr.max(1e-9)),
-        ]);
+    for num in ["optik", "elim"] {
+        if let Some(t) = cli::ratio_table(&reports, "stacks", num, "treiber") {
+            println!("stacks — {num} vs treiber:");
+            t.print();
+            println!();
+        }
     }
-    t.print();
 }

@@ -1,7 +1,15 @@
 //! Shared plumbing for the figure-regeneration binaries.
 //!
-//! Every `figN_*` binary accepts the same environment knobs so full-scale
-//! runs (paper-like) and CI smoke runs use one code path:
+//! The benchmark stack has three layers:
+//!
+//! - [`scenarios`] — the registry: every figure/ablation of the paper
+//!   registered as a named [`optik_harness::Scenario`];
+//! - [`optik_harness::driver`] — the sweep/rep/median engine (env knobs
+//!   below);
+//! - [`cli`] — table printing and the per-family `main` bodies.
+//!
+//! Every binary accepts the same environment knobs so full-scale runs
+//! (paper-like) and CI smoke runs use one code path:
 //!
 //! | variable         | meaning                               | default |
 //! |------------------|---------------------------------------|---------|
@@ -12,91 +20,21 @@
 //!
 //! The paper uses 5 s × 11 repetitions; set `BENCH_DUR_MS=5000
 //! BENCH_REPS=11` to match.
+//!
+//! The `bench_all` binary runs any subset of the registry by name, writes
+//! `BENCH_<family>.json` reports, and compares against a checked-in
+//! baseline (see `BENCH_baseline.json` at the repository root).
 
-use std::time::Duration;
+pub mod cli;
+pub mod scenarios;
 
 pub use optik_harness as harness;
 
-/// Parsed benchmark configuration (see module docs for the knobs).
-#[derive(Debug, Clone)]
-pub struct Config {
-    /// Thread counts to sweep.
-    pub threads: Vec<usize>,
-    /// Measurement window per data point.
-    pub duration: Duration,
-    /// Repetitions per data point (median reported).
-    pub reps: usize,
-    /// Workload seed.
-    pub seed: u64,
-}
+/// Sweep configuration (re-exported from the harness driver; the historic
+/// name `Config` is kept for the Criterion benches and external users).
+pub type Config = optik_harness::driver::SweepConfig;
 
-impl Config {
-    /// Reads the configuration from the environment.
-    pub fn from_env() -> Self {
-        let cores = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(8);
-        let threads = match std::env::var("BENCH_THREADS") {
-            Ok(s) => s
-                .split(',')
-                .filter_map(|t| t.trim().parse().ok())
-                .filter(|&t| t > 0)
-                .collect(),
-            Err(_) => {
-                let mut v = vec![1, 2, 4, 8, 16, 24, 32, 48, 64];
-                v.retain(|&t| t <= 2 * cores);
-                if !v.contains(&cores) {
-                    v.push(cores);
-                }
-                if !v.contains(&(2 * cores)) {
-                    v.push(2 * cores);
-                }
-                v.sort_unstable();
-                v.dedup();
-                v
-            }
-        };
-        let duration = Duration::from_millis(
-            std::env::var("BENCH_DUR_MS")
-                .ok()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(300),
-        );
-        let reps = std::env::var("BENCH_REPS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(3)
-            .max(1);
-        let seed = std::env::var("BENCH_SEED")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(42);
-        Self {
-            threads,
-            duration,
-            reps,
-            seed,
-        }
-    }
-}
-
-/// Pretty header shared by the binaries.
-pub fn banner(fig: &str, what: &str, cfg: &Config) {
-    println!("== {fig}: {what}");
-    println!(
-        "   threads={:?} duration={:?} reps={} seed={}",
-        cfg.threads, cfg.duration, cfg.reps, cfg.seed
-    );
-    println!();
-}
-
-/// Formats a latency percentile row: `p5/p25/p50/p75/p95 (n)`.
-pub fn fmt_percentiles(p: &harness::Percentiles) -> String {
-    format!(
-        "{}/{}/{}/{}/{} (n={})",
-        p.p5, p.p25, p.p50, p.p75, p.p95, p.count
-    )
-}
+pub use cli::{banner, fmt_percentiles};
 
 /// Support for the Criterion benches: fixed-window measurements converted
 /// to per-operation time.

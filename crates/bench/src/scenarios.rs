@@ -1,0 +1,802 @@
+//! The canonical scenario registry: every figure and ablation of the
+//! reproduction, registered once.
+//!
+//! This is the single place where a data structure meets the paper's §5
+//! methodology. Registering a scenario here automatically gets it
+//!
+//! - benchmarked by its family binary (`fig9_list`, ...) and by
+//!   `bench_all` (with JSON reports and baseline comparison), and
+//! - stress-tested and linearizability-checked by the registry-driven test
+//!   tiers in `tests/` (via [`Scenario::subject`]).
+//!
+//! Scenario names follow `family.group.series` (see
+//! [`optik_harness::scenario`]); [`group_blurb`] carries the human table
+//! headers the old per-figure binaries printed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use optik::{OptikLock, OptikTicket, OptikVersioned, ValidatedLock};
+use optik_harness::runner::{run_set_workload, run_workers};
+use optik_harness::scenario::{Measurement, Registry, Scenario, Subject};
+use optik_harness::{ConcurrentSet, SetHandle, Workload};
+
+use optik_bsts::{GlobalLockBst, OptikBst, OptikGlBst};
+use optik_hashtables::{
+    LazyGlHashTable, OptikGlHashTable, OptikHashTable, OptikMapHashTable,
+    ResizableStripedHashTable, StripedHashTable, StripedOptikHashTable,
+};
+use optik_lists::{
+    GlobalLockList, HarrisList, LazyCacheList, LazyList, OptikCacheList, OptikGlList, OptikList,
+};
+use optik_maps::{LockArrayMap, OptikArrayMap};
+use optik_queues::{MsLbQueue, MsLfQueue, OptikQueue0, OptikQueue1, OptikQueue2, VictimQueue};
+use optik_skiplists::{
+    FraserSkipList, HerlihyOptikSkipList, HerlihySkipList, OptikSkipList1, OptikSkipList2,
+};
+use optik_stacks::{EliminationStack, OptikStack, TreiberStack};
+
+/// Builds the full registry (~115 scenarios across 12 families).
+pub fn registry() -> Registry {
+    let mut r = Registry::new();
+    fig5(&mut r);
+    fig7(&mut r);
+    fig9(&mut r);
+    fig10(&mut r);
+    fig11(&mut r);
+    fig12(&mut r);
+    bst(&mut r);
+    stacks(&mut r);
+    ablate_base_lock(&mut r);
+    ablate_node_cache(&mut r);
+    ablate_resize(&mut r);
+    ablate_victim(&mut r);
+    r
+}
+
+/// Human description of a group (the table headers the per-figure binaries
+/// print above each thread sweep).
+pub fn group_blurb(group: &str) -> &'static str {
+    match group {
+        "fig5" => "validated lock acquisitions: ttas vs optik-ticket vs optik-versioned",
+        "fig7.small" => "Small map (4 slots), 10% effective updates",
+        "fig7.large" => "Large map (1024 slots), 10% effective updates",
+        "fig9.large" => "Large list (8192 elements), 20% effective updates",
+        "fig9.medium" => "Medium list (1024 elements), 20% effective updates",
+        "fig9.small" => "Small list (64 elements), 20% effective updates",
+        "fig9.large-skew" => "Large skewed list (8192 elements, zipf a=0.9), 20% effective updates",
+        "fig9.small-skew" => "Small skewed list (64 elements, zipf a=0.9), 20% effective updates",
+        "fig10.medium" => "Medium table (8192 elements, 8192 buckets), 20% effective updates",
+        "fig10.small-skew" => {
+            "Small skewed table (512 elements, 512 buckets, zipf a=0.9), 20% effective updates"
+        }
+        "fig11.large-skew" => {
+            "Large skewed skip list (65536 elements, zipf a=0.9), 20% effective updates"
+        }
+        "fig11.small-skew" => {
+            "Small skewed skip list (1024 elements, zipf a=0.9), 20% effective updates"
+        }
+        "fig12.dec" => "Decreasing size (40% enq / 60% deq), 65536 initial elements",
+        "fig12.stable" => "Stable size (50% enq / 50% deq), 65536 initial elements",
+        "fig12.inc" => "Increasing size (60% enq / 40% deq), 65536 initial elements",
+        "bst.large" => "Large BST (16384 elements), 20% effective updates",
+        "bst.medium" => "Medium BST (2048 elements), 20% effective updates",
+        "bst.small" => "Small BST (128 elements), 20% effective updates",
+        "bst.small-skew" => "Small skewed BST (128 elements, zipf a=0.9), 20% effective updates",
+        "stacks" => "Treiber vs OPTIK vs elimination stack (50/50 push/pop, 1024 prefill)",
+        "ablate-base-lock" => {
+            "optik-gl list: versioned vs ticket base lock (128 elements, 20% updates)"
+        }
+        "ablate-node-cache.64" => "Node caching on the small list (64 elements, 20% updates)",
+        "ablate-node-cache.1024" => "Node caching on the medium list (1024 elements, 20% updates)",
+        "ablate-node-cache.8192" => "Node caching on the large list (8192 elements, 20% updates)",
+        "ablate-resize" => {
+            "Fixed vs per-segment-resizable striped tables (8192 elements, 20% updates)"
+        }
+        "ablate-victim" => "Victim-queue threshold sweep (60% enqueues, 65536 initial elements)",
+        _ => "",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: raw validated lock acquisitions.
+// ---------------------------------------------------------------------------
+
+fn optik_lock_scenario<L: OptikLock + 'static>(name: &str, about: &str, id: &str) -> Scenario {
+    Scenario::custom(name, about, id, Subject::None, |spec| {
+        let lock = L::default();
+        let start = Instant::now();
+        let results = run_workers(spec.threads, spec.duration, |ctx| {
+            let mut ops = 0u64;
+            let mut cas = 0u64;
+            while !ctx.should_stop() {
+                loop {
+                    let v = lock.get_version();
+                    if L::is_locked_version(v) {
+                        synchro::relax();
+                        continue;
+                    }
+                    let (ok, c) = lock.try_lock_version_counting(v);
+                    cas += u64::from(c);
+                    if ok {
+                        lock.unlock();
+                        break;
+                    }
+                }
+                ops += 1;
+            }
+            (ops, cas)
+        });
+        let wall = start.elapsed();
+        let ops: u64 = results.iter().map(|r| r.0).sum();
+        let cas: u64 = results.iter().map(|r| r.1).sum();
+        Measurement::from_ops(ops, wall)
+            .with_extra("cas_per_validation", cas as f64 / ops.max(1) as f64)
+    })
+}
+
+fn fig5(r: &mut Registry) {
+    let about = "Fig 5: one validated acquisition per op; both OPTIK locks are \
+                 identical and >10x the TTAS+version straw man under contention";
+    r.register(Scenario::custom(
+        "fig5.ttas",
+        about,
+        "lock/ttas",
+        Subject::None,
+        |spec| {
+            let lock = ValidatedLock::new();
+            let start = Instant::now();
+            let results = run_workers(spec.threads, spec.duration, |ctx| {
+                let mut ops = 0u64;
+                let mut cas = 0u64;
+                while !ctx.should_stop() {
+                    loop {
+                        let v = lock.get_version();
+                        let (ok, c) = lock.lock_and_validate_counting(v);
+                        cas += u64::from(c);
+                        if ok {
+                            lock.commit_unlock();
+                            break;
+                        }
+                    }
+                    ops += 1;
+                }
+                (ops, cas)
+            });
+            let wall = start.elapsed();
+            let ops: u64 = results.iter().map(|r| r.0).sum();
+            let cas: u64 = results.iter().map(|r| r.1).sum();
+            Measurement::from_ops(ops, wall)
+                .with_extra("cas_per_validation", cas as f64 / ops.max(1) as f64)
+        },
+    ));
+    r.register(optik_lock_scenario::<OptikTicket>(
+        "fig5.optik-ticket",
+        about,
+        "lock/optik-ticket",
+    ));
+    r.register(optik_lock_scenario::<OptikVersioned>(
+        "fig5.optik-versioned",
+        about,
+        "lock/optik-versioned",
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: array maps.
+// ---------------------------------------------------------------------------
+
+fn fig7(r: &mut Registry) {
+    for (suffix, slots) in [("small", 4u64), ("large", 1024)] {
+        let w = Workload::paper(slots, 10, false);
+        r.register(Scenario::set(
+            &format!("fig7.{suffix}.mcs"),
+            "Fig 7: every operation behind a global MCS lock (paper baseline)",
+            "map/mcs",
+            w.clone(),
+            move || LockArrayMap::new(slots as usize),
+        ));
+        r.register(Scenario::set(
+            &format!("fig7.{suffix}.optik"),
+            "Fig 7: OPTIK map — lock-free searches, unsynchronized infeasible \
+             updates; ~4.7x mcs on the small map, ~1.4x on the large",
+            "map/optik",
+            w,
+            move || OptikArrayMap::<OptikVersioned>::new(slots as usize),
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: linked lists.
+// ---------------------------------------------------------------------------
+
+/// Node-caching list scenario (per-thread handles hold the cache).
+fn optik_cache_scenario(name: &str, about: &str, w: Workload) -> Scenario {
+    Scenario::custom(
+        name,
+        about,
+        "list/optik-cache",
+        Subject::set(OptikCacheList::new),
+        move |spec| {
+            let set = OptikCacheList::new();
+            w.initial_fill(spec.seed, |k, v| set.insert(k, v));
+            run_set_workload(
+                spec.threads,
+                spec.duration,
+                &w,
+                spec.seed,
+                spec.record_latency,
+                |_| set.handle(),
+            )
+            .into()
+        },
+    )
+}
+
+fn lazy_cache_scenario(name: &str, about: &str, w: Workload) -> Scenario {
+    Scenario::custom(
+        name,
+        about,
+        "list/lazy-cache",
+        Subject::set(LazyCacheList::new),
+        move |spec| {
+            let set = LazyCacheList::new();
+            w.initial_fill(spec.seed, |k, v| set.insert(k, v));
+            run_set_workload(
+                spec.threads,
+                spec.duration,
+                &w,
+                spec.seed,
+                spec.record_latency,
+                |_| set.handle(),
+            )
+            .into()
+        },
+    )
+}
+
+fn fig9(r: &mut Registry) {
+    let about = "Fig 9: node caching helps (~50%/15% on large/small); optik-gl > \
+                 mcs-gl-opt everywhere; fine-grained optik ~= lazy/harris at low \
+                 contention and ahead of lazy on small/skewed lists";
+    for (suffix, size, skewed) in [
+        ("large", 8192u64, false),
+        ("medium", 1024, false),
+        ("small", 64, false),
+        ("large-skew", 8192, true),
+        ("small-skew", 64, true),
+    ] {
+        let w = Workload::paper(size, 20, skewed);
+        let name = |series: &str| format!("fig9.{suffix}.{series}");
+        r.register(Scenario::set(
+            &name("harris"),
+            about,
+            "list/harris",
+            w.clone(),
+            HarrisList::new,
+        ));
+        r.register(Scenario::set(
+            &name("lazy"),
+            about,
+            "list/lazy",
+            w.clone(),
+            LazyList::new,
+        ));
+        r.register(lazy_cache_scenario(&name("lazy-cache"), about, w.clone()));
+        r.register(Scenario::set(
+            &name("mcs-gl-opt"),
+            about,
+            "list/mcs-gl-opt",
+            w.clone(),
+            GlobalLockList::new,
+        ));
+        r.register(Scenario::set(
+            &name("optik-gl"),
+            about,
+            "list/optik-gl",
+            w.clone(),
+            OptikGlList::<OptikVersioned>::new,
+        ));
+        r.register(Scenario::set(
+            &name("optik"),
+            about,
+            "list/optik",
+            w.clone(),
+            OptikList::new,
+        ));
+        r.register(optik_cache_scenario(&name("optik-cache"), about, w));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10: hash tables.
+// ---------------------------------------------------------------------------
+
+fn fig10(r: &mut Registry) {
+    let about = "Fig 10: optik-gl fastest overall (~2x lazy-gl, 3.7x on \
+                 small-skewed); optik ~9% behind optik-gl; java-optik helps only \
+                 under contention; optik-map wins once tables are large";
+    for (suffix, size, skewed) in [("medium", 8192u64, false), ("small-skew", 512, true)] {
+        let w = Workload::paper(size, 20, skewed);
+        let buckets = size as usize; // paper: one element per bucket
+        let name = |series: &str| format!("fig10.{suffix}.{series}");
+        r.register(Scenario::set(
+            &name("lazy-gl"),
+            about,
+            "ht/lazy-gl",
+            w.clone(),
+            move || LazyGlHashTable::new(buckets),
+        ));
+        r.register(Scenario::set(
+            &name("java"),
+            about,
+            "ht/java",
+            w.clone(),
+            move || StripedHashTable::with_default_segments(buckets),
+        ));
+        r.register(Scenario::set(
+            &name("java-optik"),
+            about,
+            "ht/java-optik",
+            w.clone(),
+            move || StripedOptikHashTable::with_default_segments(buckets),
+        ));
+        r.register(Scenario::set(
+            &name("optik"),
+            about,
+            "ht/optik",
+            w.clone(),
+            move || OptikHashTable::new(buckets),
+        ));
+        r.register(Scenario::set(
+            &name("optik-gl"),
+            about,
+            "ht/optik-gl",
+            w.clone(),
+            move || OptikGlHashTable::new(buckets),
+        ));
+        r.register(Scenario::set(
+            &name("optik-map"),
+            about,
+            "ht/optik-map",
+            w,
+            // Bucket capacity 8 keeps overflow probability negligible at
+            // load factor 1 while preserving the contiguous layout.
+            move || OptikMapHashTable::with_bucket_capacity(buckets, 8),
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11: skip lists.
+// ---------------------------------------------------------------------------
+
+fn fig11(r: &mut Registry) {
+    let about = "Fig 11: all ~equal at low contention; herl-optik >= herlihy \
+                 (fewer restarts); optik2 > optik1 under skew and ~10% over \
+                 fraser at peak, but drops under multiprogramming";
+    for (suffix, size) in [("large-skew", 65536u64), ("small-skew", 1024)] {
+        let w = Workload::paper(size, 20, true);
+        let name = |series: &str| format!("fig11.{suffix}.{series}");
+        r.register(Scenario::set(
+            &name("fraser"),
+            about,
+            "sl/fraser",
+            w.clone(),
+            FraserSkipList::new,
+        ));
+        r.register(Scenario::set(
+            &name("herlihy"),
+            about,
+            "sl/herlihy",
+            w.clone(),
+            HerlihySkipList::new,
+        ));
+        r.register(Scenario::set(
+            &name("herl-optik"),
+            about,
+            "sl/herl-optik",
+            w.clone(),
+            HerlihyOptikSkipList::new,
+        ));
+        r.register(Scenario::set(
+            &name("optik1"),
+            about,
+            "sl/optik1",
+            w.clone(),
+            OptikSkipList1::new,
+        ));
+        r.register(Scenario::set(
+            &name("optik2"),
+            about,
+            "sl/optik2",
+            w,
+            OptikSkipList2::new,
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12: queues.
+// ---------------------------------------------------------------------------
+
+/// Queues start with 65536 elements (the paper's Figure 12 setup).
+pub const QUEUE_PREFILL: u64 = 65_536;
+
+fn fig12(r: &mut Registry) {
+    let about = "Fig 12: ms-lb flat/stable (MCS) but collapses at \
+                 multiprogramming; optik2 ~= ms-lf; optik3 (victim queues) ~7% \
+                 over ms-lf overall, ~28% on the enqueue-heavy workload";
+    for (suffix, enq) in [("dec", 40u32), ("stable", 50), ("inc", 60)] {
+        let name = |series: &str| format!("fig12.{suffix}.{series}");
+        r.register(Scenario::queue(
+            &name("ms-lf"),
+            about,
+            "queue/ms-lf",
+            QUEUE_PREFILL,
+            enq,
+            MsLfQueue::new,
+        ));
+        r.register(Scenario::queue(
+            &name("ms-lb"),
+            about,
+            "queue/ms-lb",
+            QUEUE_PREFILL,
+            enq,
+            MsLbQueue::new,
+        ));
+        r.register(Scenario::queue(
+            &name("optik0"),
+            about,
+            "queue/optik0",
+            QUEUE_PREFILL,
+            enq,
+            OptikQueue0::new,
+        ));
+        r.register(Scenario::queue(
+            &name("optik1"),
+            about,
+            "queue/optik1",
+            QUEUE_PREFILL,
+            enq,
+            OptikQueue1::new,
+        ));
+        r.register(Scenario::queue(
+            &name("optik2"),
+            about,
+            "queue/optik2",
+            QUEUE_PREFILL,
+            enq,
+            OptikQueue2::new,
+        ));
+        r.register(Scenario::queue(
+            &name("optik3"),
+            about,
+            "queue/optik3",
+            QUEUE_PREFILL,
+            enq,
+            VictimQueue::new,
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Extension: external BSTs.
+// ---------------------------------------------------------------------------
+
+fn bst(r: &mut Registry) {
+    let about = "Extension: the list ladder (global lock -> global OPTIK -> \
+                 fine-grained OPTIK) reproduced on external BSTs; optik-tk \
+                 pulls ahead as threads grow, skew compresses its lead";
+    for (suffix, size, skewed) in [
+        ("large", 16384u64, false),
+        ("medium", 2048, false),
+        ("small", 128, false),
+        ("small-skew", 128, true),
+    ] {
+        let w = Workload::paper(size, 20, skewed);
+        let name = |series: &str| format!("bst.{suffix}.{series}");
+        r.register(Scenario::set(
+            &name("mcs-gl"),
+            about,
+            "bst/mcs-gl",
+            w.clone(),
+            GlobalLockBst::new,
+        ));
+        r.register(Scenario::set(
+            &name("optik-gl"),
+            about,
+            "bst/optik-gl",
+            w.clone(),
+            OptikGlBst::<OptikVersioned>::new,
+        ));
+        r.register(Scenario::set(
+            &name("optik-tk"),
+            about,
+            "bst/optik-tk",
+            w,
+            OptikBst::new,
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §5.5: stacks.
+// ---------------------------------------------------------------------------
+
+fn stacks(r: &mut Registry) {
+    let about = "S5.5: the stack's single point of contention offers no \
+                 optimistic prefix — Treiber and OPTIK variants behave alike";
+    r.register(Scenario::stack(
+        "stacks.treiber",
+        about,
+        "stack/treiber",
+        1024,
+        50,
+        TreiberStack::new,
+    ));
+    r.register(Scenario::stack(
+        "stacks.optik",
+        about,
+        "stack/optik",
+        1024,
+        50,
+        OptikStack::new,
+    ));
+    r.register(Scenario::stack(
+        "stacks.elim",
+        about,
+        "stack/elim",
+        1024,
+        50,
+        EliminationStack::new,
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// Ablations.
+// ---------------------------------------------------------------------------
+
+fn ablate_base_lock(r: &mut Registry) {
+    let about = "Ablation: Fig 5's 'both OPTIK locks behave identically' claim \
+                 checked inside a real structure (one contended OPTIK lock)";
+    let w = Workload::paper(128, 20, false);
+    r.register(Scenario::set(
+        "ablate-base-lock.versioned",
+        about,
+        "list/optik-gl",
+        w.clone(),
+        OptikGlList::<OptikVersioned>::new,
+    ));
+    r.register(Scenario::set(
+        "ablate-base-lock.ticket",
+        about,
+        "list/optik-gl-ticket",
+        w,
+        OptikGlList::<OptikTicket>::new,
+    ));
+}
+
+/// Handle wrapper exporting node-cache hit/miss counters on drop.
+struct CountingHandle<'a> {
+    inner: optik_lists::OptikCacheHandle<'a>,
+    hits: &'a AtomicU64,
+    misses: &'a AtomicU64,
+}
+
+impl SetHandle for CountingHandle<'_> {
+    fn search(&mut self, key: u64) -> Option<u64> {
+        self.inner.search(key)
+    }
+    fn insert(&mut self, key: u64, val: u64) -> bool {
+        self.inner.insert(key, val)
+    }
+    fn delete(&mut self, key: u64) -> Option<u64> {
+        self.inner.delete(key)
+    }
+}
+
+impl Drop for CountingHandle<'_> {
+    fn drop(&mut self) {
+        self.hits
+            .fetch_add(self.inner.cache_hits(), Ordering::Relaxed);
+        self.misses
+            .fetch_add(self.inner.cache_misses(), Ordering::Relaxed);
+    }
+}
+
+fn ablate_node_cache(r: &mut Registry) {
+    let about = "Ablation S5.1: node-cache hit rate and throughput delta; the \
+                 paper reports ~49.8%/~40% hit rates on large/small lists for \
+                 gains of ~50%/~15%";
+    for size in [64u64, 1024, 8192] {
+        let w = Workload::paper(size, 20, false);
+        r.register(Scenario::set(
+            &format!("ablate-node-cache.{size}.optik"),
+            about,
+            "list/optik",
+            w.clone(),
+            OptikList::new,
+        ));
+        r.register(Scenario::custom(
+            &format!("ablate-node-cache.{size}.optik-cache"),
+            about,
+            "list/optik-cache",
+            Subject::set(OptikCacheList::new),
+            move |spec| {
+                let set = OptikCacheList::new();
+                w.initial_fill(spec.seed, |k, v| set.insert(k, v));
+                let hits = AtomicU64::new(0);
+                let misses = AtomicU64::new(0);
+                let res = run_set_workload(
+                    spec.threads,
+                    spec.duration,
+                    &w,
+                    spec.seed,
+                    spec.record_latency,
+                    |_| CountingHandle {
+                        inner: set.handle(),
+                        hits: &hits,
+                        misses: &misses,
+                    },
+                );
+                let h = hits.load(Ordering::Relaxed) as f64;
+                let m = misses.load(Ordering::Relaxed) as f64;
+                Measurement::from(res).with_extra("cache_hit_pct", 100.0 * h / (h + m).max(1.0))
+            },
+        ));
+    }
+}
+
+fn ablate_resize(r: &mut Registry) {
+    let about = "Ablation: what Fig 10's buckets==elements sizing hides — an \
+                 undersized fixed table degenerates to O(chain) scans while the \
+                 per-segment-resizable table grows back to O(1)";
+    const ELEMS: u64 = 8192;
+    const SEGMENTS: usize = 128;
+    let w = Workload::paper(ELEMS, 20, false);
+    r.register(Scenario::set(
+        "ablate-resize.java-well-sized",
+        about,
+        "ht/java",
+        w.clone(),
+        || StripedHashTable::new(ELEMS as usize, SEGMENTS),
+    ));
+    r.register(Scenario::set(
+        "ablate-resize.java-under-sized",
+        about,
+        "ht/java-undersized",
+        w.clone(),
+        || StripedHashTable::new(ELEMS as usize / 64, SEGMENTS),
+    ));
+    r.register(Scenario::set(
+        "ablate-resize.java-resize",
+        about,
+        "ht/java-resize",
+        w,
+        // Starts at 2 buckets/segment and must grow to fit 8192 elements
+        // during the initial fill of every repetition.
+        || ResizableStripedHashTable::new(SEGMENTS, 2),
+    ));
+}
+
+fn ablate_victim(r: &mut Registry) {
+    let about = "Ablation S5.4: sensitivity of the 'more than two waiters' \
+                 victim-queue threshold on the enqueue-heavy workload; t2 is \
+                 the paper's choice, tinf disables the victim queue";
+    for (series, threshold) in [
+        ("t0", 0u32),
+        ("t1", 1),
+        ("t2", 2),
+        ("t4", 4),
+        ("t8", 8),
+        ("t16", 16),
+        ("tinf", u32::MAX),
+    ] {
+        r.register(Scenario::queue(
+            &format!("ablate-victim.{series}"),
+            about,
+            // Distinct subject id per threshold: t0 (always divert) and
+            // tinf (victim queue disabled) are different code paths, and
+            // the correctness tiers deduplicate by this id — sharing
+            // fig12's "queue/optik3" would leave them untested.
+            &format!("queue/optik3-{series}"),
+            QUEUE_PREFILL,
+            60,
+            move || VictimQueue::with_threshold(threshold),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optik_harness::scenario::RunSpec;
+    use std::time::Duration;
+
+    #[test]
+    fn registry_is_complete_and_consistent() {
+        let r = registry();
+        assert!(r.len() >= 100, "expected the full sweep, got {}", r.len());
+        assert_eq!(
+            r.families(),
+            vec![
+                "fig5",
+                "fig7",
+                "fig9",
+                "fig10",
+                "fig11",
+                "fig12",
+                "bst",
+                "stacks",
+                "ablate-base-lock",
+                "ablate-node-cache",
+                "ablate-resize",
+                "ablate-victim",
+            ],
+            "one family per benchmark binary"
+        );
+        // Every group has a blurb and at least one scenario.
+        for g in r.groups() {
+            assert!(!group_blurb(g).is_empty(), "missing blurb for `{g}`");
+            assert!(!r.in_group(g).is_empty());
+        }
+        // Figure 9's table has the paper's seven columns.
+        let fig9_large: Vec<&str> = r
+            .in_group("fig9.large")
+            .iter()
+            .map(|s| s.series())
+            .collect();
+        assert_eq!(
+            fig9_large,
+            vec![
+                "harris",
+                "lazy",
+                "lazy-cache",
+                "mcs-gl-opt",
+                "optik-gl",
+                "optik",
+                "optik-cache"
+            ]
+        );
+    }
+
+    #[test]
+    fn smoke_run_one_scenario_per_kind() {
+        let r = registry();
+        let spec = RunSpec {
+            threads: 2,
+            duration: Duration::from_millis(5),
+            seed: 1,
+            record_latency: false,
+        };
+        for name in [
+            "fig5.optik-versioned",   // raw lock loop
+            "fig7.small.optik",       // array map as set
+            "fig9.small.optik-cache", // per-thread handles
+            "fig12.stable.optik2",    // queue
+            "stacks.treiber",         // stack
+            "ablate-victim.t2",       // parameterized queue
+        ] {
+            let s = r.get(name).unwrap_or_else(|| panic!("missing {name}"));
+            let m = s.run(&spec);
+            assert!(m.ops > 0, "{name} did no work");
+        }
+    }
+
+    #[test]
+    fn node_cache_scenario_reports_hit_rate() {
+        let r = registry();
+        let s = r.get("ablate-node-cache.64.optik-cache").unwrap();
+        let m = s.run(&RunSpec {
+            threads: 2,
+            duration: Duration::from_millis(10),
+            seed: 2,
+            record_latency: false,
+        });
+        let (k, v) = &m.extra[0];
+        assert_eq!(k, "cache_hit_pct");
+        assert!((0.0..=100.0).contains(v), "{v}");
+    }
+}

@@ -183,7 +183,7 @@ mod tests {
         for _ in 0..2 {
             let c = Arc::clone(&c);
             handles.push(std::thread::spawn(move || {
-                for i in 1..=50_000u64 {
+                for i in 1..=synchro::stress::ops(50_000) {
                     c.update_optimistic(|_| (i, i));
                 }
             }));
@@ -214,14 +214,17 @@ mod tests {
         for _ in 0..8 {
             let c = Arc::clone(&c);
             handles.push(std::thread::spawn(move || {
-                for _ in 0..10_000 {
+                let iters = synchro::stress::ops(10_000);
+                for _ in 0..iters {
                     c.update_optimistic(|x| x + 1);
                 }
+                iters
             }));
         }
+        let mut expected = 0;
         for h in handles {
-            h.join().unwrap();
+            expected += h.join().unwrap();
         }
-        assert_eq!(c.read(), 80_000);
+        assert_eq!(c.read(), expected);
     }
 }

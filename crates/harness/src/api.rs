@@ -73,6 +73,23 @@ pub trait ConcurrentQueue: Send + Sync {
     }
 }
 
+/// A concurrent LIFO stack (§5.5 — the paper's honest negative result).
+///
+/// Defined here (rather than in the stacks crate) so the benchmark driver
+/// and the correctness tiers can treat stacks like every other structure.
+pub trait ConcurrentStack: Send + Sync {
+    /// Pushes a value.
+    fn push(&self, val: Val);
+    /// Pops the most recently pushed value, if any.
+    fn pop(&self) -> Option<Val>;
+    /// Number of elements (O(n); exact only in quiescence).
+    fn len(&self) -> usize;
+    /// Whether the stack is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,18 +22,26 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod driver;
+pub mod json;
 pub mod latency;
 pub mod linearize;
+pub mod report;
 pub mod rng;
 pub mod runner;
+pub mod scenario;
 pub mod stats;
+pub mod stress;
 pub mod table;
 pub mod workload;
 pub mod zipf;
 
-pub use api::{ConcurrentQueue, ConcurrentSet, Key, SetHandle, Val};
+pub use api::{ConcurrentQueue, ConcurrentSet, ConcurrentStack, Key, SetHandle, Val};
+pub use driver::{Point, ScenarioReport, SweepConfig};
 pub use latency::{LatencyRecorder, OpKind, Percentiles};
+pub use report::Report;
 pub use rng::FastRng;
 pub use runner::{run_workers, WorkerCtx};
+pub use scenario::{Measurement, Registry, RunSpec, Scenario, Subject};
 pub use workload::{Op, OpMix, Workload};
 pub use zipf::Zipf;

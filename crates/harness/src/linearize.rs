@@ -1,110 +1,120 @@
-//! A small linearizability checker for single-key set histories.
+//! A small linearizability checker for bounded concurrent histories.
 //!
 //! The concurrent structures in this workspace claim linearizability (§2 of
-//! the paper). Full-history checking is NP-hard, but for operations on a
-//! *single key* the sequential specification collapses to a two-state
-//! machine (`absent`/`present`), which a Wing–Gong style search decides
-//! quickly for the history sizes our stress tests produce.
+//! the paper). Full-history checking is NP-hard, but for the bounded
+//! histories our stress tiers produce a Wing–Gong style search decides
+//! quickly, as long as the sequential specification has a small state:
 //!
-//! Record operations with [`Recorder`] (one per thread, merged afterwards)
-//! and decide with [`check_history`].
+//! - [`SetSpec`] — operations on a *single key* collapse the set spec to a
+//!   two-state machine (`absent`/`present`);
+//! - [`FifoSpec`] — queue histories with distinct values; the state is the
+//!   queue content;
+//! - [`LifoSpec`] — the stack analogue.
+//!
+//! Record operations with [`HistoryRecorder`] (one per thread, merged
+//! afterwards) and decide with [`check`]. The single-key set entry points
+//! ([`Recorder`], [`check_history`]) predate the generic checker and remain
+//! as thin wrappers.
 
 use std::collections::HashSet;
+use std::hash::Hash;
 
-/// Outcome-annotated operation on one key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SetOp {
-    /// `insert` returning whether it inserted.
-    Insert(bool),
-    /// `delete` returning whether it removed.
-    Delete(bool),
-    /// `search` returning whether it found the key.
-    Search(bool),
-}
-
-impl SetOp {
-    /// Applies the op to `present`, returning the next state, or `None`
-    /// if the recorded outcome is impossible in that state.
-    fn apply(self, present: bool) -> Option<bool> {
-        match self {
-            SetOp::Insert(true) => (!present).then_some(true),
-            SetOp::Insert(false) => present.then_some(true),
-            SetOp::Delete(true) => present.then_some(false),
-            SetOp::Delete(false) => (!present).then_some(false),
-            SetOp::Search(found) => (found == present).then_some(present),
-        }
-    }
+/// A sequential specification: a deterministic state machine whose
+/// transitions decide which outcome-annotated operations are legal.
+pub trait SeqSpec {
+    /// Outcome-annotated operation type.
+    type Op: Copy;
+    /// Machine state. Kept small — the checker memoizes on it.
+    type State: Clone + Eq + Hash;
+    /// Initial state.
+    fn initial(&self) -> Self::State;
+    /// Applies `op` to `state`: the successor state, or `None` if the
+    /// recorded outcome is impossible in that state.
+    fn apply(&self, state: &Self::State, op: Self::Op) -> Option<Self::State>;
 }
 
 /// One timed operation: invocation and response instants from a shared
 /// monotonic clock, plus the observed outcome.
 #[derive(Debug, Clone, Copy)]
-pub struct TimedOp {
+pub struct Timed<O> {
     /// Invocation timestamp.
     pub invoke: u64,
     /// Response timestamp (`>= invoke`).
     pub response: u64,
     /// The operation and its outcome.
-    pub op: SetOp,
+    pub op: O,
 }
 
-/// Per-thread recorder producing [`TimedOp`]s from a shared clock.
-#[derive(Debug, Default)]
-pub struct Recorder {
-    ops: Vec<TimedOp>,
+/// Per-thread recorder producing [`Timed`] operations from the shared
+/// cycle counter.
+#[derive(Debug)]
+pub struct HistoryRecorder<O> {
+    ops: Vec<Timed<O>>,
 }
 
-impl Recorder {
+impl<O> Default for HistoryRecorder<O> {
+    fn default() -> Self {
+        Self { ops: Vec::new() }
+    }
+}
+
+impl<O> HistoryRecorder<O> {
     /// Creates an empty recorder.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Times `f` with [`synchro::cycles::now`] and records its outcome.
-    pub fn record(&mut self, make_op: impl FnOnce(bool) -> SetOp, f: impl FnOnce() -> bool) {
+    /// Times `f` with [`synchro::cycles::now`] and records `to_op` of its
+    /// outcome.
+    pub fn record<R>(&mut self, f: impl FnOnce() -> R, to_op: impl FnOnce(R) -> O) {
         let invoke = synchro::cycles::now();
         let outcome = f();
         let response = synchro::cycles::now();
-        self.ops.push(TimedOp {
+        self.ops.push(Timed {
             invoke,
             response,
-            op: make_op(outcome),
+            op: to_op(outcome),
         });
     }
 
     /// Consumes the recorder.
-    pub fn into_ops(self) -> Vec<TimedOp> {
+    pub fn into_ops(self) -> Vec<Timed<O>> {
         self.ops
     }
 }
 
 /// Decides whether `history` (ops from all threads, any order) is
-/// linearizable against the single-key set specification starting from
-/// `initially_present`.
+/// linearizable against `spec`.
 ///
 /// Returns `true` iff some permutation of the operations (a) respects the
 /// real-time partial order (an op that responded before another was
-/// invoked must precede it) and (b) is legal for the two-state spec.
-pub fn check_history(history: &[TimedOp], initially_present: bool) -> bool {
+/// invoked must precede it) and (b) is legal for the specification.
+///
+/// # Panics
+///
+/// Panics on histories longer than 64 operations (the search carries `u64`
+/// done-masks); split longer histories into windows at the caller.
+pub fn check<S: SeqSpec>(spec: &S, history: &[Timed<S::Op>]) -> bool {
     let n = history.len();
     if n == 0 {
         return true;
     }
-    if n > 64 {
-        // The bitmask search below carries u64 masks; split longer
-        // histories into windows at callers, or raise here.
-        panic!("check_history supports up to 64 operations, got {n}");
-    }
-    // DFS over (done-mask, state), memoizing failures.
-    let mut seen: HashSet<(u64, bool)> = HashSet::new();
-    dfs(history, 0, initially_present, &mut seen)
+    assert!(n <= 64, "check supports up to 64 operations, got {n}");
+    let mut seen: HashSet<(u64, S::State)> = HashSet::new();
+    dfs(spec, history, 0, spec.initial(), &mut seen)
 }
 
-fn dfs(ops: &[TimedOp], done: u64, present: bool, seen: &mut HashSet<(u64, bool)>) -> bool {
+fn dfs<S: SeqSpec>(
+    spec: &S,
+    ops: &[Timed<S::Op>],
+    done: u64,
+    state: S::State,
+    seen: &mut HashSet<(u64, S::State)>,
+) -> bool {
     if done.count_ones() as usize == ops.len() {
         return true;
     }
-    if !seen.insert((done, present)) {
+    if !seen.insert((done, state.clone())) {
         return false; // already proven a dead end
     }
     // An op may linearize next iff no *other* pending op responded before
@@ -120,13 +130,183 @@ fn dfs(ops: &[TimedOp], done: u64, present: bool, seen: &mut HashSet<(u64, bool)
         if done & (1 << i) != 0 || o.invoke > min_response {
             continue;
         }
-        if let Some(next) = o.op.apply(present) {
-            if dfs(ops, done | (1 << i), next, seen) {
+        if let Some(next) = spec.apply(&state, o.op) {
+            if dfs(spec, ops, done | (1 << i), next, seen) {
                 return true;
             }
         }
     }
     false
+}
+
+// ---------------------------------------------------------------------------
+// Single-key set specification (the original checker).
+// ---------------------------------------------------------------------------
+
+/// Outcome-annotated operation on one key of a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    /// `insert` returning whether it inserted.
+    Insert(bool),
+    /// `delete` returning whether it removed.
+    Delete(bool),
+    /// `search` returning whether it found the key.
+    Search(bool),
+}
+
+/// The two-state single-key set machine (`absent` ↔ `present`).
+#[derive(Debug, Clone, Copy)]
+pub struct SetSpec {
+    /// Whether the key is present before the history starts.
+    pub initially_present: bool,
+}
+
+impl SeqSpec for SetSpec {
+    type Op = SetOp;
+    type State = bool;
+
+    fn initial(&self) -> bool {
+        self.initially_present
+    }
+
+    fn apply(&self, &present: &bool, op: SetOp) -> Option<bool> {
+        match op {
+            SetOp::Insert(true) => (!present).then_some(true),
+            SetOp::Insert(false) => present.then_some(true),
+            SetOp::Delete(true) => present.then_some(false),
+            SetOp::Delete(false) => (!present).then_some(false),
+            SetOp::Search(found) => (found == present).then_some(present),
+        }
+    }
+}
+
+/// A timed single-key set operation (alias kept for the original API).
+pub type TimedOp = Timed<SetOp>;
+
+/// Per-thread recorder for single-key set histories.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    inner: HistoryRecorder<SetOp>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `f` with [`synchro::cycles::now`] and records its outcome.
+    pub fn record(&mut self, make_op: impl FnOnce(bool) -> SetOp, f: impl FnOnce() -> bool) {
+        self.inner.record(f, make_op);
+    }
+
+    /// Consumes the recorder.
+    pub fn into_ops(self) -> Vec<TimedOp> {
+        self.inner.into_ops()
+    }
+}
+
+/// Decides whether a single-key set history is linearizable starting from
+/// `initially_present`. See [`check`].
+///
+/// # Panics
+///
+/// Panics on histories longer than 64 operations.
+pub fn check_history(history: &[TimedOp], initially_present: bool) -> bool {
+    if history.len() > 64 {
+        // Preserve the original error text relied upon by callers/tests.
+        panic!(
+            "check_history supports up to 64 operations, got {}",
+            history.len()
+        );
+    }
+    check(&SetSpec { initially_present }, history)
+}
+
+// ---------------------------------------------------------------------------
+// Queue (FIFO) and stack (LIFO) specifications.
+// ---------------------------------------------------------------------------
+
+/// Outcome-annotated queue operation. Use distinct enqueue values within a
+/// history — duplicates blow up the search space without adding coverage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueOp {
+    /// `enqueue(v)` (always succeeds).
+    Enqueue(u64),
+    /// `dequeue()` returning the dequeued element, or `None` when empty.
+    Dequeue(Option<u64>),
+}
+
+/// FIFO queue specification: the state is the queue content (front first).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoSpec;
+
+impl SeqSpec for FifoSpec {
+    type Op = QueueOp;
+    type State = Vec<u64>;
+
+    fn initial(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    fn apply(&self, state: &Vec<u64>, op: QueueOp) -> Option<Vec<u64>> {
+        match op {
+            QueueOp::Enqueue(v) => {
+                let mut s = state.clone();
+                s.push(v);
+                Some(s)
+            }
+            QueueOp::Dequeue(None) => state.is_empty().then(Vec::new),
+            QueueOp::Dequeue(Some(v)) => {
+                if state.first() == Some(&v) {
+                    Some(state[1..].to_vec())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Outcome-annotated stack operation (distinct push values, as for
+/// [`QueueOp`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackOp {
+    /// `push(v)` (always succeeds).
+    Push(u64),
+    /// `pop()` returning the popped element, or `None` when empty.
+    Pop(Option<u64>),
+}
+
+/// LIFO stack specification: the state is the stack content (bottom first).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LifoSpec;
+
+impl SeqSpec for LifoSpec {
+    type Op = StackOp;
+    type State = Vec<u64>;
+
+    fn initial(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    fn apply(&self, state: &Vec<u64>, op: StackOp) -> Option<Vec<u64>> {
+        match op {
+            StackOp::Push(v) => {
+                let mut s = state.clone();
+                s.push(v);
+                Some(s)
+            }
+            StackOp::Pop(None) => state.is_empty().then(Vec::new),
+            StackOp::Pop(Some(v)) => {
+                if state.last() == Some(&v) {
+                    Some(state[..state.len() - 1].to_vec())
+                } else {
+                    None
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -267,5 +447,104 @@ mod tests {
             .map(|i| op(i, i + 1, SetOp::Search(false)))
             .collect();
         let _ = check_history(&h, false);
+    }
+
+    fn qop(invoke: u64, response: u64, op: QueueOp) -> Timed<QueueOp> {
+        Timed {
+            invoke,
+            response,
+            op,
+        }
+    }
+
+    #[test]
+    fn fifo_sequential_order_is_enforced() {
+        // enqueue 1, enqueue 2 → dequeues must yield 1 then 2.
+        let legal = [
+            qop(0, 1, QueueOp::Enqueue(1)),
+            qop(2, 3, QueueOp::Enqueue(2)),
+            qop(4, 5, QueueOp::Dequeue(Some(1))),
+            qop(6, 7, QueueOp::Dequeue(Some(2))),
+            qop(8, 9, QueueOp::Dequeue(None)),
+        ];
+        assert!(check(&FifoSpec, &legal));
+        let illegal = [
+            qop(0, 1, QueueOp::Enqueue(1)),
+            qop(2, 3, QueueOp::Enqueue(2)),
+            qop(4, 5, QueueOp::Dequeue(Some(2))), // LIFO order: not a queue
+        ];
+        assert!(!check(&FifoSpec, &illegal));
+    }
+
+    #[test]
+    fn fifo_concurrent_enqueues_allow_either_order() {
+        let h = [
+            qop(0, 10, QueueOp::Enqueue(1)),
+            qop(1, 9, QueueOp::Enqueue(2)),
+            qop(11, 12, QueueOp::Dequeue(Some(2))),
+            qop(13, 14, QueueOp::Dequeue(Some(1))),
+        ];
+        assert!(check(&FifoSpec, &h), "2 before 1 is a legal linearization");
+        // But once both enqueues precede it, a dequeue cannot skip.
+        let h = [
+            qop(0, 1, QueueOp::Enqueue(1)),
+            qop(2, 3, QueueOp::Enqueue(2)),
+            qop(4, 5, QueueOp::Dequeue(Some(2))),
+            qop(6, 7, QueueOp::Dequeue(Some(1))),
+        ];
+        assert!(!check(&FifoSpec, &h));
+    }
+
+    #[test]
+    fn fifo_lost_and_duplicated_elements_fail() {
+        // Dequeue of a value never enqueued.
+        let h = [qop(0, 1, QueueOp::Dequeue(Some(7)))];
+        assert!(!check(&FifoSpec, &h));
+        // Same element dequeued twice.
+        let h = [
+            qop(0, 1, QueueOp::Enqueue(1)),
+            qop(2, 3, QueueOp::Dequeue(Some(1))),
+            qop(4, 5, QueueOp::Dequeue(Some(1))),
+        ];
+        assert!(!check(&FifoSpec, &h));
+        // Empty dequeue while the queue must be non-empty.
+        let h = [
+            qop(0, 1, QueueOp::Enqueue(1)),
+            qop(2, 3, QueueOp::Dequeue(None)),
+        ];
+        assert!(!check(&FifoSpec, &h));
+    }
+
+    fn sop(invoke: u64, response: u64, op: StackOp) -> Timed<StackOp> {
+        Timed {
+            invoke,
+            response,
+            op,
+        }
+    }
+
+    #[test]
+    fn lifo_spec_mirrors_fifo() {
+        let legal = [
+            sop(0, 1, StackOp::Push(1)),
+            sop(2, 3, StackOp::Push(2)),
+            sop(4, 5, StackOp::Pop(Some(2))),
+            sop(6, 7, StackOp::Pop(Some(1))),
+            sop(8, 9, StackOp::Pop(None)),
+        ];
+        assert!(check(&LifoSpec, &legal));
+        let illegal = [
+            sop(0, 1, StackOp::Push(1)),
+            sop(2, 3, StackOp::Push(2)),
+            sop(4, 5, StackOp::Pop(Some(1))), // FIFO order: not a stack
+        ];
+        assert!(!check(&LifoSpec, &illegal));
+    }
+
+    #[test]
+    fn empty_history_is_trivially_linearizable() {
+        assert!(check(&FifoSpec, &[]));
+        assert!(check(&LifoSpec, &[]));
+        assert!(check_history(&[], false));
     }
 }

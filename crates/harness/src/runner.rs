@@ -9,7 +9,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
-use crate::api::{ConcurrentQueue, SetHandle};
+use crate::api::{ConcurrentQueue, ConcurrentStack, SetHandle};
 use crate::latency::{LatencyRecorder, OpKind};
 use crate::rng::FastRng;
 use crate::workload::{Op, Workload};
@@ -305,6 +305,96 @@ pub fn run_queue_workload<Q: ConcurrentQueue + ?Sized>(
     }
 }
 
+/// Operation counters for one stack-benchmark run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StackCounts {
+    /// Pushes performed.
+    pub push: u64,
+    /// Pops that returned an element.
+    pub pop_suc: u64,
+    /// Pops on an empty stack.
+    pub pop_empty: u64,
+}
+
+impl StackCounts {
+    /// Total operations.
+    pub fn total(&self) -> u64 {
+        self.push + self.pop_suc + self.pop_empty
+    }
+}
+
+/// Result of a stack-workload run.
+#[derive(Debug)]
+pub struct StackBenchResult {
+    /// Merged counters.
+    pub counts: StackCounts,
+    /// Measurement window.
+    pub duration: Duration,
+    /// Push latencies (as [`OpKind::InsertSuc`]) and pop latencies (as
+    /// [`OpKind::DeleteSuc`]/[`OpKind::DeleteFail`]).
+    pub latency: LatencyRecorder,
+}
+
+impl StackBenchResult {
+    /// Throughput in million operations per second.
+    pub fn mops(&self) -> f64 {
+        self.counts.total() as f64 / self.duration.as_secs_f64() / 1e6
+    }
+}
+
+/// Runs the §5.5 stack microbenchmark: `push_pct`% of issued operations
+/// push, the rest pop. Mirrors [`run_queue_workload`].
+pub fn run_stack_workload<S: ConcurrentStack + ?Sized>(
+    stack: &S,
+    threads: usize,
+    duration: Duration,
+    push_pct: u32,
+    seed: u64,
+    record_latency: bool,
+) -> StackBenchResult {
+    assert!(push_pct <= 100);
+    let start = Instant::now();
+    let results = run_workers(threads, duration, |ctx| {
+        let mut rng = FastRng::for_thread(seed, ctx.tid);
+        let mut counts = StackCounts::default();
+        let mut lat = LatencyRecorder::new();
+        while !ctx.should_stop() {
+            let t0 = record_latency.then(synchro::cycles::now);
+            let kind = if rng.next_below(100) < u64::from(push_pct) {
+                stack.push(rng.next_u64());
+                counts.push += 1;
+                OpKind::InsertSuc
+            } else if stack.pop().is_some() {
+                counts.pop_suc += 1;
+                OpKind::DeleteSuc
+            } else {
+                counts.pop_empty += 1;
+                OpKind::DeleteFail
+            };
+            if let Some(t0) = t0 {
+                lat.record(kind, synchro::cycles::elapsed(t0, synchro::cycles::now()));
+            }
+            reclaim::quiescent();
+            synchro::backoff::spin(rng.next_below(32) as u32);
+        }
+        (counts, lat)
+    });
+    let duration = start.elapsed();
+    let mut counts = StackCounts::default();
+    let mut latency = LatencyRecorder::new();
+    for (c, l) in &results {
+        counts.push += c.push;
+        counts.pop_suc += c.pop_suc;
+        counts.pop_empty += c.pop_empty;
+        latency.merge(l);
+    }
+    StackBenchResult {
+        counts,
+        duration,
+        latency,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,6 +483,32 @@ mod tests {
         let res = run_set_workload(2, Duration::from_millis(50), &w, 3, true, |_| &set);
         let any = OpKind::ALL.iter().any(|&k| res.latency.count(k) > 0);
         assert!(any, "some latency samples must exist");
+        assert!(res.mops() > 0.0);
+    }
+
+    struct MutexStack(Mutex<Vec<Val>>);
+    impl ConcurrentStack for MutexStack {
+        fn push(&self, val: Val) {
+            self.0.lock().unwrap().push(val);
+        }
+        fn pop(&self) -> Option<Val> {
+            self.0.lock().unwrap().pop()
+        }
+        fn len(&self) -> usize {
+            self.0.lock().unwrap().len()
+        }
+    }
+
+    #[test]
+    fn stack_workload_counts_balance() {
+        let s = MutexStack(Mutex::new(Vec::new()));
+        for i in 0..100 {
+            s.push(i);
+        }
+        let res = run_stack_workload(&s, 4, Duration::from_millis(100), 50, 4, false);
+        let expected = 100i64 + res.counts.push as i64 - res.counts.pop_suc as i64;
+        assert_eq!(s.len() as i64, expected);
+        assert!(res.counts.total() > 0);
         assert!(res.mops() > 0.0);
     }
 

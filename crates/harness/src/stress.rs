@@ -1,0 +1,10 @@
+//! Scaling knobs for the multi-threaded stress tests.
+//!
+//! Re-exported from [`synchro::stress`] (the bottom of the dependency
+//! stack, so every crate's own tests can use it too). See that module for
+//! the `STRESS_SCALE` / `available_parallelism` scaling rules; the short
+//! version: iteration counts tuned for an 8-core box shrink on smaller
+//! runners so tier-1 `cargo test` stays fast, and the `--ignored` tier
+//! always runs at full strength.
+
+pub use synchro::stress::{ops, scale, BASELINE_CORES};

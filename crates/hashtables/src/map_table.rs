@@ -60,22 +60,25 @@ impl OptikMapHashTable {
 }
 
 impl ConcurrentSet for OptikMapHashTable {
+    // `ArrayMap::` disambiguates: the maps also implement `ConcurrentSet`
+    // directly (for the scenario registry), so the bare method calls became
+    // ambiguous.
     fn search(&self, key: Key) -> Option<Val> {
-        self.bucket(key).search(key)
+        ArrayMap::search(self.bucket(key), key)
     }
 
     /// Inserts `key`; returns `false` if the key is present **or the bucket
     /// is full** (fixed-capacity buckets, as in the paper).
     fn insert(&self, key: Key, val: Val) -> bool {
-        self.bucket(key).insert(key, val)
+        ArrayMap::insert(self.bucket(key), key, val)
     }
 
     fn delete(&self, key: Key) -> Option<Val> {
-        self.bucket(key).delete(key)
+        ArrayMap::delete(self.bucket(key), key)
     }
 
     fn len(&self) -> usize {
-        self.buckets.iter().map(|b| b.len()).sum()
+        self.buckets.iter().map(ArrayMap::len).sum()
     }
 }
 

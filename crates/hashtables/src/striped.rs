@@ -234,7 +234,7 @@ mod tests {
             let t = Arc::clone(&t);
             handles.push(std::thread::spawn(move || {
                 let mut net = 0i64;
-                for i in 0..10_000u64 {
+                for i in 0..synchro::stress::ops(10_000) {
                     let k = (tid * 37 + i) % 48 + 1;
                     if i % 2 == 0 {
                         if t.insert(k, k) {

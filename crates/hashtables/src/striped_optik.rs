@@ -295,7 +295,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let mut net = 0i64;
                 let mut x = tid.wrapping_mul(0xA24BAED4963EE407) | 1;
-                for _ in 0..15_000u64 {
+                for _ in 0..synchro::stress::ops(15_000) {
                     x ^= x << 13;
                     x ^= x >> 7;
                     x ^= x << 17;

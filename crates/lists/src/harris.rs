@@ -323,7 +323,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let mut net = 0i64;
                 let mut x = t.wrapping_mul(0x2545F4914F6CDD1D) | 1;
-                for _ in 0..30_000u64 {
+                for _ in 0..synchro::stress::ops(30_000) {
                     x ^= x << 13;
                     x ^= x >> 7;
                     x ^= x << 17;

@@ -254,7 +254,7 @@ mod tests {
             let l = Arc::clone(&l);
             handles.push(std::thread::spawn(move || {
                 let mut net = 0i64;
-                for i in 0..20_000u64 {
+                for i in 0..synchro::stress::ops(20_000) {
                     let k = (t ^ i) % 8 + 1;
                     if i % 2 == 0 {
                         if l.insert(k, k) {

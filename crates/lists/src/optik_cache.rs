@@ -475,7 +475,7 @@ mod tests {
                 let mut h = l.handle();
                 let mut net = 0i64;
                 let mut x = t.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-                for _ in 0..20_000u64 {
+                for _ in 0..synchro::stress::ops(20_000) {
                     x ^= x << 13;
                     x ^= x >> 7;
                     x ^= x << 17;

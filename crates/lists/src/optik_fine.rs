@@ -268,7 +268,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let mut ins = 0u64;
                 let mut del = 0u64;
-                for _ in 0..20_000 {
+                for _ in 0..synchro::stress::ops(20_000) {
                     if l.insert(42, 1) {
                         ins += 1;
                     }
@@ -303,7 +303,7 @@ mod tests {
         for t in 0..4u64 {
             let l = Arc::clone(&l);
             handles.push(std::thread::spawn(move || {
-                for i in 0..30_000u64 {
+                for i in 0..synchro::stress::ops(30_000) {
                     let k = ((t * 31 + i) % 50) * 2 + 1;
                     if i % 2 == 0 {
                         l.insert(k, k * 7);

@@ -141,7 +141,9 @@ mod tests {
     #[test]
     fn long_list_drop_does_not_overflow_stack() {
         let l = SeqList::new();
-        for k in 1..=200_000u64 {
+        // Descending keys: every insert lands at the head (O(1)), so
+        // building the 200k-node list is linear instead of quadratic.
+        for k in (1..=200_000u64).rev() {
             assert!(l.insert(k, k));
         }
         drop(l); // must not blow the stack

@@ -55,6 +55,34 @@ pub trait ArrayMap: Send + Sync {
     fn capacity(&self) -> usize;
 }
 
+// The array maps expose the harness's three-operation set interface
+// directly (an insert on a full map fails, like any other infeasible
+// insert), so the scenario registry and the correctness tiers can drive
+// them without per-call-site adapters.
+macro_rules! impl_concurrent_set {
+    ($ty:ty) => {
+        impl optik_harness::api::ConcurrentSet for $ty {
+            fn search(&self, key: Key) -> Option<Val> {
+                ArrayMap::search(self, key)
+            }
+            fn insert(&self, key: Key, val: Val) -> bool {
+                ArrayMap::insert(self, key, val)
+            }
+            fn delete(&self, key: Key) -> Option<Val> {
+                ArrayMap::delete(self, key)
+            }
+            fn len(&self) -> usize {
+                ArrayMap::len(self)
+            }
+        }
+    };
+}
+
+impl_concurrent_set!(SeqArrayMap);
+impl_concurrent_set!(LockArrayMap);
+impl_concurrent_set!(OptikArrayMap<optik::OptikVersioned>);
+impl_concurrent_set!(OptikArrayMap<optik::OptikTicket>);
+
 #[cfg(test)]
 mod cross_tests {
     //! Behavioural equivalence of all three maps, single-threaded.

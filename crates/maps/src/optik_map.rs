@@ -289,7 +289,7 @@ mod tests {
             let m = Arc::clone(&m);
             let net = Arc::clone(&net);
             handles.push(std::thread::spawn(move || {
-                for i in 0..10_000u64 {
+                for i in 0..synchro::stress::ops(10_000) {
                     let k = (t * 31 + i * 7) % 24 + 1;
                     if (t + i) % 2 == 0 {
                         if m.insert(k, k) {

@@ -129,10 +129,11 @@ mod tests {
     #[test]
     fn concurrent_enqueue_dequeue_disjoint_locks() {
         let q = Arc::new(MsLbQueue::new());
+        let count = synchro::stress::ops(100_000);
         let producer = {
             let q = Arc::clone(&q);
             std::thread::spawn(move || {
-                for i in 0..100_000u64 {
+                for i in 0..count {
                     q.enqueue(i);
                 }
             })
@@ -141,7 +142,7 @@ mod tests {
             let q = Arc::clone(&q);
             std::thread::spawn(move || {
                 let mut expected = 0u64;
-                while expected < 100_000 {
+                while expected < count {
                     if let Some(v) = q.dequeue() {
                         assert_eq!(v, expected, "single consumer sees FIFO");
                         expected += 1;

@@ -184,8 +184,14 @@ mod tests {
             consumers.push(std::thread::spawn(move || loop {
                 if q.dequeue().is_some() {
                     drained.fetch_add(1, Ordering::Relaxed);
-                } else if done.load(Ordering::Acquire) && q.dequeue().is_none() {
-                    break;
+                } else if done.load(Ordering::Acquire) {
+                    // Re-check once after `done`: a dequeue may still succeed
+                    // and must be counted, not dropped.
+                    if q.dequeue().is_some() {
+                        drained.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        break;
+                    }
                 }
             }));
         }

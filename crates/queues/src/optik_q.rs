@@ -368,7 +368,7 @@ mod tests {
             let q = Arc::clone(&q);
             handles.push(std::thread::spawn(move || {
                 let mut balance = 0i64;
-                for i in 0..30_000u64 {
+                for i in 0..synchro::stress::ops(30_000) {
                     q.enqueue(t * 1_000_000 + i);
                     balance += 1;
                     if q.dequeue().is_some() {
@@ -391,7 +391,8 @@ mod tests {
         // Heavy dequeue contention forces failed validations (and hence the
         // in-critical-section fallback).
         let q = Arc::new(OptikQueue0::new());
-        for i in 0..100_000u64 {
+        let count = synchro::stress::ops(100_000);
+        for i in 0..count {
             q.enqueue(i);
         }
         let mut handles = Vec::new();
@@ -407,6 +408,6 @@ mod tests {
         }
         let total: u64 =
             reclaim::offline_while(|| handles.into_iter().map(|h| h.join().unwrap()).sum());
-        assert_eq!(total, 100_000);
+        assert_eq!(total, count);
     }
 }

@@ -310,8 +310,14 @@ mod tests {
                     match s.pop() {
                         Some(v) => local.push(v),
                         None => {
-                            if done.load(Ordering::Acquire) && s.pop().is_none() {
-                                break;
+                            if done.load(Ordering::Acquire) {
+                                // Re-check once after `done`: a pop may still
+                                // succeed (values parked in elimination slots)
+                                // and its value must not be dropped.
+                                match s.pop() {
+                                    Some(v) => local.push(v),
+                                    None => break,
+                                }
                             }
                         }
                     }

@@ -19,6 +19,11 @@ use optik::{OptikLock, OptikVersioned};
 use synchro::{Backoff, CachePadded};
 
 pub use optik_harness::api::Val;
+// The stack interface lives in the harness (next to `ConcurrentSet` and
+// `ConcurrentQueue`) so the scenario registry and the correctness tiers
+// can drive stacks like every other structure; re-exported here for the
+// crate's own users.
+pub use optik_harness::api::ConcurrentStack;
 
 struct Node {
     val: Val,
@@ -29,20 +34,6 @@ struct Node {
 // publication and only dereferenced under QSBR protection. `Send` is
 // needed so retired nodes can be freed by whichever thread collects them.
 unsafe impl Send for Node {}
-
-/// A concurrent LIFO stack.
-pub trait ConcurrentStack: Send + Sync {
-    /// Pushes a value.
-    fn push(&self, val: Val);
-    /// Pops the most recently pushed value, if any.
-    fn pop(&self) -> Option<Val>;
-    /// Number of elements (O(n); exact only in quiescence).
-    fn len(&self) -> usize;
-    /// Whether the stack is empty.
-    fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
 
 /// Treiber's lock-free stack \[48\].
 pub struct TreiberStack {
@@ -334,12 +325,13 @@ mod tests {
 
     #[test]
     fn pop_burst_on_empty_stack_is_safe() {
+        let iters = optik_harness::stress::ops(50_000);
         for (name, s) in implementations() {
             let mut handles = Vec::new();
             for _ in 0..8 {
                 let s = Arc::clone(&s);
                 handles.push(std::thread::spawn(move || {
-                    for _ in 0..50_000 {
+                    for _ in 0..iters {
                         assert_eq!(s.pop(), None);
                     }
                 }));
@@ -397,6 +389,7 @@ mod tests {
 
     #[test]
     fn concurrent_push_pop_conserves_elements() {
+        let iters = optik_harness::stress::ops(20_000);
         for (name, s) in implementations() {
             let mut handles = Vec::new();
             for t in 0..8u64 {
@@ -404,7 +397,7 @@ mod tests {
                 handles.push(std::thread::spawn(move || {
                     let mut net = 0i64;
                     let mut x = t.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-                    for _ in 0..20_000u64 {
+                    for _ in 0..iters {
                         x ^= x << 13;
                         x ^= x >> 7;
                         x ^= x << 17;
@@ -426,8 +419,9 @@ mod tests {
 
     #[test]
     fn popped_values_are_never_duplicated() {
+        let count = optik_harness::stress::ops(50_000);
         for (name, s) in implementations() {
-            for i in 1..=50_000u64 {
+            for i in 1..=count {
                 s.push(i);
             }
             let seen = Arc::new(std::sync::Mutex::new(std::collections::HashSet::new()));
@@ -451,7 +445,7 @@ mod tests {
                     h.join().unwrap();
                 }
             });
-            assert_eq!(seen.lock().unwrap().len(), 50_000, "{name}");
+            assert_eq!(seen.lock().unwrap().len(), count as usize, "{name}");
         }
     }
 }

@@ -127,6 +127,7 @@ mod tests {
 
     #[test]
     fn exclusive_counter() {
+        let iters = crate::stress::ops(10_000);
         let lock = Arc::new(ClhLock::new());
         let counter = Arc::new(AtomicU64::new(0));
         let mut handles = Vec::new();
@@ -134,7 +135,7 @@ mod tests {
             let lock = Arc::clone(&lock);
             let counter = Arc::clone(&counter);
             handles.push(std::thread::spawn(move || {
-                for _ in 0..10_000 {
+                for _ in 0..iters {
                     lock.with(|| {
                         let v = counter.load(Ordering::Relaxed);
                         counter.store(v + 1, Ordering::Relaxed);
@@ -145,14 +146,14 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(counter.load(Ordering::Relaxed), 80_000);
+        assert_eq!(counter.load(Ordering::Relaxed), 8 * iters);
     }
 
     #[test]
     fn no_leak_on_repeated_use() {
         // Smoke test that node recycling keeps working across many cycles.
         let lock = ClhLock::new();
-        for _ in 0..100_000 {
+        for _ in 0..crate::stress::ops(100_000) {
             let _g = lock.lock();
         }
         assert!(!lock.is_locked());

@@ -22,6 +22,7 @@ pub mod clh;
 pub mod cycles;
 pub mod lock_api;
 pub mod mcs;
+pub mod stress;
 pub mod tas;
 pub mod ticket;
 pub mod ttas;

@@ -144,13 +144,13 @@ mod tests {
 
     fn hammer<R: RawLock + 'static>() {
         const THREADS: usize = 8;
-        const ITERS: u64 = 10_000;
+        let iters = crate::stress::ops(10_000);
         let lock: Arc<Lock<u64, R>> = Arc::new(Lock::new(0));
         let mut handles = Vec::new();
         for _ in 0..THREADS {
             let lock = Arc::clone(&lock);
             handles.push(thread::spawn(move || {
-                for _ in 0..ITERS {
+                for _ in 0..iters {
                     *lock.lock() += 1;
                 }
             }));
@@ -158,7 +158,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(*lock.lock(), THREADS as u64 * ITERS);
+        assert_eq!(*lock.lock(), THREADS as u64 * iters);
     }
 
     #[test]

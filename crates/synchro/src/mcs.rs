@@ -191,6 +191,7 @@ mod tests {
 
     #[test]
     fn with_runs_exclusively() {
+        let iters = crate::stress::ops(10_000);
         let lock = Arc::new(McsLock::new());
         let counter = Arc::new(AtomicU64::new(0));
         let mut handles = Vec::new();
@@ -198,7 +199,7 @@ mod tests {
             let lock = Arc::clone(&lock);
             let counter = Arc::clone(&counter);
             handles.push(std::thread::spawn(move || {
-                for _ in 0..10_000 {
+                for _ in 0..iters {
                     lock.with(|| {
                         let v = counter.load(Ordering::Relaxed);
                         counter.store(v + 1, Ordering::Relaxed);
@@ -209,7 +210,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(counter.load(Ordering::Relaxed), 80_000);
+        assert_eq!(counter.load(Ordering::Relaxed), 8 * iters);
     }
 
     #[test]

@@ -79,7 +79,7 @@ mod tests {
             let lock = Arc::clone(&lock);
             let inside = Arc::clone(&inside);
             handles.push(std::thread::spawn(move || {
-                for _ in 0..5_000 {
+                for _ in 0..crate::stress::ops(5_000) {
                     lock.lock();
                     let was = inside.fetch_add(1, Ordering::SeqCst);
                     assert_eq!(was, 0, "two threads inside the TAS critical section");

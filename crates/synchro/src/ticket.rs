@@ -188,6 +188,7 @@ mod tests {
 
     #[test]
     fn counter_is_exact_under_contention() {
+        let iters = crate::stress::ops(10_000);
         let l = Arc::new(TicketLock::new());
         let count = Arc::new(core::sync::atomic::AtomicU64::new(0));
         let mut handles = Vec::new();
@@ -195,7 +196,7 @@ mod tests {
             let l = Arc::clone(&l);
             let count = Arc::clone(&count);
             handles.push(std::thread::spawn(move || {
-                for _ in 0..10_000 {
+                for _ in 0..iters {
                     l.lock();
                     let v = count.load(Ordering::Relaxed);
                     count.store(v + 1, Ordering::Relaxed);
@@ -206,6 +207,6 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(count.load(Ordering::Relaxed), 80_000);
+        assert_eq!(count.load(Ordering::Relaxed), 8 * iters);
     }
 }

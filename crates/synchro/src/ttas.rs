@@ -78,6 +78,7 @@ mod tests {
     fn critical_sections_are_exclusive() {
         use std::sync::Arc;
 
+        let iters = crate::stress::ops(10_000);
         let lock = Arc::new(TtasLock::new());
         let data = Arc::new(core::sync::atomic::AtomicU64::new(0));
         let mut handles = Vec::new();
@@ -85,7 +86,7 @@ mod tests {
             let lock = Arc::clone(&lock);
             let data = Arc::clone(&data);
             handles.push(std::thread::spawn(move || {
-                for _ in 0..10_000 {
+                for _ in 0..iters {
                     lock.lock();
                     // Non-atomic-looking read-modify-write through two atomics
                     // ops; exclusivity makes it exact.
@@ -98,6 +99,6 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(data.load(Ordering::Relaxed), 80_000);
+        assert_eq!(data.load(Ordering::Relaxed), 8 * iters);
     }
 }

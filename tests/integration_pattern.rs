@@ -11,22 +11,23 @@ use optik_suite::prelude::*;
 fn transactions_compose_with_structures() {
     // A "move" between two array maps, made atomic per-map by OPTIK
     // transactions at the application level: the value leaves map A
-    // exactly once and lands in map B exactly once.
+    // exactly once and lands in map B exactly once. (`ArrayMap::`
+    // disambiguates from the maps' `ConcurrentSet` impl.)
     let a: OptikArrayMap = OptikArrayMap::new(16);
     let b: OptikArrayMap = OptikArrayMap::new(16);
-    assert!(a.insert(5, 500));
+    assert!(ArrayMap::insert(&a, 5, 500));
 
-    let moved = a.delete(5);
+    let moved = ArrayMap::delete(&a, 5);
     assert_eq!(moved, Some(500));
-    assert!(b.insert(5, moved.unwrap()));
-    assert_eq!(a.search(5), None);
-    assert_eq!(b.search(5), Some(500));
+    assert!(ArrayMap::insert(&b, 5, moved.unwrap()));
+    assert_eq!(ArrayMap::search(&a, 5), None);
+    assert_eq!(ArrayMap::search(&b, 5), Some(500));
 }
 
 #[test]
 fn contended_transactions_count_exactly() {
     const THREADS: usize = 8;
-    const OPS: u64 = 10_000;
+    let ops = optik_suite::harness::stress::ops(10_000);
     let lock = Arc::new(OptikVersioned::new());
     let counter = Arc::new(AtomicU64::new(0));
     let mut handles = Vec::new();
@@ -34,7 +35,7 @@ fn contended_transactions_count_exactly() {
         let lock = Arc::clone(&lock);
         let counter = Arc::clone(&counter);
         handles.push(std::thread::spawn(move || {
-            for _ in 0..OPS {
+            for _ in 0..ops {
                 transaction_with_backoff(
                     &*lock,
                     |_v| TxStep::Commit::<(), ()>(()),
@@ -49,7 +50,7 @@ fn contended_transactions_count_exactly() {
     for h in handles {
         h.join().unwrap();
     }
-    assert_eq!(counter.load(Ordering::Relaxed), THREADS as u64 * OPS);
+    assert_eq!(counter.load(Ordering::Relaxed), THREADS as u64 * ops);
 }
 
 #[test]

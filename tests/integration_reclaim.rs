@@ -88,6 +88,184 @@ fn many_short_lived_threads_do_not_exhaust_slots() {
 }
 
 #[test]
+fn qsbr_survives_register_unregister_churn_while_retiring() {
+    // The ROADMAP reclamation gap: threads registering and unregistering
+    // *while* other threads retire nodes. Two long-lived retirer threads
+    // churn an OptikList (every delete retires a node); meanwhile waves of
+    // short-lived threads register implicitly (first operation) and
+    // unregister at exit. Slot recycling, retirement, and reclamation
+    // progress must all survive the churn.
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let rounds = optik_suite::harness::stress::ops(4_000);
+    let before = reclaim::global().stats();
+    let list = Arc::new(OptikList::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut retirers = Vec::new();
+    for t in 0..2u64 {
+        let list = Arc::clone(&list);
+        let stop = Arc::clone(&stop);
+        retirers.push(std::thread::spawn(move || {
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let k = (t * 97 + n) % 64 + 1;
+                list.insert(k, k);
+                list.delete(k);
+                n += 1;
+            }
+            n
+        }));
+    }
+    reclaim::offline_while(|| {
+        // Waves of short-lived threads: register/unregister churn.
+        for wave in 0..rounds / 100 {
+            let mut short = Vec::new();
+            for t in 0..8u64 {
+                let list = Arc::clone(&list);
+                short.push(std::thread::spawn(move || {
+                    let k = 1000 + wave * 10 + t;
+                    list.insert(k, k);
+                    assert_eq!(list.delete(k), Some(k));
+                }));
+            }
+            for h in short {
+                h.join().unwrap();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        let churned: u64 = retirers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(churned > 0, "retirers made progress");
+    });
+    // Thread slots were recycled, nodes were retired, and reclamation
+    // actually freed some of them despite the churn.
+    let after = reclaim::global().stats();
+    assert!(
+        after.registered <= reclaim::MAX_THREADS,
+        "slots recycled: {}",
+        after.registered
+    );
+    assert!(after.retired > before.retired, "churn retired nodes");
+    let mut freed_progress = false;
+    for _ in 0..10_000 {
+        reclaim::quiescent();
+        reclaim::with_local(|h| {
+            h.flush();
+            h.collect();
+        });
+        if reclaim::global().stats().freed > before.freed {
+            freed_progress = true;
+            break;
+        }
+        std::thread::yield_now();
+    }
+    assert!(freed_progress, "no reclamation progress under churn");
+}
+
+#[test]
+fn node_pool_growth_is_bounded_under_contention() {
+    // NodePool growth behaviour (ROADMAP gap), in two parts.
+    use reclaim::{NodePool, Qsbr};
+    use std::sync::atomic::AtomicU64;
+
+    #[derive(Default)]
+    struct Node {
+        _key: AtomicU64,
+    }
+
+    const CHUNK: usize = 64;
+    const LIVE: usize = 16;
+
+    // Part 1 (deterministic): with a single registered thread every
+    // `quiescent()` completes a grace period, so with ≤LIVE live nodes the
+    // pool's reserved capacity must plateau at a couple of chunks no
+    // matter how many allocations flow through it.
+    {
+        let domain = Qsbr::new();
+        let pool: Arc<NodePool<Node>> = NodePool::with_chunk_capacity(CHUNK);
+        let h = domain.register();
+        for _ in 0..1_000 {
+            let ptrs: Vec<_> = (0..LIVE).map(|_| pool.alloc(Node::default).ptr).collect();
+            for p in ptrs {
+                // SAFETY: allocated above, never published, retired once.
+                unsafe { pool.retire(p, &h) };
+            }
+            h.quiescent();
+            h.collect();
+        }
+        assert_eq!(pool.allocations(), 16_000);
+        assert!(
+            pool.capacity() <= 4 * CHUNK,
+            "single-thread churn must plateau: capacity {}",
+            pool.capacity()
+        );
+        assert!(
+            pool.recycle_hits() > pool.allocations() / 2,
+            "recycling dominates: {} of {}",
+            pool.recycle_hits(),
+            pool.allocations()
+        );
+    }
+
+    // Part 2 (contention): several threads churn concurrently; capacity may
+    // transiently grow with grace-period backlog, but once the threads
+    // unregister and the orphan batches drain, the free list must absorb a
+    // fresh allocation burst with ZERO new growth — proving the slots were
+    // recycled, not leaked.
+    const THREADS: usize = 4;
+    let rounds = optik_suite::harness::stress::ops(2_000);
+    let domain = Qsbr::new();
+    let pool: Arc<NodePool<Node>> = NodePool::with_chunk_capacity(CHUNK);
+    let mut workers = Vec::new();
+    for _ in 0..THREADS {
+        let domain = Arc::clone(&domain);
+        let pool = Arc::clone(&pool);
+        workers.push(std::thread::spawn(move || {
+            let h = domain.register();
+            for _ in 0..rounds {
+                let ptrs: Vec<_> = (0..LIVE).map(|_| pool.alloc(Node::default).ptr).collect();
+                for p in ptrs {
+                    // SAFETY: allocated above, never published, retired once.
+                    unsafe { pool.retire(p, &h) };
+                }
+                h.quiescent();
+            }
+        }));
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+    // Drain: with all workers unregistered, a fresh handle's quiescent
+    // points overtake every orphaned batch (bounded loop: multi-grace
+    // retirement protocols may need a few passes).
+    let h = domain.register();
+    let burst = THREADS * LIVE;
+    for _ in 0..10_000 {
+        h.quiescent();
+        h.collect();
+        if pool.free_len() >= burst {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    assert!(
+        pool.free_len() >= burst,
+        "drain left only {} free slots",
+        pool.free_len()
+    );
+    let cap_drained = pool.capacity();
+    let fresh: Vec<_> = (0..burst).map(|_| pool.alloc(Node::default).ptr).collect();
+    assert_eq!(
+        pool.capacity(),
+        cap_drained,
+        "a drained pool must absorb a {burst}-node burst without growing"
+    );
+    for p in fresh {
+        // SAFETY: allocated above, never published.
+        unsafe { pool.dealloc_unpublished(p) };
+    }
+}
+
+#[test]
 fn offline_sections_do_not_break_operations() {
     let list = OptikList::new();
     list.insert(1, 10);

@@ -1,98 +1,57 @@
-//! Cross-crate integration: every `ConcurrentSet` in the workspace (lists,
-//! hash tables, skip lists, and the array map behind an adapter) is run
-//! through the same paper-style concurrent workload and checked against
-//! count and visibility invariants.
+//! Cross-crate integration: every `ConcurrentSet` registered in the
+//! scenario registry (lists, hash tables, skip lists, array maps, BSTs)
+//! is run through the same paper-style concurrent workload and checked
+//! against count and visibility invariants. Registering a structure in
+//! `optik_bench::scenarios` automatically enrolls it here.
 
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
-use optik_suite::bsts::{GlobalLockBst, OptikBst, OptikGlBst};
-use optik_suite::harness::api::{ConcurrentSet, Key, Val};
-use optik_suite::hashtables::{
-    LazyGlHashTable, OptikGlHashTable, OptikHashTable, OptikMapHashTable,
-    ResizableStripedHashTable, StripedHashTable, StripedOptikHashTable,
-};
-use optik_suite::lists::{
-    GlobalLockList, HarrisList, LazyCacheList, LazyList, OptikCacheList, OptikGlList, OptikList,
-};
-use optik_suite::maps::{ArrayMap, OptikArrayMap};
-use optik_suite::skiplists::{
-    FraserSkipList, HerlihyOptikSkipList, HerlihySkipList, OptikSkipList1, OptikSkipList2,
-};
+use optik_suite::harness::api::ConcurrentSet;
+use optik_suite::harness::scenario::Subject;
 
-struct MapAsSet(OptikArrayMap);
-impl ConcurrentSet for MapAsSet {
-    fn search(&self, key: Key) -> Option<Val> {
-        self.0.search(key)
+fn all_sets() -> Vec<(String, Arc<dyn ConcurrentSet>)> {
+    // Deduplicate by subject id, keeping the LAST registration: for the
+    // fixed-capacity array maps the later scenarios carry the larger
+    // paper workloads (fig7.large: 1024 slots), which fit this file's
+    // key ranges; earlier ones (fig7.small: 4 slots) would reject the
+    // stable-key fills.
+    let reg = optik_bench::scenarios::registry();
+    let mut out: Vec<(String, Arc<dyn ConcurrentSet>)> = Vec::new();
+    for s in reg.iter() {
+        if let Subject::Set(make) = s.subject() {
+            let entry = (s.subject_id().to_string(), make());
+            match out.iter_mut().find(|(id, _)| *id == s.subject_id()) {
+                Some(slot) => *slot = entry,
+                None => out.push(entry),
+            }
+        }
     }
-    fn insert(&self, key: Key, val: Val) -> bool {
-        self.0.insert(key, val)
-    }
-    fn delete(&self, key: Key) -> Option<Val> {
-        self.0.delete(key)
-    }
-    fn len(&self) -> usize {
-        ArrayMap::len(&self.0)
-    }
+    assert!(
+        out.len() >= 20,
+        "registry shrank: {} set subjects",
+        out.len()
+    );
+    out
 }
 
-fn all_sets() -> Vec<(&'static str, Arc<dyn ConcurrentSet>)> {
-    vec![
-        ("list/mcs-gl-opt", Arc::new(GlobalLockList::new())),
-        (
-            "list/optik-gl",
-            Arc::new(OptikGlList::<optik::OptikVersioned>::new()),
-        ),
-        ("list/optik", Arc::new(OptikList::new())),
-        ("list/optik-cache", Arc::new(OptikCacheList::new())),
-        ("list/lazy", Arc::new(LazyList::new())),
-        ("list/lazy-cache", Arc::new(LazyCacheList::new())),
-        ("list/harris", Arc::new(HarrisList::new())),
-        ("ht/optik-gl", Arc::new(OptikGlHashTable::new(64))),
-        ("ht/optik", Arc::new(OptikHashTable::new(64))),
-        (
-            "ht/optik-map",
-            Arc::new(OptikMapHashTable::with_bucket_capacity(64, 32)),
-        ),
-        ("ht/lazy-gl", Arc::new(LazyGlHashTable::new(64))),
-        ("ht/java", Arc::new(StripedHashTable::new(64, 16))),
-        (
-            "ht/java-optik",
-            Arc::new(StripedOptikHashTable::new(64, 16)),
-        ),
-        (
-            "ht/java-resize",
-            Arc::new(ResizableStripedHashTable::new(16, 2)),
-        ),
-        ("sl/herlihy", Arc::new(HerlihySkipList::new())),
-        ("sl/herl-optik", Arc::new(HerlihyOptikSkipList::new())),
-        ("sl/optik1", Arc::new(OptikSkipList1::new())),
-        ("sl/optik2", Arc::new(OptikSkipList2::new())),
-        ("sl/fraser", Arc::new(FraserSkipList::new())),
-        ("map/optik", Arc::new(MapAsSet(OptikArrayMap::new(256)))),
-        ("bst/mcs-gl", Arc::new(GlobalLockBst::new())),
-        (
-            "bst/optik-gl",
-            Arc::new(OptikGlBst::<optik::OptikVersioned>::new()),
-        ),
-        ("bst/optik-tk", Arc::new(OptikBst::new())),
-    ]
-}
-
-#[test]
-fn concurrent_workload_preserves_net_count_everywhere() {
+/// Body of the net-count stress test, parameterized so the tier-1 run can
+/// scale with the core count (see `optik_harness::stress`) while the
+/// `--ignored` variant always runs at full 8-core strength.
+fn concurrent_workload_preserves_net_count(ops: u64) {
     const THREADS: u64 = 8;
-    const OPS: u64 = 15_000;
     const KEYS: u64 = 96;
+    let ops = ops.max(64);
     for (name, set) in all_sets() {
         let net = Arc::new(AtomicI64::new(0));
         let mut handles = Vec::new();
         for t in 0..THREADS {
             let set = Arc::clone(&set);
             let net = Arc::clone(&net);
+            let name = name.clone();
             handles.push(std::thread::spawn(move || {
                 let mut x = t.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-                for _ in 0..OPS {
+                for _ in 0..ops {
                     x ^= x << 13;
                     x ^= x >> 7;
                     x ^= x << 17;
@@ -131,7 +90,17 @@ fn concurrent_workload_preserves_net_count_everywhere() {
 }
 
 #[test]
-fn stable_keys_remain_visible_during_churn() {
+fn concurrent_workload_preserves_net_count_everywhere() {
+    concurrent_workload_preserves_net_count(optik_suite::harness::stress::ops(15_000));
+}
+
+#[test]
+#[ignore = "full 8-core-strength stress tier; run via --ignored"]
+fn concurrent_workload_preserves_net_count_everywhere_full() {
+    concurrent_workload_preserves_net_count(15_000);
+}
+
+fn stable_keys_remain_visible(churn_iters: u64) {
     // Half the key space is immutable; churning the other half must never
     // make a stable key invisible or corrupt its value.
     for (name, set) in all_sets() {
@@ -143,7 +112,7 @@ fn stable_keys_remain_visible_during_churn() {
         for t in 0..4u64 {
             let set = Arc::clone(&set);
             churners.push(std::thread::spawn(move || {
-                for i in 0..30_000u64 {
+                for i in 0..churn_iters {
                     let k = ((t * 17 + i) % 60) * 2 + 1; // odd keys only
                     if i % 2 == 0 {
                         set.insert(k, k + 7);
@@ -180,6 +149,17 @@ fn stable_keys_remain_visible_during_churn() {
             assert_eq!(set.search(k), Some(k + 7), "{name}");
         }
     }
+}
+
+#[test]
+fn stable_keys_remain_visible_during_churn() {
+    stable_keys_remain_visible(optik_suite::harness::stress::ops(30_000));
+}
+
+#[test]
+#[ignore = "full 8-core-strength stress tier; run via --ignored"]
+fn stable_keys_remain_visible_during_churn_full() {
+    stable_keys_remain_visible(30_000);
 }
 
 #[test]
@@ -227,14 +207,13 @@ fn single_key_histories_are_linearizable() {
     }
 }
 
-#[test]
-fn sequential_agreement_across_all_implementations() {
+fn sequential_agreement(tape_len: u64) {
     // Drive every structure with the same operation tape; all must agree
     // with a BTreeMap model (and hence with each other).
     let sets = all_sets();
     let mut model = std::collections::BTreeMap::new();
     let mut x = 0x12345678u64;
-    for _ in 0..30_000 {
+    for _ in 0..tape_len {
         x ^= x << 13;
         x ^= x >> 7;
         x ^= x << 17;
@@ -266,4 +245,15 @@ fn sequential_agreement_across_all_implementations() {
     for (name, s) in &sets {
         assert_eq!(s.len(), model.len(), "{name} final length");
     }
+}
+
+#[test]
+fn sequential_agreement_across_all_implementations() {
+    sequential_agreement(optik_suite::harness::stress::ops(30_000));
+}
+
+#[test]
+#[ignore = "full-length model-agreement tape; run via --ignored"]
+fn sequential_agreement_across_all_implementations_full() {
+    sequential_agreement(30_000);
 }

@@ -1,0 +1,202 @@
+//! The linearizability tier, driven by the scenario registry.
+//!
+//! Every *unique implementation* registered in `optik_bench::scenarios`
+//! (deduplicated by subject id — the same algorithm appears under many
+//! workloads) is instantiated and hammered by a handful of threads while a
+//! [`HistoryRecorder`] timestamps each operation; the recorded history is
+//! then decided by the Wing–Gong checker against the matching sequential
+//! specification:
+//!
+//! - sets → single-key two-state spec ([`check_history`]),
+//! - queues → FIFO content spec ([`FifoSpec`]),
+//! - stacks → LIFO content spec ([`LifoSpec`]).
+//!
+//! Adding a structure to the registry automatically enrolls it here.
+//! The in-tier tests run a few rounds (scaled for tier-1); the `_full`
+//! variants behind `--ignored` run many more and back the CI
+//! linearizability job.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Barrier, Mutex};
+
+use optik_bench::scenarios;
+use optik_suite::harness::linearize::{
+    check, check_history, FifoSpec, HistoryRecorder, LifoSpec, QueueOp, Recorder, SetOp, StackOp,
+};
+use optik_suite::harness::scenario::Subject;
+use optik_suite::harness::{ConcurrentQueue, ConcurrentSet, ConcurrentStack};
+
+/// Single-key set history: 4 threads × 12 ops on one key (48 ops keeps the
+/// checker's 64-op mask budget and decides in microseconds).
+fn check_set_rounds(
+    name: &str,
+    make: &(dyn Fn() -> Arc<dyn ConcurrentSet> + Send + Sync),
+    rounds: usize,
+) {
+    const KEY: u64 = 42;
+    for round in 0..rounds {
+        let set = make();
+        let all = Arc::new(Mutex::new(Vec::new()));
+        let barrier = Arc::new(Barrier::new(4));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let set = Arc::clone(&set);
+            let all = Arc::clone(&all);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let mut rec = Recorder::new();
+                barrier.wait();
+                for i in 0..12u64 {
+                    match (t + i + round as u64) % 3 {
+                        0 => rec.record(SetOp::Insert, || set.insert(KEY, KEY)),
+                        1 => rec.record(SetOp::Delete, || set.delete(KEY).is_some()),
+                        _ => rec.record(SetOp::Search, || set.search(KEY).is_some()),
+                    }
+                }
+                all.lock().unwrap().extend(rec.into_ops());
+            }));
+        }
+        reclaim::offline_while(|| {
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let history = all.lock().unwrap().clone();
+        assert!(
+            check_history(&history, false),
+            "{name}: non-linearizable single-key history (round {round})"
+        );
+    }
+}
+
+/// FIFO history: 3 threads × 6 ops with distinct enqueue values (18 ops —
+/// the content-state search stays tractable).
+fn check_queue_rounds(
+    name: &str,
+    make: &(dyn Fn() -> Arc<dyn ConcurrentQueue> + Send + Sync),
+    rounds: usize,
+) {
+    for round in 0..rounds {
+        let q = make();
+        let all = Arc::new(Mutex::new(Vec::new()));
+        let barrier = Arc::new(Barrier::new(3));
+        let mut handles = Vec::new();
+        for t in 0..3u64 {
+            let q = Arc::clone(&q);
+            let all = Arc::clone(&all);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let mut rec = HistoryRecorder::new();
+                barrier.wait();
+                for i in 0..6u64 {
+                    if (t + i + round as u64) % 2 == 0 {
+                        let v = t * 1000 + i; // distinct within the round
+                        rec.record(|| q.enqueue(v), |()| QueueOp::Enqueue(v));
+                    } else {
+                        rec.record(|| q.dequeue(), QueueOp::Dequeue);
+                    }
+                }
+                all.lock().unwrap().extend(rec.into_ops());
+            }));
+        }
+        reclaim::offline_while(|| {
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let history = all.lock().unwrap().clone();
+        assert!(
+            check(&FifoSpec, &history),
+            "{name}: non-linearizable FIFO history (round {round})"
+        );
+    }
+}
+
+/// LIFO history: the stack analogue of [`check_queue_rounds`].
+fn check_stack_rounds(
+    name: &str,
+    make: &(dyn Fn() -> Arc<dyn ConcurrentStack> + Send + Sync),
+    rounds: usize,
+) {
+    for round in 0..rounds {
+        let s = make();
+        let all = Arc::new(Mutex::new(Vec::new()));
+        let barrier = Arc::new(Barrier::new(3));
+        let mut handles = Vec::new();
+        for t in 0..3u64 {
+            let s = Arc::clone(&s);
+            let all = Arc::clone(&all);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let mut rec = HistoryRecorder::new();
+                barrier.wait();
+                for i in 0..6u64 {
+                    if (t + i + round as u64) % 2 == 0 {
+                        let v = t * 1000 + i;
+                        rec.record(|| s.push(v), |()| StackOp::Push(v));
+                    } else {
+                        rec.record(|| s.pop(), StackOp::Pop);
+                    }
+                }
+                all.lock().unwrap().extend(rec.into_ops());
+            }));
+        }
+        reclaim::offline_while(|| {
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let history = all.lock().unwrap().clone();
+        assert!(
+            check(&LifoSpec, &history),
+            "{name}: non-linearizable LIFO history (round {round})"
+        );
+    }
+}
+
+/// Runs the whole registry through the appropriate checker, `rounds`
+/// histories per unique implementation.
+fn run_tier(rounds: usize) {
+    let reg = scenarios::registry();
+    let mut seen: HashSet<String> = HashSet::new();
+    let (mut sets, mut queues, mut stacks) = (0, 0, 0);
+    for s in reg.iter() {
+        if !seen.insert(s.subject_id().to_string()) {
+            continue;
+        }
+        match s.subject() {
+            Subject::Set(make) => {
+                sets += 1;
+                check_set_rounds(s.subject_id(), make.as_ref(), rounds);
+            }
+            Subject::Queue(make) => {
+                queues += 1;
+                check_queue_rounds(s.subject_id(), make.as_ref(), rounds);
+            }
+            Subject::Stack(make) => {
+                stacks += 1;
+                check_stack_rounds(s.subject_id(), make.as_ref(), rounds);
+            }
+            Subject::None => {}
+        }
+    }
+    // The registry must actually be feeding the tier: all three families of
+    // structures appear, and nothing shrank silently.
+    assert!(
+        sets >= 20,
+        "expected >=20 unique set implementations, got {sets}"
+    );
+    assert!(queues >= 6, "expected >=6 unique queues, got {queues}");
+    assert!(stacks >= 3, "expected >=3 unique stacks, got {stacks}");
+}
+
+#[test]
+fn registry_structures_are_linearizable() {
+    run_tier(2);
+}
+
+#[test]
+#[ignore = "full-strength linearizability tier; run in CI via --ignored"]
+fn registry_structures_are_linearizable_full() {
+    run_tier(25);
+}

@@ -364,7 +364,7 @@ macro_rules! prop_assert_ne {
 ///
 /// Supports the common form used by this workspace:
 ///
-/// ```ignore
+/// ```text
 /// proptest! {
 ///     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 ///
