@@ -8,6 +8,8 @@
 //! bench_all fig9 --json out.json   # single combined report instead
 //! bench_all --baseline BENCH_baseline.json --tolerance 25
 //!                                  # exit 1 on >25% throughput regression
+//! bench_all --digest               # regenerate EXPERIMENTS.md from the
+//!                                  # BENCH_*.json files in --out-dir
 //! ```
 //!
 //! Sweep knobs come from the usual environment variables
@@ -27,6 +29,7 @@ use optik_harness::table::Table;
 struct Args {
     patterns: Vec<String>,
     list: bool,
+    digest: bool,
     json: Option<PathBuf>,
     out_dir: PathBuf,
     baseline: Option<PathBuf>,
@@ -38,9 +41,13 @@ fn usage() -> ! {
     eprintln!(
         "usage: bench_all [PATTERN ...] [--list] [--json FILE] [--out-dir DIR]\n\
          \x20                [--baseline FILE] [--tolerance PCT] [--no-latency]\n\
+         \x20                [--digest]\n\
          \n\
          PATTERN selects scenarios by exact name or dot-boundary prefix\n\
-         (family or group); no patterns = the whole registry."
+         (family or group); no patterns = the whole registry.\n\
+         --digest runs no benchmarks: it loads every BENCH_*.json in\n\
+         --out-dir (plus --baseline, first, if given) and regenerates\n\
+         EXPERIMENTS.md from them."
     );
     std::process::exit(2)
 }
@@ -49,6 +56,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         patterns: Vec::new(),
         list: false,
+        digest: false,
         json: None,
         out_dir: PathBuf::from("."),
         baseline: None,
@@ -59,6 +67,7 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--list" => args.list = true,
+            "--digest" => args.digest = true,
             "--json" => args.json = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
             "--out-dir" => {
                 args.out_dir = PathBuf::from(it.next().unwrap_or_else(|| usage()));
@@ -81,6 +90,74 @@ fn parse_args() -> Args {
     args
 }
 
+/// `--digest`: load reports, render `EXPERIMENTS.md`, run nothing.
+fn write_digest(args: &Args, reg: &optik_harness::Registry) -> ExitCode {
+    let mut reports = Vec::new();
+    // The baseline (if given) goes first: on duplicate scenario names the
+    // digest keeps the first occurrence, so the checked-in numbers win.
+    if let Some(path) = &args.baseline {
+        match Report::load(path) {
+            Ok(r) => reports.push(r),
+            Err(e) => {
+                eprintln!("failed to load {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut json_files: Vec<PathBuf> = match std::fs::read_dir(&args.out_dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.out_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    json_files.sort();
+    // Canonicalized so `--baseline BENCH_baseline.json` matches the
+    // `./BENCH_baseline.json` that read_dir yields for the default
+    // out-dir (textual path equality would load the baseline twice).
+    let baseline_canon = args.baseline.as_deref().and_then(|p| p.canonicalize().ok());
+    for path in &json_files {
+        if baseline_canon.is_some() && path.canonicalize().ok() == baseline_canon {
+            continue; // already loaded first
+        }
+        match Report::load(path) {
+            Ok(r) => reports.push(r),
+            Err(e) => {
+                eprintln!("failed to load {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if reports.is_empty() {
+        eprintln!(
+            "no BENCH_*.json reports in {} (and no --baseline); run bench_all first",
+            args.out_dir.display()
+        );
+        return ExitCode::from(2);
+    }
+    let doc = optik_bench::digest::render(&reports, reg);
+    let out = args.out_dir.join("EXPERIMENTS.md");
+    if let Err(e) = std::fs::write(&out, doc) {
+        eprintln!("failed to write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {} ({} reports, {} scenarios)",
+        out.display(),
+        reports.len(),
+        reports.iter().map(|r| r.scenarios.len()).sum::<usize>()
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     let reg = scenarios::registry();
@@ -93,6 +170,10 @@ fn main() -> ExitCode {
         t.print();
         println!("\n{} scenarios registered", reg.len());
         return ExitCode::SUCCESS;
+    }
+
+    if args.digest {
+        return write_digest(&args, &reg);
     }
 
     let cfg = SweepConfig::from_env();

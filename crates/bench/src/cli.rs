@@ -24,11 +24,11 @@ pub fn banner(fig: &str, what: &str, cfg: &SweepConfig) {
     println!();
 }
 
-/// Formats a latency percentile row: `p5/p25/p50/p75/p95 (n)`.
+/// Formats a latency percentile row: `p5/p25/p50/p75/p95/p99 (n)`.
 pub fn fmt_percentiles(p: &Percentiles) -> String {
     format!(
-        "{}/{}/{}/{}/{} (n={})",
-        p.p5, p.p25, p.p50, p.p75, p.p95, p.count
+        "{}/{}/{}/{}/{}/{} (n={})",
+        p.p5, p.p25, p.p50, p.p75, p.p95, p.p99, p.count
     )
 }
 
@@ -94,7 +94,7 @@ pub fn print_group(group: &str, reports: &[ScenarioReport], latency_at: Option<u
     if let Some(threads) = latency_at {
         if let Some(t) = latency_table(reports, threads) {
             println!();
-            println!("{group} — latency at {threads} threads (cycles, p5/p25/p50/p75/p95):");
+            println!("{group} — latency at {threads} threads (cycles, p5/p25/p50/p75/p95/p99):");
             t.print();
         }
     }

@@ -26,6 +26,7 @@
 //! baseline (see `BENCH_baseline.json` at the repository root).
 
 pub mod cli;
+pub mod digest;
 pub mod scenarios;
 
 pub use optik_harness as harness;

@@ -26,6 +26,7 @@ use optik_hashtables::{
     LazyGlHashTable, OptikGlHashTable, OptikHashTable, OptikMapHashTable,
     ResizableStripedHashTable, StripedHashTable, StripedOptikHashTable,
 };
+use optik_kv::{run_kv_workload, KvMix, KvStore, KvWorkload};
 use optik_lists::{
     GlobalLockList, HarrisList, LazyCacheList, LazyList, OptikCacheList, OptikGlList, OptikList,
 };
@@ -36,7 +37,7 @@ use optik_skiplists::{
 };
 use optik_stacks::{EliminationStack, OptikStack, TreiberStack};
 
-/// Builds the full registry (~115 scenarios across 12 families).
+/// Builds the full registry (~139 scenarios across 13 families).
 pub fn registry() -> Registry {
     let mut r = Registry::new();
     fig5(&mut r);
@@ -47,6 +48,7 @@ pub fn registry() -> Registry {
     fig12(&mut r);
     bst(&mut r);
     stacks(&mut r);
+    kv(&mut r);
     ablate_base_lock(&mut r);
     ablate_node_cache(&mut r);
     ablate_resize(&mut r);
@@ -84,6 +86,24 @@ pub fn group_blurb(group: &str) -> &'static str {
         "bst.small" => "Small BST (128 elements), 20% effective updates",
         "bst.small-skew" => "Small skewed BST (128 elements, zipf a=0.9), 20% effective updates",
         "stacks" => "Treiber vs OPTIK vs elimination stack (50/50 push/pop, 1024 prefill)",
+        "kv.read-heavy" => {
+            "kv store, read-heavy (8192 entries, zipf a=0.9, 90% get / 5% put / 5% remove, 8 shards)"
+        }
+        "kv.write-heavy" => {
+            "kv store, write-heavy (8192 entries, uniform, 40% get / 30% put / 30% remove, 8 shards)"
+        }
+        "kv.batch" => {
+            "kv store, batched (8192 entries, uniform, 25% multi-get + 25% batched writes of 8 keys, 8 shards)"
+        }
+        "kv.scan" => {
+            "kv store with snapshot scans (1024 entries, zipf a=0.9, 1% scans + 20% updates, 8 shards)"
+        }
+        "kv.small" => {
+            "kv store, small + read-heavy (256 entries, 16 shards): array-map shards vs bucketed"
+        }
+        "kv.shards" => {
+            "kv shard-count ablation (striped-optik backend, read-heavy zipf, 1..32 shards)"
+        }
         "ablate-base-lock" => {
             "optik-gl list: versioned vs ticket base lock (128 elements, 20% updates)"
         }
@@ -555,6 +575,242 @@ fn stacks(r: &mut Registry) {
 }
 
 // ---------------------------------------------------------------------------
+// kv: the sharded key-value store subsystem.
+// ---------------------------------------------------------------------------
+
+/// One kv scenario: build the sharded store, fill, run the kv driver.
+fn kv_scenario<B: optik_harness::api::ConcurrentMap + 'static>(
+    name: &str,
+    about: &str,
+    id: &str,
+    shards: usize,
+    w: KvWorkload,
+    make_backend: impl Fn(usize) -> B + Send + Sync + Clone + 'static,
+) -> Scenario {
+    let subject_make = make_backend.clone();
+    let subject = Subject::map(move || KvStore::with_shards(shards, subject_make.clone()));
+    Scenario::custom(name, about, id, subject, move |spec| {
+        let store = KvStore::with_shards(shards, make_backend.clone());
+        w.initial_fill(spec.seed, &store);
+        let res = run_kv_workload(
+            &store,
+            spec.threads,
+            spec.duration,
+            &w,
+            spec.seed,
+            spec.record_latency,
+        );
+        let mut m = Measurement {
+            ops: res.counts.total(),
+            wall: res.duration,
+            latency: res.latency,
+            extra: Vec::new(),
+        };
+        if res.counts.scans > 0 {
+            m = m.with_extra(
+                "keys_per_scan",
+                res.counts.scanned_entries as f64 / res.counts.scans as f64,
+            );
+        }
+        m
+    })
+}
+
+/// The per-shard backend constructors the kv groups sweep. `span` is the
+/// key range a shard must be able to hold (used to size fixed-capacity
+/// backends so `put` can never overflow).
+fn kv_backends(
+    r: &mut Registry,
+    group: &str,
+    about: &str,
+    shards: usize,
+    span: usize,
+    w: &KvWorkload,
+) {
+    let name = |series: &str| format!("kv.{group}.{series}");
+    r.register(kv_scenario(
+        &name("optik-map"),
+        about,
+        "kv/optik-map",
+        shards,
+        w.clone(),
+        move |_| OptikMapHashTable::with_bucket_capacity(span.max(16), 16),
+    ));
+    r.register(kv_scenario(
+        &name("striped"),
+        about,
+        "kv/striped",
+        shards,
+        w.clone(),
+        move |_| StripedHashTable::new(span.max(16), 16),
+    ));
+    r.register(kv_scenario(
+        &name("striped-optik"),
+        about,
+        "kv/striped-optik",
+        shards,
+        w.clone(),
+        move |_| StripedOptikHashTable::new(span.max(16), 16),
+    ));
+    r.register(kv_scenario(
+        &name("resizable"),
+        about,
+        "kv/resizable",
+        shards,
+        w.clone(),
+        move |_| ResizableStripedHashTable::new(16, 8),
+    ));
+}
+
+fn kv(r: &mut Registry) {
+    const SHARDS: usize = 8;
+    const SIZE: u64 = 8192;
+    let span = (2 * SIZE) as usize / SHARDS;
+
+    // Read-heavy, skewed: the CDN/session-cache shape. Expectation: gets
+    // are lock-free, so all backends scale with readers; striped-optik
+    // leads under skew (no locking on the hot shard's misses).
+    let about = "kv read-heavy: lock-free gets dominate; backends track their \
+                 fig10 ordering, shard locks stay cold";
+    let w = KvWorkload::new(
+        SIZE,
+        true,
+        KvMix {
+            put_pm: 50,
+            remove_pm: 50,
+            batch_get_pm: 0,
+            batch_write_pm: 0,
+            scan_pm: 0,
+            batch: 0,
+        },
+    );
+    kv_backends(r, "read-heavy", about, SHARDS, span, &w);
+
+    // Write-heavy, uniform: shard locks serialize writers per shard;
+    // expectation: throughput is shard-parallel until writers outnumber
+    // shards, then flattens.
+    let about = "kv write-heavy: per-shard write serialization; scales until \
+                 writers outnumber shards";
+    let w = KvWorkload::new(
+        SIZE,
+        false,
+        KvMix {
+            put_pm: 300,
+            remove_pm: 300,
+            batch_get_pm: 0,
+            batch_write_pm: 0,
+            scan_pm: 0,
+            batch: 0,
+        },
+    );
+    kv_backends(r, "write-heavy", about, SHARDS, span, &w);
+
+    // Batched: sorted-shard acquisition amortizes locking over 8 keys;
+    // multi-gets validate optimistically. Expectation: higher key
+    // throughput than write-heavy at the same write fraction.
+    let about = "kv batched: 8-key batches, sorted-shard acquisition; \
+                 per-key cost amortizes vs single-key writes";
+    let w = KvWorkload::new(
+        SIZE,
+        false,
+        KvMix {
+            put_pm: 50,
+            remove_pm: 50,
+            batch_get_pm: 250,
+            batch_write_pm: 250,
+            scan_pm: 0,
+            batch: 8,
+        },
+    );
+    kv_backends(r, "batch", about, SHARDS, span, &w);
+
+    // Scans: 1% full-store snapshot scans against a 20%-update stream.
+    // Expectation: scans are validated per shard, so update throughput
+    // dips but does not collapse; `keys_per_scan` ~= store size.
+    let about = "kv scans: 1% validated snapshot scans under 20% updates; \
+                 keys_per_scan tracks the store size";
+    let scan_size = 1024u64;
+    let scan_span = (2 * scan_size) as usize / SHARDS;
+    let w = KvWorkload::new(
+        scan_size,
+        true,
+        KvMix {
+            put_pm: 100,
+            remove_pm: 100,
+            batch_get_pm: 0,
+            batch_write_pm: 0,
+            scan_pm: 10,
+            batch: 0,
+        },
+    );
+    kv_backends(r, "scan", about, SHARDS, scan_span, &w);
+
+    // Small store: the OPTIK array map as a *shard backend* (fig7's
+    // structure promoted to a kv shard) vs its bucketed big sibling.
+    let about = "kv small store: raw OPTIK array-map shards vs bucketed \
+                 array-map shards at 256 entries";
+    let small = KvWorkload::new(
+        256,
+        false,
+        KvMix {
+            put_pm: 50,
+            remove_pm: 50,
+            batch_get_pm: 0,
+            batch_write_pm: 0,
+            scan_pm: 0,
+            batch: 0,
+        },
+    );
+    // Capacity = full key range: a shard can never overflow, whatever the
+    // hash distribution does.
+    r.register(kv_scenario(
+        "kv.small.array",
+        about,
+        "kv/array-small",
+        16,
+        small.clone(),
+        |_| OptikArrayMap::<OptikVersioned>::new(512),
+    ));
+    r.register(kv_scenario(
+        "kv.small.optik-map",
+        about,
+        "kv/optik-map-small",
+        16,
+        small,
+        |_| OptikMapHashTable::with_bucket_capacity(32, 16),
+    ));
+
+    // Shard-count ablation: same backend, same workload, 1..32 shards.
+    // Expectation: single-shard ~= the bare backend plus lock overhead;
+    // throughput grows with shards until it saturates the thread count.
+    let about = "kv ablation: shard count sweep; write scaling follows \
+                 min(threads, shards), gets are shard-agnostic";
+    for shards in [1usize, 2, 4, 8, 16, 32] {
+        let span = ((2 * SIZE) as usize / shards).max(16);
+        let w = KvWorkload::new(
+            SIZE,
+            true,
+            KvMix {
+                put_pm: 50,
+                remove_pm: 50,
+                batch_get_pm: 0,
+                batch_write_pm: 0,
+                scan_pm: 0,
+                batch: 0,
+            },
+        );
+        r.register(kv_scenario(
+            &format!("kv.shards.s{shards}"),
+            about,
+            &format!("kv/striped-optik-s{shards}"),
+            shards,
+            w,
+            move |_| StripedOptikHashTable::new(span, 16),
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Ablations.
 // ---------------------------------------------------------------------------
 
@@ -730,6 +986,7 @@ mod tests {
                 "fig12",
                 "bst",
                 "stacks",
+                "kv",
                 "ablate-base-lock",
                 "ablate-node-cache",
                 "ablate-resize",
@@ -777,12 +1034,58 @@ mod tests {
             "fig9.small.optik-cache", // per-thread handles
             "fig12.stable.optik2",    // queue
             "stacks.treiber",         // stack
+            "kv.batch.striped-optik", // sharded kv store, batched ops
+            "kv.small.array",         // kv over array-map shards
             "ablate-victim.t2",       // parameterized queue
         ] {
             let s = r.get(name).unwrap_or_else(|| panic!("missing {name}"));
             let m = s.run(&spec);
             assert!(m.ops > 0, "{name} did no work");
         }
+    }
+
+    #[test]
+    fn kv_family_is_complete() {
+        let r = registry();
+        let kv: Vec<&Scenario> = r.select(&["kv".into()]);
+        assert!(
+            kv.len() >= 20,
+            "expected >=20 kv scenarios, got {}",
+            kv.len()
+        );
+        // Every kv scenario must be a map subject (MapSpec-checkable).
+        for s in &kv {
+            assert_eq!(s.subject().kind(), "map", "{}", s.name());
+        }
+        // The four workload groups sweep the same backend series.
+        for g in ["kv.read-heavy", "kv.write-heavy", "kv.batch", "kv.scan"] {
+            let series: Vec<&str> = r.in_group(g).iter().map(|s| s.series()).collect();
+            assert_eq!(
+                series,
+                vec!["optik-map", "striped", "striped-optik", "resizable"],
+                "{g}"
+            );
+        }
+        assert_eq!(r.in_group("kv.shards").len(), 6, "shard ablation sweep");
+    }
+
+    #[test]
+    fn kv_scan_scenario_reports_keys_per_scan() {
+        let r = registry();
+        let s = r.get("kv.scan.striped").unwrap();
+        let m = s.run(&RunSpec {
+            threads: 2,
+            duration: Duration::from_millis(20),
+            seed: 3,
+            record_latency: false,
+        });
+        let (k, v) = m
+            .extra
+            .iter()
+            .find(|(k, _)| k == "keys_per_scan")
+            .expect("scan metric present");
+        assert_eq!(k, "keys_per_scan");
+        assert!(*v > 0.0, "{v}");
     }
 
     #[test]

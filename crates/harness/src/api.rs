@@ -59,6 +59,49 @@ impl<S: ConcurrentSet + ?Sized> SetHandle for &S {
     }
 }
 
+/// A concurrent key–value map: the interface the `optik-kv` store layer
+/// builds on.
+///
+/// Where [`ConcurrentSet`] exposes the paper's three-operation *set*
+/// semantics (`insert` fails on a present key), a map's `put` is an atomic
+/// **upsert**: it replaces the value of a present key and returns the
+/// previous binding. The distinction matters for linearizability: a put
+/// implemented as `delete` + `insert` would expose a window in which the
+/// key is absent, which the map specification
+/// ([`crate::linearize::MapSpec`]) rejects — implementors must update
+/// values in place under their own synchronization.
+///
+/// `for_each` exists for snapshot scans: callers must either hold whatever
+/// lock excludes writers (the kv store's per-shard OPTIK lock) or tolerate
+/// a momentarily inconsistent view and validate afterwards. Traversal
+/// safety under concurrent deletion is the implementor's responsibility
+/// (the workspace backends retire nodes through QSBR, so a traversal by a
+/// registered, non-quiescing thread never touches freed memory).
+pub trait ConcurrentMap: Send + Sync {
+    /// Looks up `key`, returning its current value if present.
+    fn get(&self, key: Key) -> Option<Val>;
+    /// Inserts or atomically updates `key → val`, returning the previous
+    /// value (`None` if the key was newly inserted).
+    ///
+    /// # Panics
+    ///
+    /// Fixed-capacity backends panic when asked to insert a fresh key into
+    /// a full structure — capacity is a sizing decision made at
+    /// construction, not an outcome callers are expected to handle.
+    fn put(&self, key: Key, val: Val) -> Option<Val>;
+    /// Removes `key`, returning its value if it was present.
+    fn remove(&self, key: Key) -> Option<Val>;
+    /// Number of entries (O(n); exact only in quiescence).
+    fn len(&self) -> usize;
+    /// Whether the map is empty (see [`ConcurrentMap::len`]).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Visits every entry once (see the trait docs for the concurrency
+    /// contract).
+    fn for_each(&self, f: &mut dyn FnMut(Key, Val));
+}
+
 /// A concurrent FIFO queue (§5.4).
 pub trait ConcurrentQueue: Send + Sync {
     /// Enqueues `val` at the head of the queue.

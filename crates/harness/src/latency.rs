@@ -47,7 +47,8 @@ impl OpKind {
     }
 }
 
-/// Boxplot percentiles reported by the paper (5th/25th/50th/75th/95th).
+/// Boxplot percentiles reported by the paper (5th/25th/50th/75th/95th),
+/// extended with the 99th for tail-latency tracking in the kv tiers.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Percentiles {
     /// 5th percentile.
@@ -60,6 +61,8 @@ pub struct Percentiles {
     pub p75: u64,
     /// 95th percentile.
     pub p95: u64,
+    /// 99th percentile (tail latency; not in the paper's boxplots).
+    pub p99: u64,
     /// Number of samples summarized.
     pub count: usize,
 }
@@ -123,6 +126,7 @@ impl LatencyRecorder {
             p50: pick(0.50),
             p75: pick(0.75),
             p95: pick(0.95),
+            p99: pick(0.99),
             count: v.len(),
         })
     }
@@ -149,7 +153,9 @@ mod tests {
         assert!(p.p50 == 50 || p.p50 == 51, "median of 1..=100: {}", p.p50);
         assert!(p.p5 <= 7 && p.p5 >= 4);
         assert!(p.p95 >= 94 && p.p95 <= 96);
+        assert!(p.p99 >= 98 && p.p99 <= 100, "{}", p.p99);
         assert!(p.p25 < p.p50 && p.p50 < p.p75);
+        assert!(p.p95 <= p.p99);
     }
 
     #[test]

@@ -309,6 +309,49 @@ impl SeqSpec for LifoSpec {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Single-key map (upsert) specification.
+// ---------------------------------------------------------------------------
+
+/// Outcome-annotated operation on one key of a map
+/// ([`crate::api::ConcurrentMap`] semantics). Unlike [`SetOp`], outcomes
+/// carry the observed *values*, so the checker catches torn reads and lost
+/// updates, not just presence errors. Use distinct put values within a
+/// history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapOp {
+    /// `get` returning the observed value (`None` = absent).
+    Get(Option<u64>),
+    /// `put(new)` returning the previous value (`None` = fresh insert).
+    Put(u64, Option<u64>),
+    /// `remove` returning the removed value (`None` = absent).
+    Remove(Option<u64>),
+}
+
+/// The single-key map machine: the state is the key's current binding.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MapSpec {
+    /// The key's binding before the history starts (`None` = absent).
+    pub initial: Option<u64>,
+}
+
+impl SeqSpec for MapSpec {
+    type Op = MapOp;
+    type State = Option<u64>;
+
+    fn initial(&self) -> Option<u64> {
+        self.initial
+    }
+
+    fn apply(&self, &state: &Option<u64>, op: MapOp) -> Option<Option<u64>> {
+        match op {
+            MapOp::Get(seen) => (seen == state).then_some(state),
+            MapOp::Put(new, prev) => (prev == state).then_some(Some(new)),
+            MapOp::Remove(removed) => (removed == state).then_some(None),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -546,5 +589,82 @@ mod tests {
         assert!(check(&FifoSpec, &[]));
         assert!(check(&LifoSpec, &[]));
         assert!(check_history(&[], false));
+        assert!(check(&MapSpec::default(), &[]));
+    }
+
+    fn mop(invoke: u64, response: u64, op: MapOp) -> Timed<MapOp> {
+        Timed {
+            invoke,
+            response,
+            op,
+        }
+    }
+
+    #[test]
+    fn map_sequential_upsert_chain() {
+        let h = [
+            mop(0, 1, MapOp::Put(10, None)),
+            mop(2, 3, MapOp::Get(Some(10))),
+            mop(4, 5, MapOp::Put(20, Some(10))),
+            mop(6, 7, MapOp::Remove(Some(20))),
+            mop(8, 9, MapOp::Get(None)),
+        ];
+        assert!(check(&MapSpec::default(), &h));
+    }
+
+    #[test]
+    fn map_value_mixing_is_rejected() {
+        // A get that observes a value no put ever bound is illegal even
+        // though the key's *presence* is plausible — this is exactly what
+        // SetSpec cannot see.
+        let h = [
+            mop(0, 1, MapOp::Put(10, None)),
+            mop(2, 3, MapOp::Get(Some(99))),
+        ];
+        assert!(!check(&MapSpec::default(), &h));
+        // Likewise a put reporting a stale previous value.
+        let h = [
+            mop(0, 1, MapOp::Put(10, None)),
+            mop(2, 3, MapOp::Put(20, Some(10))),
+            mop(4, 5, MapOp::Put(30, Some(10))),
+        ];
+        assert!(!check(&MapSpec::default(), &h));
+    }
+
+    #[test]
+    fn map_put_has_no_absent_window() {
+        // After put(10) succeeded and before any remove, a get strictly
+        // later must not miss — a delete+insert "upsert" would fail here.
+        let h = [
+            mop(0, 1, MapOp::Put(10, None)),
+            mop(2, 3, MapOp::Put(20, Some(10))),
+            mop(4, 5, MapOp::Get(None)),
+        ];
+        assert!(!check(&MapSpec::default(), &h));
+    }
+
+    #[test]
+    fn map_concurrent_puts_resolve_by_reported_prev() {
+        // Two overlapping puts: legal iff one observed the other.
+        let h = [
+            mop(0, 10, MapOp::Put(1, None)),
+            mop(1, 9, MapOp::Put(2, Some(1))),
+            mop(11, 12, MapOp::Get(Some(2))),
+        ];
+        assert!(check(&MapSpec::default(), &h));
+        // Both claiming a fresh insert cannot linearize.
+        let h = [
+            mop(0, 10, MapOp::Put(1, None)),
+            mop(1, 9, MapOp::Put(2, None)),
+            mop(11, 12, MapOp::Get(Some(2))),
+        ];
+        assert!(!check(&MapSpec::default(), &h));
+    }
+
+    #[test]
+    fn map_initial_binding_matters() {
+        let h = [mop(0, 1, MapOp::Remove(Some(7)))];
+        assert!(check(&MapSpec { initial: Some(7) }, &h));
+        assert!(!check(&MapSpec::default(), &h));
     }
 }

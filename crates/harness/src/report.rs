@@ -19,7 +19,7 @@
 //!           "threads": 1,
 //!           "mops": 1.234,
 //!           "extra": {"cas_per_validation": 1.0},
-//!           "latency_percentiles": {"srch-suc": [5, 25, 50, 75, 95, 1000]}
+//!           "latency_percentiles": {"srch-suc": [5, 25, 50, 75, 95, 99, 1000]}
 //!         }
 //!       ]
 //!     }
@@ -28,7 +28,10 @@
 //! ```
 //!
 //! `extra` and `latency_percentiles` are omitted when empty; the
-//! percentile quintuple is `[p5, p25, p50, p75, p95, count]`.
+//! percentile tuple is `[p5, p25, p50, p75, p95, p99, count]`. Reports
+//! written before p99 was tracked carry six entries
+//! (`[p5, p25, p50, p75, p95, count]`) and still load, with `p99`
+//! conservatively reported as `p95`.
 //!
 //! [`compare`] matches `(scenario, threads)` pairs between two reports and
 //! flags throughput regressions beyond a fractional tolerance.
@@ -230,10 +233,18 @@ fn scenario_to_json(s: &ScenarioReport) -> Json {
                                         (
                                             k.clone(),
                                             Json::Arr(
-                                                [q.p5, q.p25, q.p50, q.p75, q.p95, q.count as u64]
-                                                    .iter()
-                                                    .map(|&x| Json::Num(x as f64))
-                                                    .collect(),
+                                                [
+                                                    q.p5,
+                                                    q.p25,
+                                                    q.p50,
+                                                    q.p75,
+                                                    q.p95,
+                                                    q.p99,
+                                                    q.count as u64,
+                                                ]
+                                                .iter()
+                                                .map(|&x| Json::Num(x as f64))
+                                                .collect(),
                                             ),
                                         )
                                     })
@@ -282,9 +293,11 @@ fn scenario_from_json(v: &Json) -> Result<ScenarioReport, ReportError> {
                             .iter()
                             .filter_map(Json::as_u64)
                             .collect();
-                        if q.len() != 6 {
+                        // 7 entries since p99 was added; 6 in legacy
+                        // reports (count last in both).
+                        if q.len() != 7 && q.len() != 6 {
                             return Err(ReportError::Schema(format!(
-                                "latency quintuple for `{k}` must have 6 entries"
+                                "latency tuple for `{k}` must have 6 or 7 entries"
                             )));
                         }
                         Ok((
@@ -295,7 +308,8 @@ fn scenario_from_json(v: &Json) -> Result<ScenarioReport, ReportError> {
                                 p50: q[2],
                                 p75: q[3],
                                 p95: q[4],
-                                count: q[5] as usize,
+                                p99: if q.len() == 7 { q[5] } else { q[4] },
+                                count: q[q.len() - 1] as usize,
                             },
                         ))
                     })
@@ -461,6 +475,7 @@ mod tests {
                             p50: 50,
                             p75: 75,
                             p95: 95,
+                            p99: 99,
                             count: 1000,
                         },
                     )],
@@ -564,6 +579,21 @@ mod tests {
         assert_eq!(Report::load(&path).unwrap(), r);
         std::fs::remove_file(&path).unwrap();
         assert!(matches!(Report::load(&path), Err(ReportError::Io(_))));
+    }
+
+    #[test]
+    fn legacy_six_entry_latency_tuples_still_load() {
+        let r = sample_report();
+        // Rewrite the 7-entry tuple as the pre-p99 6-entry form.
+        let text = r
+            .to_json()
+            .replace("[5, 25, 50, 75, 95, 99, 1000]", "[5, 25, 50, 75, 95, 1000]");
+        assert_ne!(text, r.to_json(), "replacement must have applied");
+        let back = Report::from_json(&text).unwrap();
+        let p = &back.scenarios[0].points[0].latency[0].1;
+        assert_eq!(p.p95, 95);
+        assert_eq!(p.p99, 95, "legacy p99 falls back to p95");
+        assert_eq!(p.count, 1000);
     }
 
     #[test]

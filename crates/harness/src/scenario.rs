@@ -21,7 +21,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::api::{ConcurrentQueue, ConcurrentSet, ConcurrentStack};
+use crate::api::{ConcurrentMap, ConcurrentQueue, ConcurrentSet, ConcurrentStack};
 use crate::latency::LatencyRecorder;
 use crate::runner::{run_queue_workload, run_set_workload, run_stack_workload};
 use crate::workload::Workload;
@@ -118,6 +118,8 @@ pub enum Subject {
     Queue(Box<dyn Fn() -> Arc<dyn ConcurrentQueue> + Send + Sync>),
     /// A LIFO stack.
     Stack(Box<dyn Fn() -> Arc<dyn ConcurrentStack> + Send + Sync>),
+    /// A key–value map (upsert semantics — the kv store and its backends).
+    Map(Box<dyn Fn() -> Arc<dyn ConcurrentMap> + Send + Sync>),
     /// No instantiable structure (e.g. raw lock-acquisition scenarios).
     None,
 }
@@ -144,12 +146,20 @@ impl Subject {
         Subject::Stack(Box::new(move || Arc::new(make())))
     }
 
-    /// Short tag for listings: `set`, `queue`, `stack`, or `-`.
+    /// Convenience constructor for map subjects.
+    pub fn map<M: ConcurrentMap + 'static>(
+        make: impl Fn() -> M + Send + Sync + 'static,
+    ) -> Subject {
+        Subject::Map(Box::new(move || Arc::new(make())))
+    }
+
+    /// Short tag for listings: `set`, `queue`, `stack`, `map`, or `-`.
     pub fn kind(&self) -> &'static str {
         match self {
             Subject::Set(_) => "set",
             Subject::Queue(_) => "queue",
             Subject::Stack(_) => "stack",
+            Subject::Map(_) => "map",
             Subject::None => "-",
         }
     }

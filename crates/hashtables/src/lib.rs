@@ -29,7 +29,7 @@ pub use striped::StripedHashTable;
 pub use striped_optik::StripedOptikHashTable;
 pub use striped_resize::ResizableStripedHashTable;
 
-pub use optik_harness::api::{ConcurrentSet, Key, Val};
+pub use optik_harness::api::{ConcurrentMap, ConcurrentSet, Key, Val};
 
 /// Default number of lock stripes for the Java-style tables; the paper
 /// configures 128 "to accommodate as many threads as will ever concurrently
@@ -121,6 +121,97 @@ mod cross_tests {
                 }
             }
             assert_eq!(t.len(), model.len(), "{name}");
+        }
+    }
+
+    fn map_implementations(buckets: usize) -> Vec<(&'static str, Arc<dyn ConcurrentMap>)> {
+        vec![
+            (
+                "optik-map",
+                Arc::new(OptikMapHashTable::with_bucket_capacity(buckets, 64)),
+            ),
+            ("java", Arc::new(StripedHashTable::new(buckets, 16))),
+            (
+                "java-optik",
+                Arc::new(StripedOptikHashTable::new(buckets, 16)),
+            ),
+            (
+                "java-resize",
+                Arc::new(ResizableStripedHashTable::new(4, 2)),
+            ),
+        ]
+    }
+
+    #[test]
+    fn map_interface_random_ops_match_oracle() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        for (name, t) in map_implementations(8) {
+            let mut rng = StdRng::seed_from_u64(0xBEEF);
+            let mut model = std::collections::BTreeMap::new();
+            for _ in 0..10_000 {
+                let k = rng.gen_range(1..=48u64);
+                let v = rng.gen_range(0..1_000u64);
+                match rng.gen_range(0..3) {
+                    0 => {
+                        assert_eq!(t.put(k, v), model.insert(k, v), "{name} put {k}");
+                    }
+                    1 => {
+                        assert_eq!(t.remove(k), model.remove(&k), "{name} remove {k}");
+                    }
+                    _ => {
+                        assert_eq!(t.get(k), model.get(&k).copied(), "{name} get {k}");
+                    }
+                }
+            }
+            assert_eq!(ConcurrentMap::len(t.as_ref()), model.len(), "{name}");
+            let mut scanned = std::collections::BTreeMap::new();
+            t.for_each(&mut |k, v| {
+                assert!(scanned.insert(k, v).is_none(), "{name}: duplicate key {k}");
+            });
+            assert_eq!(scanned, model, "{name}: quiescent scan mismatch");
+        }
+    }
+
+    #[test]
+    fn map_put_is_tear_free_under_concurrent_gets() {
+        // Writers upsert their own key with values tagged by the key;
+        // readers must never see a value from a different key or a torn
+        // one. Exercises the in-place AtomicU64 swap path of every table.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        for (name, t) in map_implementations(4) {
+            let stop = Arc::new(AtomicBool::new(false));
+            let mut handles = Vec::new();
+            for w in 1..=4u64 {
+                let t = Arc::clone(&t);
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..synchro::stress::ops(20_000) {
+                        t.put(w, w * 1_000_000 + i);
+                    }
+                }));
+            }
+            for _ in 0..2 {
+                let t = Arc::clone(&t);
+                let stop = Arc::clone(&stop);
+                handles.push(std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        for w in 1..=4u64 {
+                            if let Some(v) = t.get(w) {
+                                assert_eq!(v / 1_000_000, w, "foreign/torn value {v} at key {w}");
+                            }
+                        }
+                    }
+                }));
+            }
+            reclaim::offline_while(|| {
+                for h in handles.drain(..4) {
+                    h.join().unwrap();
+                }
+                stop.store(true, Ordering::Relaxed);
+                for h in handles {
+                    h.join().unwrap();
+                }
+            });
+            assert_eq!(ConcurrentMap::len(t.as_ref()), 4, "{name}");
         }
     }
 

@@ -82,6 +82,36 @@ impl ConcurrentSet for OptikMapHashTable {
     }
 }
 
+impl crate::ConcurrentMap for OptikMapHashTable {
+    fn get(&self, key: Key) -> Option<Val> {
+        ArrayMap::search(self.bucket(key), key)
+    }
+
+    /// Upsert, delegated to the bucket's OPTIK array-map `put`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is fresh and its bucket is full (fixed-capacity
+    /// buckets, as in the paper) — size `bucket_capacity` for the workload.
+    fn put(&self, key: Key, val: Val) -> Option<Val> {
+        ArrayMap::put(self.bucket(key), key, val)
+    }
+
+    fn remove(&self, key: Key) -> Option<Val> {
+        ArrayMap::delete(self.bucket(key), key)
+    }
+
+    fn len(&self) -> usize {
+        ConcurrentSet::len(self)
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(Key, Val)) {
+        for b in self.buckets.iter() {
+            ArrayMap::for_each(b, f);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,7 +9,7 @@
 //!
 //! Buckets are unsorted chains with head insertion (as in CHM).
 
-use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 
 use synchro::{CachePadded, RawLock, TtasLock};
 
@@ -17,7 +17,9 @@ use crate::{bucket_of, ConcurrentSet, Key, Val, DEFAULT_SEGMENTS};
 
 pub(crate) struct Node {
     pub(crate) key: Key,
-    pub(crate) val: Val,
+    /// Atomic so the map-interface `put` can replace it in place while
+    /// lock-free readers traverse the chain.
+    pub(crate) val: AtomicU64,
     pub(crate) next: AtomicPtr<Node>,
 }
 
@@ -25,7 +27,7 @@ impl Node {
     pub(crate) fn boxed(key: Key, val: Val, next: *mut Node) -> *mut Node {
         Box::into_raw(Box::new(Node {
             key,
-            val,
+            val: AtomicU64::new(val),
             next: AtomicPtr::new(next),
         }))
     }
@@ -83,7 +85,7 @@ impl StripedHashTable {
             let mut cur = self.buckets[bucket].load(Ordering::Acquire);
             while !cur.is_null() {
                 if (*cur).key == key {
-                    return Some((*cur).val);
+                    return Some((*cur).val.load(Ordering::Acquire));
                 }
                 cur = (*cur).next.load(Ordering::Acquire);
             }
@@ -141,7 +143,7 @@ impl ConcurrentSet for StripedHashTable {
                     } else {
                         (*prev).next.store(next, Ordering::Release);
                     }
-                    let val = (*cur).val;
+                    let val = (*cur).val.load(Ordering::Relaxed);
                     // SAFETY: unlinked exactly once under the lock.
                     reclaim::with_local(|h| h.retire(cur));
                     break Some(val);
@@ -168,6 +170,62 @@ impl ConcurrentSet for StripedHashTable {
             }
         }
         n
+    }
+}
+
+impl crate::ConcurrentMap for StripedHashTable {
+    fn get(&self, key: Key) -> Option<Val> {
+        ConcurrentSet::search(self, key)
+    }
+
+    /// Upsert, Java-style: lock the segment first, then either replace the
+    /// matching node's value in place or head-insert a fresh node.
+    fn put(&self, key: Key, val: Val) -> Option<Val> {
+        reclaim::quiescent();
+        let b = bucket_of(key, self.buckets.len());
+        let seg = self.segment(b);
+        seg.lock();
+        // SAFETY: segment lock held; grace period for reads.
+        let prev = unsafe {
+            let mut cur = self.buckets[b].load(Ordering::Acquire);
+            loop {
+                if cur.is_null() {
+                    let head = self.buckets[b].load(Ordering::Relaxed);
+                    self.buckets[b].store(Node::boxed(key, val, head), Ordering::Release);
+                    break None;
+                }
+                if (*cur).key == key {
+                    // In-place replacement: concurrent lock-free readers
+                    // see either the old or the new value, never a tear.
+                    break Some((*cur).val.swap(val, Ordering::AcqRel));
+                }
+                cur = (*cur).next.load(Ordering::Acquire);
+            }
+        };
+        seg.unlock();
+        prev
+    }
+
+    fn remove(&self, key: Key) -> Option<Val> {
+        ConcurrentSet::delete(self, key)
+    }
+
+    fn len(&self) -> usize {
+        ConcurrentSet::len(self)
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(Key, Val)) {
+        reclaim::quiescent();
+        for b in self.buckets.iter() {
+            // SAFETY: grace period.
+            unsafe {
+                let mut cur = b.load(Ordering::Acquire);
+                while !cur.is_null() {
+                    f((*cur).key, (*cur).val.load(Ordering::Acquire));
+                    cur = (*cur).next.load(Ordering::Acquire);
+                }
+            }
+        }
     }
 }
 

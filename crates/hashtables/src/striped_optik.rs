@@ -120,7 +120,7 @@ impl StripedOptikHashTable {
             } else {
                 (*prev).next.store(next, Ordering::Release);
             }
-            let val = (*cur).val;
+            let val = (*cur).val.load(Ordering::Relaxed);
             // SAFETY: unlinked exactly once under the lock.
             reclaim::with_local(|h| h.retire(cur));
             val
@@ -133,7 +133,10 @@ impl ConcurrentSet for StripedOptikHashTable {
         reclaim::quiescent();
         let b = bucket_of(key, self.buckets.len());
         // SAFETY: grace period.
-        unsafe { self.find_node(b, key).map(|n| (*n).val) }
+        unsafe {
+            self.find_node(b, key)
+                .map(|n| (*n).val.load(Ordering::Acquire))
+        }
     }
 
     fn insert(&self, key: Key, val: Val) -> bool {
@@ -215,6 +218,69 @@ impl ConcurrentSet for StripedOptikHashTable {
             }
         }
         n
+    }
+}
+
+impl crate::ConcurrentMap for StripedOptikHashTable {
+    fn get(&self, key: Key) -> Option<Val> {
+        ConcurrentSet::search(self, key)
+    }
+
+    /// OPTIK upsert: both outcomes write, so the operation always locks,
+    /// but a successful validation lets it reuse the optimistic traversal's
+    /// finding (the matching node, or its absence) without re-walking the
+    /// bucket — the same second-traversal elision as `insert`/`delete`.
+    fn put(&self, key: Key, val: Val) -> Option<Val> {
+        reclaim::quiescent();
+        let b = bucket_of(key, self.buckets.len());
+        let seg = self.segment(b);
+        let vn = seg.get_version();
+        // Phase 1: optimistic read-only traversal.
+        // SAFETY: grace period.
+        let hit = unsafe { self.find_node(b, key) };
+        // Phase 2: lock; on validation failure the traversal is stale and
+        // must be redone under the lock.
+        let validated = seg.lock_version(vn);
+        // SAFETY: segment lock held.
+        let prev = unsafe {
+            let node = if validated {
+                hit
+            } else {
+                self.find_node(b, key)
+            };
+            match node {
+                Some(n) => Some((*n).val.swap(val, Ordering::AcqRel)),
+                None => {
+                    let head = self.buckets[b].load(Ordering::Relaxed);
+                    self.buckets[b].store(Node::boxed(key, val, head), Ordering::Release);
+                    None
+                }
+            }
+        };
+        seg.unlock();
+        prev
+    }
+
+    fn remove(&self, key: Key) -> Option<Val> {
+        ConcurrentSet::delete(self, key)
+    }
+
+    fn len(&self) -> usize {
+        ConcurrentSet::len(self)
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(Key, Val)) {
+        reclaim::quiescent();
+        for b in self.buckets.iter() {
+            // SAFETY: grace period.
+            unsafe {
+                let mut cur = b.load(Ordering::Acquire);
+                while !cur.is_null() {
+                    f((*cur).key, (*cur).val.load(Ordering::Acquire));
+                    cur = (*cur).next.load(Ordering::Acquire);
+                }
+            }
+        }
     }
 }
 

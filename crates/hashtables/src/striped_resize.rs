@@ -148,7 +148,7 @@ impl ResizableStripedHashTable {
             let mut cur = Self::bucket(table, key).load(Ordering::Acquire);
             while !cur.is_null() {
                 if (*cur).key == key {
-                    return Some((*cur).val);
+                    return Some((*cur).val.load(Ordering::Acquire));
                 }
                 cur = (*cur).next.load(Ordering::Acquire);
             }
@@ -173,7 +173,10 @@ impl ResizableStripedHashTable {
                     // the old table keep an intact chain.
                     let slot = Self::bucket(&*new, (*cur).key);
                     let head = slot.load(Ordering::Relaxed);
-                    slot.store(Node::boxed((*cur).key, (*cur).val, head), Ordering::Relaxed);
+                    slot.store(
+                        Node::boxed((*cur).key, (*cur).val.load(Ordering::Relaxed), head),
+                        Ordering::Relaxed,
+                    );
                     cur = (*cur).next.load(Ordering::Relaxed);
                 }
             }
@@ -250,7 +253,7 @@ impl ConcurrentSet for ResizableStripedHashTable {
                     } else {
                         (*prev).next.store(next, Ordering::Release);
                     }
-                    let val = (*cur).val;
+                    let val = (*cur).val.load(Ordering::Relaxed);
                     // SAFETY: unlinked exactly once under the lock.
                     reclaim::with_local(|h| h.retire(cur));
                     seg.count.fetch_sub(1, Ordering::Relaxed);
@@ -269,6 +272,75 @@ impl ConcurrentSet for ResizableStripedHashTable {
             .iter()
             .map(|s| s.count.load(Ordering::Relaxed))
             .sum()
+    }
+}
+
+impl crate::ConcurrentMap for ResizableStripedHashTable {
+    fn get(&self, key: Key) -> Option<Val> {
+        ConcurrentSet::search(self, key)
+    }
+
+    /// Upsert under the segment lock; a fresh insert may trigger the
+    /// segment's independent growth exactly like [`ConcurrentSet::insert`].
+    fn put(&self, key: Key, val: Val) -> Option<Val> {
+        reclaim::quiescent();
+        let seg = self.segment(key);
+        seg.lock.lock();
+        // SAFETY: segment lock held; grace period for reads.
+        let prev = unsafe {
+            let table = &*seg.table.load(Ordering::Relaxed);
+            let mut cur = Self::bucket(table, key).load(Ordering::Relaxed);
+            let mut hit = None;
+            while !cur.is_null() {
+                if (*cur).key == key {
+                    hit = Some(cur);
+                    break;
+                }
+                cur = (*cur).next.load(Ordering::Relaxed);
+            }
+            match hit {
+                Some(n) => Some((*n).val.swap(val, Ordering::AcqRel)),
+                None => {
+                    let count = seg.count.load(Ordering::Relaxed);
+                    if (count + 1) * LOAD_DEN > table.buckets.len() * LOAD_NUM {
+                        Self::grow(seg);
+                    }
+                    let table = &*seg.table.load(Ordering::Relaxed);
+                    let slot = Self::bucket(table, key);
+                    let head = slot.load(Ordering::Relaxed);
+                    slot.store(Node::boxed(key, val, head), Ordering::Release);
+                    seg.count.store(count + 1, Ordering::Relaxed);
+                    None
+                }
+            }
+        };
+        seg.lock.unlock();
+        prev
+    }
+
+    fn remove(&self, key: Key) -> Option<Val> {
+        ConcurrentSet::delete(self, key)
+    }
+
+    fn len(&self) -> usize {
+        ConcurrentSet::len(self)
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(Key, Val)) {
+        reclaim::quiescent();
+        for seg in self.segments.iter() {
+            // SAFETY: grace period; the table read stays valid through it.
+            unsafe {
+                let table = &*seg.table.load(Ordering::Acquire);
+                for b in table.buckets.iter() {
+                    let mut cur = b.load(Ordering::Acquire);
+                    while !cur.is_null() {
+                        f((*cur).key, (*cur).val.load(Ordering::Acquire));
+                        cur = (*cur).next.load(Ordering::Acquire);
+                    }
+                }
+            }
+        }
     }
 }
 

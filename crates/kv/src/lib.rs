@@ -1,0 +1,56 @@
+//! # optik-kv — a sharded key-value store built on the OPTIK pattern
+//!
+//! The first *system* layer of the reproduction: where the other crates
+//! reproduce the paper's individual data structures, this one composes
+//! them into a service-shaped store — the ROADMAP's step from
+//! "reproduction" toward "production-scale system".
+//!
+//! ```text
+//!                    ┌────────────────────────────────────────────┐
+//!        put(k,v) ──▶│ KvStore                                    │
+//!        get(k)   ──▶│  hash(k) ──▶ shard index                   │
+//!                    │ ┌─────────┐ ┌─────────┐     ┌─────────┐    │
+//!                    │ │ shard 0 │ │ shard 1 │ ... │ shard N │    │
+//!                    │ │ OPTIK   │ │ OPTIK   │     │ OPTIK   │    │
+//!                    │ │ version │ │ version │     │ version │    │
+//!                    │ │ lock    │ │ lock    │     │ lock    │    │
+//!                    │ │ ┌─────┐ │ │ ┌─────┐ │     │ ┌─────┐ │    │
+//!                    │ │ │ map │ │ │ │ map │ │     │ │ map │ │    │
+//!                    │ │ └─────┘ │ │ └─────┘ │     │ └─────┘ │    │
+//!                    │ └─────────┘ └─────────┘     └─────────┘    │
+//!                    └────────────────────────────────────────────┘
+//!                      map = any ConcurrentMap backend (OPTIK array
+//!                      map, striped / striped-OPTIK / resizable table)
+//! ```
+//!
+//! The OPTIK pattern (§3 of the paper) appears at the *shard* granularity:
+//!
+//! - single-key writes lock their shard; reads never lock;
+//! - **batched** multi-key operations acquire the involved shard locks in
+//!   ascending shard order (deadlock-free by total-order acquisition) and
+//!   commit atomically across shards;
+//! - **multi-gets and scans** are optimistic: read shard versions, read
+//!   data, validate the versions — the read-side half of OPTIK — with a
+//!   bounded fallback to locking under sustained interference. Failed
+//!   (read-only) critical sections release with `revert`, so they never
+//!   signal conflicts to other optimistic readers.
+//!
+//! Memory safety of optimistic traversal over chain-based backends comes
+//! from the workspace QSBR domain (the `reclaim` crate): removed entries
+//! are retired, not freed, until every registered thread passes a
+//! quiescent point, so a scan that loses its validation race has still
+//! only read live-or-retired memory.
+//!
+//! See `optik_harness::api::ConcurrentMap` for the backend contract and
+//! [`KvWorkload`]/[`run_kv_workload`] for the benchmark driver the
+//! `kv.*` registry scenarios use.
+
+#![warn(missing_docs)]
+
+mod store;
+mod workload;
+
+pub use store::KvStore;
+pub use workload::{run_kv_workload, KvBenchResult, KvCounts, KvMix, KvWorkload};
+
+pub use optik_harness::api::{ConcurrentMap, Key, Val};

@@ -1,0 +1,501 @@
+//! The sharded store: per-shard OPTIK version locks over a pluggable
+//! [`ConcurrentMap`] backend.
+
+use optik::{OptikLock, OptikVersioned};
+use synchro::{Backoff, CachePadded};
+
+use optik_harness::api::{ConcurrentMap, Key, Val};
+
+/// Optimistic attempts per shard before a cross-shard read operation
+/// (multi-get, scan) falls back to taking the shard lock(s).
+const OPTIMISTIC_ATTEMPTS: usize = 8;
+
+struct Shard<B> {
+    /// Guards every *write* to `map` (single-key and batched) and arbitrates
+    /// read-side validation: multi-gets and scans read optimistically and
+    /// validate against this version, OPTIK style, instead of locking.
+    lock: OptikVersioned,
+    map: B,
+}
+
+/// A sharded key–value store over a pluggable [`ConcurrentMap`] backend.
+///
+/// Keys hash (Fibonacci spread, high bits) to one of N shards; each shard
+/// pairs a backend map with an OPTIK version lock:
+///
+/// - [`KvStore::get`] goes straight to the backend, lock-free — the
+///   backends are linearizable maps on their own;
+/// - [`KvStore::put`] / [`KvStore::remove`] run under their shard's lock,
+///   so shard versions count completed writes;
+/// - batched operations ([`KvStore::multi_put`], [`KvStore::multi_remove`])
+///   acquire every involved shard lock **in ascending shard order** —
+///   the classic total-order claim that makes overlapping batches
+///   deadlock-free — and apply the whole batch atomically;
+/// - [`KvStore::multi_get`] and [`KvStore::scan`] are optimistic: read the
+///   shard versions, read the data, validate — retrying (and eventually
+///   falling back to sorted locking) on interference. Traversal safety
+///   under concurrent removal comes from the workspace's QSBR domain
+///   (`reclaim`): scanning threads are registered participants and do not
+///   announce quiescence mid-scan, so retired entries stay readable.
+///
+/// The store itself implements [`ConcurrentMap`], so a `KvStore` can be
+/// nested, benchmarked, and linearizability-checked exactly like the
+/// backends it composes.
+pub struct KvStore<B> {
+    shards: Box<[CachePadded<Shard<B>>]>,
+}
+
+/// Fibonacci spread; the *high* bits select the shard so backends that
+/// bucket by `key % buckets` see an unbiased key stream per shard.
+#[inline]
+fn spread(key: Key) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl<B: ConcurrentMap> KvStore<B> {
+    /// Creates a store with `shards` shards, building each backend with
+    /// `make(shard_index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(shards: usize, mut make: impl FnMut(usize) -> B) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        Self {
+            shards: (0..shards)
+                .map(|i| {
+                    CachePadded::new(Shard {
+                        lock: OptikVersioned::new(),
+                        map: make(i),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard index for `key`.
+    #[inline]
+    pub fn shard_of(&self, key: Key) -> usize {
+        ((spread(key) >> 32) % self.shards.len() as u64) as usize
+    }
+
+    #[inline]
+    fn shard(&self, key: Key) -> &Shard<B> {
+        &self.shards[self.shard_of(key)]
+    }
+
+    /// Looks up `key`. Lock-free: delegates to the backend.
+    #[inline]
+    pub fn get(&self, key: Key) -> Option<Val> {
+        self.shard(key).map.get(key)
+    }
+
+    /// Inserts or atomically updates `key → val` under the shard lock,
+    /// returning the previous value.
+    pub fn put(&self, key: Key, val: Val) -> Option<Val> {
+        let shard = self.shard(key);
+        shard.lock.lock();
+        let prev = shard.map.put(key, val);
+        shard.lock.unlock();
+        prev
+    }
+
+    /// Removes `key` under the shard lock, returning its value.
+    ///
+    /// A miss releases with `revert`: the critical section modified
+    /// nothing, so optimistic readers must not see a version bump.
+    pub fn remove(&self, key: Key) -> Option<Val> {
+        let shard = self.shard(key);
+        shard.lock.lock();
+        let prev = shard.map.remove(key);
+        if prev.is_some() {
+            shard.lock.unlock();
+        } else {
+            shard.lock.revert();
+        }
+        prev
+    }
+
+    /// Involved shard indices, ascending and deduplicated — the canonical
+    /// acquisition order for every batched operation.
+    fn shard_ids(&self, keys: impl Iterator<Item = Key>) -> Vec<usize> {
+        let mut ids: Vec<usize> = keys.map(|k| self.shard_of(k)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Atomically reads every key: the returned values coexisted at one
+    /// linearization point, even across shards.
+    ///
+    /// Optimistic (no locks) in the common case: read all involved shard
+    /// versions, read the values, validate every version. After
+    /// eight failed rounds it degrades to locking the
+    /// shards in ascending order (read-only, released with `revert`).
+    pub fn multi_get(&self, keys: &[Key]) -> Vec<Option<Val>> {
+        let ids = self.shard_ids(keys.iter().copied());
+        let mut bo = Backoff::new();
+        for _ in 0..OPTIMISTIC_ATTEMPTS {
+            let versions: Vec<optik::Version> = ids
+                .iter()
+                .map(|&i| self.shards[i].lock.get_version_wait())
+                .collect();
+            let out: Vec<Option<Val>> = keys.iter().map(|&k| self.get(k)).collect();
+            if ids
+                .iter()
+                .zip(&versions)
+                .all(|(&i, &v)| self.shards[i].lock.validate(v))
+            {
+                return out;
+            }
+            bo.backoff();
+        }
+        // Contended fallback: sorted acquisition, guaranteed progress.
+        for &i in &ids {
+            self.shards[i].lock.lock();
+        }
+        let out = keys.iter().map(|&k| self.get(k)).collect();
+        for &i in ids.iter().rev() {
+            self.shards[i].lock.revert();
+        }
+        out
+    }
+
+    /// Atomically applies every `(key, val)` upsert, returning the previous
+    /// value per entry. Entries with duplicate keys apply in order (the
+    /// later previous-value observes the earlier entry).
+    ///
+    /// All involved shard locks are acquired in ascending shard order
+    /// before the first write and released (in reverse) after the last, so
+    /// concurrent batches over overlapping shard sets cannot deadlock and
+    /// no *validated* reader ([`KvStore::multi_get`], [`KvStore::scan`])
+    /// sees a partially applied batch. Lock-free single-key gets do not
+    /// validate shard versions and may observe a batch mid-application —
+    /// per-key atomicity is the most a single-key read can claim.
+    pub fn multi_put(&self, entries: &[(Key, Val)]) -> Vec<Option<Val>> {
+        let ids = self.shard_ids(entries.iter().map(|&(k, _)| k));
+        for &i in &ids {
+            self.shards[i].lock.lock();
+        }
+        let out = entries
+            .iter()
+            .map(|&(k, v)| self.shard(k).map.put(k, v))
+            .collect();
+        for &i in ids.iter().rev() {
+            self.shards[i].lock.unlock();
+        }
+        out
+    }
+
+    /// Atomically removes every key, returning the removed value per key.
+    /// Shards whose maps end up unmodified release with `revert`.
+    pub fn multi_remove(&self, keys: &[Key]) -> Vec<Option<Val>> {
+        let ids = self.shard_ids(keys.iter().copied());
+        for &i in &ids {
+            self.shards[i].lock.lock();
+        }
+        let mut modified = vec![false; ids.len()];
+        let out: Vec<Option<Val>> = keys
+            .iter()
+            .map(|&k| {
+                let removed = self.shard(k).map.remove(k);
+                if removed.is_some() {
+                    let slot = ids
+                        .binary_search(&self.shard_of(k))
+                        .expect("shard id collected above");
+                    modified[slot] = true;
+                }
+                removed
+            })
+            .collect();
+        for (&i, &m) in ids.iter().zip(&modified).rev() {
+            if m {
+                self.shards[i].lock.unlock();
+            } else {
+                self.shards[i].lock.revert();
+            }
+        }
+        out
+    }
+
+    /// One shard's entries as a version-consistent snapshot: optimistic
+    /// collect-and-validate, falling back to the shard lock.
+    fn shard_snapshot(&self, i: usize, buf: &mut Vec<(Key, Val)>) {
+        let shard = &self.shards[i];
+        let mut bo = Backoff::new();
+        for _ in 0..OPTIMISTIC_ATTEMPTS {
+            buf.clear();
+            let v = shard.lock.get_version_wait();
+            shard.map.for_each(&mut |k, val| buf.push((k, val)));
+            if shard.lock.validate(v) {
+                return;
+            }
+            bo.backoff();
+        }
+        buf.clear();
+        shard.lock.lock();
+        shard.map.for_each(&mut |k, val| buf.push((k, val)));
+        shard.lock.revert(); // read-only critical section
+    }
+
+    /// Streams every entry, shard by shard. Each shard's entries form a
+    /// consistent snapshot (no torn writes, no half-applied batches within
+    /// the shard); the store-wide view is per-shard sequential, like a
+    /// QSBR-epoch scan — shards visited earlier may have mutated by the
+    /// time later shards are read.
+    pub fn scan(&self, mut f: impl FnMut(Key, Val)) {
+        let mut buf = Vec::new();
+        for i in 0..self.shards.len() {
+            self.shard_snapshot(i, &mut buf);
+            for &(k, v) in &buf {
+                f(k, v);
+            }
+        }
+    }
+
+    /// Collects [`KvStore::scan`] into a key-sorted vector.
+    pub fn snapshot(&self) -> Vec<(Key, Val)> {
+        let mut out = Vec::new();
+        self.scan(|k, v| out.push((k, v)));
+        out.sort_unstable();
+        out
+    }
+
+    /// Total entries across shards (O(n); exact only in quiescence).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.map.len()).sum()
+    }
+
+    /// Whether the store is empty (see [`KvStore::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// The store is itself a `ConcurrentMap`: composable (shards of shards) and
+// enrolled in the registry-driven correctness tiers like any backend.
+impl<B: ConcurrentMap> ConcurrentMap for KvStore<B> {
+    fn get(&self, key: Key) -> Option<Val> {
+        KvStore::get(self, key)
+    }
+    fn put(&self, key: Key, val: Val) -> Option<Val> {
+        KvStore::put(self, key, val)
+    }
+    fn remove(&self, key: Key) -> Option<Val> {
+        KvStore::remove(self, key)
+    }
+    fn len(&self) -> usize {
+        KvStore::len(self)
+    }
+    fn for_each(&self, f: &mut dyn FnMut(Key, Val)) {
+        // Raw backend sweep (quiescence-consistent, per the trait
+        // contract); `scan` is the validated variant.
+        for s in self.shards.iter() {
+            s.map.for_each(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optik_hashtables::StripedOptikHashTable;
+    use optik_maps::OptikArrayMap;
+    use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+    use std::sync::Arc;
+
+    fn striped_store(shards: usize) -> KvStore<StripedOptikHashTable> {
+        KvStore::with_shards(shards, |_| StripedOptikHashTable::new(64, 8))
+    }
+
+    #[test]
+    fn single_key_roundtrip() {
+        let s = striped_store(4);
+        assert_eq!(s.get(1), None);
+        assert_eq!(s.put(1, 10), None);
+        assert_eq!(s.put(1, 11), Some(10));
+        assert_eq!(s.get(1), Some(11));
+        assert_eq!(s.remove(1), Some(11));
+        assert_eq!(s.remove(1), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn array_map_backend_works_too() {
+        let s: KvStore<OptikArrayMap> = KvStore::with_shards(4, |_| OptikArrayMap::new(128));
+        for k in 1..=100u64 {
+            assert_eq!(s.put(k, k * 2), None);
+        }
+        assert_eq!(s.len(), 100);
+        for k in 1..=100u64 {
+            assert_eq!(s.get(k), Some(k * 2));
+        }
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let s = striped_store(8);
+        let mut hit = vec![false; 8];
+        for k in 1..=1_000u64 {
+            hit[s.shard_of(k)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "some shard never selected: {hit:?}");
+    }
+
+    #[test]
+    fn batched_ops_roundtrip_and_report_prev_values() {
+        let s = striped_store(4);
+        let entries: Vec<(u64, u64)> = (1..=20).map(|k| (k, k * 10)).collect();
+        assert!(s.multi_put(&entries).iter().all(Option::is_none));
+        let keys: Vec<u64> = (1..=20).collect();
+        assert_eq!(
+            s.multi_get(&keys),
+            (1..=20).map(|k| Some(k * 10)).collect::<Vec<_>>()
+        );
+        // Overwrite half, remove the other half.
+        let overwrite: Vec<(u64, u64)> = (1..=10).map(|k| (k, k * 100)).collect();
+        assert_eq!(
+            s.multi_put(&overwrite),
+            (1..=10).map(|k| Some(k * 10)).collect::<Vec<_>>()
+        );
+        let gone: Vec<u64> = (11..=20).collect();
+        assert_eq!(
+            s.multi_remove(&gone),
+            (11..=20).map(|k| Some(k * 10)).collect::<Vec<_>>()
+        );
+        assert_eq!(s.len(), 10);
+        // Misses come back as None, in input order.
+        assert_eq!(s.multi_get(&[5, 15, 7]), vec![Some(500), None, Some(700)]);
+    }
+
+    #[test]
+    fn duplicate_keys_in_one_batch_apply_in_order() {
+        let s = striped_store(2);
+        let prev = s.multi_put(&[(1, 10), (1, 20), (1, 30)]);
+        assert_eq!(prev, vec![None, Some(10), Some(20)]);
+        assert_eq!(s.get(1), Some(30));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let s = striped_store(4);
+        for k in (1..=50u64).rev() {
+            s.put(k, k + 1000);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), 50);
+        assert!(snap.windows(2).all(|w| w[0].0 < w[1].0), "sorted by key");
+        assert!(snap.iter().all(|&(k, v)| v == k + 1000));
+    }
+
+    #[test]
+    fn failed_remove_does_not_bump_shard_version() {
+        let s = striped_store(1);
+        s.put(1, 10);
+        let v = s.shards[0].lock.get_version();
+        assert_eq!(s.remove(999), None);
+        assert_eq!(s.multi_remove(&[998, 997]), vec![None, None]);
+        assert_eq!(
+            s.shards[0].lock.get_version(),
+            v,
+            "read-only paths must not signal conflicts"
+        );
+        assert_eq!(s.remove(1), Some(10));
+        assert_ne!(s.shards[0].lock.get_version(), v);
+    }
+
+    #[test]
+    fn concurrent_mixed_ops_keep_exact_net_count() {
+        let s = Arc::new(striped_store(4));
+        let net = Arc::new(AtomicI64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let s = Arc::clone(&s);
+            let net = Arc::clone(&net);
+            handles.push(std::thread::spawn(move || {
+                let mut x = t.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                for _ in 0..synchro::stress::ops(20_000) {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let k = x % 64 + 1;
+                    match x % 3 {
+                        0 => {
+                            if s.put(k, k * 3).is_none() {
+                                net.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        1 => {
+                            if s.remove(k).is_some() {
+                                net.fetch_sub(1, Ordering::Relaxed);
+                            }
+                        }
+                        _ => {
+                            if let Some(v) = s.get(k) {
+                                assert_eq!(v, k * 3);
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        reclaim::offline_while(|| {
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        assert_eq!(s.len() as i64, net.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn multi_get_observes_batches_atomically() {
+        // Writers rewrite the same 6-key working set (spanning all shards)
+        // with a single round tag per batch; an atomic multi-get must never
+        // observe two different tags.
+        let s = Arc::new(striped_store(4));
+        let keys: Vec<u64> = (1..=6).collect();
+        s.multi_put(&keys.iter().map(|&k| (k, 0)).collect::<Vec<_>>());
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for w in 0..2u64 {
+            let s = Arc::clone(&s);
+            let keys = keys.clone();
+            handles.push(std::thread::spawn(move || {
+                for round in 0..synchro::stress::ops(5_000) {
+                    let tag = round * 2 + w;
+                    let batch: Vec<(u64, u64)> = keys.iter().map(|&k| (k, tag)).collect();
+                    s.multi_put(&batch);
+                }
+            }));
+        }
+        for _ in 0..2 {
+            let s = Arc::clone(&s);
+            let keys = keys.clone();
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let vals = s.multi_get(&keys);
+                    let first = vals[0].expect("keys never removed");
+                    assert!(
+                        vals.iter().all(|&v| v == Some(first)),
+                        "torn batch: {vals:?}"
+                    );
+                }
+            }));
+        }
+        reclaim::offline_while(|| {
+            for h in handles.drain(..2) {
+                h.join().unwrap();
+            }
+            stop.store(true, Ordering::Relaxed);
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    }
+}

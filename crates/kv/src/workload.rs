@@ -1,0 +1,404 @@
+//! KV workload generation and the multi-threaded benchmark driver for the
+//! `kv.*` registry scenarios.
+//!
+//! Follows the paper's §5 methodology (key range double the initial size,
+//! optional zipfian skew with the largest keys most popular, per-iteration
+//! quiescence) extended with the store-level operations the set
+//! microbenchmark has no counterpart for: batched multi-key ops and
+//! snapshot scans.
+
+use std::time::{Duration, Instant};
+
+use optik_harness::api::{Key, Val};
+use optik_harness::latency::{LatencyRecorder, OpKind};
+use optik_harness::rng::FastRng;
+use optik_harness::runner::run_workers;
+use optik_harness::zipf::Zipf;
+
+use crate::{ConcurrentMap, KvStore};
+
+/// Issued operation mix, in permille of issued operations.
+///
+/// The named permilles must not exceed 1000; the remainder goes to
+/// single-key gets. Batched operations draw [`KvMix::batch`] keys per
+/// call, and batched writes alternate between `multi_put` and an
+/// equal-size `multi_remove` so — like the paper's equal insert/delete
+/// rates — the store size stays near the initial fill.
+#[derive(Debug, Clone, Copy)]
+pub struct KvMix {
+    /// Permille of single-key puts.
+    pub put_pm: u32,
+    /// Permille of single-key removes.
+    pub remove_pm: u32,
+    /// Permille of batched multi-gets.
+    pub batch_get_pm: u32,
+    /// Permille of batched writes (alternating multi-put / multi-remove).
+    pub batch_write_pm: u32,
+    /// Permille of full-store snapshot scans.
+    pub scan_pm: u32,
+    /// Keys per batched operation.
+    pub batch: usize,
+}
+
+impl KvMix {
+    /// Permille of single-key gets (the remainder).
+    pub fn get_pm(&self) -> u32 {
+        1000 - self.put_pm - self.remove_pm - self.batch_get_pm - self.batch_write_pm - self.scan_pm
+    }
+}
+
+/// A kv workload: initial size, key range, skew, and operation mix.
+#[derive(Debug, Clone)]
+pub struct KvWorkload {
+    /// Target steady-state entry count; the store is pre-filled to this.
+    pub initial_size: u64,
+    /// Inclusive key range `[lo, hi]`, double the initial size as in §5.
+    pub key_lo: Key,
+    /// See [`KvWorkload::key_lo`].
+    pub key_hi: Key,
+    /// Zipfian sampler (`None` = uniform).
+    pub zipf: Option<Zipf>,
+    /// Operation mix.
+    pub mix: KvMix,
+}
+
+impl KvWorkload {
+    /// Builds a workload with the paper's key-range convention (`[1, 2 *
+    /// initial_size]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_size` is zero, the mix permilles exceed 1000, or
+    /// a batched/scanned mix has `batch == 0`.
+    pub fn new(initial_size: u64, skewed: bool, mix: KvMix) -> Self {
+        assert!(initial_size > 0, "initial size must be positive");
+        assert!(
+            mix.put_pm + mix.remove_pm + mix.batch_get_pm + mix.batch_write_pm + mix.scan_pm
+                <= 1000,
+            "mix permilles exceed 1000"
+        );
+        assert!(
+            mix.batch > 0 || (mix.batch_get_pm == 0 && mix.batch_write_pm == 0),
+            "batched mixes need a batch size"
+        );
+        let key_hi = 2 * initial_size;
+        Self {
+            initial_size,
+            key_lo: 1,
+            key_hi,
+            zipf: skewed.then(|| Zipf::paper(key_hi as usize)),
+            mix,
+        }
+    }
+
+    /// Draws a key from the configured distribution.
+    #[inline]
+    pub fn sample_key(&self, rng: &mut FastRng) -> Key {
+        match &self.zipf {
+            Some(z) => z.sample_key(rng, self.key_lo, self.key_hi),
+            None => rng.range_inclusive(self.key_lo, self.key_hi),
+        }
+    }
+
+    /// Pre-fills `store` to `initial_size` distinct uniform keys
+    /// (`val = key`, as in the paper's microbenchmarks).
+    pub fn initial_fill<B: ConcurrentMap>(&self, seed: u64, store: &KvStore<B>) {
+        let mut rng = FastRng::new(seed ^ 0xF111_0F11);
+        let mut inserted = 0;
+        while inserted < self.initial_size {
+            let k = rng.range_inclusive(self.key_lo, self.key_hi);
+            if store.put(k, k).is_none() {
+                inserted += 1;
+            }
+        }
+    }
+}
+
+/// Operation counters for one kv run. Batched operations count one unit
+/// per key touched; scans count one unit per scan (their cost scales with
+/// store size, not batch size — throughput comparisons should keep
+/// `scan_pm` small and equal across series).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KvCounts {
+    /// Single gets that found their key.
+    pub get_hit: u64,
+    /// Single gets that missed.
+    pub get_miss: u64,
+    /// Puts that inserted a fresh key.
+    pub put_fresh: u64,
+    /// Puts that replaced an existing value.
+    pub put_update: u64,
+    /// Removes that removed.
+    pub remove_suc: u64,
+    /// Removes that missed.
+    pub remove_fail: u64,
+    /// Keys read through `multi_get`.
+    pub batch_get_keys: u64,
+    /// Keys written/removed through `multi_put`/`multi_remove`.
+    pub batch_write_keys: u64,
+    /// Snapshot scans completed.
+    pub scans: u64,
+    /// Entries observed by scans (not counted as ops).
+    pub scanned_entries: u64,
+}
+
+impl KvCounts {
+    /// Total operation units (see the type docs for batch/scan weighting).
+    pub fn total(&self) -> u64 {
+        self.get_hit
+            + self.get_miss
+            + self.put_fresh
+            + self.put_update
+            + self.remove_suc
+            + self.remove_fail
+            + self.batch_get_keys
+            + self.batch_write_keys
+            + self.scans
+    }
+
+    fn merge(&mut self, o: &KvCounts) {
+        self.get_hit += o.get_hit;
+        self.get_miss += o.get_miss;
+        self.put_fresh += o.put_fresh;
+        self.put_update += o.put_update;
+        self.remove_suc += o.remove_suc;
+        self.remove_fail += o.remove_fail;
+        self.batch_get_keys += o.batch_get_keys;
+        self.batch_write_keys += o.batch_write_keys;
+        self.scans += o.scans;
+        self.scanned_entries += o.scanned_entries;
+    }
+}
+
+/// Result of one kv measurement window.
+#[derive(Debug)]
+pub struct KvBenchResult {
+    /// Merged counters.
+    pub counts: KvCounts,
+    /// Wall-clock window.
+    pub duration: Duration,
+    /// Single-key operation latencies (batches and scans are not sampled).
+    pub latency: LatencyRecorder,
+}
+
+impl KvBenchResult {
+    /// Throughput in million operation units per second.
+    pub fn mops(&self) -> f64 {
+        self.counts.total() as f64 / self.duration.as_secs_f64().max(1e-12) / 1e6
+    }
+}
+
+/// Runs the kv microbenchmark: each thread draws operations from
+/// `workload` against the shared store until `duration` elapses.
+///
+/// Threads announce QSBR quiescence between operations (ssmem-style, as
+/// in the paper's runner); latency is recorded for single-key operations
+/// only (gets as search, puts as insert, removes as delete).
+pub fn run_kv_workload<B: ConcurrentMap>(
+    store: &KvStore<B>,
+    threads: usize,
+    duration: Duration,
+    workload: &KvWorkload,
+    seed: u64,
+    record_latency: bool,
+) -> KvBenchResult {
+    let mix = workload.mix;
+    let start = Instant::now();
+    let results = run_workers(threads, duration, |ctx| {
+        let mut rng = FastRng::for_thread(seed, ctx.tid);
+        let mut counts = KvCounts::default();
+        let mut lat = LatencyRecorder::new();
+        let mut keybuf: Vec<Key> = Vec::with_capacity(mix.batch);
+        let mut entbuf: Vec<(Key, Val)> = Vec::with_capacity(mix.batch);
+        let mut batch_write_flip = ctx.tid as u64;
+        while !ctx.should_stop() {
+            let p = rng.next_below(1000) as u32;
+            if p < mix.put_pm {
+                let k = workload.sample_key(&mut rng);
+                let t0 = record_latency.then(synchro::cycles::now);
+                let prev = store.put(k, k);
+                if let Some(t0) = t0 {
+                    lat.record(
+                        OpKind::InsertSuc,
+                        synchro::cycles::elapsed(t0, synchro::cycles::now()),
+                    );
+                }
+                if prev.is_none() {
+                    counts.put_fresh += 1;
+                } else {
+                    counts.put_update += 1;
+                }
+            } else if p < mix.put_pm + mix.remove_pm {
+                let k = workload.sample_key(&mut rng);
+                let t0 = record_latency.then(synchro::cycles::now);
+                let removed = store.remove(k);
+                let kind = if removed.is_some() {
+                    counts.remove_suc += 1;
+                    OpKind::DeleteSuc
+                } else {
+                    counts.remove_fail += 1;
+                    OpKind::DeleteFail
+                };
+                if let Some(t0) = t0 {
+                    lat.record(kind, synchro::cycles::elapsed(t0, synchro::cycles::now()));
+                }
+            } else if p < mix.put_pm + mix.remove_pm + mix.batch_get_pm {
+                keybuf.clear();
+                keybuf.extend((0..mix.batch).map(|_| workload.sample_key(&mut rng)));
+                let n = store.multi_get(&keybuf).len() as u64;
+                counts.batch_get_keys += n;
+            } else if p < mix.put_pm + mix.remove_pm + mix.batch_get_pm + mix.batch_write_pm {
+                // Alternate put/remove batches so the store size holds.
+                batch_write_flip += 1;
+                if batch_write_flip % 2 == 0 {
+                    entbuf.clear();
+                    entbuf.extend((0..mix.batch).map(|_| {
+                        let k = workload.sample_key(&mut rng);
+                        (k, k)
+                    }));
+                    store.multi_put(&entbuf);
+                } else {
+                    keybuf.clear();
+                    keybuf.extend((0..mix.batch).map(|_| workload.sample_key(&mut rng)));
+                    store.multi_remove(&keybuf);
+                }
+                counts.batch_write_keys += mix.batch as u64;
+            } else if p < mix.put_pm
+                + mix.remove_pm
+                + mix.batch_get_pm
+                + mix.batch_write_pm
+                + mix.scan_pm
+            {
+                let mut seen = 0u64;
+                store.scan(|_, _| seen += 1);
+                counts.scans += 1;
+                counts.scanned_entries += seen;
+            } else {
+                let k = workload.sample_key(&mut rng);
+                let t0 = record_latency.then(synchro::cycles::now);
+                let hit = store.get(k).is_some();
+                let kind = if hit {
+                    counts.get_hit += 1;
+                    OpKind::SearchHit
+                } else {
+                    counts.get_miss += 1;
+                    OpKind::SearchMiss
+                };
+                if let Some(t0) = t0 {
+                    lat.record(kind, synchro::cycles::elapsed(t0, synchro::cycles::now()));
+                }
+            }
+            // Quiescent point between operations (ssmem-style).
+            reclaim::quiescent();
+        }
+        (counts, lat)
+    });
+    let duration = start.elapsed();
+    let mut counts = KvCounts::default();
+    let mut latency = LatencyRecorder::new();
+    for (c, l) in &results {
+        counts.merge(c);
+        latency.merge(l);
+    }
+    KvBenchResult {
+        counts,
+        duration,
+        latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optik_hashtables::StripedOptikHashTable;
+
+    /// The mix used by the read-heavy scenarios: 90% gets.
+    fn read_heavy() -> KvMix {
+        KvMix {
+            put_pm: 50,
+            remove_pm: 50,
+            batch_get_pm: 0,
+            batch_write_pm: 0,
+            scan_pm: 0,
+            batch: 0,
+        }
+    }
+
+    #[test]
+    fn mix_remainder_is_gets() {
+        let m = read_heavy();
+        assert_eq!(m.get_pm(), 900);
+        let full = KvMix {
+            put_pm: 100,
+            remove_pm: 100,
+            batch_get_pm: 300,
+            batch_write_pm: 200,
+            scan_pm: 10,
+            batch: 8,
+        };
+        assert_eq!(full.get_pm(), 290);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1000")]
+    fn oversubscribed_mix_is_rejected() {
+        let _ = KvWorkload::new(
+            16,
+            false,
+            KvMix {
+                put_pm: 600,
+                remove_pm: 600,
+                batch_get_pm: 0,
+                batch_write_pm: 0,
+                scan_pm: 0,
+                batch: 0,
+            },
+        );
+    }
+
+    #[test]
+    fn initial_fill_reaches_target() {
+        let w = KvWorkload::new(128, false, read_heavy());
+        let s: KvStore<StripedOptikHashTable> =
+            KvStore::with_shards(4, |_| StripedOptikHashTable::new(64, 8));
+        w.initial_fill(7, &s);
+        assert_eq!(s.len(), 128);
+        let snap = s.snapshot();
+        assert!(snap.iter().all(|&(k, v)| k == v && (1..=256).contains(&k)));
+    }
+
+    #[test]
+    fn driver_executes_every_op_class() {
+        let w = KvWorkload::new(
+            64,
+            true,
+            KvMix {
+                put_pm: 150,
+                remove_pm: 150,
+                batch_get_pm: 150,
+                batch_write_pm: 150,
+                scan_pm: 20,
+                batch: 4,
+            },
+        );
+        let s: KvStore<StripedOptikHashTable> =
+            KvStore::with_shards(4, |_| StripedOptikHashTable::new(64, 8));
+        w.initial_fill(3, &s);
+        let res = run_kv_workload(&s, 2, Duration::from_millis(60), &w, 5, true);
+        assert!(res.counts.get_hit + res.counts.get_miss > 0, "gets ran");
+        assert!(res.counts.put_fresh + res.counts.put_update > 0, "puts ran");
+        assert!(
+            res.counts.remove_suc + res.counts.remove_fail > 0,
+            "removes ran"
+        );
+        assert!(res.counts.batch_get_keys > 0, "multi-gets ran");
+        assert!(res.counts.batch_write_keys > 0, "batched writes ran");
+        assert!(res.counts.scans > 0, "scans ran");
+        assert!(res.mops() > 0.0);
+        let sampled = OpKind::ALL.iter().any(|&k| res.latency.count(k) > 0);
+        assert!(sampled, "single-op latency was requested");
+        // The balanced mix must keep the store near its initial size.
+        let len = s.len() as i64;
+        assert!((0..=128).contains(&len), "size ran away: {len}");
+    }
+}

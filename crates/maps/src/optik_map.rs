@@ -125,6 +125,60 @@ impl<L: OptikLock> ArrayMap for OptikArrayMap<L> {
         }
     }
 
+    fn put(&self, key: Key, val: Val) -> Option<Val> {
+        debug_assert_ne!(key, EMPTY_KEY);
+        let mut bo = Backoff::new();
+        loop {
+            let vn = self.lock.get_version();
+            if L::is_locked_version(vn) {
+                synchro::relax();
+                continue;
+            }
+            // Optimistic traversal: find the key, or the first free slot.
+            let mut free = None;
+            let mut found = None;
+            for (i, slot) in self.slots.iter().enumerate() {
+                let k = slot.key.load(Ordering::Acquire);
+                if k == key {
+                    found = Some(i);
+                    break;
+                }
+                if k == EMPTY_KEY && free.is_none() {
+                    free = Some(i);
+                }
+            }
+            // Both outcomes of an upsert are feasible writes, so (unlike
+            // insert/delete) put always locks; the validation guarantees
+            // the traversal's conclusion (slot index) still holds.
+            if !self.lock.try_lock_version(vn) {
+                bo.backoff();
+                continue;
+            }
+            let prev = match found {
+                Some(i) => {
+                    // In-place value replacement: concurrent searches that
+                    // overlapped this critical section fail validation and
+                    // restart, so no torn (key, value) snapshot escapes.
+                    let slot = &self.slots[i];
+                    let old = slot.val.load(Ordering::Relaxed);
+                    slot.val.store(val, Ordering::Relaxed);
+                    Some(old)
+                }
+                None => {
+                    let i = free
+                        .expect("put on a full OptikArrayMap: size the capacity for the workload");
+                    let slot = &self.slots[i];
+                    // Value first, then key (see `insert`).
+                    slot.val.store(val, Ordering::Relaxed);
+                    slot.key.store(key, Ordering::Release);
+                    None
+                }
+            };
+            self.lock.unlock();
+            return prev;
+        }
+    }
+
     fn delete(&self, key: Key) -> Option<Val> {
         debug_assert_ne!(key, EMPTY_KEY);
         let mut bo = Backoff::new();
@@ -161,6 +215,18 @@ impl<L: OptikLock> ArrayMap for OptikArrayMap<L> {
 
     fn capacity(&self) -> usize {
         self.slots.len()
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(Key, Val)) {
+        // Raw slot sweep with no version validation — per the trait
+        // contract, entry-level consistency is the caller's problem (the kv
+        // store scans under its shard lock or validates afterwards).
+        for slot in self.slots.iter() {
+            let k = slot.key.load(Ordering::Acquire);
+            if k != EMPTY_KEY {
+                f(k, slot.val.load(Ordering::Relaxed));
+            }
+        }
     }
 }
 
@@ -209,6 +275,54 @@ mod tests {
         let v = m.version();
         assert!(!m.insert(2, 20));
         assert_ne!(m.version(), v, "locked, found no slot, unlocked");
+    }
+
+    #[test]
+    fn put_upserts_in_place() {
+        let m: OptikArrayMap = OptikArrayMap::new(2);
+        assert_eq!(m.put(1, 10), None);
+        assert_eq!(m.put(1, 11), Some(10));
+        assert_eq!(m.search(1), Some(11));
+        assert_eq!(m.put(2, 20), None);
+        assert_eq!(m.len(), 2);
+        // An in-place update must not consume a slot.
+        assert_eq!(m.put(2, 21), Some(20));
+        assert_eq!(m.delete(1), Some(11));
+        assert_eq!(m.put(3, 30), None);
+        assert_eq!(m.search(3), Some(30));
+    }
+
+    #[test]
+    fn concurrent_puts_never_leak_torn_values() {
+        // One writer upserts key 1 with even-step values; readers must only
+        // ever observe values the writer actually bound.
+        let m: Arc<OptikArrayMap> = Arc::new(OptikArrayMap::new(2));
+        assert_eq!(m.put(1, 0), None);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for i in 1..=synchro::stress::ops(50_000) {
+                    assert_eq!(m.put(1, i * 2), Some((i - 1) * 2), "lost update");
+                }
+            }));
+        }
+        for _ in 0..3 {
+            let m = Arc::clone(&m);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let v = m.search(1).expect("key 1 is never removed");
+                    assert_eq!(v % 2, 0, "torn value {v}");
+                }
+            }));
+        }
+        handles.remove(0).join().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub use optik;
 pub use optik_bsts as bsts;
 pub use optik_harness as harness;
 pub use optik_hashtables as hashtables;
+pub use optik_kv as kv;
 pub use optik_lists as lists;
 pub use optik_maps as maps;
 pub use optik_queues as queues;
@@ -32,10 +33,13 @@ pub use synchro;
 pub mod prelude {
     pub use optik::{OptikGuard, OptikLock, OptikTicket, OptikVersioned};
     pub use optik_bsts::{GlobalLockBst, OptikBst, OptikGlBst};
-    pub use optik_harness::api::{ConcurrentQueue, ConcurrentSet, Key, SetHandle, Val};
+    pub use optik_harness::api::{
+        ConcurrentMap, ConcurrentQueue, ConcurrentSet, Key, SetHandle, Val,
+    };
     pub use optik_hashtables::{
         OptikGlHashTable, OptikHashTable, OptikMapHashTable, ResizableStripedHashTable,
     };
+    pub use optik_kv::KvStore;
     pub use optik_lists::{LazyList, OptikCacheList, OptikGlList, OptikList};
     pub use optik_maps::{ArrayMap, OptikArrayMap};
     pub use optik_queues::{MsLfQueue, OptikQueue2, VictimQueue};

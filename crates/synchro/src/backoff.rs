@@ -124,9 +124,22 @@ pub fn spin(n: u32) {
 /// the periodic yield lets the holder run. On an unloaded multicore the
 /// yield triggers at most once per 128 waited iterations, so measured
 /// behavior matches the paper's pause-spin loops.
+///
+/// Setting `OPTIK_PURE_SPIN=1` (read once per process) disables the
+/// periodic yield, restoring the paper's pure pause-spin loop. This
+/// exists to *measure* the yield's overhead (see DESIGN.md, "relax()
+/// yield overhead"); running the test suite with it on an oversubscribed
+/// box brings back the multi-minute spin convoys the yield was added to
+/// fix.
 #[inline]
 pub fn relax() {
     use core::cell::Cell;
+    use std::sync::OnceLock;
+    static PURE_SPIN: OnceLock<bool> = OnceLock::new();
+    if *PURE_SPIN.get_or_init(|| std::env::var_os("OPTIK_PURE_SPIN").is_some_and(|v| v == "1")) {
+        hint::spin_loop();
+        return;
+    }
     std::thread_local! {
         static SPINS: Cell<u32> = const { Cell::new(0) };
     }

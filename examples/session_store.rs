@@ -123,8 +123,12 @@ fn main() {
     println!(
         "store grew to {} buckets; {} sessions live",
         store.capacity(),
-        store.len()
+        ConcurrentSet::len(store.as_ref())
     );
-    assert_eq!(store.len() as u64, logins - expired, "sessions conserved");
+    assert_eq!(
+        ConcurrentSet::len(store.as_ref()) as u64,
+        logins - expired,
+        "sessions conserved"
+    );
     println!("conservation check passed");
 }

@@ -1,0 +1,117 @@
+//! The `optik-kv` subsystem end to end: a sharded store over
+//! striped-OPTIK hash-table backends serving a mixed workload of
+//! single-key ops, atomic cross-shard batches, and validated snapshot
+//! scans — the service-shaped layer the hand-rolled `kv_store` example
+//! predates.
+//!
+//! Run with: `cargo run --release -p optik-suite --example sharded_kv`
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use optik_suite::harness::FastRng;
+use optik_suite::hashtables::StripedOptikHashTable;
+use optik_suite::kv::KvStore;
+
+const SHARDS: usize = 8;
+const KEYS: u64 = 4_096;
+const BATCH: usize = 8;
+const RUN: Duration = Duration::from_millis(400);
+
+fn main() {
+    let store = Arc::new(KvStore::with_shards(SHARDS, |_| {
+        StripedOptikHashTable::new((KEYS as usize) / SHARDS, 16)
+    }));
+    println!("{SHARDS}-shard store over striped-OPTIK backends");
+
+    // Seed every account with a starting balance of 1000.
+    let accounts: Vec<(u64, u64)> = (1..=KEYS).map(|k| (k, 1_000)).collect();
+    store.multi_put(&accounts);
+    let initial_total: u64 = store.snapshot().iter().map(|&(_, v)| v).sum();
+    println!(
+        "{} accounts seeded, total balance {initial_total}",
+        store.len()
+    );
+
+    // Writers move balance between account pairs with atomic multi-key
+    // batches; auditors snapshot concurrently and verify invariants.
+    // Each writer owns a disjoint key range (a read-modify-write across
+    // two batches is not a transaction, so disjoint ownership is what
+    // makes the final conservation check exact).
+    const WRITERS: u64 = 3;
+    let stop = Arc::new(AtomicBool::new(false));
+    let transfers = Arc::new(AtomicU64::new(0));
+    let audits = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for tid in 0..WRITERS {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        let transfers = Arc::clone(&transfers);
+        handles.push(std::thread::spawn(move || {
+            let (lo, hi) = (tid * KEYS / WRITERS + 1, (tid + 1) * KEYS / WRITERS);
+            let mut rng = FastRng::for_thread(11, tid as usize);
+            while !stop.load(Ordering::Relaxed) {
+                // BATCH/2 disjoint (from, to) pairs from this writer's
+                // range; 1 unit moves along each pair, all applied as one
+                // atomic cross-shard batch.
+                let mut keys: Vec<u64> = Vec::with_capacity(BATCH);
+                while keys.len() < BATCH {
+                    let k = rng.range_inclusive(lo, hi);
+                    if !keys.contains(&k) {
+                        keys.push(k);
+                    }
+                }
+                let balances = store.multi_get(&keys);
+                let mut update = Vec::with_capacity(BATCH);
+                for i in (0..BATCH).step_by(2) {
+                    let (from, to) = (keys[i], keys[i + 1]);
+                    let a = balances[i].expect("seeded keys are never removed");
+                    let b = balances[i + 1].expect("seeded keys are never removed");
+                    if a > 0 {
+                        update.push((from, a - 1));
+                        update.push((to, b + 1));
+                    }
+                }
+                if !update.is_empty() {
+                    store.multi_put(&update);
+                    transfers.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+    for _ in 0..2 {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        let audits = Arc::clone(&audits);
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                // Shard-consistent snapshot; transfers within one shard can
+                // never appear half-applied. (Cross-shard transfers can
+                // straddle a scan, so audit a per-shard invariant: no
+                // balance ever exceeds what its shard could hold — here
+                // simply that every balance is sane.)
+                let snap = store.snapshot();
+                assert_eq!(snap.len(), KEYS as usize, "accounts conserved");
+                assert!(snap.iter().all(|&(_, v)| v <= initial_total));
+                audits.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+
+    std::thread::sleep(RUN);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Quiesced: total balance must be exactly conserved.
+    let final_total: u64 = store.snapshot().iter().map(|&(_, v)| v).sum();
+    println!(
+        "{} atomic transfer batches, {} snapshot audits",
+        transfers.load(Ordering::Relaxed),
+        audits.load(Ordering::Relaxed)
+    );
+    assert_eq!(final_total, initial_total, "balance conserved");
+    println!("conservation check passed: total balance still {final_total}");
+}

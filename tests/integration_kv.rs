@@ -1,0 +1,343 @@
+//! Stress tier for the `optik-kv` sharded store: cross-shard batch
+//! atomicity, deadlock freedom under overlapping batches, exact net
+//! counts, and validated snapshot consistency — over every backend family
+//! the kv scenarios sweep.
+//!
+//! Iteration counts scale with `synchro::stress` (tier-1 stays fast on a
+//! 1-core box); the `_full` variants behind `--ignored` run the
+//! 8-core-tuned strength and back the CI linearizability/stress job.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use optik_suite::harness::api::ConcurrentMap;
+use optik_suite::hashtables::{
+    OptikMapHashTable, ResizableStripedHashTable, StripedHashTable, StripedOptikHashTable,
+};
+use optik_suite::kv::KvStore;
+use optik_suite::maps::OptikArrayMap;
+
+/// Every backend family the registry's kv scenarios use, as a small store.
+/// Fixed-capacity backends are sized so `put` can never overflow a shard.
+fn all_stores() -> Vec<(&'static str, Arc<dyn ConcurrentMap>)> {
+    vec![
+        (
+            "kv/array",
+            Arc::new(KvStore::with_shards(4, |_| {
+                OptikArrayMap::<optik::OptikVersioned>::new(256)
+            })),
+        ),
+        (
+            "kv/optik-map",
+            Arc::new(KvStore::with_shards(4, |_| {
+                OptikMapHashTable::with_bucket_capacity(32, 16)
+            })),
+        ),
+        (
+            "kv/striped",
+            Arc::new(KvStore::with_shards(4, |_| StripedHashTable::new(32, 8))),
+        ),
+        (
+            "kv/striped-optik",
+            Arc::new(KvStore::with_shards(4, |_| {
+                StripedOptikHashTable::new(32, 8)
+            })),
+        ),
+        (
+            "kv/resizable",
+            Arc::new(KvStore::with_shards(4, |_| {
+                ResizableStripedHashTable::new(8, 2)
+            })),
+        ),
+    ]
+}
+
+/// Typed store (the batch API lives on `KvStore`, not the trait).
+fn striped_store(shards: usize) -> Arc<KvStore<StripedOptikHashTable>> {
+    Arc::new(KvStore::with_shards(shards, |_| {
+        StripedOptikHashTable::new(64, 8)
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// Mixed single-key workload: exact net counts on every backend.
+// ---------------------------------------------------------------------------
+
+fn mixed_ops_net_count(scale: u64) {
+    for (name, s) in all_stores() {
+        let net = Arc::new(AtomicI64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let s = Arc::clone(&s);
+            let net = Arc::clone(&net);
+            handles.push(std::thread::spawn(move || {
+                let mut x = t.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                for _ in 0..scale {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let k = x % 96 + 1;
+                    match x % 4 {
+                        0 => {
+                            if s.put(k, k * 31).is_none() {
+                                net.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        1 => {
+                            if s.remove(k).is_some() {
+                                net.fetch_sub(1, Ordering::Relaxed);
+                            }
+                        }
+                        _ => {
+                            if let Some(v) = s.get(k) {
+                                assert_eq!(v, k * 31, "{k} bound to foreign value");
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        reclaim::offline_while(|| {
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        assert_eq!(
+            ConcurrentMap::len(s.as_ref()) as i64,
+            net.load(Ordering::Relaxed),
+            "{name}: net count drifted"
+        );
+    }
+}
+
+#[test]
+fn kv_mixed_ops_keep_exact_net_count() {
+    mixed_ops_net_count(synchro::stress::ops(15_000));
+}
+
+#[test]
+#[ignore = "full-strength kv stress; run in CI via --ignored"]
+fn kv_mixed_ops_keep_exact_net_count_full() {
+    mixed_ops_net_count(60_000);
+}
+
+// ---------------------------------------------------------------------------
+// Batch atomicity: a multi_get must never observe half a multi_put.
+// ---------------------------------------------------------------------------
+
+fn batch_atomicity(rounds: u64, shards: usize) {
+    let s = striped_store(shards);
+    // A working set that provably spans several shards.
+    let keys: Vec<u64> = (1..=12).collect();
+    assert!(
+        keys.iter()
+            .map(|&k| s.shard_of(k))
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+            > 1
+            || shards == 1,
+        "working set must cross shards for the test to mean anything"
+    );
+    s.multi_put(&keys.iter().map(|&k| (k, 0)).collect::<Vec<_>>());
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut writers = Vec::new();
+    let mut readers = Vec::new();
+    for w in 0..2u64 {
+        let s = Arc::clone(&s);
+        let keys = keys.clone();
+        writers.push(std::thread::spawn(move || {
+            for round in 0..rounds {
+                let tag = round * 2 + w;
+                let batch: Vec<(u64, u64)> = keys.iter().map(|&k| (k, tag)).collect();
+                s.multi_put(&batch);
+            }
+        }));
+    }
+    for _ in 0..2 {
+        let s = Arc::clone(&s);
+        let keys = keys.clone();
+        let stop = Arc::clone(&stop);
+        readers.push(std::thread::spawn(move || {
+            let mut observed = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let vals = s.multi_get(&keys);
+                let first = vals[0].expect("keys are never removed");
+                assert!(
+                    vals.iter().all(|&v| v == Some(first)),
+                    "torn cross-shard batch: {vals:?}"
+                );
+                observed += 1;
+            }
+            observed
+        }));
+    }
+    reclaim::offline_while(|| {
+        for h in writers {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in readers {
+            assert!(h.join().unwrap() > 0, "readers must have made progress");
+        }
+    });
+}
+
+#[test]
+fn kv_multi_get_observes_multi_put_atomically() {
+    batch_atomicity(synchro::stress::ops(4_000), 4);
+}
+
+#[test]
+#[ignore = "full-strength kv batch atomicity; run in CI via --ignored"]
+fn kv_multi_get_observes_multi_put_atomically_full() {
+    batch_atomicity(20_000, 4);
+    batch_atomicity(20_000, 1);
+    batch_atomicity(20_000, 16);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock freedom: overlapping batches over random shard subsets.
+// ---------------------------------------------------------------------------
+
+/// Threads fire batched writes whose shard sets overlap arbitrarily (random
+/// keys, random batch sizes, occasionally interleaved with batched reads).
+/// Sorted-shard acquisition must make every batch complete; a deadlock
+/// shows up as this test hanging (CI kills it) rather than as an assert.
+fn overlapping_batches(iters: u64) {
+    let s = striped_store(8);
+    let barrier = Arc::new(Barrier::new(4));
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let s = Arc::clone(&s);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut x = t.wrapping_mul(0xA24BAED4963EE407) | 1;
+            barrier.wait(); // maximal overlap
+            for i in 0..iters {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let len = (x % 7 + 2) as usize; // 2..=8 keys
+                let mut keys: Vec<u64> = Vec::with_capacity(len);
+                let mut seed = x;
+                for _ in 0..len {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(t);
+                    keys.push(seed % 256 + 1);
+                }
+                match i % 3 {
+                    0 => {
+                        let batch: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k * 9)).collect();
+                        s.multi_put(&batch);
+                    }
+                    1 => {
+                        s.multi_remove(&keys);
+                    }
+                    _ => {
+                        for v in s.multi_get(&keys).into_iter().flatten() {
+                            assert_eq!(v % 9, 0, "foreign value {v}");
+                        }
+                    }
+                }
+            }
+        }));
+    }
+    reclaim::offline_while(|| {
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    // Every surviving binding is one of ours.
+    s.scan(|k, v| assert_eq!(v, k * 9));
+}
+
+#[test]
+fn kv_overlapping_batches_complete_without_deadlock() {
+    overlapping_batches(synchro::stress::ops(6_000));
+}
+
+#[test]
+#[ignore = "full-strength kv deadlock-freedom tier; run in CI via --ignored"]
+fn kv_overlapping_batches_complete_without_deadlock_full() {
+    overlapping_batches(30_000);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot scans: per-shard consistency under concurrent batch writes.
+// ---------------------------------------------------------------------------
+
+/// Writers rewrite a *single-shard* working set wholesale (all keys → one
+/// tag, or all removed) while scanners snapshot. Because every batch stays
+/// inside one shard and scans validate per shard, a snapshot must show the
+/// working set either complete-with-one-tag or entirely absent.
+fn scan_consistency(rounds: u64) {
+    let s = striped_store(4);
+    // Collect keys that land in shard 0.
+    let keys: Vec<u64> = (1..=10_000u64)
+        .filter(|&k| s.shard_of(k) == 0)
+        .take(8)
+        .collect();
+    assert_eq!(keys.len(), 8, "need 8 colocated keys");
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let s = Arc::clone(&s);
+        let keys = keys.clone();
+        std::thread::spawn(move || {
+            for round in 1..=rounds {
+                let batch: Vec<(u64, u64)> = keys.iter().map(|&k| (k, round)).collect();
+                s.multi_put(&batch);
+                if round % 3 == 0 {
+                    s.multi_remove(&keys);
+                }
+            }
+        })
+    };
+    let mut scanners = Vec::new();
+    for _ in 0..2 {
+        let s = Arc::clone(&s);
+        let keys = keys.clone();
+        let stop = Arc::clone(&stop);
+        scanners.push(std::thread::spawn(move || {
+            let mut snapshots = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = s.snapshot();
+                let ours: Vec<(u64, u64)> = snap
+                    .iter()
+                    .copied()
+                    .filter(|(k, _)| keys.contains(k))
+                    .collect();
+                assert!(
+                    ours.is_empty() || ours.len() == keys.len(),
+                    "partial working set in snapshot: {} of {} keys",
+                    ours.len(),
+                    keys.len()
+                );
+                if let Some(&(_, tag)) = ours.first() {
+                    assert!(
+                        ours.iter().all(|&(_, v)| v == tag),
+                        "mixed tags in one shard snapshot: {ours:?}"
+                    );
+                }
+                snapshots += 1;
+            }
+            snapshots
+        }));
+    }
+    reclaim::offline_while(|| {
+        writer.join().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        for h in scanners {
+            assert!(h.join().unwrap() > 0, "scanners must have made progress");
+        }
+    });
+}
+
+#[test]
+fn kv_snapshots_are_shard_consistent_under_batch_writes() {
+    scan_consistency(synchro::stress::ops(3_000));
+}
+
+#[test]
+#[ignore = "full-strength kv scan tier; run in CI via --ignored"]
+fn kv_snapshots_are_shard_consistent_under_batch_writes_full() {
+    scan_consistency(15_000);
+}

@@ -9,7 +9,10 @@
 //!
 //! - sets → single-key two-state spec ([`check_history`]),
 //! - queues → FIFO content spec ([`FifoSpec`]),
-//! - stacks → LIFO content spec ([`LifoSpec`]).
+//! - stacks → LIFO content spec ([`LifoSpec`]),
+//! - maps (the kv stores and their backends) → single-key *value-carrying*
+//!   spec ([`MapSpec`]): distinct put values per operation, so torn reads
+//!   and lost updates are caught, not just presence errors.
 //!
 //! Adding a structure to the registry automatically enrolls it here.
 //! The in-tier tests run a few rounds (scaled for tier-1); the `_full`
@@ -20,8 +23,10 @@ use std::collections::HashSet;
 use std::sync::{Arc, Barrier, Mutex};
 
 use optik_bench::scenarios;
+use optik_suite::harness::api::ConcurrentMap;
 use optik_suite::harness::linearize::{
-    check, check_history, FifoSpec, HistoryRecorder, LifoSpec, QueueOp, Recorder, SetOp, StackOp,
+    check, check_history, FifoSpec, HistoryRecorder, LifoSpec, MapOp, MapSpec, QueueOp, Recorder,
+    SetOp, StackOp,
 };
 use optik_suite::harness::scenario::Subject;
 use optik_suite::harness::{ConcurrentQueue, ConcurrentSet, ConcurrentStack};
@@ -154,12 +159,60 @@ fn check_stack_rounds(
     }
 }
 
+/// Single-key map history: 4 threads × 12 ops on one key with distinct
+/// put values, decided against the value-carrying [`MapSpec`]. Catches
+/// upserts that tear (delete+insert windows) or lose updates — failures
+/// the presence-only set spec cannot see.
+fn check_map_rounds(
+    name: &str,
+    make: &(dyn Fn() -> Arc<dyn ConcurrentMap> + Send + Sync),
+    rounds: usize,
+) {
+    const KEY: u64 = 42;
+    for round in 0..rounds {
+        let map = make();
+        let all = Arc::new(Mutex::new(Vec::new()));
+        let barrier = Arc::new(Barrier::new(4));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let map = Arc::clone(&map);
+            let all = Arc::clone(&all);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let mut rec = HistoryRecorder::new();
+                barrier.wait();
+                for i in 0..12u64 {
+                    match (t + i + round as u64) % 3 {
+                        0 => {
+                            let v = t * 1_000 + i + 1; // distinct in-history
+                            rec.record(|| map.put(KEY, v), |prev| MapOp::Put(v, prev));
+                        }
+                        1 => rec.record(|| map.remove(KEY), MapOp::Remove),
+                        _ => rec.record(|| map.get(KEY), MapOp::Get),
+                    }
+                }
+                all.lock().unwrap().extend(rec.into_ops());
+            }));
+        }
+        reclaim::offline_while(|| {
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let history = all.lock().unwrap().clone();
+        assert!(
+            check(&MapSpec::default(), &history),
+            "{name}: non-linearizable single-key map history (round {round})"
+        );
+    }
+}
+
 /// Runs the whole registry through the appropriate checker, `rounds`
 /// histories per unique implementation.
 fn run_tier(rounds: usize) {
     let reg = scenarios::registry();
     let mut seen: HashSet<String> = HashSet::new();
-    let (mut sets, mut queues, mut stacks) = (0, 0, 0);
+    let (mut sets, mut queues, mut stacks, mut maps) = (0, 0, 0, 0);
     for s in reg.iter() {
         if !seen.insert(s.subject_id().to_string()) {
             continue;
@@ -177,10 +230,14 @@ fn run_tier(rounds: usize) {
                 stacks += 1;
                 check_stack_rounds(s.subject_id(), make.as_ref(), rounds);
             }
+            Subject::Map(make) => {
+                maps += 1;
+                check_map_rounds(s.subject_id(), make.as_ref(), rounds);
+            }
             Subject::None => {}
         }
     }
-    // The registry must actually be feeding the tier: all three families of
+    // The registry must actually be feeding the tier: all four families of
     // structures appear, and nothing shrank silently.
     assert!(
         sets >= 20,
@@ -188,6 +245,10 @@ fn run_tier(rounds: usize) {
     );
     assert!(queues >= 6, "expected >=6 unique queues, got {queues}");
     assert!(stacks >= 3, "expected >=3 unique stacks, got {stacks}");
+    assert!(
+        maps >= 10,
+        "expected >=10 unique kv/map subjects, got {maps}"
+    );
 }
 
 #[test]
