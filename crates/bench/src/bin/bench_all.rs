@@ -46,7 +46,8 @@ fn usage() -> ! {
          PATTERN selects scenarios by exact name or dot-boundary prefix\n\
          (family or group); no patterns = the whole registry.\n\
          --digest runs no benchmarks: it loads every BENCH_*.json in\n\
-         --out-dir (plus --baseline, first, if given) and regenerates\n\
+         --out-dir (newest first, so re-recorded reports win duplicate\n\
+         scenarios; an explicit --baseline outranks all) and regenerates\n\
          EXPERIMENTS.md from them."
     );
     std::process::exit(2)
@@ -119,7 +120,18 @@ fn write_digest(args: &Args, reg: &optik_harness::Registry) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    json_files.sort();
+    // Newest first: the digest keeps the first occurrence of each
+    // scenario, so a freshly recorded BENCH_fig5.json must beat a stale
+    // checked-in BENCH_baseline.json sitting in the same directory (a
+    // filename sort would put "baseline" before most families). An
+    // explicit --baseline still outranks everything (loaded above).
+    json_files.sort_by_key(|p| {
+        std::cmp::Reverse(
+            std::fs::metadata(p)
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH),
+        )
+    });
     // Canonicalized so `--baseline BENCH_baseline.json` matches the
     // `./BENCH_baseline.json` that read_dir yields for the default
     // out-dir (textual path equality would load the baseline twice).

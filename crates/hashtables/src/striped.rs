@@ -33,6 +33,24 @@ impl Node {
     }
 }
 
+/// Lock-free walk of one chain, visiting every `(key, value)` — the one
+/// traversal all three striped tables' `for_each` implementations share.
+///
+/// # Safety
+///
+/// QSBR grace period required (the caller must be a registered,
+/// non-quiescing thread so retired nodes stay readable).
+pub(crate) unsafe fn for_each_chain(head: &AtomicPtr<Node>, f: &mut dyn FnMut(Key, Val)) {
+    // SAFETY: per contract.
+    unsafe {
+        let mut cur = head.load(Ordering::Acquire);
+        while !cur.is_null() {
+            f((*cur).key, (*cur).val.load(Ordering::Acquire));
+            cur = (*cur).next.load(Ordering::Acquire);
+        }
+    }
+}
+
 /// The striped (`java`) hash table.
 pub struct StripedHashTable {
     buckets: Box<[AtomicPtr<Node>]>,
@@ -218,13 +236,7 @@ impl crate::ConcurrentMap for StripedHashTable {
         reclaim::quiescent();
         for b in self.buckets.iter() {
             // SAFETY: grace period.
-            unsafe {
-                let mut cur = b.load(Ordering::Acquire);
-                while !cur.is_null() {
-                    f((*cur).key, (*cur).val.load(Ordering::Acquire));
-                    cur = (*cur).next.load(Ordering::Acquire);
-                }
-            }
+            unsafe { for_each_chain(b, f) }
         }
     }
 }

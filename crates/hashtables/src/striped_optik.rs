@@ -273,13 +273,7 @@ impl crate::ConcurrentMap for StripedOptikHashTable {
         reclaim::quiescent();
         for b in self.buckets.iter() {
             // SAFETY: grace period.
-            unsafe {
-                let mut cur = b.load(Ordering::Acquire);
-                while !cur.is_null() {
-                    f((*cur).key, (*cur).val.load(Ordering::Acquire));
-                    cur = (*cur).next.load(Ordering::Acquire);
-                }
-            }
+            unsafe { crate::striped::for_each_chain(b, f) }
         }
     }
 }

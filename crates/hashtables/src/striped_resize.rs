@@ -333,11 +333,7 @@ impl crate::ConcurrentMap for ResizableStripedHashTable {
             unsafe {
                 let table = &*seg.table.load(Ordering::Acquire);
                 for b in table.buckets.iter() {
-                    let mut cur = b.load(Ordering::Acquire);
-                    while !cur.is_null() {
-                        f((*cur).key, (*cur).val.load(Ordering::Acquire));
-                        cur = (*cur).next.load(Ordering::Acquire);
-                    }
+                    crate::striped::for_each_chain(b, f);
                 }
             }
         }

@@ -41,9 +41,21 @@ pub struct KvMix {
 }
 
 impl KvMix {
-    /// Permille of single-key gets (the remainder).
+    /// Sum of the named (non-get) permilles.
+    fn named_pm(&self) -> u32 {
+        self.put_pm
+            .saturating_add(self.remove_pm)
+            .saturating_add(self.batch_get_pm)
+            .saturating_add(self.batch_write_pm)
+            .saturating_add(self.scan_pm)
+    }
+
+    /// Permille of single-key gets (the remainder). Saturating: a mix
+    /// built by hand with more than 1000 named permille (the fields are
+    /// public; only [`KvWorkload::new`] enforces the invariant) reports 0
+    /// rather than underflowing.
     pub fn get_pm(&self) -> u32 {
-        1000 - self.put_pm - self.remove_pm - self.batch_get_pm - self.batch_write_pm - self.scan_pm
+        1000u32.saturating_sub(self.named_pm())
     }
 }
 
@@ -72,11 +84,7 @@ impl KvWorkload {
     /// a batched/scanned mix has `batch == 0`.
     pub fn new(initial_size: u64, skewed: bool, mix: KvMix) -> Self {
         assert!(initial_size > 0, "initial size must be positive");
-        assert!(
-            mix.put_pm + mix.remove_pm + mix.batch_get_pm + mix.batch_write_pm + mix.scan_pm
-                <= 1000,
-            "mix permilles exceed 1000"
-        );
+        assert!(mix.named_pm() <= 1000, "mix permilles exceed 1000");
         assert!(
             mix.batch > 0 || (mix.batch_get_pm == 0 && mix.batch_write_pm == 0),
             "batched mixes need a batch size"
@@ -337,6 +345,21 @@ mod tests {
             batch: 8,
         };
         assert_eq!(full.get_pm(), 290);
+    }
+
+    #[test]
+    fn hand_built_oversubscribed_mix_saturates_instead_of_underflowing() {
+        // The fields are public, so get_pm() must stay total even when the
+        // 1000-permille invariant (enforced by KvWorkload::new) is bypassed.
+        let m = KvMix {
+            put_pm: 600,
+            remove_pm: 600,
+            batch_get_pm: 0,
+            batch_write_pm: 0,
+            scan_pm: 0,
+            batch: 0,
+        };
+        assert_eq!(m.get_pm(), 0);
     }
 
     #[test]

@@ -159,7 +159,10 @@ fn batch_atomicity(rounds: u64, shards: usize) {
         let stop = Arc::clone(&stop);
         readers.push(std::thread::spawn(move || {
             let mut observed = 0u64;
-            while !stop.load(Ordering::Relaxed) {
+            // Check-after-work: on a 1-core box the writers can finish
+            // before this thread is first scheduled, and every run must
+            // still observe at least one atomic batch.
+            loop {
                 let vals = s.multi_get(&keys);
                 let first = vals[0].expect("keys are never removed");
                 assert!(
@@ -167,6 +170,9 @@ fn batch_atomicity(rounds: u64, shards: usize) {
                     "torn cross-shard batch: {vals:?}"
                 );
                 observed += 1;
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
             }
             observed
         }));
@@ -298,7 +304,9 @@ fn scan_consistency(rounds: u64) {
         let stop = Arc::clone(&stop);
         scanners.push(std::thread::spawn(move || {
             let mut snapshots = 0u64;
-            while !stop.load(Ordering::Relaxed) {
+            // Check-after-work, as in `batch_atomicity`: at least one
+            // snapshot per run even if the writer finishes first.
+            loop {
                 let snap = s.snapshot();
                 let ours: Vec<(u64, u64)> = snap
                     .iter()
@@ -318,6 +326,9 @@ fn scan_consistency(rounds: u64) {
                     );
                 }
                 snapshots += 1;
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
             }
             snapshots
         }));
