@@ -28,6 +28,7 @@ use optik_harness::table::Table;
 
 struct Args {
     patterns: Vec<String>,
+    filter: Option<String>,
     list: bool,
     digest: bool,
     json: Option<PathBuf>,
@@ -41,10 +42,13 @@ fn usage() -> ! {
     eprintln!(
         "usage: bench_all [PATTERN ...] [--list] [--json FILE] [--out-dir DIR]\n\
          \x20                [--baseline FILE] [--tolerance PCT] [--no-latency]\n\
-         \x20                [--digest]\n\
+         \x20                [--filter REGEX] [--digest]\n\
          \n\
          PATTERN selects scenarios by exact name or dot-boundary prefix\n\
          (family or group); no patterns = the whole registry.\n\
+         --filter REGEX narrows any selection to scenario names matching\n\
+         the regex (anchors, classes, alternation; `--list` shows names),\n\
+         e.g. --filter '^(kv\\.range|map\\.ordered)'.\n\
          --digest runs no benchmarks: it loads every BENCH_*.json in\n\
          --out-dir (newest first, so re-recorded reports win duplicate\n\
          scenarios; an explicit --baseline outranks all) and regenerates\n\
@@ -56,6 +60,7 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut args = Args {
         patterns: Vec::new(),
+        filter: None,
         list: false,
         digest: false,
         json: None,
@@ -68,6 +73,7 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--list" => args.list = true,
+            "--filter" => args.filter = Some(it.next().unwrap_or_else(|| usage())),
             "--digest" => args.digest = true,
             "--json" => args.json = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
             "--out-dir" => {
@@ -188,15 +194,26 @@ fn main() -> ExitCode {
         return write_digest(&args, &reg);
     }
 
+    let filter = match args.filter.as_deref().map(optik_bench::filter::Filter::new) {
+        None => None,
+        Some(Ok(f)) => Some(f),
+        Some(Err(e)) => {
+            eprintln!("bad --filter pattern: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let cfg = SweepConfig::from_env();
     cli::banner("bench_all", "unified scenario sweep", &cfg);
-    let selected = reg.select(&args.patterns);
+    let selected = cli::select_filtered(&reg, &args.patterns, filter.as_ref());
     if selected.is_empty() {
-        eprintln!("no scenarios match {:?}; try --list", args.patterns);
+        eprintln!(
+            "no scenarios match {:?} (filter: {:?}); try --list",
+            args.patterns, args.filter
+        );
         return ExitCode::from(2);
     }
     println!("{} scenarios selected\n", selected.len());
-    let reports = cli::run_selection(&reg, &args.patterns, &cfg, args.latency);
+    let reports = cli::run_selection(&reg, &args.patterns, filter.as_ref(), &cfg, args.latency);
 
     let machine = std::env::var("BENCH_MACHINE").unwrap_or_else(|_| Report::machine_class());
     let combined = Report::new(&machine, &cfg, reports);
@@ -268,7 +285,7 @@ fn main() -> ExitCode {
             );
         }
         if !cmp.missing_in_current.is_empty() {
-            if args.patterns.is_empty() {
+            if args.patterns.is_empty() && filter.is_none() {
                 // A full-registry run must cover everything the baseline
                 // covers: a missing scenario means regression protection
                 // silently shrank (rename/delete without re-recording).

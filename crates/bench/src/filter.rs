@@ -1,0 +1,417 @@
+//! A minimal regular-expression engine for `bench_all --filter`.
+//!
+//! The workspace builds offline (no `regex` crate), and scenario names are
+//! short dotted identifiers, so a small engine covers every realistic
+//! filter. Supported syntax:
+//!
+//! - literals, `.` (any char), `\x` escapes (the escaped char, literally);
+//! - postfix `*`, `+`, `?`;
+//! - alternation `|` and grouping `(...)`;
+//! - character classes `[abc]`, `[a-z0-9]`, negated `[^...]` (a `]` first
+//!   in the class and a `-` first/last are literals);
+//! - `^` anchoring the start and `$` the end — only at the very start/end
+//!   of the pattern (anywhere else is rejected). An unanchored pattern
+//!   matches anywhere in the name, like `grep`. Because this engine binds
+//!   a boundary anchor to the *whole* pattern, an anchored top-level
+//!   alternation (`^a|b`, where grep would anchor only the first branch)
+//!   is rejected rather than silently reinterpreted — group it
+//!   explicitly: `^(a|b)`.
+//!
+//! Patterns compile to a Thompson NFA simulated breadth-first, so matching
+//! is linear in `pattern × text` with no backtracking blowups.
+
+/// One parsed sub-expression.
+enum Ast {
+    /// Ordered alternatives (`a|b|c`).
+    Alt(Vec<Ast>),
+    /// Concatenation.
+    Seq(Vec<Ast>),
+    /// `x*`.
+    Star(Box<Ast>),
+    /// `x+`.
+    Plus(Box<Ast>),
+    /// `x?`.
+    Opt(Box<Ast>),
+    /// A single-character matcher.
+    One(Matcher),
+}
+
+/// A single-character test.
+#[derive(Clone)]
+enum Matcher {
+    Lit(char),
+    Any,
+    Class {
+        neg: bool,
+        ranges: Vec<(char, char)>,
+    },
+}
+
+impl Matcher {
+    fn matches(&self, c: char) -> bool {
+        match self {
+            Matcher::Lit(l) => *l == c,
+            Matcher::Any => true,
+            Matcher::Class { neg, ranges } => {
+                ranges.iter().any(|&(a, b)| (a..=b).contains(&c)) != *neg
+            }
+        }
+    }
+}
+
+/// NFA node.
+enum Node {
+    /// Consume one char matching `m`, go to `next`.
+    Char { m: Matcher, next: usize },
+    /// Epsilon-split.
+    Split { a: usize, b: usize },
+    /// Accepting state.
+    Accept,
+}
+
+/// A compiled filter pattern.
+pub struct Filter {
+    nodes: Vec<Node>,
+    start: usize,
+}
+
+impl Filter {
+    /// Compiles `pattern`; errors describe the first offending construct.
+    pub fn new(pattern: &str) -> Result<Filter, String> {
+        let mut chars: Vec<char> = pattern.chars().collect();
+        let anchored_start = chars.first() == Some(&'^');
+        if anchored_start {
+            chars.remove(0);
+        }
+        let anchored_end = {
+            // A trailing `\$` is a literal dollar, not an anchor.
+            let n = chars.len();
+            n > 0 && chars[n - 1] == '$' && !(n > 1 && chars[n - 2] == '\\')
+        };
+        if anchored_end {
+            chars.pop();
+        }
+        let mut p = Parser { chars, pos: 0 };
+        let mut ast = p.parse_alt()?;
+        if p.pos != p.chars.len() {
+            return Err(format!("unexpected `{}`", p.chars[p.pos]));
+        }
+        if (anchored_start || anchored_end) && matches!(ast, Ast::Alt(_)) {
+            // `^a|b` would anchor only the first branch under standard
+            // regex precedence; this engine anchors the whole pattern.
+            // Refusing the ambiguous form beats silently running a
+            // different scenario selection than the user asked for.
+            return Err("anchors bind the whole pattern here; group a top-level \
+                 alternation explicitly, e.g. `^(a|b)`"
+                .into());
+        }
+        // Unanchored sides get an implicit `.*`.
+        let mut seq = Vec::new();
+        if !anchored_start {
+            seq.push(Ast::Star(Box::new(Ast::One(Matcher::Any))));
+        }
+        seq.push(std::mem::replace(&mut ast, Ast::Seq(Vec::new())));
+        if !anchored_end {
+            seq.push(Ast::Star(Box::new(Ast::One(Matcher::Any))));
+        }
+        let ast = Ast::Seq(seq);
+        let mut nodes = vec![Node::Accept];
+        let start = compile(&ast, &mut nodes, 0);
+        Ok(Filter { nodes, start })
+    }
+
+    /// Whether `text` matches the pattern (anywhere, unless anchored).
+    pub fn is_match(&self, text: &str) -> bool {
+        let mut current = vec![false; self.nodes.len()];
+        self.add(&mut current, self.start);
+        for c in text.chars() {
+            let mut next = vec![false; self.nodes.len()];
+            for (i, active) in current.iter().enumerate() {
+                if !active {
+                    continue;
+                }
+                if let Node::Char { m, next: n } = &self.nodes[i] {
+                    if m.matches(c) {
+                        self.add(&mut next, *n);
+                    }
+                }
+            }
+            current = next;
+        }
+        current
+            .iter()
+            .enumerate()
+            .any(|(i, &a)| a && matches!(self.nodes[i], Node::Accept))
+    }
+
+    /// Adds `state` and its epsilon closure to `set`.
+    fn add(&self, set: &mut [bool], state: usize) {
+        if set[state] {
+            return;
+        }
+        set[state] = true;
+        if let Node::Split { a, b } = self.nodes[state] {
+            self.add(set, a);
+            self.add(set, b);
+        }
+    }
+}
+
+/// Compiles `ast` so that it matches into continuation state `cont`;
+/// returns the entry state.
+fn compile(ast: &Ast, nodes: &mut Vec<Node>, cont: usize) -> usize {
+    match ast {
+        Ast::One(m) => {
+            nodes.push(Node::Char {
+                m: m.clone(),
+                next: cont,
+            });
+            nodes.len() - 1
+        }
+        Ast::Seq(items) => {
+            let mut c = cont;
+            for item in items.iter().rev() {
+                c = compile(item, nodes, c);
+            }
+            c
+        }
+        Ast::Alt(branches) => {
+            let starts: Vec<usize> = branches.iter().map(|b| compile(b, nodes, cont)).collect();
+            let mut entry = starts[0];
+            for &s in &starts[1..] {
+                nodes.push(Node::Split { a: entry, b: s });
+                entry = nodes.len() - 1;
+            }
+            entry
+        }
+        Ast::Star(inner) => {
+            nodes.push(Node::Split { a: 0, b: 0 }); // patched below
+            let split = nodes.len() - 1;
+            let inner_start = compile(inner, nodes, split);
+            nodes[split] = Node::Split {
+                a: inner_start,
+                b: cont,
+            };
+            split
+        }
+        Ast::Plus(inner) => {
+            nodes.push(Node::Split { a: 0, b: 0 }); // patched below
+            let split = nodes.len() - 1;
+            let inner_start = compile(inner, nodes, split);
+            nodes[split] = Node::Split {
+                a: inner_start,
+                b: cont,
+            };
+            inner_start
+        }
+        Ast::Opt(inner) => {
+            let inner_start = compile(inner, nodes, cont);
+            nodes.push(Node::Split {
+                a: inner_start,
+                b: cont,
+            });
+            nodes.len() - 1
+        }
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn parse_alt(&mut self) -> Result<Ast, String> {
+        let mut branches = vec![self.parse_seq()?];
+        while self.peek() == Some('|') {
+            self.pos += 1;
+            branches.push(self.parse_seq()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Ast::Alt(branches)
+        })
+    }
+
+    fn parse_seq(&mut self) -> Result<Ast, String> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.parse_piece()?);
+        }
+        Ok(Ast::Seq(items))
+    }
+
+    fn parse_piece(&mut self) -> Result<Ast, String> {
+        let atom = self.parse_atom()?;
+        Ok(match self.peek() {
+            Some('*') => {
+                self.pos += 1;
+                Ast::Star(Box::new(atom))
+            }
+            Some('+') => {
+                self.pos += 1;
+                Ast::Plus(Box::new(atom))
+            }
+            Some('?') => {
+                self.pos += 1;
+                Ast::Opt(Box::new(atom))
+            }
+            _ => atom,
+        })
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, String> {
+        let c = self.peek().ok_or("pattern ended unexpectedly")?;
+        self.pos += 1;
+        match c {
+            '(' => {
+                let inner = self.parse_alt()?;
+                if self.peek() != Some(')') {
+                    return Err("unclosed `(`".into());
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            '[' => self.parse_class(),
+            '.' => Ok(Ast::One(Matcher::Any)),
+            '\\' => {
+                let e = self.peek().ok_or("dangling `\\`")?;
+                self.pos += 1;
+                Ok(Ast::One(Matcher::Lit(e)))
+            }
+            '^' | '$' => Err(format!("`{c}` is only supported at the pattern boundary")),
+            '*' | '+' | '?' => Err(format!("`{c}` needs something to repeat")),
+            _ => Ok(Ast::One(Matcher::Lit(c))),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Ast, String> {
+        let neg = self.peek() == Some('^');
+        if neg {
+            self.pos += 1;
+        }
+        let mut ranges = Vec::new();
+        let mut first = true;
+        loop {
+            let c = self.peek().ok_or("unclosed `[`")?;
+            if c == ']' && !first {
+                self.pos += 1;
+                break;
+            }
+            first = false;
+            self.pos += 1;
+            let lo = if c == '\\' {
+                let e = self.peek().ok_or("dangling `\\` in class")?;
+                self.pos += 1;
+                e
+            } else {
+                c
+            };
+            // `a-z` range (a trailing `-` is a literal).
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.pos += 1;
+                let hi = self.peek().ok_or("unclosed range in class")?;
+                self.pos += 1;
+                if hi < lo {
+                    return Err(format!("inverted range `{lo}-{hi}`"));
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        if ranges.is_empty() {
+            return Err("empty character class".into());
+        }
+        Ok(Ast::One(Matcher::Class { neg, ranges }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> bool {
+        Filter::new(pat).unwrap().is_match(text)
+    }
+
+    #[test]
+    fn literals_match_anywhere_unless_anchored() {
+        assert!(m("range", "kv.range.fraser"));
+        assert!(m("^kv", "kv.range.fraser"));
+        assert!(!m("^range", "kv.range.fraser"));
+        assert!(m("fraser$", "kv.range.fraser"));
+        assert!(!m("range$", "kv.range.fraser"));
+        assert!(m("^kv\\.range\\.fraser$", "kv.range.fraser"));
+    }
+
+    #[test]
+    fn dot_star_plus_opt() {
+        assert!(m("^kv\\..*optik$", "kv.range.herl-optik"));
+        assert!(m("o+k", "book"));
+        assert!(m("^a+$", "aaa"));
+        assert!(!m("^a+$", ""));
+        assert!(m("^a?b$", "b"));
+        assert!(m("^a?b$", "ab"));
+        assert!(!m("^a?b$", "aab"));
+        // `.` unescaped crosses the dot; escaped does not.
+        assert!(m("^kv.range", "kvxrange.y"));
+        assert!(!m("^kv\\.range", "kvxrange.y"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        let f = Filter::new("^(kv\\.range|map\\.ordered)").unwrap();
+        assert!(f.is_match("kv.range.fraser"));
+        assert!(f.is_match("map.ordered.optik2"));
+        assert!(!f.is_match("kv.scan.striped"));
+        assert!(!f.is_match("fig9.large.harris"));
+        assert!(m("^(a|b)+$", "abba"));
+        assert!(!m("^(a|b)+$", "abca"));
+    }
+
+    #[test]
+    fn classes() {
+        assert!(m("^fig[0-9]+\\.", "fig11.small-skew.optik1"));
+        assert!(!m("^fig[0-9]+\\.", "figx.small"));
+        assert!(m("[^.]+$", "a.b.series"));
+        assert!(m("^[a-z-]+$", "herl-optik"));
+        assert!(!m("^[a-z]+$", "herl-optik"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        assert!(m("", "anything"));
+        assert!(m("", ""));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(Filter::new("a(b").is_err());
+        assert!(Filter::new("*a").is_err());
+        assert!(Filter::new("[").is_err());
+        assert!(Filter::new("[z-a]").is_err());
+        assert!(Filter::new("a^b").is_err());
+        assert!(Filter::new("a$b").is_err());
+    }
+
+    #[test]
+    fn anchored_top_level_alternation_is_rejected_not_reinterpreted() {
+        // grep reads `^kv|ordered` as `(^kv)|ordered`; this engine would
+        // anchor both branches, silently dropping matches — so it errors.
+        assert!(Filter::new("^kv|ordered").is_err());
+        assert!(Filter::new("kv|ordered$").is_err());
+        // The grouped spelling is unambiguous and accepted.
+        assert!(Filter::new("^(kv|ordered)").is_ok());
+        // Unanchored top-level alternation is fine.
+        assert!(m("kv|ordered", "map.ordered.fraser"));
+    }
+}

@@ -27,6 +27,7 @@
 
 pub mod cli;
 pub mod digest;
+pub mod filter;
 pub mod scenarios;
 
 pub use optik_harness as harness;

@@ -17,16 +17,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use optik::{OptikLock, OptikTicket, OptikVersioned, ValidatedLock};
+use optik_harness::api::OrderedMap;
 use optik_harness::runner::{run_set_workload, run_workers};
 use optik_harness::scenario::{Measurement, Registry, Scenario, Subject};
-use optik_harness::{ConcurrentSet, SetHandle, Workload};
+use optik_harness::{ConcurrentSet, FastRng, SetHandle, Workload};
 
 use optik_bsts::{GlobalLockBst, OptikBst, OptikGlBst};
 use optik_hashtables::{
     LazyGlHashTable, OptikGlHashTable, OptikHashTable, OptikMapHashTable,
     ResizableStripedHashTable, StripedHashTable, StripedOptikHashTable,
 };
-use optik_kv::{run_kv_workload, KvMix, KvStore, KvWorkload};
+use optik_kv::{run_kv_workload, run_kv_workload_ordered, KvMix, KvStore, KvWorkload};
 use optik_lists::{
     GlobalLockList, HarrisList, LazyCacheList, LazyList, OptikCacheList, OptikGlList, OptikList,
 };
@@ -37,7 +38,7 @@ use optik_skiplists::{
 };
 use optik_stacks::{EliminationStack, OptikStack, TreiberStack};
 
-/// Builds the full registry (~139 scenarios across 13 families).
+/// Builds the full registry (~151 scenarios across 14 families).
 pub fn registry() -> Registry {
     let mut r = Registry::new();
     fig5(&mut r);
@@ -49,6 +50,8 @@ pub fn registry() -> Registry {
     bst(&mut r);
     stacks(&mut r);
     kv(&mut r);
+    kv_range(&mut r);
+    map_ordered(&mut r);
     ablate_base_lock(&mut r);
     ablate_node_cache(&mut r);
     ablate_resize(&mut r);
@@ -103,6 +106,14 @@ pub fn group_blurb(group: &str) -> &'static str {
         }
         "kv.shards" => {
             "kv shard-count ablation (striped-optik backend, read-heavy zipf, 1..32 shards)"
+        }
+        "kv.range" => {
+            "kv range scans over ordered-sharded skiplist/BST shards (8192 entries, 5% 128-key \
+             windows + 20% updates, 8 contiguous partitions)"
+        }
+        "map.ordered" => {
+            "Ordered backends as value-carrying maps (1024 entries, zipf): 20% in-place \
+             upserts/removes, 2% validated 64-key range scans"
         }
         "ablate-base-lock" => {
             "optik-gl list: versioned vs ticket base lock (128 elements, 20% updates)"
@@ -682,6 +693,7 @@ fn kv(r: &mut Registry) {
             batch_write_pm: 0,
             scan_pm: 0,
             batch: 0,
+            ..KvMix::default()
         },
     );
     kv_backends(r, "read-heavy", about, SHARDS, span, &w);
@@ -701,6 +713,7 @@ fn kv(r: &mut Registry) {
             batch_write_pm: 0,
             scan_pm: 0,
             batch: 0,
+            ..KvMix::default()
         },
     );
     kv_backends(r, "write-heavy", about, SHARDS, span, &w);
@@ -720,6 +733,7 @@ fn kv(r: &mut Registry) {
             batch_write_pm: 250,
             scan_pm: 0,
             batch: 8,
+            ..KvMix::default()
         },
     );
     kv_backends(r, "batch", about, SHARDS, span, &w);
@@ -741,6 +755,7 @@ fn kv(r: &mut Registry) {
             batch_write_pm: 0,
             scan_pm: 10,
             batch: 0,
+            ..KvMix::default()
         },
     );
     kv_backends(r, "scan", about, SHARDS, scan_span, &w);
@@ -759,6 +774,7 @@ fn kv(r: &mut Registry) {
             batch_write_pm: 0,
             scan_pm: 0,
             batch: 0,
+            ..KvMix::default()
         },
     );
     // Capacity = full key range: a shard can never overflow, whatever the
@@ -797,6 +813,7 @@ fn kv(r: &mut Registry) {
                 batch_write_pm: 0,
                 scan_pm: 0,
                 batch: 0,
+                ..KvMix::default()
             },
         );
         r.register(kv_scenario(
@@ -808,6 +825,265 @@ fn kv(r: &mut Registry) {
             move |_| StripedOptikHashTable::new(span, 16),
         ));
     }
+}
+
+// ---------------------------------------------------------------------------
+// kv.range: range scans over ordered-sharded ordered backends.
+// ---------------------------------------------------------------------------
+
+/// One ordered kv scenario: ordered-sharded store over an [`OrderedMap`]
+/// backend, driven by the range-capable kv driver.
+fn kv_range_scenario<B: OrderedMap + 'static>(
+    name: &str,
+    about: &str,
+    id: &str,
+    shards: usize,
+    max_key: u64,
+    w: KvWorkload,
+    make_backend: impl Fn(usize) -> B + Send + Sync + Clone + 'static,
+) -> Scenario {
+    let subject_make = make_backend.clone();
+    let subject = Subject::ordered(move || {
+        KvStore::with_ordered_shards(shards, max_key, subject_make.clone())
+    });
+    Scenario::custom(name, about, id, subject, move |spec| {
+        let store = KvStore::with_ordered_shards(shards, max_key, make_backend.clone());
+        w.initial_fill(spec.seed, &store);
+        let res = run_kv_workload_ordered(
+            &store,
+            spec.threads,
+            spec.duration,
+            &w,
+            spec.seed,
+            spec.record_latency,
+        );
+        let mut m = Measurement {
+            ops: res.counts.total(),
+            wall: res.duration,
+            latency: res.latency,
+            extra: Vec::new(),
+        };
+        if res.counts.range_scans > 0 {
+            m = m.with_extra(
+                "keys_per_range",
+                res.counts.ranged_entries as f64 / res.counts.range_scans as f64,
+            );
+        }
+        m
+    })
+}
+
+fn kv_range(r: &mut Registry) {
+    const SHARDS: usize = 8;
+    const SIZE: u64 = 8192;
+    let max_key = 2 * SIZE;
+    // Uniform keys: ordered sharding partitions the key space, so a skewed
+    // stream would measure shard imbalance, not range-scan cost.
+    // Expectation: ranges touch only the 1-2 partitions they intersect;
+    // update throughput tracks the backend's fig11/bst ordering; the
+    // locked-fallback path stays cold except under heavy write pressure.
+    let about = "kv ranges: ordered sharding makes a 128-key window touch ~1 \
+                 partition; throughput tracks the backend ladder, fraser \
+                 ranges never lock";
+    let w = KvWorkload::new(
+        SIZE,
+        false,
+        KvMix {
+            put_pm: 100,
+            remove_pm: 100,
+            range_pm: 50,
+            range_span: 128,
+            ..KvMix::default()
+        },
+    );
+    let name = |series: &str| format!("kv.range.{series}");
+    r.register(kv_range_scenario(
+        &name("herlihy"),
+        about,
+        "kv/range-sl-herlihy",
+        SHARDS,
+        max_key,
+        w.clone(),
+        |_| HerlihySkipList::new(),
+    ));
+    r.register(kv_range_scenario(
+        &name("herl-optik"),
+        about,
+        "kv/range-sl-herl-optik",
+        SHARDS,
+        max_key,
+        w.clone(),
+        |_| HerlihyOptikSkipList::new(),
+    ));
+    r.register(kv_range_scenario(
+        &name("optik2"),
+        about,
+        "kv/range-sl-optik2",
+        SHARDS,
+        max_key,
+        w.clone(),
+        |_| OptikSkipList2::new(),
+    ));
+    r.register(kv_range_scenario(
+        &name("fraser"),
+        about,
+        "kv/range-sl-fraser",
+        SHARDS,
+        max_key,
+        w.clone(),
+        |_| FraserSkipList::new(),
+    ));
+    r.register(kv_range_scenario(
+        &name("bst-tk"),
+        about,
+        "kv/range-bst-tk",
+        SHARDS,
+        max_key,
+        w,
+        |_| OptikBst::new(),
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// map.ordered: the raw ordered structures as value-carrying maps.
+// ---------------------------------------------------------------------------
+
+/// One ordered-map scenario: the raw backend under a mixed
+/// put/remove/get/range workload (10%/10% writes, 2% bounded ranges).
+fn ordered_map_scenario<M: OrderedMap + 'static>(
+    name: &str,
+    about: &str,
+    id: &str,
+    size: u64,
+    skewed: bool,
+    range_span: u64,
+    make: impl Fn() -> M + Send + Sync + Clone + 'static,
+) -> Scenario {
+    let subject = Subject::ordered(make.clone());
+    Scenario::custom(name, about, id, subject, move |spec| {
+        let m = make();
+        // Key sampling only; the op mix is dispatched inline below.
+        let w = KvWorkload::new(size, skewed, KvMix::default());
+        let mut rng = FastRng::new(spec.seed ^ 0xF111_0F11);
+        let mut inserted = 0;
+        while inserted < size {
+            let k = rng.range_inclusive(w.key_lo, w.key_hi);
+            if m.put(k, k).is_none() {
+                inserted += 1;
+            }
+        }
+        let start = Instant::now();
+        let results = run_workers(spec.threads, spec.duration, |ctx| {
+            let mut rng = FastRng::for_thread(spec.seed, ctx.tid);
+            let mut ops = 0u64;
+            let mut ranges = 0u64;
+            let mut ranged = 0u64;
+            while !ctx.should_stop() {
+                let p = rng.next_below(1000) as u32;
+                let k = w.sample_key(&mut rng);
+                if p < 100 {
+                    m.put(k, k);
+                } else if p < 200 {
+                    m.remove(k);
+                } else if p < 220 {
+                    let mut n = 0u64;
+                    m.range(k, k.saturating_add(range_span - 1), &mut |_, _| n += 1);
+                    ranges += 1;
+                    ranged += n;
+                } else {
+                    let _ = m.get(k);
+                }
+                ops += 1;
+                reclaim::quiescent();
+            }
+            (ops, ranges, ranged)
+        });
+        let wall = start.elapsed();
+        let ops: u64 = results.iter().map(|r| r.0).sum();
+        let ranges: u64 = results.iter().map(|r| r.1).sum();
+        let ranged: u64 = results.iter().map(|r| r.2).sum();
+        let mut meas = Measurement::from_ops(ops, wall);
+        if ranges > 0 {
+            meas = meas.with_extra("keys_per_range", ranged as f64 / ranges as f64);
+        }
+        meas
+    })
+}
+
+fn map_ordered(r: &mut Registry) {
+    // Expectation: point-op ordering mirrors fig11/bst; ranges add a
+    // per-node validation cost to the OPTIK designs that fraser's marked
+    // pointers get for free, and keys_per_range sits near span/2 (half the
+    // sampled windows fall past the populated prefix of the key space).
+    let about = "Extension: ordered structures as maps — in-place OPTIK \
+                 upserts + validated range scans; point ops track fig11/bst, \
+                 ranges pay per-step validation except on fraser";
+    const SIZE: u64 = 1024;
+    const SPAN: u64 = 64;
+    let name = |series: &str| format!("map.ordered.{series}");
+    r.register(ordered_map_scenario(
+        &name("herlihy"),
+        about,
+        "omap/sl-herlihy",
+        SIZE,
+        true,
+        SPAN,
+        HerlihySkipList::new,
+    ));
+    r.register(ordered_map_scenario(
+        &name("herl-optik"),
+        about,
+        "omap/sl-herl-optik",
+        SIZE,
+        true,
+        SPAN,
+        HerlihyOptikSkipList::new,
+    ));
+    r.register(ordered_map_scenario(
+        &name("optik1"),
+        about,
+        "omap/sl-optik1",
+        SIZE,
+        true,
+        SPAN,
+        OptikSkipList1::new,
+    ));
+    r.register(ordered_map_scenario(
+        &name("optik2"),
+        about,
+        "omap/sl-optik2",
+        SIZE,
+        true,
+        SPAN,
+        OptikSkipList2::new,
+    ));
+    r.register(ordered_map_scenario(
+        &name("fraser"),
+        about,
+        "omap/sl-fraser",
+        SIZE,
+        true,
+        SPAN,
+        FraserSkipList::new,
+    ));
+    r.register(ordered_map_scenario(
+        &name("bst-gl"),
+        about,
+        "omap/bst-gl",
+        SIZE,
+        true,
+        SPAN,
+        OptikGlBst::<OptikVersioned>::new,
+    ));
+    r.register(ordered_map_scenario(
+        &name("bst-tk"),
+        about,
+        "omap/bst-tk",
+        SIZE,
+        true,
+        SPAN,
+        OptikBst::new,
+    ));
 }
 
 // ---------------------------------------------------------------------------
@@ -987,6 +1263,7 @@ mod tests {
                 "bst",
                 "stacks",
                 "kv",
+                "map",
                 "ablate-base-lock",
                 "ablate-node-cache",
                 "ablate-resize",
@@ -1053,9 +1330,14 @@ mod tests {
             "expected >=20 kv scenarios, got {}",
             kv.len()
         );
-        // Every kv scenario must be a map subject (MapSpec-checkable).
+        // Every kv scenario must be a map subject (MapSpec-checkable);
+        // the ordered-backed ones are additionally range-checkable.
         for s in &kv {
-            assert_eq!(s.subject().kind(), "map", "{}", s.name());
+            assert!(
+                matches!(s.subject().kind(), "map" | "ordered"),
+                "{}",
+                s.name()
+            );
         }
         // The four workload groups sweep the same backend series.
         for g in ["kv.read-heavy", "kv.write-heavy", "kv.batch", "kv.scan"] {
@@ -1067,6 +1349,63 @@ mod tests {
             );
         }
         assert_eq!(r.in_group("kv.shards").len(), 6, "shard ablation sweep");
+    }
+
+    #[test]
+    fn ordered_families_are_complete() {
+        let r = registry();
+        let range_series: Vec<&str> = r.in_group("kv.range").iter().map(|s| s.series()).collect();
+        assert_eq!(
+            range_series,
+            vec!["herlihy", "herl-optik", "optik2", "fraser", "bst-tk"],
+            "ordered backends mounted in the kv store"
+        );
+        let omap_series: Vec<&str> = r
+            .in_group("map.ordered")
+            .iter()
+            .map(|s| s.series())
+            .collect();
+        assert_eq!(
+            omap_series,
+            vec![
+                "herlihy",
+                "herl-optik",
+                "optik1",
+                "optik2",
+                "fraser",
+                "bst-gl",
+                "bst-tk"
+            ],
+            "every ordered structure appears as a raw map subject"
+        );
+        // All of them are ordered subjects: the linearizability tier runs
+        // both the single-key map rounds and the range rounds on each.
+        for s in r.select(&["kv.range".into(), "map.ordered".into()]) {
+            assert_eq!(s.subject().kind(), "ordered", "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn ordered_scenarios_run_and_report_range_metric() {
+        let r = registry();
+        let spec = RunSpec {
+            threads: 2,
+            duration: Duration::from_millis(20),
+            seed: 9,
+            record_latency: false,
+        };
+        for name in ["kv.range.optik2", "map.ordered.fraser"] {
+            let s = r.get(name).unwrap_or_else(|| panic!("missing {name}"));
+            let m = s.run(&spec);
+            assert!(m.ops > 0, "{name} did no work");
+            let (k, v) = m
+                .extra
+                .iter()
+                .find(|(k, _)| k == "keys_per_range")
+                .unwrap_or_else(|| panic!("{name}: range metric missing"));
+            assert_eq!(k, "keys_per_range");
+            assert!(*v >= 0.0);
+        }
     }
 
     #[test]

@@ -102,6 +102,32 @@ pub trait ConcurrentMap: Send + Sync {
     fn for_each(&self, f: &mut dyn FnMut(Key, Val));
 }
 
+/// A [`ConcurrentMap`] over a *key-ordered* structure (skip list, BST):
+/// the backend contract for the kv store's range scans.
+///
+/// `range` visits every live entry with `lo <= key <= hi`, in ascending
+/// key order, each key at most once. The concurrency contract mirrors
+/// [`ConcurrentMap::for_each`]: exact under whatever lock excludes writers
+/// (the kv store's per-shard OPTIK lock during its range fallback),
+/// quiescence-consistent otherwise — implementations traverse
+/// optimistically with per-step validation (version checks where the
+/// structure has OPTIK locks, link re-checks elsewhere) and re-position
+/// after the last emitted key on interference, so concurrent updates can
+/// be missed or included but never tear the order or duplicate a key.
+/// Traversal safety under concurrent deletion is QSBR, as for `for_each`.
+pub trait OrderedMap: ConcurrentMap {
+    /// Visits every entry with key in `[lo, hi]`, ascending (see the trait
+    /// docs for the concurrency contract).
+    fn range(&self, lo: Key, hi: Key, f: &mut dyn FnMut(Key, Val));
+
+    /// Collects [`OrderedMap::range`] into a vector (sorted by key).
+    fn range_collect(&self, lo: Key, hi: Key) -> Vec<(Key, Val)> {
+        let mut out = Vec::new();
+        self.range(lo, hi, &mut |k, v| out.push((k, v)));
+        out
+    }
+}
+
 /// A concurrent FIFO queue (§5.4).
 pub trait ConcurrentQueue: Send + Sync {
     /// Enqueues `val` at the head of the queue.

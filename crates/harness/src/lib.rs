@@ -36,7 +36,9 @@ pub mod table;
 pub mod workload;
 pub mod zipf;
 
-pub use api::{ConcurrentQueue, ConcurrentSet, ConcurrentStack, Key, SetHandle, Val};
+pub use api::{
+    ConcurrentMap, ConcurrentQueue, ConcurrentSet, ConcurrentStack, Key, OrderedMap, SetHandle, Val,
+};
 pub use driver::{Point, ScenarioReport, SweepConfig};
 pub use latency::{LatencyRecorder, OpKind, Percentiles};
 pub use report::Report;

@@ -352,6 +352,69 @@ impl SeqSpec for MapSpec {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Range-observing multi-key map specification.
+// ---------------------------------------------------------------------------
+
+/// Number of tracked keys in a [`RangeMapSpec`] history. Three keys keep
+/// the state space tiny while still letting a non-atomic range tear
+/// *between* keys (the failure single-key specs cannot express).
+pub const RANGE_KEYS: usize = 3;
+
+/// Outcome-annotated operation over [`RANGE_KEYS`] tracked keys of an
+/// ordered map. Writes address keys by index into the tracked set; a
+/// `Range` op reports the values it observed for all tracked keys in one
+/// traversal (`None` = key absent). Use distinct put values within a
+/// history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeOp {
+    /// `put(keys[i], new)` returning the previous value.
+    Put(usize, u64, Option<u64>),
+    /// `remove(keys[i])` returning the removed value.
+    Remove(usize, Option<u64>),
+    /// `get(keys[i])` returning the observed value.
+    Get(usize, Option<u64>),
+    /// One `range` traversal covering all tracked keys: the observed
+    /// binding per tracked key, in key order.
+    Range([Option<u64>; RANGE_KEYS]),
+}
+
+/// The multi-key map machine behind [`RangeOp`]: the state is the binding
+/// of each tracked key. A `Range` outcome is legal only when *all* tracked
+/// bindings match at a single point — exactly the snapshot property a
+/// validated range scan claims.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RangeMapSpec {
+    /// Bindings before the history starts.
+    pub initial: [Option<u64>; RANGE_KEYS],
+}
+
+impl SeqSpec for RangeMapSpec {
+    type Op = RangeOp;
+    type State = [Option<u64>; RANGE_KEYS];
+
+    fn initial(&self) -> Self::State {
+        self.initial
+    }
+
+    fn apply(&self, state: &Self::State, op: RangeOp) -> Option<Self::State> {
+        match op {
+            RangeOp::Put(i, new, prev) => (state[i] == prev).then(|| {
+                let mut s = *state;
+                s[i] = Some(new);
+                s
+            }),
+            RangeOp::Remove(i, removed) => (state[i] == removed).then(|| {
+                let mut s = *state;
+                s[i] = None;
+                s
+            }),
+            RangeOp::Get(i, seen) => (state[i] == seen).then_some(*state),
+            RangeOp::Range(seen) => (seen == *state).then_some(*state),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -666,5 +729,61 @@ mod tests {
         let h = [mop(0, 1, MapOp::Remove(Some(7)))];
         assert!(check(&MapSpec { initial: Some(7) }, &h));
         assert!(!check(&MapSpec::default(), &h));
+    }
+
+    fn rop(invoke: u64, response: u64, op: RangeOp) -> Timed<RangeOp> {
+        Timed {
+            invoke,
+            response,
+            op,
+        }
+    }
+
+    #[test]
+    fn range_sequential_snapshot_chain() {
+        let h = [
+            rop(0, 1, RangeOp::Put(0, 10, None)),
+            rop(2, 3, RangeOp::Put(2, 30, None)),
+            rop(4, 5, RangeOp::Range([Some(10), None, Some(30)])),
+            rop(6, 7, RangeOp::Remove(0, Some(10))),
+            rop(8, 9, RangeOp::Range([None, None, Some(30)])),
+        ];
+        assert!(check(&RangeMapSpec::default(), &h));
+    }
+
+    #[test]
+    fn torn_range_is_rejected() {
+        // Both puts strictly precede the range; a range that sees the
+        // second write but not the first observed no single point in time.
+        let h = [
+            rop(0, 1, RangeOp::Put(0, 10, None)),
+            rop(2, 3, RangeOp::Put(1, 20, None)),
+            rop(4, 5, RangeOp::Range([None, Some(20), None])),
+        ];
+        assert!(!check(&RangeMapSpec::default(), &h));
+    }
+
+    #[test]
+    fn concurrent_range_may_order_either_side_of_a_write() {
+        let h = [
+            rop(0, 10, RangeOp::Put(1, 20, None)),
+            rop(1, 9, RangeOp::Range([None, None, None])),
+        ];
+        assert!(check(&RangeMapSpec::default(), &h), "range before the put");
+        let h = [
+            rop(0, 10, RangeOp::Put(1, 20, None)),
+            rop(1, 9, RangeOp::Range([None, Some(20), None])),
+        ];
+        assert!(check(&RangeMapSpec::default(), &h), "range after the put");
+    }
+
+    #[test]
+    fn range_initial_bindings_matter() {
+        let h = [rop(0, 1, RangeOp::Range([None, Some(5), None]))];
+        let spec = RangeMapSpec {
+            initial: [None, Some(5), None],
+        };
+        assert!(check(&spec, &h));
+        assert!(!check(&RangeMapSpec::default(), &h));
     }
 }

@@ -21,7 +21,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::api::{ConcurrentMap, ConcurrentQueue, ConcurrentSet, ConcurrentStack};
+use crate::api::{ConcurrentMap, ConcurrentQueue, ConcurrentSet, ConcurrentStack, OrderedMap};
 use crate::latency::LatencyRecorder;
 use crate::runner::{run_queue_workload, run_set_workload, run_stack_workload};
 use crate::workload::Workload;
@@ -120,6 +120,11 @@ pub enum Subject {
     Stack(Box<dyn Fn() -> Arc<dyn ConcurrentStack> + Send + Sync>),
     /// A key–value map (upsert semantics — the kv store and its backends).
     Map(Box<dyn Fn() -> Arc<dyn ConcurrentMap> + Send + Sync>),
+    /// An ordered key–value map (map semantics plus range scans — the
+    /// skip-list/BST backends and the stores mounted over them). The
+    /// correctness tiers run both the map checks and the range checks on
+    /// these subjects.
+    Ordered(Box<dyn Fn() -> Arc<dyn OrderedMap> + Send + Sync>),
     /// No instantiable structure (e.g. raw lock-acquisition scenarios).
     None,
 }
@@ -153,13 +158,22 @@ impl Subject {
         Subject::Map(Box::new(move || Arc::new(make())))
     }
 
-    /// Short tag for listings: `set`, `queue`, `stack`, `map`, or `-`.
+    /// Convenience constructor for ordered-map subjects.
+    pub fn ordered<M: OrderedMap + 'static>(
+        make: impl Fn() -> M + Send + Sync + 'static,
+    ) -> Subject {
+        Subject::Ordered(Box::new(move || Arc::new(make())))
+    }
+
+    /// Short tag for listings: `set`, `queue`, `stack`, `map`, `ordered`,
+    /// or `-`.
     pub fn kind(&self) -> &'static str {
         match self {
             Subject::Set(_) => "set",
             Subject::Queue(_) => "queue",
             Subject::Stack(_) => "stack",
             Subject::Map(_) => "map",
+            Subject::Ordered(_) => "ordered",
             Subject::None => "-",
         }
     }

@@ -35,6 +35,14 @@
 //!   (read-only) critical sections release with `revert`, so they never
 //!   signal conflicts to other optimistic readers.
 //!
+//! Ordered backends (the skip lists and BSTs, via
+//! `optik_harness::api::OrderedMap`) additionally serve **range scans**:
+//! [`KvStore::range_scan`] collects a `[lo, hi]` window per shard with the
+//! same optimistic validate-then-lock-fallback discipline as full scans,
+//! and [`KvStore::with_ordered_shards`] switches the store from hash
+//! sharding to contiguous key partitions so a range touches only the
+//! shards it intersects.
+//!
 //! Memory safety of optimistic traversal over chain-based backends comes
 //! from the workspace QSBR domain (the `reclaim` crate): removed entries
 //! are retired, not freed, until every registered thread passes a
@@ -51,6 +59,8 @@ mod store;
 mod workload;
 
 pub use store::KvStore;
-pub use workload::{run_kv_workload, KvBenchResult, KvCounts, KvMix, KvWorkload};
+pub use workload::{
+    run_kv_workload, run_kv_workload_ordered, KvBenchResult, KvCounts, KvMix, KvWorkload,
+};
 
-pub use optik_harness::api::{ConcurrentMap, Key, Val};
+pub use optik_harness::api::{ConcurrentMap, Key, OrderedMap, Val};

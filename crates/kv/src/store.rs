@@ -4,10 +4,10 @@
 use optik::{OptikLock, OptikVersioned};
 use synchro::{Backoff, CachePadded};
 
-use optik_harness::api::{ConcurrentMap, Key, Val};
+use optik_harness::api::{ConcurrentMap, Key, OrderedMap, Val};
 
 /// Optimistic attempts per shard before a cross-shard read operation
-/// (multi-get, scan) falls back to taking the shard lock(s).
+/// (multi-get, scan, range scan) falls back to taking the shard lock(s).
 const OPTIMISTIC_ATTEMPTS: usize = 8;
 
 struct Shard<B> {
@@ -16,6 +16,21 @@ struct Shard<B> {
     /// validate against this version, OPTIK style, instead of locking.
     lock: OptikVersioned,
     map: B,
+}
+
+/// How keys map to shards.
+enum Sharding {
+    /// Fibonacci-spread hashing (the default): uniform load, but a key
+    /// range intersects every shard.
+    Hash,
+    /// Contiguous key partitions of `span` keys each (shard `i` owns
+    /// `[1 + i*span, i*span + span]`, the last shard additionally owning
+    /// everything above): range scans touch only the shards their window
+    /// intersects, at the cost of hot ranges loading single shards.
+    Range {
+        /// Keys per partition.
+        span: u64,
+    },
 }
 
 /// A sharded key–value store over a pluggable [`ConcurrentMap`] backend.
@@ -43,6 +58,7 @@ struct Shard<B> {
 /// backends it composes.
 pub struct KvStore<B> {
     shards: Box<[CachePadded<Shard<B>>]>,
+    sharding: Sharding,
 }
 
 /// Fibonacci spread; the *high* bits select the shard so backends that
@@ -59,7 +75,11 @@ impl<B: ConcurrentMap> KvStore<B> {
     /// # Panics
     ///
     /// Panics if `shards` is zero.
-    pub fn with_shards(shards: usize, mut make: impl FnMut(usize) -> B) -> Self {
+    pub fn with_shards(shards: usize, make: impl FnMut(usize) -> B) -> Self {
+        Self::build(shards, Sharding::Hash, make)
+    }
+
+    fn build(shards: usize, sharding: Sharding, mut make: impl FnMut(usize) -> B) -> Self {
         assert!(shards > 0, "need at least one shard");
         Self {
             shards: (0..shards)
@@ -70,6 +90,7 @@ impl<B: ConcurrentMap> KvStore<B> {
                     })
                 })
                 .collect(),
+            sharding,
         }
     }
 
@@ -81,7 +102,12 @@ impl<B: ConcurrentMap> KvStore<B> {
     /// Shard index for `key`.
     #[inline]
     pub fn shard_of(&self, key: Key) -> usize {
-        ((spread(key) >> 32) % self.shards.len() as u64) as usize
+        match self.sharding {
+            Sharding::Hash => ((spread(key) >> 32) % self.shards.len() as u64) as usize,
+            Sharding::Range { span } => {
+                (((key.saturating_sub(1)) / span) as usize).min(self.shards.len() - 1)
+            }
+        }
     }
 
     #[inline]
@@ -301,6 +327,94 @@ impl<B: ConcurrentMap> ConcurrentMap for KvStore<B> {
     }
 }
 
+impl<B: OrderedMap> KvStore<B> {
+    /// Creates an **ordered-sharded** store: `shards` contiguous key
+    /// partitions covering `[1, max_key]` (keys above `max_key` fall into
+    /// the last shard), each backed by `make(shard_index)`.
+    ///
+    /// Range scans on an ordered-sharded store touch only the shards the
+    /// window intersects and concatenate their (already sorted) partition
+    /// scans without a merge step. Point operations work exactly as under
+    /// hash sharding — only the key→shard map differs — but load balance
+    /// now follows the key distribution, so this layout is for
+    /// range-serving stores, not skewed point workloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `max_key` is zero.
+    pub fn with_ordered_shards(shards: usize, max_key: Key, make: impl FnMut(usize) -> B) -> Self {
+        assert!(max_key > 0, "need a non-empty key space");
+        let span = max_key.div_ceil(shards.max(1) as u64).max(1);
+        Self::build(shards, Sharding::Range { span }, make)
+    }
+
+    /// One shard's `[lo, hi]` window as a version-consistent snapshot:
+    /// optimistic collect-and-validate, falling back to the shard lock
+    /// (under which the backend's range pass is exact — writers are
+    /// excluded, so the backend traversal sees a quiescent structure).
+    fn shard_range(&self, i: usize, lo: Key, hi: Key, buf: &mut Vec<(Key, Val)>) {
+        let shard = &self.shards[i];
+        let mut bo = Backoff::new();
+        for _ in 0..OPTIMISTIC_ATTEMPTS {
+            buf.clear();
+            let v = shard.lock.get_version_wait();
+            shard.map.range(lo, hi, &mut |k, val| buf.push((k, val)));
+            if shard.lock.validate(v) {
+                return;
+            }
+            bo.backoff();
+        }
+        buf.clear();
+        shard.lock.lock();
+        shard.map.range(lo, hi, &mut |k, val| buf.push((k, val)));
+        shard.lock.revert(); // read-only critical section
+    }
+
+    /// Collects every entry with key in `[lo, hi]`, sorted by key, each
+    /// shard's contribution a version-consistent snapshot (the same
+    /// guarantee as [`KvStore::scan`], restricted to the window).
+    ///
+    /// Under ordered sharding only the shards intersecting the window are
+    /// visited, in key order, so the result is a concatenation; under hash
+    /// sharding every shard is visited and the result is sorted afterwards.
+    pub fn range_scan(&self, lo: Key, hi: Key) -> Vec<(Key, Val)> {
+        let mut out = Vec::new();
+        if lo > hi {
+            return out;
+        }
+        let mut buf = Vec::new();
+        match self.sharding {
+            Sharding::Range { .. } => {
+                let first = self.shard_of(lo);
+                let last = self.shard_of(hi);
+                for i in first..=last {
+                    self.shard_range(i, lo, hi, &mut buf);
+                    out.append(&mut buf);
+                }
+            }
+            Sharding::Hash => {
+                for i in 0..self.shards.len() {
+                    self.shard_range(i, lo, hi, &mut buf);
+                    out.append(&mut buf);
+                }
+                out.sort_unstable();
+            }
+        }
+        out
+    }
+}
+
+// An ordered-backed store is itself an `OrderedMap`: stores nest, and the
+// range-observing correctness tiers drive `KvStore` and raw backends
+// through one interface.
+impl<B: OrderedMap> OrderedMap for KvStore<B> {
+    fn range(&self, lo: Key, hi: Key, f: &mut dyn FnMut(Key, Val)) {
+        for (k, v) in self.range_scan(lo, hi) {
+            f(k, v);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -455,4 +569,76 @@ mod tests {
     // Concurrent batch atomicity, deadlock freedom, and snapshot
     // consistency are exercised at scale (and across shard counts and
     // backends) by the dedicated stress tier in `tests/integration_kv.rs`.
+
+    use optik_bsts::OptikBst;
+    use optik_skiplists::{HerlihyOptikSkipList, OptikSkipList2};
+
+    #[test]
+    fn ordered_sharding_partitions_contiguously() {
+        let s: KvStore<OptikSkipList2> =
+            KvStore::with_ordered_shards(4, 1000, |_| OptikSkipList2::new());
+        assert_eq!(s.shard_of(1), 0);
+        assert_eq!(s.shard_of(250), 0);
+        assert_eq!(s.shard_of(251), 1);
+        assert_eq!(s.shard_of(1000), 3);
+        // Keys beyond max_key fall into the last shard, never out of range.
+        assert_eq!(s.shard_of(u64::MAX - 1), 3);
+        // Partitions are ascending: a smaller key never lands in a later
+        // shard than a bigger one.
+        let mut prev = 0;
+        for k in 1..=1000u64 {
+            let sh = s.shard_of(k);
+            assert!(sh >= prev, "shard map not monotonic at {k}");
+            prev = sh;
+        }
+    }
+
+    #[test]
+    fn range_scan_returns_sorted_window_on_both_shardings() {
+        let hash: KvStore<HerlihyOptikSkipList> =
+            KvStore::with_shards(4, |_| HerlihyOptikSkipList::new());
+        let ordered: KvStore<HerlihyOptikSkipList> =
+            KvStore::with_ordered_shards(4, 400, |_| HerlihyOptikSkipList::new());
+        for s in [&hash, &ordered] {
+            for k in (2..=400u64).step_by(2) {
+                s.put(k, k * 10);
+            }
+            let win = s.range_scan(100, 200);
+            let want: Vec<(u64, u64)> = (100..=200u64)
+                .filter(|k| k % 2 == 0)
+                .map(|k| (k, k * 10))
+                .collect();
+            assert_eq!(win, want);
+            assert!(s.range_scan(401, 500).is_empty());
+            assert!(s.range_scan(7, 7).is_empty(), "odd keys were never put");
+            assert_eq!(s.range_scan(8, 8), vec![(8, 80)]);
+            assert!(s.range_scan(10, 9).is_empty(), "inverted window");
+        }
+    }
+
+    #[test]
+    fn range_scan_works_over_bst_shards() {
+        let s: KvStore<OptikBst> = KvStore::with_ordered_shards(3, 300, |_| OptikBst::new());
+        for k in 1..=300u64 {
+            assert_eq!(s.put(k, k + 7), None);
+        }
+        assert_eq!(s.put(42, 1000), Some(49), "in-place update through shard");
+        let all = s.range_scan(1, 300);
+        assert_eq!(all.len(), 300);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(s.range_scan(42, 42), vec![(42, 1000)]);
+    }
+
+    #[test]
+    fn kv_store_is_itself_an_ordered_map() {
+        // Nesting: a store of stores, ranged through the trait.
+        let s: KvStore<KvStore<OptikSkipList2>> = KvStore::with_ordered_shards(2, 100, |_| {
+            KvStore::with_ordered_shards(2, 100, |_| OptikSkipList2::new())
+        });
+        for k in [5u64, 50, 95] {
+            s.put(k, k);
+        }
+        let got = OrderedMap::range_collect(&s, 1, 100);
+        assert_eq!(got, vec![(5, 5), (50, 50), (95, 95)]);
+    }
 }

@@ -9,7 +9,7 @@
 
 use std::time::{Duration, Instant};
 
-use optik_harness::api::{Key, Val};
+use optik_harness::api::{Key, OrderedMap, Val};
 use optik_harness::latency::{LatencyRecorder, OpKind};
 use optik_harness::rng::FastRng;
 use optik_harness::runner::run_workers;
@@ -23,8 +23,10 @@ use crate::{ConcurrentMap, KvStore};
 /// single-key gets. Batched operations draw [`KvMix::batch`] keys per
 /// call, and batched writes alternate between `multi_put` and an
 /// equal-size `multi_remove` so — like the paper's equal insert/delete
-/// rates — the store size stays near the initial fill.
-#[derive(Debug, Clone, Copy)]
+/// rates — the store size stays near the initial fill. Range scans
+/// ([`KvMix::range_pm`]) require an [`OrderedMap`] backend and the
+/// [`run_kv_workload_ordered`] driver.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct KvMix {
     /// Permille of single-key puts.
     pub put_pm: u32,
@@ -38,6 +40,12 @@ pub struct KvMix {
     pub scan_pm: u32,
     /// Keys per batched operation.
     pub batch: usize,
+    /// Permille of bounded range scans (`range_scan`, ordered backends
+    /// only).
+    pub range_pm: u32,
+    /// Window width of a range scan: `[lo, lo + range_span - 1]` with a
+    /// sampled `lo`.
+    pub range_span: u64,
 }
 
 impl KvMix {
@@ -48,6 +56,7 @@ impl KvMix {
             .saturating_add(self.batch_get_pm)
             .saturating_add(self.batch_write_pm)
             .saturating_add(self.scan_pm)
+            .saturating_add(self.range_pm)
     }
 
     /// Permille of single-key gets (the remainder). Saturating: a mix
@@ -88,6 +97,10 @@ impl KvWorkload {
         assert!(
             mix.batch > 0 || (mix.batch_get_pm == 0 && mix.batch_write_pm == 0),
             "batched mixes need a batch size"
+        );
+        assert!(
+            mix.range_span > 0 || mix.range_pm == 0,
+            "range mixes need a range span"
         );
         let key_hi = 2 * initial_size;
         Self {
@@ -148,6 +161,10 @@ pub struct KvCounts {
     pub scans: u64,
     /// Entries observed by scans (not counted as ops).
     pub scanned_entries: u64,
+    /// Bounded range scans completed.
+    pub range_scans: u64,
+    /// Entries returned by range scans (not counted as ops).
+    pub ranged_entries: u64,
 }
 
 impl KvCounts {
@@ -162,6 +179,7 @@ impl KvCounts {
             + self.batch_get_keys
             + self.batch_write_keys
             + self.scans
+            + self.range_scans
     }
 
     fn merge(&mut self, o: &KvCounts) {
@@ -175,6 +193,8 @@ impl KvCounts {
         self.batch_write_keys += o.batch_write_keys;
         self.scans += o.scans;
         self.scanned_entries += o.scanned_entries;
+        self.range_scans += o.range_scans;
+        self.ranged_entries += o.ranged_entries;
     }
 }
 
@@ -202,6 +222,11 @@ impl KvBenchResult {
 /// Threads announce QSBR quiescence between operations (ssmem-style, as
 /// in the paper's runner); latency is recorded for single-key operations
 /// only (gets as search, puts as insert, removes as delete).
+///
+/// # Panics
+///
+/// Panics if the mix contains range scans — those need an [`OrderedMap`]
+/// backend; use [`run_kv_workload_ordered`].
 pub fn run_kv_workload<B: ConcurrentMap>(
     store: &KvStore<B>,
     threads: usize,
@@ -209,6 +234,54 @@ pub fn run_kv_workload<B: ConcurrentMap>(
     workload: &KvWorkload,
     seed: u64,
     record_latency: bool,
+) -> KvBenchResult {
+    assert!(
+        workload.mix.range_pm == 0,
+        "range mixes need an OrderedMap backend (run_kv_workload_ordered)"
+    );
+    run_kv_inner(
+        store,
+        threads,
+        duration,
+        workload,
+        seed,
+        record_latency,
+        &|_, _| unreachable!("range op drawn with range_pm == 0"),
+    )
+}
+
+/// [`run_kv_workload`] over an [`OrderedMap`]-backed store: additionally
+/// executes the mix's bounded range scans through
+/// [`KvStore::range_scan`].
+pub fn run_kv_workload_ordered<B: OrderedMap>(
+    store: &KvStore<B>,
+    threads: usize,
+    duration: Duration,
+    workload: &KvWorkload,
+    seed: u64,
+    record_latency: bool,
+) -> KvBenchResult {
+    run_kv_inner(
+        store,
+        threads,
+        duration,
+        workload,
+        seed,
+        record_latency,
+        &|lo, hi| store.range_scan(lo, hi).len() as u64,
+    )
+}
+
+/// Shared driver core; `range_exec` runs one bounded range scan and
+/// reports how many entries it returned.
+fn run_kv_inner<B: ConcurrentMap>(
+    store: &KvStore<B>,
+    threads: usize,
+    duration: Duration,
+    workload: &KvWorkload,
+    seed: u64,
+    record_latency: bool,
+    range_exec: &(dyn Fn(Key, Key) -> u64 + Sync),
 ) -> KvBenchResult {
     let mix = workload.mix;
     let start = Instant::now();
@@ -281,6 +354,17 @@ pub fn run_kv_workload<B: ConcurrentMap>(
                 store.scan(|_, _| seen += 1);
                 counts.scans += 1;
                 counts.scanned_entries += seen;
+            } else if p < mix.put_pm
+                + mix.remove_pm
+                + mix.batch_get_pm
+                + mix.batch_write_pm
+                + mix.scan_pm
+                + mix.range_pm
+            {
+                let lo = workload.sample_key(&mut rng);
+                let hi = lo.saturating_add(mix.range_span - 1);
+                counts.ranged_entries += range_exec(lo, hi);
+                counts.range_scans += 1;
             } else {
                 let k = workload.sample_key(&mut rng);
                 let t0 = record_latency.then(synchro::cycles::now);
@@ -329,6 +413,7 @@ mod tests {
             batch_write_pm: 0,
             scan_pm: 0,
             batch: 0,
+            ..KvMix::default()
         }
     }
 
@@ -343,6 +428,7 @@ mod tests {
             batch_write_pm: 200,
             scan_pm: 10,
             batch: 8,
+            ..KvMix::default()
         };
         assert_eq!(full.get_pm(), 290);
     }
@@ -358,6 +444,7 @@ mod tests {
             batch_write_pm: 0,
             scan_pm: 0,
             batch: 0,
+            ..KvMix::default()
         };
         assert_eq!(m.get_pm(), 0);
     }
@@ -375,6 +462,7 @@ mod tests {
                 batch_write_pm: 0,
                 scan_pm: 0,
                 batch: 0,
+                ..KvMix::default()
             },
         );
     }
@@ -402,6 +490,7 @@ mod tests {
                 batch_write_pm: 150,
                 scan_pm: 20,
                 batch: 4,
+                ..KvMix::default()
             },
         );
         let s: KvStore<StripedOptikHashTable> =
@@ -423,5 +512,49 @@ mod tests {
         // The balanced mix must keep the store near its initial size.
         let len = s.len() as i64;
         assert!((0..=128).contains(&len), "size ran away: {len}");
+    }
+
+    #[test]
+    fn ordered_driver_executes_range_scans() {
+        use optik_skiplists::OptikSkipList2;
+        let w = KvWorkload::new(
+            64,
+            false,
+            KvMix {
+                put_pm: 100,
+                remove_pm: 100,
+                range_pm: 100,
+                range_span: 16,
+                ..KvMix::default()
+            },
+        );
+        let s: KvStore<OptikSkipList2> =
+            KvStore::with_ordered_shards(4, 128, |_| OptikSkipList2::new());
+        w.initial_fill(3, &s);
+        let res = run_kv_workload_ordered(&s, 2, Duration::from_millis(60), &w, 5, false);
+        assert!(res.counts.range_scans > 0, "range scans ran");
+        assert!(
+            res.counts.ranged_entries > 0,
+            "windows over a half-full store must hit entries"
+        );
+        assert!(res.counts.get_hit + res.counts.get_miss > 0, "gets ran");
+        assert!(res.mops() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range mixes need an OrderedMap backend")]
+    fn plain_driver_rejects_range_mixes() {
+        let w = KvWorkload::new(
+            16,
+            false,
+            KvMix {
+                range_pm: 10,
+                range_span: 4,
+                ..KvMix::default()
+            },
+        );
+        let s: KvStore<StripedOptikHashTable> =
+            KvStore::with_shards(2, |_| StripedOptikHashTable::new(16, 4));
+        let _ = run_kv_workload(&s, 1, Duration::from_millis(5), &w, 1, false);
     }
 }

@@ -5,10 +5,14 @@
 //!
 //! - **insert** links level 0 with a CAS (the linearization point), then
 //!   links upper levels with CAS loops, re-searching on failure;
-//! - **delete** marks the victim's next pointers top-down, the level-0 mark
-//!   being the linearization point, then runs a cleanup search that
-//!   physically snips the victim at every level;
-//! - **searches** snip marked chains they encounter (helping).
+//! - **delete** claims the victim by swapping `FROZEN` into its value
+//!   cell — a single CAS that is the linearization point and doubles as
+//!   the arbiter against the in-place value swaps of
+//!   [`ConcurrentMap::put`] — then marks the victim's next pointers
+//!   top-down (level 0 last) and physically snips the victim at every
+//!   level;
+//! - **searches** snip marked chains they encounter (helping) and treat a
+//!   frozen value as absent.
 //!
 //! # Reclamation discipline
 //!
@@ -43,14 +47,26 @@
 //! type-stable pool + stamp-validation approach of the node-caching
 //! lists. See EXPERIMENTS.md, correctness note 3, for the full analysis.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use synchro::Backoff;
 
 use crate::level::{random_level, MAX_LEVEL};
-use crate::{assert_user_key, ConcurrentSet, Key, Val, HEAD_KEY, TAIL_KEY};
+use crate::{
+    assert_user_key, clamp_hi, ConcurrentMap, ConcurrentSet, Key, OrderedMap, Val, HEAD_KEY,
+    TAIL_KEY,
+};
 
 const MARK: usize = 1;
+
+/// Tombstone the deleter swaps into a node's value cell: the **single-CAS
+/// linearization point of a removal**, value-wise. With in-place upserts
+/// (`ConcurrentMap::put`) a lock-free node needs one cell that serializes
+/// "replace the value" against "remove the binding"; the value cell itself
+/// is that cell. Puts CAS the value and refuse the tombstone; reads treat
+/// it as absent. Consequence: `u64::MAX` is reserved and cannot be stored
+/// as a user value in this structure.
+const FROZEN: Val = u64::MAX;
 
 #[inline]
 fn marked(w: usize) -> bool {
@@ -71,7 +87,8 @@ const RETIRE_HANDOFF: usize = 2;
 
 pub(crate) struct Node {
     key: Key,
-    val: Val,
+    /// The binding, or `FROZEN` once removed (see the const docs).
+    val: AtomicU64,
     top_level: usize,
     /// Insert/delete retirement coordination (see the reclamation notes
     /// in the module docs): LINKING → LINK_DONE (normal) or
@@ -88,7 +105,7 @@ impl Node {
     fn boxed(key: Key, val: Val, top_level: usize) -> *mut Node {
         Box::into_raw(Box::new(Node {
             key,
-            val,
+            val: AtomicU64::new(val),
             top_level,
             state: AtomicUsize::new(LINKING),
             gc_next: AtomicUsize::new(0),
@@ -288,6 +305,38 @@ impl FraserSkipList {
         }
     }
 
+    /// Completes the physical phase of a removal whose value cell is
+    /// already frozen: marks the tower top-down (level 0 last) and snips
+    /// the node at every level. Safe to run from *any* thread — the mark
+    /// CAS loops tolerate concurrent markers and `unlink_node` tolerates
+    /// concurrent sweeps — so writers that find a frozen twin **help**
+    /// instead of waiting on the remover's progress (the structure stays
+    /// non-blocking). Retirement is NOT part of this: the handshake
+    /// belongs exclusively to the freeze winner.
+    ///
+    /// # Safety
+    ///
+    /// QSBR grace period required; `victim`'s value cell must be frozen
+    /// (its removal has linearized).
+    unsafe fn help_physical_remove(&self, victim: *mut Node) {
+        // SAFETY: per contract.
+        unsafe {
+            for l in (0..=(*victim).top_level).rev() {
+                loop {
+                    let w = (*victim).next[l].load(Ordering::Acquire);
+                    if marked(w)
+                        || (*victim).next[l]
+                            .compare_exchange(w, w | MARK, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                    {
+                        break;
+                    }
+                }
+            }
+            self.unlink_node(victim);
+        }
+    }
+
     /// Inserter-side half of the retirement handshake; must be the last
     /// action of every `insert` that published its node.
     ///
@@ -322,13 +371,33 @@ impl Default for FraserSkipList {
     }
 }
 
-impl ConcurrentSet for FraserSkipList {
-    fn search(&self, key: Key) -> Option<Val> {
-        assert_user_key(key);
-        reclaim::quiescent();
-        // Read-only traversal (no helping), like the paper's wait-free
-        // searches.
-        // SAFETY: grace period.
+impl FraserSkipList {
+    /// Number of elements (O(n); exact only in quiescence). Inherent so
+    /// callers with both [`ConcurrentSet`] and [`ConcurrentMap`] in scope
+    /// need no disambiguation.
+    pub fn len(&self) -> usize {
+        ConcurrentSet::len(self)
+    }
+
+    /// Whether the structure is empty (see [`FraserSkipList::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read-only probe for a live-linked node with `key` (observed through
+    /// an unmarked pointer), like the paper's wait-free searches.
+    ///
+    /// A returned node may still be value-frozen — the caller decides
+    /// presence by loading `val` (see `FROZEN`). A frozen node stays
+    /// visible to probes until it is marked and snipped, which is exactly
+    /// what keeps a key unique: inserters refuse to link a second node
+    /// while the frozen one is reachable.
+    ///
+    /// # Safety
+    ///
+    /// QSBR grace period required.
+    unsafe fn find_live(&self, key: Key) -> Option<*mut Node> {
+        // SAFETY: per contract.
         unsafe {
             let mut pred = self.head;
             for l in (0..MAX_LEVEL).rev() {
@@ -347,15 +416,31 @@ impl ConcurrentSet for FraserSkipList {
                     break;
                 }
                 if (*cur).key == key {
-                    return Some((*cur).val);
+                    return Some(cur);
                 }
             }
             None
         }
     }
+}
+
+impl ConcurrentSet for FraserSkipList {
+    fn search(&self, key: Key) -> Option<Val> {
+        assert_user_key(key);
+        reclaim::quiescent();
+        // SAFETY: grace period.
+        unsafe {
+            let n = self.find_live(key)?;
+            let v = (*n).val.load(Ordering::Acquire);
+            (v != FROZEN).then_some(v)
+        }
+    }
 
     fn insert(&self, key: Key, val: Val) -> bool {
         assert_user_key(key);
+        // Hard assert (not debug): storing the tombstone would freeze the
+        // node as if removed, silently bricking the key in release builds.
+        assert!(val != FROZEN, "u64::MAX is the reserved tombstone value");
         reclaim::quiescent();
         let top_level = random_level() - 1;
         let node = Node::boxed(key, val, top_level);
@@ -368,6 +453,16 @@ impl ConcurrentSet for FraserSkipList {
             loop {
                 self.locate(key, &mut preds, &mut succs);
                 if (*succs[0]).key == key {
+                    if (*succs[0]).val.load(Ordering::Acquire) == FROZEN {
+                        // Value-frozen twin: its remove has linearized but
+                        // the physical unlink is still in flight. Linking a
+                        // second node now would leave two reachable nodes
+                        // for one key — and waiting on the remover would
+                        // block, so finish its physical phase ourselves and
+                        // re-locate.
+                        self.help_physical_remove(succs[0]);
+                        continue;
+                    }
                     // SAFETY: node never published.
                     drop(Box::from_raw(node));
                     return false;
@@ -466,55 +561,31 @@ impl ConcurrentSet for FraserSkipList {
                 return None;
             }
             let victim = succs[0];
-            // Mark upper levels top-down.
-            for l in (1..=(*victim).top_level).rev() {
-                loop {
-                    let w = (*victim).next[l].load(Ordering::Acquire);
-                    if marked(w) {
-                        break;
-                    }
-                    if (*victim).next[l]
-                        .compare_exchange(w, w | MARK, Ordering::AcqRel, Ordering::Acquire)
-                        .is_ok()
-                    {
-                        break;
-                    }
-                }
+            // Claim the victim by freezing its value cell: the
+            // linearization point, and the single CAS that arbitrates
+            // between racing removers and in-place `put` swaps.
+            let val = (*victim).val.swap(FROZEN, Ordering::AcqRel);
+            if val == FROZEN {
+                // Another remover owns this node (it linearized first).
+                return None;
             }
-            // Level-0 mark: the linearization point; its winner owns
-            // reclamation.
-            loop {
-                let w = (*victim).next[0].load(Ordering::Acquire);
-                if marked(w) {
-                    // Another deleter won.
-                    return None;
-                }
-                if (*victim).next[0]
-                    .compare_exchange(w, w | MARK, Ordering::AcqRel, Ordering::Acquire)
-                    .is_ok()
-                {
-                    let val = (*victim).val;
-                    // Physically remove at every level by identity, then
-                    // run the retirement handshake with the victim's
-                    // inserter (see the module reclamation notes).
-                    self.unlink_node(victim);
-                    if (*victim)
-                        .state
-                        .compare_exchange(
-                            LINKING,
-                            RETIRE_HANDOFF,
-                            Ordering::AcqRel,
-                            Ordering::Acquire,
-                        )
-                        .is_err()
-                    {
-                        // Inserter already done (LINK_DONE): we own
-                        // reclamation. SAFETY: single owner (handshake).
-                        self.retire_deferred(victim);
-                    }
-                    return Some(val);
-                }
+            // Physical phase: mark the tower top-down (level 0 last,
+            // preserving the invariant that a node observed through an
+            // unmarked level-l pointer has not been unlinked below) and
+            // snip every level. Writers that found the frozen cell may be
+            // helping concurrently; the retirement handshake below stays
+            // exclusively ours (we won the freeze).
+            self.help_physical_remove(victim);
+            if (*victim)
+                .state
+                .compare_exchange(LINKING, RETIRE_HANDOFF, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                // Inserter already done (LINK_DONE): we own reclamation.
+                // SAFETY: single owner (handshake).
+                self.retire_deferred(victim);
             }
+            Some(val)
         }
     }
 
@@ -531,6 +602,136 @@ impl ConcurrentSet for FraserSkipList {
                 cur = unmark((*cur).next[0].load(Ordering::Acquire)) as *mut Node;
             }
             n
+        }
+    }
+}
+
+impl ConcurrentMap for FraserSkipList {
+    fn get(&self, key: Key) -> Option<Val> {
+        ConcurrentSet::search(self, key)
+    }
+
+    /// Lock-free in-place upsert: a present key's value is replaced with a
+    /// CAS loop on the value cell, which refuses `FROZEN` — so an update
+    /// can never race past a remove (both linearize on the same cell). An
+    /// absent (or frozen, once unlinked) key goes through the ordinary
+    /// lock-free insert.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `val == u64::MAX` (reserved, see `FROZEN`) — in every
+    /// build profile: storing the tombstone would act as a removal.
+    fn put(&self, key: Key, val: Val) -> Option<Val> {
+        assert_user_key(key);
+        // Hard assert (not debug): storing the tombstone would act as a
+        // removal reported as an update (see `FROZEN`).
+        assert!(val != FROZEN, "u64::MAX is the reserved tombstone value");
+        reclaim::quiescent();
+        let mut bo = Backoff::new();
+        loop {
+            // SAFETY: grace period per attempt.
+            unsafe {
+                if let Some(n) = self.find_live(key) {
+                    let mut cur = (*n).val.load(Ordering::Acquire);
+                    loop {
+                        if cur == FROZEN {
+                            break;
+                        }
+                        match (*n).val.compare_exchange_weak(
+                            cur,
+                            val,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        ) {
+                            Ok(prev) => return Some(prev),
+                            Err(now) => cur = now,
+                        }
+                    }
+                    // Frozen: the binding was removed but the node is not
+                    // yet snipped. Help the remover's physical phase (never
+                    // wait on its progress), then insert fresh.
+                    self.help_physical_remove(n);
+                    continue;
+                }
+            }
+            if ConcurrentSet::insert(self, key, val) {
+                return None;
+            }
+            bo.backoff();
+        }
+    }
+
+    fn remove(&self, key: Key) -> Option<Val> {
+        ConcurrentSet::delete(self, key)
+    }
+
+    fn len(&self) -> usize {
+        ConcurrentSet::len(self)
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(Key, Val)) {
+        self.range(HEAD_KEY + 1, TAIL_KEY - 1, f);
+    }
+}
+
+impl OrderedMap for FraserSkipList {
+    /// Lock-free level-0 walk in a single forward pass. Each node is
+    /// decided from two atomic reads — its level-0 word (marked =
+    /// unlinked) and its value cell (frozen = removed) — and a monotonic
+    /// floor keeps the output sorted and duplicate-free even if a stale
+    /// snipped detour briefly runs the walk through older-era nodes. No
+    /// lock fallback exists or is needed: nothing here ever blocks, and
+    /// under a writer-excluding lock (the kv store's shard fallback) the
+    /// chain is clean and the pass is exact.
+    fn range(&self, lo: Key, hi: Key, f: &mut dyn FnMut(Key, Val)) {
+        let hi = clamp_hi(hi);
+        reclaim::quiescent();
+        let mut from = lo.max(HEAD_KEY + 1);
+        if from > hi {
+            return;
+        }
+        // SAFETY: grace period for the whole pass.
+        unsafe {
+            // Read-only descent (upper levels) to a predecessor of `from`.
+            let mut pred = self.head;
+            for l in (1..MAX_LEVEL).rev() {
+                let mut cur = unmark((*pred).next[l].load(Ordering::Acquire)) as *mut Node;
+                loop {
+                    let cur_w = (*cur).next[l].load(Ordering::Acquire);
+                    if marked(cur_w) {
+                        cur = unmark(cur_w) as *mut Node;
+                        continue;
+                    }
+                    if (*cur).key < from {
+                        pred = cur;
+                        cur = unmark(cur_w) as *mut Node;
+                        continue;
+                    }
+                    break;
+                }
+            }
+            // Level-0 walk.
+            let mut cur = unmark((*pred).next[0].load(Ordering::Acquire)) as *mut Node;
+            loop {
+                let key = (*cur).key;
+                if key > hi {
+                    return;
+                }
+                let w = (*cur).next[0].load(Ordering::Acquire);
+                if marked(w) {
+                    // Unlinked (or mid-unlink): skip without deciding.
+                    cur = unmark(w) as *mut Node;
+                    continue;
+                }
+                if key >= from {
+                    let v = (*cur).val.load(Ordering::Acquire);
+                    if v != FROZEN {
+                        f(key, v);
+                    }
+                    from = key + 1;
+                }
+                cur = unmark(w) as *mut Node;
+            }
         }
     }
 }

@@ -7,16 +7,21 @@
 //! flag makes multi-level insertion appear atomic; a `marked` flag makes
 //! deletion logical before physical.
 
-use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 
 use synchro::{Backoff, RawLock, TtasLock};
 
 use crate::level::{random_level, MAX_LEVEL};
-use crate::{assert_user_key, ConcurrentSet, Key, Val, HEAD_KEY, TAIL_KEY};
+use crate::{
+    assert_user_key, clamp_hi, ConcurrentMap, ConcurrentSet, Key, OrderedMap, Val, HEAD_KEY,
+    RANGE_OPTIMISTIC_ATTEMPTS, TAIL_KEY,
+};
 
 pub(crate) struct Node {
     key: Key,
-    val: Val,
+    /// In-place-updatable binding (the `ConcurrentMap` upsert contract):
+    /// swapped under this node's lock, read lock-free.
+    val: AtomicU64,
     /// Highest valid index into `next` (tower height − 1).
     top_level: usize,
     lock: TtasLock,
@@ -29,7 +34,7 @@ impl Node {
     fn boxed(key: Key, val: Val, top_level: usize, linked: bool) -> *mut Node {
         Box::into_raw(Box::new(Node {
             key,
-            val,
+            val: AtomicU64::new(val),
             top_level,
             lock: TtasLock::new(),
             marked: AtomicBool::new(false),
@@ -97,6 +102,18 @@ impl HerlihySkipList {
         }
     }
 
+    /// Number of elements (O(n); exact only in quiescence). Inherent so
+    /// callers with both [`ConcurrentSet`] and [`ConcurrentMap`] in scope
+    /// need no disambiguation.
+    pub fn len(&self) -> usize {
+        ConcurrentSet::len(self)
+    }
+
+    /// Whether the structure is empty (see [`HerlihySkipList::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Unlocks `preds[0..=highest]`, each distinct node once.
     ///
     /// # Safety
@@ -143,7 +160,7 @@ impl ConcurrentSet for HerlihySkipList {
             (!found.is_null()
                 && (*found).fully_linked.load(Ordering::Acquire)
                 && !(*found).marked.load(Ordering::Acquire))
-            .then(|| (*found).val)
+            .then(|| (*found).val.load(Ordering::Acquire))
         }
     }
 
@@ -277,7 +294,9 @@ impl ConcurrentSet for HerlihySkipList {
                     (*preds[l]).next[l]
                         .store((*victim).next[l].load(Ordering::Relaxed), Ordering::Release);
                 }
-                let val = (*victim).val;
+                // Read under the victim's lock: serialized against the
+                // in-place swaps of `ConcurrentMap::put`.
+                let val = (*victim).val.load(Ordering::Relaxed);
                 (*victim).lock.unlock();
                 Self::unlock_preds(&preds, top_level);
                 // SAFETY: fully unlinked; sole deleter (we won the marking).
@@ -302,6 +321,161 @@ impl ConcurrentSet for HerlihySkipList {
                 cur = (*cur).next[0].load(Ordering::Acquire);
             }
             n
+        }
+    }
+}
+
+impl ConcurrentMap for HerlihySkipList {
+    fn get(&self, key: Key) -> Option<Val> {
+        ConcurrentSet::search(self, key)
+    }
+
+    /// In-place upsert: a present key's value is swapped under the node's
+    /// own lock — the same lock a deleter must hold to mark its victim, so
+    /// the swap and the delete's value read are serialized and no
+    /// absent-key window is ever observable. An absent key goes through
+    /// the ordinary optimistic insert.
+    fn put(&self, key: Key, val: Val) -> Option<Val> {
+        assert_user_key(key);
+        reclaim::quiescent();
+        let mut preds = [std::ptr::null_mut(); MAX_LEVEL];
+        let mut succs = [std::ptr::null_mut(); MAX_LEVEL];
+        let mut bo = Backoff::new();
+        loop {
+            // SAFETY: grace period per attempt.
+            unsafe {
+                if let Some(lf) = self.find(key, &mut preds, &mut succs) {
+                    let n = succs[lf];
+                    if (*n).marked.load(Ordering::Acquire) {
+                        // Being deleted: wait for the unlink, then insert.
+                        bo.backoff();
+                        continue;
+                    }
+                    while !(*n).fully_linked.load(Ordering::Acquire) {
+                        synchro::relax();
+                    }
+                    (*n).lock.lock();
+                    if (*n).marked.load(Ordering::Acquire) {
+                        // A deleter claimed the node before us.
+                        (*n).lock.unlock();
+                        bo.backoff();
+                        continue;
+                    }
+                    let prev = (*n).val.swap(val, Ordering::AcqRel);
+                    (*n).lock.unlock();
+                    return Some(prev);
+                }
+            }
+            if ConcurrentSet::insert(self, key, val) {
+                return None;
+            }
+            // Lost an insert race; the key exists now — retry the update.
+            bo.backoff();
+        }
+    }
+
+    fn remove(&self, key: Key) -> Option<Val> {
+        ConcurrentSet::delete(self, key)
+    }
+
+    fn len(&self) -> usize {
+        ConcurrentSet::len(self)
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(Key, Val)) {
+        self.range(HEAD_KEY + 1, TAIL_KEY - 1, f);
+    }
+}
+
+impl OrderedMap for HerlihySkipList {
+    /// Level-0 walk with Herlihy-style per-step validation: each emitted
+    /// entry was read while its predecessor link was re-checked unchanged
+    /// (`!pred.marked && pred.next[0] == cur`). On interference the
+    /// traversal re-descends to just past the last emitted key, so output
+    /// stays sorted and duplicate-free; after
+    /// `RANGE_OPTIMISTIC_ATTEMPTS` consecutive failures one step is
+    /// taken under the predecessor's lock (guaranteed progress).
+    fn range(&self, lo: Key, hi: Key, f: &mut dyn FnMut(Key, Val)) {
+        let hi = clamp_hi(hi);
+        reclaim::quiescent();
+        let mut from = lo.max(HEAD_KEY + 1);
+        let mut fails = 0usize;
+        let mut bo = Backoff::new();
+        'restart: loop {
+            if from > hi {
+                return;
+            }
+            // SAFETY: grace period; re-announced only between restarts
+            // (no references are held across them).
+            unsafe {
+                // Descend to the predecessor of `from`.
+                let mut pred = self.head;
+                for l in (0..MAX_LEVEL).rev() {
+                    let mut cur = (*pred).next[l].load(Ordering::Acquire);
+                    while (*cur).key < from {
+                        pred = cur;
+                        cur = (*cur).next[l].load(Ordering::Acquire);
+                    }
+                }
+                if fails >= RANGE_OPTIMISTIC_ATTEMPTS {
+                    // Locked fallback: decide one node under pred's lock.
+                    // The monotonic floor applies here exactly as on the
+                    // optimistic path: a successor below `from` (a smaller
+                    // key slid in under churn) is outside the remaining
+                    // window and must be neither emitted nor allowed to
+                    // move the floor backward.
+                    (*pred).lock.lock();
+                    if (*pred).marked.load(Ordering::Acquire) {
+                        (*pred).lock.unlock();
+                        bo.backoff();
+                        continue 'restart;
+                    }
+                    let cur = (*pred).next[0].load(Ordering::Acquire);
+                    let key = (*cur).key;
+                    if key > hi {
+                        (*pred).lock.unlock();
+                        return;
+                    }
+                    if key >= from {
+                        if (*cur).fully_linked.load(Ordering::Acquire)
+                            && !(*cur).marked.load(Ordering::Acquire)
+                        {
+                            f(key, (*cur).val.load(Ordering::Acquire));
+                        }
+                        from = key + 1;
+                        fails = 0;
+                    }
+                    (*pred).lock.unlock();
+                    continue 'restart;
+                }
+                // Optimistic level-0 walk.
+                loop {
+                    let cur = (*pred).next[0].load(Ordering::Acquire);
+                    let key = (*cur).key;
+                    if key > hi {
+                        return;
+                    }
+                    let live = (*cur).fully_linked.load(Ordering::Acquire)
+                        && !(*cur).marked.load(Ordering::Acquire);
+                    let val = (*cur).val.load(Ordering::Acquire);
+                    // Validate the step: the link we read through must
+                    // still be intact, or the fields above may belong to
+                    // a node that was never `cur`'s successor state.
+                    if (*pred).marked.load(Ordering::Acquire)
+                        || (*pred).next[0].load(Ordering::Acquire) != cur
+                    {
+                        fails += 1;
+                        bo.backoff();
+                        continue 'restart;
+                    }
+                    if live && key >= from {
+                        f(key, val);
+                        from = key + 1;
+                        fails = 0;
+                    }
+                    pred = cur;
+                }
+            }
         }
     }
 }

@@ -12,17 +12,22 @@
 //! Every modifying critical section releases with `unlock` (version bump);
 //! aborting ones use `revert`, so versions track modifications exactly.
 
-use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 
 use optik::{OptikLock, OptikVersioned, Version};
 use synchro::Backoff;
 
 use crate::level::{random_level, MAX_LEVEL};
-use crate::{assert_user_key, ConcurrentSet, Key, Val, HEAD_KEY, TAIL_KEY};
+use crate::{
+    assert_user_key, clamp_hi, ConcurrentMap, ConcurrentSet, Key, OrderedMap, Val, HEAD_KEY,
+    RANGE_OPTIMISTIC_ATTEMPTS, TAIL_KEY,
+};
 
 pub(crate) struct Node {
     key: Key,
-    val: Val,
+    /// In-place-updatable binding: swapped under this node's OPTIK lock,
+    /// read lock-free.
+    val: AtomicU64,
     top_level: usize,
     lock: OptikVersioned,
     marked: AtomicBool,
@@ -34,7 +39,7 @@ impl Node {
     fn boxed(key: Key, val: Val, top_level: usize, linked: bool) -> *mut Node {
         Box::into_raw(Box::new(Node {
             key,
-            val,
+            val: AtomicU64::new(val),
             top_level,
             lock: OptikVersioned::new(),
             marked: AtomicBool::new(false),
@@ -116,6 +121,18 @@ impl HerlihyOptikSkipList {
             }
         }
         Self { head }
+    }
+
+    /// Number of elements (O(n); exact only in quiescence). Inherent so
+    /// callers with both [`ConcurrentSet`] and [`ConcurrentMap`] in scope
+    /// need no disambiguation.
+    pub fn len(&self) -> usize {
+        ConcurrentSet::len(self)
+    }
+
+    /// Whether the structure is empty (see [`HerlihyOptikSkipList::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// `find` with per-level predecessor *version* tracking: each
@@ -230,7 +247,7 @@ impl ConcurrentSet for HerlihyOptikSkipList {
             (!found.is_null()
                 && (*found).fully_linked.load(Ordering::Acquire)
                 && !(*found).marked.load(Ordering::Acquire))
-            .then(|| (*found).val)
+            .then(|| (*found).val.load(Ordering::Acquire))
         }
     }
 
@@ -347,7 +364,9 @@ impl ConcurrentSet for HerlihyOptikSkipList {
                         .store((*victim).next[l].load(Ordering::Relaxed), Ordering::Release);
                     held.mark_modified(preds[l]);
                 }
-                let val = (*victim).val;
+                // Read under the victim's lock: serialized against the
+                // in-place swaps of `ConcurrentMap::put`.
+                let val = (*victim).val.load(Ordering::Relaxed);
                 // Victim was modified (marked + unlinked): bump its version.
                 (*victim).lock.unlock();
                 held.release_all();
@@ -373,6 +392,156 @@ impl ConcurrentSet for HerlihyOptikSkipList {
                 cur = (*cur).next[0].load(Ordering::Acquire);
             }
             n
+        }
+    }
+}
+
+impl ConcurrentMap for HerlihyOptikSkipList {
+    fn get(&self, key: Key) -> Option<Val> {
+        ConcurrentSet::search(self, key)
+    }
+
+    /// In-place upsert under the node's OPTIK lock. The lock excludes the
+    /// deleter (which holds it across mark + value read), so the swap and
+    /// the delete serialize; the release is a `revert` because a value
+    /// swap changes no `next` pointer — the only thing concurrent
+    /// traversals validate this node's version for.
+    fn put(&self, key: Key, val: Val) -> Option<Val> {
+        assert_user_key(key);
+        reclaim::quiescent();
+        let mut preds = [std::ptr::null_mut(); MAX_LEVEL];
+        let mut predvs = [0; MAX_LEVEL];
+        let mut succs = [std::ptr::null_mut(); MAX_LEVEL];
+        let mut bo = Backoff::new();
+        loop {
+            // SAFETY: grace period per attempt.
+            unsafe {
+                if let Some(lf) = self.find_tracking(key, &mut preds, &mut predvs, &mut succs) {
+                    let n = succs[lf];
+                    if (*n).marked.load(Ordering::Acquire) {
+                        bo.backoff();
+                        continue;
+                    }
+                    while !(*n).fully_linked.load(Ordering::Acquire) {
+                        synchro::relax();
+                    }
+                    (*n).lock.lock();
+                    if (*n).marked.load(Ordering::Acquire) {
+                        // Claimed by a deleter while we waited; we modified
+                        // nothing.
+                        (*n).lock.revert();
+                        bo.backoff();
+                        continue;
+                    }
+                    let prev = (*n).val.swap(val, Ordering::AcqRel);
+                    (*n).lock.revert();
+                    return Some(prev);
+                }
+            }
+            if ConcurrentSet::insert(self, key, val) {
+                return None;
+            }
+            bo.backoff();
+        }
+    }
+
+    fn remove(&self, key: Key) -> Option<Val> {
+        ConcurrentSet::delete(self, key)
+    }
+
+    fn len(&self) -> usize {
+        ConcurrentSet::len(self)
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(Key, Val)) {
+        self.range(HEAD_KEY + 1, TAIL_KEY - 1, f);
+    }
+}
+
+impl OrderedMap for HerlihyOptikSkipList {
+    /// OPTIK-validated level-0 walk: the predecessor's version is read on
+    /// arrival and validated after the successor's fields are read — the
+    /// read-side half of the OPTIK pattern, per step. Interference
+    /// re-descends to just past the last emitted key (sorted,
+    /// duplicate-free output); `RANGE_OPTIMISTIC_ATTEMPTS` consecutive
+    /// failures fall back to one step under the predecessor's lock.
+    fn range(&self, lo: Key, hi: Key, f: &mut dyn FnMut(Key, Val)) {
+        let hi = clamp_hi(hi);
+        reclaim::quiescent();
+        let mut from = lo.max(HEAD_KEY + 1);
+        let mut fails = 0usize;
+        let mut bo = Backoff::new();
+        'restart: loop {
+            if from > hi {
+                return;
+            }
+            // SAFETY: grace period.
+            unsafe {
+                let mut pred = self.head;
+                let mut predv = (*pred).lock.get_version();
+                for l in (0..MAX_LEVEL).rev() {
+                    let mut cur = (*pred).next[l].load(Ordering::Acquire);
+                    while (*cur).key < from {
+                        pred = cur;
+                        predv = (*pred).lock.get_version();
+                        cur = (*pred).next[l].load(Ordering::Acquire);
+                    }
+                }
+                if fails >= RANGE_OPTIMISTIC_ATTEMPTS {
+                    // Locked fallback. Deleters release their victims'
+                    // locks in this design, so a blocking acquisition
+                    // always returns; a marked pred just re-descends. The
+                    // monotonic floor applies exactly as on the optimistic
+                    // path: a successor below `from` is neither emitted
+                    // nor allowed to move the floor backward.
+                    (*pred).lock.lock();
+                    if (*pred).marked.load(Ordering::Acquire) {
+                        (*pred).lock.revert();
+                        bo.backoff();
+                        continue 'restart;
+                    }
+                    let cur = (*pred).next[0].load(Ordering::Acquire);
+                    let key = (*cur).key;
+                    if key > hi {
+                        (*pred).lock.revert();
+                        return;
+                    }
+                    if key >= from {
+                        if (*cur).fully_linked.load(Ordering::Acquire)
+                            && !(*cur).marked.load(Ordering::Acquire)
+                        {
+                            f(key, (*cur).val.load(Ordering::Acquire));
+                        }
+                        from = key + 1;
+                        fails = 0;
+                    }
+                    (*pred).lock.revert();
+                    continue 'restart;
+                }
+                loop {
+                    let cur = (*pred).next[0].load(Ordering::Acquire);
+                    let key = (*cur).key;
+                    if key > hi {
+                        return;
+                    }
+                    let live = (*cur).fully_linked.load(Ordering::Acquire)
+                        && !(*cur).marked.load(Ordering::Acquire);
+                    let val = (*cur).val.load(Ordering::Acquire);
+                    let nextv = (*cur).lock.get_version();
+                    if !(*pred).lock.validate(predv) {
+                        fails += 1;
+                        bo.backoff();
+                        continue 'restart;
+                    }
+                    if live && key >= from {
+                        f(key, val);
+                        from = key + 1;
+                        fails = 0;
+                    }
+                    pred = cur;
+                    predv = nextv;
+                }
+            }
         }
     }
 }

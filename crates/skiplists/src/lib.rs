@@ -34,12 +34,18 @@ pub use herlihy_optik::HerlihyOptikSkipList;
 pub use level::{random_level, MAX_LEVEL};
 pub use optik_sl::{OptikSkipList1, OptikSkipList2};
 
-pub use optik_harness::api::{ConcurrentSet, Key, Val};
+pub use optik_harness::api::{ConcurrentMap, ConcurrentSet, Key, OrderedMap, Val};
 
 /// Sentinel key of the head tower.
 pub const HEAD_KEY: Key = 0;
 /// Sentinel key of the tail tower.
 pub const TAIL_KEY: Key = u64::MAX;
+
+/// Consecutive per-step validation failures a range traversal tolerates
+/// before falling back to a locked step (see each list's `OrderedMap`
+/// impl). Matches the kv store's optimistic-attempt budget in spirit:
+/// cheap retries first, guaranteed progress after.
+pub(crate) const RANGE_OPTIMISTIC_ATTEMPTS: usize = 8;
 
 #[inline]
 pub(crate) fn assert_user_key(key: Key) {
@@ -47,6 +53,12 @@ pub(crate) fn assert_user_key(key: Key) {
         key > HEAD_KEY && key < TAIL_KEY,
         "user keys must be in (0, u64::MAX)"
     );
+}
+
+/// Clamps a user-supplied range bound below the tail sentinel.
+#[inline]
+pub(crate) fn clamp_hi(hi: Key) -> Key {
+    hi.min(TAIL_KEY - 1)
 }
 
 #[cfg(test)]
@@ -160,6 +172,156 @@ mod cross_tests {
             });
             let expected = THREADS * RANGE - THREADS * RANGE.div_ceil(3);
             assert_eq!(s.len() as u64, expected, "{name}");
+        }
+    }
+
+    fn ordered_implementations() -> Vec<(&'static str, Arc<dyn OrderedMap>)> {
+        vec![
+            ("herlihy", Arc::new(HerlihySkipList::new())),
+            ("herl-optik", Arc::new(HerlihyOptikSkipList::new())),
+            ("optik1", Arc::new(OptikSkipList1::new())),
+            ("optik2", Arc::new(OptikSkipList2::new())),
+            ("fraser", Arc::new(FraserSkipList::new())),
+        ]
+    }
+
+    #[test]
+    fn map_upsert_roundtrip() {
+        for (name, m) in ordered_implementations() {
+            assert_eq!(m.put(10, 100), None, "{name}");
+            assert_eq!(m.put(10, 101), Some(100), "{name}: in-place update");
+            assert_eq!(m.get(10), Some(101), "{name}");
+            assert_eq!(m.put(5, 50), None, "{name}");
+            assert_eq!(m.remove(10), Some(101), "{name}");
+            assert_eq!(m.get(10), None, "{name}");
+            assert_eq!(m.remove(10), None, "{name}");
+            assert_eq!(m.put(10, 102), None, "{name}: reinsert after remove");
+            assert_eq!(ConcurrentMap::len(m.as_ref()), 2, "{name}");
+        }
+    }
+
+    #[test]
+    fn range_matches_btreemap_windows() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        for (name, m) in ordered_implementations() {
+            let mut rng = StdRng::seed_from_u64(0x0A11CE);
+            let mut model = std::collections::BTreeMap::new();
+            for _ in 0..4_000 {
+                let k = rng.gen_range(1..=128u64);
+                if rng.gen_range(0..3) < 2 {
+                    model.insert(k, k * 7);
+                    m.put(k, k * 7);
+                } else {
+                    assert_eq!(m.remove(k), model.remove(&k), "{name} remove {k}");
+                }
+                if rng.gen_range(0..16) == 0 {
+                    let lo = rng.gen_range(1..=128u64);
+                    let hi = rng.gen_range(lo..=160u64);
+                    let got = m.range_collect(lo, hi);
+                    let want: Vec<(u64, u64)> =
+                        model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+                    assert_eq!(got, want, "{name} range [{lo}, {hi}]");
+                }
+            }
+            // Full sweep == for_each == model.
+            let full = m.range_collect(1, u64::MAX - 1);
+            let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+            assert_eq!(full, want, "{name} full range");
+            let mut each = Vec::new();
+            m.for_each(&mut |k, v| each.push((k, v)));
+            assert_eq!(each, want, "{name} for_each");
+        }
+    }
+
+    #[test]
+    fn concurrent_ranges_stay_sorted_and_unique() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        for (name, m) in ordered_implementations() {
+            // Stable backbone the scans must always observe.
+            for k in (10..=200u64).step_by(10) {
+                m.put(k, k);
+            }
+            let stop = Arc::new(AtomicBool::new(false));
+            let mut churners = Vec::new();
+            for t in 0..3u64 {
+                let m = Arc::clone(&m);
+                let stop = Arc::clone(&stop);
+                churners.push(std::thread::spawn(move || {
+                    let mut x = t.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                    while !stop.load(Ordering::Relaxed) {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let k = x % 200 + 1;
+                        if k % 10 == 0 {
+                            continue; // never touch the backbone
+                        }
+                        if x & 1 == 0 {
+                            m.put(k, k);
+                        } else {
+                            m.remove(k);
+                        }
+                    }
+                    reclaim::offline();
+                }));
+            }
+            for round in 0..synchro::stress::ops(300) {
+                let lo = (round % 50) * 2 + 1;
+                let got = m.range_collect(lo, 220);
+                assert!(
+                    got.windows(2).all(|w| w[0].0 < w[1].0),
+                    "{name}: unsorted or duplicated keys in {got:?}"
+                );
+                for &(k, v) in &got {
+                    assert_eq!(v, k, "{name}: foreign value");
+                }
+                // Backbone keys in range must all be present.
+                for k in (10..=200u64).step_by(10).filter(|&k| k >= lo) {
+                    assert!(
+                        got.iter().any(|&(g, _)| g == k),
+                        "{name}: scan missed stable key {k} (lo={lo})"
+                    );
+                }
+                reclaim::quiescent();
+            }
+            stop.store(true, Ordering::Relaxed);
+            for h in churners {
+                h.join().unwrap();
+            }
+            reclaim::online();
+        }
+    }
+
+    #[test]
+    fn concurrent_upserts_on_one_key_never_tear() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        for (name, m) in ordered_implementations() {
+            m.put(42, 1_000);
+            let stop = Arc::new(AtomicBool::new(false));
+            let mut writers = Vec::new();
+            for t in 0..3u64 {
+                let m = Arc::clone(&m);
+                let stop = Arc::clone(&stop);
+                writers.push(std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        // Every binding this test ever writes is >= 1000.
+                        m.put(42, 1_000 + t * 1_000_000 + i);
+                        i += 1;
+                    }
+                    reclaim::offline();
+                }));
+            }
+            for _ in 0..synchro::stress::ops(5_000) {
+                let v = m.get(42).unwrap_or_else(|| panic!("{name}: key vanished"));
+                assert!(v >= 1_000, "{name}: torn or foreign value {v}");
+                reclaim::quiescent();
+            }
+            stop.store(true, Ordering::Relaxed);
+            for h in writers {
+                h.join().unwrap();
+            }
+            reclaim::online();
         }
     }
 

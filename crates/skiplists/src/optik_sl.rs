@@ -22,17 +22,22 @@
 //! - [`OptikSkipList2`] (*optik2*): immediately restarts the operation —
 //!   simpler, and the faster of the two under skew in the paper.
 
-use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 
 use optik::{OptikLock, OptikVersioned, Version};
 use synchro::Backoff;
 
 use crate::level::{random_level, MAX_LEVEL};
-use crate::{assert_user_key, ConcurrentSet, Key, Val, HEAD_KEY, TAIL_KEY};
+use crate::{
+    assert_user_key, clamp_hi, ConcurrentMap, ConcurrentSet, Key, OrderedMap, Val, HEAD_KEY,
+    RANGE_OPTIMISTIC_ATTEMPTS, TAIL_KEY,
+};
 
 pub(crate) struct Node {
     key: Key,
-    val: Val,
+    /// In-place-updatable binding: swapped while holding this node's OPTIK
+    /// lock, read lock-free.
+    val: AtomicU64,
     top_level: usize,
     lock: OptikVersioned,
     marked: AtomicBool,
@@ -44,7 +49,7 @@ impl Node {
     fn boxed(key: Key, val: Val, top_level: usize, linked: bool) -> *mut Node {
         Box::into_raw(Box::new(Node {
             key,
-            val,
+            val: AtomicU64::new(val),
             top_level,
             lock: OptikVersioned::new(),
             marked: AtomicBool::new(false),
@@ -84,6 +89,18 @@ impl<const FINE: bool> OptikSkipList<FINE> {
             }
         }
         Self { head }
+    }
+
+    /// Number of elements (O(n); exact only in quiescence). Inherent so
+    /// callers with both [`ConcurrentSet`] and [`ConcurrentMap`] in scope
+    /// need no disambiguation.
+    pub fn len(&self) -> usize {
+        ConcurrentSet::len(self)
+    }
+
+    /// Whether the structure is empty (see [`OptikSkipList::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Traversal with per-level predecessor version tracking.
@@ -207,7 +224,7 @@ impl<const FINE: bool> ConcurrentSet for OptikSkipList<FINE> {
             (!found.is_null()
                 && (*found).fully_linked.load(Ordering::Acquire)
                 && !(*found).marked.load(Ordering::Acquire))
-            .then(|| (*found).val)
+            .then(|| (*found).val.load(Ordering::Acquire))
         }
     }
 
@@ -360,7 +377,10 @@ impl<const FINE: bool> ConcurrentSet for OptikSkipList<FINE> {
                 for p in acquired {
                     (*p).lock.unlock();
                 }
-                let val = (*victim).val;
+                // Read while holding the victim's lock (claimed forever):
+                // serialized against `ConcurrentMap::put`'s in-place swaps,
+                // which require acquiring that same lock.
+                let val = (*victim).val.load(Ordering::Relaxed);
                 // The victim's lock is never released ("locked forever").
                 // SAFETY: fully unlinked; sole claimer retires.
                 reclaim::with_local(|h| h.retire(victim));
@@ -384,6 +404,168 @@ impl<const FINE: bool> ConcurrentSet for OptikSkipList<FINE> {
                 cur = (*cur).next[0].load(Ordering::Acquire);
             }
             n
+        }
+    }
+}
+
+impl<const FINE: bool> ConcurrentMap for OptikSkipList<FINE> {
+    fn get(&self, key: Key) -> Option<Val> {
+        ConcurrentSet::search(self, key)
+    }
+
+    /// In-place upsert, OPTIK style: the node's version is read before the
+    /// liveness checks and the swap happens only after a successful
+    /// `try_lock_version` against it — acquisition *is* revalidation. A
+    /// deleter claims its victim by locking it forever, so holding the
+    /// lock proves the node was never claimed; the release is a `revert`
+    /// because a value swap modifies no `next` pointer.
+    fn put(&self, key: Key, val: Val) -> Option<Val> {
+        assert_user_key(key);
+        reclaim::quiescent();
+        let mut preds = [std::ptr::null_mut(); MAX_LEVEL];
+        let mut predvs = [0; MAX_LEVEL];
+        let mut succs = [std::ptr::null_mut(); MAX_LEVEL];
+        let mut bo = Backoff::new();
+        loop {
+            // SAFETY: grace period per attempt.
+            unsafe {
+                if let Some(lf) = self.find_tracking(key, &mut preds, &mut predvs, &mut succs) {
+                    let n = succs[lf];
+                    // Version first, checks after: a successful
+                    // try_lock_version then validates them.
+                    let nv = (*n).lock.get_version();
+                    if (*n).marked.load(Ordering::Acquire) {
+                        // Claimed victim: wait out the unlink.
+                        bo.backoff();
+                        continue;
+                    }
+                    while !(*n).fully_linked.load(Ordering::Acquire) {
+                        synchro::relax();
+                    }
+                    if !(*n).lock.try_lock_version(nv) {
+                        bo.backoff();
+                        continue;
+                    }
+                    let prev = (*n).val.swap(val, Ordering::AcqRel);
+                    (*n).lock.revert();
+                    return Some(prev);
+                }
+            }
+            if ConcurrentSet::insert(self, key, val) {
+                return None;
+            }
+            bo.backoff();
+        }
+    }
+
+    fn remove(&self, key: Key) -> Option<Val> {
+        ConcurrentSet::delete(self, key)
+    }
+
+    fn len(&self) -> usize {
+        ConcurrentSet::len(self)
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(Key, Val)) {
+        self.range(HEAD_KEY + 1, TAIL_KEY - 1, f);
+    }
+}
+
+impl<const FINE: bool> OrderedMap for OptikSkipList<FINE> {
+    /// OPTIK-validated level-0 walk (see
+    /// [`HerlihyOptikSkipList`](crate::HerlihyOptikSkipList)'s range docs
+    /// for the scheme). The fallback must respect this design's claimed
+    /// victims — their locks are held forever — so the locked step uses
+    /// the same marked-bounded acquisition as
+    /// [`OptikSkipList::acquire_level`]: spin only while the predecessor
+    /// is locked *and unmarked*, re-descend when it turns out to be a
+    /// victim.
+    fn range(&self, lo: Key, hi: Key, f: &mut dyn FnMut(Key, Val)) {
+        let hi = clamp_hi(hi);
+        reclaim::quiescent();
+        let mut from = lo.max(HEAD_KEY + 1);
+        let mut fails = 0usize;
+        let mut bo = Backoff::new();
+        'restart: loop {
+            if from > hi {
+                return;
+            }
+            // SAFETY: grace period.
+            unsafe {
+                let mut pred = self.head;
+                let mut predv = (*pred).lock.get_version();
+                for l in (0..MAX_LEVEL).rev() {
+                    let mut cur = (*pred).next[l].load(Ordering::Acquire);
+                    while (*cur).key < from {
+                        pred = cur;
+                        predv = (*pred).lock.get_version();
+                        cur = (*pred).next[l].load(Ordering::Acquire);
+                    }
+                }
+                if fails >= RANGE_OPTIMISTIC_ATTEMPTS {
+                    // Marked-bounded blocking acquisition of pred.
+                    let acquired = loop {
+                        let v = (*pred).lock.get_version();
+                        if !OptikVersioned::is_locked_version(v) {
+                            if (*pred).lock.try_lock_version(v) {
+                                break true;
+                            }
+                            continue;
+                        }
+                        if (*pred).marked.load(Ordering::Acquire) {
+                            break false; // claimed victim: never unlocks
+                        }
+                        synchro::relax();
+                    };
+                    if !acquired {
+                        bo.backoff();
+                        continue 'restart;
+                    }
+                    let cur = (*pred).next[0].load(Ordering::Acquire);
+                    let key = (*cur).key;
+                    if key > hi {
+                        (*pred).lock.revert();
+                        return;
+                    }
+                    // Monotonic floor, as on the optimistic path: a
+                    // successor below `from` is neither emitted nor
+                    // allowed to move the floor backward.
+                    if key >= from {
+                        if (*cur).fully_linked.load(Ordering::Acquire)
+                            && !(*cur).marked.load(Ordering::Acquire)
+                        {
+                            f(key, (*cur).val.load(Ordering::Acquire));
+                        }
+                        from = key + 1;
+                        fails = 0;
+                    }
+                    (*pred).lock.revert();
+                    continue 'restart;
+                }
+                loop {
+                    let cur = (*pred).next[0].load(Ordering::Acquire);
+                    let key = (*cur).key;
+                    if key > hi {
+                        return;
+                    }
+                    let live = (*cur).fully_linked.load(Ordering::Acquire)
+                        && !(*cur).marked.load(Ordering::Acquire);
+                    let val = (*cur).val.load(Ordering::Acquire);
+                    let nextv = (*cur).lock.get_version();
+                    if !(*pred).lock.validate(predv) {
+                        fails += 1;
+                        bo.backoff();
+                        continue 'restart;
+                    }
+                    if live && key >= from {
+                        f(key, val);
+                        from = key + 1;
+                        fails = 0;
+                    }
+                    pred = cur;
+                    predv = nextv;
+                }
+            }
         }
     }
 }

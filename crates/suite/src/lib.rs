@@ -34,7 +34,7 @@ pub mod prelude {
     pub use optik::{OptikGuard, OptikLock, OptikTicket, OptikVersioned};
     pub use optik_bsts::{GlobalLockBst, OptikBst, OptikGlBst};
     pub use optik_harness::api::{
-        ConcurrentMap, ConcurrentQueue, ConcurrentSet, Key, SetHandle, Val,
+        ConcurrentMap, ConcurrentQueue, ConcurrentSet, Key, OrderedMap, SetHandle, Val,
     };
     pub use optik_hashtables::{
         OptikGlHashTable, OptikHashTable, OptikMapHashTable, ResizableStripedHashTable,

@@ -1,21 +1,26 @@
 //! Stress tier for the `optik-kv` sharded store: cross-shard batch
 //! atomicity, deadlock freedom under overlapping batches, exact net
-//! counts, and validated snapshot consistency — over every backend family
-//! the kv scenarios sweep.
+//! counts, validated snapshot consistency, and range-scan consistency
+//! over ordered backends — across every backend family the kv scenarios
+//! sweep.
 //!
 //! Iteration counts scale with `synchro::stress` (tier-1 stays fast on a
 //! 1-core box); the `_full` variants behind `--ignored` run the
-//! 8-core-tuned strength and back the CI linearizability/stress job.
+//! 8-core-tuned strength and back the CI linearizability/stress jobs.
 
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::{Arc, Barrier};
 
-use optik_suite::harness::api::ConcurrentMap;
+use optik_suite::bsts::OptikBst;
+use optik_suite::harness::api::{ConcurrentMap, OrderedMap};
 use optik_suite::hashtables::{
     OptikMapHashTable, ResizableStripedHashTable, StripedHashTable, StripedOptikHashTable,
 };
 use optik_suite::kv::KvStore;
 use optik_suite::maps::OptikArrayMap;
+use optik_suite::skiplists::{
+    FraserSkipList, HerlihyOptikSkipList, HerlihySkipList, OptikSkipList2,
+};
 
 /// Every backend family the registry's kv scenarios use, as a small store.
 /// Fixed-capacity backends are sized so `put` can never overflow a shard.
@@ -351,4 +356,207 @@ fn kv_snapshots_are_shard_consistent_under_batch_writes() {
 #[ignore = "full-strength kv scan tier; run in CI via --ignored"]
 fn kv_snapshots_are_shard_consistent_under_batch_writes_full() {
     scan_consistency(15_000);
+}
+
+// ---------------------------------------------------------------------------
+// Range scans over ordered backends: sorted, duplicate-free, consistent.
+// ---------------------------------------------------------------------------
+
+/// Every ordered backend family mounted in ordered-sharded stores, plus a
+/// hash-sharded one (ranges must also work there, via the post-merge sort).
+fn ordered_stores() -> Vec<(&'static str, Arc<dyn OrderedMap>)> {
+    const MAX_KEY: u64 = 256;
+    vec![
+        (
+            "kv/range-sl-herlihy",
+            Arc::new(KvStore::with_ordered_shards(4, MAX_KEY, |_| {
+                HerlihySkipList::new()
+            })),
+        ),
+        (
+            "kv/range-sl-herl-optik",
+            Arc::new(KvStore::with_ordered_shards(4, MAX_KEY, |_| {
+                HerlihyOptikSkipList::new()
+            })),
+        ),
+        (
+            "kv/range-sl-optik2",
+            Arc::new(KvStore::with_ordered_shards(4, MAX_KEY, |_| {
+                OptikSkipList2::new()
+            })),
+        ),
+        (
+            "kv/range-sl-fraser",
+            Arc::new(KvStore::with_ordered_shards(4, MAX_KEY, |_| {
+                FraserSkipList::new()
+            })),
+        ),
+        (
+            "kv/range-bst-tk",
+            Arc::new(KvStore::with_ordered_shards(4, MAX_KEY, |_| {
+                OptikBst::new()
+            })),
+        ),
+        (
+            "kv/range-hash-sharded",
+            Arc::new(KvStore::with_shards(4, |_| OptikSkipList2::new())),
+        ),
+    ]
+}
+
+/// Concurrent range scans vs. random single-key writers, over every
+/// ordered store: each returned window must be sorted, duplicate-free,
+/// value-consistent, and must contain every key of an untouched backbone.
+fn range_scans_under_churn(scan_rounds: u64) {
+    for (name, s) in ordered_stores() {
+        for k in (10..=250u64).step_by(10) {
+            s.put(k, k);
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut writers = Vec::new();
+        for t in 0..3u64 {
+            let s = Arc::clone(&s);
+            let stop = Arc::clone(&stop);
+            writers.push(std::thread::spawn(move || {
+                let mut x = t.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                while !stop.load(Ordering::Relaxed) {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let k = x % 250 + 1;
+                    if k % 10 == 0 {
+                        continue; // never touch the backbone
+                    }
+                    if x & 1 == 0 {
+                        s.put(k, k * 3);
+                    } else {
+                        s.remove(k);
+                    }
+                }
+                reclaim::offline();
+            }));
+        }
+        for round in 0..scan_rounds {
+            let lo = round % 97 + 1;
+            let hi = lo + 120;
+            let win = OrderedMap::range_collect(s.as_ref(), lo, hi);
+            assert!(
+                win.windows(2).all(|w| w[0].0 < w[1].0),
+                "{name}: unsorted or duplicate keys in [{lo}, {hi}]: {win:?}"
+            );
+            for &(k, v) in &win {
+                assert!((lo..=hi).contains(&k), "{name}: key {k} outside window");
+                assert!(
+                    v == k || v == k * 3,
+                    "{name}: foreign value {v} for key {k}"
+                );
+            }
+            for k in (10..=250u64).step_by(10).filter(|k| (lo..=hi).contains(k)) {
+                assert!(
+                    win.iter().any(|&(g, _)| g == k),
+                    "{name}: range missed stable key {k} in [{lo}, {hi}]"
+                );
+            }
+            reclaim::quiescent();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in writers {
+            h.join().unwrap();
+        }
+        reclaim::online();
+    }
+}
+
+#[test]
+fn kv_range_scans_stay_sorted_and_complete_under_churn() {
+    range_scans_under_churn(synchro::stress::ops(400));
+}
+
+#[test]
+#[ignore = "full-strength kv range tier; run in CI via --ignored"]
+fn kv_range_scans_stay_sorted_and_complete_under_churn_full() {
+    range_scans_under_churn(2_000);
+}
+
+/// Writers rewrite a *single-partition* working set wholesale (batched:
+/// all keys → one tag, or all removed) while scanners take bounded range
+/// scans over exactly that window. Because the working set lives in one
+/// ordered shard and `range_scan` validates per shard, every returned
+/// window must show the working set complete-with-one-tag or entirely
+/// absent — the range analogue of `scan_consistency`.
+fn range_scan_snapshot_consistency(rounds: u64) {
+    // span = 64: keys 11..=18 are colocated in shard 0.
+    let s = Arc::new(KvStore::with_ordered_shards(4, 256, |_| {
+        OptikSkipList2::new()
+    }));
+    let keys: Vec<u64> = (11..=18).collect();
+    assert!(
+        keys.iter().all(|&k| s.shard_of(k) == 0),
+        "working set must be colocated for the test to mean anything"
+    );
+    s.multi_put(&keys.iter().map(|&k| (k, 1)).collect::<Vec<_>>());
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let s = Arc::clone(&s);
+        let keys = keys.clone();
+        std::thread::spawn(move || {
+            for round in 2..=rounds {
+                let batch: Vec<(u64, u64)> = keys.iter().map(|&k| (k, round)).collect();
+                s.multi_put(&batch);
+                if round % 3 == 0 {
+                    s.multi_remove(&keys);
+                }
+            }
+        })
+    };
+    let mut scanners = Vec::new();
+    for _ in 0..2 {
+        let s = Arc::clone(&s);
+        let keys = keys.clone();
+        let stop = Arc::clone(&stop);
+        scanners.push(std::thread::spawn(move || {
+            let mut windows = 0u64;
+            // Check-after-work: at least one window per run even if the
+            // writer finishes before this thread is first scheduled.
+            loop {
+                let win = s.range_scan(11, 18);
+                assert!(
+                    win.is_empty() || win.len() == keys.len(),
+                    "partial working set in range window: {} of {} keys",
+                    win.len(),
+                    keys.len()
+                );
+                if let Some(&(_, tag)) = win.first() {
+                    assert!(
+                        win.iter().all(|&(_, v)| v == tag),
+                        "mixed tags in one validated range window: {win:?}"
+                    );
+                }
+                assert!(win.windows(2).all(|w| w[0].0 < w[1].0), "unsorted: {win:?}");
+                windows += 1;
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            windows
+        }));
+    }
+    reclaim::offline_while(|| {
+        writer.join().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        for h in scanners {
+            assert!(h.join().unwrap() > 0, "scanners must have made progress");
+        }
+    });
+}
+
+#[test]
+fn kv_range_windows_are_consistent_snapshots_under_batch_writes() {
+    range_scan_snapshot_consistency(synchro::stress::ops(3_000));
+}
+
+#[test]
+#[ignore = "full-strength kv range-snapshot tier; run in CI via --ignored"]
+fn kv_range_windows_are_consistent_snapshots_under_batch_writes_full() {
+    range_scan_snapshot_consistency(15_000);
 }

@@ -23,13 +23,36 @@ use std::collections::HashSet;
 use std::sync::{Arc, Barrier, Mutex};
 
 use optik_bench::scenarios;
-use optik_suite::harness::api::ConcurrentMap;
+use optik_suite::harness::api::{ConcurrentMap, Key, OrderedMap, Val};
 use optik_suite::harness::linearize::{
-    check, check_history, FifoSpec, HistoryRecorder, LifoSpec, MapOp, MapSpec, QueueOp, Recorder,
-    SetOp, StackOp,
+    check, check_history, FifoSpec, HistoryRecorder, LifoSpec, MapOp, MapSpec, QueueOp,
+    RangeMapSpec, RangeOp, Recorder, SetOp, StackOp, RANGE_KEYS,
 };
 use optik_suite::harness::scenario::Subject;
 use optik_suite::harness::{ConcurrentQueue, ConcurrentSet, ConcurrentStack};
+
+/// Adapter presenting an ordered subject as a plain map subject, so the
+/// single-key map rounds run on ordered implementations too without
+/// relying on `dyn` upcasting (MSRV predates it).
+struct OrderedAsMap(Arc<dyn OrderedMap>);
+
+impl ConcurrentMap for OrderedAsMap {
+    fn get(&self, key: Key) -> Option<Val> {
+        self.0.get(key)
+    }
+    fn put(&self, key: Key, val: Val) -> Option<Val> {
+        self.0.put(key, val)
+    }
+    fn remove(&self, key: Key) -> Option<Val> {
+        self.0.remove(key)
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn for_each(&self, f: &mut dyn FnMut(Key, Val)) {
+        self.0.for_each(f)
+    }
+}
 
 /// Single-key set history: 4 threads × 12 ops on one key (48 ops keeps the
 /// checker's 64-op mask budget and decides in microseconds).
@@ -207,12 +230,87 @@ fn check_map_rounds(
     }
 }
 
+/// Multi-key history with range observations: 4 threads × 10 ops over
+/// [`RANGE_KEYS`] tracked keys, where one op class is a full `range`
+/// traversal reporting every tracked binding it saw. Decided against
+/// [`RangeMapSpec`], this catches ranges that are not snapshots — e.g. a
+/// traversal that observes a late write to one key after missing an
+/// earlier write to another.
+///
+/// Only subjects whose ranges are **validated snapshots** qualify: the
+/// kv stores (`kv/…` subject ids), whose `range_scan` collects each shard
+/// under a version validate / shard-lock fallback — and whose ordered
+/// partitions are wide enough that the tracked keys colocate in one
+/// shard, making the whole window one atomic snapshot. The raw backends
+/// deliberately promise only quiescence-consistent ranges (see
+/// `OrderedMap`'s docs: concurrent updates "can be missed or included"),
+/// so asserting snapshot linearizability on them would be a false alarm
+/// waiting for enough parallelism; they are covered by the single-key
+/// map rounds here, by the `BTreeMap` range property tests, and by the
+/// under-lock exactness the kv stress tier exercises.
+fn check_range_rounds(
+    name: &str,
+    make: &(dyn Fn() -> Arc<dyn OrderedMap> + Send + Sync),
+    rounds: usize,
+) {
+    const KEYS: [u64; RANGE_KEYS] = [10, 20, 30];
+    for round in 0..rounds {
+        let map = make();
+        let all = Arc::new(Mutex::new(Vec::new()));
+        let barrier = Arc::new(Barrier::new(4));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let map = Arc::clone(&map);
+            let all = Arc::clone(&all);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let mut rec = HistoryRecorder::new();
+                barrier.wait();
+                for i in 0..10u64 {
+                    let idx = ((t + 2 * i) % RANGE_KEYS as u64) as usize;
+                    match (t + i + round as u64) % 4 {
+                        0 => {
+                            let v = t * 1_000 + i + 1; // distinct in-history
+                            rec.record(|| map.put(KEYS[idx], v), |prev| RangeOp::Put(idx, v, prev));
+                        }
+                        1 => rec.record(|| map.remove(KEYS[idx]), |r| RangeOp::Remove(idx, r)),
+                        2 => rec.record(|| map.get(KEYS[idx]), |g| RangeOp::Get(idx, g)),
+                        _ => rec.record(
+                            || {
+                                let mut obs = [None; RANGE_KEYS];
+                                map.range(KEYS[0], KEYS[RANGE_KEYS - 1], &mut |k, v| {
+                                    if let Some(p) = KEYS.iter().position(|&kk| kk == k) {
+                                        obs[p] = Some(v);
+                                    }
+                                });
+                                obs
+                            },
+                            RangeOp::Range,
+                        ),
+                    }
+                }
+                all.lock().unwrap().extend(rec.into_ops());
+            }));
+        }
+        reclaim::offline_while(|| {
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let history = all.lock().unwrap().clone();
+        assert!(
+            check(&RangeMapSpec::default(), &history),
+            "{name}: non-linearizable range-observing history (round {round})"
+        );
+    }
+}
+
 /// Runs the whole registry through the appropriate checker, `rounds`
 /// histories per unique implementation.
 fn run_tier(rounds: usize) {
     let reg = scenarios::registry();
     let mut seen: HashSet<String> = HashSet::new();
-    let (mut sets, mut queues, mut stacks, mut maps) = (0, 0, 0, 0);
+    let (mut sets, mut queues, mut stacks, mut maps, mut ordered, mut ranged) = (0, 0, 0, 0, 0, 0);
     for s in reg.iter() {
         if !seen.insert(s.subject_id().to_string()) {
             continue;
@@ -234,10 +332,28 @@ fn run_tier(rounds: usize) {
                 maps += 1;
                 check_map_rounds(s.subject_id(), make.as_ref(), rounds);
             }
+            Subject::Ordered(make) => {
+                // Ordered subjects run the value-carrying single-key
+                // rounds; store-backed ones (validated-snapshot ranges)
+                // additionally run the range-observing rounds — see
+                // `check_range_rounds` for why raw backends do not.
+                ordered += 1;
+                let as_map = |make: &(dyn Fn() -> Arc<dyn OrderedMap> + Send + Sync)| {
+                    let m = make();
+                    let out: Arc<dyn ConcurrentMap> = Arc::new(OrderedAsMap(m));
+                    out
+                };
+                let make_ref = make.as_ref();
+                check_map_rounds(s.subject_id(), &move || as_map(make_ref), rounds);
+                if s.subject_id().starts_with("kv/") {
+                    ranged += 1;
+                    check_range_rounds(s.subject_id(), make_ref, rounds);
+                }
+            }
             Subject::None => {}
         }
     }
-    // The registry must actually be feeding the tier: all four families of
+    // The registry must actually be feeding the tier: all five families of
     // structures appear, and nothing shrank silently.
     assert!(
         sets >= 20,
@@ -248,6 +364,14 @@ fn run_tier(rounds: usize) {
     assert!(
         maps >= 10,
         "expected >=10 unique kv/map subjects, got {maps}"
+    );
+    assert!(
+        ordered >= 10,
+        "expected >=10 unique ordered subjects (raw + kv-mounted), got {ordered}"
+    );
+    assert!(
+        ranged >= 5,
+        "expected >=5 range-checked (store-backed) ordered subjects, got {ranged}"
     );
 }
 

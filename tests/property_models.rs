@@ -17,7 +17,7 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use optik_suite::bsts::{GlobalLockBst, OptikBst, OptikGlBst};
-use optik_suite::harness::api::{ConcurrentMap, ConcurrentQueue, ConcurrentSet};
+use optik_suite::harness::api::{ConcurrentMap, ConcurrentQueue, ConcurrentSet, OrderedMap};
 use optik_suite::hashtables::{
     LazyGlHashTable, OptikGlHashTable, OptikHashTable, OptikMapHashTable,
     ResizableStripedHashTable, StripedHashTable, StripedOptikHashTable,
@@ -289,6 +289,94 @@ proptest! {
                         let mut seen = BTreeMap::new();
                         m.for_each(&mut |k, v| { seen.insert(k, v); });
                         prop_assert_eq!(&seen, &model, "{}: for_each", name);
+                    }
+                }
+            }
+            prop_assert_eq!(ConcurrentMap::len(m.as_ref()), model.len(), "{}: final length", name);
+        }
+    }
+}
+
+/// Every `OrderedMap` backend (the structures the kv store can mount for
+/// range scans), plus ordered-sharded stores over two of them.
+fn all_ordered_maps() -> Vec<(&'static str, Arc<dyn OrderedMap>)> {
+    use optik_suite::kv::KvStore;
+    use optik_suite::skiplists::{
+        FraserSkipList, HerlihyOptikSkipList, HerlihySkipList, OptikSkipList1, OptikSkipList2,
+    };
+    vec![
+        ("omap/sl-herlihy", Arc::new(HerlihySkipList::new())),
+        ("omap/sl-herl-optik", Arc::new(HerlihyOptikSkipList::new())),
+        ("omap/sl-optik1", Arc::new(OptikSkipList1::new())),
+        ("omap/sl-optik2", Arc::new(OptikSkipList2::new())),
+        ("omap/sl-fraser", Arc::new(FraserSkipList::new())),
+        (
+            "omap/bst-gl",
+            Arc::new(OptikGlBst::<optik::OptikVersioned>::new()),
+        ),
+        ("omap/bst-tk", Arc::new(OptikBst::new())),
+        (
+            "kv/range-sl",
+            Arc::new(KvStore::with_ordered_shards(4, 32, |_| {
+                OptikSkipList2::new()
+            })),
+        ),
+        (
+            "kv/range-bst",
+            Arc::new(KvStore::with_ordered_shards(3, 32, |_| OptikBst::new())),
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Interleaved put/remove/get/range against a `BTreeMap` model: every
+    /// batched op is applied as its single-key composition (the trait has
+    /// no batch API), every `MultiGet` additionally drives a bounded
+    /// `range` over the batch's key window, and every `Snapshot` checks
+    /// the full sweep plus `for_each` agreement.
+    #[test]
+    fn ordered_backends_match_btreemap_with_ranges(ops in kv_ops(24, 200)) {
+        for (name, m) in all_ordered_maps() {
+            let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+            for op in &ops {
+                match op {
+                    &KvOp::Put(k, v) => {
+                        prop_assert_eq!(m.put(k, v), model.insert(k, v), "{}: put {}", name, k);
+                    }
+                    &KvOp::Remove(k) => {
+                        prop_assert_eq!(m.remove(k), model.remove(&k), "{}: remove {}", name, k);
+                    }
+                    &KvOp::Get(k) => {
+                        prop_assert_eq!(m.get(k), model.get(&k).copied(), "{}: get {}", name, k);
+                    }
+                    KvOp::MultiPut(entries) => {
+                        for &(k, v) in entries {
+                            prop_assert_eq!(m.put(k, v), model.insert(k, v), "{}: put {}", name, k);
+                        }
+                    }
+                    KvOp::MultiRemove(keys) => {
+                        for k in keys {
+                            prop_assert_eq!(m.remove(*k), model.remove(k), "{}: remove {}", name, k);
+                        }
+                    }
+                    KvOp::MultiGet(keys) => {
+                        let lo = *keys.iter().min().expect("non-empty batch");
+                        let hi = *keys.iter().max().expect("non-empty batch");
+                        let got = m.range_collect(lo, hi);
+                        let want: Vec<(u64, u64)> =
+                            model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+                        prop_assert_eq!(got, want, "{}: range [{}, {}]", name, lo, hi);
+                    }
+                    KvOp::Snapshot => {
+                        let got = m.range_collect(1, u64::MAX - 1);
+                        let want: Vec<(u64, u64)> =
+                            model.iter().map(|(&k, &v)| (k, v)).collect();
+                        prop_assert_eq!(got, want, "{}: full range", name);
+                        let mut each = BTreeMap::new();
+                        m.for_each(&mut |k, v| { each.insert(k, v); });
+                        prop_assert_eq!(&each, &model, "{}: for_each", name);
                     }
                 }
             }
