@@ -14,6 +14,7 @@
 //! headers the old per-figure binaries printed.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use optik::{OptikLock, OptikTicket, OptikVersioned, ValidatedLock};
@@ -27,7 +28,7 @@ use optik_hashtables::{
     LazyGlHashTable, OptikGlHashTable, OptikHashTable, OptikMapHashTable,
     ResizableStripedHashTable, StripedHashTable, StripedOptikHashTable,
 };
-use optik_kv::{run_kv_workload, run_kv_workload_ordered, KvMix, KvStore, KvWorkload};
+use optik_kv::{run_kv_workload, run_kv_workload_ordered, KvMix, KvStore, KvWorkload, SystemClock};
 use optik_lists::{
     GlobalLockList, HarrisList, LazyCacheList, LazyList, OptikCacheList, OptikGlList, OptikList,
 };
@@ -38,7 +39,7 @@ use optik_skiplists::{
 };
 use optik_stacks::{EliminationStack, OptikStack, TreiberStack};
 
-/// Builds the full registry (~151 scenarios across 14 families).
+/// Builds the full registry (~157 scenarios across 16 families).
 pub fn registry() -> Registry {
     let mut r = Registry::new();
     fig5(&mut r);
@@ -51,6 +52,8 @@ pub fn registry() -> Registry {
     stacks(&mut r);
     kv(&mut r);
     kv_range(&mut r);
+    kv_ttl(&mut r);
+    kv_rebalance(&mut r);
     map_ordered(&mut r);
     ablate_base_lock(&mut r);
     ablate_node_cache(&mut r);
@@ -110,6 +113,14 @@ pub fn group_blurb(group: &str) -> &'static str {
         "kv.range" => {
             "kv range scans over ordered-sharded skiplist/BST shards (8192 entries, 5% 128-key \
              windows + 20% updates, 8 contiguous partitions)"
+        }
+        "kv.ttl" => {
+            "kv store with native TTL (8192 entries, 15% 30ms-TTL puts + 10% updates + 1% \
+             expiry sweeps, wall-clock ticks, 8 shards)"
+        }
+        "kv.rebalance" => {
+            "kv online range-partition rebalancing (8192 entries, zipf a=0.9 over contiguous \
+             partitions, 3% 128-key windows + 20% updates + 0.2% rebalance rounds, 8 shards)"
         }
         "map.ordered" => {
             "Ordered backends as value-carrying maps (1024 entries, zipf): 20% in-place \
@@ -869,6 +880,12 @@ fn kv_range_scenario<B: OrderedMap + 'static>(
                 res.counts.ranged_entries as f64 / res.counts.range_scans as f64,
             );
         }
+        if res.counts.rebalances > 0 {
+            m = m.with_extra(
+                "keys_per_migration",
+                res.counts.migrated_keys as f64 / res.counts.rebalances as f64,
+            );
+        }
         m
     })
 }
@@ -937,6 +954,165 @@ fn kv_range(r: &mut Registry) {
         &name("bst-tk"),
         about,
         "kv/range-bst-tk",
+        SHARDS,
+        max_key,
+        w,
+        |_| OptikBst::new(),
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// kv.ttl: native TTL/expiry over hash-sharded backends.
+// ---------------------------------------------------------------------------
+
+/// One TTL kv scenario: a TTL-enabled hash-sharded store under a mix of
+/// TTL puts (wall-clock millisecond ticks), plain updates, and
+/// incremental expiry sweeps.
+fn kv_ttl_scenario<B: optik_harness::api::ConcurrentMap + 'static>(
+    name: &str,
+    about: &str,
+    id: &str,
+    shards: usize,
+    w: KvWorkload,
+    make_backend: impl Fn(usize) -> B + Send + Sync + Clone + 'static,
+) -> Scenario {
+    let subject_make = make_backend.clone();
+    let subject = Subject::map(move || {
+        KvStore::with_shards_ttl(shards, Arc::new(SystemClock::new()), subject_make.clone())
+    });
+    Scenario::custom(name, about, id, subject, move |spec| {
+        let store =
+            KvStore::with_shards_ttl(shards, Arc::new(SystemClock::new()), make_backend.clone());
+        w.initial_fill(spec.seed, &store);
+        let res = run_kv_workload(
+            &store,
+            spec.threads,
+            spec.duration,
+            &w,
+            spec.seed,
+            spec.record_latency,
+        );
+        let mut m = Measurement {
+            ops: res.counts.total(),
+            wall: res.duration,
+            latency: res.latency,
+            extra: Vec::new(),
+        };
+        if res.counts.sweeps > 0 {
+            m = m.with_extra(
+                "swept_per_sweep",
+                res.counts.swept_keys as f64 / res.counts.sweeps as f64,
+            );
+        }
+        m
+    })
+}
+
+fn kv_ttl(r: &mut Registry) {
+    const SHARDS: usize = 8;
+    const SIZE: u64 = 8192;
+    let span = (2 * SIZE) as usize / SHARDS;
+
+    // TTL entries live 30ms (SystemClock ticks are wall milliseconds), so
+    // a standard measurement window turns over the TTL population several
+    // times. Expectation: gets stay lock-free (one extra validated
+    // deadline lookup), sweep cost is bounded by its budget, and the
+    // ladder between backends tracks the plain kv groups.
+    let about = "kv TTL: 30ms lifetimes under wall-clock ticks; lazy expiry on \
+                 read plus budgeted sweeps; backend ladder tracks kv.read-heavy";
+    let w = KvWorkload::new(
+        SIZE,
+        false,
+        KvMix {
+            put_pm: 50,
+            remove_pm: 50,
+            ttl_put_pm: 150,
+            ttl_span: 30,
+            sweep_pm: 10,
+            sweep_budget: 128,
+            ..KvMix::default()
+        },
+    );
+    let name = |series: &str| format!("kv.ttl.{series}");
+    r.register(kv_ttl_scenario(
+        &name("optik-map"),
+        about,
+        "kv/ttl-optik-map",
+        SHARDS,
+        w.clone(),
+        move |_| OptikMapHashTable::with_bucket_capacity(span.max(16), 16),
+    ));
+    r.register(kv_ttl_scenario(
+        &name("striped-optik"),
+        about,
+        "kv/ttl-striped-optik",
+        SHARDS,
+        w.clone(),
+        move |_| StripedOptikHashTable::new(span.max(16), 16),
+    ));
+    r.register(kv_ttl_scenario(
+        &name("resizable"),
+        about,
+        "kv/ttl-resizable",
+        SHARDS,
+        w,
+        move |_| ResizableStripedHashTable::new(16, 8),
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// kv.rebalance: online range-partition rebalancing under skewed load.
+// ---------------------------------------------------------------------------
+
+fn kv_rebalance(r: &mut Registry) {
+    const SHARDS: usize = 8;
+    const SIZE: u64 = 8192;
+    let max_key = 2 * SIZE;
+    // Skewed keys over contiguous partitions: exactly the imbalance the
+    // rebalancer exists for — the zipf head concentrates on one
+    // partition, rebalance rounds split it at its median toward the
+    // lighter neighbor, and the op counters re-measure. Expectation:
+    // migrations are bounded bursts (MIGRATION_BATCH per lock hold),
+    // range and point throughput dip during a burst but recover, and
+    // `keys_per_migration` stays near half the hot partition.
+    let about = "kv rebalance: zipf head vs contiguous partitions; rebalance \
+                 rounds split the hot partition at its median; reads validate \
+                 the routing version and retry across flips";
+    let w = KvWorkload::new(
+        SIZE,
+        true,
+        KvMix {
+            put_pm: 100,
+            remove_pm: 100,
+            range_pm: 30,
+            range_span: 128,
+            rebalance_pm: 2,
+            ..KvMix::default()
+        },
+    );
+    let name = |series: &str| format!("kv.rebalance.{series}");
+    r.register(kv_range_scenario(
+        &name("optik2"),
+        about,
+        "kv/rebal-sl-optik2",
+        SHARDS,
+        max_key,
+        w.clone(),
+        |_| OptikSkipList2::new(),
+    ));
+    r.register(kv_range_scenario(
+        &name("fraser"),
+        about,
+        "kv/rebal-sl-fraser",
+        SHARDS,
+        max_key,
+        w.clone(),
+        |_| FraserSkipList::new(),
+    ));
+    r.register(kv_range_scenario(
+        &name("bst-tk"),
+        about,
+        "kv/rebal-bst-tk",
         SHARDS,
         max_key,
         w,
@@ -1406,6 +1582,63 @@ mod tests {
             assert_eq!(k, "keys_per_range");
             assert!(*v >= 0.0);
         }
+    }
+
+    #[test]
+    fn ttl_and_rebalance_families_are_complete() {
+        let r = registry();
+        let ttl_series: Vec<&str> = r.in_group("kv.ttl").iter().map(|s| s.series()).collect();
+        assert_eq!(
+            ttl_series,
+            vec!["optik-map", "striped-optik", "resizable"],
+            "TTL-wrapped backend sweep"
+        );
+        for s in r.in_group("kv.ttl") {
+            assert_eq!(s.subject().kind(), "map", "{}", s.name());
+        }
+        let rebal_series: Vec<&str> = r
+            .in_group("kv.rebalance")
+            .iter()
+            .map(|s| s.series())
+            .collect();
+        assert_eq!(
+            rebal_series,
+            vec!["optik2", "fraser", "bst-tk"],
+            "rebalancing ordered-backend sweep"
+        );
+        for s in r.in_group("kv.rebalance") {
+            assert_eq!(s.subject().kind(), "ordered", "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn ttl_scenario_runs_and_rebalance_scenario_migrates() {
+        let r = registry();
+        let spec = RunSpec {
+            threads: 2,
+            duration: Duration::from_millis(60),
+            seed: 9,
+            record_latency: false,
+        };
+        let s = r.get("kv.ttl.striped-optik").expect("ttl scenario");
+        let m = s.run(&spec);
+        assert!(m.ops > 0, "ttl scenario did no work");
+        // 30ms TTLs inside a 60ms window: sweeps run (the swept count may
+        // be 0 on an unlucky scheduler, but the metric must be reported).
+        assert!(
+            m.extra.iter().any(|(k, _)| k == "swept_per_sweep"),
+            "sweep metric missing: {:?}",
+            m.extra
+        );
+        let s = r.get("kv.rebalance.optik2").expect("rebalance scenario");
+        let m = s.run(&spec);
+        assert!(m.ops > 0, "rebalance scenario did no work");
+        let (_, v) = m
+            .extra
+            .iter()
+            .find(|(k, _)| k == "keys_per_migration")
+            .expect("zipf load over contiguous partitions must migrate");
+        assert!(*v > 0.0, "migrations moved nothing");
     }
 
     #[test]

@@ -9,7 +9,12 @@
 //!   two-state machine (`absent`/`present`);
 //! - [`FifoSpec`] — queue histories with distinct values; the state is the
 //!   queue content;
-//! - [`LifoSpec`] — the stack analogue.
+//! - [`LifoSpec`] — the stack analogue;
+//! - [`MapSpec`] / [`TtlMapSpec`] — value-carrying single-key map
+//!   histories, the TTL variant additionally replaying fake-clock
+//!   advances so expiry is an ordered event in the history;
+//! - [`RangeMapSpec`] — a small multi-key machine whose `Range` op must
+//!   observe a single point in time.
 //!
 //! Record operations with [`HistoryRecorder`] (one per thread, merged
 //! afterwards) and decide with [`check`]. The single-key set entry points
@@ -348,6 +353,90 @@ impl SeqSpec for MapSpec {
             MapOp::Get(seen) => (seen == state).then_some(state),
             MapOp::Put(new, prev) => (prev == state).then_some(Some(new)),
             MapOp::Remove(removed) => (removed == state).then_some(None),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TTL-aware single-key map specification.
+// ---------------------------------------------------------------------------
+
+/// Outcome-annotated operation on one key of a **TTL-enabled** map driven
+/// by a fake clock. Extends [`MapOp`] with TTL arming and explicit clock
+/// advances: the recording test advances the shared fake clock through a
+/// recorded [`TtlOp::Advance`], so expiry becomes an event *in the
+/// history* the checker can order against reads and writes.
+///
+/// TTLs are recorded **relative**: the checker derives the deadline from
+/// the machine's `now` at the operation's linearization point — exactly
+/// what the store does when it reads its clock inside the operation.
+/// Use distinct put values within a history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TtlOp {
+    /// The fake clock advanced to the absolute tick `t` (monotone).
+    Advance(u64),
+    /// `get` returning the observed live value (`None` = absent or
+    /// expired).
+    Get(Option<u64>),
+    /// `put(new)` returning the previous live value; clears any deadline.
+    Put(u64, Option<u64>),
+    /// `put_with_ttl(new, ttl)` returning the previous live value; arms
+    /// `deadline = now + ttl`.
+    PutTtl(u64, u64, Option<u64>),
+    /// `expire_after(ttl)` returning whether a live entry was found;
+    /// re-arms `deadline = now + ttl` when it was.
+    ExpireAfter(u64, bool),
+    /// `remove` returning the removed live value.
+    Remove(Option<u64>),
+}
+
+/// The TTL-aware single-key map machine: the state is the key's current
+/// binding with its optional deadline, plus the clock. A binding whose
+/// deadline has passed is invisible to (and normalized away by) every
+/// operation — so a `Get(Some(_))` strictly after the clock passed the
+/// binding's deadline cannot linearize, and neither can a `Put` that
+/// claims an expired previous value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TtlMapSpec {
+    /// The key's binding before the history starts.
+    pub initial: Option<u64>,
+}
+
+/// [`TtlMapSpec`] state: `(now, Some((value, deadline)))` with
+/// `deadline == u64::MAX` meaning "never expires".
+pub type TtlState = (u64, Option<(u64, u64)>);
+
+impl SeqSpec for TtlMapSpec {
+    type Op = TtlOp;
+    type State = TtlState;
+
+    fn initial(&self) -> TtlState {
+        (0, self.initial.map(|v| (v, u64::MAX)))
+    }
+
+    fn apply(&self, state: &TtlState, op: TtlOp) -> Option<TtlState> {
+        let (now, binding) = *state;
+        // Expiry is by-need: normalize the expired binding away before
+        // deciding the operation (deadline == now is already expired —
+        // entries live while `now < deadline`).
+        let live = binding.filter(|&(_, d)| d > now);
+        match op {
+            TtlOp::Advance(t) => (t >= now).then_some((t, live)),
+            TtlOp::Get(seen) => (seen == live.map(|(v, _)| v)).then_some((now, live)),
+            TtlOp::Put(new, prev) => {
+                (prev == live.map(|(v, _)| v)).then_some((now, Some((new, u64::MAX))))
+            }
+            TtlOp::PutTtl(new, ttl, prev) => {
+                (prev == live.map(|(v, _)| v)).then(|| (now, Some((new, now.saturating_add(ttl)))))
+            }
+            TtlOp::ExpireAfter(ttl, found) => {
+                if found != live.is_some() {
+                    return None;
+                }
+                let rearmed = live.map(|(v, _)| (v, now.saturating_add(ttl)));
+                Some((now, rearmed))
+            }
+            TtlOp::Remove(taken) => (taken == live.map(|(v, _)| v)).then_some((now, None)),
         }
     }
 }
@@ -729,6 +818,108 @@ mod tests {
         let h = [mop(0, 1, MapOp::Remove(Some(7)))];
         assert!(check(&MapSpec { initial: Some(7) }, &h));
         assert!(!check(&MapSpec::default(), &h));
+    }
+
+    fn top(invoke: u64, response: u64, op: TtlOp) -> Timed<TtlOp> {
+        Timed {
+            invoke,
+            response,
+            op,
+        }
+    }
+
+    #[test]
+    fn ttl_sequential_expiry_chain() {
+        let h = [
+            top(0, 1, TtlOp::PutTtl(10, 5, None)),
+            top(2, 3, TtlOp::Get(Some(10))),
+            top(4, 5, TtlOp::Advance(4)),
+            top(6, 7, TtlOp::Get(Some(10))),
+            top(8, 9, TtlOp::Advance(5)),
+            top(10, 11, TtlOp::Get(None)),     // deadline tick: expired
+            top(12, 13, TtlOp::Put(20, None)), // expired prev is invisible
+            top(14, 15, TtlOp::Advance(1_000)),
+            top(16, 17, TtlOp::Get(Some(20))), // plain puts never expire
+        ];
+        assert!(check(&TtlMapSpec::default(), &h));
+    }
+
+    #[test]
+    fn ttl_get_after_expiry_is_rejected() {
+        let h = [
+            top(0, 1, TtlOp::PutTtl(10, 5, None)),
+            top(2, 3, TtlOp::Advance(9)),
+            top(4, 5, TtlOp::Get(Some(10))),
+        ];
+        assert!(
+            !check(&TtlMapSpec::default(), &h),
+            "a strictly-later get must not see an expired binding"
+        );
+        // …but a get *concurrent* with the advance may order before it.
+        let h = [
+            top(0, 1, TtlOp::PutTtl(10, 5, None)),
+            top(2, 10, TtlOp::Advance(9)),
+            top(3, 9, TtlOp::Get(Some(10))),
+        ];
+        assert!(check(&TtlMapSpec::default(), &h));
+    }
+
+    #[test]
+    fn ttl_expired_prev_values_are_invisible() {
+        // A put observing the expired binding as its prev cannot linearize.
+        let h = [
+            top(0, 1, TtlOp::PutTtl(10, 5, None)),
+            top(2, 3, TtlOp::Advance(7)),
+            top(4, 5, TtlOp::Put(20, Some(10))),
+        ];
+        assert!(!check(&TtlMapSpec::default(), &h));
+        // Neither can a successful remove of an expired binding.
+        let h = [
+            top(0, 1, TtlOp::PutTtl(10, 5, None)),
+            top(2, 3, TtlOp::Advance(7)),
+            top(4, 5, TtlOp::Remove(Some(10))),
+        ];
+        assert!(!check(&TtlMapSpec::default(), &h));
+    }
+
+    #[test]
+    fn ttl_expire_after_rearms() {
+        let h = [
+            top(0, 1, TtlOp::Put(10, None)),
+            top(2, 3, TtlOp::ExpireAfter(5, true)),
+            top(4, 5, TtlOp::Advance(4)),
+            top(6, 7, TtlOp::ExpireAfter(5, true)), // re-arm to 9
+            top(8, 9, TtlOp::Advance(8)),
+            top(10, 11, TtlOp::Get(Some(10))),
+            top(12, 13, TtlOp::Advance(9)),
+            top(14, 15, TtlOp::Get(None)),
+            top(16, 17, TtlOp::ExpireAfter(5, false)), // nothing live to arm
+        ];
+        assert!(check(&TtlMapSpec::default(), &h));
+        // Claiming found=true on an expired binding is illegal.
+        let h = [
+            top(0, 1, TtlOp::PutTtl(10, 3, None)),
+            top(2, 3, TtlOp::Advance(3)),
+            top(4, 5, TtlOp::ExpireAfter(5, true)),
+        ];
+        assert!(!check(&TtlMapSpec::default(), &h));
+    }
+
+    #[test]
+    fn ttl_clock_never_rewinds() {
+        let h = [top(0, 1, TtlOp::Advance(10)), top(2, 3, TtlOp::Advance(4))];
+        assert!(!check(&TtlMapSpec::default(), &h));
+    }
+
+    #[test]
+    fn ttl_initial_binding_never_expires_by_itself() {
+        let spec = TtlMapSpec { initial: Some(7) };
+        let h = [
+            top(0, 1, TtlOp::Advance(1_000)),
+            top(2, 3, TtlOp::Get(Some(7))),
+            top(4, 5, TtlOp::Remove(Some(7))),
+        ];
+        assert!(check(&spec, &h));
     }
 
     fn rop(invoke: u64, response: u64, op: RangeOp) -> Timed<RangeOp> {

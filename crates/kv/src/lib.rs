@@ -5,35 +5,53 @@
 //! them into a service-shaped store — the ROADMAP's step from
 //! "reproduction" toward "production-scale system".
 //!
+//! The store is a **policy-layered engine**: routing, TTL, and
+//! rebalancing are separable layers over the same sharded core.
+//!
 //! ```text
-//!                    ┌────────────────────────────────────────────┐
-//!        put(k,v) ──▶│ KvStore                                    │
-//!        get(k)   ──▶│  hash(k) ──▶ shard index                   │
-//!                    │ ┌─────────┐ ┌─────────┐     ┌─────────┐    │
-//!                    │ │ shard 0 │ │ shard 1 │ ... │ shard N │    │
-//!                    │ │ OPTIK   │ │ OPTIK   │     │ OPTIK   │    │
-//!                    │ │ version │ │ version │     │ version │    │
-//!                    │ │ lock    │ │ lock    │     │ lock    │    │
-//!                    │ │ ┌─────┐ │ │ ┌─────┐ │     │ ┌─────┐ │    │
-//!                    │ │ │ map │ │ │ │ map │ │     │ │ map │ │    │
-//!                    │ │ └─────┘ │ │ └─────┘ │     │ └─────┘ │    │
-//!                    │ └─────────┘ └─────────┘     └─────────┘    │
-//!                    └────────────────────────────────────────────┘
-//!                      map = any ConcurrentMap backend (OPTIK array
-//!                      map, striped / striped-OPTIK / resizable table)
+//!             ┌──────────────────────────────────────────────────────┐
+//!  put(k,v) ─▶│ KvStore                                              │
+//!  get(k)   ─▶│  ┌────────────────────────────────────────────────┐  │
+//!             │  │ ShardPolicy (policy.rs)                        │  │
+//!             │  │  hash spread  |  partition table ⟨OPTIK lock⟩  │◀─┼── rebalance.rs
+//!             │  └──────────────────────┬─────────────────────────┘  │   (boundary
+//!             │                         ▼ shard index                │    migration)
+//!             │ ┌─────────┐ ┌─────────┐     ┌─────────┐              │
+//!             │ │ shard 0 │ │ shard 1 │ ... │ shard N │              │
+//!             │ │ OPTIK   │ │ OPTIK   │     │ OPTIK   │              │
+//!             │ │ version │ │ version │     │ version │              │
+//!             │ │ lock    │ │ lock    │     │ lock    │              │
+//!             │ │ ┌─────┐ │ │ ┌─────┐ │     │ ┌─────┐ │              │
+//!             │ │ │ map │ │ │ │ map │ │     │ │ map │ │              │
+//!             │ │ ├─────┤ │ │ ├─────┤ │     │ ├─────┤ │              │
+//!             │ │ │ ttl │ │ │ │ ttl │ │     │ │ ttl │ │◀─ ttl.rs     │
+//!             │ │ └─────┘ │ │ └─────┘ │     │ └─────┘ │   (deadline  │
+//!             │ └─────────┘ └─────────┘     └─────────┘    tables)   │
+//!             └──────────────────────────────────────────────────────┘
+//!               map = any ConcurrentMap backend (OPTIK array map,
+//!               striped / striped-OPTIK / resizable table, skip
+//!               lists and BSTs via OrderedMap — or another KvStore)
 //! ```
 //!
-//! The OPTIK pattern (§3 of the paper) appears at the *shard* granularity:
+//! The OPTIK pattern (§3 of the paper) appears at *three* granularities:
 //!
-//! - single-key writes lock their shard; reads never lock;
-//! - **batched** multi-key operations acquire the involved shard locks in
+//! - **shards** — single-key writes lock their shard; reads never lock;
+//!   batched multi-key operations acquire the involved shard locks in
 //!   ascending shard order (deadlock-free by total-order acquisition) and
-//!   commit atomically across shards;
-//! - **multi-gets and scans** are optimistic: read shard versions, read
-//!   data, validate the versions — the read-side half of OPTIK — with a
-//!   bounded fallback to locking under sustained interference. Failed
-//!   (read-only) critical sections release with `revert`, so they never
-//!   signal conflicts to other optimistic readers.
+//!   commit atomically across shards; multi-gets and scans are
+//!   optimistic (read versions, read data, validate) with a bounded
+//!   fallback to locking. Failed (read-only) critical sections release
+//!   with `revert`, so they never signal conflicts to other optimistic
+//!   readers.
+//! - **routing** ([`ShardPolicy`], `policy.rs`) — under ordered sharding
+//!   the partition table sits behind its own OPTIK version lock: lookups
+//!   read it lock-free and validate, so an online boundary migration
+//!   (`rebalance.rs`) makes racing readers retry instead of mis-route.
+//! - **entry lifecycle** ([`Clock`]/TTL, `ttl.rs`) — deadlines live in
+//!   per-shard companion tables covered by the shard version, so a read
+//!   validates the (value, deadline) pair as one snapshot; expiry is lazy
+//!   on read and reclaimed incrementally by [`KvStore::sweep_expired`]
+//!   through the workspace QSBR machinery.
 //!
 //! Ordered backends (the skip lists and BSTs, via
 //! `optik_harness::api::OrderedMap`) additionally serve **range scans**:
@@ -55,10 +73,16 @@
 
 #![warn(missing_docs)]
 
+mod policy;
+mod rebalance;
 mod store;
+mod ttl;
 mod workload;
 
+pub use policy::{HashPolicy, RangePolicy, ShardPolicy};
+pub use rebalance::{MigrationStats, RebalanceError, MIGRATION_BATCH};
 pub use store::KvStore;
+pub use ttl::{Clock, FakeClock, SystemClock};
 pub use workload::{
     run_kv_workload, run_kv_workload_ordered, KvBenchResult, KvCounts, KvMix, KvWorkload,
 };

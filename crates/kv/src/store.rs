@@ -1,96 +1,184 @@
 //! The sharded store: per-shard OPTIK version locks over a pluggable
-//! [`ConcurrentMap`] backend.
+//! [`ConcurrentMap`] backend, routed by a pluggable [`ShardPolicy`].
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use optik::{OptikLock, OptikVersioned};
 use synchro::{Backoff, CachePadded};
 
 use optik_harness::api::{ConcurrentMap, Key, OrderedMap, Val};
 
+use crate::policy::{HashPolicy, RangePolicy, ShardPolicy};
+use crate::ttl::{Clock, TtlState};
+
 /// Optimistic attempts per shard before a cross-shard read operation
 /// (multi-get, scan, range scan) falls back to taking the shard lock(s).
-const OPTIMISTIC_ATTEMPTS: usize = 8;
+pub(crate) const OPTIMISTIC_ATTEMPTS: usize = 8;
 
-struct Shard<B> {
+pub(crate) struct Shard<B> {
     /// Guards every *write* to `map` (single-key and batched) and arbitrates
     /// read-side validation: multi-gets and scans read optimistically and
     /// validate against this version, OPTIK style, instead of locking.
-    lock: OptikVersioned,
-    map: B,
+    /// On TTL stores the same version covers the companion `deadlines`
+    /// table, so a validated read can never pair a fresh value with a
+    /// stale deadline.
+    pub(crate) lock: OptikVersioned,
+    pub(crate) map: B,
+    /// Companion deadline table (`key → absolute expiry tick`), present
+    /// exactly when the store was built with a clock. Same backend type
+    /// as `map`: deadline reads are lock-free backend lookups.
+    pub(crate) deadlines: Option<B>,
+    /// Relaxed per-shard op counter feeding the rebalancer's load
+    /// heuristics. Only maintained under dynamic routing policies — hash
+    /// stores never rebalance, so their hot paths skip the counter.
+    pub(crate) ops: AtomicU64,
 }
 
-/// How keys map to shards.
-enum Sharding {
-    /// Fibonacci-spread hashing (the default): uniform load, but a key
-    /// range intersects every shard.
-    Hash,
-    /// Contiguous key partitions of `span` keys each (shard `i` owns
-    /// `[1 + i*span, i*span + span]`, the last shard additionally owning
-    /// everything above): range scans touch only the shards their window
-    /// intersects, at the cost of hot ranges loading single shards.
-    Range {
-        /// Keys per partition.
-        span: u64,
-    },
+impl<B: ConcurrentMap> Shard<B> {
+    /// Under the shard lock: the full upsert sequence shared by `put`
+    /// and `multi_put` — normalize an expired previous binding, upsert,
+    /// and clear any deadline (a plain put lives forever). Returns the
+    /// previous live value.
+    pub(crate) fn put_live(&self, key: Key, val: Val, now: Option<u64>) -> Option<Val> {
+        if let Some(now) = now {
+            self.drop_expired(key, now);
+        }
+        let prev = self.map.put(key, val);
+        if prev.is_some() {
+            if let Some(dl) = &self.deadlines {
+                dl.remove(key);
+            }
+        }
+        prev
+    }
+
+    /// Under the shard lock: physically drops `key` if its deadline has
+    /// passed, making room for the caller to act on a normalized shard.
+    /// Returns whether the maps were modified.
+    pub(crate) fn drop_expired(&self, key: Key, now: u64) -> bool {
+        let Some(dl) = &self.deadlines else {
+            return false;
+        };
+        if dl.get(key).is_some_and(|d| d <= now) {
+            self.map.remove(key);
+            dl.remove(key);
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// A sharded key–value store over a pluggable [`ConcurrentMap`] backend.
 ///
-/// Keys hash (Fibonacci spread, high bits) to one of N shards; each shard
-/// pairs a backend map with an OPTIK version lock:
+/// Keys route to one of N shards through a [`ShardPolicy`] (Fibonacci
+/// hashing by default, contiguous key partitions under
+/// [`KvStore::with_ordered_shards`]); each shard pairs a backend map with
+/// an OPTIK version lock:
 ///
 /// - [`KvStore::get`] goes straight to the backend, lock-free — the
-///   backends are linearizable maps on their own;
-/// - [`KvStore::put`] / [`KvStore::remove`] run under their shard's lock,
-///   so shard versions count completed writes;
+///   backends are linearizable maps on their own. Under a *dynamic*
+///   routing policy (rebalanceable partitions) the lookup additionally
+///   validates the routing version, retrying if a migration raced it;
+///   on TTL stores it validates the shard version around the
+///   (value, deadline) pair and treats a passed deadline as a miss;
+/// - [`KvStore::put`] / [`KvStore::remove`] run under their shard's lock
+///   (re-checking the route once locked, so a migration cannot strand a
+///   write in a shard that no longer owns the key), so shard versions
+///   count completed writes;
 /// - batched operations ([`KvStore::multi_put`], [`KvStore::multi_remove`])
 ///   acquire every involved shard lock **in ascending shard order** —
 ///   the classic total-order claim that makes overlapping batches
 ///   deadlock-free — and apply the whole batch atomically;
 /// - [`KvStore::multi_get`] and [`KvStore::scan`] are optimistic: read the
-///   shard versions, read the data, validate — retrying (and eventually
-///   falling back to sorted locking) on interference. Traversal safety
-///   under concurrent removal comes from the workspace's QSBR domain
-///   (`reclaim`): scanning threads are registered participants and do not
-///   announce quiescence mid-scan, so retired entries stay readable.
+///   routing and shard versions, read the data, validate — retrying (and
+///   eventually falling back to sorted locking) on interference.
+///   Traversal safety under concurrent removal comes from the workspace's
+///   QSBR domain (`reclaim`): scanning threads are registered
+///   participants and do not announce quiescence mid-scan, so retired
+///   entries stay readable.
 ///
 /// The store itself implements [`ConcurrentMap`], so a `KvStore` can be
 /// nested, benchmarked, and linearizability-checked exactly like the
-/// backends it composes.
+/// backends it composes. TTL, sweeping, and rebalancing live in the
+/// sibling modules (`ttl`, `rebalance`).
 pub struct KvStore<B> {
-    shards: Box<[CachePadded<Shard<B>>]>,
-    sharding: Sharding,
-}
-
-/// Fibonacci spread; the *high* bits select the shard so backends that
-/// bucket by `key % buckets` see an unbiased key stream per shard.
-#[inline]
-fn spread(key: Key) -> u64 {
-    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    pub(crate) shards: Box<[CachePadded<Shard<B>>]>,
+    pub(crate) policy: Box<dyn ShardPolicy>,
+    /// Cached `policy.is_dynamic()`: read on every operation, so it
+    /// lives as a plain field instead of a virtual call.
+    pub(crate) dynamic: bool,
+    pub(crate) ttl: Option<TtlState>,
 }
 
 impl<B: ConcurrentMap> KvStore<B> {
-    /// Creates a store with `shards` shards, building each backend with
-    /// `make(shard_index)`.
+    /// Creates a hash-sharded store with `shards` shards, building each
+    /// backend with `make(shard_index)`.
     ///
     /// # Panics
     ///
     /// Panics if `shards` is zero.
     pub fn with_shards(shards: usize, make: impl FnMut(usize) -> B) -> Self {
-        Self::build(shards, Sharding::Hash, make)
+        Self::build(Box::new(HashPolicy::new(shards)), None, make)
     }
 
-    fn build(shards: usize, sharding: Sharding, mut make: impl FnMut(usize) -> B) -> Self {
+    /// [`KvStore::with_shards`] with native TTL support: entries gain
+    /// per-key expiry deadlines against `clock` (see the `ttl` module).
+    /// `make` is called **twice** per shard — once for the data map, once
+    /// for the same-type deadline table.
+    pub fn with_shards_ttl(
+        shards: usize,
+        clock: Arc<dyn Clock>,
+        make: impl FnMut(usize) -> B,
+    ) -> Self {
+        Self::build(Box::new(HashPolicy::new(shards)), Some(clock), make)
+    }
+
+    /// Creates a store routed by an arbitrary [`ShardPolicy`] (the
+    /// named constructors cover the common hash / contiguous cases).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy routes over zero shards.
+    pub fn with_policy(policy: Box<dyn ShardPolicy>, make: impl FnMut(usize) -> B) -> Self {
+        Self::build(policy, None, make)
+    }
+
+    /// [`KvStore::with_policy`] with native TTL support.
+    pub fn with_policy_ttl(
+        policy: Box<dyn ShardPolicy>,
+        clock: Arc<dyn Clock>,
+        make: impl FnMut(usize) -> B,
+    ) -> Self {
+        Self::build(policy, Some(clock), make)
+    }
+
+    pub(crate) fn build(
+        policy: Box<dyn ShardPolicy>,
+        clock: Option<Arc<dyn Clock>>,
+        mut make: impl FnMut(usize) -> B,
+    ) -> Self {
+        let shards = policy.num_shards();
         assert!(shards > 0, "need at least one shard");
+        let dynamic = policy.is_dynamic();
         Self {
             shards: (0..shards)
                 .map(|i| {
                     CachePadded::new(Shard {
                         lock: OptikVersioned::new(),
                         map: make(i),
+                        deadlines: clock.is_some().then(|| make(i)),
+                        ops: AtomicU64::new(0),
                     })
                 })
                 .collect(),
-            sharding,
+            policy,
+            dynamic,
+            ttl: clock.map(|clock| TtlState {
+                clock,
+                cursor: AtomicUsize::new(0),
+            }),
         }
     }
 
@@ -99,102 +187,274 @@ impl<B: ConcurrentMap> KvStore<B> {
         self.shards.len()
     }
 
-    /// Shard index for `key`.
+    /// Shard index for `key`, as the routing table currently stands.
     #[inline]
     pub fn shard_of(&self, key: Key) -> usize {
-        match self.sharding {
-            Sharding::Hash => ((spread(key) >> 32) % self.shards.len() as u64) as usize,
-            Sharding::Range { span } => {
-                (((key.saturating_sub(1)) / span) as usize).min(self.shards.len() - 1)
+        self.policy.route(key)
+    }
+
+    /// The backend map of shard `i` (read-only introspection — e.g.
+    /// capacity reporting; going around the store's locks for *writes*
+    /// voids every consistency claim above).
+    pub fn backend(&self, i: usize) -> &B {
+        &self.shards[i].map
+    }
+
+    /// Per-shard op counters (maintained under dynamic routing policies;
+    /// all-zero for hash stores), feeding the rebalancer's heuristics.
+    pub fn shard_loads(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.ops.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The partition table's downcast, when range-sharded.
+    pub(crate) fn range_policy(&self) -> Option<&RangePolicy> {
+        self.policy.as_range()
+    }
+
+    /// The current tick, when TTL-enabled.
+    #[inline]
+    pub(crate) fn now_opt(&self) -> Option<u64> {
+        self.ttl.as_ref().map(|t| t.clock.now())
+    }
+
+    /// Drops entries of `buf` whose deadline (in `shard`'s companion
+    /// table) has passed. Call inside the same validated section that
+    /// collected `buf`, so value and deadline belong to one version.
+    fn filter_expired(&self, shard: &Shard<B>, buf: &mut Vec<(Key, Val)>, now: Option<u64>) {
+        let (Some(now), Some(dl)) = (now, &shard.deadlines) else {
+            return;
+        };
+        buf.retain(|&(k, _)| !dl.get(k).is_some_and(|d| d <= now));
+    }
+
+    /// One locked single-key critical section with route re-validation:
+    /// locks the key's shard, re-checks the route (a concurrent boundary
+    /// migration may have moved the key while we waited on the lock) and
+    /// retries on a stale route, then runs `f`. `f` returns `(result,
+    /// modified)`; unmodified critical sections release with `revert` so
+    /// optimistic readers see no false conflicts.
+    pub(crate) fn write_shard<R>(
+        &self,
+        key: Key,
+        now: Option<u64>,
+        mut f: impl FnMut(&Shard<B>, Option<u64>) -> (R, bool),
+    ) -> R {
+        let dynamic = self.dynamic;
+        loop {
+            let s = self.policy.route(key);
+            let shard = &self.shards[s];
+            shard.lock.lock();
+            if dynamic {
+                if self.policy.route(key) != s {
+                    shard.lock.revert();
+                    continue;
+                }
+                shard.ops.fetch_add(1, Ordering::Relaxed);
             }
+            let (out, modified) = f(shard, now);
+            if modified {
+                shard.lock.unlock();
+            } else {
+                shard.lock.revert();
+            }
+            return out;
         }
     }
 
-    #[inline]
-    fn shard(&self, key: Key) -> &Shard<B> {
-        &self.shards[self.shard_of(key)]
-    }
-
-    /// Looks up `key`. Lock-free: delegates to the backend.
+    /// Looks up `key`. Lock-free: delegates to the backend; TTL stores
+    /// validate the (value, deadline) pair against the shard version and
+    /// report expired entries as misses; dynamically-routed stores
+    /// validate the routing version and retry across migrations.
     #[inline]
     pub fn get(&self, key: Key) -> Option<Val> {
-        self.shard(key).map.get(key)
+        if self.dynamic {
+            self.get_dynamic(key)
+        } else {
+            self.read_entry(&self.shards[self.policy.route(key)], key, self.now_opt())
+        }
+    }
+
+    /// Validated single-shard lookup (see [`KvStore::get`]). Plain
+    /// stores read the backend directly; TTL stores run the read-side
+    /// OPTIK pattern over the (value, deadline) pair.
+    fn read_entry(&self, shard: &Shard<B>, key: Key, now: Option<u64>) -> Option<Val> {
+        let (Some(now), Some(dl)) = (now, &shard.deadlines) else {
+            return shard.map.get(key);
+        };
+        let mut bo = Backoff::new();
+        for _ in 0..OPTIMISTIC_ATTEMPTS {
+            let v = shard.lock.get_version_wait();
+            let val = shard.map.get(key);
+            let deadline = dl.get(key);
+            if shard.lock.validate(v) {
+                return val.filter(|_| !deadline.is_some_and(|d| d <= now));
+            }
+            bo.backoff();
+        }
+        shard.lock.lock();
+        let val = shard.map.get(key);
+        let deadline = dl.get(key);
+        shard.lock.revert(); // read-only critical section
+        val.filter(|_| !deadline.is_some_and(|d| d <= now))
+    }
+
+    /// [`KvStore::get`] under a dynamic routing policy: optimistic
+    /// route-read-validate, with a shard-lock fallback whose route
+    /// re-check pins the key (a migration needs that shard's lock).
+    fn get_dynamic(&self, key: Key) -> Option<Val> {
+        let now = self.now_opt();
+        self.shards[self.policy.route(key)]
+            .ops
+            .fetch_add(1, Ordering::Relaxed);
+        let mut bo = Backoff::new();
+        for _ in 0..OPTIMISTIC_ATTEMPTS {
+            let rv = self.policy.version();
+            let out = self.read_entry(&self.shards[self.policy.route(key)], key, now);
+            if self.policy.validate(rv) {
+                return out;
+            }
+            bo.backoff();
+        }
+        loop {
+            let s = self.policy.route(key);
+            let shard = &self.shards[s];
+            shard.lock.lock();
+            if self.policy.route(key) != s {
+                shard.lock.revert();
+                continue;
+            }
+            let val = shard.map.get(key);
+            let deadline = shard.deadlines.as_ref().and_then(|dl| dl.get(key));
+            shard.lock.revert(); // read-only critical section
+            return val.filter(|_| !now.is_some_and(|now| deadline.is_some_and(|d| d <= now)));
+        }
     }
 
     /// Inserts or atomically updates `key → val` under the shard lock,
-    /// returning the previous value.
+    /// returning the previous **live** value. On TTL stores an expired
+    /// previous binding reports `None` (and is physically dropped), and a
+    /// plain put clears any deadline — the fresh binding lives forever.
     pub fn put(&self, key: Key, val: Val) -> Option<Val> {
-        let shard = self.shard(key);
-        shard.lock.lock();
-        let prev = shard.map.put(key, val);
-        shard.lock.unlock();
-        prev
+        self.write_shard(key, self.now_opt(), |shard, now| {
+            (shard.put_live(key, val, now), true)
+        })
     }
 
-    /// Removes `key` under the shard lock, returning its value.
+    /// Removes `key` under the shard lock, returning its **live** value
+    /// (an expired binding reports `None` and is physically dropped).
     ///
     /// A miss releases with `revert`: the critical section modified
     /// nothing, so optimistic readers must not see a version bump.
     pub fn remove(&self, key: Key) -> Option<Val> {
-        let shard = self.shard(key);
-        shard.lock.lock();
-        let prev = shard.map.remove(key);
-        if prev.is_some() {
-            shard.lock.unlock();
-        } else {
-            shard.lock.revert();
-        }
-        prev
+        self.write_shard(key, self.now_opt(), |shard, now| {
+            let dropped = now.is_some_and(|now| shard.drop_expired(key, now));
+            let prev = shard.map.remove(key);
+            if prev.is_some() {
+                if let Some(dl) = &shard.deadlines {
+                    dl.remove(key);
+                }
+            }
+            (prev, dropped || prev.is_some())
+        })
     }
 
     /// Involved shard indices, ascending and deduplicated — the canonical
     /// acquisition order for every batched operation.
     fn shard_ids(&self, keys: impl Iterator<Item = Key>) -> Vec<usize> {
-        let mut ids: Vec<usize> = keys.map(|k| self.shard_of(k)).collect();
+        let mut ids: Vec<usize> = keys.map(|k| self.policy.route(k)).collect();
         ids.sort_unstable();
         ids.dedup();
         ids
     }
 
+    /// Raw per-key lookup used inside already-validated batched reads.
+    fn read_raw(&self, key: Key, now: Option<u64>) -> Option<Val> {
+        let shard = &self.shards[self.policy.route(key)];
+        let val = shard.map.get(key);
+        match (now, &shard.deadlines) {
+            (Some(now), Some(dl)) => val.filter(|_| !dl.get(key).is_some_and(|d| d <= now)),
+            _ => val,
+        }
+    }
+
     /// Atomically reads every key: the returned values coexisted at one
     /// linearization point, even across shards.
     ///
-    /// Optimistic (no locks) in the common case: read all involved shard
-    /// versions, read the values, validate every version. After
-    /// eight failed rounds it degrades to locking the
-    /// shards in ascending order (read-only, released with `revert`).
+    /// Optimistic (no locks) in the common case: read the routing version
+    /// and all involved shard versions, read the values, validate
+    /// everything. After eight failed rounds it degrades to locking the
+    /// shards in ascending order (read-only, released with `revert`),
+    /// re-validating the shard set against racing migrations.
     pub fn multi_get(&self, keys: &[Key]) -> Vec<Option<Val>> {
-        let ids = self.shard_ids(keys.iter().copied());
+        let now = self.now_opt();
+        let dynamic = self.dynamic;
         let mut bo = Backoff::new();
         for _ in 0..OPTIMISTIC_ATTEMPTS {
+            let rv = self.policy.version();
+            let ids = self.shard_ids(keys.iter().copied());
             let versions: Vec<optik::Version> = ids
                 .iter()
                 .map(|&i| self.shards[i].lock.get_version_wait())
                 .collect();
-            let out: Vec<Option<Val>> = keys.iter().map(|&k| self.get(k)).collect();
-            if ids
-                .iter()
-                .zip(&versions)
-                .all(|(&i, &v)| self.shards[i].lock.validate(v))
+            let out: Vec<Option<Val>> = keys.iter().map(|&k| self.read_raw(k, now)).collect();
+            if self.policy.validate(rv)
+                && ids
+                    .iter()
+                    .zip(&versions)
+                    .all(|(&i, &v)| self.shards[i].lock.validate(v))
             {
+                if dynamic {
+                    for &i in &ids {
+                        self.shards[i].ops.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 return out;
             }
             bo.backoff();
         }
-        // Contended fallback: sorted acquisition, guaranteed progress.
-        for &i in &ids {
-            self.shards[i].lock.lock();
-        }
-        let out = keys.iter().map(|&k| self.get(k)).collect();
+        // Contended fallback: sorted acquisition, guaranteed progress
+        // (lock_batch revalidates the shard set against racing
+        // migrations and maintains the load counters).
+        let ids = self.lock_batch(&|| self.shard_ids(keys.iter().copied()));
+        let out = keys.iter().map(|&k| self.read_raw(k, now)).collect();
         for &i in ids.iter().rev() {
             self.shards[i].lock.revert();
         }
         out
     }
 
-    /// Atomically applies every `(key, val)` upsert, returning the previous
-    /// value per entry. Entries with duplicate keys apply in order (the
-    /// later previous-value observes the earlier entry).
+    /// Locks every shard of `ids` ascending, re-validating the shard set
+    /// for `keys` under dynamic routing. Returns the stable shard set.
+    fn lock_batch(&self, keys_of: &dyn Fn() -> Vec<usize>) -> Vec<usize> {
+        let dynamic = self.dynamic;
+        loop {
+            let ids = keys_of();
+            for &i in &ids {
+                self.shards[i].lock.lock();
+            }
+            if dynamic && keys_of() != ids {
+                for &i in ids.iter().rev() {
+                    self.shards[i].lock.revert();
+                }
+                continue;
+            }
+            if dynamic {
+                for &i in &ids {
+                    self.shards[i].ops.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            return ids;
+        }
+    }
+
+    /// Atomically applies every `(key, val)` upsert, returning the
+    /// previous **live** value per entry. Entries with duplicate keys
+    /// apply in order (the later previous-value observes the earlier
+    /// entry). On TTL stores each touched key's deadline is cleared,
+    /// exactly as for [`KvStore::put`].
     ///
     /// All involved shard locks are acquired in ascending shard order
     /// before the first write and released (in reverse) after the last, so
@@ -204,13 +464,11 @@ impl<B: ConcurrentMap> KvStore<B> {
     /// validate shard versions and may observe a batch mid-application —
     /// per-key atomicity is the most a single-key read can claim.
     pub fn multi_put(&self, entries: &[(Key, Val)]) -> Vec<Option<Val>> {
-        let ids = self.shard_ids(entries.iter().map(|&(k, _)| k));
-        for &i in &ids {
-            self.shards[i].lock.lock();
-        }
+        let now = self.now_opt();
+        let ids = self.lock_batch(&|| self.shard_ids(entries.iter().map(|&(k, _)| k)));
         let out = entries
             .iter()
-            .map(|&(k, v)| self.shard(k).map.put(k, v))
+            .map(|&(k, v)| self.shards[self.policy.route(k)].put_live(k, v, now))
             .collect();
         for &i in ids.iter().rev() {
             self.shards[i].lock.unlock();
@@ -218,22 +476,27 @@ impl<B: ConcurrentMap> KvStore<B> {
         out
     }
 
-    /// Atomically removes every key, returning the removed value per key.
-    /// Shards whose maps end up unmodified release with `revert`.
+    /// Atomically removes every key, returning the removed **live** value
+    /// per key (expired bindings report `None` and are dropped). Shards
+    /// whose maps end up unmodified release with `revert`.
     pub fn multi_remove(&self, keys: &[Key]) -> Vec<Option<Val>> {
-        let ids = self.shard_ids(keys.iter().copied());
-        for &i in &ids {
-            self.shards[i].lock.lock();
-        }
+        let now = self.now_opt();
+        let ids = self.lock_batch(&|| self.shard_ids(keys.iter().copied()));
         let mut modified = vec![false; ids.len()];
         let out: Vec<Option<Val>> = keys
             .iter()
             .map(|&k| {
-                let removed = self.shard(k).map.remove(k);
+                let s = self.policy.route(k);
+                let shard = &self.shards[s];
+                let slot = ids.binary_search(&s).expect("shard id collected above");
+                if now.is_some_and(|now| shard.drop_expired(k, now)) {
+                    modified[slot] = true;
+                }
+                let removed = shard.map.remove(k);
                 if removed.is_some() {
-                    let slot = ids
-                        .binary_search(&self.shard_of(k))
-                        .expect("shard id collected above");
+                    if let Some(dl) = &shard.deadlines {
+                        dl.remove(k);
+                    }
                     modified[slot] = true;
                 }
                 removed
@@ -250,14 +513,17 @@ impl<B: ConcurrentMap> KvStore<B> {
     }
 
     /// One shard's entries as a version-consistent snapshot: optimistic
-    /// collect-and-validate, falling back to the shard lock.
+    /// collect-and-validate, falling back to the shard lock. TTL stores
+    /// filter expired entries inside the validated section.
     fn shard_snapshot(&self, i: usize, buf: &mut Vec<(Key, Val)>) {
+        let now = self.now_opt();
         let shard = &self.shards[i];
         let mut bo = Backoff::new();
         for _ in 0..OPTIMISTIC_ATTEMPTS {
             buf.clear();
             let v = shard.lock.get_version_wait();
             shard.map.for_each(&mut |k, val| buf.push((k, val)));
+            self.filter_expired(shard, buf, now);
             if shard.lock.validate(v) {
                 return;
             }
@@ -266,6 +532,7 @@ impl<B: ConcurrentMap> KvStore<B> {
         buf.clear();
         shard.lock.lock();
         shard.map.for_each(&mut |k, val| buf.push((k, val)));
+        self.filter_expired(shard, buf, now);
         shard.lock.revert(); // read-only critical section
     }
 
@@ -273,14 +540,57 @@ impl<B: ConcurrentMap> KvStore<B> {
     /// consistent snapshot (no torn writes, no half-applied batches within
     /// the shard); the store-wide view is per-shard sequential, like a
     /// QSBR-epoch scan — shards visited earlier may have mutated by the
-    /// time later shards are read.
+    /// time later shards are read. Under a dynamic routing policy the
+    /// whole walk additionally validates the routing version (so a
+    /// concurrent boundary migration cannot show a moving key twice or
+    /// not at all), falling back to locking every shard.
     pub fn scan(&self, mut f: impl FnMut(Key, Val)) {
         let mut buf = Vec::new();
-        for i in 0..self.shards.len() {
-            self.shard_snapshot(i, &mut buf);
-            for &(k, v) in &buf {
-                f(k, v);
+        if !self.dynamic {
+            for i in 0..self.shards.len() {
+                self.shard_snapshot(i, &mut buf);
+                for &(k, v) in &buf {
+                    f(k, v);
+                }
             }
+            return;
+        }
+        let mut all: Vec<(Key, Val)> = Vec::new();
+        let mut bo = Backoff::new();
+        for _ in 0..OPTIMISTIC_ATTEMPTS {
+            all.clear();
+            let rv = self.policy.version();
+            for i in 0..self.shards.len() {
+                self.shard_snapshot(i, &mut buf);
+                all.append(&mut buf);
+            }
+            if self.policy.validate(rv) {
+                for &(k, v) in &all {
+                    f(k, v);
+                }
+                return;
+            }
+            bo.backoff();
+        }
+        // Migration storm: lock every shard (ascending — the same total
+        // order as every other batch path, and the rebalancer's own
+        // acquisition order, so no deadlock) and collect exactly.
+        let now = self.now_opt();
+        all.clear();
+        for s in self.shards.iter() {
+            s.lock.lock();
+        }
+        for s in self.shards.iter() {
+            buf.clear();
+            s.map.for_each(&mut |k, val| buf.push((k, val)));
+            self.filter_expired(s, &mut buf, now);
+            all.append(&mut buf);
+        }
+        for s in self.shards.iter().rev() {
+            s.lock.revert();
+        }
+        for &(k, v) in &all {
+            f(k, v);
         }
     }
 
@@ -292,7 +602,9 @@ impl<B: ConcurrentMap> KvStore<B> {
         out
     }
 
-    /// Total entries across shards (O(n); exact only in quiescence).
+    /// Total entries across shards (O(n); exact only in quiescence; on
+    /// TTL stores this counts *physical* entries, including expired ones
+    /// the sweeper has not reclaimed yet).
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.map.len()).sum()
     }
@@ -320,9 +632,19 @@ impl<B: ConcurrentMap> ConcurrentMap for KvStore<B> {
     }
     fn for_each(&self, f: &mut dyn FnMut(Key, Val)) {
         // Raw backend sweep (quiescence-consistent, per the trait
-        // contract); `scan` is the validated variant.
+        // contract); `scan` is the validated variant. TTL stores still
+        // hide logically-expired entries — raw deadline reads suffice
+        // for a sweep that never promised a consistent point in time.
+        let now = self.now_opt();
         for s in self.shards.iter() {
-            s.map.for_each(f);
+            match (now, &s.deadlines) {
+                (Some(now), Some(dl)) => s.map.for_each(&mut |k, v| {
+                    if !dl.get(k).is_some_and(|d| d <= now) {
+                        f(k, v);
+                    }
+                }),
+                _ => s.map.for_each(f),
+            }
         }
     }
 }
@@ -336,16 +658,34 @@ impl<B: OrderedMap> KvStore<B> {
     /// window intersects and concatenate their (already sorted) partition
     /// scans without a merge step. Point operations work exactly as under
     /// hash sharding — only the key→shard map differs — but load balance
-    /// now follows the key distribution, so this layout is for
-    /// range-serving stores, not skewed point workloads.
+    /// now follows the key distribution: the online rebalancer
+    /// ([`KvStore::rebalance_round`], [`KvStore::shift_boundary`]) exists
+    /// to move partition boundaries when it does not.
     ///
     /// # Panics
     ///
     /// Panics if `shards` or `max_key` is zero.
     pub fn with_ordered_shards(shards: usize, max_key: Key, make: impl FnMut(usize) -> B) -> Self {
-        assert!(max_key > 0, "need a non-empty key space");
-        let span = max_key.div_ceil(shards.max(1) as u64).max(1);
-        Self::build(shards, Sharding::Range { span }, make)
+        Self::build(
+            Box::new(RangePolicy::contiguous(shards, max_key)),
+            None,
+            make,
+        )
+    }
+
+    /// [`KvStore::with_ordered_shards`] with native TTL support (see
+    /// [`KvStore::with_shards_ttl`] for the `make` contract).
+    pub fn with_ordered_shards_ttl(
+        shards: usize,
+        max_key: Key,
+        clock: Arc<dyn Clock>,
+        make: impl FnMut(usize) -> B,
+    ) -> Self {
+        Self::build(
+            Box::new(RangePolicy::contiguous(shards, max_key)),
+            Some(clock),
+            make,
+        )
     }
 
     /// One shard's `[lo, hi]` window as a version-consistent snapshot:
@@ -353,12 +693,14 @@ impl<B: OrderedMap> KvStore<B> {
     /// (under which the backend's range pass is exact — writers are
     /// excluded, so the backend traversal sees a quiescent structure).
     fn shard_range(&self, i: usize, lo: Key, hi: Key, buf: &mut Vec<(Key, Val)>) {
+        let now = self.now_opt();
         let shard = &self.shards[i];
         let mut bo = Backoff::new();
         for _ in 0..OPTIMISTIC_ATTEMPTS {
             buf.clear();
             let v = shard.lock.get_version_wait();
             shard.map.range(lo, hi, &mut |k, val| buf.push((k, val)));
+            self.filter_expired(shard, buf, now);
             if shard.lock.validate(v) {
                 return;
             }
@@ -367,6 +709,7 @@ impl<B: OrderedMap> KvStore<B> {
         buf.clear();
         shard.lock.lock();
         shard.map.range(lo, hi, &mut |k, val| buf.push((k, val)));
+        self.filter_expired(shard, buf, now);
         shard.lock.revert(); // read-only critical section
     }
 
@@ -375,30 +718,65 @@ impl<B: OrderedMap> KvStore<B> {
     /// guarantee as [`KvStore::scan`], restricted to the window).
     ///
     /// Under ordered sharding only the shards intersecting the window are
-    /// visited, in key order, so the result is a concatenation; under hash
-    /// sharding every shard is visited and the result is sorted afterwards.
+    /// visited, in key order, so the result is a concatenation — and the
+    /// routing version is validated across the whole walk, so a window
+    /// raced by a boundary migration retries rather than missing or
+    /// double-counting migrated keys (after eight failed rounds: lock
+    /// every shard, under which routing is frozen and the passes are
+    /// exact). Under hash sharding every shard is visited and the result
+    /// is sorted afterwards.
     pub fn range_scan(&self, lo: Key, hi: Key) -> Vec<(Key, Val)> {
         let mut out = Vec::new();
         if lo > hi {
             return out;
         }
         let mut buf = Vec::new();
-        match self.sharding {
-            Sharding::Range { .. } => {
-                let first = self.shard_of(lo);
-                let last = self.shard_of(hi);
-                for i in first..=last {
-                    self.shard_range(i, lo, hi, &mut buf);
-                    out.append(&mut buf);
-                }
+        if self.policy.range_cover(lo, hi).is_none() {
+            for i in 0..self.shards.len() {
+                self.shard_range(i, lo, hi, &mut buf);
+                out.append(&mut buf);
             }
-            Sharding::Hash => {
-                for i in 0..self.shards.len() {
-                    self.shard_range(i, lo, hi, &mut buf);
-                    out.append(&mut buf);
-                }
-                out.sort_unstable();
+            out.sort_unstable();
+            return out;
+        }
+        let mut bo = Backoff::new();
+        for _ in 0..OPTIMISTIC_ATTEMPTS {
+            out.clear();
+            let rv = self.policy.version();
+            let (first, last) = self
+                .policy
+                .range_cover(lo, hi)
+                .expect("contiguous policy stays contiguous");
+            for i in first..=last {
+                self.shard_range(i, lo, hi, &mut buf);
+                out.append(&mut buf);
             }
+            if self.policy.validate(rv) {
+                return out;
+            }
+            bo.backoff();
+        }
+        // Migration storm: lock every shard — routing is frozen and the
+        // backend passes are exact.
+        let now = self.now_opt();
+        out.clear();
+        for s in self.shards.iter() {
+            s.lock.lock();
+        }
+        let (first, last) = self
+            .policy
+            .range_cover(lo, hi)
+            .expect("contiguous policy stays contiguous");
+        for i in first..=last {
+            buf.clear();
+            self.shards[i]
+                .map
+                .range(lo, hi, &mut |k, v| buf.push((k, v)));
+            self.filter_expired(&self.shards[i], &mut buf, now);
+            out.append(&mut buf);
+        }
+        for s in self.shards.iter().rev() {
+            s.lock.revert();
         }
         out
     }
@@ -524,6 +902,19 @@ mod tests {
     }
 
     #[test]
+    fn hash_stores_skip_the_load_counters() {
+        let s = striped_store(2);
+        for k in 1..=64u64 {
+            s.put(k, k);
+            s.get(k);
+        }
+        assert!(
+            s.shard_loads().iter().all(|&c| c == 0),
+            "static routing must not pay for rebalance accounting"
+        );
+    }
+
+    #[test]
     fn concurrent_mixed_ops_keep_exact_net_count() {
         let s = Arc::new(striped_store(4));
         let net = Arc::new(AtomicI64::new(0));
@@ -566,9 +957,10 @@ mod tests {
         assert_eq!(s.len() as i64, net.load(Ordering::Relaxed));
     }
 
-    // Concurrent batch atomicity, deadlock freedom, and snapshot
-    // consistency are exercised at scale (and across shard counts and
-    // backends) by the dedicated stress tier in `tests/integration_kv.rs`.
+    // Concurrent batch atomicity, deadlock freedom, snapshot consistency,
+    // TTL expiry under churn, and migration atomicity are exercised at
+    // scale (and across shard counts and backends) by the dedicated
+    // stress tier in `tests/integration_kv.rs`.
 
     use optik_bsts::OptikBst;
     use optik_skiplists::{HerlihyOptikSkipList, OptikSkipList2};
@@ -640,5 +1032,31 @@ mod tests {
         }
         let got = OrderedMap::range_collect(&s, 1, 100);
         assert_eq!(got, vec![(5, 5), (50, 50), (95, 95)]);
+    }
+
+    #[test]
+    fn custom_policies_plug_in() {
+        // A deliberately silly policy: parity routing. The store must
+        // route, batch, and scan through it like any built-in.
+        struct ParityPolicy;
+        impl ShardPolicy for ParityPolicy {
+            fn num_shards(&self) -> usize {
+                2
+            }
+            fn route(&self, key: Key) -> usize {
+                (key % 2) as usize
+            }
+        }
+        let s: KvStore<StripedOptikHashTable> =
+            KvStore::with_policy(Box::new(ParityPolicy), |_| {
+                StripedOptikHashTable::new(32, 8)
+            });
+        for k in 1..=40u64 {
+            s.put(k, k);
+        }
+        assert_eq!(s.shard_of(7), 1);
+        assert_eq!(s.shard_of(8), 0);
+        assert_eq!(s.multi_get(&[3, 4]), vec![Some(3), Some(4)]);
+        assert_eq!(s.snapshot().len(), 40);
     }
 }

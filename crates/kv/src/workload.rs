@@ -4,8 +4,9 @@
 //! Follows the paper's §5 methodology (key range double the initial size,
 //! optional zipfian skew with the largest keys most popular, per-iteration
 //! quiescence) extended with the store-level operations the set
-//! microbenchmark has no counterpart for: batched multi-key ops and
-//! snapshot scans.
+//! microbenchmark has no counterpart for: batched multi-key ops, snapshot
+//! scans, TTL puts with incremental expiry sweeps, and load-driven
+//! rebalance rounds.
 
 use std::time::{Duration, Instant};
 
@@ -24,8 +25,10 @@ use crate::{ConcurrentMap, KvStore};
 /// call, and batched writes alternate between `multi_put` and an
 /// equal-size `multi_remove` so — like the paper's equal insert/delete
 /// rates — the store size stays near the initial fill. Range scans
-/// ([`KvMix::range_pm`]) require an [`OrderedMap`] backend and the
-/// [`run_kv_workload_ordered`] driver.
+/// ([`KvMix::range_pm`]) and rebalance rounds ([`KvMix::rebalance_pm`])
+/// require an [`OrderedMap`] backend and the [`run_kv_workload_ordered`]
+/// driver; TTL puts and sweeps ([`KvMix::ttl_put_pm`], [`KvMix::sweep_pm`])
+/// require a store built with a clock.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct KvMix {
     /// Permille of single-key puts.
@@ -46,6 +49,18 @@ pub struct KvMix {
     /// Window width of a range scan: `[lo, lo + range_span - 1]` with a
     /// sampled `lo`.
     pub range_span: u64,
+    /// Permille of TTL puts (`put_with_ttl`, TTL-enabled stores only).
+    pub ttl_put_pm: u32,
+    /// Lifetime (clock ticks) of a TTL put.
+    pub ttl_span: u64,
+    /// Permille of incremental expiry sweeps (`sweep_expired`,
+    /// TTL-enabled stores only).
+    pub sweep_pm: u32,
+    /// Candidate budget per sweep call.
+    pub sweep_budget: usize,
+    /// Permille of load-driven rebalance rounds (`rebalance_round`,
+    /// ordered stores only; hash-sharded rounds are no-ops).
+    pub rebalance_pm: u32,
 }
 
 impl KvMix {
@@ -57,6 +72,9 @@ impl KvMix {
             .saturating_add(self.batch_write_pm)
             .saturating_add(self.scan_pm)
             .saturating_add(self.range_pm)
+            .saturating_add(self.ttl_put_pm)
+            .saturating_add(self.sweep_pm)
+            .saturating_add(self.rebalance_pm)
     }
 
     /// Permille of single-key gets (the remainder). Saturating: a mix
@@ -90,7 +108,7 @@ impl KvWorkload {
     /// # Panics
     ///
     /// Panics if `initial_size` is zero, the mix permilles exceed 1000, or
-    /// a batched/scanned mix has `batch == 0`.
+    /// a batched/ranged/TTL/sweeping mix lacks its size knob.
     pub fn new(initial_size: u64, skewed: bool, mix: KvMix) -> Self {
         assert!(initial_size > 0, "initial size must be positive");
         assert!(mix.named_pm() <= 1000, "mix permilles exceed 1000");
@@ -101,6 +119,14 @@ impl KvWorkload {
         assert!(
             mix.range_span > 0 || mix.range_pm == 0,
             "range mixes need a range span"
+        );
+        assert!(
+            mix.ttl_span > 0 || mix.ttl_put_pm == 0,
+            "TTL mixes need a ttl span"
+        );
+        assert!(
+            mix.sweep_budget > 0 || mix.sweep_pm == 0,
+            "sweeping mixes need a sweep budget"
         );
         let key_hi = 2 * initial_size;
         Self {
@@ -136,9 +162,10 @@ impl KvWorkload {
 }
 
 /// Operation counters for one kv run. Batched operations count one unit
-/// per key touched; scans count one unit per scan (their cost scales with
-/// store size, not batch size — throughput comparisons should keep
-/// `scan_pm` small and equal across series).
+/// per key touched; scans, sweeps, and rebalance rounds count one unit
+/// per call (their cost scales with store size or migration volume, not
+/// batch size — throughput comparisons should keep their permilles small
+/// and equal across series).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct KvCounts {
     /// Single gets that found their key.
@@ -165,6 +192,16 @@ pub struct KvCounts {
     pub range_scans: u64,
     /// Entries returned by range scans (not counted as ops).
     pub ranged_entries: u64,
+    /// TTL puts (`put_with_ttl`) issued.
+    pub ttl_puts: u64,
+    /// Expiry sweeps (`sweep_expired`) issued.
+    pub sweeps: u64,
+    /// Entries reclaimed by sweeps (not counted as ops).
+    pub swept_keys: u64,
+    /// Rebalance rounds that migrated something.
+    pub rebalances: u64,
+    /// Entries migrated by rebalance rounds (not counted as ops).
+    pub migrated_keys: u64,
 }
 
 impl KvCounts {
@@ -180,6 +217,9 @@ impl KvCounts {
             + self.batch_write_keys
             + self.scans
             + self.range_scans
+            + self.ttl_puts
+            + self.sweeps
+            + self.rebalances
     }
 
     fn merge(&mut self, o: &KvCounts) {
@@ -195,6 +235,11 @@ impl KvCounts {
         self.scanned_entries += o.scanned_entries;
         self.range_scans += o.range_scans;
         self.ranged_entries += o.ranged_entries;
+        self.ttl_puts += o.ttl_puts;
+        self.sweeps += o.sweeps;
+        self.swept_keys += o.swept_keys;
+        self.rebalances += o.rebalances;
+        self.migrated_keys += o.migrated_keys;
     }
 }
 
@@ -221,12 +266,13 @@ impl KvBenchResult {
 ///
 /// Threads announce QSBR quiescence between operations (ssmem-style, as
 /// in the paper's runner); latency is recorded for single-key operations
-/// only (gets as search, puts as insert, removes as delete).
+/// only (gets as search, puts as insert, removes as delete). TTL puts and
+/// sweeps require a store built with a clock ([`KvStore::with_shards_ttl`]).
 ///
 /// # Panics
 ///
-/// Panics if the mix contains range scans — those need an [`OrderedMap`]
-/// backend; use [`run_kv_workload_ordered`].
+/// Panics if the mix contains range scans or rebalance rounds — those
+/// need an [`OrderedMap`] backend; use [`run_kv_workload_ordered`].
 pub fn run_kv_workload<B: ConcurrentMap>(
     store: &KvStore<B>,
     threads: usize,
@@ -239,6 +285,10 @@ pub fn run_kv_workload<B: ConcurrentMap>(
         workload.mix.range_pm == 0,
         "range mixes need an OrderedMap backend (run_kv_workload_ordered)"
     );
+    assert!(
+        workload.mix.rebalance_pm == 0,
+        "rebalance mixes need an OrderedMap backend (run_kv_workload_ordered)"
+    );
     run_kv_inner(
         store,
         threads,
@@ -247,12 +297,13 @@ pub fn run_kv_workload<B: ConcurrentMap>(
         seed,
         record_latency,
         &|_, _| unreachable!("range op drawn with range_pm == 0"),
+        &|| unreachable!("rebalance op drawn with rebalance_pm == 0"),
     )
 }
 
 /// [`run_kv_workload`] over an [`OrderedMap`]-backed store: additionally
-/// executes the mix's bounded range scans through
-/// [`KvStore::range_scan`].
+/// executes the mix's bounded range scans through [`KvStore::range_scan`]
+/// and its rebalance rounds through [`KvStore::rebalance_round`].
 pub fn run_kv_workload_ordered<B: OrderedMap>(
     store: &KvStore<B>,
     threads: usize,
@@ -269,11 +320,14 @@ pub fn run_kv_workload_ordered<B: OrderedMap>(
         seed,
         record_latency,
         &|lo, hi| store.range_scan(lo, hi).len() as u64,
+        &|| store.rebalance_round().map_or(0, |s| s.moved),
     )
 }
 
 /// Shared driver core; `range_exec` runs one bounded range scan and
-/// reports how many entries it returned.
+/// reports how many entries it returned, `rebalance_exec` runs one
+/// rebalance round and reports how many entries migrated.
+#[allow(clippy::too_many_arguments)] // two exec hooks close over the typed store
 fn run_kv_inner<B: ConcurrentMap>(
     store: &KvStore<B>,
     threads: usize,
@@ -282,6 +336,7 @@ fn run_kv_inner<B: ConcurrentMap>(
     seed: u64,
     record_latency: bool,
     range_exec: &(dyn Fn(Key, Key) -> u64 + Sync),
+    rebalance_exec: &(dyn Fn() -> u64 + Sync),
 ) -> KvBenchResult {
     let mix = workload.mix;
     let start = Instant::now();
@@ -292,9 +347,19 @@ fn run_kv_inner<B: ConcurrentMap>(
         let mut keybuf: Vec<Key> = Vec::with_capacity(mix.batch);
         let mut entbuf: Vec<(Key, Val)> = Vec::with_capacity(mix.batch);
         let mut batch_write_flip = ctx.tid as u64;
+        // Cumulative permille thresholds, in dispatch order.
+        let t_put = mix.put_pm;
+        let t_remove = t_put + mix.remove_pm;
+        let t_ttl_put = t_remove + mix.ttl_put_pm;
+        let t_batch_get = t_ttl_put + mix.batch_get_pm;
+        let t_batch_write = t_batch_get + mix.batch_write_pm;
+        let t_scan = t_batch_write + mix.scan_pm;
+        let t_range = t_scan + mix.range_pm;
+        let t_sweep = t_range + mix.sweep_pm;
+        let t_rebalance = t_sweep + mix.rebalance_pm;
         while !ctx.should_stop() {
             let p = rng.next_below(1000) as u32;
-            if p < mix.put_pm {
+            if p < t_put {
                 let k = workload.sample_key(&mut rng);
                 let t0 = record_latency.then(synchro::cycles::now);
                 let prev = store.put(k, k);
@@ -309,7 +374,7 @@ fn run_kv_inner<B: ConcurrentMap>(
                 } else {
                     counts.put_update += 1;
                 }
-            } else if p < mix.put_pm + mix.remove_pm {
+            } else if p < t_remove {
                 let k = workload.sample_key(&mut rng);
                 let t0 = record_latency.then(synchro::cycles::now);
                 let removed = store.remove(k);
@@ -323,12 +388,16 @@ fn run_kv_inner<B: ConcurrentMap>(
                 if let Some(t0) = t0 {
                     lat.record(kind, synchro::cycles::elapsed(t0, synchro::cycles::now()));
                 }
-            } else if p < mix.put_pm + mix.remove_pm + mix.batch_get_pm {
+            } else if p < t_ttl_put {
+                let k = workload.sample_key(&mut rng);
+                store.put_with_ttl(k, k, mix.ttl_span);
+                counts.ttl_puts += 1;
+            } else if p < t_batch_get {
                 keybuf.clear();
                 keybuf.extend((0..mix.batch).map(|_| workload.sample_key(&mut rng)));
                 let n = store.multi_get(&keybuf).len() as u64;
                 counts.batch_get_keys += n;
-            } else if p < mix.put_pm + mix.remove_pm + mix.batch_get_pm + mix.batch_write_pm {
+            } else if p < t_batch_write {
                 // Alternate put/remove batches so the store size holds.
                 batch_write_flip += 1;
                 if batch_write_flip % 2 == 0 {
@@ -344,27 +413,25 @@ fn run_kv_inner<B: ConcurrentMap>(
                     store.multi_remove(&keybuf);
                 }
                 counts.batch_write_keys += mix.batch as u64;
-            } else if p < mix.put_pm
-                + mix.remove_pm
-                + mix.batch_get_pm
-                + mix.batch_write_pm
-                + mix.scan_pm
-            {
+            } else if p < t_scan {
                 let mut seen = 0u64;
                 store.scan(|_, _| seen += 1);
                 counts.scans += 1;
                 counts.scanned_entries += seen;
-            } else if p < mix.put_pm
-                + mix.remove_pm
-                + mix.batch_get_pm
-                + mix.batch_write_pm
-                + mix.scan_pm
-                + mix.range_pm
-            {
+            } else if p < t_range {
                 let lo = workload.sample_key(&mut rng);
                 let hi = lo.saturating_add(mix.range_span - 1);
                 counts.ranged_entries += range_exec(lo, hi);
                 counts.range_scans += 1;
+            } else if p < t_sweep {
+                counts.swept_keys += store.sweep_expired(mix.sweep_budget);
+                counts.sweeps += 1;
+            } else if p < t_rebalance {
+                let moved = rebalance_exec();
+                if moved > 0 {
+                    counts.rebalances += 1;
+                    counts.migrated_keys += moved;
+                }
             } else {
                 let k = workload.sample_key(&mut rng);
                 let t0 = record_latency.then(synchro::cycles::now);
@@ -402,7 +469,9 @@ fn run_kv_inner<B: ConcurrentMap>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::FakeClock;
     use optik_hashtables::StripedOptikHashTable;
+    use std::sync::Arc;
 
     /// The mix used by the read-heavy scenarios: 90% gets.
     fn read_heavy() -> KvMix {
@@ -428,9 +497,13 @@ mod tests {
             batch_write_pm: 200,
             scan_pm: 10,
             batch: 8,
+            ttl_put_pm: 50,
+            ttl_span: 10,
+            sweep_pm: 10,
+            sweep_budget: 64,
             ..KvMix::default()
         };
-        assert_eq!(full.get_pm(), 290);
+        assert_eq!(full.get_pm(), 230);
     }
 
     #[test]
@@ -462,6 +535,19 @@ mod tests {
                 batch_write_pm: 0,
                 scan_pm: 0,
                 batch: 0,
+                ..KvMix::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ttl span")]
+    fn ttl_mix_without_span_is_rejected() {
+        let _ = KvWorkload::new(
+            16,
+            false,
+            KvMix {
+                ttl_put_pm: 100,
                 ..KvMix::default()
             },
         );
@@ -515,16 +601,58 @@ mod tests {
     }
 
     #[test]
-    fn ordered_driver_executes_range_scans() {
+    fn ttl_driver_expires_and_sweeps() {
+        let clock = Arc::new(FakeClock::new());
+        let s: KvStore<StripedOptikHashTable> =
+            KvStore::with_shards_ttl(4, Arc::clone(&clock) as Arc<dyn crate::Clock>, |_| {
+                StripedOptikHashTable::new(64, 8)
+            });
+        // Phase 1: a TTL-put-heavy mix populates deadlines.
+        let arm = KvWorkload::new(
+            64,
+            false,
+            KvMix {
+                ttl_put_pm: 400,
+                ttl_span: 10,
+                ..KvMix::default()
+            },
+        );
+        let res = run_kv_workload(&s, 2, Duration::from_millis(40), &arm, 5, false);
+        assert!(res.counts.ttl_puts > 0, "TTL puts ran");
+        assert!(res.counts.get_hit + res.counts.get_miss > 0, "gets ran");
+        // Phase 2: jump past every deadline, then drive sweeps only —
+        // nothing else may touch (and thereby normalize) the expired
+        // entries, so the sweeper must be the one reclaiming them.
+        clock.advance(1_000);
+        assert!(!s.is_empty(), "expiry is lazy: physical entries remain");
+        let sweep = KvWorkload::new(
+            64,
+            false,
+            KvMix {
+                sweep_pm: 1000,
+                sweep_budget: 16,
+                ..KvMix::default()
+            },
+        );
+        let res = run_kv_workload(&s, 2, Duration::from_millis(40), &sweep, 7, false);
+        assert!(res.counts.sweeps > 0, "sweeps ran");
+        assert!(res.counts.swept_keys > 0, "expired entries were reclaimed");
+        assert_eq!(s.len(), 0, "every TTL entry expired and was swept");
+        assert!(res.mops() > 0.0);
+    }
+
+    #[test]
+    fn ordered_driver_executes_range_scans_and_rebalances() {
         use optik_skiplists::OptikSkipList2;
         let w = KvWorkload::new(
             64,
-            false,
+            true, // skew concentrates load so rebalance rounds trigger
             KvMix {
                 put_pm: 100,
                 remove_pm: 100,
                 range_pm: 100,
                 range_span: 16,
+                rebalance_pm: 50,
                 ..KvMix::default()
             },
         );
@@ -539,6 +667,13 @@ mod tests {
         );
         assert!(res.counts.get_hit + res.counts.get_miss > 0, "gets ran");
         assert!(res.mops() > 0.0);
+        // Skewed (zipf) load on contiguous partitions is exactly the
+        // imbalance the rebalancer exists for.
+        assert!(
+            res.counts.rebalances > 0,
+            "skewed ordered load must trigger migrations"
+        );
+        assert!(res.counts.migrated_keys > 0);
     }
 
     #[test]
@@ -550,6 +685,22 @@ mod tests {
             KvMix {
                 range_pm: 10,
                 range_span: 4,
+                ..KvMix::default()
+            },
+        );
+        let s: KvStore<StripedOptikHashTable> =
+            KvStore::with_shards(2, |_| StripedOptikHashTable::new(16, 4));
+        let _ = run_kv_workload(&s, 1, Duration::from_millis(5), &w, 1, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "rebalance mixes need an OrderedMap backend")]
+    fn plain_driver_rejects_rebalance_mixes() {
+        let w = KvWorkload::new(
+            16,
+            false,
+            KvMix {
+                rebalance_pm: 10,
                 ..KvMix::default()
             },
         );

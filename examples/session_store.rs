@@ -1,12 +1,14 @@
-//! A web-session store on the resizable striped hash table.
+//! A web-session store on the kv engine's native TTL layer.
 //!
-//! Session stores rarely know their cardinality up front — exactly the
-//! situation the fixed-capacity `java` table of Figure 10 cannot handle
-//! and the [`ResizableStripedHashTable`] extension exists for. Login
-//! threads create sessions (forcing segment-local growth), request
-//! threads validate tokens, and a reaper expires old sessions. The store
-//! starts at 2 buckets per segment and grows itself by orders of
-//! magnitude while serving reads lock-free.
+//! Session stores rarely know their cardinality up front — so the shards
+//! are [`ResizableStripedHashTable`]s that grow themselves — and session
+//! lifetime is a *property of the entry*, not of a hand-rolled reaper
+//! walking the id space: logins call [`KvStore::put_with_ttl`], reads
+//! treat expired sessions as misses the instant their deadline passes,
+//! and a single sweeper thread drives [`KvStore::sweep_expired`] to
+//! reclaim them through QSBR. Login threads mint sessions (forcing
+//! segment-local growth), request threads validate tokens lock-free, and
+//! the store serves reads throughout.
 //!
 //! Run with: `cargo run --release -p optik-suite --example session_store`
 
@@ -16,16 +18,28 @@ use std::sync::Arc;
 use optik_suite::harness::FastRng;
 use optik_suite::prelude::*;
 
-const SEGMENTS: usize = 64;
+const SHARDS: usize = 8;
+const SEGMENTS_PER_SHARD: usize = 8;
+const SEGMENTS: usize = SHARDS * SEGMENTS_PER_SHARD;
 const LOGIN_THREADS: u64 = 4;
 const REQUEST_THREADS: u64 = 4;
 const RUN_MS: u64 = 300;
+/// Session lifetime in clock ticks (wall milliseconds): sessions minted
+/// early in the run expire while it is still going.
+const SESSION_TTL_MS: u64 = 60;
 
 fn main() {
-    let store = Arc::new(ResizableStripedHashTable::new(SEGMENTS, 2));
+    let store = Arc::new(KvStore::with_shards_ttl(
+        SHARDS,
+        Arc::new(SystemClock::new()),
+        |_| ResizableStripedHashTable::new(SEGMENTS_PER_SHARD, 2),
+    ));
+    let buckets = |s: &KvStore<ResizableStripedHashTable>| -> usize {
+        (0..s.num_shards()).map(|i| s.backend(i).capacity()).sum()
+    };
     println!(
         "session store: {SEGMENTS} segments, {} total buckets initially",
-        store.capacity()
+        buckets(&store)
     );
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -37,7 +51,7 @@ fn main() {
 
     let mut handles = Vec::new();
 
-    // Login threads: mint session ids, store token hashes.
+    // Login threads: mint session ids, store token hashes with a TTL.
     for _ in 0..LOGIN_THREADS {
         let store = Arc::clone(&store);
         let stop = Arc::clone(&stop);
@@ -47,9 +61,13 @@ fn main() {
             while !stop.load(Ordering::Relaxed) {
                 let sid = next.fetch_add(1, Ordering::Relaxed);
                 let token = sid.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-                assert!(store.insert(sid, token), "session ids are unique");
+                assert!(
+                    store.put_with_ttl(sid, token, SESSION_TTL_MS).is_none(),
+                    "session ids are unique"
+                );
                 logins.fetch_add(1, Ordering::Relaxed);
             }
+            reclaim::offline();
         }));
     }
 
@@ -68,7 +86,7 @@ fn main() {
                     continue;
                 }
                 let sid = rng.range_inclusive(1, hi - 1);
-                match store.search(sid) {
+                match store.get(sid) {
                     Some(token) => {
                         // Token integrity: must be the exact hash minted at
                         // login, never a torn/stale value.
@@ -79,29 +97,29 @@ fn main() {
                         misses.fetch_add(1, Ordering::Relaxed); // reaped
                     }
                 }
+                reclaim::quiescent();
             }
+            reclaim::offline();
         }));
     }
 
-    // Reaper: expires the oldest half of the id space, continuously.
+    // Sweeper: one thread driving the engine's incremental expiry sweep —
+    // the TTL layer decides *what* is dead; this thread only donates
+    // cycles to reclaim it.
     {
         let store = Arc::clone(&store);
         let stop = Arc::clone(&stop);
-        let next = Arc::clone(&next_session);
         let expired = Arc::clone(&expired);
         handles.push(std::thread::spawn(move || {
-            let mut cursor = 1u64;
             while !stop.load(Ordering::Relaxed) {
-                let hi = next.load(Ordering::Relaxed);
-                // Keep roughly the newest half alive.
-                while cursor < hi / 2 {
-                    if store.delete(cursor).is_some() {
-                        expired.fetch_add(1, Ordering::Relaxed);
-                    }
-                    cursor += 1;
+                let swept = store.sweep_expired(256);
+                expired.fetch_add(swept, Ordering::Relaxed);
+                if swept == 0 {
+                    std::thread::yield_now();
                 }
-                std::thread::yield_now();
+                reclaim::quiescent();
             }
+            reclaim::offline();
         }));
     }
 
@@ -110,6 +128,7 @@ fn main() {
     for h in handles {
         h.join().unwrap();
     }
+    reclaim::online();
 
     let logins = logins.load(Ordering::Relaxed);
     let expired = expired.load(Ordering::Relaxed);
@@ -122,13 +141,11 @@ fn main() {
     );
     println!(
         "store grew to {} buckets; {} sessions live",
-        store.capacity(),
-        ConcurrentSet::len(store.as_ref())
+        buckets(&store),
+        store.len()
     );
-    assert_eq!(
-        ConcurrentSet::len(store.as_ref()) as u64,
-        logins - expired,
-        "sessions conserved"
-    );
+    // Physical removal happens only through the sweeper (session ids are
+    // never reused and reads are purely lazy), so the ledger must close.
+    assert_eq!(store.len() as u64, logins - expired, "sessions conserved");
     println!("conservation check passed");
 }

@@ -1,8 +1,9 @@
 //! Stress tier for the `optik-kv` sharded store: cross-shard batch
 //! atomicity, deadlock freedom under overlapping batches, exact net
-//! counts, validated snapshot consistency, and range-scan consistency
-//! over ordered backends — across every backend family the kv scenarios
-//! sweep.
+//! counts, validated snapshot consistency, range-scan consistency over
+//! ordered backends, TTL expiry under churn, and boundary-migration
+//! atomicity under the online rebalancer — across every backend family
+//! the kv scenarios sweep.
 //!
 //! Iteration counts scale with `synchro::stress` (tier-1 stays fast on a
 //! 1-core box); the `_full` variants behind `--ignored` run the
@@ -12,11 +13,11 @@ use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::{Arc, Barrier};
 
 use optik_suite::bsts::OptikBst;
-use optik_suite::harness::api::{ConcurrentMap, OrderedMap};
+use optik_suite::harness::api::{ConcurrentMap, OrderedMap, MAX_USER_KEY};
 use optik_suite::hashtables::{
     OptikMapHashTable, ResizableStripedHashTable, StripedHashTable, StripedOptikHashTable,
 };
-use optik_suite::kv::KvStore;
+use optik_suite::kv::{FakeClock, KvStore};
 use optik_suite::maps::OptikArrayMap;
 use optik_suite::skiplists::{
     FraserSkipList, HerlihyOptikSkipList, HerlihySkipList, OptikSkipList2,
@@ -559,4 +560,380 @@ fn kv_range_windows_are_consistent_snapshots_under_batch_writes() {
 #[ignore = "full-strength kv range-snapshot tier; run in CI via --ignored"]
 fn kv_range_windows_are_consistent_snapshots_under_batch_writes_full() {
     range_scan_snapshot_consistency(15_000);
+}
+
+// ---------------------------------------------------------------------------
+// TTL: expiry under churn, with the sweeper racing writers and readers.
+// ---------------------------------------------------------------------------
+
+/// Writers hammer TTL puts on a churn key range while an advancer drives
+/// the fake clock, a sweeper reclaims incrementally, and readers verify
+/// that (a) an untouched no-TTL backbone never goes missing or stale and
+/// (b) churn keys only ever surface their own values. Afterwards the
+/// clock jumps past every deadline and repeated sweeps must drain the
+/// store back to exactly the backbone — nothing lost, nothing leaked.
+type TtlStores = Vec<(&'static str, Arc<KvStore<OptikSkipList2>>, Arc<FakeClock>)>;
+
+fn ttl_expiry_under_churn(rounds: u64) {
+    let make_stores = || -> TtlStores {
+        let hash_clock = Arc::new(FakeClock::new());
+        let ord_clock = Arc::new(FakeClock::new());
+        vec![
+            (
+                "kv/ttl-hash",
+                Arc::new(KvStore::with_shards_ttl(
+                    4,
+                    Arc::clone(&hash_clock) as Arc<dyn optik_suite::kv::Clock>,
+                    |_| OptikSkipList2::new(),
+                )),
+                hash_clock,
+            ),
+            (
+                "kv/ttl-ordered",
+                Arc::new(KvStore::with_ordered_shards_ttl(
+                    4,
+                    96,
+                    Arc::clone(&ord_clock) as Arc<dyn optik_suite::kv::Clock>,
+                    |_| OptikSkipList2::new(),
+                )),
+                ord_clock,
+            ),
+        ]
+    };
+    for (name, s, clock) in make_stores() {
+        const BACKBONE: u64 = 16;
+        for k in 1..=BACKBONE {
+            s.put(k, k * 7);
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut workers = Vec::new();
+        // TTL writers on the churn range.
+        for t in 0..2u64 {
+            let s = Arc::clone(&s);
+            let stop = Arc::clone(&stop);
+            workers.push(std::thread::spawn(move || {
+                let mut x = t.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                while !stop.load(Ordering::Relaxed) {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let k = x % 80 + BACKBONE + 1; // churn keys 17..=96
+                    s.put_with_ttl(k, k * 13, 1 + x % 8);
+                }
+                reclaim::offline();
+            }));
+        }
+        // Clock advancer: expiry actually happens mid-run.
+        {
+            let clock = Arc::clone(&clock);
+            let stop = Arc::clone(&stop);
+            workers.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    clock.advance(1);
+                    std::thread::yield_now();
+                }
+            }));
+        }
+        // Incremental sweeper.
+        {
+            let s = Arc::clone(&s);
+            let stop = Arc::clone(&stop);
+            workers.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    s.sweep_expired(64);
+                }
+                reclaim::offline();
+            }));
+        }
+        // Reader (this thread): the backbone is inviolate, churn values
+        // are never foreign, snapshots only show live bindings.
+        for round in 0..rounds {
+            let k = round % BACKBONE + 1;
+            assert_eq!(s.get(k), Some(k * 7), "{name}: backbone key {k}");
+            let ck = round % 80 + BACKBONE + 1;
+            if let Some(v) = s.get(ck) {
+                assert_eq!(v, ck * 13, "{name}: foreign churn value");
+            }
+            if round % 64 == 0 {
+                for (k, v) in s.snapshot() {
+                    if k <= BACKBONE {
+                        assert_eq!(v, k * 7, "{name}: backbone in snapshot");
+                    } else {
+                        assert_eq!(v, k * 13, "{name}: churn in snapshot");
+                    }
+                }
+            }
+            reclaim::quiescent();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let mut handles = workers.into_iter();
+        reclaim::offline_while(|| {
+            for h in handles.by_ref() {
+                h.join().unwrap();
+            }
+        });
+        // Drain: everything with a TTL must expire and sweep away.
+        clock.advance(1_000);
+        while s.sweep_expired(1024) > 0 {}
+        assert_eq!(
+            s.len() as u64,
+            BACKBONE,
+            "{name}: sweeps must reclaim every expired entry"
+        );
+        let snap = s.snapshot();
+        assert_eq!(
+            snap,
+            (1..=BACKBONE).map(|k| (k, k * 7)).collect::<Vec<_>>(),
+            "{name}: only the backbone survives"
+        );
+    }
+}
+
+#[test]
+fn kv_ttl_expiry_is_exact_under_churn() {
+    ttl_expiry_under_churn(synchro::stress::ops(3_000));
+}
+
+#[test]
+#[ignore = "full-strength kv TTL stress; run in CI via --ignored"]
+fn kv_ttl_expiry_is_exact_under_churn_full() {
+    ttl_expiry_under_churn(15_000);
+}
+
+// ---------------------------------------------------------------------------
+// Rebalancing: no lost or duplicated keys across boundary migrations.
+// ---------------------------------------------------------------------------
+
+/// Oscillates every movable partition boundary (`shifts` migrations in
+/// total) while churn writers mutate non-backbone keys and a reader takes
+/// validated range windows. Every window must stay sorted and
+/// duplicate-free with the untouched backbone complete — i.e. migration
+/// never loses or double-serves a key — and the final quiesced snapshot
+/// must be exactly the union of backbone and surviving churn entries.
+fn rebalance_migration_atomicity(shifts: u64) {
+    const MAX_KEY: u64 = 1024;
+    const SPAN: u64 = 128; // 8 shards ⇒ default bounds at 128, 256, …
+    let s = Arc::new(KvStore::with_ordered_shards(8, MAX_KEY, |_| {
+        OptikSkipList2::new()
+    }));
+    // Backbone: every 16th key, never written after the fill.
+    let backbone: Vec<u64> = (16..=MAX_KEY - 16).step_by(16).collect();
+    for &k in &backbone {
+        s.put(k, k + 5);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut churners = Vec::new();
+    for t in 0..2u64 {
+        let s = Arc::clone(&s);
+        let stop = Arc::clone(&stop);
+        churners.push(std::thread::spawn(move || {
+            let mut x = t.wrapping_mul(0xA24BAED4963EE407) | 1;
+            while !stop.load(Ordering::Relaxed) {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let k = x % MAX_KEY + 1;
+                if k % 16 == 0 {
+                    continue; // never touch the backbone
+                }
+                if x & 1 == 0 {
+                    s.put(k, k * 3);
+                } else {
+                    s.remove(k);
+                }
+            }
+            reclaim::offline();
+        }));
+    }
+    // Window reader racing the migrations.
+    let reader = {
+        let s = Arc::clone(&s);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut windows = 0u64;
+            let mut lo = 1u64;
+            loop {
+                let hi = lo + 120;
+                let win = s.range_scan(lo, hi);
+                assert!(
+                    win.windows(2).all(|w| w[0].0 < w[1].0),
+                    "unsorted or duplicated keys in [{lo}, {hi}]: {win:?}"
+                );
+                for &(k, v) in &win {
+                    assert!((lo..=hi).contains(&k), "key {k} outside window");
+                    if k % 16 == 0 {
+                        assert_eq!(v, k + 5, "backbone key {k} corrupted");
+                    } else {
+                        assert_eq!(v, k * 3, "foreign churn value for {k}");
+                    }
+                }
+                for k in (16..=MAX_KEY - 16)
+                    .step_by(16)
+                    .filter(|k| (lo..=hi).contains(k))
+                {
+                    assert!(
+                        win.iter().any(|&(g, _)| g == k),
+                        "migration lost backbone key {k} in [{lo}, {hi}]"
+                    );
+                }
+                windows += 1;
+                lo = lo % 900 + 7;
+                reclaim::quiescent();
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            reclaim::offline();
+            windows
+        })
+    };
+    // The migrator (this thread): walk every movable boundary back and
+    // forth; ±63 keeps every intermediate table strictly sorted.
+    let mut moved_total = 0u64;
+    for i in 0..shifts {
+        let b = (i % 7) as usize;
+        let base = SPAN * (b as u64 + 1);
+        let target = if (i / 7) % 2 == 0 {
+            base - 63
+        } else {
+            base + 63
+        };
+        let stats = s.shift_boundary(b, target).expect("legal oscillation");
+        moved_total += stats.moved;
+        reclaim::quiescent();
+    }
+    stop.store(true, Ordering::Relaxed);
+    reclaim::offline_while(|| {
+        for h in churners {
+            h.join().unwrap();
+        }
+        assert!(reader.join().unwrap() > 0, "reader must have made progress");
+    });
+    assert!(
+        moved_total > 0,
+        "oscillating boundaries over a populated store must migrate keys"
+    );
+    // Quiesced: the store is exactly backbone ∪ surviving churn, no
+    // duplicates, and every partition agrees with the routing table.
+    let snap = s.snapshot();
+    assert!(
+        snap.windows(2).all(|w| w[0].0 < w[1].0),
+        "final snapshot has duplicates"
+    );
+    for &k in &backbone {
+        assert_eq!(s.get(k), Some(k + 5), "backbone key {k} after migrations");
+    }
+    assert_eq!(
+        snap.iter().filter(|&&(k, _)| k % 16 == 0).count(),
+        backbone.len(),
+        "backbone complete in final snapshot"
+    );
+    for &(k, v) in &snap {
+        assert_eq!(v, if k % 16 == 0 { k + 5 } else { k * 3 });
+    }
+    assert_eq!(s.len(), snap.len(), "per-shard counts agree with the scan");
+}
+
+#[test]
+fn kv_rebalance_loses_and_duplicates_nothing() {
+    rebalance_migration_atomicity(synchro::stress::ops(210));
+}
+
+#[test]
+#[ignore = "full-strength kv rebalance stress (>= 1000 migrations); run in CI via --ignored"]
+fn kv_rebalance_loses_and_duplicates_nothing_full() {
+    rebalance_migration_atomicity(1_400);
+}
+
+// ---------------------------------------------------------------------------
+// Ordered-sharding edge regressions: empty partitions, boundary keys,
+// and the top of the key space.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn kv_range_scan_on_empty_partitions() {
+    let s: KvStore<OptikSkipList2> =
+        KvStore::with_ordered_shards(4, 400, |_| OptikSkipList2::new());
+    // Entirely empty store: every window shape is empty, none panic.
+    assert!(s.range_scan(1, 400).is_empty());
+    assert!(s.range_scan(150, 160).is_empty(), "single empty partition");
+    assert!(s.range_scan(1, u64::MAX).is_empty(), "unbounded window");
+    // Populate only shard 2 (keys 201..=300): windows over the empty
+    // flanking partitions stay empty, crossing windows see the edge.
+    for k in 201..=300u64 {
+        s.put(k, k);
+    }
+    assert!(s.range_scan(1, 200).is_empty());
+    assert!(s.range_scan(301, 400).is_empty());
+    assert_eq!(
+        s.range_scan(195, 205).len(),
+        5,
+        "edge of the populated span"
+    );
+    // An empty-*span* partition (created by the rebalancer) routes
+    // around itself: shard 1 becomes (100, 100] = nothing.
+    s.shift_boundary(1, 100).expect("legal merge");
+    assert_eq!(s.partition_bounds().unwrap(), vec![100, 100, 300, u64::MAX]);
+    assert_eq!(s.range_scan(1, 400).len(), 100, "no keys lost to the merge");
+    s.put(150, 999); // routes past the empty-span partition
+    assert_eq!(s.get(150), Some(999));
+    assert_eq!(s.range_scan(100, 201).first(), Some(&(150, 999)));
+    // Splitting the empty partition back out is just another shift.
+    s.shift_boundary(1, 200).expect("legal split");
+    assert_eq!(s.get(150), Some(999));
+    assert_eq!(s.range_scan(1, 400).len(), 101);
+}
+
+#[test]
+fn kv_ordered_sharding_boundary_keys_route_exactly() {
+    let s: KvStore<OptikSkipList2> =
+        KvStore::with_ordered_shards(4, 400, |_| OptikSkipList2::new());
+    // Keys exactly at and adjacent to every partition bound.
+    let edges = [1u64, 100, 101, 200, 201, 300, 301, 400];
+    for &k in &edges {
+        assert_eq!(s.put(k, k * 2), None);
+    }
+    assert_eq!(s.shard_of(100), 0, "inclusive upper bound");
+    assert_eq!(s.shard_of(101), 1);
+    assert_eq!(s.shard_of(300), 2);
+    assert_eq!(s.shard_of(301), 3);
+    // Windows that straddle a boundary concatenate both partitions.
+    assert_eq!(s.range_scan(100, 101), vec![(100, 200), (101, 202)]);
+    assert_eq!(s.range_scan(200, 201), vec![(200, 400), (201, 402)]);
+    // Degenerate one-key windows on each side of a bound.
+    assert_eq!(s.range_scan(300, 300), vec![(300, 600)]);
+    assert_eq!(s.range_scan(301, 301), vec![(301, 602)]);
+    let all = s.range_scan(1, 400);
+    assert_eq!(all.len(), edges.len());
+    assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+}
+
+#[test]
+fn kv_ordered_sharding_survives_the_top_of_the_key_space() {
+    // Partitions over the full user key space: spans this wide used to be
+    // an overflow hazard, and MAX_USER_KEY sits one below the sentinel.
+    let s: KvStore<OptikSkipList2> =
+        KvStore::with_ordered_shards(4, MAX_USER_KEY, |_| OptikSkipList2::new());
+    assert_eq!(s.shard_of(u64::MAX), 3, "sentinel routes, never panics");
+    for k in [1u64, MAX_USER_KEY / 2, MAX_USER_KEY - 1, MAX_USER_KEY] {
+        assert_eq!(s.put(k, 7), None, "key {k}");
+        assert_eq!(s.get(k), Some(7), "key {k}");
+    }
+    // Windows touching the top of the key space, including hi = u64::MAX
+    // (backends clamp at their tail sentinel).
+    assert_eq!(
+        s.range_scan(MAX_USER_KEY - 5, u64::MAX),
+        vec![(MAX_USER_KEY - 1, 7), (MAX_USER_KEY, 7)]
+    );
+    assert_eq!(s.range_scan(u64::MAX, u64::MAX), vec![]);
+    let all = s.range_scan(1, u64::MAX);
+    assert_eq!(all.len(), 4);
+    assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+    // A boundary shift right at the top of the key space.
+    let bounds = s.partition_bounds().unwrap();
+    assert_eq!(*bounds.last().unwrap(), u64::MAX);
+    s.shift_boundary(2, MAX_USER_KEY - 2).expect("legal shift");
+    for k in [MAX_USER_KEY - 1, MAX_USER_KEY] {
+        assert_eq!(s.get(k), Some(7), "key {k} after top-shift");
+    }
 }

@@ -26,10 +26,11 @@ use optik_bench::scenarios;
 use optik_suite::harness::api::{ConcurrentMap, Key, OrderedMap, Val};
 use optik_suite::harness::linearize::{
     check, check_history, FifoSpec, HistoryRecorder, LifoSpec, MapOp, MapSpec, QueueOp,
-    RangeMapSpec, RangeOp, Recorder, SetOp, StackOp, RANGE_KEYS,
+    RangeMapSpec, RangeOp, Recorder, SetOp, StackOp, TtlMapSpec, TtlOp, RANGE_KEYS,
 };
 use optik_suite::harness::scenario::Subject;
 use optik_suite::harness::{ConcurrentQueue, ConcurrentSet, ConcurrentStack};
+use optik_suite::kv::{FakeClock, KvStore};
 
 /// Adapter presenting an ordered subject as a plain map subject, so the
 /// single-key map rounds run on ordered implementations too without
@@ -384,4 +385,177 @@ fn registry_structures_are_linearizable() {
 #[ignore = "full-strength linearizability tier; run in CI via --ignored"]
 fn registry_structures_are_linearizable_full() {
     run_tier(25);
+}
+
+// ---------------------------------------------------------------------------
+// TTL rounds: fake-clock histories against the TTL-aware map spec.
+// ---------------------------------------------------------------------------
+
+/// Single-key TTL history: 4 threads × 12 ops on one key mixing plain
+/// puts, TTL puts, `expire_after`, gets, and removes, while thread 0
+/// also advances the shared fake clock through *recorded* `Advance`
+/// operations — so expiry is an event in the history and a read that
+/// observes an expired binding cannot linearize.
+fn check_ttl_rounds<B: ConcurrentMap + 'static>(
+    name: &str,
+    make: impl Fn(Arc<FakeClock>) -> KvStore<B>,
+    rounds: usize,
+) {
+    const KEY: u64 = 42;
+    for round in 0..rounds {
+        let clock = Arc::new(FakeClock::new());
+        let store = Arc::new(make(Arc::clone(&clock)));
+        let all = Arc::new(Mutex::new(Vec::new()));
+        let barrier = Arc::new(Barrier::new(4));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let store = Arc::clone(&store);
+            let clock = Arc::clone(&clock);
+            let all = Arc::clone(&all);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let mut rec = HistoryRecorder::new();
+                barrier.wait();
+                for i in 0..12u64 {
+                    let v = t * 1_000 + i + 1; // distinct in-history
+                    match (t + i + round as u64) % 6 {
+                        0 => rec.record(|| store.put(KEY, v), |prev| TtlOp::Put(v, prev)),
+                        1 => rec.record(
+                            || store.put_with_ttl(KEY, v, 3),
+                            |prev| TtlOp::PutTtl(v, 3, prev),
+                        ),
+                        2 => rec.record(
+                            || store.expire_after(KEY, 2),
+                            |found| TtlOp::ExpireAfter(2, found),
+                        ),
+                        3 => rec.record(|| store.remove(KEY), TtlOp::Remove),
+                        4 if t == 0 => rec.record(|| clock.advance(1), TtlOp::Advance),
+                        _ => rec.record(|| store.get(KEY), TtlOp::Get),
+                    }
+                }
+                all.lock().unwrap().extend(rec.into_ops());
+            }));
+        }
+        reclaim::offline_while(|| {
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let history = all.lock().unwrap().clone();
+        assert!(
+            check(&TtlMapSpec::default(), &history),
+            "{name}: non-linearizable TTL history (round {round})"
+        );
+    }
+}
+
+fn run_ttl_tier(rounds: usize) {
+    check_ttl_rounds(
+        "kv/ttl-striped-optik",
+        |clock| {
+            KvStore::with_shards_ttl(4, clock, |_| {
+                optik_suite::hashtables::StripedOptikHashTable::new(32, 8)
+            })
+        },
+        rounds,
+    );
+    check_ttl_rounds(
+        "kv/ttl-ordered-optik2",
+        |clock| {
+            KvStore::with_ordered_shards_ttl(4, 128, clock, |_| {
+                optik_suite::skiplists::OptikSkipList2::new()
+            })
+        },
+        rounds,
+    );
+}
+
+#[test]
+fn ttl_stores_are_linearizable_under_the_fake_clock() {
+    run_ttl_tier(3);
+}
+
+#[test]
+#[ignore = "full-strength TTL linearizability tier; run in CI via --ignored"]
+fn ttl_stores_are_linearizable_under_the_fake_clock_full() {
+    run_ttl_tier(30);
+}
+
+// ---------------------------------------------------------------------------
+// Rebalance rounds: single-key histories across forced boundary migrations.
+// ---------------------------------------------------------------------------
+
+/// 4 threads run the value-carrying map mix on a key that sits between
+/// two oscillating partition boundaries while a rebalancer thread forces
+/// split/merge migrations (the key changes shards continuously). The
+/// recorded history must stay linearizable against the plain `MapSpec` —
+/// migration is invisible to clients or it is broken.
+fn check_rebalance_rounds(rounds: usize, shifts_per_round: u64) {
+    const KEY: u64 = 20;
+    for round in 0..rounds {
+        let store = Arc::new(KvStore::with_ordered_shards(4, 40, |_| {
+            optik_suite::skiplists::OptikSkipList2::new()
+        }));
+        let all = Arc::new(Mutex::new(Vec::new()));
+        let barrier = Arc::new(Barrier::new(5));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let store = Arc::clone(&store);
+            let all = Arc::clone(&all);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let mut rec = HistoryRecorder::new();
+                barrier.wait();
+                for i in 0..12u64 {
+                    match (t + i + round as u64) % 3 {
+                        0 => {
+                            let v = t * 1_000 + i + 1; // distinct in-history
+                            rec.record(|| store.put(KEY, v), |prev| MapOp::Put(v, prev));
+                        }
+                        1 => rec.record(|| store.remove(KEY), MapOp::Remove),
+                        _ => rec.record(|| store.get(KEY), MapOp::Get),
+                    }
+                }
+                all.lock().unwrap().extend(rec.into_ops());
+            }));
+        }
+        // The rebalancer: walk the boundary under KEY back and forth so
+        // the key's owning shard flips on every shift.
+        let rebalancer = {
+            let store = Arc::clone(&store);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                // Partition bounds start at [10, 20, 30, MAX]; walking
+                // bounds[1] between 15 and 25 flips KEY = 20 between
+                // shards 1 and 2 on every shift.
+                for i in 0..shifts_per_round {
+                    let bound = if i % 2 == 0 { KEY + 5 } else { KEY - 5 };
+                    store.shift_boundary(1, bound).expect("legal shift");
+                }
+            })
+        };
+        reclaim::offline_while(|| {
+            for h in handles {
+                h.join().unwrap();
+            }
+            rebalancer.join().unwrap();
+        });
+        let history = all.lock().unwrap().clone();
+        assert!(
+            check(&MapSpec::default(), &history),
+            "kv/rebalance: non-linearizable history across migrations (round {round})"
+        );
+    }
+}
+
+#[test]
+fn kv_store_stays_linearizable_across_forced_rebalances() {
+    check_rebalance_rounds(3, 40);
+}
+
+#[test]
+#[ignore = "full-strength rebalance linearizability tier; run in CI via --ignored"]
+fn kv_store_stays_linearizable_across_forced_rebalances_full() {
+    check_rebalance_rounds(30, 400);
 }

@@ -325,6 +325,22 @@ fn all_ordered_maps() -> Vec<(&'static str, Arc<dyn OrderedMap>)> {
             "kv/range-bst",
             Arc::new(KvStore::with_ordered_shards(3, 32, |_| OptikBst::new())),
         ),
+        // Nested stores with *mixed* routing policies: ordered partitions
+        // over hash-sharded inner stores, and the inverse — the policy
+        // layer composes, and a hash-sharded ordered store still serves
+        // ranges (via the post-merge sort) wherever it sits in the stack.
+        (
+            "kv/nested-ord-over-hash",
+            Arc::new(KvStore::with_ordered_shards(3, 32, |_| {
+                KvStore::with_shards(2, |_| OptikSkipList2::new())
+            })),
+        ),
+        (
+            "kv/nested-hash-over-ord",
+            Arc::new(KvStore::with_shards(2, |_| {
+                KvStore::with_ordered_shards(3, 32, |_| OptikSkipList2::new())
+            })),
+        ),
     ]
 }
 
@@ -381,6 +397,144 @@ proptest! {
                 }
             }
             prop_assert_eq!(ConcurrentMap::len(m.as_ref()), model.len(), "{}: final length", name);
+        }
+    }
+}
+
+/// One TTL-store operation drawn by proptest, including explicit fake-
+/// clock advances and full-budget sweeps.
+#[derive(Debug, Clone, Copy)]
+enum TtlKvOp {
+    Put(u64, u64),
+    PutTtl(u64, u64, u64),
+    ExpireAfter(u64, u64),
+    Remove(u64),
+    Get(u64),
+    Advance(u64),
+    Sweep,
+    Snapshot,
+}
+
+fn ttl_ops(max_key: u64, len: usize) -> impl Strategy<Value = Vec<TtlKvOp>> {
+    proptest::collection::vec(
+        (0u8..8, 1..=max_key, 0u64..1_000, 0u64..u64::MAX).prop_map(|(op, k, v, seed)| {
+            let ttl = seed % 9 + 1;
+            match op {
+                0 => TtlKvOp::Put(k, v),
+                1 => TtlKvOp::PutTtl(k, v, ttl),
+                2 => TtlKvOp::ExpireAfter(k, ttl),
+                3 => TtlKvOp::Remove(k),
+                4 => TtlKvOp::Advance(seed % 5 + 1),
+                5 => TtlKvOp::Sweep,
+                6 => TtlKvOp::Snapshot,
+                _ => TtlKvOp::Get(k),
+            }
+        }),
+        1..len,
+    )
+}
+
+/// Single-threaded TTL semantics against a `BTreeMap<key, (val,
+/// deadline)>` model with an explicit clock: every operation first
+/// normalizes the touched key (an expired binding is invisible and
+/// physically dropped, exactly the store's by-need discipline), sweeps
+/// reclaim precisely the expired population, and snapshots show only
+/// live bindings — while `len()` tracks the *physical* population, which
+/// the model mirrors because both sides purge at the same points.
+fn check_ttl_against_model(
+    store: &KvStore<StripedOptikHashTable>,
+    clock: &optik_suite::kv::FakeClock,
+    ops: &[TtlKvOp],
+) -> Result<(), TestCaseError> {
+    use optik_suite::kv::Clock;
+    let mut model: BTreeMap<u64, (u64, Option<u64>)> = BTreeMap::new();
+    let purge = |model: &mut BTreeMap<u64, (u64, Option<u64>)>, now: u64, k: u64| {
+        if model
+            .get(&k)
+            .is_some_and(|&(_, d)| d.is_some_and(|d| d <= now))
+        {
+            model.remove(&k);
+        }
+    };
+    for &op in ops {
+        let now = clock.now();
+        match op {
+            TtlKvOp::Put(k, v) => {
+                purge(&mut model, now, k);
+                let expect = model.insert(k, (v, None)).map(|(v, _)| v);
+                prop_assert_eq!(store.put(k, v), expect, "put {}", k);
+            }
+            TtlKvOp::PutTtl(k, v, ttl) => {
+                purge(&mut model, now, k);
+                let expect = model.insert(k, (v, Some(now + ttl))).map(|(v, _)| v);
+                prop_assert_eq!(store.put_with_ttl(k, v, ttl), expect, "put_with_ttl {}", k);
+            }
+            TtlKvOp::ExpireAfter(k, ttl) => {
+                purge(&mut model, now, k);
+                let expect = model.contains_key(&k);
+                if let Some(e) = model.get_mut(&k) {
+                    e.1 = Some(now + ttl);
+                }
+                prop_assert_eq!(store.expire_after(k, ttl), expect, "expire_after {}", k);
+            }
+            TtlKvOp::Remove(k) => {
+                purge(&mut model, now, k);
+                let expect = model.remove(&k).map(|(v, _)| v);
+                prop_assert_eq!(store.remove(k), expect, "remove {}", k);
+            }
+            TtlKvOp::Get(k) => {
+                let expect = model
+                    .get(&k)
+                    .filter(|&&(_, d)| !d.is_some_and(|d| d <= now))
+                    .map(|&(v, _)| v);
+                prop_assert_eq!(store.get(k), expect, "get {}", k);
+            }
+            TtlKvOp::Advance(ticks) => {
+                clock.advance(ticks);
+            }
+            TtlKvOp::Sweep => {
+                let expired: Vec<u64> = model
+                    .iter()
+                    .filter(|&(_, &(_, d))| d.is_some_and(|d| d <= now))
+                    .map(|(&k, _)| k)
+                    .collect();
+                prop_assert_eq!(
+                    store.sweep_expired(4096),
+                    expired.len() as u64,
+                    "sweep reclaimed a different population"
+                );
+                for k in expired {
+                    model.remove(&k);
+                }
+            }
+            TtlKvOp::Snapshot => {
+                let expect: Vec<(u64, u64)> = model
+                    .iter()
+                    .filter(|&(_, &(_, d))| !d.is_some_and(|d| d <= now))
+                    .map(|(&k, &(v, _))| (k, v))
+                    .collect();
+                prop_assert_eq!(store.snapshot(), expect, "snapshot");
+            }
+        }
+    }
+    prop_assert_eq!(store.len(), model.len(), "physical population");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn ttl_store_matches_deadline_btreemap_model(ops in ttl_ops(24, 200)) {
+        for shards in [1usize, 4] {
+            let clock = Arc::new(optik_suite::kv::FakeClock::new());
+            let store = KvStore::with_shards_ttl(
+                shards,
+                Arc::clone(&clock) as Arc<dyn optik_suite::kv::Clock>,
+                |_| StripedOptikHashTable::new(16, 4),
+            );
+            check_ttl_against_model(&store, &clock, &ops)
+                .map_err(|e| TestCaseError::fail(format!("{shards} shards: {e}")))?;
         }
     }
 }
