@@ -6,7 +6,13 @@
 //! pre-acquisition version). A thread would have to sleep for 2^63
 //! acquisitions for the version to wrap into a false validation.
 
-use core::sync::atomic::{AtomicU64, Ordering};
+use core::sync::atomic::Ordering;
+
+// The lock word is the central OPTIK validation point, so it lives in the
+// schedulable shim type: identical codegen to a raw `AtomicU64` in normal
+// builds, a yield point per access under `--cfg optik_explore` so the
+// deterministic explorer can enumerate every try_lock_version race.
+use synchro::shim::AtomicU64;
 
 use crate::traits::{OptikLock, Version};
 
@@ -58,6 +64,10 @@ impl OptikLock for OptikVersioned {
         // Pre-checks (paper, Fig. 4 lines 6–7): a locked target can never be
         // CASed (we would make an odd value even), and a mismatched current
         // version makes the CAS pointless — skip the expensive instruction.
+        // Relaxed is sound here: the load is a pure fast-fail hint. A stale
+        // value can only cause a spurious failure (the caller revalidates and
+        // retries, OPTIK style) or a spurious pass, in which case the CAS
+        // below re-checks the value with Acquire and is the real gate.
         if target & LOCKED_BIT != 0 || self.word.load(Ordering::Relaxed) != target {
             return false;
         }

@@ -1,0 +1,239 @@
+//! Depth-first schedule enumeration with sleep-set and preemption-bound
+//! pruning.
+//!
+//! Each iteration replays a prefix of decisions (the current DFS stack),
+//! lets the default policy extend it to a complete schedule, then
+//! backtracks to the deepest decision with an untried alternative. The
+//! model body runs once per schedule, from scratch, so the code under
+//! test needs no snapshot/rollback support — determinism of the model
+//! plus the recorded prefix is enough to reconstruct any interior node.
+//!
+//! Pruning:
+//!
+//! - **Sleep sets** (classic Godefroid-style, the persistent-set family of
+//!   "Parsimonious Optimal DPOR"): once the subtree that runs thread `t`
+//!   first from node `n` is fully explored, `(t, access)` joins `n`'s
+//!   sleep set; sibling subtrees skip `t` until some executed access is
+//!   *dependent* with `t`'s pending one (same object and not both loads),
+//!   because until then running `t` first commutes with everything tried
+//!   and reaches only already-covered states. Sound: only commuting
+//!   reorderings are skipped; every reachable program state is still
+//!   visited.
+//! - **Preemption bounding**: a switch away from a thread that is enabled
+//!   with a non-Yield access costs one preemption; schedules that exceed
+//!   `Config::preemptions` are skipped. This is the classic
+//!   context-bounded under-approximation — most concurrency bugs manifest
+//!   within two preemptions — and it is what keeps the kv-level families
+//!   tractable. `None` explores the full bounded tree.
+//!
+//! The default extension policy never preempts and prefers non-Yield
+//! steps, so with `preemptions: Some(0)` the tree collapses to the
+//! round-robin-ish completions of each first-thread choice.
+
+use std::panic::{self, AssertUnwindSafe};
+
+use synchro::shim::AccessKind;
+
+use crate::sched::{ObjAccess, RunOutcome, Trial};
+use crate::token::Token;
+use crate::{Config, Stats};
+
+/// One decision point on the DFS stack.
+struct Node {
+    /// Choice taken in the currently-explored subtree.
+    chosen: usize,
+    /// `chosen`'s pending access at this node.
+    access: ObjAccess,
+    /// Eligible `(thread, pending access)` pairs, thread-id order.
+    enabled: Vec<(usize, ObjAccess)>,
+    /// Bitmask of thread ids already taken or permanently skipped here.
+    tried: u16,
+    /// Sleep set: running these first from here is redundant.
+    sleep: Vec<(usize, ObjAccess)>,
+    /// Preemptions spent on the prefix strictly before this node.
+    preempt_before: u32,
+    /// Thread granted the step before this node.
+    prev: Option<usize>,
+}
+
+impl Node {
+    /// Whether granting `t` here switches away from a previous thread
+    /// that still had real (non-Yield) work — i.e. costs a preemption.
+    fn is_preemptive(&self, t: usize) -> bool {
+        self.prev.is_some_and(|p| {
+            p != t
+                && self
+                    .enabled
+                    .iter()
+                    .any(|&(et, ea)| et == p && ea.kind != AccessKind::Yield)
+        })
+    }
+}
+
+/// Two accesses commute iff reordering them cannot change any thread's
+/// observations: scheduler-only steps (Yield/Start), different objects,
+/// or two loads of the same object.
+fn independent(a: ObjAccess, b: ObjAccess) -> bool {
+    matches!(a.kind, AccessKind::Yield | AccessKind::Start)
+        || matches!(b.kind, AccessKind::Yield | AccessKind::Start)
+        || a.obj != b.obj
+        || (a.kind == AccessKind::Load && b.kind == AccessKind::Load)
+}
+
+fn run_one(body: &mut dyn FnMut(&Trial), trial: &Trial) {
+    let result = panic::catch_unwind(AssertUnwindSafe(|| body(trial)));
+    if let Err(p) = result {
+        // Failures during Trial::run already embed the token; failures in
+        // the caller's post-run checks may not — print it so the schedule
+        // is always recoverable from the test log.
+        if let Some(token) = trial.try_token() {
+            eprintln!("explore: schedule check failed; replay with token {token}");
+        }
+        panic::resume_unwind(p);
+    }
+}
+
+/// Appends the fresh (beyond-prefix) decisions of `out` to the stack,
+/// threading sleep sets and preemption counts down the new chain.
+fn extend(stack: &mut Vec<Node>, out: &RunOutcome) {
+    debug_assert!(out.decisions.len() >= stack.len());
+    for (i, d) in out.decisions.iter().enumerate() {
+        if i < stack.len() {
+            debug_assert_eq!(
+                stack[i].chosen, d.chosen,
+                "deterministic replay of the DFS prefix diverged"
+            );
+            continue;
+        }
+        let (sleep, preempt_before) = match stack.last() {
+            None => (Vec::new(), 0),
+            Some(p) => (
+                p.sleep
+                    .iter()
+                    .filter(|&&(t, a)| t != p.chosen && independent(a, p.access))
+                    .copied()
+                    .collect(),
+                p.preempt_before + u32::from(p.is_preemptive(p.chosen)),
+            ),
+        };
+        stack.push(Node {
+            chosen: d.chosen,
+            access: d.access,
+            enabled: d.enabled.clone(),
+            tried: 1 << d.chosen,
+            sleep,
+            preempt_before,
+            prev: d.prev,
+        });
+    }
+}
+
+/// Pops exhausted nodes and redirects the deepest node that still has a
+/// viable untried alternative. Returns `false` when the tree is done.
+fn backtrack(stack: &mut Vec<Node>, config: &Config, stats: &mut Stats) -> bool {
+    loop {
+        let Some(top) = stack.last_mut() else {
+            return false;
+        };
+        let mut picked = None;
+        for &(t, a) in &top.enabled {
+            if top.tried & (1 << t) != 0 {
+                continue;
+            }
+            if config.sleep_sets && top.sleep.iter().any(|&(st, _)| st == t) {
+                top.tried |= 1 << t;
+                stats.pruned_sleep += 1;
+                continue;
+            }
+            if let Some(bound) = config.preemptions {
+                if top.preempt_before + u32::from(top.is_preemptive(t)) > bound {
+                    top.tried |= 1 << t;
+                    stats.pruned_preempt += 1;
+                    continue;
+                }
+            }
+            picked = Some((t, a));
+            break;
+        }
+        match picked {
+            Some((t, a)) => {
+                // The old choice's subtree is fully explored: from now on
+                // running it first from this node is redundant.
+                let exhausted = (top.chosen, top.access);
+                top.sleep.push(exhausted);
+                top.chosen = t;
+                top.access = a;
+                top.tried |= 1 << t;
+                return true;
+            }
+            None => {
+                stack.pop();
+            }
+        }
+    }
+}
+
+/// Enumerates every schedule of `body`'s model threads within `config`'s
+/// bounds, running `body` once per schedule. Returns pruning/coverage
+/// stats; callers assert on their own per-schedule checks inside `body`
+/// (quote [`Trial::token`] in the message) and typically log the stats.
+pub fn explore<F: FnMut(&Trial)>(config: Config, mut body: F) -> Stats {
+    config.validate();
+    let mut stats = Stats::default();
+    let mut stack: Vec<Node> = Vec::new();
+    loop {
+        let prefix: Vec<usize> = stack.iter().map(|n| n.chosen).collect();
+        let trial = Trial::new(prefix, config.max_steps);
+        run_one(&mut body, &trial);
+        let out = trial.take_outcome();
+        stats.schedules += 1;
+        stats.decisions += out.decisions.len() as u64;
+        stats.max_depth = stats.max_depth.max(out.decisions.len());
+        extend(&mut stack, &out);
+        if !backtrack(&mut stack, &config, &mut stats) {
+            break;
+        }
+        if stats.schedules >= config.max_schedules {
+            stats.truncated = true;
+            eprintln!(
+                "explore: stopped at max_schedules={} — coverage is TRUNCATED, \
+                 raise the limit or tighten the model",
+                config.max_schedules
+            );
+            break;
+        }
+    }
+    stats
+}
+
+/// Re-runs one recorded schedule and proves it replayed byte-exactly:
+/// same decision count and same `(chosen, object, kind)` digest as when
+/// it was recorded. `body` is the same closure shape [`explore`] takes
+/// and must rebuild the model identically.
+pub fn replay<F: FnOnce(&Trial)>(config: Config, token: &Token, body: F) {
+    config.validate();
+    let trial = Trial::new(token.choices.clone(), config.max_steps);
+    body(&trial);
+    let out = trial.take_outcome();
+    assert_eq!(
+        out.nthreads, token.threads,
+        "replay: model has {} threads but token {token} was recorded over {}",
+        out.nthreads, token.threads
+    );
+    assert_eq!(
+        out.decisions.len(),
+        token.choices.len(),
+        "replay: run made {} decisions but token {token} recorded {} — the \
+         model diverged from the recording",
+        out.decisions.len(),
+        token.choices.len()
+    );
+    let got = out.hash;
+    assert_eq!(
+        got, token.hash,
+        "replay: schedule digest {got:08x} != recorded {:08x} (token {token}) — \
+         the interleaving did not replay byte-exactly; the model or the code \
+         under test changed since the recording",
+        token.hash
+    );
+}

@@ -1,0 +1,42 @@
+//! A tiny concurrent history recorder for explorer tests.
+//!
+//! Model threads record `(invoke, response, op)` triples timestamped with
+//! [`crate::Trial::now`] logical steps; after the run,
+//! [`Hist::take_sorted`] yields them in a deterministic order so the
+//! per-schedule linearizability check (and therefore the whole explore
+//! run) is a pure function of the schedule token.
+
+use std::sync::Mutex;
+
+/// Concurrent append-only log of timestamped operations.
+#[derive(Debug, Default)]
+pub struct Hist<O> {
+    ops: Mutex<Vec<(u64, u64, O)>>,
+}
+
+impl<O> Hist<O> {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Hist {
+            ops: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Records one completed operation with its logical `[invoke,
+    /// response]` window (take both from [`crate::Trial::now`], around
+    /// the operation).
+    pub fn push(&self, invoke: u64, response: u64, op: O) {
+        debug_assert!(invoke <= response);
+        self.ops.lock().unwrap().push((invoke, response, op));
+    }
+
+    /// Drains the history sorted by `(invoke, response)`. Ties can only
+    /// arise between operations whose windows coincide exactly, which a
+    /// linearizability checker must treat symmetrically anyway, so the
+    /// sort makes the downstream check schedule-deterministic.
+    pub fn take_sorted(&self) -> Vec<(u64, u64, O)> {
+        let mut v = std::mem::take(&mut *self.ops.lock().unwrap());
+        v.sort_by_key(|&(i, r, _)| (i, r));
+        v
+    }
+}

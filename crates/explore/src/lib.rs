@@ -1,0 +1,122 @@
+//! Deterministic bounded schedule exploration for the OPTIK validation
+//! points.
+//!
+//! The stress tiers sample thread schedules at random; this crate
+//! *enumerates* them. A cooperative scheduler runs 2–3 model threads over
+//! a small bounded history, trapping at every `synchro::shim` access (the
+//! shard version locks, routing bounds, TTL clock — the OPTIK validation
+//! points), and a DFS driver explores every interleaving up to a
+//! preemption/depth bound with sleep-set pruning. Each schedule gets a
+//! compact [`Token`] that [`replay`] re-runs byte-exactly — a failing
+//! interleaving is a unit test, not a flake.
+//!
+//! ```
+//! use optik_explore::{explore, replay, traced::TracedU64, Config};
+//!
+//! // Two racing read-modify-write sequences: the classic lost update.
+//! let model = |trial: &optik_explore::Trial| {
+//!     let c = TracedU64::new(0);
+//!     trial.run(&[
+//!         &|| { let v = c.load(); c.store(v + 1) },
+//!         &|| { let v = c.load(); c.store(v + 1) },
+//!     ]);
+//!     // Every schedule ends in 1 (both loaded 0) or 2 (sequential).
+//!     assert!(c.load() >= 1, "schedule {}", trial.token());
+//! };
+//! let stats = explore(Config::default(), model);
+//! assert!(stats.schedules > 1);
+//! ```
+//!
+//! The production hot paths are schedulable only under
+//! `--cfg optik_explore` (see `synchro::shim`); the kv-level suites in
+//! `tests/explore_kv.rs` are gated on that cfg and run in CI's dedicated
+//! `explore` job, while the model-program suites here run in tier-1.
+
+#![warn(missing_docs)]
+
+mod dfs;
+pub mod hist;
+mod sched;
+pub mod token;
+pub mod traced;
+
+use std::fmt;
+
+pub use dfs::{explore, replay};
+pub use hist::Hist;
+pub use sched::{Trial, MAX_THREADS};
+pub use token::Token;
+
+/// Bounds for one exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Per-schedule step budget; exceeding it aborts the run with a
+    /// livelock diagnostic. Every shim access, yield, and thread start
+    /// costs one step.
+    pub max_steps: u64,
+    /// Safety valve on the total number of schedules; hitting it marks
+    /// [`Stats::truncated`] and logs loudly — an exploration that stops
+    /// here did **not** cover the bounded tree.
+    pub max_schedules: u64,
+    /// Maximum preemptions per schedule (`None` = unbounded). A
+    /// preemption is a switch away from a thread that still had a
+    /// non-Yield access pending.
+    pub preemptions: Option<u32>,
+    /// Enable sleep-set pruning (sound; skips only commuting
+    /// reorderings). Disable to count the raw tree in tests.
+    pub sleep_sets: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_steps: 2_000,
+            max_schedules: 1_000_000,
+            preemptions: None,
+            sleep_sets: true,
+        }
+    }
+}
+
+impl Config {
+    pub(crate) fn validate(&self) {
+        assert!(self.max_steps > 0, "Config::max_steps must be positive");
+        assert!(
+            self.max_schedules > 0,
+            "Config::max_schedules must be positive"
+        );
+    }
+}
+
+/// Coverage and pruning counters from one [`explore`] call.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Complete schedules executed (each ran the model once).
+    pub schedules: u64,
+    /// Total scheduling decisions across all schedules.
+    pub decisions: u64,
+    /// Alternatives skipped by sleep-set pruning.
+    pub pruned_sleep: u64,
+    /// Alternatives skipped by the preemption bound.
+    pub pruned_preempt: u64,
+    /// Longest schedule, in decisions.
+    pub max_depth: usize,
+    /// True iff the run stopped at `max_schedules` before exhausting the
+    /// bounded tree.
+    pub truncated: bool,
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedules={} decisions={} pruned_sleep={} pruned_preempt={} max_depth={}{}",
+            self.schedules,
+            self.decisions,
+            self.pruned_sleep,
+            self.pruned_preempt,
+            self.max_depth,
+            if self.truncated { " TRUNCATED" } else { "" }
+        )
+    }
+}

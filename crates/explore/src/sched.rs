@@ -1,0 +1,515 @@
+//! The cooperative scheduler: one granted thread at a time, decisions
+//! made at yield points.
+//!
+//! Model threads run as real OS threads, but every shim access parks in
+//! [`RunCtl::trap`] until the scheduler grants it the next step, so at
+//! most one model thread executes between two yield points and the
+//! interleaving is exactly the recorded decision sequence.
+//!
+//! Scheduling is *decision-in-trap*: there is no separate scheduler
+//! thread. When a thread traps and every other unfinished thread is
+//! already parked with a pending access, the trapping thread itself picks
+//! the next step (following the replay prefix, then the default policy)
+//! and either continues — granting itself costs zero context switches —
+//! or wakes the chosen thread and parks. The common schedule, one thread
+//! running a stretch of consecutive steps, therefore runs at nearly
+//! uninstrumented speed.
+//!
+//! Spin-waits: a thread that parks at a [`AccessKind::Yield`] point (from
+//! `synchro::relax()` or a `Backoff`) is waiting for another thread's
+//! write. It is kept *disabled* until the global write epoch advances
+//! past the value captured when it parked. When *every* unfinished
+//! thread is yield-parked with no intervening write, waking order cannot
+//! be observed, so the step is forced — round-robin to the least
+//! recently granted yielder, with no sibling branches for the DFS. (This
+//! state is reachable and *cyclic*: one thread condition-spinning on a
+//! lock while its holder sits in a pacing backoff re-enters it after
+//! every futile re-check. Branching here once let the tree grow one
+//! futile spin per schedule, without bound.) Bounded spin loops thus
+//! never multiply the schedule tree, and unbounded ones terminate via
+//! the step budget.
+
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use synchro::shim::{self, Access, AccessKind, ExploreHook};
+
+use crate::token::{fnv_step, Token, FNV_OFFSET};
+
+/// Most threads a trial may run: one lowercase hex digit in the token.
+pub const MAX_THREADS: usize = 15;
+
+/// Object id used for accesses that touch no object (Yield/Start).
+pub(crate) const NO_OBJ: u32 = u32::MAX;
+
+/// An access with its address interned to a run-stable object id.
+/// Interning happens in decision order, so ids are identical across every
+/// run that shares the schedule prefix — which is what lets sleep sets
+/// and replay digests compare accesses from different runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ObjAccess {
+    pub obj: u32,
+    pub kind: AccessKind,
+}
+
+#[inline]
+pub(crate) fn kind_byte(kind: AccessKind) -> u8 {
+    match kind {
+        AccessKind::Load => 0,
+        AccessKind::Store => 1,
+        AccessKind::Rmw => 2,
+        AccessKind::Yield => 3,
+        AccessKind::Start => 4,
+    }
+}
+
+/// One scheduling decision, with everything the DFS driver needs to
+/// enumerate the untaken branches.
+#[derive(Debug, Clone)]
+pub(crate) struct Decision {
+    /// Thread granted this step.
+    pub chosen: usize,
+    /// The access it was about to perform.
+    pub access: ObjAccess,
+    /// All threads that were eligible at this point, with their pending
+    /// accesses (includes `chosen`), in thread-id order.
+    pub enabled: Vec<(usize, ObjAccess)>,
+    /// Thread granted the previous step, if any.
+    pub prev: Option<usize>,
+}
+
+/// The completed record of one run.
+#[derive(Debug)]
+pub(crate) struct RunOutcome {
+    pub nthreads: usize,
+    pub decisions: Vec<Decision>,
+    pub hash: u32,
+}
+
+impl RunOutcome {
+    pub fn token(&self) -> Token {
+        Token {
+            threads: self.nthreads,
+            choices: self.decisions.iter().map(|d| d.chosen).collect(),
+            hash: self.hash,
+        }
+    }
+}
+
+/// Private unwind payload used to tear parked threads out of the model
+/// when a run aborts; never escapes the worker wrapper.
+struct AbortToken;
+
+#[derive(Debug, Clone)]
+enum Abort {
+    /// The step budget ran out: a livelock, or `max_steps` set too low.
+    StepLimit,
+    /// A replay prefix asked for a thread that was not enabled.
+    Diverged { pos: usize, wanted: usize },
+    /// A model thread panicked; the first payload is kept for reporting.
+    Panic,
+}
+
+struct RunState {
+    /// Per-thread pending access; `Some` while parked in a trap.
+    pending: Vec<Option<Access>>,
+    /// Write epoch captured when the thread parked at a Yield.
+    parked_epoch: Vec<u64>,
+    /// Step at which each thread was last granted (0 = never): drives the
+    /// round-robin choice when every unfinished thread is yield-parked.
+    last_granted: Vec<u64>,
+    finished: Vec<bool>,
+    /// Thread holding an unconsumed grant.
+    granted: Option<usize>,
+    prev: Option<usize>,
+    write_epoch: u64,
+    steps: u64,
+    abort: Option<Abort>,
+    panic_msg: Option<(usize, String)>,
+    // -- decision driver --
+    prefix: Vec<usize>,
+    max_steps: u64,
+    intern: HashMap<usize, u32>,
+    decisions: Vec<Decision>,
+    hash: u32,
+}
+
+impl RunState {
+    fn all_poised(&self) -> bool {
+        self.pending
+            .iter()
+            .zip(&self.finished)
+            .all(|(p, &f)| f || p.is_some())
+    }
+
+    fn any_unfinished(&self) -> bool {
+        self.finished.iter().any(|&f| !f)
+    }
+
+    fn intern_access(&mut self, a: Access) -> ObjAccess {
+        let obj = match a.kind {
+            AccessKind::Yield | AccessKind::Start => NO_OBJ,
+            _ => {
+                let next = self.intern.len() as u32;
+                *self.intern.entry(a.addr).or_insert(next)
+            }
+        };
+        ObjAccess { obj, kind: a.kind }
+    }
+
+    /// Picks and grants the next step. Caller must hold the lock, have
+    /// verified `granted.is_none() && all_poised() && any_unfinished()`,
+    /// and notify the condvar afterwards.
+    fn decide(&mut self, clock: &AtomicU64) {
+        debug_assert!(self.granted.is_none() && self.abort.is_none());
+        let mut enabled: Vec<(usize, ObjAccess)> = Vec::new();
+        for t in 0..self.pending.len() {
+            if self.finished[t] {
+                continue;
+            }
+            let a = self.pending[t].expect("all_poised checked");
+            let eligible = match a.kind {
+                // A spinning thread only becomes runnable once someone
+                // wrote: its condition may have changed.
+                AccessKind::Yield => self.parked_epoch[t] < self.write_epoch,
+                _ => true,
+            };
+            if eligible {
+                let oa = self.intern_access(a);
+                enabled.push((t, oa));
+            }
+        }
+        if enabled.is_empty() {
+            // Every unfinished thread is parked at a yield and nothing has
+            // been written since the last of them parked. Re-running a
+            // condition-spinner here re-reads unchanged memory, and the
+            // order in which parked threads wake is observationally
+            // irrelevant — so this is a *forced* step, not a decision
+            // point. Offering the yields as alternatives is the trap that
+            // once made the DFS enumerate spin-count permutations of a
+            // cyclic state without bound (two threads yielding at each
+            // other grow the schedule by one futile spin per branch,
+            // forever, at zero preemptions). Granting the least recently
+            // granted yielder is fair round-robin: a pacing backoff
+            // (which proceeds regardless) gets the step after at most
+            // n-1 futile wakes, so real progress resumes; a sole spinner
+            // whose condition can never change runs into the step budget
+            // and reports a livelock.
+            let t = (0..self.pending.len())
+                .filter(|&t| !self.finished[t])
+                .min_by_key(|&t| (self.last_granted[t], t))
+                .expect("any_unfinished checked by caller");
+            let a = self.pending[t].expect("all_poised checked");
+            let oa = self.intern_access(a);
+            enabled.push((t, oa));
+        }
+
+        let pos = self.decisions.len();
+        let chosen = if pos < self.prefix.len() {
+            let wanted = self.prefix[pos];
+            if !enabled.iter().any(|&(t, _)| t == wanted) {
+                self.abort = Some(Abort::Diverged { pos, wanted });
+                return;
+            }
+            wanted
+        } else {
+            // Default policy: keep running the previous thread while it
+            // has real work (zero context switches and zero preemptions),
+            // else the lowest-id thread with a non-Yield access, else the
+            // lowest-id yield.
+            let prev_runnable = self.prev.filter(|&p| {
+                enabled
+                    .iter()
+                    .any(|&(t, oa)| t == p && oa.kind != AccessKind::Yield)
+            });
+            match prev_runnable {
+                Some(p) => p,
+                None => {
+                    enabled
+                        .iter()
+                        .find(|&&(_, oa)| oa.kind != AccessKind::Yield)
+                        .unwrap_or(&enabled[0])
+                        .0
+                }
+            }
+        };
+        let access = enabled
+            .iter()
+            .find(|&&(t, _)| t == chosen)
+            .expect("chosen is enabled")
+            .1;
+
+        self.hash = fnv_step(self.hash, chosen, access.obj, kind_byte(access.kind));
+        self.decisions.push(Decision {
+            chosen,
+            access,
+            enabled,
+            prev: self.prev,
+        });
+        self.steps += 1;
+        clock.store(self.steps, Ordering::SeqCst);
+        if self.steps > self.max_steps {
+            self.abort = Some(Abort::StepLimit);
+            return;
+        }
+        if matches!(access.kind, AccessKind::Store | AccessKind::Rmw) {
+            self.write_epoch += 1;
+        }
+        self.last_granted[chosen] = self.steps;
+        self.prev = Some(chosen);
+        self.granted = Some(chosen);
+    }
+
+    fn token_so_far(&self) -> Token {
+        Token {
+            threads: self.pending.len(),
+            choices: self.decisions.iter().map(|d| d.chosen).collect(),
+            hash: self.hash,
+        }
+    }
+}
+
+pub(crate) struct RunCtl {
+    state: Mutex<RunState>,
+    cv: Condvar,
+    clock: Arc<AtomicU64>,
+}
+
+impl RunCtl {
+    fn new(nthreads: usize, prefix: Vec<usize>, max_steps: u64, clock: Arc<AtomicU64>) -> Self {
+        RunCtl {
+            state: Mutex::new(RunState {
+                pending: vec![None; nthreads],
+                parked_epoch: vec![0; nthreads],
+                last_granted: vec![0; nthreads],
+                finished: vec![false; nthreads],
+                granted: None,
+                prev: None,
+                write_epoch: 0,
+                steps: 0,
+                abort: None,
+                panic_msg: None,
+                prefix,
+                max_steps,
+                intern: HashMap::new(),
+                decisions: Vec::new(),
+                hash: FNV_OFFSET,
+            }),
+            cv: Condvar::new(),
+            clock,
+        }
+    }
+
+    /// A model thread reporting its next access; returns once granted.
+    fn trap(&self, tid: usize, access: Access) {
+        if std::thread::panicking() {
+            // A Drop impl touched a shim atomic while this thread unwinds
+            // (usually from an AbortToken). Parking would deadlock and
+            // panicking would double-panic; let the access run raw — the
+            // run is already being torn down.
+            return;
+        }
+        let mut st = self.state.lock().unwrap();
+        if st.abort.is_some() {
+            drop(st);
+            panic::panic_any(AbortToken);
+        }
+        debug_assert!(st.pending[tid].is_none(), "thread trapped while pending");
+        st.pending[tid] = Some(access);
+        if access.kind == AccessKind::Yield {
+            st.parked_epoch[tid] = st.write_epoch;
+        }
+        if st.granted.is_none() && st.all_poised() {
+            st.decide(&self.clock);
+            self.cv.notify_all();
+        }
+        while st.granted != Some(tid) {
+            if st.abort.is_some() {
+                drop(st);
+                panic::panic_any(AbortToken);
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+        st.granted = None;
+        st.pending[tid] = None;
+        // The access itself executes after we return, before this
+        // thread's next trap — atomically, as far as the schedule is
+        // concerned.
+    }
+
+    /// A model thread is done (normally or by panic).
+    fn finish(&self, tid: usize, panicked: Option<String>) {
+        let mut st = self.state.lock().unwrap();
+        st.finished[tid] = true;
+        st.pending[tid] = None;
+        if let Some(msg) = panicked {
+            if st.panic_msg.is_none() {
+                st.panic_msg = Some((tid, msg));
+            }
+            st.abort = Some(Abort::Panic);
+        } else if st.abort.is_none()
+            && st.granted.is_none()
+            && st.any_unfinished()
+            && st.all_poised()
+        {
+            st.decide(&self.clock);
+        }
+        self.cv.notify_all();
+    }
+}
+
+struct ThreadHook {
+    ctl: Arc<RunCtl>,
+    tid: usize,
+}
+
+impl ExploreHook for ThreadHook {
+    fn yield_point(&self, access: Access) {
+        self.ctl.trap(self.tid, access);
+    }
+}
+
+fn payload_str(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// One schedule: build your shared state, call [`Trial::run`] with the
+/// model thread bodies, then check the outcome — quoting
+/// [`Trial::token`] in any assertion message so the failing interleaving
+/// can be replayed with [`crate::replay`].
+pub struct Trial {
+    prefix: Vec<usize>,
+    max_steps: u64,
+    clock: Arc<AtomicU64>,
+    outcome: Mutex<Option<RunOutcome>>,
+}
+
+impl Trial {
+    pub(crate) fn new(prefix: Vec<usize>, max_steps: u64) -> Self {
+        Trial {
+            prefix,
+            max_steps,
+            clock: Arc::new(AtomicU64::new(0)),
+            outcome: Mutex::new(None),
+        }
+    }
+
+    /// The logical time: number of scheduling decisions granted so far.
+    /// Use it to timestamp history records — two operations overlap (and
+    /// may linearize in either order) exactly when their `[invoke,
+    /// response]` step windows overlap.
+    pub fn now(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    /// Runs one body per model thread to completion under the scheduler.
+    ///
+    /// Panics if a model thread panics (with the schedule token in the
+    /// message), if the step budget is exceeded (livelock guard), or if
+    /// the replay prefix diverges from what the model can actually do.
+    pub fn run(&self, bodies: &[&(dyn Fn() + Sync)]) {
+        let n = bodies.len();
+        assert!(
+            (1..=MAX_THREADS).contains(&n),
+            "Trial::run takes 1..={MAX_THREADS} threads, got {n}"
+        );
+        assert!(
+            self.outcome.lock().unwrap().is_none(),
+            "Trial::run called twice"
+        );
+        self.clock.store(0, Ordering::SeqCst);
+        let ctl = Arc::new(RunCtl::new(
+            n,
+            self.prefix.clone(),
+            self.max_steps,
+            self.clock.clone(),
+        ));
+        std::thread::scope(|s| {
+            for (tid, body) in bodies.iter().enumerate() {
+                let ctl = Arc::clone(&ctl);
+                s.spawn(move || {
+                    let hook: Arc<dyn ExploreHook> = Arc::new(ThreadHook {
+                        ctl: Arc::clone(&ctl),
+                        tid,
+                    });
+                    let _guard = shim::install_hook(hook);
+                    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                        // Announce before the first instruction so even
+                        // spawn order is a recorded scheduling decision.
+                        ctl.trap(tid, Access::START);
+                        body();
+                    }));
+                    let msg = match result {
+                        Ok(()) => None,
+                        Err(p) if p.is::<AbortToken>() => None,
+                        Err(p) => Some(payload_str(p.as_ref())),
+                    };
+                    ctl.finish(tid, msg);
+                });
+            }
+        });
+        let st = ctl.state.lock().unwrap();
+        match &st.abort {
+            None => {}
+            Some(Abort::Panic) => {
+                let (tid, msg) = st
+                    .panic_msg
+                    .clone()
+                    .unwrap_or((usize::MAX, "<missing payload>".into()));
+                panic!(
+                    "model thread {tid} panicked under the explorer: {msg}\n  \
+                     schedule token: {}",
+                    st.token_so_far()
+                );
+            }
+            Some(Abort::StepLimit) => panic!(
+                "schedule exceeded max_steps={}: livelock in the model, or raise \
+                 Config::max_steps\n  schedule token so far: {}",
+                st.max_steps,
+                st.token_so_far()
+            ),
+            Some(Abort::Diverged { pos, wanted }) => panic!(
+                "replay diverged at decision {pos}: thread {wanted} was not \
+                 enabled — the model no longer matches the recorded schedule\n  \
+                 schedule token so far: {}",
+                st.token_so_far()
+            ),
+        }
+        *self.outcome.lock().unwrap() = Some(RunOutcome {
+            nthreads: n,
+            decisions: st.decisions.clone(),
+            hash: st.hash,
+        });
+    }
+
+    /// The completed schedule's token. Panics before [`Trial::run`].
+    pub fn token(&self) -> Token {
+        self.outcome
+            .lock()
+            .unwrap()
+            .as_ref()
+            .expect("Trial::token before run")
+            .token()
+    }
+
+    /// Like [`Trial::token`] but `None` before the run completed.
+    pub fn try_token(&self) -> Option<Token> {
+        self.outcome.lock().unwrap().as_ref().map(RunOutcome::token)
+    }
+
+    pub(crate) fn take_outcome(&self) -> RunOutcome {
+        self.outcome
+            .lock()
+            .unwrap()
+            .take()
+            .expect("take_outcome before run")
+    }
+}

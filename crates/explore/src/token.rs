@@ -1,0 +1,186 @@
+//! Schedule tokens: compact, self-validating recordings of one explored
+//! interleaving.
+//!
+//! A token pins a schedule by its *decision sequence* — which thread was
+//! granted each step — and carries a 32-bit FNV-1a digest over the full
+//! per-step record (chosen thread, interned object id, access kind). The
+//! digest is what makes replay **byte-exact**: [`crate::replay`] re-runs
+//! the decision sequence and then compares digests, so any divergence in
+//! what the threads actually touched (a code change, nondeterminism in
+//! the model) fails loudly instead of silently replaying a different
+//! interleaving.
+//!
+//! Format: `x1.<threads>.<choices>.<hash>` where `x1` is the encoding
+//! version, `<threads>` is the thread count (decimal), `<choices>` is one
+//! lowercase hex digit per decision (the granted thread id, so at most 15
+//! threads) or `-` when the schedule made no decisions, and `<hash>` is
+//! the 8-hex-digit digest. Example: `x1.2.001011.4afb1c22`.
+
+use std::fmt;
+use std::str::FromStr;
+
+const VERSION: &str = "x1";
+
+/// A recorded schedule: enough to deterministically re-run one explored
+/// interleaving and prove it replayed identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Number of model threads the schedule was recorded over.
+    pub threads: usize,
+    /// Granted thread id per decision, in order.
+    pub choices: Vec<usize>,
+    /// FNV-1a digest over the per-step `(chosen, object, kind)` records.
+    pub hash: u32,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{VERSION}.{}.", self.threads)?;
+        if self.choices.is_empty() {
+            write!(f, "-")?;
+        } else {
+            for &c in &self.choices {
+                write!(f, "{c:x}")?;
+            }
+        }
+        write!(f, ".{:08x}", self.hash)
+    }
+}
+
+/// Why a token string failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenError(pub String);
+
+impl fmt::Display for TokenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed schedule token: {}", self.0)
+    }
+}
+
+impl std::error::Error for TokenError {}
+
+impl FromStr for Token {
+    type Err = TokenError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.trim().split('.');
+        let (Some(ver), Some(threads), Some(choices), Some(hash), None) = (
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+            parts.next(),
+        ) else {
+            return Err(TokenError(format!(
+                "expected 4 dot-separated fields in {s:?}"
+            )));
+        };
+        if ver != VERSION {
+            return Err(TokenError(format!(
+                "unsupported version {ver:?} (expected {VERSION:?})"
+            )));
+        }
+        let threads: usize = threads
+            .parse()
+            .map_err(|e| TokenError(format!("thread count {threads:?}: {e}")))?;
+        if threads == 0 || threads > 15 {
+            return Err(TokenError(format!("thread count {threads} out of 1..=15")));
+        }
+        let choices = if choices == "-" {
+            Vec::new()
+        } else {
+            choices
+                .chars()
+                .map(|c| {
+                    c.to_digit(16)
+                        .map(|d| d as usize)
+                        .filter(|&d| d < threads)
+                        .ok_or_else(|| {
+                            TokenError(format!(
+                                "choice digit {c:?} out of range for {threads} threads"
+                            ))
+                        })
+                })
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        let hash =
+            u32::from_str_radix(hash, 16).map_err(|e| TokenError(format!("hash {hash:?}: {e}")))?;
+        Ok(Token {
+            threads,
+            choices,
+            hash,
+        })
+    }
+}
+
+/// FNV-1a offset basis (the digest's initial value).
+pub(crate) const FNV_OFFSET: u32 = 0x811C_9DC5;
+const FNV_PRIME: u32 = 0x0100_0193;
+
+#[inline]
+fn fnv_byte(hash: u32, byte: u8) -> u32 {
+    (hash ^ u32::from(byte)).wrapping_mul(FNV_PRIME)
+}
+
+/// Folds one scheduling decision into the digest: the granted thread, the
+/// interned id of the object it touched, and the access kind.
+pub(crate) fn fnv_step(mut hash: u32, chosen: usize, obj: u32, kind: u8) -> u32 {
+    hash = fnv_byte(hash, chosen as u8);
+    for b in obj.to_le_bytes() {
+        hash = fnv_byte(hash, b);
+    }
+    fnv_byte(hash, kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_display_and_parse() {
+        let t = Token {
+            threads: 3,
+            choices: vec![0, 1, 2, 2, 0],
+            hash: 0x4AFB_1C22,
+        };
+        let s = t.to_string();
+        assert_eq!(s, "x1.3.01220.4afb1c22");
+        assert_eq!(s.parse::<Token>().unwrap(), t);
+    }
+
+    #[test]
+    fn empty_choice_list_uses_dash() {
+        let t = Token {
+            threads: 1,
+            choices: vec![],
+            hash: 7,
+        };
+        let s = t.to_string();
+        assert_eq!(s, "x1.1.-.00000007");
+        assert_eq!(s.parse::<Token>().unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_malformed_tokens() {
+        for bad in [
+            "",
+            "x1.2.01",             // missing hash
+            "x2.2.01.00000000",    // wrong version
+            "x1.0.-.00000000",     // zero threads
+            "x1.16.0.00000000",    // too many threads
+            "x1.2.03.00000000",    // choice digit out of range
+            "x1.2.01.zzzzzzzz",    // bad hash
+            "x1.2.01.00000000.xx", // trailing field
+        ] {
+            assert!(bad.parse::<Token>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn digest_distinguishes_choice_object_and_kind() {
+        let base = fnv_step(FNV_OFFSET, 0, 0, 0);
+        assert_ne!(base, fnv_step(FNV_OFFSET, 1, 0, 0));
+        assert_ne!(base, fnv_step(FNV_OFFSET, 0, 1, 0));
+        assert_ne!(base, fnv_step(FNV_OFFSET, 0, 0, 1));
+    }
+}

@@ -1,0 +1,82 @@
+//! Always-trapping atomics for hand-written model programs.
+//!
+//! The `synchro::shim` wrappers only trap under `--cfg optik_explore`, so
+//! the production hot paths stay zero-cost. The explorer's own test
+//! models — and the tier-1 smoke/replay suites that must run in a plain
+//! `cargo test` — need atomics that are *always* yield points. These
+//! types report every operation to the calling thread's explore hook
+//! unconditionally (and behave like plain atomics when no hook is
+//! installed).
+
+use core::sync::atomic::Ordering::SeqCst;
+
+use synchro::shim::{yield_point, Access, AccessKind};
+
+macro_rules! traced_atomic {
+    ($(#[$meta:meta])* $name:ident, $raw:path, $prim:ty) => {
+        $(#[$meta])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            word: $raw,
+        }
+
+        impl $name {
+            /// Creates a new traced atomic initialized to `v`.
+            pub const fn new(v: $prim) -> Self {
+                Self { word: <$raw>::new(v) }
+            }
+
+            fn trap(&self, kind: AccessKind) {
+                yield_point(Access {
+                    addr: &self.word as *const _ as usize,
+                    kind,
+                });
+            }
+
+            /// SeqCst load (one yield point).
+            pub fn load(&self) -> $prim {
+                self.trap(AccessKind::Load);
+                self.word.load(SeqCst)
+            }
+
+            /// SeqCst store (one yield point).
+            pub fn store(&self, v: $prim) {
+                self.trap(AccessKind::Store);
+                self.word.store(v, SeqCst)
+            }
+
+            /// SeqCst fetch-add (one yield point).
+            pub fn fetch_add(&self, v: $prim) -> $prim {
+                self.trap(AccessKind::Rmw);
+                self.word.fetch_add(v, SeqCst)
+            }
+
+            /// SeqCst compare-exchange (one yield point, even on failure).
+            pub fn compare_exchange(&self, current: $prim, new: $prim) -> Result<$prim, $prim> {
+                self.trap(AccessKind::Rmw);
+                self.word.compare_exchange(current, new, SeqCst, SeqCst)
+            }
+        }
+    };
+}
+
+traced_atomic!(
+    /// A `u64` cell that is a yield point in every build.
+    TracedU64,
+    core::sync::atomic::AtomicU64,
+    u64
+);
+
+traced_atomic!(
+    /// A `usize` cell that is a yield point in every build.
+    TracedUsize,
+    core::sync::atomic::AtomicUsize,
+    usize
+);
+
+/// One voluntary spin-wait iteration: parks at a Yield point until
+/// another thread performs a write (model-program analogue of
+/// `synchro::relax()`). No-op without a hook.
+pub fn yield_now() {
+    yield_point(Access::YIELD);
+}

@@ -1,0 +1,249 @@
+//! Pinned-schedule regression suite: recorded schedules re-run as plain
+//! unit tests.
+//!
+//! [`optik_explore::replay`] turns a schedule token into a deterministic
+//! re-execution, so any interleaving the explorer ever found interesting
+//! can be pinned here and kept green forever — a failing schedule is a
+//! unit test, not a flake. The model-program pins run in tier-1 (the
+//! `traced` atomics always trap); the kv-level pin needs the shim yield
+//! points and is gated on `--cfg optik_explore` like `explore_kv.rs`.
+//!
+//! Re-pinning: the static token below encodes the model's exact trap
+//! sequence. If a deliberate scheduler or model change breaks it, run
+//! the ignored `print_fresh_pin_candidates` generator and paste the new
+//! token — the failure message of `replay` says which invariant moved.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use optik_explore::traced::{yield_now, TracedU64};
+use optik_explore::{explore, replay, Config, Token, Trial};
+
+/// The suite explores tiny fixed models: run them unpruned so recorded
+/// tokens are stable against pruning-heuristic tuning.
+fn cfg() -> Config {
+    Config {
+        sleep_sets: false,
+        ..Config::default()
+    }
+}
+
+/// The canonical 2-thread lost-update model: each thread is
+/// Start, Load, Store on one shared counter.
+fn run_counter(trial: &Trial) -> u64 {
+    let c = TracedU64::new(0);
+    trial.run(&[
+        &|| {
+            let v = c.load();
+            c.store(v + 1);
+        },
+        &|| {
+            let v = c.load();
+            c.store(v + 1);
+        },
+    ]);
+    c.load()
+}
+
+/// A schedule recorded in one exploration replays byte-exactly, twice,
+/// with the same observable outcome — the end-to-end contract every
+/// other pin in this file relies on.
+#[test]
+fn recorded_lost_update_replays_byte_exactly() {
+    let mut pinned: Option<(Token, u64)> = None;
+    explore(cfg(), |trial| {
+        let out = run_counter(trial);
+        if out == 1 && pinned.is_none() {
+            pinned = Some((trial.token(), out));
+        }
+    });
+    let (token, outcome) = pinned.expect("the unpruned tree contains a lost update");
+    assert_eq!(outcome, 1);
+    for _ in 0..2 {
+        replay(cfg(), &token, |trial| {
+            let out = run_counter(trial);
+            assert_eq!(out, 1, "replay of {token} lost the lost update");
+        });
+    }
+}
+
+/// A statically pinned lost-update schedule: thread 1 runs its Start and
+/// Load between thread 0's Load and Store, so both threads store 1. The
+/// token (choices `001110`, fnv digest) was recorded by
+/// `print_fresh_pin_candidates`; it breaking means the scheduler's
+/// decision sequence, the token format, or the digest changed — all
+/// replay-compatibility breaks that would orphan users' recorded tokens.
+#[test]
+fn static_pinned_token_still_replays() {
+    let token: Token = "x1.2.001110.bf7405d4"
+        .parse()
+        .expect("pinned token must parse");
+    replay(cfg(), &token, |trial| {
+        let out = run_counter(trial);
+        assert_eq!(out, 1, "pinned schedule no longer exhibits the lost update");
+    });
+}
+
+/// Pin a schedule with a futile spin: the spinner parks at a Yield, the
+/// writer's store re-enables it. Guards the yield re-enable rule and the
+/// forced round-robin step for all-yield states.
+#[test]
+fn recorded_spin_handoff_replays() {
+    let mut longest: Option<(Token, usize)> = None;
+    explore(cfg(), |trial| {
+        let flag = TracedU64::new(0);
+        trial.run(&[
+            &|| {
+                while flag.load() == 0 {
+                    yield_now();
+                }
+            },
+            &|| flag.store(1),
+        ]);
+        let token = trial.token();
+        let depth = token.choices.len();
+        if longest.as_ref().map_or(true, |&(_, d)| depth > d) {
+            longest = Some((token, depth));
+        }
+    });
+    let (token, _) = longest.expect("spin model explored");
+    // The deepest schedule contains at least one futile spin iteration.
+    replay(cfg(), &token, |trial| {
+        let flag = TracedU64::new(0);
+        trial.run(&[
+            &|| {
+                while flag.load() == 0 {
+                    yield_now();
+                }
+            },
+            &|| flag.store(1),
+        ]);
+    });
+}
+
+/// Replaying against a model with a different thread count fails loudly
+/// instead of silently exploring something else.
+#[test]
+fn replay_rejects_thread_count_mismatch() {
+    let token: Token = "x1.2.001110.bf7405d4".parse().unwrap();
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        replay(cfg(), &token, |trial| {
+            let c = TracedU64::new(0);
+            trial.run(&[&|| {
+                c.fetch_add(1);
+            }]);
+        });
+    }))
+    .expect_err("mismatched thread count must fail");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("recorded over"),
+        "unexpected replay error: {msg}"
+    );
+}
+
+/// Replaying against a changed model (extra accesses) trips the
+/// decision-count check — the schedule is not silently reinterpreted.
+#[test]
+fn replay_detects_model_drift() {
+    let mut pinned: Option<Token> = None;
+    explore(cfg(), |trial| {
+        let _ = run_counter(trial);
+        pinned.get_or_insert_with(|| trial.token());
+    });
+    let token = pinned.unwrap();
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        replay(cfg(), &token, |trial| {
+            let c = TracedU64::new(0);
+            trial.run(&[
+                &|| {
+                    let v = c.load();
+                    c.store(v + 1);
+                },
+                &|| {
+                    let v = c.load();
+                    c.store(v + 1);
+                    c.fetch_add(1); // drift: one access the recording lacks
+                },
+            ]);
+        });
+    }))
+    .expect_err("model drift must fail the replay");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("diverged") || msg.contains("byte-exactly"),
+        "unexpected drift error: {msg}"
+    );
+}
+
+/// Generator for the static pin above: prints every distinct token of
+/// the counter model with its outcome. Run with
+/// `cargo test -p optik-explore --test explore_replays -- --ignored --nocapture`
+/// and paste a lost-update (outcome 1) token into
+/// `static_pinned_token_still_replays`.
+#[test]
+#[ignore = "pin generator, run manually when re-pinning"]
+fn print_fresh_pin_candidates() {
+    explore(cfg(), |trial| {
+        let out = run_counter(trial);
+        println!("outcome={out} token={}", trial.token());
+    });
+}
+
+/// The kv-level pin: a TTL expiry-vs-put schedule over the real store,
+/// recorded and replayed byte-exactly within the run. Guards the clock
+/// sampling discipline in `optik_kv` (see `explore_kv.rs` family 1 and
+/// DESIGN.md "Schedule exploration"): the pinned schedule is one where
+/// the put linearizes *after* the expiry (sees no previous value) — the
+/// shape that exposed the pre-lock clock-sample bug.
+#[cfg(optik_explore)]
+#[test]
+fn kv_ttl_expiry_schedule_replays() {
+    use std::sync::Arc;
+
+    use optik_hashtables::StripedOptikHashTable;
+    use optik_kv::{FakeClock, KvStore};
+
+    let kv_cfg = Config {
+        max_steps: 20_000,
+        max_schedules: 400_000,
+        preemptions: Some(1),
+        sleep_sets: true,
+    };
+    /// `(reader's get, writer's put prev)` after the schedule.
+    type Outcome = (Option<u64>, Option<u64>);
+    let run = |trial: &Trial| -> Outcome {
+        let clock = Arc::new(FakeClock::new());
+        let store: KvStore<StripedOptikHashTable> =
+            KvStore::with_shards_ttl(1, clock.clone(), |_| StripedOptikHashTable::new(16, 2));
+        store.put_with_ttl(7, 1, 5);
+        let got = std::sync::Mutex::new((None, None));
+        trial.run(&[
+            &|| {
+                clock.advance(5);
+                got.lock().unwrap().0 = store.get(7);
+            },
+            &|| {
+                got.lock().unwrap().1 = store.put(7, 2);
+            },
+        ]);
+        let g = got.lock().unwrap();
+        (g.0, g.1)
+    };
+    let mut pinned: Option<(Token, Outcome)> = None;
+    explore(kv_cfg, |trial| {
+        let out = run(trial);
+        if out.1.is_none() && pinned.is_none() {
+            pinned = Some((trial.token(), out));
+        }
+    });
+    let (token, outcome) = pinned.expect("some schedule expires before the put");
+    for _ in 0..2 {
+        replay(kv_cfg, &token, |trial| {
+            let out = run(trial);
+            assert_eq!(
+                out, outcome,
+                "kv replay of {token} changed the observable outcome"
+            );
+        });
+    }
+}

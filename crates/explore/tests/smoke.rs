@@ -1,0 +1,307 @@
+//! Tier-1 smoke tests for the explorer itself, over hand-written model
+//! programs with always-trapping `traced` atomics. These run in a plain
+//! `cargo test -q` — no `--cfg optik_explore` needed — so the scheduler,
+//! the enumeration, the pruning, and the token machinery are exercised on
+//! every CI run, not just in the dedicated explore job.
+
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use optik_explore::traced::{yield_now, TracedU64};
+use optik_explore::{explore, replay, Config, Token, Trial};
+
+fn full(cfg_overrides: impl FnOnce(&mut Config)) -> Config {
+    let mut c = Config {
+        sleep_sets: false,
+        ..Config::default()
+    };
+    cfg_overrides(&mut c);
+    c
+}
+
+/// Two threads, each Start + Load + Store on a shared word: the schedule
+/// tree is the interleavings of two 3-step sequences, C(6,3) = 20.
+#[test]
+fn enumerates_exactly_the_unpruned_tree() {
+    let mut outcomes = BTreeSet::new();
+    let stats = explore(full(|_| {}), |trial: &Trial| {
+        let c = TracedU64::new(0);
+        trial.run(&[
+            &|| {
+                let v = c.load();
+                c.store(v + 1);
+            },
+            &|| {
+                let v = c.load();
+                c.store(v + 1);
+            },
+        ]);
+        outcomes.insert(c.load());
+    });
+    assert_eq!(stats.schedules, 20, "{stats}");
+    assert_eq!(stats.max_depth, 6, "{stats}");
+    assert_eq!(stats.pruned_sleep, 0, "{stats}");
+    // The lost update is found (1) and so is the sequential result (2).
+    assert_eq!(outcomes, BTreeSet::from([1, 2]));
+}
+
+/// With zero preemptions allowed, only the two run-to-completion orders
+/// survive — and neither exhibits the lost update.
+#[test]
+fn preemption_bound_zero_leaves_serial_schedules() {
+    let mut outcomes = BTreeSet::new();
+    let stats = explore(full(|c| c.preemptions = Some(0)), |trial: &Trial| {
+        let c = TracedU64::new(0);
+        trial.run(&[
+            &|| {
+                let v = c.load();
+                c.store(v + 1);
+            },
+            &|| {
+                let v = c.load();
+                c.store(v + 1);
+            },
+        ]);
+        outcomes.insert(c.load());
+    });
+    assert_eq!(stats.schedules, 2, "{stats}");
+    assert!(stats.pruned_preempt > 0, "{stats}");
+    assert_eq!(outcomes, BTreeSet::from([2]));
+}
+
+/// Sleep sets must shrink the tree without losing any outcome.
+#[test]
+fn sleep_sets_prune_but_preserve_outcomes() {
+    let mut pruned_outcomes = BTreeSet::new();
+    let pruned = explore(
+        Config {
+            sleep_sets: true,
+            ..full(|_| {})
+        },
+        |trial: &Trial| {
+            let c = TracedU64::new(0);
+            trial.run(&[
+                &|| {
+                    let v = c.load();
+                    c.store(v + 1);
+                },
+                &|| {
+                    let v = c.load();
+                    c.store(v + 1);
+                },
+            ]);
+            pruned_outcomes.insert(c.load());
+        },
+    );
+    assert!(pruned.schedules < 20, "{pruned}");
+    assert!(pruned.pruned_sleep > 0, "{pruned}");
+    assert_eq!(pruned_outcomes, BTreeSet::from([1, 2]));
+}
+
+/// Disjoint objects commute: sleep sets collapse the 2-thread tree over
+/// two independent counters to very few schedules.
+#[test]
+fn independent_objects_collapse_under_sleep_sets() {
+    let mut outcomes = BTreeSet::new();
+    let stats = explore(Config::default(), |trial: &Trial| {
+        let a = TracedU64::new(0);
+        let b = TracedU64::new(0);
+        trial.run(&[&|| a.store(1), &|| b.store(1)]);
+        outcomes.insert((a.load(), b.load()));
+    });
+    assert_eq!(outcomes, BTreeSet::from([(1, 1)]));
+    // Unpruned this tree has C(4,2)=6 schedules; commuting stores over
+    // different objects should leave strictly fewer.
+    assert!(stats.schedules < 6, "{stats}");
+}
+
+/// A spin-wait on another thread's write terminates under the yield
+/// re-enable rule instead of unwinding the step budget.
+#[test]
+fn yield_spin_wait_terminates() {
+    let stats = explore(full(|c| c.max_steps = 200), |trial: &Trial| {
+        let flag = TracedU64::new(0);
+        trial.run(&[
+            &|| {
+                while flag.load() == 0 {
+                    yield_now();
+                }
+            },
+            &|| flag.store(1),
+        ]);
+        assert_eq!(flag.load(), 1, "schedule {}", trial.token());
+    });
+    assert!(stats.schedules >= 2, "{stats}");
+    assert!(!stats.truncated, "{stats}");
+}
+
+/// A genuine livelock (spinning on a write that never comes) aborts with
+/// the step-limit diagnostic instead of hanging.
+#[test]
+fn livelock_hits_step_limit_diagnostic() {
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        explore(full(|c| c.max_steps = 64), |trial: &Trial| {
+            let flag = TracedU64::new(0);
+            trial.run(&[&|| {
+                while flag.load() == 0 {
+                    yield_now();
+                }
+            }]);
+        });
+    }))
+    .expect_err("livelock must abort");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("max_steps"), "unexpected message: {msg}");
+    assert!(msg.contains("schedule token"), "unexpected message: {msg}");
+}
+
+/// The scheduler is deterministic: the same prefix yields the same
+/// token, and an explored schedule replays byte-exactly.
+#[test]
+fn tokens_replay_byte_exactly() {
+    let mut tokens: Vec<(Token, u64)> = Vec::new();
+    explore(full(|_| {}), |trial: &Trial| {
+        let c = TracedU64::new(0);
+        trial.run(&[
+            &|| {
+                let v = c.load();
+                c.store(v + 1);
+            },
+            &|| {
+                let v = c.load();
+                c.store(v + 1);
+            },
+        ]);
+        tokens.push((trial.token(), c.load()));
+    });
+    assert_eq!(tokens.len(), 20);
+    // Every schedule distinct, every token round-trips as a string.
+    let unique: BTreeSet<String> = tokens.iter().map(|(t, _)| t.to_string()).collect();
+    assert_eq!(unique.len(), 20);
+    for (token, recorded_outcome) in &tokens {
+        let reparsed: Token = token.to_string().parse().unwrap();
+        assert_eq!(&reparsed, token);
+        replay(full(|_| {}), token, |trial: &Trial| {
+            let c = TracedU64::new(0);
+            trial.run(&[
+                &|| {
+                    let v = c.load();
+                    c.store(v + 1);
+                },
+                &|| {
+                    let v = c.load();
+                    c.store(v + 1);
+                },
+            ]);
+            assert_eq!(
+                c.load(),
+                *recorded_outcome,
+                "replay of {token} changed the outcome"
+            );
+        });
+    }
+}
+
+/// A model-thread panic aborts cleanly, reports the schedule token, and
+/// the token reproduces the panic on replay.
+#[test]
+fn panic_reports_token_and_replays() {
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        explore(full(|_| {}), |trial: &Trial| {
+            let c = TracedU64::new(0);
+            trial.run(&[
+                &|| {
+                    let v = c.load();
+                    c.store(v + 1);
+                },
+                &|| {
+                    let v = c.load();
+                    assert_ne!(v, 1, "observed the other thread's store");
+                    c.store(v + 1);
+                },
+            ]);
+        });
+    }))
+    .expect_err("some schedule must trip the assert");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    let token_str = msg
+        .split("schedule token: ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no token in panic message: {msg}"));
+    let token: Token = token_str.parse().unwrap();
+
+    // Replaying the recorded prefix must hit the same assert again.
+    let replay_err = catch_unwind(AssertUnwindSafe(|| {
+        replay(full(|_| {}), &token, |trial: &Trial| {
+            let c = TracedU64::new(0);
+            trial.run(&[
+                &|| {
+                    let v = c.load();
+                    c.store(v + 1);
+                },
+                &|| {
+                    let v = c.load();
+                    assert_ne!(v, 1, "observed the other thread's store");
+                    c.store(v + 1);
+                },
+            ]);
+        });
+    }))
+    .expect_err("replay must reproduce the panic");
+    let replay_msg = replay_err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        replay_msg.contains("observed the other thread's store"),
+        "replay failed differently: {replay_msg}"
+    );
+}
+
+/// Three threads: the tree is bigger but still exact, and preemption
+/// bounding scales it down without losing the serial outcomes.
+#[test]
+fn three_threads_bounded_exploration() {
+    let mut outcomes = BTreeSet::new();
+    let stats = explore(full(|c| c.preemptions = Some(1)), |trial: &Trial| {
+        let c = TracedU64::new(0);
+        trial.run(&[
+            &|| {
+                let v = c.load();
+                c.store(v + 1);
+            },
+            &|| {
+                let v = c.load();
+                c.store(v + 1);
+            },
+            &|| {
+                let v = c.load();
+                c.store(v + 1);
+            },
+        ]);
+        outcomes.insert(c.load());
+    });
+    assert!(stats.schedules > 3, "{stats}");
+    assert!(stats.pruned_preempt > 0, "{stats}");
+    // Serial result 3 must be present; with one preemption a single lost
+    // update (2) is reachable too.
+    assert!(outcomes.contains(&3), "{outcomes:?}");
+    assert!(outcomes.contains(&2), "{outcomes:?}");
+}
+
+/// Single-threaded trials work and produce the trivial token.
+#[test]
+fn single_thread_trivial_tree() {
+    let stats = explore(Config::default(), |trial: &Trial| {
+        let c = TracedU64::new(7);
+        trial.run(&[&|| {
+            c.fetch_add(1);
+        }]);
+        assert_eq!(c.load(), 8);
+        let token = trial.token();
+        assert_eq!(token.threads, 1);
+        assert!(token.choices.iter().all(|&t| t == 0));
+    });
+    assert_eq!(stats.schedules, 1, "{stats}");
+}

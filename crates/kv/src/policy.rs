@@ -22,7 +22,13 @@
 //! static/dynamic bit), so a hash-sharded fast path pays one indirect
 //! `route` call and nothing else over the pre-layer code.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
+
+// The partition-table bounds are OPTIK validation points (optimistic
+// routes read them and validate against the routing lock), so they use
+// the schedulable shim type: raw atomics in normal builds, yield points
+// under `--cfg optik_explore`.
+use synchro::shim::AtomicU64;
 
 use optik::{OptikLock, OptikVersioned, Version};
 

@@ -327,6 +327,10 @@ impl<B: OrderedMap> KvStore<B> {
             // Entries from the median up migrate into the right neighbor.
             self.shift_boundary(hot, median - 1).ok()?
         };
+        // Relaxed is sound: the counters are advisory load samples (see
+        // `Shard::ops`). Increments racing this reset are lost, which only
+        // under-reports the next round's traffic — the heuristic
+        // re-accumulates; no correctness invariant reads these values.
         for s in self.shards.iter() {
             s.ops.store(0, Ordering::Relaxed);
         }

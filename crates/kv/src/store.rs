@@ -1,8 +1,14 @@
 //! The sharded store: per-shard OPTIK version locks over a pluggable
 //! [`ConcurrentMap`] backend, routed by a pluggable [`ShardPolicy`].
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+// Shard op counters (and, via `ttl`, the sweep cursor) are inputs to the
+// rebalancer's validation-point logic, so they use the schedulable shim
+// atomics: raw in normal builds, explorer yield points under
+// `--cfg optik_explore`.
+use synchro::shim::{AtomicU64, AtomicUsize};
 
 use optik::{OptikLock, OptikVersioned};
 use synchro::{Backoff, CachePadded};
@@ -29,9 +35,16 @@ pub(crate) struct Shard<B> {
     /// exactly when the store was built with a clock. Same backend type
     /// as `map`: deadline reads are lock-free backend lookups.
     pub(crate) deadlines: Option<B>,
-    /// Relaxed per-shard op counter feeding the rebalancer's load
-    /// heuristics. Only maintained under dynamic routing policies — hash
-    /// stores never rebalance, so their hot paths skip the counter.
+    /// Per-shard op counter feeding the rebalancer's load heuristics.
+    /// Only maintained under dynamic routing policies — hash stores never
+    /// rebalance, so their hot paths skip the counter.
+    ///
+    /// All accesses are `Relaxed`, which is sound because the counter is
+    /// advisory: no other memory is published through it, each RMW is
+    /// still atomic (no lost increments), and its only reader
+    /// (`rebalance_round` via [`KvStore::shard_loads`]) treats the values
+    /// as a heuristic sample — a reordered or stale read can at worst
+    /// pick a different shard to split, never corrupt data.
     pub(crate) ops: AtomicU64,
 }
 
@@ -236,10 +249,17 @@ impl<B: ConcurrentMap> KvStore<B> {
     /// retries on a stale route, then runs `f`. `f` returns `(result,
     /// modified)`; unmodified critical sections release with `revert` so
     /// optimistic readers see no false conflicts.
+    ///
+    /// The TTL clock is sampled **under the lock**, so `f`'s expiry
+    /// decisions coincide with the write's linearization point. Sampling
+    /// before acquisition is observably wrong: a writer stalled between
+    /// sample and lock acts on a stale `now`, and can e.g. report an
+    /// already-expired previous binding as live after a reader has
+    /// published the expiry — a real-time cycle the schedule explorer
+    /// finds in a few hundred interleavings (`tests/explore_kv.rs`).
     pub(crate) fn write_shard<R>(
         &self,
         key: Key,
-        now: Option<u64>,
         mut f: impl FnMut(&Shard<B>, Option<u64>) -> (R, bool),
     ) -> R {
         let dynamic = self.dynamic;
@@ -254,7 +274,7 @@ impl<B: ConcurrentMap> KvStore<B> {
                 }
                 shard.ops.fetch_add(1, Ordering::Relaxed);
             }
-            let (out, modified) = f(shard, now);
+            let (out, modified) = f(shard, self.now_opt());
             if modified {
                 shard.lock.unlock();
             } else {
@@ -273,15 +293,23 @@ impl<B: ConcurrentMap> KvStore<B> {
         if self.dynamic {
             self.get_dynamic(key)
         } else {
-            self.read_entry(&self.shards[self.policy.route(key)], key, self.now_opt())
+            self.read_entry(&self.shards[self.policy.route(key)], key)
         }
     }
 
     /// Validated single-shard lookup (see [`KvStore::get`]). Plain
     /// stores read the backend directly; TTL stores run the read-side
     /// OPTIK pattern over the (value, deadline) pair.
-    fn read_entry(&self, shard: &Shard<B>, key: Key, now: Option<u64>) -> Option<Val> {
-        let (Some(now), Some(dl)) = (now, &shard.deadlines) else {
+    ///
+    /// The clock is sampled **inside** the validated section: the
+    /// (value, deadline) pair is stable across `[version read,
+    /// validate]`, so pairing it with a clock tick from the same window
+    /// makes the sample instant the read's linearization point. A sample
+    /// taken before the window can pair a fresh pair with a stale `now`
+    /// across a retry and resurrect an expiry another reader already
+    /// observed.
+    fn read_entry(&self, shard: &Shard<B>, key: Key) -> Option<Val> {
+        let Some(dl) = &shard.deadlines else {
             return shard.map.get(key);
         };
         let mut bo = Backoff::new();
@@ -289,6 +317,7 @@ impl<B: ConcurrentMap> KvStore<B> {
             let v = shard.lock.get_version_wait();
             let val = shard.map.get(key);
             let deadline = dl.get(key);
+            let now = self.now_opt().expect("deadline table implies a clock");
             if shard.lock.validate(v) {
                 return val.filter(|_| !deadline.is_some_and(|d| d <= now));
             }
@@ -297,6 +326,7 @@ impl<B: ConcurrentMap> KvStore<B> {
         shard.lock.lock();
         let val = shard.map.get(key);
         let deadline = dl.get(key);
+        let now = self.now_opt().expect("deadline table implies a clock");
         shard.lock.revert(); // read-only critical section
         val.filter(|_| !deadline.is_some_and(|d| d <= now))
     }
@@ -305,14 +335,13 @@ impl<B: ConcurrentMap> KvStore<B> {
     /// route-read-validate, with a shard-lock fallback whose route
     /// re-check pins the key (a migration needs that shard's lock).
     fn get_dynamic(&self, key: Key) -> Option<Val> {
-        let now = self.now_opt();
         self.shards[self.policy.route(key)]
             .ops
             .fetch_add(1, Ordering::Relaxed);
         let mut bo = Backoff::new();
         for _ in 0..OPTIMISTIC_ATTEMPTS {
             let rv = self.policy.version();
-            let out = self.read_entry(&self.shards[self.policy.route(key)], key, now);
+            let out = self.read_entry(&self.shards[self.policy.route(key)], key);
             if self.policy.validate(rv) {
                 return out;
             }
@@ -328,6 +357,7 @@ impl<B: ConcurrentMap> KvStore<B> {
             }
             let val = shard.map.get(key);
             let deadline = shard.deadlines.as_ref().and_then(|dl| dl.get(key));
+            let now = self.now_opt();
             shard.lock.revert(); // read-only critical section
             return val.filter(|_| !now.is_some_and(|now| deadline.is_some_and(|d| d <= now)));
         }
@@ -338,9 +368,7 @@ impl<B: ConcurrentMap> KvStore<B> {
     /// previous binding reports `None` (and is physically dropped), and a
     /// plain put clears any deadline — the fresh binding lives forever.
     pub fn put(&self, key: Key, val: Val) -> Option<Val> {
-        self.write_shard(key, self.now_opt(), |shard, now| {
-            (shard.put_live(key, val, now), true)
-        })
+        self.write_shard(key, |shard, now| (shard.put_live(key, val, now), true))
     }
 
     /// Removes `key` under the shard lock, returning its **live** value
@@ -349,7 +377,7 @@ impl<B: ConcurrentMap> KvStore<B> {
     /// A miss releases with `revert`: the critical section modified
     /// nothing, so optimistic readers must not see a version bump.
     pub fn remove(&self, key: Key) -> Option<Val> {
-        self.write_shard(key, self.now_opt(), |shard, now| {
+        self.write_shard(key, |shard, now| {
             let dropped = now.is_some_and(|now| shard.drop_expired(key, now));
             let prev = shard.map.remove(key);
             if prev.is_some() {
@@ -389,7 +417,6 @@ impl<B: ConcurrentMap> KvStore<B> {
     /// shards in ascending order (read-only, released with `revert`),
     /// re-validating the shard set against racing migrations.
     pub fn multi_get(&self, keys: &[Key]) -> Vec<Option<Val>> {
-        let now = self.now_opt();
         let dynamic = self.dynamic;
         let mut bo = Backoff::new();
         for _ in 0..OPTIMISTIC_ATTEMPTS {
@@ -399,6 +426,10 @@ impl<B: ConcurrentMap> KvStore<B> {
                 .iter()
                 .map(|&i| self.shards[i].lock.get_version_wait())
                 .collect();
+            // Clock sample inside the validated window (see
+            // `read_entry`): all (value, deadline) pairs are stable
+            // until `validate`, so the batch linearizes at this tick.
+            let now = self.now_opt();
             let out: Vec<Option<Val>> = keys.iter().map(|&k| self.read_raw(k, now)).collect();
             if self.policy.validate(rv)
                 && ids
@@ -419,6 +450,7 @@ impl<B: ConcurrentMap> KvStore<B> {
         // (lock_batch revalidates the shard set against racing
         // migrations and maintains the load counters).
         let ids = self.lock_batch(&|| self.shard_ids(keys.iter().copied()));
+        let now = self.now_opt();
         let out = keys.iter().map(|&k| self.read_raw(k, now)).collect();
         for &i in ids.iter().rev() {
             self.shards[i].lock.revert();
@@ -464,8 +496,8 @@ impl<B: ConcurrentMap> KvStore<B> {
     /// validate shard versions and may observe a batch mid-application —
     /// per-key atomicity is the most a single-key read can claim.
     pub fn multi_put(&self, entries: &[(Key, Val)]) -> Vec<Option<Val>> {
-        let now = self.now_opt();
         let ids = self.lock_batch(&|| self.shard_ids(entries.iter().map(|&(k, _)| k)));
+        let now = self.now_opt();
         let out = entries
             .iter()
             .map(|&(k, v)| self.shards[self.policy.route(k)].put_live(k, v, now))
@@ -480,8 +512,8 @@ impl<B: ConcurrentMap> KvStore<B> {
     /// per key (expired bindings report `None` and are dropped). Shards
     /// whose maps end up unmodified release with `revert`.
     pub fn multi_remove(&self, keys: &[Key]) -> Vec<Option<Val>> {
-        let now = self.now_opt();
         let ids = self.lock_batch(&|| self.shard_ids(keys.iter().copied()));
+        let now = self.now_opt();
         let mut modified = vec![false; ids.len()];
         let out: Vec<Option<Val>> = keys
             .iter()
@@ -516,14 +548,15 @@ impl<B: ConcurrentMap> KvStore<B> {
     /// collect-and-validate, falling back to the shard lock. TTL stores
     /// filter expired entries inside the validated section.
     fn shard_snapshot(&self, i: usize, buf: &mut Vec<(Key, Val)>) {
-        let now = self.now_opt();
         let shard = &self.shards[i];
         let mut bo = Backoff::new();
         for _ in 0..OPTIMISTIC_ATTEMPTS {
             buf.clear();
             let v = shard.lock.get_version_wait();
             shard.map.for_each(&mut |k, val| buf.push((k, val)));
-            self.filter_expired(shard, buf, now);
+            // Clock sample inside the validated window (see
+            // `read_entry`): the snapshot linearizes at this tick.
+            self.filter_expired(shard, buf, self.now_opt());
             if shard.lock.validate(v) {
                 return;
             }
@@ -532,7 +565,7 @@ impl<B: ConcurrentMap> KvStore<B> {
         buf.clear();
         shard.lock.lock();
         shard.map.for_each(&mut |k, val| buf.push((k, val)));
-        self.filter_expired(shard, buf, now);
+        self.filter_expired(shard, buf, self.now_opt());
         shard.lock.revert(); // read-only critical section
     }
 
@@ -693,14 +726,15 @@ impl<B: OrderedMap> KvStore<B> {
     /// (under which the backend's range pass is exact — writers are
     /// excluded, so the backend traversal sees a quiescent structure).
     fn shard_range(&self, i: usize, lo: Key, hi: Key, buf: &mut Vec<(Key, Val)>) {
-        let now = self.now_opt();
         let shard = &self.shards[i];
         let mut bo = Backoff::new();
         for _ in 0..OPTIMISTIC_ATTEMPTS {
             buf.clear();
             let v = shard.lock.get_version_wait();
             shard.map.range(lo, hi, &mut |k, val| buf.push((k, val)));
-            self.filter_expired(shard, buf, now);
+            // Clock sample inside the validated window (see
+            // `read_entry`): the window scan linearizes at this tick.
+            self.filter_expired(shard, buf, self.now_opt());
             if shard.lock.validate(v) {
                 return;
             }
@@ -709,7 +743,7 @@ impl<B: OrderedMap> KvStore<B> {
         buf.clear();
         shard.lock.lock();
         shard.map.range(lo, hi, &mut |k, val| buf.push((k, val)));
-        self.filter_expired(shard, buf, now);
+        self.filter_expired(shard, buf, self.now_opt());
         shard.lock.revert(); // read-only critical section
     }
 
@@ -758,11 +792,11 @@ impl<B: OrderedMap> KvStore<B> {
         }
         // Migration storm: lock every shard — routing is frozen and the
         // backend passes are exact.
-        let now = self.now_opt();
         out.clear();
         for s in self.shards.iter() {
             s.lock.lock();
         }
+        let now = self.now_opt();
         let (first, last) = self
             .policy
             .range_cover(lo, hi)

@@ -26,9 +26,16 @@
 //! the linearizability tier (whose TTL spec replays `Advance` operations
 //! against recorded histories).
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
+
+// The fake clock's tick counter and the sweeper's cursor participate in
+// the TTL validation points (expiry-vs-put races pivot on when `now`
+// advances relative to a shard's lock window), so both use the
+// schedulable shim atomics — raw in normal builds, yield points under
+// `--cfg optik_explore`.
+use synchro::shim::{AtomicU64, AtomicUsize};
 
 use optik::OptikLock;
 use optik_harness::api::{ConcurrentMap, Key, Val};
@@ -132,12 +139,16 @@ impl<B: ConcurrentMap> KvStore<B> {
     /// (the entry would be born expired).
     pub fn put_with_ttl(&self, key: Key, val: Val, ttl: u64) -> Option<Val> {
         assert!(ttl > 0, "a zero TTL would expire the entry at birth");
-        let now = self.ttl_state().clock.now();
-        // Clamp below MAX so the deadline is storable in any backend
-        // (fraser reserves u64::MAX) — saturation means "practically never".
-        let deadline = now.saturating_add(ttl).min(u64::MAX - 1);
-        self.write_shard(key, Some(now), |shard, now| {
-            shard.drop_expired(key, now.expect("ttl store always passes now"));
+        self.ttl_state(); // fail fast before taking the lock
+        self.write_shard(key, |shard, now| {
+            // `now` is sampled under the shard lock (see `write_shard`),
+            // so the deadline and the expiry decision share the write's
+            // linearization point. Clamp below MAX so the deadline is
+            // storable in any backend (fraser reserves u64::MAX) —
+            // saturation means "practically never".
+            let now = now.expect("ttl store always passes now");
+            let deadline = now.saturating_add(ttl).min(u64::MAX - 1);
+            shard.drop_expired(key, now);
             let prev = shard.map.put(key, val);
             shard
                 .deadlines
@@ -157,10 +168,11 @@ impl<B: ConcurrentMap> KvStore<B> {
     /// Panics if the store was built without a clock, or if `ttl` is zero.
     pub fn expire_after(&self, key: Key, ttl: u64) -> bool {
         assert!(ttl > 0, "a zero TTL would expire the entry at birth");
-        let now = self.ttl_state().clock.now();
-        let deadline = now.saturating_add(ttl).min(u64::MAX - 1);
-        self.write_shard(key, Some(now), |shard, now| {
-            let dropped = shard.drop_expired(key, now.expect("ttl store always passes now"));
+        self.ttl_state(); // fail fast before taking the lock
+        self.write_shard(key, |shard, now| {
+            let now = now.expect("ttl store always passes now");
+            let deadline = now.saturating_add(ttl).min(u64::MAX - 1);
+            let dropped = shard.drop_expired(key, now);
             if shard.map.get(key).is_some() {
                 shard
                     .deadlines
@@ -189,12 +201,24 @@ impl<B: ConcurrentMap> KvStore<B> {
     pub fn sweep_expired(&self, budget: usize) -> u64 {
         assert!(budget > 0, "a zero budget sweeps nothing");
         let ttl = self.ttl_state();
+        // Unlike the read/write paths, sampling the clock once up front
+        // is sound here: the sweep only *removes*, and the under-lock
+        // re-check `d <= now` with a stale (smaller) `now` can only keep
+        // an entry the current clock would also call expired — it can
+        // never reclaim a live one. Physical reclaim of an expired entry
+        // is logically invisible at any instant.
         let now = ttl.clock.now();
         let shards = self.shards.len();
         let mut removed = 0u64;
         let mut examined = 0usize;
         let mut candidates: Vec<Key> = Vec::new();
         for _ in 0..shards {
+            // Relaxed is sound: the cursor is pure work-distribution
+            // state. Its only invariant is that the RMW itself is atomic
+            // (two racing sweepers still claim distinct values); no other
+            // memory is published through it, and a stale start shard
+            // merely re-scans — every expired entry is still re-verified
+            // under the shard lock below.
             let i = ttl.cursor.fetch_add(1, Ordering::Relaxed) % shards;
             let shard = &self.shards[i];
             let dl = shard

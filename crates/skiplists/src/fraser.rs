@@ -442,7 +442,7 @@ impl ConcurrentSet for FraserSkipList {
         // node as if removed, silently bricking the key in release builds.
         assert!(val != FROZEN, "u64::MAX is the reserved tombstone value");
         reclaim::quiescent();
-        let top_level = random_level() - 1;
+        let top_level = random_level(key) - 1;
         let node = Node::boxed(key, val, top_level);
         let mut preds = [std::ptr::null_mut(); MAX_LEVEL];
         let mut succs = [std::ptr::null_mut(); MAX_LEVEL];

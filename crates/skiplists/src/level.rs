@@ -1,5 +1,6 @@
 //! Tower-height generation shared by all skip lists.
 
+#[cfg(not(optik_explore))]
 use std::cell::Cell;
 
 /// Number of levels in every skip list (towers use `1..=MAX_LEVEL`).
@@ -8,13 +9,40 @@ use std::cell::Cell;
 /// largest structure (65536 elements).
 pub const MAX_LEVEL: usize = 24;
 
+#[cfg(not(optik_explore))]
 thread_local! {
     static LEVEL_RNG: Cell<u64> = const { Cell::new(0) };
 }
 
-/// Draws a tower height in `1..=MAX_LEVEL` with geometric distribution
-/// (p = 1/2), using a per-thread xorshift generator.
-pub fn random_level() -> usize {
+/// Draws a tower height in `1..=MAX_LEVEL` for `key`'s node, geometric
+/// with p = 1/2.
+///
+/// Normal builds draw from a per-thread xorshift generator — heights are
+/// independent of the key, as the classic algorithm prescribes. Under
+/// `--cfg optik_explore` the height is a **pure hash of the key**: the
+/// schedule explorer re-runs a model from scratch per schedule and
+/// replays recorded decision prefixes, which requires the number of
+/// per-level lock acquisitions (shim trap points) to be identical across
+/// re-runs — any dependence on thread identity, allocation addresses, or
+/// draw history would make the tree nondeterministic. Key-hashed heights
+/// keep the same geometric distribution across distinct keys while being
+/// a deterministic function of the inserted data.
+#[cfg(optik_explore)]
+pub fn random_level(key: u64) -> usize {
+    // SplitMix64 finalizer: full-avalanche, so trailing-ones of the
+    // mixed word is geometric(1/2) across keys.
+    let mut x = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    ((x.trailing_ones() as usize) + 1).min(MAX_LEVEL)
+}
+
+/// Draws a tower height in `1..=MAX_LEVEL` for `key`'s node, geometric
+/// with p = 1/2, using a per-thread xorshift generator (the key is
+/// unused outside exploration builds).
+#[cfg(not(optik_explore))]
+pub fn random_level(_key: u64) -> usize {
     LEVEL_RNG.with(|cell| {
         let mut x = cell.get();
         if x == 0 {
@@ -41,8 +69,8 @@ mod tests {
 
     #[test]
     fn levels_in_range() {
-        for _ in 0..100_000 {
-            let l = random_level();
+        for key in 0..100_000 {
+            let l = random_level(key);
             assert!((1..=MAX_LEVEL).contains(&l));
         }
     }
@@ -50,9 +78,9 @@ mod tests {
     #[test]
     fn distribution_is_roughly_geometric() {
         let mut counts = [0usize; MAX_LEVEL + 1];
-        const N: usize = 200_000;
-        for _ in 0..N {
-            counts[random_level()] += 1;
+        const N: u64 = 200_000;
+        for key in 0..N {
+            counts[random_level(key)] += 1;
         }
         // Level 1 ≈ 50%, level 2 ≈ 25%.
         assert!(counts[1] as f64 > N as f64 * 0.45, "{}", counts[1]);
@@ -62,10 +90,21 @@ mod tests {
         assert!(counts[8..].iter().sum::<usize>() > 0);
     }
 
+    #[cfg(optik_explore)]
+    #[test]
+    fn exploration_heights_are_pure_in_the_key() {
+        let a: Vec<usize> = (0..64).map(random_level).collect();
+        let b = std::thread::spawn(|| (0..64).map(random_level).collect::<Vec<_>>())
+            .join()
+            .unwrap();
+        assert_eq!(a, b, "explore heights must not depend on the thread");
+    }
+
+    #[cfg(not(optik_explore))]
     #[test]
     fn different_threads_draw_independently() {
-        let a: Vec<usize> = (0..64).map(|_| random_level()).collect();
-        let b = std::thread::spawn(|| (0..64).map(|_| random_level()).collect::<Vec<_>>())
+        let a: Vec<usize> = (0..64).map(random_level).collect();
+        let b = std::thread::spawn(|| (0..64).map(random_level).collect::<Vec<_>>())
             .join()
             .unwrap();
         assert_ne!(a, b, "astronomically unlikely to coincide");

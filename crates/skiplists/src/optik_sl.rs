@@ -231,7 +231,7 @@ impl<const FINE: bool> ConcurrentSet for OptikSkipList<FINE> {
     fn insert(&self, key: Key, val: Val) -> bool {
         assert_user_key(key);
         reclaim::quiescent();
-        let top_level = random_level() - 1;
+        let top_level = random_level(key) - 1;
         let mut preds = [std::ptr::null_mut(); MAX_LEVEL];
         let mut predvs = [0; MAX_LEVEL];
         let mut succs = [std::ptr::null_mut(); MAX_LEVEL];

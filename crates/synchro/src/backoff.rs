@@ -71,6 +71,15 @@ impl Backoff {
     /// may be preempted and need the CPU to make progress at all.
     #[inline]
     pub fn backoff(&mut self) {
+        #[cfg(optik_explore)]
+        if crate::shim::hook_active() {
+            // Under the explorer real time does not exist: report a
+            // voluntary yield so the scheduler can hand the step to the
+            // thread this backoff is waiting on, and skip the spin.
+            crate::shim::yield_point(crate::shim::Access::YIELD);
+            self.current = (self.current.saturating_mul(2)).min(self.max);
+            return;
+        }
         let n = self.current;
         spin(n);
         self.total += u64::from(n);
@@ -135,6 +144,14 @@ pub fn spin(n: u32) {
 pub fn relax() {
     use core::cell::Cell;
     use std::sync::OnceLock;
+    #[cfg(optik_explore)]
+    if crate::shim::hook_active() {
+        // A spin-wait iteration under the explorer is a scheduling
+        // decision, not a pause: park at a Yield point until another
+        // thread's write re-enables this one.
+        crate::shim::yield_point(crate::shim::Access::YIELD);
+        return;
+    }
     static PURE_SPIN: OnceLock<bool> = OnceLock::new();
     if *PURE_SPIN.get_or_init(|| std::env::var_os("OPTIK_PURE_SPIN").is_some_and(|v| v == "1")) {
         hint::spin_loop();

@@ -10,7 +10,10 @@
 //! - a cheap per-core [`cycles::now`] timestamp counter used for the latency
 //!   distributions of Figures 7 and 12,
 //! - [`CachePadded`] re-exported from `crossbeam-utils` so every crate pads
-//!   contended words the same way.
+//!   contended words the same way,
+//! - the [`shim`] atomic wrappers that make the OPTIK validation points
+//!   schedulable by the deterministic explorer (`optik-explore`) under
+//!   `--cfg optik_explore`, at zero cost in normal builds.
 //!
 //! The locks here implement the plain mutual-exclusion interface
 //! ([`RawLock`]); the extended OPTIK interface lives in the `optik` crate.
@@ -22,6 +25,7 @@ pub mod clh;
 pub mod cycles;
 pub mod lock_api;
 pub mod mcs;
+pub mod shim;
 pub mod stress;
 pub mod tas;
 pub mod ticket;

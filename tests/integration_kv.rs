@@ -58,6 +58,21 @@ fn all_stores() -> Vec<(&'static str, Arc<dyn ConcurrentMap>)> {
     ]
 }
 
+/// The run's xorshift seed for thread `t`'s stream: distinct per thread,
+/// derived from [`synchro::stress::seed`] so `STRESS_SEED=<hex>` replays
+/// the exact key/op sequences of a failed run.
+fn stream(t: u64, salt: u64) -> u64 {
+    (synchro::stress::seed() ^ t.wrapping_mul(salt)) | 1
+}
+
+/// Announces the active stress seed. Cargo prints captured output only
+/// for failing tests, so every stress failure leads with the
+/// reproduction knob.
+fn announce_seed() {
+    let seed = synchro::stress::seed();
+    eprintln!("stress seed: {seed:#018x} (set STRESS_SEED={seed:#x} to reproduce)");
+}
+
 /// Typed store (the batch API lives on `KvStore`, not the trait).
 fn striped_store(shards: usize) -> Arc<KvStore<StripedOptikHashTable>> {
     Arc::new(KvStore::with_shards(shards, |_| {
@@ -70,6 +85,7 @@ fn striped_store(shards: usize) -> Arc<KvStore<StripedOptikHashTable>> {
 // ---------------------------------------------------------------------------
 
 fn mixed_ops_net_count(scale: u64) {
+    announce_seed();
     for (name, s) in all_stores() {
         let net = Arc::new(AtomicI64::new(0));
         let mut handles = Vec::new();
@@ -77,7 +93,7 @@ fn mixed_ops_net_count(scale: u64) {
             let s = Arc::clone(&s);
             let net = Arc::clone(&net);
             handles.push(std::thread::spawn(move || {
-                let mut x = t.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                let mut x = stream(t, 0x9E3779B97F4A7C15);
                 for _ in 0..scale {
                     x ^= x << 13;
                     x ^= x >> 7;
@@ -132,6 +148,7 @@ fn kv_mixed_ops_keep_exact_net_count_full() {
 // ---------------------------------------------------------------------------
 
 fn batch_atomicity(rounds: u64, shards: usize) {
+    announce_seed();
     let s = striped_store(shards);
     // A working set that provably spans several shards.
     let keys: Vec<u64> = (1..=12).collect();
@@ -216,6 +233,7 @@ fn kv_multi_get_observes_multi_put_atomically_full() {
 /// Sorted-shard acquisition must make every batch complete; a deadlock
 /// shows up as this test hanging (CI kills it) rather than as an assert.
 fn overlapping_batches(iters: u64) {
+    announce_seed();
     let s = striped_store(8);
     let barrier = Arc::new(Barrier::new(4));
     let mut handles = Vec::new();
@@ -223,7 +241,7 @@ fn overlapping_batches(iters: u64) {
         let s = Arc::clone(&s);
         let barrier = Arc::clone(&barrier);
         handles.push(std::thread::spawn(move || {
-            let mut x = t.wrapping_mul(0xA24BAED4963EE407) | 1;
+            let mut x = stream(t, 0xA24BAED4963EE407);
             barrier.wait(); // maximal overlap
             for i in 0..iters {
                 x ^= x << 13;
@@ -409,6 +427,7 @@ fn ordered_stores() -> Vec<(&'static str, Arc<dyn OrderedMap>)> {
 /// ordered store: each returned window must be sorted, duplicate-free,
 /// value-consistent, and must contain every key of an untouched backbone.
 fn range_scans_under_churn(scan_rounds: u64) {
+    announce_seed();
     for (name, s) in ordered_stores() {
         for k in (10..=250u64).step_by(10) {
             s.put(k, k);
@@ -419,7 +438,7 @@ fn range_scans_under_churn(scan_rounds: u64) {
             let s = Arc::clone(&s);
             let stop = Arc::clone(&stop);
             writers.push(std::thread::spawn(move || {
-                let mut x = t.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                let mut x = stream(t, 0x9E3779B97F4A7C15);
                 while !stop.load(Ordering::Relaxed) {
                     x ^= x << 13;
                     x ^= x >> 7;
@@ -612,7 +631,7 @@ fn ttl_expiry_under_churn(rounds: u64) {
             let s = Arc::clone(&s);
             let stop = Arc::clone(&stop);
             workers.push(std::thread::spawn(move || {
-                let mut x = t.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                let mut x = stream(t, 0x9E3779B97F4A7C15);
                 while !stop.load(Ordering::Relaxed) {
                     x ^= x << 13;
                     x ^= x >> 7;
@@ -711,6 +730,7 @@ fn kv_ttl_expiry_is_exact_under_churn_full() {
 /// never loses or double-serves a key — and the final quiesced snapshot
 /// must be exactly the union of backbone and surviving churn entries.
 fn rebalance_migration_atomicity(shifts: u64) {
+    announce_seed();
     const MAX_KEY: u64 = 1024;
     const SPAN: u64 = 128; // 8 shards ⇒ default bounds at 128, 256, …
     let s = Arc::new(KvStore::with_ordered_shards(8, MAX_KEY, |_| {
@@ -727,7 +747,7 @@ fn rebalance_migration_atomicity(shifts: u64) {
         let s = Arc::clone(&s);
         let stop = Arc::clone(&stop);
         churners.push(std::thread::spawn(move || {
-            let mut x = t.wrapping_mul(0xA24BAED4963EE407) | 1;
+            let mut x = stream(t, 0xA24BAED4963EE407);
             while !stop.load(Ordering::Relaxed) {
                 x ^= x << 13;
                 x ^= x >> 7;
