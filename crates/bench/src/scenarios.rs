@@ -13,9 +13,11 @@
 //! [`optik_harness::scenario`]); [`group_blurb`] carries the human table
 //! headers the old per-figure binaries printed.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+use reclaim::NodePool;
 
 use optik::{OptikLock, OptikTicket, OptikVersioned, ValidatedLock};
 use optik_harness::api::OrderedMap;
@@ -50,6 +52,7 @@ pub fn registry() -> Registry {
     fig12(&mut r);
     bst(&mut r);
     stacks(&mut r);
+    alloc(&mut r);
     kv(&mut r);
     kv_range(&mut r);
     kv_ttl(&mut r);
@@ -92,6 +95,14 @@ pub fn group_blurb(group: &str) -> &'static str {
         "bst.small" => "Small BST (128 elements), 20% effective updates",
         "bst.small-skew" => "Small skewed BST (128 elements, zipf a=0.9), 20% effective updates",
         "stacks" => "Treiber vs OPTIK vs elimination stack (50/50 push/pop, 1024 prefill)",
+        "alloc.churn" => {
+            "Allocation churn, thread-private recirculation (alloc -> publish -> retire; \
+             pool magazines vs boxed malloc/free)"
+        }
+        "alloc.xthread" => {
+            "Allocation churn, cross-thread recirculation (threads displace each other's \
+             nodes; retired slots flow through the depot)"
+        }
         "kv.read-heavy" => {
             "kv store, read-heavy (8192 entries, zipf a=0.9, 90% get / 5% put / 5% remove, 8 shards)"
         }
@@ -593,6 +604,165 @@ fn stacks(r: &mut Registry) {
         1024,
         50,
         EliminationStack::new,
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// alloc: the type-stable pool's magazine fast path.
+// ---------------------------------------------------------------------------
+
+/// A pool-compatible node of list-node size: a value plus the padding a
+/// key/link/lock trio would occupy.
+struct AllocNode {
+    val: u64,
+    _pad: [u64; 5],
+}
+
+impl AllocNode {
+    fn make(val: u64) -> Self {
+        AllocNode { val, _pad: [0; 5] }
+    }
+}
+
+/// Slots each worker publishes into (its private region, or the shared
+/// pool of regions in cross-thread mode).
+const ALLOC_SLOTS_PER_THREAD: usize = 256;
+
+/// One allocation-churn scenario: every iteration allocates a node,
+/// publishes it into a slot (displacing the previous occupant), and
+/// retires the displaced node through QSBR — the alloc/retire interleaving
+/// of a write-heavy structure, with the structure itself stripped away.
+///
+/// `shared == false` gives each thread a private slot region, so retired
+/// slots come straight back through the thread's own magazine;
+/// `shared == true` has threads displace each other's nodes, so slots
+/// recirculate through the depot.
+fn alloc_pool_scenario(name: &str, about: &str, id: &str, shared: bool) -> Scenario {
+    Scenario::custom(name, about, id, Subject::None, move |spec| {
+        let pool: Arc<NodePool<AllocNode>> = NodePool::new();
+        let slots: Vec<AtomicPtr<AllocNode>> = (0..spec.threads * ALLOC_SLOTS_PER_THREAD)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect();
+        let start = Instant::now();
+        let results = run_workers(spec.threads, spec.duration, |ctx| {
+            let mut rng = FastRng::for_thread(spec.seed, ctx.tid);
+            let lo = if shared {
+                0
+            } else {
+                ctx.tid * ALLOC_SLOTS_PER_THREAD
+            };
+            let span = if shared {
+                slots.len()
+            } else {
+                ALLOC_SLOTS_PER_THREAD
+            };
+            let mut ops = 0u64;
+            let mut sink = 0u64;
+            while !ctx.should_stop() {
+                let node = pool.alloc_init(|| AllocNode::make(ops));
+                let slot = &slots[lo + rng.next_below(span as u64) as usize];
+                let old = slot.swap(node, Ordering::AcqRel);
+                if !old.is_null() {
+                    // SAFETY: our swap unlinked `old`; QSBR covers readers
+                    // that loaded it before the swap.
+                    unsafe {
+                        sink ^= (*old).val;
+                        reclaim::with_local(|h| pool.retire(old, h));
+                    }
+                }
+                ops += 1;
+                reclaim::quiescent();
+            }
+            std::hint::black_box(sink);
+            ops
+        });
+        let wall = start.elapsed();
+        let ops: u64 = results.iter().sum();
+        let stats = pool.stats();
+        Measurement::from_ops(ops, wall)
+            .with_extra("magazine_hit_pct", 100.0 * stats.magazine_hit_rate())
+    })
+}
+
+/// The malloc/free baseline for [`alloc_pool_scenario`]: identical loop,
+/// but nodes are boxed and QSBR frees them back to the system allocator.
+fn alloc_boxed_scenario(name: &str, about: &str, id: &str, shared: bool) -> Scenario {
+    Scenario::custom(name, about, id, Subject::None, move |spec| {
+        let slots: Vec<AtomicPtr<AllocNode>> = (0..spec.threads * ALLOC_SLOTS_PER_THREAD)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect();
+        let start = Instant::now();
+        let results = run_workers(spec.threads, spec.duration, |ctx| {
+            let mut rng = FastRng::for_thread(spec.seed, ctx.tid);
+            let lo = if shared {
+                0
+            } else {
+                ctx.tid * ALLOC_SLOTS_PER_THREAD
+            };
+            let span = if shared {
+                slots.len()
+            } else {
+                ALLOC_SLOTS_PER_THREAD
+            };
+            let mut ops = 0u64;
+            let mut sink = 0u64;
+            while !ctx.should_stop() {
+                let node = Box::into_raw(Box::new(AllocNode::make(ops)));
+                let slot = &slots[lo + rng.next_below(span as u64) as usize];
+                let old = slot.swap(node, Ordering::AcqRel);
+                if !old.is_null() {
+                    // SAFETY: our swap unlinked `old`; freed after grace.
+                    unsafe {
+                        sink ^= (*old).val;
+                        reclaim::with_local(|h| h.retire(old));
+                    }
+                }
+                ops += 1;
+                reclaim::quiescent();
+            }
+            std::hint::black_box(sink);
+            ops
+        });
+        let wall = start.elapsed();
+        let ops: u64 = results.iter().sum();
+        for slot in &slots {
+            let p = slot.load(Ordering::Relaxed);
+            if !p.is_null() {
+                // SAFETY: workers exited; remaining occupants are ours.
+                unsafe { drop(Box::from_raw(p)) };
+            }
+        }
+        Measurement::from_ops(ops, wall)
+    })
+}
+
+fn alloc(r: &mut Registry) {
+    let about = "Allocation fast path: per-thread magazines recycle retired \
+                 slots with zero shared-memory operations on a hit; the boxed \
+                 baseline pays malloc/free plus QSBR bookkeeping every cycle";
+    r.register(alloc_pool_scenario(
+        "alloc.churn.pool",
+        about,
+        "alloc/churn-pool",
+        false,
+    ));
+    r.register(alloc_boxed_scenario(
+        "alloc.churn.boxed",
+        about,
+        "alloc/churn-boxed",
+        false,
+    ));
+    r.register(alloc_pool_scenario(
+        "alloc.xthread.pool",
+        about,
+        "alloc/xthread-pool",
+        true,
+    ));
+    r.register(alloc_boxed_scenario(
+        "alloc.xthread.boxed",
+        about,
+        "alloc/xthread-boxed",
+        true,
     ));
 }
 
@@ -1438,6 +1608,7 @@ mod tests {
                 "fig12",
                 "bst",
                 "stacks",
+                "alloc",
                 "kv",
                 "map",
                 "ablate-base-lock",

@@ -5,7 +5,9 @@
 //! linearization points of updates are the child-pointer stores.
 
 use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
 
+use reclaim::NodePool;
 use synchro::McsLock;
 
 use crate::{assert_user_key, ConcurrentSet, Key, Val, SENTINEL_KEY};
@@ -19,24 +21,24 @@ struct Node {
 }
 
 impl Node {
-    fn leaf_boxed(key: Key, val: Val) -> *mut Node {
-        Box::into_raw(Box::new(Node {
+    fn leaf(key: Key, val: Val) -> Self {
+        Node {
             key,
             val,
             leaf: true,
             left: AtomicPtr::new(std::ptr::null_mut()),
             right: AtomicPtr::new(std::ptr::null_mut()),
-        }))
+        }
     }
 
-    fn router_boxed(key: Key, left: *mut Node, right: *mut Node) -> *mut Node {
-        Box::into_raw(Box::new(Node {
+    fn router(key: Key, left: *mut Node, right: *mut Node) -> Self {
+        Node {
             key,
             val: 0,
             leaf: false,
             left: AtomicPtr::new(left),
             right: AtomicPtr::new(right),
-        }))
+        }
     }
 
     #[inline]
@@ -59,9 +61,14 @@ impl Node {
 }
 
 /// The MCS global-lock external BST with lock-free searches (*mcs-gl*).
+///
+/// Nodes come from a type-stable [`NodePool`]; no pointer survives across
+/// operations, so recycled slots are plainly re-initialized after their
+/// grace period.
 pub struct GlobalLockBst {
     lock: McsLock,
     root: *mut Node,
+    pool: Arc<NodePool<Node>>,
 }
 
 // SAFETY: updates are serialized by the MCS lock; searches only read
@@ -72,11 +79,13 @@ unsafe impl Sync for GlobalLockBst {}
 impl GlobalLockBst {
     /// Creates an empty tree.
     pub fn new() -> Self {
-        let l = Node::leaf_boxed(SENTINEL_KEY, 0);
-        let r = Node::leaf_boxed(SENTINEL_KEY, 0);
+        let pool = NodePool::new();
+        let l = pool.alloc_init(|| Node::leaf(SENTINEL_KEY, 0));
+        let r = pool.alloc_init(|| Node::leaf(SENTINEL_KEY, 0));
         Self {
             lock: McsLock::new(),
-            root: Node::router_boxed(SENTINEL_KEY, l, r),
+            root: pool.alloc_init(|| Node::router(SENTINEL_KEY, l, r)),
+            pool,
         }
     }
 
@@ -132,11 +141,11 @@ impl ConcurrentSet for GlobalLockBst {
                 if (*l).key == key {
                     return false;
                 }
-                let new_leaf = Node::leaf_boxed(key, val);
+                let new_leaf = self.pool.alloc_init(|| Node::leaf(key, val));
                 let router = if key < (*l).key {
-                    Node::router_boxed((*l).key, new_leaf, l)
+                    self.pool.alloc_init(|| Node::router((*l).key, new_leaf, l))
                 } else {
-                    Node::router_boxed(key, l, new_leaf)
+                    self.pool.alloc_init(|| Node::router(key, l, new_leaf))
                 };
                 (*p).child_for(key).store(router, Ordering::Release);
                 true
@@ -160,8 +169,8 @@ impl ConcurrentSet for GlobalLockBst {
                 // SAFETY: unlinked under the lock; searches may still hold
                 // references, hence QSBR retire.
                 reclaim::with_local(|h| {
-                    h.retire(p);
-                    h.retire(l);
+                    self.pool.retire(p, h);
+                    self.pool.retire(l, h);
                 });
                 Some(val)
             }
@@ -185,22 +194,6 @@ impl ConcurrentSet for GlobalLockBst {
                 }
             }
             n
-        }
-    }
-}
-
-impl Drop for GlobalLockBst {
-    fn drop(&mut self) {
-        // SAFETY: exclusive at drop; retired nodes were already unlinked.
-        unsafe {
-            let mut stack = vec![self.root];
-            while let Some(node) = stack.pop() {
-                if !(*node).leaf {
-                    stack.push((*node).left.load(Ordering::Relaxed));
-                    stack.push((*node).right.load(Ordering::Relaxed));
-                }
-                drop(Box::from_raw(node));
-            }
         }
     }
 }

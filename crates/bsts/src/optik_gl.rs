@@ -9,8 +9,10 @@
 //! the right building block for per-bucket use.
 
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use optik::{OptikLock, OptikVersioned};
+use reclaim::NodePool;
 use synchro::Backoff;
 
 use crate::{
@@ -29,24 +31,24 @@ struct Node {
 }
 
 impl Node {
-    fn leaf_boxed(key: Key, val: Val) -> *mut Node {
-        Box::into_raw(Box::new(Node {
+    fn leaf(key: Key, val: Val) -> Self {
+        Node {
             key,
             val: AtomicU64::new(val),
             leaf: true,
             left: AtomicPtr::new(std::ptr::null_mut()),
             right: AtomicPtr::new(std::ptr::null_mut()),
-        }))
+        }
     }
 
-    fn router_boxed(key: Key, left: *mut Node, right: *mut Node) -> *mut Node {
-        Box::into_raw(Box::new(Node {
+    fn router(key: Key, left: *mut Node, right: *mut Node) -> Self {
+        Node {
             key,
             val: AtomicU64::new(0),
             leaf: false,
             left: AtomicPtr::new(left),
             right: AtomicPtr::new(right),
-        }))
+        }
     }
 
     #[inline]
@@ -73,6 +75,7 @@ impl Node {
 pub struct OptikGlBst<L: OptikLock = OptikVersioned> {
     lock: L,
     root: *mut Node,
+    pool: Arc<NodePool<Node>>,
 }
 
 // SAFETY: updates validate through the global OPTIK lock; searches are
@@ -83,11 +86,13 @@ unsafe impl<L: OptikLock> Sync for OptikGlBst<L> {}
 impl<L: OptikLock> OptikGlBst<L> {
     /// Creates an empty tree.
     pub fn new() -> Self {
-        let l = Node::leaf_boxed(SENTINEL_KEY, 0);
-        let r = Node::leaf_boxed(SENTINEL_KEY, 0);
+        let pool = NodePool::new();
+        let l = pool.alloc_init(|| Node::leaf(SENTINEL_KEY, 0));
+        let r = pool.alloc_init(|| Node::leaf(SENTINEL_KEY, 0));
         Self {
             lock: L::default(),
-            root: Node::router_boxed(SENTINEL_KEY, l, r),
+            root: pool.alloc_init(|| Node::router(SENTINEL_KEY, l, r)),
+            pool,
         }
     }
 
@@ -148,7 +153,7 @@ impl<L: OptikLock> ConcurrentSet for OptikGlBst<L> {
     fn insert(&self, key: Key, val: Val) -> bool {
         assert_user_key(key);
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             let vn = self.lock.get_version();
             // SAFETY: grace period per attempt.
@@ -164,11 +169,11 @@ impl<L: OptikLock> ConcurrentSet for OptikGlBst<L> {
                 }
                 // Validated: no update committed since `vn`, so the
                 // traversal results are still exact.
-                let new_leaf = Node::leaf_boxed(key, val);
+                let new_leaf = self.pool.alloc_init(|| Node::leaf(key, val));
                 let router = if key < (*l).key {
-                    Node::router_boxed((*l).key, new_leaf, l)
+                    self.pool.alloc_init(|| Node::router((*l).key, new_leaf, l))
                 } else {
-                    Node::router_boxed(key, l, new_leaf)
+                    self.pool.alloc_init(|| Node::router(key, l, new_leaf))
                 };
                 (*p).child_for(key).store(router, Ordering::Release);
                 self.lock.unlock();
@@ -180,7 +185,7 @@ impl<L: OptikLock> ConcurrentSet for OptikGlBst<L> {
     fn delete(&self, key: Key) -> Option<Val> {
         assert_user_key(key);
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             let vn = self.lock.get_version();
             // SAFETY: grace period per attempt.
@@ -200,8 +205,8 @@ impl<L: OptikLock> ConcurrentSet for OptikGlBst<L> {
                 let val = (*l).val.load(Ordering::Relaxed);
                 // SAFETY: unlinked under the validated lock.
                 reclaim::with_local(|h| {
-                    h.retire(p);
-                    h.retire(l);
+                    self.pool.retire(p, h);
+                    self.pool.retire(l, h);
                 });
                 return Some(val);
             }
@@ -242,7 +247,7 @@ impl<L: OptikLock> ConcurrentMap for OptikGlBst<L> {
     fn put(&self, key: Key, val: Val) -> Option<Val> {
         assert_user_key(key);
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             let vn = self.lock.get_version();
             // SAFETY: grace period per attempt.
@@ -261,11 +266,11 @@ impl<L: OptikLock> ConcurrentMap for OptikGlBst<L> {
                     bo.backoff();
                     continue;
                 }
-                let new_leaf = Node::leaf_boxed(key, val);
+                let new_leaf = self.pool.alloc_init(|| Node::leaf(key, val));
                 let router = if key < (*l).key {
-                    Node::router_boxed((*l).key, new_leaf, l)
+                    self.pool.alloc_init(|| Node::router((*l).key, new_leaf, l))
                 } else {
-                    Node::router_boxed(key, l, new_leaf)
+                    self.pool.alloc_init(|| Node::router(key, l, new_leaf))
                 };
                 (*p).child_for(key).store(router, Ordering::Release);
                 self.lock.unlock();
@@ -301,7 +306,7 @@ impl<L: OptikLock> OrderedMap for OptikGlBst<L> {
         }
         reclaim::quiescent();
         let mut buf: Vec<(Key, Val)> = Vec::new();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         for attempt in 0..=RANGE_OPTIMISTIC_ATTEMPTS {
             buf.clear();
             let locked = attempt == RANGE_OPTIMISTIC_ATTEMPTS;
@@ -356,22 +361,6 @@ impl<L: OptikLock> OptikGlBst<L> {
                 if lo < (*node).key {
                     stack.push((*node).left.load(Ordering::Acquire));
                 }
-            }
-        }
-    }
-}
-
-impl<L: OptikLock> Drop for OptikGlBst<L> {
-    fn drop(&mut self) {
-        // SAFETY: exclusive at drop; retired nodes were already unlinked.
-        unsafe {
-            let mut stack = vec![self.root];
-            while let Some(node) = stack.pop() {
-                if !(*node).leaf {
-                    stack.push((*node).left.load(Ordering::Relaxed));
-                    stack.push((*node).right.load(Ordering::Relaxed));
-                }
-                drop(Box::from_raw(node));
             }
         }
     }

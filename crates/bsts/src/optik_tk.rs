@@ -25,8 +25,10 @@
 //! the paper's lists.
 
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use optik::{OptikLock, OptikVersioned, Version};
+use reclaim::NodePool;
 use synchro::Backoff;
 
 use crate::{
@@ -49,26 +51,26 @@ pub(crate) struct Node {
 }
 
 impl Node {
-    fn leaf_boxed(key: Key, val: Val) -> *mut Node {
-        Box::into_raw(Box::new(Node {
+    fn leaf(key: Key, val: Val) -> Self {
+        Node {
             key,
             val: AtomicU64::new(val),
             leaf: true,
             lock: OptikVersioned::new(),
             left: AtomicPtr::new(std::ptr::null_mut()),
             right: AtomicPtr::new(std::ptr::null_mut()),
-        }))
+        }
     }
 
-    fn router_boxed(key: Key, left: *mut Node, right: *mut Node) -> *mut Node {
-        Box::into_raw(Box::new(Node {
+    fn router(key: Key, left: *mut Node, right: *mut Node) -> Self {
+        Node {
             key,
             val: AtomicU64::new(0),
             leaf: false,
             lock: OptikVersioned::new(),
             left: AtomicPtr::new(left),
             right: AtomicPtr::new(right),
-        }))
+        }
     }
 
     /// The child slot `key` routes to.
@@ -108,6 +110,12 @@ pub struct OptikBst {
     /// Sentinel router with key `u64::MAX`; all user keys route left.
     /// Never locked-for-deletion, never spliced out.
     root: *mut Node,
+    /// Type-stable node pool. Hand-over-hand version tracking never spans
+    /// operations (versions are read on arrival within the op), so slots
+    /// recycled after a grace period are plainly re-initialized — including
+    /// the never-released lock of a spliced-out router, which by then no
+    /// running operation can still validate against.
+    pool: Arc<NodePool<Node>>,
 }
 
 // SAFETY: all shared mutation goes through per-router OPTIK locks and
@@ -119,10 +127,11 @@ impl OptikBst {
     /// Creates an empty tree (sentinel root router over two sentinel
     /// leaves).
     pub fn new() -> Self {
-        let l = Node::leaf_boxed(SENTINEL_KEY, 0);
-        let r = Node::leaf_boxed(SENTINEL_KEY, 0);
-        let root = Node::router_boxed(SENTINEL_KEY, l, r);
-        Self { root }
+        let pool = NodePool::new();
+        let l = pool.alloc_init(|| Node::leaf(SENTINEL_KEY, 0));
+        let r = pool.alloc_init(|| Node::leaf(SENTINEL_KEY, 0));
+        let root = pool.alloc_init(|| Node::router(SENTINEL_KEY, l, r));
+        Self { root, pool }
     }
 
     /// Number of elements (O(n); exact only in quiescence). Inherent so
@@ -192,7 +201,7 @@ impl ConcurrentSet for OptikBst {
     fn insert(&self, key: Key, val: Val) -> bool {
         assert_user_key(key);
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         // Pre-allocate nothing: the new router's key depends on the leaf
         // found, so nodes are built inside the attempt.
         loop {
@@ -209,13 +218,13 @@ impl ConcurrentSet for OptikBst {
                     bo.backoff();
                     continue;
                 }
-                let new_leaf = Node::leaf_boxed(key, val);
+                let new_leaf = self.pool.alloc_init(|| Node::leaf(key, val));
                 // Router key is the larger of {key, l.key}: the smaller
                 // routes left.
                 let router = if key < (*l).key {
-                    Node::router_boxed((*l).key, new_leaf, l)
+                    self.pool.alloc_init(|| Node::router((*l).key, new_leaf, l))
                 } else {
-                    Node::router_boxed(key, l, new_leaf)
+                    self.pool.alloc_init(|| Node::router(key, l, new_leaf))
                 };
                 // Linearization point.
                 (*p).child_for(key).store(router, Ordering::Release);
@@ -228,7 +237,7 @@ impl ConcurrentSet for OptikBst {
     fn delete(&self, key: Key) -> Option<Val> {
         assert_user_key(key);
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             // SAFETY: grace period per attempt.
             unsafe {
@@ -263,8 +272,8 @@ impl ConcurrentSet for OptikBst {
                 let val = (*l).val.load(Ordering::Relaxed);
                 // SAFETY: both unlinked; sole deleter retires.
                 reclaim::with_local(|h| {
-                    h.retire(p);
-                    h.retire(l);
+                    self.pool.retire(p, h);
+                    self.pool.retire(l, h);
                 });
                 return Some(val);
             }
@@ -306,7 +315,7 @@ impl ConcurrentMap for OptikBst {
     fn put(&self, key: Key, val: Val) -> Option<Val> {
         assert_user_key(key);
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             // SAFETY: grace period per attempt.
             unsafe {
@@ -327,11 +336,11 @@ impl ConcurrentMap for OptikBst {
                     bo.backoff();
                     continue;
                 }
-                let new_leaf = Node::leaf_boxed(key, val);
+                let new_leaf = self.pool.alloc_init(|| Node::leaf(key, val));
                 let router = if key < (*l).key {
-                    Node::router_boxed((*l).key, new_leaf, l)
+                    self.pool.alloc_init(|| Node::router((*l).key, new_leaf, l))
                 } else {
-                    Node::router_boxed(key, l, new_leaf)
+                    self.pool.alloc_init(|| Node::router(key, l, new_leaf))
                 };
                 (*p).child_for(key).store(router, Ordering::Release);
                 (*p).lock.unlock();
@@ -374,7 +383,7 @@ impl OrderedMap for OptikBst {
             return;
         }
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         'restart: for attempt in 0..=RANGE_OPTIMISTIC_ATTEMPTS {
             let validate = attempt < RANGE_OPTIMISTIC_ATTEMPTS;
             // SAFETY: grace period; pointer reads only.
@@ -404,23 +413,6 @@ impl OrderedMap for OptikBst {
                     }
                 }
                 return;
-            }
-        }
-    }
-}
-
-impl Drop for OptikBst {
-    fn drop(&mut self) {
-        // SAFETY: exclusive at drop; every reachable node is freed once
-        // (retired nodes were already unlinked and freed by QSBR).
-        unsafe {
-            let mut stack = vec![self.root];
-            while let Some(node) = stack.pop() {
-                if !(*node).leaf {
-                    stack.push((*node).left.load(Ordering::Relaxed));
-                    stack.push((*node).right.load(Ordering::Relaxed));
-                }
-                drop(Box::from_raw(node));
             }
         }
     }

@@ -113,7 +113,7 @@ impl<T: Copy, L: OptikLock> OptikCell<T, L> {
 
     /// Retrying [`OptikCell::try_update`] with exponential backoff.
     pub fn update_optimistic(&self, mut f: impl FnMut(T) -> T) -> T {
-        let mut bo = synchro::Backoff::new();
+        let mut bo = synchro::Backoff::adaptive();
         loop {
             match self.try_update(&mut f) {
                 Ok(new) => return new,

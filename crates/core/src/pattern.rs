@@ -77,7 +77,7 @@ pub fn transaction_with_backoff<L: OptikLock, P, R>(
     mut optimistic: impl FnMut(Version) -> TxStep<P, R>,
     mut critical: impl FnMut(P) -> R,
 ) -> R {
-    let mut bo = Backoff::new();
+    let mut bo = Backoff::adaptive();
     loop {
         let v = lock.get_version();
         if L::is_locked_version(v) {

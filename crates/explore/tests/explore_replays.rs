@@ -189,6 +189,78 @@ fn print_fresh_pin_candidates() {
     });
 }
 
+/// The pool-level pin: a magazine⇄depot exchange schedule over the real
+/// [`reclaim::NodePool`], recorded and replayed byte-exactly within the
+/// run. Guards the exchange yield-point discipline (see
+/// `explore_pool.rs`): the pinned schedule is one where a slot finishes
+/// its grace period mid-run and recirculates through a magazine while
+/// the peer thread is still churning.
+#[cfg(optik_explore)]
+#[test]
+fn pool_exchange_schedule_replays() {
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    use reclaim::{NodePool, Qsbr};
+    use synchro::shim;
+
+    let pool_cfg = Config {
+        max_steps: 20_000,
+        max_schedules: 400_000,
+        preemptions: Some(2),
+        sleep_sets: true,
+    };
+    /// `(recycle hits, slow allocs, capacity)` after the schedule.
+    type Outcome = (u64, u64, u64);
+    let run = |trial: &Trial| -> Outcome {
+        let pool: Arc<NodePool<u64>> = NodePool::with_config(8, 2);
+        let domain = Qsbr::new();
+        // Completion barrier on a shim word: neither trial OS thread may
+        // exit while the other still churns, or the pool's thread-index
+        // registry lets the survivor inherit the exited thread's magazine
+        // — TLS-teardown timing the scheduler cannot replay (see
+        // `explore_pool.rs`).
+        let done = shim::AtomicU64::new(0);
+        let churn = || {
+            let h = domain.register();
+            for i in 0..3u64 {
+                let p = pool.alloc_init(|| i);
+                // SAFETY: `p` came from this pool, was never published,
+                // and is retired exactly once.
+                unsafe { pool.retire(p, &h) };
+                h.flush();
+                h.quiescent();
+                h.collect();
+            }
+            drop(h);
+            done.fetch_add(1, Ordering::AcqRel);
+            while done.load(Ordering::Acquire) < 2 {
+                synchro::relax();
+            }
+        };
+        trial.run(&[&churn, &churn]);
+        let s = pool.stats();
+        (s.recycle_hits, s.slow_allocs, s.capacity)
+    };
+    let mut pinned: Option<(Token, Outcome)> = None;
+    explore(pool_cfg, |trial| {
+        let out = run(trial);
+        if out.0 > 0 && pinned.is_none() {
+            pinned = Some((trial.token(), out));
+        }
+    });
+    let (token, outcome) = pinned.expect("some schedule recycles through a magazine");
+    for _ in 0..2 {
+        replay(pool_cfg, &token, |trial| {
+            let out = run(trial);
+            assert_eq!(
+                out, outcome,
+                "pool replay of {token} changed the observable outcome"
+            );
+        });
+    }
+}
+
 /// The kv-level pin: a TTL expiry-vs-put schedule over the real store,
 /// recorded and replayed byte-exactly within the run. Guards the clock
 /// sampling discipline in `optik_kv` (see `explore_kv.rs` family 1 and

@@ -6,12 +6,12 @@
 //! nothing over one OPTIK lock per bucket, while the global-lock OPTIK
 //! list's infeasible-updates-never-lock property carries over intact.
 
-use optik_lists::{LazyList, OptikGlList, OptikList};
+use optik_lists::{LazyList, LazyListPool, OptikGlList, OptikGlListPool, OptikList, OptikListPool};
 
 use crate::{bucket_of, ConcurrentSet, Key, Val};
 
 macro_rules! bucketed_table {
-    ($(#[$doc:meta])* $name:ident, $list:ty) => {
+    ($(#[$doc:meta])* $name:ident, $list:ty, $pool:ty) => {
         $(#[$doc])*
         pub struct $name {
             buckets: Box<[$list]>,
@@ -20,13 +20,20 @@ macro_rules! bucketed_table {
         impl $name {
             /// Creates a table with `buckets` buckets.
             ///
+            /// All buckets draw nodes from one shared pool — ssmem's
+            /// per-thread-allocator shape (§5.1). One pool per bucket would
+            /// hand every bucket its own magazines and depot, and the
+            /// allocation path's cache footprint would scale with the
+            /// bucket count instead of the thread count.
+            ///
             /// # Panics
             ///
             /// Panics if `buckets == 0`.
             pub fn new(buckets: usize) -> Self {
                 assert!(buckets > 0, "need at least one bucket");
+                let pool = <$pool>::new();
                 Self {
-                    buckets: (0..buckets).map(|_| <$list>::new()).collect(),
+                    buckets: (0..buckets).map(|_| <$list>::with_pool(&pool)).collect(),
                 }
             }
 
@@ -65,20 +72,23 @@ bucketed_table!(
     /// Per-bucket global-lock OPTIK list (*optik-gl* in Figure 10 — the
     /// paper's overall fastest hash table).
     OptikGlHashTable,
-    OptikGlList
+    OptikGlList,
+    OptikGlListPool
 );
 
 bucketed_table!(
     /// Per-bucket fine-grained OPTIK list (*optik* in Figure 10; ~9% slower
     /// than optik-gl in the paper because some operations take two locks).
     OptikHashTable,
-    OptikList
+    OptikList,
+    OptikListPool
 );
 
 bucketed_table!(
     /// Per-bucket lazy list (*lazy-gl* in Figure 10).
     LazyGlHashTable,
-    LazyList
+    LazyList,
+    LazyListPool
 );
 
 #[cfg(test)]

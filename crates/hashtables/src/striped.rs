@@ -10,7 +10,9 @@
 //! Buckets are unsorted chains with head insertion (as in CHM).
 
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
 
+use reclaim::NodePool;
 use synchro::{CachePadded, RawLock, TtasLock};
 
 use crate::{bucket_of, ConcurrentSet, Key, Val, DEFAULT_SEGMENTS};
@@ -24,13 +26,22 @@ pub(crate) struct Node {
 }
 
 impl Node {
-    pub(crate) fn boxed(key: Key, val: Val, next: *mut Node) -> *mut Node {
-        Box::into_raw(Box::new(Node {
+    pub(crate) fn make(key: Key, val: Val, next: *mut Node) -> Self {
+        Node {
             key,
             val: AtomicU64::new(val),
             next: AtomicPtr::new(next),
-        }))
+        }
     }
+}
+
+/// One type-stable node pool per table, shared by all chains. The striped
+/// tables never cache node pointers across operations, so recycled slots
+/// are plainly re-initialized (`alloc_init`) after their grace period.
+pub(crate) type ChainPool = Arc<NodePool<Node>>;
+
+pub(crate) fn chain_pool() -> ChainPool {
+    NodePool::new()
 }
 
 /// Lock-free walk of one chain, visiting every `(key, value)` — the one
@@ -55,6 +66,7 @@ pub(crate) unsafe fn for_each_chain(head: &AtomicPtr<Node>, f: &mut dyn FnMut(Ke
 pub struct StripedHashTable {
     buckets: Box<[AtomicPtr<Node>]>,
     segments: Box<[CachePadded<TtasLock>]>,
+    pool: ChainPool,
 }
 
 // SAFETY: updates are serialized per segment; searches read atomic
@@ -78,6 +90,7 @@ impl StripedHashTable {
             segments: (0..segments)
                 .map(|_| CachePadded::new(TtasLock::new()))
                 .collect(),
+            pool: chain_pool(),
         }
     }
 
@@ -132,7 +145,7 @@ impl ConcurrentSet for StripedHashTable {
                 false
             } else {
                 let head = self.buckets[b].load(Ordering::Relaxed);
-                let node = Node::boxed(key, val, head);
+                let node = self.pool.alloc_init(|| Node::make(key, val, head));
                 self.buckets[b].store(node, Ordering::Release);
                 true
             }
@@ -163,7 +176,7 @@ impl ConcurrentSet for StripedHashTable {
                     }
                     let val = (*cur).val.load(Ordering::Relaxed);
                     // SAFETY: unlinked exactly once under the lock.
-                    reclaim::with_local(|h| h.retire(cur));
+                    reclaim::with_local(|h| self.pool.retire(cur, h));
                     break Some(val);
                 }
                 prev = cur;
@@ -209,7 +222,8 @@ impl crate::ConcurrentMap for StripedHashTable {
             loop {
                 if cur.is_null() {
                     let head = self.buckets[b].load(Ordering::Relaxed);
-                    self.buckets[b].store(Node::boxed(key, val, head), Ordering::Release);
+                    let node = self.pool.alloc_init(|| Node::make(key, val, head));
+                    self.buckets[b].store(node, Ordering::Release);
                     break None;
                 }
                 if (*cur).key == key {
@@ -237,21 +251,6 @@ impl crate::ConcurrentMap for StripedHashTable {
         for b in self.buckets.iter() {
             // SAFETY: grace period.
             unsafe { for_each_chain(b, f) }
-        }
-    }
-}
-
-impl Drop for StripedHashTable {
-    fn drop(&mut self) {
-        for b in self.buckets.iter() {
-            let mut cur = b.load(Ordering::Relaxed);
-            while !cur.is_null() {
-                // SAFETY: exclusive at drop; chain uniquely owned.
-                let next = unsafe { (*cur).next.load(Ordering::Relaxed) };
-                // SAFETY: as above.
-                unsafe { drop(Box::from_raw(cur)) };
-                cur = next;
-            }
         }
     }
 }

@@ -19,13 +19,16 @@ use std::sync::atomic::{AtomicPtr, Ordering};
 use optik::{OptikLock, OptikVersioned};
 use synchro::CachePadded;
 
-use crate::striped::Node;
+use crate::striped::{chain_pool, ChainPool, Node};
 use crate::{bucket_of, ConcurrentSet, Key, Val, DEFAULT_SEGMENTS};
 
-/// The striped OPTIK (`java-optik`) hash table.
+/// The striped OPTIK (`java-optik`) hash table. Chain nodes come from a
+/// per-table type-stable pool (magazine-cached allocation, QSBR-deferred
+/// recycling).
 pub struct StripedOptikHashTable {
     buckets: Box<[AtomicPtr<Node>]>,
     segments: Box<[CachePadded<OptikVersioned>]>,
+    pool: ChainPool,
 }
 
 // SAFETY: updates are serialized per segment via the OPTIK locks;
@@ -49,6 +52,7 @@ impl StripedOptikHashTable {
             segments: (0..segments)
                 .map(|_| CachePadded::new(OptikVersioned::new()))
                 .collect(),
+            pool: chain_pool(),
         }
     }
 
@@ -122,7 +126,7 @@ impl StripedOptikHashTable {
             }
             let val = (*cur).val.load(Ordering::Relaxed);
             // SAFETY: unlinked exactly once under the lock.
-            reclaim::with_local(|h| h.retire(cur));
+            reclaim::with_local(|h| self.pool.retire(cur, h));
             val
         }
     }
@@ -161,7 +165,7 @@ impl ConcurrentSet for StripedOptikHashTable {
                 return false;
             }
             let head = self.buckets[b].load(Ordering::Relaxed);
-            let node = Node::boxed(key, val, head);
+            let node = self.pool.alloc_init(|| Node::make(key, val, head));
             self.buckets[b].store(node, Ordering::Release);
         }
         seg.unlock();
@@ -252,7 +256,8 @@ impl crate::ConcurrentMap for StripedOptikHashTable {
                 Some(n) => Some((*n).val.swap(val, Ordering::AcqRel)),
                 None => {
                     let head = self.buckets[b].load(Ordering::Relaxed);
-                    self.buckets[b].store(Node::boxed(key, val, head), Ordering::Release);
+                    let node = self.pool.alloc_init(|| Node::make(key, val, head));
+                    self.buckets[b].store(node, Ordering::Release);
                     None
                 }
             }
@@ -274,21 +279,6 @@ impl crate::ConcurrentMap for StripedOptikHashTable {
         for b in self.buckets.iter() {
             // SAFETY: grace period.
             unsafe { crate::striped::for_each_chain(b, f) }
-        }
-    }
-}
-
-impl Drop for StripedOptikHashTable {
-    fn drop(&mut self) {
-        for b in self.buckets.iter() {
-            let mut cur = b.load(Ordering::Relaxed);
-            while !cur.is_null() {
-                // SAFETY: exclusive at drop.
-                let next = unsafe { (*cur).next.load(Ordering::Relaxed) };
-                // SAFETY: uniquely owned chain.
-                unsafe { drop(Box::from_raw(cur)) };
-                cur = next;
-            }
         }
     }
 }

@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 
 use synchro::{CachePadded, RawLock, TtasLock};
 
-use crate::striped::Node;
+use crate::striped::{chain_pool, ChainPool, Node};
 use crate::{ConcurrentSet, Key, Val, DEFAULT_SEGMENTS};
 
 /// One immutable-identity bucket array; replaced wholesale on resize.
@@ -68,6 +68,9 @@ const LOAD_DEN: usize = 4;
 /// ```
 pub struct ResizableStripedHashTable {
     segments: Box<[CachePadded<Segment>]>,
+    /// Chain nodes are pooled (type-stable, magazine-cached); the bucket
+    /// arrays themselves are plain boxes retired wholesale on resize.
+    pool: ChainPool,
 }
 
 // SAFETY: updates are serialized per segment; searches read atomic
@@ -103,6 +106,7 @@ impl ResizableStripedHashTable {
                     })
                 })
                 .collect(),
+            pool: chain_pool(),
         }
     }
 
@@ -161,7 +165,7 @@ impl ResizableStripedHashTable {
     /// # Safety
     ///
     /// `seg.lock` must be held; QSBR grace period required.
-    unsafe fn grow(seg: &Segment) {
+    unsafe fn grow(&self, seg: &Segment) {
         // SAFETY: lock held — exclusive writer for this segment.
         unsafe {
             let old = seg.table.load(Ordering::Relaxed);
@@ -173,8 +177,10 @@ impl ResizableStripedHashTable {
                     // the old table keep an intact chain.
                     let slot = Self::bucket(&*new, (*cur).key);
                     let head = slot.load(Ordering::Relaxed);
+                    let key = (*cur).key;
+                    let val = (*cur).val.load(Ordering::Relaxed);
                     slot.store(
-                        Node::boxed((*cur).key, (*cur).val.load(Ordering::Relaxed), head),
+                        self.pool.alloc_init(|| Node::make(key, val, head)),
                         Ordering::Relaxed,
                     );
                     cur = (*cur).next.load(Ordering::Relaxed);
@@ -187,7 +193,7 @@ impl ResizableStripedHashTable {
                     let mut cur = b.load(Ordering::Relaxed);
                     while !cur.is_null() {
                         let next = (*cur).next.load(Ordering::Relaxed);
-                        h.retire(cur);
+                        self.pool.retire(cur, h);
                         cur = next;
                     }
                 }
@@ -218,12 +224,13 @@ impl ConcurrentSet for ResizableStripedHashTable {
             } else {
                 let count = seg.count.load(Ordering::Relaxed);
                 if (count + 1) * LOAD_DEN > table.buckets.len() * LOAD_NUM {
-                    Self::grow(seg);
+                    self.grow(seg);
                 }
                 let table = &*seg.table.load(Ordering::Relaxed);
                 let slot = Self::bucket(table, key);
                 let head = slot.load(Ordering::Relaxed);
-                slot.store(Node::boxed(key, val, head), Ordering::Release);
+                let node = self.pool.alloc_init(|| Node::make(key, val, head));
+                slot.store(node, Ordering::Release);
                 seg.count.store(count + 1, Ordering::Relaxed);
                 true
             }
@@ -255,7 +262,7 @@ impl ConcurrentSet for ResizableStripedHashTable {
                     }
                     let val = (*cur).val.load(Ordering::Relaxed);
                     // SAFETY: unlinked exactly once under the lock.
-                    reclaim::with_local(|h| h.retire(cur));
+                    reclaim::with_local(|h| self.pool.retire(cur, h));
                     seg.count.fetch_sub(1, Ordering::Relaxed);
                     break Some(val);
                 }
@@ -303,12 +310,13 @@ impl crate::ConcurrentMap for ResizableStripedHashTable {
                 None => {
                     let count = seg.count.load(Ordering::Relaxed);
                     if (count + 1) * LOAD_DEN > table.buckets.len() * LOAD_NUM {
-                        Self::grow(seg);
+                        self.grow(seg);
                     }
                     let table = &*seg.table.load(Ordering::Relaxed);
                     let slot = Self::bucket(table, key);
                     let head = slot.load(Ordering::Relaxed);
-                    slot.store(Node::boxed(key, val, head), Ordering::Release);
+                    let node = self.pool.alloc_init(|| Node::make(key, val, head));
+                    slot.store(node, Ordering::Release);
                     seg.count.store(count + 1, Ordering::Relaxed);
                     None
                 }
@@ -344,17 +352,11 @@ impl Drop for ResizableStripedHashTable {
     fn drop(&mut self) {
         for seg in self.segments.iter() {
             let table = seg.table.load(Ordering::Relaxed);
-            // SAFETY: exclusive at drop; chains and table uniquely owned
-            // (retired tables/nodes were already handed to QSBR).
+            // SAFETY: exclusive at drop; the table box is uniquely owned
+            // (retired tables were already handed to QSBR). Chain nodes are
+            // pool slots and are simply abandoned: the pool's chunks free
+            // when the last Arc (here, or held by in-flight retires) drops.
             unsafe {
-                for b in (*table).buckets.iter() {
-                    let mut cur = b.load(Ordering::Relaxed);
-                    while !cur.is_null() {
-                        let next = (*cur).next.load(Ordering::Relaxed);
-                        drop(Box::from_raw(cur));
-                        cur = next;
-                    }
-                }
                 drop(Box::from_raw(table));
             }
         }

@@ -312,7 +312,7 @@ impl<B: ConcurrentMap> KvStore<B> {
         let Some(dl) = &shard.deadlines else {
             return shard.map.get(key);
         };
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         for _ in 0..OPTIMISTIC_ATTEMPTS {
             let v = shard.lock.get_version_wait();
             let val = shard.map.get(key);
@@ -338,7 +338,7 @@ impl<B: ConcurrentMap> KvStore<B> {
         self.shards[self.policy.route(key)]
             .ops
             .fetch_add(1, Ordering::Relaxed);
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         for _ in 0..OPTIMISTIC_ATTEMPTS {
             let rv = self.policy.version();
             let out = self.read_entry(&self.shards[self.policy.route(key)], key);
@@ -418,7 +418,7 @@ impl<B: ConcurrentMap> KvStore<B> {
     /// re-validating the shard set against racing migrations.
     pub fn multi_get(&self, keys: &[Key]) -> Vec<Option<Val>> {
         let dynamic = self.dynamic;
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         for _ in 0..OPTIMISTIC_ATTEMPTS {
             let rv = self.policy.version();
             let ids = self.shard_ids(keys.iter().copied());
@@ -549,7 +549,7 @@ impl<B: ConcurrentMap> KvStore<B> {
     /// filter expired entries inside the validated section.
     fn shard_snapshot(&self, i: usize, buf: &mut Vec<(Key, Val)>) {
         let shard = &self.shards[i];
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         for _ in 0..OPTIMISTIC_ATTEMPTS {
             buf.clear();
             let v = shard.lock.get_version_wait();
@@ -589,7 +589,7 @@ impl<B: ConcurrentMap> KvStore<B> {
             return;
         }
         let mut all: Vec<(Key, Val)> = Vec::new();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         for _ in 0..OPTIMISTIC_ATTEMPTS {
             all.clear();
             let rv = self.policy.version();
@@ -727,7 +727,7 @@ impl<B: OrderedMap> KvStore<B> {
     /// excluded, so the backend traversal sees a quiescent structure).
     fn shard_range(&self, i: usize, lo: Key, hi: Key, buf: &mut Vec<(Key, Val)>) {
         let shard = &self.shards[i];
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         for _ in 0..OPTIMISTIC_ATTEMPTS {
             buf.clear();
             let v = shard.lock.get_version_wait();
@@ -773,7 +773,7 @@ impl<B: OrderedMap> KvStore<B> {
             out.sort_unstable();
             return out;
         }
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         for _ in 0..OPTIMISTIC_ATTEMPTS {
             out.clear();
             let rv = self.policy.version();

@@ -9,10 +9,12 @@
 //! rely on QSBR for safety.
 
 use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
 
+use reclaim::NodePool;
 use synchro::McsLock;
 
-use crate::{assert_user_key, ConcurrentSet, Key, Val, TAIL_KEY};
+use crate::{assert_user_key, ConcurrentSet, Key, Val, LIST_POOL_CHUNK, TAIL_KEY};
 
 struct Node {
     key: Key,
@@ -21,19 +23,24 @@ struct Node {
 }
 
 impl Node {
-    fn boxed(key: Key, val: Val, next: *mut Node) -> *mut Node {
-        Box::into_raw(Box::new(Node {
+    fn make(key: Key, val: Val, next: *mut Node) -> Self {
+        Node {
             key,
             val,
             next: AtomicPtr::new(next),
-        }))
+        }
     }
 }
 
 /// The MCS global-lock list with lock-free searches (*mcs-gl-opt*).
+///
+/// Nodes come from a type-stable [`NodePool`] (magazine-cached allocation,
+/// QSBR-deferred recycling); no pointer is cached across operations, so
+/// recycled slots are plainly re-initialized.
 pub struct GlobalLockList {
     lock: McsLock,
     head: *mut Node,
+    pool: Arc<NodePool<Node>>,
 }
 
 // SAFETY: updates are serialized by the MCS lock; searches only read
@@ -44,11 +51,13 @@ unsafe impl Sync for GlobalLockList {}
 impl GlobalLockList {
     /// Creates an empty list.
     pub fn new() -> Self {
-        let tail = Node::boxed(TAIL_KEY, 0, std::ptr::null_mut());
-        let head = Node::boxed(crate::HEAD_KEY, 0, tail);
+        let pool = NodePool::with_chunk_capacity(LIST_POOL_CHUNK);
+        let tail = pool.alloc_init(|| Node::make(TAIL_KEY, 0, std::ptr::null_mut()));
+        let head = pool.alloc_init(|| Node::make(crate::HEAD_KEY, 0, tail));
         Self {
             lock: McsLock::new(),
             head,
+            pool,
         }
     }
 
@@ -101,7 +110,7 @@ impl ConcurrentSet for GlobalLockList {
                 if (*cur).key == key {
                     return false;
                 }
-                let newnode = Node::boxed(key, val, cur);
+                let newnode = self.pool.alloc_init(|| Node::make(key, val, cur));
                 (*pred).next.store(newnode, Ordering::Release);
                 true
             }
@@ -123,8 +132,8 @@ impl ConcurrentSet for GlobalLockList {
                     .store((*cur).next.load(Ordering::Relaxed), Ordering::Release);
                 let val = (*cur).val;
                 // SAFETY: unlinked; concurrent searches may still hold it —
-                // hence retire, not free.
-                reclaim::with_local(|h| h.retire(cur));
+                // hence retire (grace period) before the slot recycles.
+                reclaim::with_local(|h| self.pool.retire(cur, h));
                 Some(val)
             }
         })
@@ -141,19 +150,6 @@ impl ConcurrentSet for GlobalLockList {
                 cur = (*cur).next.load(Ordering::Acquire);
             }
             n
-        }
-    }
-}
-
-impl Drop for GlobalLockList {
-    fn drop(&mut self) {
-        let mut cur = self.head;
-        while !cur.is_null() {
-            // SAFETY: exclusive access at drop.
-            let next = unsafe { (*cur).next.load(Ordering::Relaxed) };
-            // SAFETY: chain nodes are uniquely owned here.
-            unsafe { drop(Box::from_raw(cur)) };
-            cur = next;
         }
     }
 }

@@ -10,10 +10,12 @@
 //! 8-byte aligned so the bit is always free.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
+use reclaim::NodePool;
 use synchro::Backoff;
 
-use crate::{assert_user_key, ConcurrentSet, Key, Val, TAIL_KEY};
+use crate::{assert_user_key, ConcurrentSet, Key, Val, LIST_POOL_CHUNK, TAIL_KEY};
 
 const MARK: usize = 1;
 
@@ -35,18 +37,24 @@ pub(crate) struct Node {
 }
 
 impl Node {
-    fn boxed(key: Key, val: Val, next: *mut Node) -> *mut Node {
-        Box::into_raw(Box::new(Node {
+    fn make(key: Key, val: Val, next: *mut Node) -> Self {
+        Node {
             key,
             val,
             next: AtomicUsize::new(next as usize),
-        }))
+        }
     }
 }
 
 /// Harris's lock-free sorted list.
+///
+/// Nodes come from a type-stable [`NodePool`]. QSBR already rules out ABA
+/// on node addresses *within* an operation (no slot recycles while any
+/// operation that saw it is still running), and no pointer survives across
+/// operations, so recycled slots are plainly re-initialized.
 pub struct HarrisList {
     head: *mut Node,
+    pool: Arc<NodePool<Node>>,
 }
 
 // SAFETY: all mutation is CAS on the next words; reclamation is QSBR,
@@ -57,9 +65,10 @@ unsafe impl Sync for HarrisList {}
 impl HarrisList {
     /// Creates an empty list.
     pub fn new() -> Self {
-        let tail = Node::boxed(TAIL_KEY, 0, std::ptr::null_mut());
-        let head = Node::boxed(crate::HEAD_KEY, 0, tail);
-        Self { head }
+        let pool = NodePool::with_chunk_capacity(LIST_POOL_CHUNK);
+        let tail = pool.alloc_init(|| Node::make(TAIL_KEY, 0, std::ptr::null_mut()));
+        let head = pool.alloc_init(|| Node::make(crate::HEAD_KEY, 0, tail));
+        Self { head, pool }
     }
 
     /// Harris's `search`: returns `(pred, cur)` with `pred.key < key <=
@@ -106,7 +115,7 @@ impl HarrisList {
                             while p != cur {
                                 let next = unmark((*p).next.load(Ordering::Relaxed)) as *mut Node;
                                 // SAFETY: we won the unlink CAS; sole retirer.
-                                reclaim::with_local(|h| h.retire(p));
+                                reclaim::with_local(|h| self.pool.retire(p, h));
                                 p = next;
                             }
                         }
@@ -147,16 +156,18 @@ impl ConcurrentSet for HarrisList {
     fn insert(&self, key: Key, val: Val) -> bool {
         assert_user_key(key);
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         // Allocate once and reuse across CAS retries.
-        let newnode = Node::boxed(key, val, std::ptr::null_mut());
+        let newnode = self
+            .pool
+            .alloc_init(|| Node::make(key, val, std::ptr::null_mut()));
         loop {
             // SAFETY: QSBR grace period.
             unsafe {
                 let (pred, cur) = self.locate(key);
                 if (*cur).key == key {
                     // SAFETY: newnode was never published.
-                    drop(Box::from_raw(newnode));
+                    self.pool.dealloc_unpublished(newnode);
                     return false;
                 }
                 (*newnode).next.store(cur as usize, Ordering::Relaxed);
@@ -180,7 +191,7 @@ impl ConcurrentSet for HarrisList {
     fn delete(&self, key: Key) -> Option<Val> {
         assert_user_key(key);
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             // SAFETY: QSBR grace period.
             unsafe {
@@ -223,7 +234,7 @@ impl ConcurrentSet for HarrisList {
                     .is_ok()
                 {
                     // SAFETY: we unlinked it; sole retirer.
-                    reclaim::with_local(|h| h.retire(cur));
+                    reclaim::with_local(|h| self.pool.retire(cur, h));
                 }
                 return Some(val);
             }
@@ -243,20 +254,6 @@ impl ConcurrentSet for HarrisList {
                 cur = unmark((*cur).next.load(Ordering::Acquire)) as *mut Node;
             }
             n
-        }
-    }
-}
-
-impl Drop for HarrisList {
-    fn drop(&mut self) {
-        let mut cur = self.head;
-        while !cur.is_null() {
-            // SAFETY: exclusive access at drop; marked nodes still linked
-            // in the chain are freed here too.
-            let next = unmark(unsafe { (*cur).next.load(Ordering::Relaxed) }) as *mut Node;
-            // SAFETY: unique ownership of the chain.
-            unsafe { drop(Box::from_raw(cur)) };
-            cur = next;
         }
     }
 }

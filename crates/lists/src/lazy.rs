@@ -15,10 +15,12 @@
 //! updates return `false` without locking.
 
 use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::Arc;
 
+use reclaim::NodePool;
 use synchro::{Backoff, RawLock, TtasLock};
 
-use crate::{assert_user_key, ConcurrentSet, Key, Val, TAIL_KEY};
+use crate::{assert_user_key, ConcurrentSet, Key, Val, LIST_POOL_CHUNK, TAIL_KEY};
 
 pub(crate) struct Node {
     key: Key,
@@ -29,20 +31,26 @@ pub(crate) struct Node {
 }
 
 impl Node {
-    fn boxed(key: Key, val: Val, next: *mut Node) -> *mut Node {
-        Box::into_raw(Box::new(Node {
+    fn make(key: Key, val: Val, next: *mut Node) -> Self {
+        Node {
             key,
             val,
             marked: AtomicBool::new(false),
             lock: TtasLock::new(),
             next: AtomicPtr::new(next),
-        }))
+        }
     }
 }
 
 /// The lazy (Heller et al.) list.
+///
+/// Nodes come from a type-stable [`NodePool`]. No pointer survives across
+/// operations (the plain lazy list does no node caching), so recycled
+/// slots — including their `marked` flag and spinlock — are plainly
+/// re-initialized after the grace period.
 pub struct LazyList {
     head: *mut Node,
+    pool: Arc<NodePool<Node>>,
 }
 
 // SAFETY: updates lock the nodes they modify; searches read only atomic
@@ -50,12 +58,43 @@ pub struct LazyList {
 unsafe impl Send for LazyList {}
 unsafe impl Sync for LazyList {}
 
-impl LazyList {
-    /// Creates an empty list.
+/// A node pool shareable across many [`LazyList`]s — one allocator for all
+/// buckets of a hash table, matching ssmem's per-thread-allocator shape
+/// (§5.1). Per-bucket pools would give every bucket its own magazines and
+/// depot, multiplying the allocation path's cache footprint by the bucket
+/// count.
+#[derive(Clone)]
+pub struct LazyListPool(Arc<NodePool<Node>>);
+
+impl LazyListPool {
+    /// Creates a pool (default chunk capacity: it serves a whole table).
     pub fn new() -> Self {
-        let tail = Node::boxed(TAIL_KEY, 0, std::ptr::null_mut());
-        let head = Node::boxed(crate::HEAD_KEY, 0, tail);
-        Self { head }
+        Self(NodePool::new())
+    }
+}
+
+impl Default for LazyListPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LazyList {
+    /// Creates an empty list with a private node pool.
+    pub fn new() -> Self {
+        Self::from_pool(NodePool::with_chunk_capacity(LIST_POOL_CHUNK))
+    }
+
+    /// Creates an empty list drawing nodes from `pool`, shared with other
+    /// lists of the same table (see [`LazyListPool`]).
+    pub fn with_pool(pool: &LazyListPool) -> Self {
+        Self::from_pool(Arc::clone(&pool.0))
+    }
+
+    fn from_pool(pool: Arc<NodePool<Node>>) -> Self {
+        let tail = pool.alloc_init(|| Node::make(TAIL_KEY, 0, std::ptr::null_mut()));
+        let head = pool.alloc_init(|| Node::make(crate::HEAD_KEY, 0, tail));
+        Self { head, pool }
     }
 
     /// # Safety
@@ -115,7 +154,7 @@ impl ConcurrentSet for LazyList {
     fn insert(&self, key: Key, val: Val) -> bool {
         assert_user_key(key);
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             // SAFETY: QSBR grace period throughout the attempt.
             unsafe {
@@ -131,7 +170,7 @@ impl ConcurrentSet for LazyList {
                 }
                 (*pred).lock.lock();
                 if Self::validate(pred, cur) {
-                    let newnode = Node::boxed(key, val, cur);
+                    let newnode = self.pool.alloc_init(|| Node::make(key, val, cur));
                     (*pred).next.store(newnode, Ordering::Release);
                     (*pred).lock.unlock();
                     return true;
@@ -145,7 +184,7 @@ impl ConcurrentSet for LazyList {
     fn delete(&self, key: Key) -> Option<Val> {
         assert_user_key(key);
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             // SAFETY: QSBR grace period throughout the attempt.
             unsafe {
@@ -170,7 +209,7 @@ impl ConcurrentSet for LazyList {
                     (*cur).lock.unlock();
                     (*pred).lock.unlock();
                     // SAFETY: unlinked exactly once by us.
-                    reclaim::with_local(|h| h.retire(cur));
+                    reclaim::with_local(|h| self.pool.retire(cur, h));
                     return Some(val);
                 }
                 (*cur).lock.unlock();
@@ -193,19 +232,6 @@ impl ConcurrentSet for LazyList {
                 cur = (*cur).next.load(Ordering::Acquire);
             }
             n
-        }
-    }
-}
-
-impl Drop for LazyList {
-    fn drop(&mut self) {
-        let mut cur = self.head;
-        while !cur.is_null() {
-            // SAFETY: exclusive access at drop.
-            let next = unsafe { (*cur).next.load(Ordering::Relaxed) };
-            // SAFETY: unique ownership of the chain.
-            unsafe { drop(Box::from_raw(cur)) };
-            cur = next;
         }
     }
 }

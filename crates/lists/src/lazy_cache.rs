@@ -184,7 +184,7 @@ impl LazyCacheList {
     fn insert_impl(&self, cache: &mut Option<CacheSlot>, key: Key, val: Val) -> (bool, bool) {
         assert_user_key(key);
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         let mut first_attempt_hit = None;
         loop {
             let entry = self.entry_for(cache, key);
@@ -220,7 +220,7 @@ impl LazyCacheList {
     fn delete_impl(&self, cache: &mut Option<CacheSlot>, key: Key) -> (Option<Val>, bool) {
         assert_user_key(key);
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         let mut first_attempt_hit = None;
         loop {
             let entry = self.entry_for(cache, key);

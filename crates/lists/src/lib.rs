@@ -32,14 +32,19 @@ mod seq;
 
 pub use global_lock::GlobalLockList;
 pub use harris::HarrisList;
-pub use lazy::LazyList;
+pub use lazy::{LazyList, LazyListPool};
 pub use lazy_cache::{LazyCacheHandle, LazyCacheList};
 pub use optik_cache::{OptikCacheHandle, OptikCacheList};
-pub use optik_fine::OptikList;
-pub use optik_gl::OptikGlList;
+pub use optik_fine::{OptikList, OptikListPool};
+pub use optik_gl::{OptikGlList, OptikGlListPool};
 pub use seq::SeqList;
 
 pub use optik_harness::api::{ConcurrentSet, Key, SetHandle, Val};
+
+/// Node-pool chunk size for list instances. Smaller than the pool default
+/// because bucketed hash tables build one list — hence one pool — per
+/// bucket, and each touched bucket reserves at least one chunk.
+pub(crate) const LIST_POOL_CHUNK: usize = 256;
 
 /// Sentinel key of the head node; user keys must be greater.
 pub const HEAD_KEY: Key = 0;

@@ -178,7 +178,7 @@ impl OptikCacheList {
     fn insert_impl(&self, cache: &mut Option<CacheSlot>, key: Key, val: Val) -> (bool, bool) {
         assert_user_key(key);
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         let mut first_attempt_hit = None;
         loop {
             let entry = self.entry_for(cache, key);
@@ -223,7 +223,7 @@ impl OptikCacheList {
     fn delete_impl(&self, cache: &mut Option<CacheSlot>, key: Key) -> (Option<Val>, bool) {
         assert_user_key(key);
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         let mut first_attempt_hit = None;
         loop {
             let entry = self.entry_for(cache, key);

@@ -17,11 +17,13 @@
 //!   `pred.next`.
 
 use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
 
 use optik::{OptikLock, OptikVersioned};
+use reclaim::NodePool;
 use synchro::Backoff;
 
-use crate::{assert_user_key, ConcurrentSet, Key, Val, TAIL_KEY};
+use crate::{assert_user_key, ConcurrentSet, Key, Val, LIST_POOL_CHUNK, TAIL_KEY};
 
 pub(crate) struct Node {
     key: Key,
@@ -31,19 +33,26 @@ pub(crate) struct Node {
 }
 
 impl Node {
-    fn boxed(key: Key, val: Val, next: *mut Node) -> *mut Node {
-        Box::into_raw(Box::new(Node {
+    fn make(key: Key, val: Val, next: *mut Node) -> Self {
+        Node {
             key,
             val,
             lock: OptikVersioned::new(),
             next: AtomicPtr::new(next),
-        }))
+        }
     }
 }
 
 /// The fine-grained OPTIK list (*optik* in Figure 9).
+///
+/// Nodes come from a type-stable [`NodePool`]. `(node, version)` pairs are
+/// only held *within* one operation, never across quiescent points, so a
+/// recycled slot — whose locked-forever deleted version gets replaced by a
+/// fresh unlocked lock — can have no surviving validators (the grace
+/// period outlives every operation that read the old version).
 pub struct OptikList {
     head: *mut Node,
+    pool: Arc<NodePool<Node>>,
 }
 
 // SAFETY: all shared mutation goes through per-node OPTIK locks and atomic
@@ -51,12 +60,44 @@ pub struct OptikList {
 unsafe impl Send for OptikList {}
 unsafe impl Sync for OptikList {}
 
-impl OptikList {
-    /// Creates an empty list (head and tail sentinels only).
+/// A node pool shareable across many [`OptikList`]s — one allocator for
+/// all buckets of a hash table, matching ssmem's per-thread-allocator
+/// shape (§5.1). Per-bucket pools would give every bucket its own
+/// magazines and depot, multiplying the allocation path's cache footprint
+/// by the bucket count.
+#[derive(Clone)]
+pub struct OptikListPool(Arc<NodePool<Node>>);
+
+impl OptikListPool {
+    /// Creates a pool (default chunk capacity: it serves a whole table).
     pub fn new() -> Self {
-        let tail = Node::boxed(TAIL_KEY, 0, std::ptr::null_mut());
-        let head = Node::boxed(crate::HEAD_KEY, 0, tail);
-        Self { head }
+        Self(NodePool::new())
+    }
+}
+
+impl Default for OptikListPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OptikList {
+    /// Creates an empty list (head and tail sentinels only) with a private
+    /// node pool.
+    pub fn new() -> Self {
+        Self::from_pool(NodePool::with_chunk_capacity(LIST_POOL_CHUNK))
+    }
+
+    /// Creates an empty list drawing nodes from `pool`, shared with other
+    /// lists of the same table (see [`OptikListPool`]).
+    pub fn with_pool(pool: &OptikListPool) -> Self {
+        Self::from_pool(Arc::clone(&pool.0))
+    }
+
+    fn from_pool(pool: Arc<NodePool<Node>>) -> Self {
+        let tail = pool.alloc_init(|| Node::make(TAIL_KEY, 0, std::ptr::null_mut()));
+        let head = pool.alloc_init(|| Node::make(crate::HEAD_KEY, 0, tail));
+        Self { head, pool }
     }
 
     /// Traversal for deletions: returns `(pred, predv, cur, curv)` with
@@ -117,7 +158,7 @@ impl ConcurrentSet for OptikList {
     fn insert(&self, key: Key, val: Val) -> bool {
         assert_user_key(key);
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             // SAFETY: within the QSBR grace period (no quiescence below).
             unsafe {
@@ -134,7 +175,7 @@ impl ConcurrentSet for OptikList {
                 }
                 // Validated: pred unmodified since we read predv, hence
                 // still linked and still pointing at cur.
-                let newnode = Node::boxed(key, val, cur);
+                let newnode = self.pool.alloc_init(|| Node::make(key, val, cur));
                 (*pred).next.store(newnode, Ordering::Release);
                 (*pred).lock.unlock();
                 return true;
@@ -145,7 +186,7 @@ impl ConcurrentSet for OptikList {
     fn delete(&self, key: Key) -> Option<Val> {
         assert_user_key(key);
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             // SAFETY: within the QSBR grace period (no quiescence below).
             unsafe {
@@ -173,8 +214,8 @@ impl ConcurrentSet for OptikList {
                     .store((*cur).next.load(Ordering::Relaxed), Ordering::Release);
                 let val = (*cur).val;
                 (*pred).lock.unlock();
-                // SAFETY: cur is unlinked; one retire; drop after grace.
-                reclaim::with_local(|h| h.retire(cur));
+                // SAFETY: cur is unlinked; one retire; recycled after grace.
+                reclaim::with_local(|h| self.pool.retire(cur, h));
                 return Some(val);
             }
         }
@@ -191,21 +232,6 @@ impl ConcurrentSet for OptikList {
                 cur = (*cur).next.load(Ordering::Acquire);
             }
             n
-        }
-    }
-}
-
-impl Drop for OptikList {
-    fn drop(&mut self) {
-        // Exclusive access: free the whole chain (sentinels included).
-        let mut cur = self.head;
-        while !cur.is_null() {
-            // SAFETY: exclusive access; each node was Box-allocated and
-            // unlinked nodes were retired (not in this chain).
-            let next = unsafe { (*cur).next.load(Ordering::Relaxed) };
-            // SAFETY: as above.
-            unsafe { drop(Box::from_raw(cur)) };
-            cur = next;
         }
     }
 }

@@ -11,11 +11,13 @@
 //! the basis of the paper's best hash table (*optik-gl* buckets, §5.2).
 
 use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
 
 use optik::{OptikLock, OptikVersioned};
+use reclaim::NodePool;
 use synchro::Backoff;
 
-use crate::{assert_user_key, ConcurrentSet, Key, Val, TAIL_KEY};
+use crate::{assert_user_key, ConcurrentSet, Key, Val, LIST_POOL_CHUNK, TAIL_KEY};
 
 struct Node {
     key: Key,
@@ -24,20 +26,26 @@ struct Node {
 }
 
 impl Node {
-    fn boxed(key: Key, val: Val, next: *mut Node) -> *mut Node {
-        Box::into_raw(Box::new(Node {
+    fn make(key: Key, val: Val, next: *mut Node) -> Self {
+        Node {
             key,
             val,
             next: AtomicPtr::new(next),
-        }))
+        }
     }
 }
 
 /// The global-lock OPTIK list (*optik-gl*), generic over the lock
 /// implementation.
+///
+/// Nodes live in a type-stable [`NodePool`]: allocation hits the calling
+/// thread's magazine, and unlinked nodes recycle through QSBR. This list
+/// never caches node pointers across operations, so recycled slots are
+/// plainly re-initialized (`alloc_init`).
 pub struct OptikGlList<L: OptikLock = OptikVersioned> {
     lock: L,
     head: *mut Node,
+    pool: Arc<NodePool<Node>>,
 }
 
 // SAFETY: updates validate through the global OPTIK lock; searches are
@@ -45,14 +53,47 @@ pub struct OptikGlList<L: OptikLock = OptikVersioned> {
 unsafe impl<L: OptikLock> Send for OptikGlList<L> {}
 unsafe impl<L: OptikLock> Sync for OptikGlList<L> {}
 
-impl<L: OptikLock> OptikGlList<L> {
-    /// Creates an empty list.
+/// A node pool shareable across many [`OptikGlList`]s — one allocator for
+/// all buckets of a hash table, matching ssmem's per-thread-allocator
+/// shape (§5.1). Per-bucket pools would give every bucket its own
+/// magazines and depot, multiplying the allocation path's cache footprint
+/// by the bucket count. Nodes are lock-flavor-independent, so one pool
+/// serves lists of any `L`.
+#[derive(Clone)]
+pub struct OptikGlListPool(Arc<NodePool<Node>>);
+
+impl OptikGlListPool {
+    /// Creates a pool (default chunk capacity: it serves a whole table).
     pub fn new() -> Self {
-        let tail = Node::boxed(TAIL_KEY, 0, std::ptr::null_mut());
-        let head = Node::boxed(crate::HEAD_KEY, 0, tail);
+        Self(NodePool::new())
+    }
+}
+
+impl Default for OptikGlListPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<L: OptikLock> OptikGlList<L> {
+    /// Creates an empty list with a private node pool.
+    pub fn new() -> Self {
+        Self::from_pool(NodePool::with_chunk_capacity(LIST_POOL_CHUNK))
+    }
+
+    /// Creates an empty list drawing nodes from `pool`, shared with other
+    /// lists of the same table (see [`OptikGlListPool`]).
+    pub fn with_pool(pool: &OptikGlListPool) -> Self {
+        Self::from_pool(Arc::clone(&pool.0))
+    }
+
+    fn from_pool(pool: Arc<NodePool<Node>>) -> Self {
+        let tail = pool.alloc_init(|| Node::make(TAIL_KEY, 0, std::ptr::null_mut()));
+        let head = pool.alloc_init(|| Node::make(crate::HEAD_KEY, 0, tail));
         Self {
             lock: L::default(),
             head,
+            pool,
         }
     }
 
@@ -94,7 +135,7 @@ impl<L: OptikLock> ConcurrentSet for OptikGlList<L> {
     fn insert(&self, key: Key, val: Val) -> bool {
         assert_user_key(key);
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             let vn = self.lock.get_version();
             if L::is_locked_version(vn) {
@@ -114,7 +155,7 @@ impl<L: OptikLock> ConcurrentSet for OptikGlList<L> {
                 }
                 // Validated: no update committed since vn, so (pred, cur)
                 // is still the correct link.
-                let newnode = Node::boxed(key, val, cur);
+                let newnode = self.pool.alloc_init(|| Node::make(key, val, cur));
                 (*pred).next.store(newnode, Ordering::Release);
                 self.lock.unlock();
                 return true;
@@ -125,7 +166,7 @@ impl<L: OptikLock> ConcurrentSet for OptikGlList<L> {
     fn delete(&self, key: Key) -> Option<Val> {
         assert_user_key(key);
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             let vn = self.lock.get_version();
             if L::is_locked_version(vn) {
@@ -147,8 +188,8 @@ impl<L: OptikLock> ConcurrentSet for OptikGlList<L> {
                     .store((*cur).next.load(Ordering::Relaxed), Ordering::Release);
                 let val = (*cur).val;
                 self.lock.unlock();
-                // SAFETY: unlinked exactly once.
-                reclaim::with_local(|h| h.retire(cur));
+                // SAFETY: unlinked exactly once; cur came from this pool.
+                reclaim::with_local(|h| self.pool.retire(cur, h));
                 return Some(val);
             }
         }
@@ -165,19 +206,6 @@ impl<L: OptikLock> ConcurrentSet for OptikGlList<L> {
                 cur = (*cur).next.load(Ordering::Acquire);
             }
             n
-        }
-    }
-}
-
-impl<L: OptikLock> Drop for OptikGlList<L> {
-    fn drop(&mut self) {
-        let mut cur = self.head;
-        while !cur.is_null() {
-            // SAFETY: exclusive access at drop.
-            let next = unsafe { (*cur).next.load(Ordering::Relaxed) };
-            // SAFETY: unique ownership of the remaining chain.
-            unsafe { drop(Box::from_raw(cur)) };
-            cur = next;
         }
     }
 }

@@ -77,7 +77,7 @@ impl<L: OptikLock> ArrayMap for OptikArrayMap<L> {
 
     fn insert(&self, key: Key, val: Val) -> bool {
         debug_assert_ne!(key, EMPTY_KEY);
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             let vn = self.lock.get_version();
             if L::is_locked_version(vn) {
@@ -127,7 +127,7 @@ impl<L: OptikLock> ArrayMap for OptikArrayMap<L> {
 
     fn put(&self, key: Key, val: Val) -> Option<Val> {
         debug_assert_ne!(key, EMPTY_KEY);
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             let vn = self.lock.get_version();
             if L::is_locked_version(vn) {
@@ -181,7 +181,7 @@ impl<L: OptikLock> ArrayMap for OptikArrayMap<L> {
 
     fn delete(&self, key: Key) -> Option<Val> {
         debug_assert_ne!(key, EMPTY_KEY);
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         'restart: loop {
             let vn = self.lock.get_version();
             if L::is_locked_version(vn) {

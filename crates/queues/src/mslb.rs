@@ -11,15 +11,16 @@ use std::sync::atomic::{AtomicPtr, Ordering};
 
 use synchro::{CachePadded, McsLock};
 
-use crate::node::{drop_chain, Node};
+use crate::node::{queue_pool, Node, QueuePool};
 use crate::{ConcurrentQueue, Val};
 
-/// The two-lock MS queue.
+/// The two-lock MS queue. Nodes come from a per-queue type-stable pool.
 pub struct MsLbQueue {
     head_lock: CachePadded<McsLock>,
     tail_lock: CachePadded<McsLock>,
     head: CachePadded<AtomicPtr<Node>>,
     tail: CachePadded<AtomicPtr<Node>>,
+    pool: QueuePool,
 }
 
 // SAFETY: head/tail pointer mutation is serialized by the respective MCS
@@ -31,12 +32,14 @@ unsafe impl Sync for MsLbQueue {}
 impl MsLbQueue {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        let dummy = Node::boxed(0);
+        let pool = queue_pool();
+        let dummy = pool.alloc_init(|| Node::make(0));
         Self {
             head_lock: CachePadded::new(McsLock::new()),
             tail_lock: CachePadded::new(McsLock::new()),
             head: CachePadded::new(AtomicPtr::new(dummy)),
             tail: CachePadded::new(AtomicPtr::new(dummy)),
+            pool,
         }
     }
 }
@@ -50,7 +53,7 @@ impl Default for MsLbQueue {
 impl ConcurrentQueue for MsLbQueue {
     fn enqueue(&self, val: Val) {
         reclaim::quiescent();
-        let node = Node::boxed(val);
+        let node = self.pool.alloc_init(|| Node::make(val));
         self.tail_lock.with(|| {
             // SAFETY: tail mutation serialized by tail_lock; the tail node
             // is never freed while reachable (dequeue frees only strictly
@@ -78,7 +81,7 @@ impl ConcurrentQueue for MsLbQueue {
                 // The old dummy is unreachable; retire via QSBR (len() and
                 // the OPTIK-variant preparation patterns read head chains
                 // without the head lock).
-                reclaim::with_local(|h| h.retire(dummy));
+                reclaim::with_local(|h| self.pool.retire(dummy, h));
                 Some(val)
             }
         })
@@ -98,13 +101,6 @@ impl ConcurrentQueue for MsLbQueue {
             }
             n
         }
-    }
-}
-
-impl Drop for MsLbQueue {
-    fn drop(&mut self) {
-        // SAFETY: exclusive access.
-        unsafe { drop_chain(self.head.load(Ordering::Relaxed)) };
     }
 }
 

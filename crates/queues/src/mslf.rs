@@ -4,15 +4,17 @@ use std::sync::atomic::Ordering;
 
 use synchro::{Backoff, CachePadded};
 
-use crate::node::{drop_chain, Node};
+use crate::node::{queue_pool, Node, QueuePool};
 use crate::{ConcurrentQueue, Val};
 
 use std::sync::atomic::AtomicPtr;
 
-/// The classic lock-free MS queue.
+/// The classic lock-free MS queue. Nodes come from a per-queue type-stable
+/// pool.
 pub struct MsLfQueue {
     head: CachePadded<AtomicPtr<Node>>,
     tail: CachePadded<AtomicPtr<Node>>,
+    pool: QueuePool,
 }
 
 // SAFETY: all mutation is CAS; dummies are retired through QSBR.
@@ -22,10 +24,12 @@ unsafe impl Sync for MsLfQueue {}
 impl MsLfQueue {
     /// Creates an empty queue (a single dummy node).
     pub fn new() -> Self {
-        let dummy = Node::boxed(0);
+        let pool = queue_pool();
+        let dummy = pool.alloc_init(|| Node::make(0));
         Self {
             head: CachePadded::new(AtomicPtr::new(dummy)),
             tail: CachePadded::new(AtomicPtr::new(dummy)),
+            pool,
         }
     }
 }
@@ -39,8 +43,8 @@ impl Default for MsLfQueue {
 impl ConcurrentQueue for MsLfQueue {
     fn enqueue(&self, val: Val) {
         reclaim::quiescent();
-        let node = Node::boxed(val);
-        let mut bo = Backoff::new();
+        let node = self.pool.alloc_init(|| Node::make(val));
+        let mut bo = Backoff::adaptive();
         // SAFETY: QSBR grace period; nodes reached via head/tail/next are
         // alive until our next quiescent point.
         unsafe {
@@ -83,7 +87,7 @@ impl ConcurrentQueue for MsLfQueue {
 
     fn dequeue(&self) -> Option<Val> {
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         // SAFETY: QSBR grace period.
         unsafe {
             loop {
@@ -113,7 +117,7 @@ impl ConcurrentQueue for MsLfQueue {
                 {
                     // SAFETY: the old dummy is now unreachable from the
                     // queue; concurrent snapshots retain it via QSBR.
-                    reclaim::with_local(|h| h.retire(head));
+                    reclaim::with_local(|h| self.pool.retire(head, h));
                     return Some(val);
                 }
                 bo.backoff();
@@ -135,13 +139,6 @@ impl ConcurrentQueue for MsLfQueue {
             }
             n
         }
-    }
-}
-
-impl Drop for MsLfQueue {
-    fn drop(&mut self) {
-        // SAFETY: exclusive access; the chain from the dummy is owned.
-        unsafe { drop_chain(self.head.load(Ordering::Relaxed)) };
     }
 }
 

@@ -1,8 +1,10 @@
 //! Shared queue node.
 
 use std::sync::atomic::AtomicPtr;
+use std::sync::Arc;
 
 use optik_harness::api::Val;
+use reclaim::NodePool;
 
 pub(crate) struct Node {
     pub(crate) val: Val,
@@ -13,27 +15,21 @@ pub(crate) struct Node {
 }
 
 impl Node {
-    pub(crate) fn boxed(val: Val) -> *mut Node {
-        Box::into_raw(Box::new(Node {
+    pub(crate) fn make(val: Val) -> Self {
+        Node {
             val,
             next: AtomicPtr::new(std::ptr::null_mut()),
             visible: std::sync::atomic::AtomicBool::new(false),
-        }))
+        }
     }
 }
 
-/// Frees an entire dummy-headed chain; for `Drop` impls (exclusive access).
-///
-/// # Safety
-///
-/// `head` must be the start of an exclusively-owned chain of Box nodes.
-pub(crate) unsafe fn drop_chain(head: *mut Node) {
-    let mut cur = head;
-    while !cur.is_null() {
-        // SAFETY: exclusive ownership per contract.
-        let next = unsafe { (*cur).next.load(std::sync::atomic::Ordering::Relaxed) };
-        // SAFETY: as above.
-        unsafe { drop(Box::from_raw(cur)) };
-        cur = next;
-    }
+/// One type-stable node pool per queue. Queue operations never cache node
+/// pointers across operations (dummies are retired before the operation
+/// that unlinked them returns), so recycled slots are plainly
+/// re-initialized (`alloc_init`) after their grace period.
+pub(crate) type QueuePool = Arc<NodePool<Node>>;
+
+pub(crate) fn queue_pool() -> QueuePool {
+    NodePool::new()
 }

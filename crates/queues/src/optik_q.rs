@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicPtr, Ordering};
 use optik::{OptikLock, OptikVersioned};
 use synchro::{Backoff, CachePadded, McsLock};
 
-use crate::node::{drop_chain, Node};
+use crate::node::{queue_pool, Node, QueuePool};
 use crate::{ConcurrentQueue, Val};
 
 /// Common state: MS list + OPTIK head lock + (optionally used) tail lock.
@@ -31,6 +31,7 @@ struct Core {
     tail_lock: CachePadded<McsLock>,
     head: CachePadded<AtomicPtr<Node>>,
     tail: CachePadded<AtomicPtr<Node>>,
+    pool: QueuePool,
 }
 
 // SAFETY: head updates go through the OPTIK lock, tail updates through the
@@ -40,18 +41,20 @@ unsafe impl Sync for Core {}
 
 impl Core {
     fn new() -> Self {
-        let dummy = Node::boxed(0);
+        let pool = queue_pool();
+        let dummy = pool.alloc_init(|| Node::make(0));
         Self {
             head_lock: CachePadded::new(OptikVersioned::new()),
             tail_lock: CachePadded::new(McsLock::new()),
             head: CachePadded::new(AtomicPtr::new(dummy)),
             tail: CachePadded::new(AtomicPtr::new(dummy)),
+            pool,
         }
     }
 
     /// Lock-based enqueue (the ms-lb side).
     fn enqueue_locked(&self, val: Val) {
-        let node = Node::boxed(val);
+        let node = self.pool.alloc_init(|| Node::make(val));
         self.tail_lock.with(|| {
             // SAFETY: tail serialized by tail_lock; see mslb.rs.
             unsafe {
@@ -64,8 +67,8 @@ impl Core {
 
     /// Lock-free MS enqueue (the ms-lf side).
     fn enqueue_lockfree(&self, val: Val) {
-        let node = Node::boxed(val);
-        let mut bo = Backoff::new();
+        let node = self.pool.alloc_init(|| Node::make(val));
+        let mut bo = Backoff::adaptive();
         // SAFETY: QSBR grace period.
         unsafe {
             loop {
@@ -150,7 +153,7 @@ impl Core {
         self.head_lock.unlock();
         // SAFETY: dummy unreachable from the queue; retired once by the
         // committing dequeuer.
-        unsafe { reclaim::with_local(|h| h.retire(dummy)) };
+        unsafe { reclaim::with_local(|h| self.pool.retire(dummy, h)) };
     }
 
     fn len(&self) -> usize {
@@ -166,13 +169,6 @@ impl Core {
             }
             n
         }
-    }
-}
-
-impl Drop for Core {
-    fn drop(&mut self) {
-        // SAFETY: exclusive access.
-        unsafe { drop_chain(self.head.load(Ordering::Relaxed)) };
     }
 }
 
@@ -268,7 +264,7 @@ impl ConcurrentQueue for OptikQueue1 {
 
     fn dequeue(&self) -> Option<Val> {
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             // SAFETY: grace period.
             unsafe {
@@ -301,7 +297,7 @@ impl ConcurrentQueue for OptikQueue2 {
 
     fn dequeue(&self) -> Option<Val> {
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             // SAFETY: grace period.
             unsafe {

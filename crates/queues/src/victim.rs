@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicPtr, Ordering};
 use optik::{OptikLock, OptikTicket, OptikVersioned};
 use synchro::{Backoff, CachePadded};
 
-use crate::node::{drop_chain, Node};
+use crate::node::{queue_pool, Node, QueuePool};
 use crate::{ConcurrentQueue, Val};
 
 /// Queue-length threshold beyond which enqueues divert to the victim queue
@@ -46,6 +46,7 @@ pub struct VictimQueue {
     tail: CachePadded<AtomicPtr<Node>>,
     vq_tail: CachePadded<AtomicPtr<Node>>,
     threshold: u32,
+    pool: QueuePool,
 }
 
 // SAFETY: head updates via the OPTIK lock; tail updates under the ticket
@@ -62,7 +63,8 @@ impl VictimQueue {
     /// Creates an empty queue diverting to the victim queue once more than
     /// `threshold` threads hold or wait for the tail lock (ablation knob).
     pub fn with_threshold(threshold: u32) -> Self {
-        let dummy = Node::boxed(0);
+        let pool = queue_pool();
+        let dummy = pool.alloc_init(|| Node::make(0));
         Self {
             head_lock: CachePadded::new(OptikVersioned::new()),
             tail_lock: CachePadded::new(OptikTicket::new()),
@@ -70,6 +72,7 @@ impl VictimQueue {
             tail: CachePadded::new(AtomicPtr::new(dummy)),
             vq_tail: CachePadded::new(AtomicPtr::new(std::ptr::null_mut())),
             threshold,
+            pool,
         }
     }
 
@@ -99,7 +102,7 @@ impl Default for VictimQueue {
 impl ConcurrentQueue for VictimQueue {
     fn enqueue(&self, val: Val) {
         reclaim::quiescent();
-        let node = Node::boxed(val);
+        let node = self.pool.alloc_init(|| Node::make(val));
         // Fast path: low contention — plain lock-based enqueue.
         if self.tail_lock.num_queued() <= self.threshold {
             let _v = self.tail_lock.lock();
@@ -160,7 +163,7 @@ impl ConcurrentQueue for VictimQueue {
 
     fn dequeue(&self) -> Option<Val> {
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             let v = self.head_lock.get_version();
             if OptikVersioned::is_locked_version(v) {
@@ -179,7 +182,7 @@ impl ConcurrentQueue for VictimQueue {
                     self.head.store(next, Ordering::Release);
                     self.head_lock.unlock();
                     // SAFETY: dummy unreachable; retired once.
-                    reclaim::with_local(|h| h.retire(dummy));
+                    reclaim::with_local(|h| self.pool.retire(dummy, h));
                     return Some(val);
                 }
                 bo.backoff();
@@ -202,16 +205,6 @@ impl ConcurrentQueue for VictimQueue {
             }
             n
         }
-    }
-}
-
-impl Drop for VictimQueue {
-    fn drop(&mut self) {
-        // Any unspliced victim batch would only exist if an enqueue was
-        // aborted mid-flight, which safe callers cannot do; the main chain
-        // owns everything else.
-        // SAFETY: exclusive access.
-        unsafe { drop_chain(self.head.load(Ordering::Relaxed)) };
     }
 }
 

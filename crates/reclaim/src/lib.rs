@@ -34,4 +34,4 @@ mod pool;
 
 pub use domain::{Qsbr, QsbrHandle, QsbrStats, RetireCtx, MAX_THREADS};
 pub use global::{global, offline, offline_while, online, quiescent, retire_global, with_local};
-pub use pool::{NodePool, PooledPtr};
+pub use pool::{NodePool, PoolStats, PooledPtr, DEFAULT_CHUNK_CAPACITY, DEFAULT_MAGAZINE_CAPACITY};

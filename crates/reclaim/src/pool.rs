@@ -1,38 +1,197 @@
-//! Type-stable node pool.
+//! Type-stable node pool with per-thread magazine caches.
 //!
-//! `ssmem`, the allocator the paper's structures use, is *type stable*:
-//! memory handed out for nodes of one structure is only ever recycled as
-//! nodes of the same structure, and is never unmapped while the allocator
-//! lives. The paper's node-caching optimization (§5.1) depends on this:
+//! `ssmem`, the allocator the paper's structures use, is *type stable*
+//! (§5.1): memory handed out for nodes of one structure is only ever
+//! recycled as nodes of the same structure, and is never unmapped while the
+//! allocator lives. The paper's node-caching optimization depends on this:
 //! a thread may keep a `(node pointer, version)` pair *across* operations,
 //! i.e. across quiescent points, and dereference it later. QSBR alone would
 //! make that a use-after-free; with a type-stable pool the dereference is
 //! always a read of a valid node, and OPTIK version validation rejects any
 //! node that was recycled in between.
 //!
+//! ssmem is also *per-thread*: its hot path touches only thread-local free
+//! lists, so allocation never contends. This pool reproduces that shape
+//! with **magazines** (Bonwick's term): each thread owns a small cache of
+//! free slots it allocates from and releases into with no locks and no
+//! shared-cacheline traffic on the hit path. Magazines exchange whole
+//! batches with a per-pool **depot** under the pool lock, so one lock
+//! acquisition is amortized over `magazine_capacity` (default 64) node
+//! operations; chunk growth (fresh slots) is batched the same way.
+//!
+//! ```text
+//!  thread A            thread B               depot (pool lock)
+//!  ┌──────────┐        ┌──────────┐        ┌───────────────────────┐
+//!  │ loaded   │ pop/   │ loaded   │        │ full magazines  [64]* │
+//!  │ prev     │ push   │ prev     │  ⇄     │ spare (empty) buffers │
+//!  │ fresh    │        │ fresh    │ batch  │ bump region (chunks)  │
+//!  └──────────┘        └──────────┘        └───────────────────────┘
+//! ```
+//!
+//! Recycling still goes through QSBR: [`NodePool::retire`] hands the slot
+//! to the domain, and only the post-grace reclamation callback pushes it
+//! into the collecting thread's magazine (`in_grace` tracks the slots in
+//! flight). A slot is therefore always in exactly one place: live, in one
+//! thread's magazine, in the depot, or awaiting grace — the conservation
+//! ledger the property tests check.
+//!
 //! # Contract for pooled node types
 //!
 //! - `T` must not implement a meaningful `Drop` (asserted at construction):
 //!   slot contents are abandoned in place on recycle and at pool teardown.
-//! - Any field of `T` that a stale reader might inspect must be an atomic,
-//!   because recycling re-initializes slots through shared references while
-//!   stale readers may race with it. The pool returns `&T`; all mutation of
-//!   recycled slots therefore *has* to go through interior mutability.
+//! - Any field of `T` that a *stale* reader (a cross-operation cached
+//!   pointer, as in node caching) might inspect must be an atomic, because
+//!   recycling re-initializes slots through shared references while stale
+//!   readers may race with it. Structures that never hold node pointers
+//!   across operations have no stale readers and may use
+//!   [`NodePool::alloc_init`], which plainly overwrites the whole slot.
 //! - Returning a slot to the pool must go through [`NodePool::retire`]
 //!   (grace period first) unless the node was never published, in which case
 //!   [`NodePool::dealloc_unpublished`] is allowed.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use synchro::{Lock, TtasLock};
+use synchro::{shim, CachePadded, Lock, TtasLock};
 
-use crate::domain::{QsbrHandle, RetireCtx};
+use crate::domain::{QsbrHandle, RetireCtx, MAX_THREADS};
 
 /// Default number of node slots per chunk.
 pub const DEFAULT_CHUNK_CAPACITY: usize = 1024;
+
+/// Default number of slots per per-thread magazine (the depot exchange
+/// batch size; ssmem uses 64-object free-list chains the same way).
+pub const DEFAULT_MAGAZINE_CAPACITY: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Process-wide thread index registry.
+// ---------------------------------------------------------------------------
+
+/// One claimable index per live OS thread that touches any pool. Indices
+/// are exclusive while claimed and recycled on thread exit, so a pool can
+/// key its per-thread magazines by index with no per-pool registration.
+static CLAIMED: [AtomicBool; MAX_THREADS] = {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const FREE: AtomicBool = AtomicBool::new(false);
+    [FREE; MAX_THREADS]
+};
+
+struct ThreadIndexGuard(u32);
+
+impl Drop for ThreadIndexGuard {
+    fn drop(&mut self) {
+        // Release pairs with the Acquire CAS of the next claimant, so
+        // magazine contents written by this thread are visible to it.
+        CLAIMED[self.0 as usize].store(false, Ordering::Release);
+    }
+}
+
+fn claim_thread_index() -> ThreadIndexGuard {
+    for (i, slot) in CLAIMED.iter().enumerate() {
+        if !slot.load(Ordering::Relaxed)
+            && slot
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            return ThreadIndexGuard(i as u32);
+        }
+    }
+    panic!("node-pool thread registry exhausted: more than {MAX_THREADS} live threads");
+}
+
+std::thread_local! {
+    static THREAD_INDEX: ThreadIndexGuard = claim_thread_index();
+}
+
+/// This thread's pool index (claimed on first use, released at thread
+/// exit). Exclusive among live threads; exited threads' indices — and the
+/// magazine contents filed under them — are inherited by later threads.
+///
+/// `None` during thread teardown: QSBR handle destructors run recycle
+/// callbacks from TLS destructors, where this TLS may already be gone (the
+/// destruction order is unspecified). Callers fall back to the pool lock.
+#[inline]
+fn thread_index() -> Option<usize> {
+    THREAD_INDEX.try_with(|g| g.0 as usize).ok()
+}
+
+// ---------------------------------------------------------------------------
+// Magazines.
+// ---------------------------------------------------------------------------
+
+/// The calling thread's private slot caches for one pool. Only the thread
+/// currently holding the matching registry index touches `cache`; the
+/// counters are owner-written (plain store, no RMW) and racily read by
+/// [`NodePool::stats`].
+struct MagazineSlot<T> {
+    cache: UnsafeCell<ThreadCache<T>>,
+    /// Total allocations served through this magazine.
+    allocs: AtomicU64,
+    /// Allocations that returned a recycled slot.
+    recycled: AtomicU64,
+    /// Allocations that had to take the pool lock (depot/bump exchange).
+    slow: AtomicU64,
+    /// Slots currently parked in `cache` (all three stacks).
+    cached: AtomicU64,
+}
+
+// SAFETY: `cache` is only accessed by the registry-index owner (exclusive
+// among live threads); counters are atomics.
+unsafe impl<T: Send> Send for MagazineSlot<T> {}
+unsafe impl<T: Send> Sync for MagazineSlot<T> {}
+
+struct ThreadCache<T> {
+    /// Recycled slots, allocated from first (warm cache lines).
+    loaded: Vec<*mut T>,
+    /// Second magazine (Bonwick's two-magazine scheme): keeps a thread
+    /// that oscillates around a magazine boundary from hitting the depot
+    /// on every operation.
+    prev: Vec<*mut T>,
+    /// Bump-allocated slots that were never initialized; kept apart from
+    /// the recycled stacks so `alloc` knows whether `make_fresh` must run.
+    fresh: Vec<*mut T>,
+}
+
+impl<T> MagazineSlot<T> {
+    fn new() -> Self {
+        Self {
+            cache: UnsafeCell::new(ThreadCache {
+                loaded: Vec::new(),
+                prev: Vec::new(),
+                fresh: Vec::new(),
+            }),
+            allocs: AtomicU64::new(0),
+            recycled: AtomicU64::new(0),
+            slow: AtomicU64::new(0),
+            cached: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Owner-exclusive counter bump: a plain load+store instead of a locked
+/// RMW — the whole point of the magazine layer is that the hit path never
+/// executes a `lock`-prefixed instruction.
+#[inline]
+fn bump(counter: &AtomicU64, delta: u64) {
+    counter.store(
+        counter.load(Ordering::Relaxed).wrapping_add(delta),
+        Ordering::Relaxed,
+    );
+}
+
+#[inline]
+fn debit(counter: &AtomicU64, delta: u64) {
+    counter.store(
+        counter.load(Ordering::Relaxed).wrapping_sub(delta),
+        Ordering::Relaxed,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The pool.
+// ---------------------------------------------------------------------------
 
 #[repr(transparent)]
 struct Slot<T>(UnsafeCell<MaybeUninit<T>>);
@@ -40,26 +199,52 @@ struct Slot<T>(UnsafeCell<MaybeUninit<T>>);
 struct PoolInner<T> {
     /// Owning storage; never shrinks while the pool lives (type stability).
     chunks: Vec<Box<[Slot<T>]>>,
-    /// Recycled slots ready for reuse.
-    free: Vec<*mut T>,
+    /// Full magazines surrendered by overflowing threads.
+    depot: Vec<Vec<*mut T>>,
+    /// Empty magazine buffers kept for reuse (no malloc churn on exchange).
+    spares: Vec<Vec<*mut T>>,
+    /// Loose recycled slots from the no-magazine fallback path (thread
+    /// teardown, where the thread-index TLS is already destroyed).
+    loose: Vec<*mut T>,
+    /// Total slots across `depot` and `loose`.
+    depot_slots: usize,
     /// Bump cursor into the last chunk.
     bump: usize,
+    /// Slots ever handed out of the bump region.
+    handed_out: usize,
     chunk_capacity: usize,
 }
 
-// SAFETY: the raw pointers in `free` all point into `chunks`, which the pool
-// owns; the surrounding spinlock serializes all structural access.
+// SAFETY: the raw pointers in `depot` all point into `chunks`, which the
+// pool owns; the surrounding spinlock serializes all structural access.
 unsafe impl<T: Send> Send for PoolInner<T> {}
 
-/// A type-stable arena allocator for concurrent data-structure nodes.
+/// A type-stable arena allocator for concurrent data-structure nodes, with
+/// per-thread magazine caches (see the module docs).
 pub struct NodePool<T> {
     inner: Lock<PoolInner<T>, TtasLock>,
-    allocated: AtomicU64,
-    recycled: AtomicU64,
+    /// Per-thread magazines, keyed by registry index, allocated lazily by
+    /// their owning thread. Readers (stats) only load the pointers.
+    mags: Box<[AtomicPtr<CachePadded<MagazineSlot<T>>>]>,
+    magazine_capacity: usize,
+    /// Retired slots whose grace period has not elapsed yet.
+    in_grace: AtomicU64,
+    /// Allocations served by the no-magazine fallback (thread teardown).
+    direct_allocs: AtomicU64,
+    /// Fallback allocations that returned a recycled slot.
+    direct_recycled: AtomicU64,
+    /// Bumped around every magazine⇄depot exchange. A schedulable shim
+    /// word: under `--cfg optik_explore` the explorer interleaves depot
+    /// traffic with concurrent retires and grace-period advances at this
+    /// yield point; in normal builds it is one relaxed `fetch_add` per
+    /// `magazine_capacity` operations. Padded so the slow path does not
+    /// dirty the `mags` table's cache lines.
+    exchange_epoch: CachePadded<shim::AtomicU64>,
 }
 
-// SAFETY: `inner` is lock-protected; counters are atomics. `T: Send + Sync`
-// because slots are shared across threads as `&T`.
+// SAFETY: `inner` is lock-protected; magazines are owner-exclusive (see
+// `MagazineSlot`); counters are atomics. `T: Send + Sync` because slots are
+// shared across threads as `&T`.
 unsafe impl<T: Send + Sync> Send for NodePool<T> {}
 unsafe impl<T: Send + Sync> Sync for NodePool<T> {}
 
@@ -74,49 +259,272 @@ pub struct PooledPtr<T> {
     pub recycled: bool,
 }
 
+/// A point-in-time snapshot of a pool's slot ledger (see
+/// [`NodePool::stats`]). Counter fields are exact whenever every thread
+/// using the pool is at rest; `live` is derived from the others.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Slots handed out (fresh + recycled) so far.
+    pub allocations: u64,
+    /// Allocations served from recycled slots.
+    pub recycle_hits: u64,
+    /// Allocations that took the pool lock (depot fetch or bump refill).
+    pub slow_allocs: u64,
+    /// Slots currently parked in per-thread magazines.
+    pub cached: u64,
+    /// Slots currently parked in the depot.
+    pub depot: u64,
+    /// Retired slots still awaiting their grace period.
+    pub in_grace: u64,
+    /// Total slot capacity currently reserved from the OS.
+    pub capacity: u64,
+    /// Slots never yet handed out of the bump region.
+    pub unallocated: u64,
+}
+
+impl PoolStats {
+    /// Magazine hit rate: fraction of allocations served without taking
+    /// the pool lock. `1.0` for an untouched pool.
+    pub fn magazine_hit_rate(&self) -> f64 {
+        if self.allocations == 0 {
+            1.0
+        } else {
+            1.0 - self.slow_allocs as f64 / self.allocations as f64
+        }
+    }
+
+    /// Slots the ledger says are currently live (allocated, not yet back
+    /// in any pool structure): `capacity - unallocated - cached - depot -
+    /// in_grace`, saturating at zero against racy snapshots.
+    pub fn live(&self) -> u64 {
+        self.capacity
+            .saturating_sub(self.unallocated)
+            .saturating_sub(self.cached)
+            .saturating_sub(self.depot)
+            .saturating_sub(self.in_grace)
+    }
+}
+
 impl<T: Send + Sync + 'static> NodePool<T> {
-    /// Creates a pool with the default chunk capacity.
+    /// Creates a pool with the default chunk and magazine capacities.
     pub fn new() -> Arc<Self> {
         Self::with_chunk_capacity(DEFAULT_CHUNK_CAPACITY)
     }
 
-    /// Creates a pool allocating `chunk_capacity` slots at a time.
+    /// Creates a pool allocating `chunk_capacity` slots at a time, with
+    /// the default magazine capacity.
     ///
     /// # Panics
     ///
     /// Panics if `T` needs drop (pooled nodes must be plain data + atomics)
     /// or if `chunk_capacity` is zero.
     pub fn with_chunk_capacity(chunk_capacity: usize) -> Arc<Self> {
+        Self::with_config(chunk_capacity, DEFAULT_MAGAZINE_CAPACITY)
+    }
+
+    /// Creates a pool with explicit chunk and magazine capacities. The
+    /// effective exchange batch is `min(magazine_capacity,
+    /// chunk_capacity)`, so small test pools don't over-reserve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `T` needs drop or either capacity is zero.
+    pub fn with_config(chunk_capacity: usize, magazine_capacity: usize) -> Arc<Self> {
         assert!(
             !std::mem::needs_drop::<T>(),
             "NodePool requires nodes without Drop glue"
         );
         assert!(chunk_capacity > 0, "chunk capacity must be positive");
+        assert!(magazine_capacity > 0, "magazine capacity must be positive");
         Arc::new(Self {
             inner: Lock::new(PoolInner {
                 chunks: Vec::new(),
-                free: Vec::new(),
-                bump: chunk_capacity, // forces a chunk on first alloc
+                depot: Vec::new(),
+                spares: Vec::new(),
+                loose: Vec::new(),
+                depot_slots: 0,
+                bump: 0,
+                handed_out: 0,
                 chunk_capacity,
             }),
-            allocated: AtomicU64::new(0),
-            recycled: AtomicU64::new(0),
+            mags: (0..MAX_THREADS)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+            magazine_capacity: magazine_capacity.min(chunk_capacity),
+            in_grace: AtomicU64::new(0),
+            direct_allocs: AtomicU64::new(0),
+            direct_recycled: AtomicU64::new(0),
+            exchange_epoch: CachePadded::new(shim::AtomicU64::new(0)),
         })
     }
 
-    /// Allocates a slot. Fresh slots are initialized with `make_fresh`;
-    /// recycled slots are returned as-is (see [`PooledPtr::recycled`]).
-    pub fn alloc(&self, make_fresh: impl FnOnce() -> T) -> PooledPtr<T> {
-        self.allocated.fetch_add(1, Ordering::Relaxed);
-        let mut inner = self.inner.lock();
-        if let Some(ptr) = inner.free.pop() {
-            self.recycled.fetch_add(1, Ordering::Relaxed);
+    /// The calling thread's magazine for this pool; `None` only during
+    /// thread teardown (see [`thread_index`]).
+    #[inline]
+    fn magazine(&self) -> Option<&CachePadded<MagazineSlot<T>>> {
+        let idx = thread_index()?;
+        let p = self.mags[idx].load(Ordering::Acquire);
+        if !p.is_null() {
+            // SAFETY: published boxes are only freed in `Drop`, which has
+            // exclusive access.
+            Some(unsafe { &*p })
+        } else {
+            Some(self.magazine_init(idx))
+        }
+    }
+
+    #[cold]
+    fn magazine_init(&self, idx: usize) -> &CachePadded<MagazineSlot<T>> {
+        let fresh = Box::into_raw(Box::new(CachePadded::new(MagazineSlot::new())));
+        // Only the index owner stores here, so the CAS cannot lose; it is
+        // still a CAS (not a blind store) to keep stats readers safe if
+        // that invariant ever breaks.
+        match self.mags[idx].compare_exchange(
+            std::ptr::null_mut(),
+            fresh,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            // SAFETY: just published / already published; never freed
+            // while the pool lives.
+            Ok(_) => unsafe { &*fresh },
+            Err(existing) => unsafe {
+                drop(Box::from_raw(fresh));
+                &*existing
+            },
+        }
+    }
+
+    /// Grabs a slot without initializing it.
+    fn alloc_slot(&self) -> PooledPtr<T> {
+        let Some(mag) = self.magazine() else {
+            return self.alloc_direct();
+        };
+        bump(&mag.allocs, 1);
+        // SAFETY: owner-exclusive (see MagazineSlot).
+        let cache = unsafe { &mut *mag.cache.get() };
+        if let Some(ptr) = cache.loaded.pop().or_else(|| {
+            if cache.prev.is_empty() {
+                None
+            } else {
+                std::mem::swap(&mut cache.loaded, &mut cache.prev);
+                cache.loaded.pop()
+            }
+        }) {
+            bump(&mag.recycled, 1);
+            debit(&mag.cached, 1);
             return PooledPtr {
                 ptr,
                 recycled: true,
             };
         }
-        if inner.bump == inner.chunk_capacity {
+        if let Some(ptr) = cache.fresh.pop() {
+            debit(&mag.cached, 1);
+            return PooledPtr {
+                ptr,
+                recycled: false,
+            };
+        }
+        self.alloc_slow(mag, cache)
+    }
+
+    /// Magazine miss: exchange with the depot (a full magazine of recycled
+    /// slots if one exists, else a batch of fresh bump slots) under one
+    /// lock acquisition amortized over `magazine_capacity` allocations.
+    #[cold]
+    fn alloc_slow(&self, mag: &MagazineSlot<T>, cache: &mut ThreadCache<T>) -> PooledPtr<T> {
+        bump(&mag.slow, 1);
+        // Explorer yield point: depot exchange about to happen.
+        self.exchange_epoch.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        if !inner.loose.is_empty() {
+            // Adopt teardown leftovers as this thread's recycled batch.
+            let take = inner.loose.len().min(self.magazine_capacity);
+            let at = inner.loose.len() - take;
+            cache.loaded.extend(inner.loose.drain(at..));
+            inner.depot_slots -= take;
+            drop(inner);
+            bump(&mag.cached, take as u64);
+            bump(&mag.recycled, 1);
+            let ptr = cache.loaded.pop().expect("took at least one slot");
+            debit(&mag.cached, 1);
+            return PooledPtr {
+                ptr,
+                recycled: true,
+            };
+        }
+        if let Some(full) = inner.depot.pop() {
+            inner.depot_slots -= full.len();
+            let old = std::mem::replace(&mut cache.loaded, full);
+            debug_assert!(old.is_empty());
+            inner.spares.push(old);
+            drop(inner);
+            bump(&mag.cached, cache.loaded.len() as u64);
+            bump(&mag.recycled, 1);
+            let ptr = cache.loaded.pop().expect("depot magazines are never empty");
+            debit(&mag.cached, 1);
+            return PooledPtr {
+                ptr,
+                recycled: true,
+            };
+        }
+        // No recycled batch: hand out a batch of fresh slots.
+        let want = self.magazine_capacity;
+        cache.fresh.reserve(want);
+        for _ in 0..want {
+            if inner.bump == inner.chunk_capacity || inner.chunks.is_empty() {
+                let cap = inner.chunk_capacity;
+                let chunk: Box<[Slot<T>]> = (0..cap)
+                    .map(|_| Slot(UnsafeCell::new(MaybeUninit::uninit())))
+                    .collect();
+                inner.chunks.push(chunk);
+                inner.bump = 0;
+            }
+            let idx = inner.bump;
+            inner.bump += 1;
+            inner.handed_out += 1;
+            let chunk = inner.chunks.last().expect("chunk pushed above");
+            cache.fresh.push(chunk[idx].0.get().cast::<T>());
+        }
+        drop(inner);
+        bump(&mag.cached, want as u64);
+        let ptr = cache.fresh.pop().expect("batch is non-empty");
+        debit(&mag.cached, 1);
+        PooledPtr {
+            ptr,
+            recycled: false,
+        }
+    }
+
+    /// No-magazine fallback (thread teardown): one slot per lock trip.
+    /// Counted through pool-level atomics so the ledger stays exact.
+    #[cold]
+    fn alloc_direct(&self) -> PooledPtr<T> {
+        self.direct_allocs.fetch_add(1, Ordering::Relaxed);
+        self.exchange_epoch.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        if let Some(ptr) = inner.loose.pop() {
+            inner.depot_slots -= 1;
+            self.direct_recycled.fetch_add(1, Ordering::Relaxed);
+            return PooledPtr {
+                ptr,
+                recycled: true,
+            };
+        }
+        if let Some(full) = inner.depot.last_mut() {
+            let ptr = full.pop().expect("depot magazines are never empty");
+            if full.is_empty() {
+                let empty = inner.depot.pop().expect("checked non-empty");
+                inner.spares.push(empty);
+            }
+            inner.depot_slots -= 1;
+            self.direct_recycled.fetch_add(1, Ordering::Relaxed);
+            return PooledPtr {
+                ptr,
+                recycled: true,
+            };
+        }
+        if inner.bump == inner.chunk_capacity || inner.chunks.is_empty() {
             let cap = inner.chunk_capacity;
             let chunk: Box<[Slot<T>]> = (0..cap)
                 .map(|_| Slot(UnsafeCell::new(MaybeUninit::uninit())))
@@ -126,34 +534,94 @@ impl<T: Send + Sync + 'static> NodePool<T> {
         }
         let idx = inner.bump;
         inner.bump += 1;
+        inner.handed_out += 1;
         let chunk = inner.chunks.last().expect("chunk pushed above");
-        let ptr = chunk[idx].0.get().cast::<T>();
-        drop(inner);
-        // SAFETY: the slot is brand new: no other thread has seen it.
-        unsafe { ptr.write(make_fresh()) };
         PooledPtr {
-            ptr,
+            ptr: chunk[idx].0.get().cast::<T>(),
             recycled: false,
         }
     }
 
-    /// Returns `ptr` to the free list after a QSBR grace period.
+    /// Returns a free (already-recycled or never-published) slot to the
+    /// calling thread's magazine, overflowing whole magazines to the depot.
+    fn release_slot(&self, ptr: *mut T) {
+        let Some(mag) = self.magazine() else {
+            // Thread teardown: park the slot under the pool lock.
+            let mut inner = self.inner.lock();
+            inner.loose.push(ptr);
+            inner.depot_slots += 1;
+            return;
+        };
+        // SAFETY: owner-exclusive (see MagazineSlot).
+        let cache = unsafe { &mut *mag.cache.get() };
+        let cap = self.magazine_capacity;
+        if cache.loaded.len() >= cap {
+            if cache.prev.is_empty() {
+                std::mem::swap(&mut cache.loaded, &mut cache.prev);
+            } else {
+                // Both magazines full: surrender `loaded` to the depot and
+                // continue filling a spare.
+                self.exchange_epoch.fetch_add(1, Ordering::Relaxed);
+                let mut inner = self.inner.lock();
+                let spare = inner.spares.pop().unwrap_or_default();
+                let full = std::mem::replace(&mut cache.loaded, spare);
+                debit(&mag.cached, full.len() as u64);
+                inner.depot_slots += full.len();
+                inner.depot.push(full);
+            }
+        }
+        cache.loaded.push(ptr);
+        bump(&mag.cached, 1);
+    }
+
+    /// Allocates a slot. Fresh slots are initialized with `make_fresh`;
+    /// recycled slots are returned as-is (see [`PooledPtr::recycled`]) and
+    /// must be re-initialized through their atomics.
+    pub fn alloc(&self, make_fresh: impl FnOnce() -> T) -> PooledPtr<T> {
+        let p = self.alloc_slot();
+        if !p.recycled {
+            // SAFETY: the slot is brand new: no other thread has seen it.
+            unsafe { p.ptr.write(make_fresh()) };
+        }
+        p
+    }
+
+    /// Allocates a slot and unconditionally overwrites it with `make()`.
+    ///
+    /// For structures whose readers never hold node pointers *across*
+    /// operations (no node caching): without stale readers, a recycled
+    /// slot has provably no observers once its grace period has elapsed,
+    /// so a plain full-slot write is safe and cheaper than field-by-field
+    /// atomic re-initialization. Structures that cache `(node, version)`
+    /// pairs across operations must keep using [`NodePool::alloc`].
+    pub fn alloc_init(&self, make: impl FnOnce() -> T) -> *mut T {
+        let p = self.alloc_slot();
+        // SAFETY: fresh slots are unobserved; recycled slots passed their
+        // grace period after being unlinked, so (absent cross-operation
+        // caching, per the method contract) no thread can be reading them.
+        unsafe { p.ptr.write(make()) };
+        p.ptr
+    }
+
+    /// Returns `ptr` to the magazine layer after a QSBR grace period.
     ///
     /// # Safety
     ///
-    /// `ptr` must have come from this pool's [`NodePool::alloc`], must be
-    /// unreachable to *new* readers (unlinked), and must not be retired
-    /// twice.
+    /// `ptr` must have come from this pool's [`NodePool::alloc`] /
+    /// [`NodePool::alloc_init`], must be unreachable to *new* readers
+    /// (unlinked), and must not be retired twice.
     pub unsafe fn retire(self: &Arc<Self>, ptr: *mut T, handle: &QsbrHandle) {
         unsafe fn recycle<T: Send + Sync + 'static>(p: *mut u8, ctx: Option<RetireCtx>) {
             let pool = ctx
                 .expect("pool retire always carries ctx")
                 .downcast::<NodePool<T>>()
                 .expect("ctx is the originating pool");
-            pool.inner.lock().free.push(p.cast::<T>());
+            pool.in_grace.fetch_sub(1, Ordering::Relaxed);
+            pool.release_slot(p.cast::<T>());
         }
+        self.in_grace.fetch_add(1, Ordering::Relaxed);
         // SAFETY: after the grace period the slot has no in-operation
-        // readers with *liveness* expectations; pushing it on the free list
+        // readers with *liveness* expectations; parking it in a magazine
         // does not overwrite its contents, so even stale cached pointers
         // (node caching) keep reading a valid `T`.
         unsafe {
@@ -165,29 +633,33 @@ impl<T: Send + Sync + 'static> NodePool<T> {
         };
     }
 
-    /// Immediately returns a never-published slot to the free list.
+    /// Immediately returns a never-published slot to the magazine layer.
     ///
     /// # Safety
     ///
-    /// `ptr` must have come from this pool's [`NodePool::alloc`] and must
-    /// never have been made reachable from any shared structure.
+    /// `ptr` must have come from this pool's [`NodePool::alloc`] /
+    /// [`NodePool::alloc_init`] and must never have been made reachable
+    /// from any shared structure.
     pub unsafe fn dealloc_unpublished(&self, ptr: *mut T) {
-        self.inner.lock().free.push(ptr);
+        self.release_slot(ptr);
     }
 
     /// Total slots handed out (fresh + recycled) so far.
     pub fn allocations(&self) -> u64 {
-        self.allocated.load(Ordering::Relaxed)
+        self.sum_mags(|m| &m.allocs)
+            .wrapping_add(self.direct_allocs.load(Ordering::Relaxed))
     }
 
     /// How many allocations were served from recycled slots.
     pub fn recycle_hits(&self) -> u64 {
-        self.recycled.load(Ordering::Relaxed)
+        self.sum_mags(|m| &m.recycled)
+            .wrapping_add(self.direct_recycled.load(Ordering::Relaxed))
     }
 
-    /// Slots currently sitting on the free list.
+    /// Free slots currently parked in the pool (per-thread magazines plus
+    /// the depot); excludes retired slots still awaiting grace.
     pub fn free_len(&self) -> usize {
-        self.inner.lock().free.len()
+        (self.sum_mags(|m| &m.cached) as usize) + self.inner.lock().depot_slots
     }
 
     /// Total slot capacity currently reserved from the OS.
@@ -195,13 +667,63 @@ impl<T: Send + Sync + 'static> NodePool<T> {
         let inner = self.inner.lock();
         inner.chunks.len() * inner.chunk_capacity
     }
+
+    /// Snapshot of the pool's slot ledger. Exact when all threads using
+    /// the pool are quiescent (counters are owner-written per thread).
+    pub fn stats(&self) -> PoolStats {
+        let (depot, capacity, unallocated) = {
+            let inner = self.inner.lock();
+            (
+                inner.depot_slots as u64,
+                (inner.chunks.len() * inner.chunk_capacity) as u64,
+                (inner.chunks.len() * inner.chunk_capacity - inner.handed_out) as u64,
+            )
+        };
+        PoolStats {
+            allocations: self.allocations(),
+            recycle_hits: self.recycle_hits(),
+            slow_allocs: self
+                .sum_mags(|m| &m.slow)
+                .wrapping_add(self.direct_allocs.load(Ordering::Relaxed)),
+            cached: self.sum_mags(|m| &m.cached),
+            depot,
+            in_grace: self.in_grace.load(Ordering::Relaxed),
+            capacity,
+            unallocated,
+        }
+    }
+
+    fn sum_mags(&self, field: impl Fn(&MagazineSlot<T>) -> &AtomicU64) -> u64 {
+        let mut total = 0u64;
+        for slot in self.mags.iter() {
+            let p = slot.load(Ordering::Acquire);
+            if !p.is_null() {
+                // SAFETY: published magazine boxes live as long as the pool.
+                total = total.wrapping_add(field(unsafe { &**p }).load(Ordering::Relaxed));
+            }
+        }
+        total
+    }
+}
+
+impl<T> Drop for NodePool<T> {
+    fn drop(&mut self) {
+        for slot in self.mags.iter_mut() {
+            let p = *slot.get_mut();
+            if !p.is_null() {
+                // SAFETY: exclusive access at drop; boxes were published
+                // exactly once.
+                unsafe { drop(Box::from_raw(p)) };
+            }
+        }
+    }
 }
 
 impl<T> std::fmt::Debug for NodePool<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NodePool")
-            .field("allocated", &self.allocated.load(Ordering::Relaxed))
-            .field("recycled", &self.recycled.load(Ordering::Relaxed))
+            .field("in_grace", &self.in_grace.load(Ordering::Relaxed))
+            .field("magazine_capacity", &self.magazine_capacity)
             .finish()
     }
 }
@@ -227,7 +749,8 @@ mod tests {
             unsafe { (*p.ptr).key.store(i, Ordering::Relaxed) };
             ptrs.push(p.ptr);
         }
-        // Three chunks of four.
+        // Magazine batches are clamped to the chunk capacity, so ten
+        // allocations reserve exactly three chunks of four.
         assert_eq!(pool.capacity(), 12);
         // All pointers distinct.
         let mut sorted = ptrs.clone();
@@ -250,10 +773,11 @@ mod tests {
         let p = pool.alloc(Node::default);
         // SAFETY: p came from this pool and was never published.
         unsafe { pool.retire(p.ptr, &h) };
+        assert_eq!(pool.stats().in_grace, 1);
         h.flush();
         h.quiescent();
         h.collect();
-        assert_eq!(pool.free_len(), 1);
+        assert_eq!(pool.stats().in_grace, 0);
 
         let q = pool.alloc(Node::default);
         assert!(q.recycled);
@@ -267,7 +791,6 @@ mod tests {
         let p = pool.alloc(Node::default);
         // SAFETY: never published.
         unsafe { pool.dealloc_unpublished(p.ptr) };
-        assert_eq!(pool.free_len(), 1);
         let q = pool.alloc(Node::default);
         assert!(q.recycled);
         assert_eq!(q.ptr, p.ptr);
@@ -299,6 +822,86 @@ mod tests {
         // version validation the data structures layer adds.
         // SAFETY: as above.
         assert_eq!(unsafe { (*stale).key.load(Ordering::Relaxed) }, 99);
+        drop(h);
+    }
+
+    #[test]
+    fn magazine_hit_path_avoids_the_pool_lock() {
+        let domain = Qsbr::new();
+        let h = domain.register();
+        let pool: Arc<NodePool<Node>> = NodePool::new();
+        // Steady-state churn: one working slot cycling through the local
+        // magazine.
+        for _ in 0..1_000 {
+            let p = pool.alloc(Node::default);
+            // SAFETY: unlinked, retired once.
+            unsafe { pool.retire(p.ptr, &h) };
+            h.flush();
+            h.quiescent();
+            h.collect();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.allocations, 1_000);
+        assert!(
+            stats.magazine_hit_rate() > 0.99,
+            "steady churn must stay in the magazine: {stats:?}"
+        );
+        drop(h);
+    }
+
+    #[test]
+    fn overflow_exchanges_whole_magazines_with_the_depot() {
+        let pool: Arc<NodePool<Node>> = NodePool::with_config(1024, 4);
+        // Allocate enough live slots, then release them all without grace
+        // (never published), overflowing loaded + prev into the depot.
+        let ptrs: Vec<_> = (0..32).map(|_| pool.alloc(Node::default).ptr).collect();
+        for p in &ptrs {
+            // SAFETY: never published.
+            unsafe { pool.dealloc_unpublished(*p) };
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.cached + stats.depot, 32, "{stats:?}");
+        assert!(stats.depot > 0, "expected depot overflow: {stats:?}");
+        assert_eq!(stats.live(), 0, "{stats:?}");
+        // Re-allocating drains magazines first, then depot batches, and
+        // hands back exactly the same 32 slots before growing.
+        let cap = pool.capacity();
+        let again: Vec<_> = (0..32).map(|_| pool.alloc(Node::default).ptr).collect();
+        assert_eq!(pool.capacity(), cap, "no growth while free slots exist");
+        let mut a: Vec<_> = ptrs.clone();
+        let mut b: Vec<_> = again.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conservation_ledger_balances_after_churn() {
+        let domain = Qsbr::new();
+        let h = domain.register();
+        let pool: Arc<NodePool<Node>> = NodePool::with_config(16, 4);
+        let mut live = Vec::new();
+        for i in 0..200u64 {
+            let p = pool.alloc(Node::default);
+            live.push(p.ptr);
+            if i % 3 == 0 {
+                let victim = live.swap_remove((i as usize * 7) % live.len());
+                // SAFETY: victim is live, unlinked, retired once.
+                unsafe { pool.retire(victim, &h) };
+            }
+            h.quiescent();
+        }
+        h.flush();
+        h.quiescent();
+        h.collect();
+        let stats = pool.stats();
+        assert_eq!(stats.in_grace, 0, "{stats:?}");
+        assert_eq!(stats.live() as usize, live.len(), "{stats:?}");
+        assert_eq!(
+            stats.capacity,
+            stats.unallocated + stats.cached + stats.depot + stats.live(),
+            "{stats:?}"
+        );
         drop(h);
     }
 
@@ -339,5 +942,11 @@ mod tests {
     #[should_panic(expected = "chunk capacity")]
     fn zero_chunk_capacity_panics() {
         let _ = NodePool::<Node>::with_chunk_capacity(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "magazine capacity")]
+    fn zero_magazine_capacity_panics() {
+        let _ = NodePool::<Node>::with_config(8, 0);
     }
 }

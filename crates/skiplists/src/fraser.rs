@@ -40,15 +40,18 @@
 //! final unlink that owner performed. Even so, frozen successor pointers
 //! allow **re-publication chains** (an unlink sweep re-installs a frozen
 //! pointer whose target is itself long-deleted), so no fixed number of
-//! grace periods bounds a dead node's reachability. Physical reclamation
-//! is therefore *deferred to drop* ([`FraserSkipList::retire_deferred`]):
-//! correct by construction, at the cost of holding deleted nodes' memory
-//! for the structure's lifetime. Long-lived structures should prefer the
-//! type-stable pool + stamp-validation approach of the node-caching
-//! lists. See EXPERIMENTS.md, correctness note 3, for the full analysis.
+//! grace periods bounds a dead node's reachability. Slots are therefore
+//! **never re-circulated**: nodes come out of a type-stable [`NodePool`]
+//! (magazine-cached allocation), but retired ones park on a deferred list
+//! ([`FraserSkipList::retire_deferred`]) until the structure — and with it
+//! the pool — drops. Correct by construction, at the cost of holding
+//! deleted nodes' memory for the structure's lifetime. See
+//! EXPERIMENTS.md, correctness note 3, for the full analysis.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
+use reclaim::NodePool;
 use synchro::Backoff;
 
 use crate::level::{random_level, MAX_LEVEL};
@@ -98,27 +101,36 @@ pub(crate) struct Node {
     state: AtomicUsize,
     /// Intrusive link for the structure's deferred-reclamation list.
     gc_next: AtomicUsize,
-    next: Box<[AtomicUsize]>,
+    /// Inline fixed-height tower of marked words (only `0..=top_level` is
+    /// used): keeps the node free of drop glue so it can live in a
+    /// type-stable pool slot.
+    next: [AtomicUsize; MAX_LEVEL],
 }
 
 impl Node {
-    fn boxed(key: Key, val: Val, top_level: usize) -> *mut Node {
-        Box::into_raw(Box::new(Node {
+    fn make(key: Key, val: Val, top_level: usize) -> Self {
+        Node {
             key,
             val: AtomicU64::new(val),
             top_level,
             state: AtomicUsize::new(LINKING),
             gc_next: AtomicUsize::new(0),
-            next: (0..=top_level).map(|_| AtomicUsize::new(0)).collect(),
-        }))
+            next: std::array::from_fn(|_| AtomicUsize::new(0)),
+        }
     }
 }
 
 /// Fraser's lock-free skip list.
 pub struct FraserSkipList {
     head: *mut Node,
-    /// Head of the deferred-reclamation list (freed at drop).
+    /// Head of the deferred-reclamation list (see the module docs: slots
+    /// on it are never handed back to the pool during the structure's
+    /// lifetime).
     garbage: AtomicUsize,
+    /// Type-stable node pool — allocation-only here: the magazine fast
+    /// path serves inserts, but re-publication chains forbid recycling,
+    /// so retired slots wait on `garbage` until the pool drops.
+    pool: Arc<NodePool<Node>>,
 }
 
 // SAFETY: all mutation is CAS on next words; QSBR + the single-retirer
@@ -129,8 +141,9 @@ unsafe impl Sync for FraserSkipList {}
 impl FraserSkipList {
     /// Creates an empty skip list.
     pub fn new() -> Self {
-        let tail = Node::boxed(TAIL_KEY, 0, MAX_LEVEL - 1);
-        let head = Node::boxed(HEAD_KEY, 0, MAX_LEVEL - 1);
+        let pool = NodePool::new();
+        let tail = pool.alloc_init(|| Node::make(TAIL_KEY, 0, MAX_LEVEL - 1));
+        let head = pool.alloc_init(|| Node::make(HEAD_KEY, 0, MAX_LEVEL - 1));
         // SAFETY: fresh nodes.
         unsafe {
             for l in 0..MAX_LEVEL {
@@ -140,6 +153,7 @@ impl FraserSkipList {
         Self {
             head,
             garbage: AtomicUsize::new(0),
+            pool,
         }
     }
 
@@ -269,17 +283,17 @@ impl FraserSkipList {
         }
     }
 
-    /// Defers `node` to the structure's garbage list, freed at drop.
+    /// Defers `node` to the structure's garbage list.
     ///
     /// Fraser towers admit *re-publication chains*: a lagging thread whose
     /// pre-deletion search returned the node can transiently re-link it,
     /// and an unlink sweep can re-install a frozen successor pointer whose
     /// target was itself deleted long ago. Under quiescent-state
     /// reclamation this means no single grace period bounds the node's
-    /// reachability, so eager per-node freeing is unsound without extra
-    /// validation machinery (type-stable pools + stamps). The baseline
-    /// therefore defers physical reclamation to `Drop` — unbounded-lifetime
-    /// structures would want the pool approach the node-caching lists use.
+    /// reachability, so recycling a retired slot is unsound without extra
+    /// validation machinery (stamp checks on every traversal step). Slots
+    /// on this list are therefore never returned to the pool; their memory
+    /// is reclaimed wholesale when the pool drops with the structure.
     ///
     /// # Safety
     ///
@@ -443,10 +457,10 @@ impl ConcurrentSet for FraserSkipList {
         assert!(val != FROZEN, "u64::MAX is the reserved tombstone value");
         reclaim::quiescent();
         let top_level = random_level(key) - 1;
-        let node = Node::boxed(key, val, top_level);
+        let node = self.pool.alloc_init(|| Node::make(key, val, top_level));
         let mut preds = [std::ptr::null_mut(); MAX_LEVEL];
         let mut succs = [std::ptr::null_mut(); MAX_LEVEL];
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         // Level-0 linking (linearization point).
         // SAFETY: grace period for the whole operation.
         unsafe {
@@ -464,7 +478,7 @@ impl ConcurrentSet for FraserSkipList {
                         continue;
                     }
                     // SAFETY: node never published.
-                    drop(Box::from_raw(node));
+                    self.pool.dealloc_unpublished(node);
                     return false;
                 }
                 (*node).next[0].store(succs[0] as usize, Ordering::Relaxed);
@@ -627,7 +641,7 @@ impl ConcurrentMap for FraserSkipList {
         // removal reported as an update (see `FROZEN`).
         assert!(val != FROZEN, "u64::MAX is the reserved tombstone value");
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             // SAFETY: grace period per attempt.
             unsafe {
@@ -732,33 +746,6 @@ impl OrderedMap for FraserSkipList {
                 }
                 cur = unmark(w) as *mut Node;
             }
-        }
-    }
-}
-
-impl Drop for FraserSkipList {
-    fn drop(&mut self) {
-        // Collect the level-0 chain and the deferred-garbage list, then
-        // free each node exactly once (a deferred node can in a pathological
-        // race still be transiently linked, so deduplicate by address).
-        let mut seen = std::collections::HashSet::new();
-        let mut cur = self.head;
-        while !cur.is_null() {
-            // SAFETY: exclusive at drop; level 0 reaches every live node.
-            let next = unsafe { unmark((*cur).next[0].load(Ordering::Relaxed)) as *mut Node };
-            seen.insert(cur);
-            cur = next;
-        }
-        let mut g = self.garbage.load(Ordering::Relaxed) as *mut Node;
-        while !g.is_null() {
-            // SAFETY: exclusive at drop; gc links are plain chain.
-            let next = unsafe { (*g).gc_next.load(Ordering::Relaxed) as *mut Node };
-            seen.insert(g);
-            g = next;
-        }
-        for node in seen {
-            // SAFETY: unique ownership at drop; deduplicated above.
-            unsafe { drop(Box::from_raw(node)) };
         }
     }
 }

@@ -8,7 +8,9 @@
 //! deletion logical before physical.
 
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
 
+use reclaim::NodePool;
 use synchro::{Backoff, RawLock, TtasLock};
 
 use crate::level::{random_level, MAX_LEVEL};
@@ -27,28 +29,31 @@ pub(crate) struct Node {
     lock: TtasLock,
     marked: AtomicBool,
     fully_linked: AtomicBool,
-    next: Box<[AtomicPtr<Node>]>,
+    /// Inline fixed-height tower (only `0..=top_level` is used): keeps the
+    /// node free of drop glue so it can live in a type-stable pool slot.
+    next: [AtomicPtr<Node>; MAX_LEVEL],
 }
 
 impl Node {
-    fn boxed(key: Key, val: Val, top_level: usize, linked: bool) -> *mut Node {
-        Box::into_raw(Box::new(Node {
+    fn make(key: Key, val: Val, top_level: usize, linked: bool) -> Self {
+        Node {
             key,
             val: AtomicU64::new(val),
             top_level,
             lock: TtasLock::new(),
             marked: AtomicBool::new(false),
             fully_linked: AtomicBool::new(linked),
-            next: (0..=top_level)
-                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
-                .collect(),
-        }))
+            next: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+        }
     }
 }
 
 /// The Herlihy et al. optimistic skip list.
 pub struct HerlihySkipList {
     head: *mut Node,
+    /// Type-stable node pool. No pointer survives across operations, so
+    /// recycled slots are plainly re-initialized after their grace period.
+    pool: Arc<NodePool<Node>>,
 }
 
 // SAFETY: per-node locks + validation serialize updates; searches read
@@ -59,15 +64,16 @@ unsafe impl Sync for HerlihySkipList {}
 impl HerlihySkipList {
     /// Creates an empty skip list.
     pub fn new() -> Self {
-        let tail = Node::boxed(TAIL_KEY, 0, MAX_LEVEL - 1, true);
-        let head = Node::boxed(HEAD_KEY, 0, MAX_LEVEL - 1, true);
+        let pool = NodePool::new();
+        let tail = pool.alloc_init(|| Node::make(TAIL_KEY, 0, MAX_LEVEL - 1, true));
+        let head = pool.alloc_init(|| Node::make(HEAD_KEY, 0, MAX_LEVEL - 1, true));
         // SAFETY: fresh nodes, no concurrency yet.
         unsafe {
             for l in 0..MAX_LEVEL {
                 (*head).next[l].store(tail, Ordering::Relaxed);
             }
         }
-        Self { head }
+        Self { head, pool }
     }
 
     /// Classic `find`: fills `preds`/`succs` per level; returns the highest
@@ -170,7 +176,7 @@ impl ConcurrentSet for HerlihySkipList {
         let top_level = random_level(key) - 1;
         let mut preds = [std::ptr::null_mut(); MAX_LEVEL];
         let mut succs = [std::ptr::null_mut(); MAX_LEVEL];
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             // SAFETY: grace period per attempt.
             unsafe {
@@ -213,7 +219,9 @@ impl ConcurrentSet for HerlihySkipList {
                     bo.backoff();
                     continue;
                 }
-                let newnode = Node::boxed(key, val, top_level, false);
+                let newnode = self
+                    .pool
+                    .alloc_init(|| Node::make(key, val, top_level, false));
                 for l in 0..=top_level {
                     (*newnode).next[l].store(succs[l], Ordering::Relaxed);
                 }
@@ -235,7 +243,7 @@ impl ConcurrentSet for HerlihySkipList {
         let mut victim: *mut Node = std::ptr::null_mut();
         let mut is_marked = false;
         let mut top_level = 0usize;
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             // SAFETY: grace period per attempt (the victim, once marked by
             // us, is pinned: it cannot be retired before we unlink it).
@@ -300,7 +308,7 @@ impl ConcurrentSet for HerlihySkipList {
                 (*victim).lock.unlock();
                 Self::unlock_preds(&preds, top_level);
                 // SAFETY: fully unlinked; sole deleter (we won the marking).
-                reclaim::with_local(|h| h.retire(victim));
+                reclaim::with_local(|h| self.pool.retire(victim, h));
                 return Some(val);
             }
         }
@@ -340,7 +348,7 @@ impl ConcurrentMap for HerlihySkipList {
         reclaim::quiescent();
         let mut preds = [std::ptr::null_mut(); MAX_LEVEL];
         let mut succs = [std::ptr::null_mut(); MAX_LEVEL];
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             // SAFETY: grace period per attempt.
             unsafe {
@@ -400,7 +408,7 @@ impl OrderedMap for HerlihySkipList {
         reclaim::quiescent();
         let mut from = lo.max(HEAD_KEY + 1);
         let mut fails = 0usize;
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         'restart: loop {
             if from > hi {
                 return;
@@ -476,21 +484,6 @@ impl OrderedMap for HerlihySkipList {
                     pred = cur;
                 }
             }
-        }
-    }
-}
-
-impl Drop for HerlihySkipList {
-    fn drop(&mut self) {
-        // Walk level 0; every node (incl. tail) appears there exactly once.
-        let mut cur = self.head;
-        while !cur.is_null() {
-            // SAFETY: exclusive at drop.
-            // Every tower has a level 0 (top_level >= 0), incl. sentinels.
-            let next = unsafe { (*cur).next[0].load(Ordering::Relaxed) };
-            // SAFETY: unique ownership of the remaining structure.
-            unsafe { drop(Box::from_raw(cur)) };
-            cur = next;
         }
     }
 }

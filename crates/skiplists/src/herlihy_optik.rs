@@ -13,8 +13,10 @@
 //! aborting ones use `revert`, so versions track modifications exactly.
 
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use optik::{OptikLock, OptikVersioned, Version};
+use reclaim::NodePool;
 use synchro::Backoff;
 
 use crate::level::{random_level, MAX_LEVEL};
@@ -32,28 +34,33 @@ pub(crate) struct Node {
     lock: OptikVersioned,
     marked: AtomicBool,
     fully_linked: AtomicBool,
-    next: Box<[AtomicPtr<Node>]>,
+    /// Inline fixed-height tower (only `0..=top_level` is used): keeps the
+    /// node free of drop glue so it can live in a type-stable pool slot.
+    next: [AtomicPtr<Node>; MAX_LEVEL],
 }
 
 impl Node {
-    fn boxed(key: Key, val: Val, top_level: usize, linked: bool) -> *mut Node {
-        Box::into_raw(Box::new(Node {
+    fn make(key: Key, val: Val, top_level: usize, linked: bool) -> Self {
+        Node {
             key,
             val: AtomicU64::new(val),
             top_level,
             lock: OptikVersioned::new(),
             marked: AtomicBool::new(false),
             fully_linked: AtomicBool::new(linked),
-            next: (0..=top_level)
-                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
-                .collect(),
-        }))
+            next: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+        }
     }
 }
 
 /// Herlihy's skip list with OPTIK-validated predecessor locking.
 pub struct HerlihyOptikSkipList {
     head: *mut Node,
+    /// Type-stable node pool. Deleters bump their victim's version before
+    /// retiring it, and no version read survives across operations, so
+    /// recycled slots (fresh lock included) are plainly re-initialized
+    /// after their grace period.
+    pool: Arc<NodePool<Node>>,
 }
 
 // SAFETY: per-node OPTIK locks serialize updates; searches read atomic
@@ -112,15 +119,16 @@ impl HeldPreds {
 impl HerlihyOptikSkipList {
     /// Creates an empty skip list.
     pub fn new() -> Self {
-        let tail = Node::boxed(TAIL_KEY, 0, MAX_LEVEL - 1, true);
-        let head = Node::boxed(HEAD_KEY, 0, MAX_LEVEL - 1, true);
+        let pool = NodePool::new();
+        let tail = pool.alloc_init(|| Node::make(TAIL_KEY, 0, MAX_LEVEL - 1, true));
+        let head = pool.alloc_init(|| Node::make(HEAD_KEY, 0, MAX_LEVEL - 1, true));
         // SAFETY: fresh nodes.
         unsafe {
             for l in 0..MAX_LEVEL {
                 (*head).next[l].store(tail, Ordering::Relaxed);
             }
         }
-        Self { head }
+        Self { head, pool }
     }
 
     /// Number of elements (O(n); exact only in quiescence). Inherent so
@@ -258,7 +266,7 @@ impl ConcurrentSet for HerlihyOptikSkipList {
         let mut preds = [std::ptr::null_mut(); MAX_LEVEL];
         let mut predvs = [0; MAX_LEVEL];
         let mut succs = [std::ptr::null_mut(); MAX_LEVEL];
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             // SAFETY: grace period per attempt.
             unsafe {
@@ -290,7 +298,9 @@ impl ConcurrentSet for HerlihyOptikSkipList {
                     bo.backoff();
                     continue;
                 }
-                let newnode = Node::boxed(key, val, top_level, false);
+                let newnode = self
+                    .pool
+                    .alloc_init(|| Node::make(key, val, top_level, false));
                 for l in 0..=top_level {
                     (*newnode).next[l].store(succs[l], Ordering::Relaxed);
                 }
@@ -314,7 +324,7 @@ impl ConcurrentSet for HerlihyOptikSkipList {
         let mut victim: *mut Node = std::ptr::null_mut();
         let mut is_marked = false;
         let mut top_level = 0usize;
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             // SAFETY: grace period per attempt; our marked victim is pinned.
             unsafe {
@@ -371,7 +381,7 @@ impl ConcurrentSet for HerlihyOptikSkipList {
                 (*victim).lock.unlock();
                 held.release_all();
                 // SAFETY: fully unlinked; sole deleter.
-                reclaim::with_local(|h| h.retire(victim));
+                reclaim::with_local(|h| self.pool.retire(victim, h));
                 return Some(val);
             }
         }
@@ -412,7 +422,7 @@ impl ConcurrentMap for HerlihyOptikSkipList {
         let mut preds = [std::ptr::null_mut(); MAX_LEVEL];
         let mut predvs = [0; MAX_LEVEL];
         let mut succs = [std::ptr::null_mut(); MAX_LEVEL];
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             // SAFETY: grace period per attempt.
             unsafe {
@@ -470,7 +480,7 @@ impl OrderedMap for HerlihyOptikSkipList {
         reclaim::quiescent();
         let mut from = lo.max(HEAD_KEY + 1);
         let mut fails = 0usize;
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         'restart: loop {
             if from > hi {
                 return;
@@ -542,20 +552,6 @@ impl OrderedMap for HerlihyOptikSkipList {
                     predv = nextv;
                 }
             }
-        }
-    }
-}
-
-impl Drop for HerlihyOptikSkipList {
-    fn drop(&mut self) {
-        let mut cur = self.head;
-        while !cur.is_null() {
-            // SAFETY: exclusive at drop.
-            // Every tower has a level 0 (top_level >= 0), incl. sentinels.
-            let next = unsafe { (*cur).next[0].load(Ordering::Relaxed) };
-            // SAFETY: unique ownership.
-            unsafe { drop(Box::from_raw(cur)) };
-            cur = next;
         }
     }
 }

@@ -23,8 +23,10 @@
 //!   simpler, and the faster of the two under skew in the paper.
 
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use optik::{OptikLock, OptikVersioned, Version};
+use reclaim::NodePool;
 use synchro::Backoff;
 
 use crate::level::{random_level, MAX_LEVEL};
@@ -42,22 +44,22 @@ pub(crate) struct Node {
     lock: OptikVersioned,
     marked: AtomicBool,
     fully_linked: AtomicBool,
-    next: Box<[AtomicPtr<Node>]>,
+    /// Inline fixed-height tower (only `0..=top_level` is used): keeps the
+    /// node free of drop glue so it can live in a type-stable pool slot.
+    next: [AtomicPtr<Node>; MAX_LEVEL],
 }
 
 impl Node {
-    fn boxed(key: Key, val: Val, top_level: usize, linked: bool) -> *mut Node {
-        Box::into_raw(Box::new(Node {
+    fn make(key: Key, val: Val, top_level: usize, linked: bool) -> Self {
+        Node {
             key,
             val: AtomicU64::new(val),
             top_level,
             lock: OptikVersioned::new(),
             marked: AtomicBool::new(false),
             fully_linked: AtomicBool::new(linked),
-            next: (0..=top_level)
-                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
-                .collect(),
-        }))
+            next: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+        }
     }
 }
 
@@ -65,6 +67,12 @@ impl Node {
 /// or optik2 (immediate restart) behaviour.
 pub struct OptikSkipList<const FINE: bool> {
     head: *mut Node,
+    /// Type-stable node pool. A deleted victim's lock is held *forever*,
+    /// but no validation spans operations (versions are read on arrival
+    /// within the op), so after a grace period nobody can still validate
+    /// against it and the slot — fresh, unlocked lock included — is
+    /// plainly re-initialized.
+    pool: Arc<NodePool<Node>>,
 }
 
 /// The *optik1* variant: fine-grained re-validation on version failure.
@@ -80,15 +88,16 @@ unsafe impl<const FINE: bool> Sync for OptikSkipList<FINE> {}
 impl<const FINE: bool> OptikSkipList<FINE> {
     /// Creates an empty skip list.
     pub fn new() -> Self {
-        let tail = Node::boxed(TAIL_KEY, 0, MAX_LEVEL - 1, true);
-        let head = Node::boxed(HEAD_KEY, 0, MAX_LEVEL - 1, true);
+        let pool = NodePool::new();
+        let tail = pool.alloc_init(|| Node::make(TAIL_KEY, 0, MAX_LEVEL - 1, true));
+        let head = pool.alloc_init(|| Node::make(HEAD_KEY, 0, MAX_LEVEL - 1, true));
         // SAFETY: fresh nodes.
         unsafe {
             for l in 0..MAX_LEVEL {
                 (*head).next[l].store(tail, Ordering::Relaxed);
             }
         }
-        Self { head }
+        Self { head, pool }
     }
 
     /// Number of elements (O(n); exact only in quiescence). Inherent so
@@ -238,7 +247,7 @@ impl<const FINE: bool> ConcurrentSet for OptikSkipList<FINE> {
         let mut node: *mut Node = std::ptr::null_mut();
         // Levels `0..start_level` are already linked (eager insertion).
         let mut start_level = 0usize;
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             // SAFETY: grace period per attempt; our partially-linked node
             // cannot be deleted (not fully linked).
@@ -251,6 +260,11 @@ impl<const FINE: bool> ConcurrentSet for OptikSkipList<FINE> {
                             while !(*found).fully_linked.load(Ordering::Acquire) {
                                 synchro::relax();
                             }
+                            if !node.is_null() {
+                                // Allocated on an earlier attempt but never
+                                // linked (start_level is still 0).
+                                self.pool.dealloc_unpublished(node);
+                            }
                             return false;
                         }
                         // Key is being deleted: wait for the unlink.
@@ -258,7 +272,9 @@ impl<const FINE: bool> ConcurrentSet for OptikSkipList<FINE> {
                         continue;
                     }
                     if node.is_null() {
-                        node = Node::boxed(key, val, top_level, false);
+                        node = self
+                            .pool
+                            .alloc_init(|| Node::make(key, val, top_level, false));
                     }
                 }
                 // Link level by level, eagerly.
@@ -302,7 +318,7 @@ impl<const FINE: bool> ConcurrentSet for OptikSkipList<FINE> {
         let mut victim: *mut Node = std::ptr::null_mut();
         let mut claimed = false;
         let mut top_level = 0usize;
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             // SAFETY: grace period per attempt; a claimed victim is pinned
             // (its lock is held forever by us until unlinked + retired).
@@ -383,7 +399,7 @@ impl<const FINE: bool> ConcurrentSet for OptikSkipList<FINE> {
                 let val = (*victim).val.load(Ordering::Relaxed);
                 // The victim's lock is never released ("locked forever").
                 // SAFETY: fully unlinked; sole claimer retires.
-                reclaim::with_local(|h| h.retire(victim));
+                reclaim::with_local(|h| self.pool.retire(victim, h));
                 return Some(val);
             }
         }
@@ -425,7 +441,7 @@ impl<const FINE: bool> ConcurrentMap for OptikSkipList<FINE> {
         let mut preds = [std::ptr::null_mut(); MAX_LEVEL];
         let mut predvs = [0; MAX_LEVEL];
         let mut succs = [std::ptr::null_mut(); MAX_LEVEL];
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             // SAFETY: grace period per attempt.
             unsafe {
@@ -485,7 +501,7 @@ impl<const FINE: bool> OrderedMap for OptikSkipList<FINE> {
         reclaim::quiescent();
         let mut from = lo.max(HEAD_KEY + 1);
         let mut fails = 0usize;
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         'restart: loop {
             if from > hi {
                 return;
@@ -566,20 +582,6 @@ impl<const FINE: bool> OrderedMap for OptikSkipList<FINE> {
                     predv = nextv;
                 }
             }
-        }
-    }
-}
-
-impl<const FINE: bool> Drop for OptikSkipList<FINE> {
-    fn drop(&mut self) {
-        let mut cur = self.head;
-        while !cur.is_null() {
-            // SAFETY: exclusive at drop.
-            // Every tower has a level 0 (top_level >= 0), incl. sentinels.
-            let next = unsafe { (*cur).next[0].load(Ordering::Relaxed) };
-            // SAFETY: unique ownership.
-            unsafe { drop(Box::from_raw(cur)) };
-            cur = next;
         }
     }
 }

@@ -178,7 +178,7 @@ impl ConcurrentStack for EliminationStack {
         // (TreiberStack::push loops internally, so inline the attempt here
         // via pop/push of the elimination layer instead: try the stack
         // first with bounded retries, interleaving elimination attempts.)
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             // One optimistic stack attempt == full Treiber push when
             // uncontended; under contention it spins, so bound it by trying
@@ -190,7 +190,7 @@ impl ConcurrentStack for EliminationStack {
     }
 
     fn pop(&self) -> Option<Val> {
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             match self.stack.try_pop_once() {
                 Ok(v) => return v,

@@ -14,8 +14,10 @@ mod elimination;
 pub use elimination::EliminationStack;
 
 use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
 
 use optik::{OptikLock, OptikVersioned};
+use reclaim::NodePool;
 use synchro::{Backoff, CachePadded};
 
 pub use optik_harness::api::Val;
@@ -32,12 +34,19 @@ struct Node {
 
 // SAFETY: nodes are plain data; the `next` pointer is immutable after
 // publication and only dereferenced under QSBR protection. `Send` is
-// needed so retired nodes can be freed by whichever thread collects them.
+// needed so retired nodes can be recycled by whichever thread collects
+// them; `Sync` because shared access is read-only (QSBR-protected).
 unsafe impl Send for Node {}
+unsafe impl Sync for Node {}
 
 /// Treiber's lock-free stack \[48\].
+///
+/// Nodes come from a type-stable [`NodePool`]. No pointer survives across
+/// operations, so recycled slots are plainly re-initialized after their
+/// grace period (same argument as the list structures).
 pub struct TreiberStack {
     top: CachePadded<AtomicPtr<Node>>,
+    pool: Arc<NodePool<Node>>,
 }
 
 // SAFETY: top mutation is CAS-only; popped nodes are retired via QSBR
@@ -50,6 +59,7 @@ impl TreiberStack {
     pub fn new() -> Self {
         Self {
             top: CachePadded::new(AtomicPtr::new(std::ptr::null_mut())),
+            pool: NodePool::new(),
         }
     }
 }
@@ -62,10 +72,10 @@ impl TreiberStack {
     #[allow(clippy::result_unit_err)]
     pub fn try_push_once(&self, val: Val) -> Result<(), ()> {
         reclaim::quiescent();
-        let node = Box::into_raw(Box::new(Node {
+        let node = self.pool.alloc_init(|| Node {
             val,
             next: std::ptr::null_mut(),
-        }));
+        });
         let top = self.top.load(Ordering::Acquire);
         // SAFETY: node is ours until published.
         unsafe { (*node).next = top };
@@ -77,7 +87,7 @@ impl TreiberStack {
             Ok(())
         } else {
             // SAFETY: never published.
-            unsafe { drop(Box::from_raw(node)) };
+            unsafe { self.pool.dealloc_unpublished(node) };
             Err(())
         }
     }
@@ -100,7 +110,7 @@ impl TreiberStack {
             .is_ok()
         {
             // SAFETY: unlinked by the winning CAS; retired once.
-            unsafe { reclaim::with_local(|h| h.retire(top)) };
+            unsafe { reclaim::with_local(|h| self.pool.retire(top, h)) };
             Ok(Some(val))
         } else {
             Err(())
@@ -117,11 +127,11 @@ impl Default for TreiberStack {
 impl ConcurrentStack for TreiberStack {
     fn push(&self, val: Val) {
         reclaim::quiescent();
-        let node = Box::into_raw(Box::new(Node {
+        let node = self.pool.alloc_init(|| Node {
             val,
             next: std::ptr::null_mut(),
-        }));
-        let mut bo = Backoff::new();
+        });
+        let mut bo = Backoff::adaptive();
         loop {
             let top = self.top.load(Ordering::Acquire);
             // SAFETY: node is ours until published.
@@ -139,7 +149,7 @@ impl ConcurrentStack for TreiberStack {
 
     fn pop(&self) -> Option<Val> {
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             let top = self.top.load(Ordering::Acquire);
             if top.is_null() {
@@ -154,7 +164,7 @@ impl ConcurrentStack for TreiberStack {
                 .is_ok()
             {
                 // SAFETY: unlinked by the winning CAS; retired once.
-                unsafe { reclaim::with_local(|h| h.retire(top)) };
+                unsafe { reclaim::with_local(|h| self.pool.retire(top, h)) };
                 return Some(val);
             }
             bo.backoff();
@@ -176,19 +186,6 @@ impl ConcurrentStack for TreiberStack {
     }
 }
 
-impl Drop for TreiberStack {
-    fn drop(&mut self) {
-        let mut cur = self.top.load(Ordering::Relaxed);
-        while !cur.is_null() {
-            // SAFETY: exclusive access at drop.
-            let next = unsafe { (*cur).next };
-            // SAFETY: unique ownership.
-            unsafe { drop(Box::from_raw(cur)) };
-            cur = next;
-        }
-    }
-}
-
 /// The OPTIK-based stack: top pointer guarded by one OPTIK lock.
 ///
 /// Push and pop read the top optimistically, then lock-and-validate. As
@@ -197,6 +194,7 @@ impl Drop for TreiberStack {
 pub struct OptikStack {
     lock: CachePadded<OptikVersioned>,
     top: CachePadded<AtomicPtr<Node>>,
+    pool: Arc<NodePool<Node>>,
 }
 
 // SAFETY: top mutation is lock-protected; reads are optimistic + QSBR.
@@ -209,6 +207,7 @@ impl OptikStack {
         Self {
             lock: CachePadded::new(OptikVersioned::new()),
             top: CachePadded::new(AtomicPtr::new(std::ptr::null_mut())),
+            pool: NodePool::new(),
         }
     }
 }
@@ -222,11 +221,11 @@ impl Default for OptikStack {
 impl ConcurrentStack for OptikStack {
     fn push(&self, val: Val) {
         reclaim::quiescent();
-        let node = Box::into_raw(Box::new(Node {
+        let node = self.pool.alloc_init(|| Node {
             val,
             next: std::ptr::null_mut(),
-        }));
-        let mut bo = Backoff::new();
+        });
+        let mut bo = Backoff::adaptive();
         loop {
             let v = self.lock.get_version();
             if OptikVersioned::is_locked_version(v) {
@@ -247,7 +246,7 @@ impl ConcurrentStack for OptikStack {
 
     fn pop(&self) -> Option<Val> {
         reclaim::quiescent();
-        let mut bo = Backoff::new();
+        let mut bo = Backoff::adaptive();
         loop {
             let v = self.lock.get_version();
             if OptikVersioned::is_locked_version(v) {
@@ -265,7 +264,7 @@ impl ConcurrentStack for OptikStack {
                 self.top.store(next, Ordering::Release);
                 self.lock.unlock();
                 // SAFETY: unlinked under the lock; retired once.
-                unsafe { reclaim::with_local(|h| h.retire(top)) };
+                unsafe { reclaim::with_local(|h| self.pool.retire(top, h)) };
                 return Some(val);
             }
             bo.backoff();
@@ -283,19 +282,6 @@ impl ConcurrentStack for OptikStack {
                 cur = (*cur).next;
             }
             n
-        }
-    }
-}
-
-impl Drop for OptikStack {
-    fn drop(&mut self) {
-        let mut cur = self.top.load(Ordering::Relaxed);
-        while !cur.is_null() {
-            // SAFETY: exclusive access at drop.
-            let next = unsafe { (*cur).next };
-            // SAFETY: unique ownership.
-            unsafe { drop(Box::from_raw(cur)) };
-            cur = next;
         }
     }
 }

@@ -8,12 +8,23 @@
 //! default cap of [`Backoff::DEFAULT_MAX_WAIT`] iterations approximates the
 //! paper's 16k-cycle ceiling.
 //!
+//! On top of the paper's fixed policy, [`Backoff::adaptive`] seeds each
+//! retry loop's *ceiling* from the thread's recent validation-failure
+//! streaks: a thread whose optimistic operations have been succeeding
+//! starts with a low ceiling (a failed validation costs a few pauses and a
+//! fast retry), while a thread stuck in a hot-shard storm carries its high
+//! ceiling into the next loop and backs off toward the 16k ceiling
+//! immediately instead of re-climbing from 2. The state is a per-thread
+//! EWMA; nothing is shared between threads, so the adaptive policy adds no
+//! coherence traffic to the loops it is tuning.
+//!
 //! One deliberate deviation: once saturated, each [`Backoff::backoff`] call
-//! also yields to the OS scheduler (see its docs), so on oversubscribed
-//! machines latency numbers can include scheduler time the paper's purely
-//! cycle-bounded backoff would not — same caveat as [`relax`] in the
-//! ROADMAP's single-core-fidelity open item.
+//! also yields to the OS scheduler (unless `OPTIK_PURE_SPIN=1`, see
+//! [`relax`]), so on oversubscribed machines latency numbers can include
+//! scheduler time the paper's purely cycle-bounded backoff would not —
+//! same caveat as [`relax`] in the ROADMAP's single-core-fidelity open item.
 
+use core::cell::Cell;
 use core::hint;
 
 /// Exponentially increasing busy-wait backoff with a hard cap.
@@ -34,11 +45,24 @@ use core::hint;
 /// }
 /// assert!(bo.waited() > 0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Backoff {
     current: u32,
+    /// Soft ceiling: where doubling stops *for now*. Fixed (== `max`) for
+    /// [`Backoff::new`]; seeded from the thread's streak EWMA and escalated
+    /// under sustained failure for [`Backoff::adaptive`].
+    cap: u32,
+    /// Hard ceiling (the paper's 16k-cycle bound for the default).
     max: u32,
+    adaptive: bool,
     total: u64,
+}
+
+std::thread_local! {
+    /// EWMA of the wait level recent adaptive retry loops ended at.
+    /// Thread-local on purpose: sharing contention estimates between
+    /// threads would put a coherence hotspot inside the backoff path.
+    static STREAK_SEED: Cell<u32> = const { Cell::new(Backoff::INITIAL_WAIT) };
 }
 
 impl Backoff {
@@ -47,7 +71,7 @@ impl Backoff {
     /// Default cap, approximating the paper's 16k-cycle maximum backoff.
     pub const DEFAULT_MAX_WAIT: u32 = 1 << 12;
 
-    /// Creates a backoff with the default cap.
+    /// Creates a backoff with the default cap and the paper's fixed policy.
     #[inline]
     pub fn new() -> Self {
         Self::with_max(Self::DEFAULT_MAX_WAIT)
@@ -56,19 +80,53 @@ impl Backoff {
     /// Creates a backoff with a custom cap (in spin iterations).
     #[inline]
     pub fn with_max(max: u32) -> Self {
+        let max = max.max(1);
         Self {
             current: Self::INITIAL_WAIT,
-            max: max.max(1),
+            cap: max,
+            max,
+            adaptive: false,
             total: 0,
         }
     }
 
-    /// Spins for the current wait amount, then doubles it (saturating).
+    /// Creates a contention-adaptive backoff for one retry loop.
     ///
-    /// Once saturated, each call also yields to the OS scheduler: a retry
-    /// loop that has already waited the paper's maximum backoff is losing
-    /// to some other thread, and on an oversubscribed machine that thread
-    /// may be preempted and need the CPU to make progress at all.
+    /// The soft ceiling is seeded from this thread's recent failure
+    /// streaks (an EWMA of where previous adaptive loops ended): after a
+    /// run of clean validations the ceiling sits near
+    /// [`Backoff::INITIAL_WAIT`], so an isolated conflict costs a few
+    /// pauses; during a hot-shard storm the ceiling rides up toward
+    /// [`Backoff::DEFAULT_MAX_WAIT`], so re-entering the loop resumes the
+    /// paper's maximum backoff instead of re-climbing. Sustained failure
+    /// *within* one loop also escalates the ceiling (×4 per touch, up to
+    /// the hard cap), so a mis-seeded low ceiling cannot trap a storm at
+    /// short waits. Dropping the value folds the final wait level back
+    /// into the thread-local seed.
+    #[inline]
+    pub fn adaptive() -> Self {
+        let seed = STREAK_SEED
+            .with(Cell::get)
+            .clamp(Self::INITIAL_WAIT, Self::DEFAULT_MAX_WAIT);
+        Self {
+            current: Self::INITIAL_WAIT,
+            cap: seed,
+            max: Self::DEFAULT_MAX_WAIT,
+            adaptive: true,
+            total: 0,
+        }
+    }
+
+    /// Spins for the current wait amount, then doubles it (saturating at
+    /// the ceiling; adaptive ceilings escalate toward the hard cap while
+    /// failures continue).
+    ///
+    /// Once saturated at the hard cap, each call also yields to the OS
+    /// scheduler: a retry loop that has already waited the paper's maximum
+    /// backoff is losing to some other thread, and on an oversubscribed
+    /// machine that thread may be preempted and need the CPU to make
+    /// progress at all. `OPTIK_PURE_SPIN=1` disables the yield (paper
+    /// methodology; see [`relax`]).
     #[inline]
     pub fn backoff(&mut self) {
         #[cfg(optik_explore)]
@@ -77,22 +135,32 @@ impl Backoff {
             // voluntary yield so the scheduler can hand the step to the
             // thread this backoff is waiting on, and skip the spin.
             crate::shim::yield_point(crate::shim::Access::YIELD);
-            self.current = (self.current.saturating_mul(2)).min(self.max);
+            self.advance();
             return;
         }
         let n = self.current;
         spin(n);
         self.total += u64::from(n);
-        if self.is_saturated() {
+        if self.current >= self.max && !pure_spin() {
             std::thread::yield_now();
         }
-        self.current = (self.current.saturating_mul(2)).min(self.max);
+        self.advance();
     }
 
-    /// Whether the backoff has reached its maximum wait.
+    /// Doubles the wait, escalating an adaptive soft ceiling that keeps
+    /// getting hit.
+    #[inline]
+    fn advance(&mut self) {
+        if self.adaptive && self.current >= self.cap && self.cap < self.max {
+            self.cap = self.cap.saturating_mul(4).min(self.max);
+        }
+        self.current = (self.current.saturating_mul(2)).min(self.cap);
+    }
+
+    /// Whether the backoff has reached its (current) maximum wait.
     #[inline]
     pub fn is_saturated(&self) -> bool {
-        self.current >= self.max
+        self.current >= self.cap
     }
 
     /// Total spin iterations waited so far.
@@ -108,10 +176,40 @@ impl Backoff {
     }
 }
 
+impl Drop for Backoff {
+    fn drop(&mut self) {
+        if !self.adaptive {
+            return;
+        }
+        // Fold the observed contention level into the thread's seed:
+        // weight the new observation 3:1 so a storm raises the next loop's
+        // ceiling within a couple of operations, and an untouched loop
+        // (current == INITIAL_WAIT) decays it just as fast.
+        STREAK_SEED.with(|seed| {
+            let old = seed.get();
+            seed.set(
+                (old / 4)
+                    .saturating_add(self.current / 4 * 3)
+                    .max(Self::INITIAL_WAIT),
+            );
+        });
+    }
+}
+
 impl Default for Backoff {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Whether `OPTIK_PURE_SPIN=1` was set at first use (read once per
+/// process): run pure pause-spin loops with no scheduler yields, matching
+/// the paper's cycle-bounded methodology. See [`relax`].
+#[inline]
+pub(crate) fn pure_spin() -> bool {
+    use std::sync::OnceLock;
+    static PURE_SPIN: OnceLock<bool> = OnceLock::new();
+    *PURE_SPIN.get_or_init(|| std::env::var_os("OPTIK_PURE_SPIN").is_some_and(|v| v == "1"))
 }
 
 /// Spins for `n` iterations of the CPU's pause hint.
@@ -135,15 +233,13 @@ pub fn spin(n: u32) {
 /// behavior matches the paper's pause-spin loops.
 ///
 /// Setting `OPTIK_PURE_SPIN=1` (read once per process) disables the
-/// periodic yield, restoring the paper's pure pause-spin loop. This
-/// exists to *measure* the yield's overhead (see DESIGN.md, "relax()
-/// yield overhead"); running the test suite with it on an oversubscribed
-/// box brings back the multi-minute spin convoys the yield was added to
-/// fix.
+/// periodic yield — here *and* in [`Backoff::backoff`]'s saturation yield —
+/// restoring the paper's purely cycle-bounded behavior. This exists to
+/// *measure* the yield's overhead (see DESIGN.md, "relax() yield
+/// overhead"); running the test suite with it on an oversubscribed box
+/// brings back the multi-minute spin convoys the yield was added to fix.
 #[inline]
 pub fn relax() {
-    use core::cell::Cell;
-    use std::sync::OnceLock;
     #[cfg(optik_explore)]
     if crate::shim::hook_active() {
         // A spin-wait iteration under the explorer is a scheduling
@@ -152,8 +248,7 @@ pub fn relax() {
         crate::shim::yield_point(crate::shim::Access::YIELD);
         return;
     }
-    static PURE_SPIN: OnceLock<bool> = OnceLock::new();
-    if *PURE_SPIN.get_or_init(|| std::env::var_os("OPTIK_PURE_SPIN").is_some_and(|v| v == "1")) {
+    if pure_spin() {
         hint::spin_loop();
         return;
     }
@@ -235,5 +330,78 @@ mod tests {
         let b = Backoff::new();
         assert_eq!(a.max, b.max);
         assert_eq!(a.current, b.current);
+    }
+
+    /// The adaptive seed is thread-local; run each scenario on a fresh
+    /// thread so test order can't leak seeds between assertions.
+    fn on_fresh_thread(f: impl FnOnce() + Send + 'static) {
+        std::thread::spawn(f).join().unwrap();
+    }
+
+    #[test]
+    fn adaptive_starts_cheap_when_uncontended() {
+        on_fresh_thread(|| {
+            // A history of clean loops keeps the ceiling at the floor …
+            for _ in 0..8 {
+                let _ = Backoff::adaptive();
+            }
+            let bo = Backoff::adaptive();
+            assert_eq!(bo.cap, Backoff::INITIAL_WAIT);
+            // … so one failed validation costs a couple of pauses.
+            let mut bo = bo;
+            bo.backoff();
+            assert!(bo.waited() <= u64::from(Backoff::INITIAL_WAIT));
+        });
+    }
+
+    #[test]
+    fn adaptive_escalates_to_the_hard_cap_under_sustained_failure() {
+        on_fresh_thread(|| {
+            let mut bo = Backoff::adaptive();
+            // Even with the lowest seed, a storm must reach the paper's
+            // ceiling within a bounded number of retries.
+            for _ in 0..32 {
+                bo.advance(); // growth logic without actually spinning 16k
+            }
+            assert_eq!(bo.current, Backoff::DEFAULT_MAX_WAIT);
+        });
+    }
+
+    #[test]
+    fn adaptive_seed_rises_after_storms_and_decays_after_calm() {
+        on_fresh_thread(|| {
+            // Storm: a loop that ends at a high wait raises the seed …
+            {
+                let mut bo = Backoff::adaptive();
+                for _ in 0..32 {
+                    bo.advance();
+                }
+            }
+            let stormy = STREAK_SEED.with(Cell::get);
+            assert!(stormy > Backoff::INITIAL_WAIT, "seed after storm: {stormy}");
+            // … so the next loop starts with an elevated ceiling.
+            assert!(Backoff::adaptive().cap > Backoff::INITIAL_WAIT);
+            // Calm: untouched loops decay the seed back to the floor.
+            for _ in 0..16 {
+                let _ = Backoff::adaptive();
+            }
+            assert_eq!(STREAK_SEED.with(Cell::get), Backoff::INITIAL_WAIT);
+        });
+    }
+
+    #[test]
+    fn fixed_policy_is_unaffected_by_the_adaptive_seed() {
+        on_fresh_thread(|| {
+            {
+                let mut bo = Backoff::adaptive();
+                for _ in 0..32 {
+                    bo.advance();
+                }
+            }
+            // Backoff::new ignores the seed entirely.
+            let bo = Backoff::new();
+            assert_eq!(bo.cap, Backoff::DEFAULT_MAX_WAIT);
+            assert_eq!(bo.current, Backoff::INITIAL_WAIT);
+        });
     }
 }

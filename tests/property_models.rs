@@ -750,3 +750,129 @@ proptest! {
         prop_assert_eq!(cell.into_inner(), last);
     }
 }
+
+/// One node-pool instruction drawn by proptest.
+#[derive(Debug, Clone, Copy)]
+enum PoolOp {
+    /// Allocate a slot and keep it live.
+    Alloc,
+    /// Retire the most recent live slot through QSBR.
+    Retire,
+    /// Allocate and immediately return a never-published slot.
+    Unpublish,
+    /// Announce a quiescent point and collect graced batches.
+    Quiesce,
+}
+
+/// Per-thread op tapes (the outer vec is chunked into concurrent waves).
+fn pool_tapes(threads: usize, len: usize) -> impl Strategy<Value = Vec<Vec<PoolOp>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            (0u8..6).prop_map(|op| match op {
+                0 | 1 => PoolOp::Alloc,
+                2 | 3 => PoolOp::Retire,
+                4 => PoolOp::Unpublish,
+                _ => PoolOp::Quiesce,
+            }),
+            1..len,
+        ),
+        1..threads,
+    )
+}
+
+/// Runs one thread's tape against the shared pool, returning how many
+/// slots it allocated and how many it left live (abandoned, never
+/// retired). Retired slots are sealed immediately so grace periods can
+/// elapse — and magazines exchange with the depot — mid-wave.
+fn pool_churn_worker(
+    pool: &Arc<optik_suite::reclaim::NodePool<u64>>,
+    domain: &Arc<optik_suite::reclaim::Qsbr>,
+    tape: &[PoolOp],
+) -> (u64, u64) {
+    let h = domain.register();
+    let mut live: Vec<*mut u64> = Vec::new();
+    let mut allocs = 0u64;
+    for &op in tape {
+        match op {
+            PoolOp::Alloc => {
+                live.push(pool.alloc_init(|| allocs));
+                allocs += 1;
+            }
+            PoolOp::Retire => {
+                if let Some(p) = live.pop() {
+                    // SAFETY: allocated above, never published, retired
+                    // exactly once.
+                    unsafe { pool.retire(p, &h) };
+                    h.flush();
+                }
+            }
+            PoolOp::Unpublish => {
+                let p = pool.alloc_init(|| 0);
+                allocs += 1;
+                // SAFETY: allocated just above, never published.
+                unsafe { pool.dealloc_unpublished(p) };
+            }
+            PoolOp::Quiesce => {
+                h.quiescent();
+                h.collect();
+            }
+        }
+    }
+    (allocs, live.len() as u64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The magazine pool's conservation ledger under randomized thread
+    /// churn: threads come and go in concurrent waves over one shared
+    /// pool (tiny 4-slot magazines, 16-slot chunks, a private QSBR
+    /// domain), allocating, retiring, abandoning live slots, and
+    /// announcing quiescence at arbitrary points. After each wave — all
+    /// of its handles dropped, so every sealed batch has passed grace —
+    /// the ledger must balance exactly: no slot lost in a magazine⇄depot
+    /// exchange, none recirculated twice, and the bump region's handout
+    /// count covering every fresh (non-recycled) allocation.
+    #[test]
+    fn pool_conservation_ledger_under_thread_churn(tapes in pool_tapes(6, 60)) {
+        use optik_suite::reclaim::NodePool;
+
+        let pool: Arc<NodePool<u64>> = NodePool::with_config(16, 4);
+        let domain = optik_suite::reclaim::Qsbr::new();
+        let mut total_allocs = 0u64;
+        let mut total_live = 0u64;
+        for wave in tapes.chunks(2) {
+            let results: Vec<(u64, u64)> = std::thread::scope(|s| {
+                let joins: Vec<_> = wave
+                    .iter()
+                    .map(|tape| {
+                        let pool = &pool;
+                        let domain = &domain;
+                        s.spawn(move || pool_churn_worker(pool, domain, tape))
+                    })
+                    .collect();
+                joins
+                    .into_iter()
+                    .map(|j| j.join().expect("pool churn worker"))
+                    .collect()
+            });
+            for (allocs, live) in results {
+                total_allocs += allocs;
+                total_live += live;
+            }
+            let s = pool.stats();
+            let d = domain.stats();
+            prop_assert_eq!(d.retired, d.freed, "wave stranded garbage: {:?}", d);
+            prop_assert_eq!(s.in_grace, 0, "wave left slots in grace: {:?}", s);
+            prop_assert_eq!(s.allocations, total_allocs, "allocation count drifted: {:?}", s);
+            prop_assert_eq!(s.live(), total_live, "slot conservation violated: {:?}", s);
+            // Bump handouts cover every fresh allocation; the excess is
+            // batch-prefetched slots still parked (fresh) in magazines.
+            prop_assert!(
+                s.capacity - s.unallocated >= s.allocations - s.recycle_hits,
+                "bump-region ledger drifted: {:?}",
+                s
+            );
+        }
+    }
+}
