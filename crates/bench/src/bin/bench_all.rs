@@ -10,6 +10,9 @@
 //!                                  # exit 1 on >25% throughput regression
 //! bench_all --digest               # regenerate EXPERIMENTS.md from the
 //!                                  # BENCH_*.json files in --out-dir
+//! bench_all kv --probe             # require probe internals in reports
+//!                                  # (build with --features probe)
+//! bench_all kv --trace-out traces/ # dump Chrome trace-event JSON spans
 //! ```
 //!
 //! Sweep knobs come from the usual environment variables
@@ -36,13 +39,16 @@ struct Args {
     baseline: Option<PathBuf>,
     tolerance_pct: f64,
     latency: bool,
+    probe: bool,
+    trace_out: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_all [PATTERN ...] [--list] [--json FILE] [--out-dir DIR]\n\
          \x20                [--baseline FILE] [--tolerance PCT] [--no-latency]\n\
-         \x20                [--filter REGEX] [--digest]\n\
+         \x20                [--filter REGEX] [--digest] [--probe]\n\
+         \x20                [--trace-out DIR]\n\
          \n\
          PATTERN selects scenarios by exact name or dot-boundary prefix\n\
          (family or group); no patterns = the whole registry.\n\
@@ -52,7 +58,12 @@ fn usage() -> ! {
          --digest runs no benchmarks: it loads every BENCH_*.json in\n\
          --out-dir (newest first, so re-recorded reports win duplicate\n\
          scenarios; an explicit --baseline outranks all) and regenerates\n\
-         EXPERIMENTS.md from them."
+         EXPERIMENTS.md from them.\n\
+         --probe and --trace-out need a probe-enabled build\n\
+         (`cargo run -p optik-bench --features probe --bin bench_all`):\n\
+         --probe fails the run unless every kv.*/fig10.* scenario report\n\
+         carries probe internals; --trace-out DIR writes the recorded\n\
+         spans as Chrome trace-event JSON (Perfetto-loadable)."
     );
     std::process::exit(2)
 }
@@ -68,6 +79,8 @@ fn parse_args() -> Args {
         baseline: None,
         tolerance_pct: 25.0,
         latency: true,
+        probe: false,
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -89,6 +102,10 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage());
             }
             "--no-latency" => args.latency = false,
+            "--probe" => args.probe = true,
+            "--trace-out" => {
+                args.trace_out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
+            }
             "--help" | "-h" => usage(),
             p if p.starts_with('-') => usage(),
             p => args.patterns.push(p.to_string()),
@@ -194,6 +211,14 @@ fn main() -> ExitCode {
         return write_digest(&args, &reg);
     }
 
+    if (args.probe || args.trace_out.is_some()) && !optik_probe::enabled() {
+        eprintln!(
+            "--probe/--trace-out need a probe-enabled build; rerun as\n  \
+             cargo run --release -p optik-bench --features probe --bin bench_all -- ..."
+        );
+        return ExitCode::from(2);
+    }
+
     let filter = match args.filter.as_deref().map(optik_bench::filter::Filter::new) {
         None => None,
         Some(Ok(f)) => Some(f),
@@ -214,6 +239,60 @@ fn main() -> ExitCode {
     }
     println!("{} scenarios selected\n", selected.len());
     let reports = cli::run_selection(&reg, &args.patterns, filter.as_ref(), &cfg, args.latency);
+
+    // `--probe` is a contract, not a hint: the kv engine and the OPTIK
+    // hashtable (fig10) are hook-dense, so a scenario of theirs with no
+    // internals means the probe layer silently fell off.
+    if args.probe {
+        let silent: Vec<&str> = reports
+            .iter()
+            .filter(|s| s.scenario.starts_with("kv.") || s.scenario.starts_with("fig10."))
+            .filter(|s| s.points.iter().all(|p| p.internals.is_empty()))
+            .map(|s| s.scenario.as_str())
+            .collect();
+        if !silent.is_empty() {
+            eprintln!(
+                "error: --probe ran but {} scenarios recorded no internals:",
+                silent.len()
+            );
+            for s in &silent {
+                eprintln!("  {s}");
+            }
+            return ExitCode::FAILURE;
+        }
+        let with = reports
+            .iter()
+            .filter(|s| s.points.iter().any(|p| !p.internals.is_empty()))
+            .count();
+        println!(
+            "probe: internals recorded for {with}/{} scenarios",
+            reports.len()
+        );
+    }
+
+    // `--trace-out`: drain the span rings accumulated across the whole
+    // run into one Chrome trace-event file (load in Perfetto or
+    // chrome://tracing).
+    if let Some(dir) = &args.trace_out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let path = dir.join("trace_events.json");
+        match optik_probe::trace::drain_json() {
+            Some(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("failed to write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {} (Chrome trace-event format)", path.display());
+            }
+            None => println!(
+                "trace: no spans recorded (selected scenarios ran no \
+                 migrations, TTL sweeps, or grace periods)"
+            ),
+        }
+    }
 
     let machine = std::env::var("BENCH_MACHINE").unwrap_or_else(|_| Report::machine_class());
     let combined = Report::new(&machine, &cfg, reports);

@@ -109,6 +109,11 @@ pub fn print_group(group: &str, reports: &[ScenarioReport], latency_at: Option<u
         println!("{group} — {key}:");
         extra_table(reports, &key).print();
     }
+    for key in internals_keys(reports) {
+        println!();
+        println!("{group} — internals.{key}:");
+        internals_table(reports, &key).print();
+    }
     if let Some(threads) = latency_at {
         if let Some(t) = latency_table(reports, threads) {
             println!();
@@ -180,6 +185,50 @@ pub fn extra_table(reports: &[ScenarioReport], key: &str) -> Table {
                 .get(i)
                 .and_then(|p| p.extra.iter().find(|(k, _)| k == key))
                 .map(|(_, v)| format!("{v:.2}"))
+                .unwrap_or_else(|| "-".into());
+            row.push(cell);
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Probe-internal metric keys present anywhere in the group, in first-seen
+/// order. Empty unless the workspace was built with `--features probe`.
+pub fn internals_keys(reports: &[ScenarioReport]) -> Vec<String> {
+    let mut keys = Vec::new();
+    for r in reports {
+        for p in &r.points {
+            for (k, _) in &p.internals {
+                if !keys.contains(k) {
+                    keys.push(k.clone());
+                }
+            }
+        }
+    }
+    keys
+}
+
+/// Thread-sweep table of one probe-internal metric (e.g.
+/// `validation_fail_per_op`).
+pub fn internals_table(reports: &[ScenarioReport], key: &str) -> Table {
+    let mut headers = vec!["threads".to_string()];
+    headers.extend(reports.iter().map(|r| r.series.clone()));
+    let mut t = Table::new(headers);
+    for (i, p) in reports
+        .first()
+        .map(|r| r.points.as_slice())
+        .unwrap_or(&[])
+        .iter()
+        .enumerate()
+    {
+        let mut row = vec![p.threads.to_string()];
+        for r in reports {
+            let cell = r
+                .points
+                .get(i)
+                .and_then(|p| p.internals.iter().find(|(k, _)| k == key))
+                .map(|(_, v)| format!("{v:.3}"))
                 .unwrap_or_else(|| "-".into());
             row.push(cell);
         }
@@ -260,6 +309,7 @@ mod tests {
                     mops: m,
                     extra: vec![("cas".into(), m * 2.0)],
                     latency: Vec::new(),
+                    internals: vec![("lock_acquires_per_op".into(), 1.0)],
                 })
                 .collect(),
         }
@@ -283,6 +333,18 @@ mod tests {
         let rs = vec![report("g.a", "x", &[1.0])];
         assert_eq!(extra_keys(&rs), vec!["cas".to_string()]);
         assert!(extra_table(&rs, "cas").render().contains("2.00"));
+    }
+
+    #[test]
+    fn internals_tables_and_keys() {
+        let rs = vec![report("g.a", "x", &[1.0])];
+        assert_eq!(
+            internals_keys(&rs),
+            vec!["lock_acquires_per_op".to_string()]
+        );
+        assert!(internals_table(&rs, "lock_acquires_per_op")
+            .render()
+            .contains("1.000"));
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub fn registry() -> Registry {
     kv_ttl(&mut r);
     kv_rebalance(&mut r);
     map_ordered(&mut r);
+    probe_overhead(&mut r);
     ablate_base_lock(&mut r);
     ablate_node_cache(&mut r);
     ablate_resize(&mut r);
@@ -136,6 +137,12 @@ pub fn group_blurb(group: &str) -> &'static str {
         "map.ordered" => {
             "Ordered backends as value-carrying maps (1024 entries, zipf): 20% in-place \
              upserts/removes, 2% validated 64-key range scans"
+        }
+        "probe.overhead" => {
+            "Probe hook-site overhead A/B: identical validated-acquisition loops, \
+             `bare` with only the built-in hooks vs `hooked` with extra explicit \
+             probe calls per op (equal throughput in a probe-disabled build is \
+             the zero-cost check)"
         }
         "ablate-base-lock" => {
             "optik-gl list: versioned vs ticket base lock (128 elements, 20% updates)"
@@ -1433,6 +1440,72 @@ fn map_ordered(r: &mut Registry) {
 }
 
 // ---------------------------------------------------------------------------
+// probe.overhead: hook-site cost A/B pair.
+// ---------------------------------------------------------------------------
+
+/// One validated-acquisition loop; `hooked` adds the densest per-op probe
+/// usage a real data structure emits (a timestamp pair, a counter bump,
+/// and a histogram record). With the `probe` feature off both series must
+/// measure the same — that equality is the layer's zero-cost claim, and
+/// the pinned bench-smoke in CI sweeps both to keep it observable.
+fn probe_overhead_scenario(name: &str, about: &str, id: &str, hooked: bool) -> Scenario {
+    Scenario::custom(name, about, id, Subject::None, move |spec| {
+        let lock = OptikVersioned::default();
+        let start = Instant::now();
+        let results = run_workers(spec.threads, spec.duration, |ctx| {
+            let mut ops = 0u64;
+            let mut acc = 0u64;
+            while !ctx.should_stop() {
+                let t0 = if hooked { optik_probe::now() } else { 0 };
+                loop {
+                    let v = lock.get_version();
+                    if OptikVersioned::is_locked_version(v) {
+                        synchro::relax();
+                        continue;
+                    }
+                    if lock.try_lock_version(v) {
+                        lock.unlock();
+                        break;
+                    }
+                    if hooked {
+                        optik_probe::count(optik_probe::Event::ReadRetry);
+                    }
+                }
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(ops);
+                if hooked {
+                    optik_probe::record(
+                        optik_probe::HistKind::RetryLoop,
+                        optik_probe::elapsed(t0, optik_probe::now()),
+                    );
+                }
+                ops += 1;
+            }
+            (ops, std::hint::black_box(acc))
+        });
+        let wall = start.elapsed();
+        let ops: u64 = results.iter().map(|r| r.0).sum();
+        Measurement::from_ops(ops, wall)
+    })
+}
+
+fn probe_overhead(r: &mut Registry) {
+    let about = "Hook-overhead A/B: bare and hooked run the same acquisition \
+                 loop; a probe-disabled build must show no gap between them";
+    r.register(probe_overhead_scenario(
+        "probe.overhead.bare",
+        about,
+        "probe/overhead-bare",
+        false,
+    ));
+    r.register(probe_overhead_scenario(
+        "probe.overhead.hooked",
+        about,
+        "probe/overhead-hooked",
+        true,
+    ));
+}
+
+// ---------------------------------------------------------------------------
 // Ablations.
 // ---------------------------------------------------------------------------
 
@@ -1611,6 +1684,7 @@ mod tests {
                 "alloc",
                 "kv",
                 "map",
+                "probe",
                 "ablate-base-lock",
                 "ablate-node-cache",
                 "ablate-resize",

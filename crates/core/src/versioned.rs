@@ -69,6 +69,7 @@ impl OptikLock for OptikVersioned {
         // retries, OPTIK style) or a spurious pass, in which case the CAS
         // below re-checks the value with Acquire and is the real gate.
         if target & LOCKED_BIT != 0 || self.word.load(Ordering::Relaxed) != target {
+            optik_probe::count(optik_probe::Event::ValidationFail);
             return false;
         }
         let ok = self
@@ -77,6 +78,9 @@ impl OptikLock for OptikVersioned {
             .is_ok();
         if ok {
             crate::traits::acquired_fence();
+            optik_probe::lock_acquired();
+        } else {
+            optik_probe::count(optik_probe::Event::ValidationFail);
         }
         ok
     }
@@ -84,6 +88,7 @@ impl OptikLock for OptikVersioned {
     #[inline]
     fn try_lock_version_counting(&self, target: Version) -> (bool, u32) {
         if target & LOCKED_BIT != 0 || self.word.load(Ordering::Relaxed) != target {
+            optik_probe::count(optik_probe::Event::ValidationFail);
             return (false, 0);
         }
         let ok = self
@@ -92,6 +97,9 @@ impl OptikLock for OptikVersioned {
             .is_ok();
         if ok {
             crate::traits::acquired_fence();
+            optik_probe::lock_acquired();
+        } else {
+            optik_probe::count(optik_probe::Event::ValidationFail);
         }
         (ok, 1)
     }
@@ -110,6 +118,14 @@ impl OptikLock for OptikVersioned {
                 .is_ok()
             {
                 crate::traits::acquired_fence();
+                optik_probe::lock_acquired();
+                if cur != target {
+                    // Acquired, but the version moved past the caller's
+                    // snapshot: the OPTIK contract reports the validation
+                    // failure and lets the caller redo its work under the
+                    // lock it now holds.
+                    optik_probe::count(optik_probe::Event::ValidationFail);
+                }
                 return cur == target;
             }
         }
@@ -129,6 +145,7 @@ impl OptikLock for OptikVersioned {
                 .is_ok()
             {
                 crate::traits::acquired_fence();
+                optik_probe::lock_acquired();
                 return cur;
             }
         }
@@ -138,12 +155,14 @@ impl OptikLock for OptikVersioned {
     fn unlock(&self) {
         // Holder-only: value is odd; +1 makes it the next even version.
         self.word.fetch_add(1, Ordering::Release);
+        optik_probe::lock_released();
     }
 
     #[inline]
     fn revert(&self) {
         // Holder-only: value is odd; −1 restores the pre-acquisition version.
         self.word.fetch_sub(1, Ordering::Release);
+        optik_probe::lock_released();
     }
 
     #[inline]

@@ -127,6 +127,11 @@ pub struct Point {
     /// Latency boxplots merged across repetitions (only at the designated
     /// latency thread count), keyed by [`OpKind::label`].
     pub latency: Vec<(String, Percentiles)>,
+    /// Median internal-behavior metrics over the repetitions: probe-layer
+    /// rates (validation-failure rate, retry percentiles, magazine hit
+    /// rate — empty unless built with `--features probe`) plus the
+    /// workers' thread-imbalance ratio. Keyed like `extra`.
+    pub internals: Vec<(String, f64)>,
 }
 
 /// A completed sweep of one scenario.
@@ -169,6 +174,14 @@ pub fn sweep_with(
         let record_latency = latency_at == Some(threads);
         let mut mops = Vec::with_capacity(cfg.reps);
         let mut extra_samples: Vec<(String, Vec<f64>)> = Vec::new();
+        let mut internal_samples: Vec<(String, Vec<f64>)> = Vec::new();
+        let push_sample = |samples: &mut Vec<(String, Vec<f64>)>, k: &str, v: f64| match samples
+            .iter_mut()
+            .find(|(ek, _)| ek == k)
+        {
+            Some((_, vs)) => vs.push(v),
+            None => samples.push((k.to_string(), vec![v])),
+        };
         let mut latency = crate::latency::LatencyRecorder::new();
         for rep in 0..cfg.reps {
             let spec = RunSpec {
@@ -177,19 +190,31 @@ pub fn sweep_with(
                 seed: cfg.seed + rep as u64,
                 record_latency,
             };
+            // Probe delta around exactly the measured window: everything
+            // the rep's workers count lands in this rep's internals (all
+            // zeros — hence no internals — without `--features probe`).
+            let probe_before = optik_probe::Snapshot::take();
             let m = measure(&spec);
+            let probe_delta = optik_probe::Snapshot::take().delta_since(&probe_before);
             mops.push(m.mops());
             for (k, v) in &m.extra {
-                match extra_samples.iter_mut().find(|(ek, _)| ek == k) {
-                    Some((_, vs)) => vs.push(*v),
-                    None => extra_samples.push((k.clone(), vec![*v])),
-                }
+                push_sample(&mut extra_samples, k, *v);
+            }
+            for (k, v) in probe_delta.metrics(m.ops) {
+                push_sample(&mut internal_samples, &k, v);
+            }
+            if let Some(ratio) = m.latency.thread_imbalance() {
+                push_sample(&mut internal_samples, "thread_imbalance", ratio);
             }
             if record_latency {
                 latency.merge(&m.latency);
             }
         }
         let extra = extra_samples
+            .into_iter()
+            .map(|(k, vs)| (k, stats::median(&vs)))
+            .collect();
+        let internals = internal_samples
             .into_iter()
             .map(|(k, vs)| (k, stats::median(&vs)))
             .collect();
@@ -202,6 +227,7 @@ pub fn sweep_with(
             mops: stats::median(&mops),
             extra,
             latency,
+            internals,
         });
     }
     points

@@ -68,10 +68,17 @@ pub struct Percentiles {
 }
 
 /// Per-thread latency reservoir: a 16K-sample ring per operation kind.
+///
+/// Also carries per-thread operation totals: each worker files its own
+/// total via [`LatencyRecorder::record_thread_ops`], and merging keeps the
+/// per-thread attribution (one entry per contributing worker) instead of
+/// collapsing it, so a run can report thread imbalance
+/// ([`LatencyRecorder::thread_imbalance`]) alongside its percentiles.
 #[derive(Debug, Clone)]
 pub struct LatencyRecorder {
     samples: Vec<Vec<u64>>, // one ring per OpKind
     cursor: [usize; 6],
+    thread_ops: Vec<u64>, // one total per contributing thread
 }
 
 impl LatencyRecorder {
@@ -80,6 +87,7 @@ impl LatencyRecorder {
         Self {
             samples: (0..6).map(|_| Vec::new()).collect(),
             cursor: [0; 6],
+            thread_ops: Vec::new(),
         }
     }
 
@@ -97,11 +105,35 @@ impl LatencyRecorder {
         }
     }
 
-    /// Absorbs another recorder's samples (end-of-run collection).
+    /// Files the calling worker's total operation count (once, at the end
+    /// of its run), preserving per-thread attribution across merges.
+    pub fn record_thread_ops(&mut self, ops: u64) {
+        self.thread_ops.push(ops);
+    }
+
+    /// Absorbs another recorder's samples and per-thread op totals
+    /// (end-of-run collection).
     pub fn merge(&mut self, other: &LatencyRecorder) {
         for k in 0..6 {
             self.samples[k].extend_from_slice(&other.samples[k]);
         }
+        self.thread_ops.extend_from_slice(&other.thread_ops);
+    }
+
+    /// Per-thread operation totals, one entry per contributing worker.
+    pub fn thread_ops(&self) -> &[u64] {
+        &self.thread_ops
+    }
+
+    /// Thread imbalance: the busiest worker's op total over the laziest's
+    /// (1.0 = perfectly fair). `None` with fewer than two workers filed.
+    pub fn thread_imbalance(&self) -> Option<f64> {
+        if self.thread_ops.len() < 2 {
+            return None;
+        }
+        let max = *self.thread_ops.iter().max().expect("non-empty");
+        let min = *self.thread_ops.iter().min().expect("non-empty");
+        Some(max as f64 / min.max(1) as f64)
     }
 
     /// Number of samples recorded for `kind`.
@@ -193,6 +225,28 @@ mod tests {
         let p = a.percentiles(OpKind::DeleteSuc).unwrap();
         assert_eq!(p.p5, 5);
         assert_eq!(p.p95, 15);
+    }
+
+    #[test]
+    fn merge_preserves_per_thread_attribution() {
+        let mut merged = LatencyRecorder::new();
+        for ops in [100u64, 400, 250] {
+            let mut worker = LatencyRecorder::new();
+            worker.record_thread_ops(ops);
+            merged.merge(&worker);
+        }
+        assert_eq!(merged.thread_ops(), &[100, 400, 250]);
+        assert_eq!(merged.thread_imbalance(), Some(4.0));
+    }
+
+    #[test]
+    fn imbalance_needs_two_threads_and_survives_zero_ops() {
+        let mut r = LatencyRecorder::new();
+        assert_eq!(r.thread_imbalance(), None);
+        r.record_thread_ops(50);
+        assert_eq!(r.thread_imbalance(), None, "one thread has no ratio");
+        r.record_thread_ops(0);
+        assert_eq!(r.thread_imbalance(), Some(50.0), "zero clamps to 1");
     }
 
     #[test]

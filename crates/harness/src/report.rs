@@ -2,13 +2,14 @@
 //!
 //! [`Report`] is the JSON artifact `bench_all` writes (`BENCH_<name>.json`)
 //! and CI diffs against the checked-in `BENCH_baseline.json`. Schema
-//! (version 1):
+//! (version 2):
 //!
 //! ```json
 //! {
-//!   "schema": 1,
+//!   "schema": 2,
 //!   "machine": "1-core x86-64 KVM (CI class)",
 //!   "config": {"duration_ms": 100, "reps": 3, "seed": 42, "threads": [1, 2]},
+//!   "meta": {"BENCH_DUR_MS": "100", "OPTIK_PURE_SPIN": "1"},
 //!   "scenarios": [
 //!     {
 //!       "scenario": "fig9.large.harris",
@@ -19,6 +20,7 @@
 //!           "threads": 1,
 //!           "mops": 1.234,
 //!           "extra": {"cas_per_validation": 1.0},
+//!           "internals": {"validation_fail_per_op": 0.002},
 //!           "latency_percentiles": {"srch-suc": [5, 25, 50, 75, 95, 99, 1000]}
 //!         }
 //!       ]
@@ -27,11 +29,15 @@
 //! }
 //! ```
 //!
-//! `extra` and `latency_percentiles` are omitted when empty; the
-//! percentile tuple is `[p5, p25, p50, p75, p95, p99, count]`. Reports
-//! written before p99 was tracked carry six entries
-//! (`[p5, p25, p50, p75, p95, count]`) and still load, with `p99`
-//! conservatively reported as `p95`.
+//! `meta` (schema 2) records the environment knobs that shaped the run
+//! (`BENCH_*`, `OPTIK_PURE_SPIN`, `STRESS_SEED`), so a baseline is
+//! reproducible from its own file. `internals` (schema 2) carries the
+//! probe layer's per-point internal-behavior metrics. `meta`, `extra`,
+//! `internals`, and `latency_percentiles` are omitted when empty; the
+//! percentile tuple is `[p5, p25, p50, p75, p95, p99, count]`. Schema-1
+//! reports (no meta/internals) and reports written before p99 was tracked
+//! (six-entry tuples, with `p99` conservatively reported as `p95`) still
+//! load.
 //!
 //! [`compare`] matches `(scenario, threads)` pairs between two reports and
 //! flags throughput regressions beyond a fractional tolerance.
@@ -44,7 +50,25 @@ use crate::json::{self, Json};
 use crate::latency::Percentiles;
 
 /// Current schema version.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version [`Report::from_json`] still accepts (1: no
+/// `meta`, no per-point `internals`).
+pub const MIN_SCHEMA_VERSION: u64 = 1;
+
+/// The environment knobs recorded into a report's `meta` block: everything
+/// `BENCH_*` plus the named non-`BENCH_` switches that shape a run.
+const META_ENV_EXTRAS: [&str; 2] = ["OPTIK_PURE_SPIN", "STRESS_SEED"];
+
+/// Collects the reproducibility-relevant environment (`BENCH_*`,
+/// `OPTIK_PURE_SPIN`, `STRESS_SEED`) as sorted key/value pairs.
+pub fn env_meta() -> Vec<(String, String)> {
+    let mut meta: Vec<(String, String)> = std::env::vars()
+        .filter(|(k, _)| k.starts_with("BENCH_") || META_ENV_EXTRAS.contains(&k.as_str()))
+        .collect();
+    meta.sort();
+    meta
+}
 
 /// A complete benchmark report: configuration, machine class, results.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,17 +79,22 @@ pub struct Report {
     pub machine: String,
     /// The sweep configuration the report was produced with.
     pub config: SweepConfig,
+    /// Environment knobs the run was shaped by (sorted key/value pairs;
+    /// see [`env_meta`]). Empty in schema-1 reports.
+    pub meta: Vec<(String, String)>,
     /// One entry per swept scenario.
     pub scenarios: Vec<ScenarioReport>,
 }
 
 impl Report {
-    /// Bundles sweep results into a report.
+    /// Bundles sweep results into a report, capturing the current
+    /// environment's knobs ([`env_meta`]) into the `meta` block.
     pub fn new(machine: &str, config: &SweepConfig, scenarios: Vec<ScenarioReport>) -> Self {
         Self {
             schema: SCHEMA_VERSION,
             machine: machine.to_string(),
             config: config.clone(),
+            meta: env_meta(),
             scenarios,
         }
     }
@@ -105,6 +134,17 @@ impl Report {
             ),
         );
         root.insert("config".into(), Json::Obj(cfg));
+        if !self.meta.is_empty() {
+            root.insert(
+                "meta".into(),
+                Json::Obj(
+                    self.meta
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            );
+        }
         root.insert(
             "scenarios".into(),
             Json::Arr(self.scenarios.iter().map(scenario_to_json).collect()),
@@ -112,13 +152,15 @@ impl Report {
         Json::Obj(root).render()
     }
 
-    /// Parses a schema-1 JSON document.
+    /// Parses a JSON document of any supported schema version
+    /// (currently 1 or 2; see [`MIN_SCHEMA_VERSION`]).
     pub fn from_json(input: &str) -> Result<Self, ReportError> {
         let v = json::parse(input)?;
         let schema = field_u64(&v, "schema")?;
-        if schema != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema) {
             return Err(ReportError::Schema(format!(
-                "unsupported schema version {schema} (expected {SCHEMA_VERSION})"
+                "unsupported schema version {schema} \
+                 (expected {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
             )));
         }
         let machine = field_str(&v, "machine")?.to_string();
@@ -141,6 +183,17 @@ impl Report {
             reps: field_u64(cfg, "reps")? as usize,
             seed: field_u64(cfg, "seed")?,
         };
+        let meta = match v.get("meta").and_then(Json::as_obj) {
+            Some(m) => m
+                .iter()
+                .map(|(k, v)| {
+                    v.as_str()
+                        .map(|v| (k.clone(), v.to_string()))
+                        .ok_or_else(|| ReportError::Schema("non-string `meta` value".into()))
+                })
+                .collect::<Result<_, _>>()?,
+            None => Vec::new(),
+        };
         let scenarios = v
             .get("scenarios")
             .and_then(Json::as_arr)
@@ -152,6 +205,7 @@ impl Report {
             schema,
             machine,
             config,
+            meta,
             scenarios,
         })
     }
@@ -223,6 +277,17 @@ fn scenario_to_json(s: &ScenarioReport) -> Json {
                             ),
                         );
                     }
+                    if !p.internals.is_empty() {
+                        pm.insert(
+                            "internals".into(),
+                            Json::Obj(
+                                p.internals
+                                    .iter()
+                                    .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                                    .collect(),
+                            ),
+                        );
+                    }
                     if !p.latency.is_empty() {
                         pm.insert(
                             "latency_percentiles".into(),
@@ -283,6 +348,17 @@ fn scenario_from_json(v: &Json) -> Result<ScenarioReport, ReportError> {
                     .collect::<Result<_, _>>()?,
                 None => Vec::new(),
             };
+            let internals = match p.get("internals").and_then(Json::as_obj) {
+                Some(m) => m
+                    .iter()
+                    .map(|(k, v)| {
+                        v.as_f64()
+                            .map(|v| (k.clone(), v))
+                            .ok_or_else(|| ReportError::Schema("bad internals metric".into()))
+                    })
+                    .collect::<Result<_, _>>()?,
+                None => Vec::new(),
+            };
             let latency = match p.get("latency_percentiles").and_then(Json::as_obj) {
                 Some(m) => m
                     .iter()
@@ -321,6 +397,7 @@ fn scenario_from_json(v: &Json) -> Result<ScenarioReport, ReportError> {
                 mops,
                 extra,
                 latency,
+                internals,
             })
         })
         .collect::<Result<_, ReportError>>()?;
@@ -467,6 +544,10 @@ mod tests {
                     threads: t,
                     mops: m,
                     extra: vec![("cas".into(), 1.25)],
+                    internals: vec![
+                        ("thread_imbalance".into(), 1.5),
+                        ("validation_fail_per_op".into(), 0.002),
+                    ],
                     latency: vec![(
                         "srch-suc".into(),
                         Percentiles {
@@ -548,13 +629,47 @@ mod tests {
 
     #[test]
     fn wrong_schema_version_is_rejected() {
-        let text = sample_report()
-            .to_json()
-            .replace("\"schema\": 1", "\"schema\": 99");
+        let source = sample_report().to_json();
+        let text = source.replace("\"schema\": 2", "\"schema\": 99");
+        assert_ne!(text, source, "replacement must have applied");
         assert!(matches!(
             Report::from_json(&text),
             Err(ReportError::Schema(_))
         ));
+    }
+
+    #[test]
+    fn schema_one_documents_still_load() {
+        // A legacy report: schema 1, no meta, no internals.
+        let mut legacy = sample_report();
+        legacy.meta.clear();
+        for s in &mut legacy.scenarios {
+            for p in &mut s.points {
+                p.internals.clear();
+            }
+        }
+        let text = legacy.to_json().replace("\"schema\": 2", "\"schema\": 1");
+        let back = Report::from_json(&text).unwrap();
+        assert_eq!(back.schema, 1);
+        assert!(back.meta.is_empty());
+        assert_eq!(back.scenarios, legacy.scenarios);
+    }
+
+    #[test]
+    fn meta_block_roundtrips_and_captures_bench_env() {
+        // Uniquely-named knob: safe against parallel tests reading env.
+        std::env::set_var("BENCH_META_PROBE_TEST", "on");
+        let r = sample_report();
+        std::env::remove_var("BENCH_META_PROBE_TEST");
+        assert!(
+            r.meta
+                .iter()
+                .any(|(k, v)| k == "BENCH_META_PROBE_TEST" && v == "on"),
+            "Report::new records BENCH_* knobs: {:?}",
+            r.meta
+        );
+        let back = Report::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.meta, r.meta);
     }
 
     #[test]

@@ -197,6 +197,7 @@ where
             // Quiescent point between operations (ssmem-style).
             reclaim::quiescent();
         }
+        lat.record_thread_ops(counts.total());
         (counts, lat)
     });
     let duration = start.elapsed();
@@ -287,6 +288,7 @@ pub fn run_queue_workload<Q: ConcurrentQueue + ?Sized>(
             // order to avoid long runs [39]" — small randomized pause.
             synchro::backoff::spin(rng.next_below(32) as u32);
         }
+        lat.record_thread_ops(counts.total());
         (counts, lat)
     });
     let duration = start.elapsed();
@@ -377,6 +379,7 @@ pub fn run_stack_workload<S: ConcurrentStack + ?Sized>(
             reclaim::quiescent();
             synchro::backoff::spin(rng.next_below(32) as u32);
         }
+        lat.record_thread_ops(counts.total());
         (counts, lat)
     });
     let duration = start.elapsed();

@@ -131,10 +131,14 @@ impl<B: OrderedMap> KvStore<B> {
         let mut stats = MigrationStats::default();
         loop {
             let (a, b) = (boundary, boundary + 1);
+            // Span covers the locked batch: acquisition through the copy,
+            // flip, and retire in `migrate` (which releases the locks).
+            let _span = optik_probe::trace::span(optik_probe::trace::SpanKind::Migration);
             // Ascending acquisition: the store-wide batch total order.
             self.shards[a].lock.lock();
             self.shards[b].lock.lock();
             stats.batches += 1;
+            optik_probe::count(optik_probe::Event::MigrationBatch);
             // Flanking bounds are stable while we hold these two locks
             // (moving either needs one of them).
             let cur = rp.bound(a);
@@ -268,6 +272,7 @@ impl<B: OrderedMap> KvStore<B> {
             }
         }
         stats.moved += take as u64;
+        optik_probe::count_n(optik_probe::Event::MigrationMoved, take as u64);
         self.shards[b].lock.unlock();
         self.shards[a].lock.unlock();
         next == target
@@ -296,6 +301,7 @@ impl<B: OrderedMap> KvStore<B> {
         if hot_load < 2 * mean {
             return None;
         }
+        let _span = optik_probe::trace::span(optik_probe::trace::SpanKind::RebalanceRound);
         let to_left = match (
             hot.checked_sub(1).map(|i| loads[i]),
             (hot + 1 < n).then(|| loads[hot + 1]),

@@ -22,6 +22,18 @@ use crate::ttl::{Clock, TtlState};
 /// (multi-get, scan, range scan) falls back to taking the shard lock(s).
 pub(crate) const OPTIMISTIC_ATTEMPTS: usize = 8;
 
+/// Files the duration of a retry-laden optimistic read loop (first attempt
+/// to resolution) into the probe's retry histogram. Callers invoke it only
+/// when at least one round failed revalidation, so clean first-try reads
+/// never pollute the distribution.
+#[inline]
+fn record_retry_loop(t0: u64) {
+    optik_probe::record(
+        optik_probe::HistKind::RetryLoop,
+        optik_probe::elapsed(t0, optik_probe::now()),
+    );
+}
+
 pub(crate) struct Shard<B> {
     /// Guards every *write* to `map` (single-key and batched) and arbitrates
     /// read-side validation: multi-gets and scans read optimistically and
@@ -313,14 +325,21 @@ impl<B: ConcurrentMap> KvStore<B> {
             return shard.map.get(key);
         };
         let mut bo = Backoff::adaptive();
+        let t0 = optik_probe::now();
+        let mut retried = false;
         for _ in 0..OPTIMISTIC_ATTEMPTS {
             let v = shard.lock.get_version_wait();
             let val = shard.map.get(key);
             let deadline = dl.get(key);
             let now = self.now_opt().expect("deadline table implies a clock");
             if shard.lock.validate(v) {
+                if retried {
+                    record_retry_loop(t0);
+                }
                 return val.filter(|_| !deadline.is_some_and(|d| d <= now));
             }
+            optik_probe::count(optik_probe::Event::ReadRetry);
+            retried = true;
             bo.backoff();
         }
         shard.lock.lock();
@@ -328,6 +347,7 @@ impl<B: ConcurrentMap> KvStore<B> {
         let deadline = dl.get(key);
         let now = self.now_opt().expect("deadline table implies a clock");
         shard.lock.revert(); // read-only critical section
+        record_retry_loop(t0);
         val.filter(|_| !deadline.is_some_and(|d| d <= now))
     }
 
@@ -339,14 +359,22 @@ impl<B: ConcurrentMap> KvStore<B> {
             .ops
             .fetch_add(1, Ordering::Relaxed);
         let mut bo = Backoff::adaptive();
+        let t0 = optik_probe::now();
+        let mut retried = false;
         for _ in 0..OPTIMISTIC_ATTEMPTS {
             let rv = self.policy.version();
             let out = self.read_entry(&self.shards[self.policy.route(key)], key);
             if self.policy.validate(rv) {
+                if retried {
+                    record_retry_loop(t0);
+                }
                 return out;
             }
+            optik_probe::count(optik_probe::Event::ReadRetry);
+            retried = true;
             bo.backoff();
         }
+        record_retry_loop(t0);
         loop {
             let s = self.policy.route(key);
             let shard = &self.shards[s];
@@ -419,6 +447,8 @@ impl<B: ConcurrentMap> KvStore<B> {
     pub fn multi_get(&self, keys: &[Key]) -> Vec<Option<Val>> {
         let dynamic = self.dynamic;
         let mut bo = Backoff::adaptive();
+        let t0 = optik_probe::now();
+        let mut retried = false;
         for _ in 0..OPTIMISTIC_ATTEMPTS {
             let rv = self.policy.version();
             let ids = self.shard_ids(keys.iter().copied());
@@ -442,10 +472,16 @@ impl<B: ConcurrentMap> KvStore<B> {
                         self.shards[i].ops.fetch_add(1, Ordering::Relaxed);
                     }
                 }
+                if retried {
+                    record_retry_loop(t0);
+                }
                 return out;
             }
+            optik_probe::count(optik_probe::Event::ReadRetry);
+            retried = true;
             bo.backoff();
         }
+        record_retry_loop(t0);
         // Contended fallback: sorted acquisition, guaranteed progress
         // (lock_batch revalidates the shard set against racing
         // migrations and maintains the load counters).
@@ -730,14 +766,20 @@ impl<B: OrderedMap> KvStore<B> {
         let mut bo = Backoff::adaptive();
         for _ in 0..OPTIMISTIC_ATTEMPTS {
             buf.clear();
+            let t0 = optik_probe::now();
             let v = shard.lock.get_version_wait();
             shard.map.range(lo, hi, &mut |k, val| buf.push((k, val)));
             // Clock sample inside the validated window (see
             // `read_entry`): the window scan linearizes at this tick.
             self.filter_expired(shard, buf, self.now_opt());
             if shard.lock.validate(v) {
+                optik_probe::record(
+                    optik_probe::HistKind::ValidationWindow,
+                    optik_probe::elapsed(t0, optik_probe::now()),
+                );
                 return;
             }
+            optik_probe::count(optik_probe::Event::ReadRetry);
             bo.backoff();
         }
         buf.clear();
@@ -788,6 +830,7 @@ impl<B: OrderedMap> KvStore<B> {
             if self.policy.validate(rv) {
                 return out;
             }
+            optik_probe::count(optik_probe::Event::ReadRetry);
             bo.backoff();
         }
         // Migration storm: lock every shard — routing is frozen and the

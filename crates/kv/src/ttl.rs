@@ -200,6 +200,8 @@ impl<B: ConcurrentMap> KvStore<B> {
     /// zero.
     pub fn sweep_expired(&self, budget: usize) -> u64 {
         assert!(budget > 0, "a zero budget sweeps nothing");
+        optik_probe::count(optik_probe::Event::TtlSweep);
+        let _span = optik_probe::trace::span(optik_probe::trace::SpanKind::TtlSweep);
         let ttl = self.ttl_state();
         // Unlike the read/write paths, sampling the clock once up front
         // is sound here: the sweep only *removes*, and the under-lock
@@ -261,6 +263,7 @@ impl<B: ConcurrentMap> KvStore<B> {
                 break;
             }
         }
+        optik_probe::count_n(optik_probe::Event::TtlExpired, removed);
         removed
     }
 }

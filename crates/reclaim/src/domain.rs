@@ -7,8 +7,9 @@ use std::sync::{Arc, Mutex};
 
 use crossbeam_utils::CachePadded;
 
-/// Maximum number of concurrently registered threads per domain.
-pub const MAX_THREADS: usize = 256;
+/// Maximum number of concurrently registered threads per domain (shared
+/// with the probe's thread-index registry, which keys the pool magazines).
+pub use optik_probe::MAX_THREADS;
 
 /// Seal a limbo batch after this many retires.
 const BATCH_SIZE: usize = 64;
@@ -38,6 +39,9 @@ struct Batch {
     items: Vec<Garbage>,
     /// `(slot index, ts at snapshot)` for every online thread at seal time.
     snapshot: Vec<(u32, u64)>,
+    /// Probe timestamp at seal (0 when the probe feature is off); the free
+    /// records `now - sealed_at` as the batch's grace latency.
+    sealed_at: u64,
 }
 
 /// Per-thread slot in the domain's registry.
@@ -160,6 +164,11 @@ impl Qsbr {
 
     /// Frees a batch's contents.
     fn free_batch(&self, batch: Batch) {
+        optik_probe::count(optik_probe::Event::GraceBatchFree);
+        optik_probe::record(
+            optik_probe::HistKind::GraceLatency,
+            optik_probe::elapsed(batch.sealed_at, optik_probe::now()),
+        );
         let n = batch.items.len() as u64;
         for g in batch.items {
             // SAFETY: the grace period has elapsed — no thread can still
@@ -219,6 +228,7 @@ impl Qsbr {
                     ctx: None,
                 }],
                 snapshot,
+                sealed_at: optik_probe::now(),
             });
     }
 }
@@ -271,6 +281,7 @@ impl QsbrHandle {
     /// benchmarks do it between iterations).
     #[inline]
     pub fn quiescent(&self) {
+        optik_probe::count(optik_probe::Event::EpochAdvance);
         let slot = &self.domain.slots[self.slot as usize];
         slot.ts.fetch_add(1, Ordering::AcqRel);
         let n = self.quiesce_count.get() + 1;
@@ -367,7 +378,11 @@ impl QsbrHandle {
 
     fn seal(&self, items: Vec<Garbage>) {
         let snapshot = self.domain.snapshot();
-        self.limbo.borrow_mut().push_back(Batch { items, snapshot });
+        self.limbo.borrow_mut().push_back(Batch {
+            items,
+            snapshot,
+            sealed_at: optik_probe::now(),
+        });
         self.collect();
     }
 

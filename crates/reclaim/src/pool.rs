@@ -51,10 +51,17 @@
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use synchro::{shim, CachePadded, Lock, TtasLock};
+
+// The process-wide thread-index registry lives in `optik-probe` (the probe
+// keys its per-thread counter slabs by the same indices as the magazines).
+// Exited threads' indices — and the magazine contents filed under them —
+// are inherited by later threads; `thread_index()` is `None` only during
+// TLS teardown, where callers fall back to the pool lock.
+use optik_probe::thread_index;
 
 use crate::domain::{QsbrHandle, RetireCtx, MAX_THREADS};
 
@@ -64,58 +71,6 @@ pub const DEFAULT_CHUNK_CAPACITY: usize = 1024;
 /// Default number of slots per per-thread magazine (the depot exchange
 /// batch size; ssmem uses 64-object free-list chains the same way).
 pub const DEFAULT_MAGAZINE_CAPACITY: usize = 64;
-
-// ---------------------------------------------------------------------------
-// Process-wide thread index registry.
-// ---------------------------------------------------------------------------
-
-/// One claimable index per live OS thread that touches any pool. Indices
-/// are exclusive while claimed and recycled on thread exit, so a pool can
-/// key its per-thread magazines by index with no per-pool registration.
-static CLAIMED: [AtomicBool; MAX_THREADS] = {
-    #[allow(clippy::declare_interior_mutable_const)]
-    const FREE: AtomicBool = AtomicBool::new(false);
-    [FREE; MAX_THREADS]
-};
-
-struct ThreadIndexGuard(u32);
-
-impl Drop for ThreadIndexGuard {
-    fn drop(&mut self) {
-        // Release pairs with the Acquire CAS of the next claimant, so
-        // magazine contents written by this thread are visible to it.
-        CLAIMED[self.0 as usize].store(false, Ordering::Release);
-    }
-}
-
-fn claim_thread_index() -> ThreadIndexGuard {
-    for (i, slot) in CLAIMED.iter().enumerate() {
-        if !slot.load(Ordering::Relaxed)
-            && slot
-                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
-                .is_ok()
-        {
-            return ThreadIndexGuard(i as u32);
-        }
-    }
-    panic!("node-pool thread registry exhausted: more than {MAX_THREADS} live threads");
-}
-
-std::thread_local! {
-    static THREAD_INDEX: ThreadIndexGuard = claim_thread_index();
-}
-
-/// This thread's pool index (claimed on first use, released at thread
-/// exit). Exclusive among live threads; exited threads' indices — and the
-/// magazine contents filed under them — are inherited by later threads.
-///
-/// `None` during thread teardown: QSBR handle destructors run recycle
-/// callbacks from TLS destructors, where this TLS may already be gone (the
-/// destruction order is unspecified). Callers fall back to the pool lock.
-#[inline]
-fn thread_index() -> Option<usize> {
-    THREAD_INDEX.try_with(|g| g.0 as usize).ok()
-}
 
 // ---------------------------------------------------------------------------
 // Magazines.
@@ -411,6 +366,7 @@ impl<T: Send + Sync + 'static> NodePool<T> {
                 cache.loaded.pop()
             }
         }) {
+            optik_probe::count(optik_probe::Event::MagazineHit);
             bump(&mag.recycled, 1);
             debit(&mag.cached, 1);
             return PooledPtr {
@@ -419,6 +375,7 @@ impl<T: Send + Sync + 'static> NodePool<T> {
             };
         }
         if let Some(ptr) = cache.fresh.pop() {
+            optik_probe::count(optik_probe::Event::MagazineHit);
             debit(&mag.cached, 1);
             return PooledPtr {
                 ptr,
@@ -433,6 +390,7 @@ impl<T: Send + Sync + 'static> NodePool<T> {
     /// lock acquisition amortized over `magazine_capacity` allocations.
     #[cold]
     fn alloc_slow(&self, mag: &MagazineSlot<T>, cache: &mut ThreadCache<T>) -> PooledPtr<T> {
+        optik_probe::count(optik_probe::Event::MagazineMiss);
         bump(&mag.slow, 1);
         // Explorer yield point: depot exchange about to happen.
         self.exchange_epoch.fetch_add(1, Ordering::Relaxed);
@@ -500,6 +458,7 @@ impl<T: Send + Sync + 'static> NodePool<T> {
     /// Counted through pool-level atomics so the ledger stays exact.
     #[cold]
     fn alloc_direct(&self) -> PooledPtr<T> {
+        optik_probe::count(optik_probe::Event::MagazineMiss);
         self.direct_allocs.fetch_add(1, Ordering::Relaxed);
         self.exchange_epoch.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.lock();

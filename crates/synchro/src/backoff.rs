@@ -129,6 +129,7 @@ impl Backoff {
     /// methodology; see [`relax`]).
     #[inline]
     pub fn backoff(&mut self) {
+        optik_probe::count(optik_probe::Event::BackoffWait);
         #[cfg(optik_explore)]
         if crate::shim::hook_active() {
             // Under the explorer real time does not exist: report a
@@ -152,6 +153,7 @@ impl Backoff {
     #[inline]
     fn advance(&mut self) {
         if self.adaptive && self.current >= self.cap && self.cap < self.max {
+            optik_probe::count(optik_probe::Event::BackoffEscalate);
             self.cap = self.cap.saturating_mul(4).min(self.max);
         }
         self.current = (self.current.saturating_mul(2)).min(self.cap);

@@ -64,13 +64,21 @@ impl<T, R: RawLock> Lock<T, R> {
     /// Acquires the lock, blocking (spinning) until available.
     pub fn lock(&self) -> LockGuard<'_, T, R> {
         self.raw.lock();
-        LockGuard { lock: self }
+        optik_probe::count(optik_probe::Event::SpinAcquire);
+        LockGuard {
+            lock: self,
+            acquired_at: optik_probe::now(),
+        }
     }
 
     /// Attempts to acquire the lock without spinning.
     pub fn try_lock(&self) -> Option<LockGuard<'_, T, R>> {
         if self.raw.try_lock() {
-            Some(LockGuard { lock: self })
+            optik_probe::count(optik_probe::Event::SpinAcquire);
+            Some(LockGuard {
+                lock: self,
+                acquired_at: optik_probe::now(),
+            })
         } else {
             None
         }
@@ -112,6 +120,9 @@ impl<T: Default, R: RawLock> Default for Lock<T, R> {
 /// RAII guard for [`Lock`]; releases on drop.
 pub struct LockGuard<'a, T, R: RawLock> {
     lock: &'a Lock<T, R>,
+    /// Probe timestamp at acquisition (the constant 0 when the probe
+    /// feature is off, where the hold-time record below is also a no-op).
+    acquired_at: u64,
 }
 
 impl<T, R: RawLock> Deref for LockGuard<'_, T, R> {
@@ -132,6 +143,10 @@ impl<T, R: RawLock> DerefMut for LockGuard<'_, T, R> {
 impl<T, R: RawLock> Drop for LockGuard<'_, T, R> {
     fn drop(&mut self) {
         self.lock.raw.unlock();
+        optik_probe::record(
+            optik_probe::HistKind::LockHold,
+            optik_probe::elapsed(self.acquired_at, optik_probe::now()),
+        );
     }
 }
 
