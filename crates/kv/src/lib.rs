@@ -42,7 +42,12 @@
 //!   optimistic (read versions, read data, validate) with a bounded
 //!   fallback to locking. Failed (read-only) critical sections release
 //!   with `revert`, so they never signal conflicts to other optimistic
-//!   readers.
+//!   readers. Under hot-key contention the write path engages **flat
+//!   combining** ([`CombineMode`]): writers whose adaptive-backoff EWMA
+//!   says the shard is storming publish their ops into a per-shard
+//!   publication list and one combiner applies the whole batch under a
+//!   single lock hold — one version bump, so validated readers observe
+//!   the batch as one atomic step.
 //! - **routing** ([`ShardPolicy`], `policy.rs`) — under ordered sharding
 //!   the partition table sits behind its own OPTIK version lock: lookups
 //!   read it lock-free and validate, so an online boundary migration
@@ -81,7 +86,7 @@ mod workload;
 
 pub use policy::{HashPolicy, RangePolicy, ShardPolicy};
 pub use rebalance::{MigrationStats, RebalanceError, MIGRATION_BATCH};
-pub use store::KvStore;
+pub use store::{CombineMode, KvStore};
 pub use ttl::{Clock, FakeClock, SystemClock};
 pub use workload::{
     run_kv_workload, run_kv_workload_ordered, KvBenchResult, KvCounts, KvMix, KvWorkload,

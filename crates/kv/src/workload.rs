@@ -138,6 +138,15 @@ impl KvWorkload {
         }
     }
 
+    /// [`KvWorkload::new`] with an explicit zipfian exponent: the
+    /// hot-key scenarios sweep the skew (s = 0.99, 1.2) past the
+    /// paper's 0.9 default to concentrate writes on a few shards.
+    pub fn with_alpha(initial_size: u64, alpha: f64, mix: KvMix) -> Self {
+        let mut w = Self::new(initial_size, false, mix);
+        w.zipf = Some(Zipf::new(w.key_hi as usize, alpha));
+        w
+    }
+
     /// Draws a key from the configured distribution.
     #[inline]
     pub fn sample_key(&self, rng: &mut FastRng) -> Key {

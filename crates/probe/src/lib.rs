@@ -138,10 +138,20 @@ pub enum Event {
     MigrationBatch = 12,
     /// Key moved by a rebalance migration.
     MigrationMoved = 13,
+    /// Write published into a flat-combining slot (contended writer
+    /// handing its op to whichever thread wins the shard lock).
+    CombinePublished = 14,
+    /// Combiner drain that applied at least one published op.
+    CombineBatch = 15,
+    /// Published op applied by a combiner on behalf of *another* thread.
+    CombineApplied = 16,
+    /// Published op applied by its own publisher (the waiter won the
+    /// shard lock itself and drained the list, its own slot included).
+    CombineSelfServe = 17,
 }
 
 /// Number of [`Event`] kinds.
-pub const EVENT_COUNT: usize = 14;
+pub const EVENT_COUNT: usize = 18;
 
 impl Event {
     /// All events, in counter order.
@@ -160,6 +170,10 @@ impl Event {
         Event::TtlExpired,
         Event::MigrationBatch,
         Event::MigrationMoved,
+        Event::CombinePublished,
+        Event::CombineBatch,
+        Event::CombineApplied,
+        Event::CombineSelfServe,
     ];
 
     /// Stable snake_case key (report/JSON field name).
@@ -179,6 +193,10 @@ impl Event {
             Event::TtlExpired => "ttl_expired",
             Event::MigrationBatch => "migration_batch",
             Event::MigrationMoved => "migration_moved",
+            Event::CombinePublished => "combine_published",
+            Event::CombineBatch => "combine_batches",
+            Event::CombineApplied => "combine_ops_applied",
+            Event::CombineSelfServe => "combine_self_served",
         }
     }
 }
@@ -196,10 +214,13 @@ pub enum HistKind {
     ValidationWindow = 2,
     /// QSBR grace latency: limbo batch seal to batch free.
     GraceLatency = 3,
+    /// Published ops applied per combiner drain (a *size*, not cycles —
+    /// the log-2 buckets read as batch-size classes 1, 2–3, 4–7, …).
+    CombineBatch = 4,
 }
 
 /// Number of [`HistKind`]s.
-pub const HIST_COUNT: usize = 4;
+pub const HIST_COUNT: usize = 5;
 
 /// Buckets per histogram: bucket `b` counts values in `[2^b, 2^(b+1))`
 /// (bucket 0 additionally holds zero).
@@ -212,6 +233,7 @@ impl HistKind {
         HistKind::LockHold,
         HistKind::ValidationWindow,
         HistKind::GraceLatency,
+        HistKind::CombineBatch,
     ];
 
     /// Stable snake_case key.
@@ -221,6 +243,7 @@ impl HistKind {
             HistKind::LockHold => "hold",
             HistKind::ValidationWindow => "range_window",
             HistKind::GraceLatency => "grace",
+            HistKind::CombineBatch => "combine_batch",
         }
     }
 }
@@ -571,6 +594,16 @@ impl Snapshot {
                 self.get(Event::GraceBatchFree),
                 self.hist(HistKind::GraceLatency).count(),
             ),
+            (
+                "every published combine op was applied or self-served",
+                self.get(Event::CombinePublished),
+                self.get(Event::CombineApplied) + self.get(Event::CombineSelfServe),
+            ),
+            (
+                "combine batches drained exactly the published ops",
+                self.hist(HistKind::CombineBatch).sum,
+                self.get(Event::CombineApplied) + self.get(Event::CombineSelfServe),
+            ),
         ]
     }
 
@@ -627,6 +660,12 @@ impl Snapshot {
                 out.push((label.into(), v as f64));
             }
         }
+        if self.hist(HistKind::CombineBatch).count() > 0 {
+            out.push((
+                "combine_batch_mean_ops".into(),
+                self.hist(HistKind::CombineBatch).mean(),
+            ));
+        }
         for (e, label) in [
             (Event::BackoffEscalate, "backoff_escalations"),
             (Event::SpinAcquire, "spin_acquires"),
@@ -635,6 +674,10 @@ impl Snapshot {
             (Event::MigrationBatch, "migration_batches"),
             (Event::MigrationMoved, "migration_moved"),
             (Event::GraceBatchFree, "grace_batches"),
+            (Event::CombinePublished, "combine_published"),
+            (Event::CombineBatch, "combine_batches"),
+            (Event::CombineApplied, "combine_ops_applied"),
+            (Event::CombineSelfServe, "combine_self_served"),
         ] {
             if self.get(e) > 0 {
                 out.push((label.into(), self.get(e) as f64));

@@ -165,6 +165,16 @@ impl Backoff {
         self.current >= self.cap
     }
 
+    /// The current wait level in spin iterations (what the next
+    /// [`Backoff::backoff`] call will wait). Alongside
+    /// [`contention_level`], this is the within-loop half of the
+    /// contention signal: the EWMA only folds in on drop, so a loop
+    /// escalating *right now* reads its own level instead.
+    #[inline]
+    pub fn level(&self) -> u32 {
+        self.current
+    }
+
     /// Total spin iterations waited so far.
     #[inline]
     pub fn waited(&self) -> u64 {
@@ -202,6 +212,31 @@ impl Default for Backoff {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// The calling thread's current contention estimate: the EWMA seed that
+/// [`Backoff::adaptive`] loops start their soft ceiling from, in spin
+/// iterations. Near [`Backoff::INITIAL_WAIT`] after a run of clean
+/// operations, toward [`Backoff::DEFAULT_MAX_WAIT`] during a hot-shard
+/// storm. Read-only and thread-local — polling it adds no coherence
+/// traffic. The kv store's flat-combining engagement policy keys off
+/// this value (see `optik-kv`).
+#[inline]
+pub fn contention_level() -> u32 {
+    STREAK_SEED.with(Cell::get)
+}
+
+/// Folds a clean first-try acquisition into the calling thread's
+/// contention EWMA: the same 3:1 decay an untouched adaptive loop
+/// applies on drop, without constructing one. Fast paths that succeed
+/// without ever creating a [`Backoff`] call this so the estimate decays
+/// once the storm passes instead of pinning at its peak.
+#[inline]
+pub fn note_calm() {
+    STREAK_SEED.with(|seed| {
+        let old = seed.get();
+        seed.set((old / 4).max(Backoff::INITIAL_WAIT));
+    });
 }
 
 /// Whether `OPTIK_PURE_SPIN=1` was set at first use (read once per
@@ -388,6 +423,29 @@ mod tests {
                 let _ = Backoff::adaptive();
             }
             assert_eq!(STREAK_SEED.with(Cell::get), Backoff::INITIAL_WAIT);
+        });
+    }
+
+    #[test]
+    fn contention_level_tracks_storms_and_note_calm_decays_it() {
+        on_fresh_thread(|| {
+            assert_eq!(contention_level(), Backoff::INITIAL_WAIT);
+            {
+                let mut bo = Backoff::adaptive();
+                for _ in 0..32 {
+                    bo.advance();
+                }
+                // The within-loop half of the signal is visible before
+                // the drop folds it into the EWMA.
+                assert_eq!(bo.level(), Backoff::DEFAULT_MAX_WAIT);
+            }
+            assert!(contention_level() > Backoff::INITIAL_WAIT);
+            // Clean fast-path acquisitions decay the estimate back to
+            // the floor without constructing a Backoff.
+            for _ in 0..16 {
+                note_calm();
+            }
+            assert_eq!(contention_level(), Backoff::INITIAL_WAIT);
         });
     }
 

@@ -1,0 +1,358 @@
+//! Flat combining: a publication list that turns a contended lock into
+//! a batching opportunity.
+//!
+//! Under hot-key skew one OPTIK shard's lock word serializes every
+//! writer, and the paper's validate-and-retry discipline degenerates
+//! into cache-line ping-pong: each writer drags the lock line across the
+//! interconnect to apply one operation. Flat combining (Hendler, Incze,
+//! Shavit & Tzafrir, SPAA '10) inverts the protocol: a contended writer
+//! *publishes* its request into a cache-padded per-thread slot and one
+//! thread — whichever wins the lock — becomes the **combiner**, draining
+//! every published request in a single critical section. The lock line
+//! moves once per batch instead of once per op, and the combiner walks
+//! slots that stay resident in its cache.
+//!
+//! [`PubList`] is the workspace's primitive: per-thread request slots
+//! keyed by the process-wide `optik_probe` thread-index registry (the
+//! same keying as the `reclaim` magazines and the probe slabs), linked
+//! into a Treiber-style pending chain on publish. It is deliberately
+//! lock-agnostic — [`PubList::drain`] is memory-safe on its own (the
+//! head swap partitions the chain, so each published slot is answered
+//! exactly once) and callers decide which mutual exclusion makes a drain
+//! a *sensible* critical section:
+//!
+//! - [`PubList::combine_with`] mounts it over any substrate
+//!   [`RawLock`] (the `lock_api` integration);
+//! - the kv store mounts it over its per-shard OPTIK version locks
+//!   directly, so a whole batch costs **one** version bump and
+//!   validated readers observe it as a single atomic step.
+//!
+//! Each slot's `state` word is a [`shim::AtomicU64`]: pass-through in
+//! normal builds, a scheduler yield point under `--cfg optik_explore`,
+//! so the publish / combine / timeout races are enumerable by the
+//! deterministic explorer (`explore_combine.rs`).
+
+use core::cell::UnsafeCell;
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::lock_api::RawLock;
+use crate::shim;
+use crate::CachePadded;
+
+/// Slot is idle and owned by its thread; not linked anywhere.
+const EMPTY: u64 = 0;
+/// Slot carries a request and sits in the pending chain; the publisher
+/// spins (or tries to become the combiner) until it flips to [`DONE`].
+const PUBLISHED: u64 = 1;
+/// The combiner wrote the response; ownership is back with the
+/// publisher, which harvests it via [`PubList::poll`].
+const DONE: u64 = 2;
+
+/// One per-thread request slot. Cache-padded by the containing list so
+/// a publisher spinning on its own `state` word never shares a line
+/// with a neighbor's.
+struct Slot<O, R> {
+    /// The hand-off protocol word (`EMPTY → PUBLISHED → DONE → EMPTY`).
+    /// Shim-typed: each transition is an explorer yield point.
+    state: shim::AtomicU64,
+    /// Link in the pending chain (slot index + 1, `0` = end). Only
+    /// meaningful while `state == PUBLISHED`; the combiner reads it
+    /// *before* flipping to `DONE`, because a reused slot overwrites it.
+    next: AtomicUsize,
+    /// The request. Written by the publisher before the `PUBLISHED`
+    /// release store; taken by the combiner after the chain hand-off.
+    op: UnsafeCell<Option<O>>,
+    /// The response. Written by the combiner before the `DONE` release
+    /// store; taken by the publisher after observing `DONE`.
+    resp: UnsafeCell<Option<R>>,
+}
+
+impl<O, R> Slot<O, R> {
+    fn new() -> Self {
+        Self {
+            state: shim::AtomicU64::new(EMPTY),
+            next: AtomicUsize::new(0),
+            op: UnsafeCell::new(None),
+            resp: UnsafeCell::new(None),
+        }
+    }
+}
+
+/// A Hendler-style publication list: cache-padded per-thread request
+/// slots plus a Treiber-style chain of the currently published ones.
+///
+/// The protocol (all methods are non-blocking; *waiting* is the
+/// caller's loop):
+///
+/// 1. a contended writer calls [`PubList::publish`] and then polls
+///    [`PubList::poll`] for its response;
+/// 2. any thread that acquires the associated lock calls
+///    [`PubList::drain`] (directly, or via [`PubList::combine_with`]),
+///    answering every published request in one critical section —
+///    including, possibly, its own;
+/// 3. a publisher that keeps failing to see `DONE` *is* the timeout
+///    path: it competes for the lock like any writer and, on winning,
+///    drains the list itself (its own op included), so no publication
+///    can be stranded.
+///
+/// Each publication is answered exactly once: the head swap in `drain`
+/// atomically partitions the chain among combiners, and a slot is only
+/// ever re-linked by its owning thread after harvesting the previous
+/// response.
+pub struct PubList<O, R> {
+    /// Head of the pending chain (slot index + 1, `0` = empty). On its
+    /// own line: publishers CAS it on the slow path only, and the
+    /// combiner's swap must not invalidate anyone's slot line.
+    head: CachePadded<AtomicUsize>,
+    /// One slot per registry index ([`optik_probe::MAX_THREADS`]).
+    slots: Box<[CachePadded<Slot<O, R>>]>,
+}
+
+// SAFETY: the `op`/`resp` cells are handed between the publisher and
+// the combiner through the `state` protocol — every hand-off is a
+// Release store observed by an Acquire load (or rides the pending
+// chain's release sequence), and each side touches the cells only in
+// the states it owns (see the field docs). `head`/`next`/`state` are
+// atomics.
+unsafe impl<O: Send, R: Send> Sync for PubList<O, R> {}
+
+impl<O, R> Default for PubList<O, R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<O, R> PubList<O, R> {
+    /// Creates an empty publication list with one slot per possible
+    /// live thread (the `optik_probe` registry bound).
+    pub fn new() -> Self {
+        Self {
+            head: CachePadded::new(AtomicUsize::new(0)),
+            slots: (0..optik_probe::MAX_THREADS)
+                .map(|_| CachePadded::new(Slot::new()))
+                .collect(),
+        }
+    }
+
+    /// Publishes `op` into the calling thread's slot and links it into
+    /// the pending chain. Returns the slot index to [`PubList::poll`]
+    /// with, or `None` when the thread has no registry index (TLS
+    /// teardown) — the caller falls back to plain locking.
+    ///
+    /// One publication per thread at a time: callers must harvest the
+    /// response before publishing again (the write paths are
+    /// synchronous, so this holds by construction).
+    pub fn publish(&self, op: O) -> Option<usize> {
+        let idx = optik_probe::thread_index()?;
+        let slot = &self.slots[idx];
+        debug_assert_eq!(
+            slot.state.load(Ordering::Relaxed),
+            EMPTY,
+            "one publication per thread at a time"
+        );
+        // SAFETY: an EMPTY slot is unlinked (no combiner can reach it)
+        // and this thread is its exclusive owner.
+        unsafe { *slot.op.get() = Some(op) };
+        slot.state.store(PUBLISHED, Ordering::Release);
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            slot.next.store(head, Ordering::Relaxed);
+            // Release: the chain hand-off publishes `op`, `state`, and
+            // `next` to the combiner's Acquire swap (RMWs extend the
+            // release sequence, so deeper links stay visible too).
+            match self.head.compare_exchange(
+                head,
+                idx + 1,
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(idx),
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Harvests the response for the publication at `idx`, or `None`
+    /// while it is still pending. On `Some`, slot ownership is back
+    /// with the calling thread (it may publish again).
+    pub fn poll(&self, idx: usize) -> Option<R> {
+        let slot = &self.slots[idx];
+        // Acquire pairs with the combiner's DONE release store: the
+        // response write below is visible.
+        if slot.state.load(Ordering::Acquire) != DONE {
+            return None;
+        }
+        // SAFETY: DONE means the combiner finished with the slot and it
+        // is off every chain; this thread is its exclusive owner again.
+        let resp = unsafe { (*slot.resp.get()).take() }.expect("DONE slot carries a response");
+        slot.state.store(EMPTY, Ordering::Relaxed);
+        Some(resp)
+    }
+
+    /// Whether any publication is pending (racy hint; cheap).
+    pub fn pending(&self) -> bool {
+        self.head.load(Ordering::Relaxed) != 0
+    }
+
+    /// The combiner role: detaches the whole pending chain and answers
+    /// every publication in it via `apply(slot_index, op)`, returning
+    /// how many were applied.
+    ///
+    /// Memory-safe without external locking (the head swap atomically
+    /// partitions the chain, so each published slot is visited by
+    /// exactly one drain), but callers wanting the batch to be *one*
+    /// critical section — the whole point — hold the associated lock
+    /// across the call, as [`PubList::combine_with`] and the kv store's
+    /// shard mount do.
+    pub fn drain(&self, mut apply: impl FnMut(usize, O) -> R) -> u64 {
+        // Acquire pairs with the publishers' Release CASes: every slot
+        // in the detached chain is fully published.
+        let mut cur = self.head.swap(0, Ordering::Acquire);
+        let mut n = 0u64;
+        while cur != 0 {
+            let idx = cur - 1;
+            let slot = &self.slots[idx];
+            debug_assert_eq!(
+                slot.state.load(Ordering::Acquire),
+                PUBLISHED,
+                "linked slots are published until their drain answers them"
+            );
+            // Read the link BEFORE flipping to DONE: once answered, the
+            // publisher owns the slot again and a republish overwrites
+            // `next` while we still need it.
+            let next = slot.next.load(Ordering::Relaxed);
+            // SAFETY: a linked slot is PUBLISHED — its publisher wrote
+            // `op` before the Release hand-off our Acquire swap
+            // synchronized with, and now only polls `state`; the swap
+            // gave this drain exclusive ownership of the chain.
+            let op = unsafe { (*slot.op.get()).take() }.expect("linked slot carries an op");
+            let resp = apply(idx, op);
+            // SAFETY: as above; the publisher reads `resp` only after
+            // the DONE release store below.
+            unsafe { *slot.resp.get() = Some(resp) };
+            slot.state.store(DONE, Ordering::Release);
+            n += 1;
+            cur = next;
+        }
+        n
+    }
+
+    /// The `lock_api` mount: attempts `lock` once and, on success,
+    /// drains under it before releasing. Returns how many publications
+    /// were answered, or `None` when the lock was busy (another thread
+    /// is combining — keep polling). See [`PubList::drain`] for the kv
+    /// store's OPTIK-version-lock variant of the same pattern.
+    pub fn combine_with<L: RawLock>(
+        &self,
+        lock: &L,
+        apply: impl FnMut(usize, O) -> R,
+    ) -> Option<u64> {
+        if !lock.try_lock() {
+            return None;
+        }
+        let n = self.drain(apply);
+        lock.unlock();
+        Some(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TasLock;
+    use std::sync::atomic::AtomicU64 as StdAtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn publish_drain_poll_roundtrip() {
+        let list: PubList<u64, u64> = PubList::new();
+        assert!(!list.pending());
+        let idx = list.publish(41).expect("live thread has an index");
+        assert!(list.pending());
+        assert_eq!(list.poll(idx), None, "pending publication has no response");
+        let n = list.drain(|slot, op| {
+            assert_eq!(slot, idx, "self-drain answers our own slot");
+            op + 1
+        });
+        assert_eq!(n, 1);
+        assert!(!list.pending());
+        assert_eq!(list.poll(idx), Some(42));
+        assert_eq!(list.poll(idx), None, "responses are harvested once");
+    }
+
+    #[test]
+    fn slot_reuse_after_harvest() {
+        let list: PubList<u64, u64> = PubList::new();
+        for round in 0..3u64 {
+            let idx = list.publish(round).unwrap();
+            assert_eq!(list.drain(|_, op| op * 10), 1);
+            assert_eq!(list.poll(idx), Some(round * 10));
+        }
+    }
+
+    #[test]
+    fn combine_with_skips_a_held_lock() {
+        let list: PubList<u64, u64> = PubList::new();
+        let lock = TasLock::default();
+        let idx = list.publish(7).unwrap();
+        lock.lock();
+        assert_eq!(
+            list.combine_with(&lock, |_, op| op),
+            None,
+            "busy lock means someone else is the combiner"
+        );
+        lock.unlock();
+        assert_eq!(list.combine_with(&lock, |_, op| op), Some(1));
+        assert_eq!(list.poll(idx), Some(7));
+        assert_eq!(list.combine_with(&lock, |_, op| op), Some(0), "empty drain");
+    }
+
+    /// The full writer protocol under real contention: every published
+    /// increment is applied exactly once, by whichever thread wins the
+    /// combiner role, and every publisher gets a response.
+    #[test]
+    fn combined_increments_are_exact() {
+        const THREADS: u64 = 4;
+        let iters = crate::stress::ops(20_000);
+        let list: Arc<PubList<u64, u64>> = Arc::new(PubList::new());
+        let lock = Arc::new(TasLock::default());
+        let total = Arc::new(StdAtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let list = Arc::clone(&list);
+            let lock = Arc::clone(&lock);
+            let total = Arc::clone(&total);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..iters {
+                    let idx = list.publish(i % 7).expect("live thread has an index");
+                    loop {
+                        if let Some(resp) = list.poll(idx) {
+                            assert_eq!(resp, (i % 7) * 2);
+                            break;
+                        }
+                        // Timeout path: compete for the combiner role.
+                        let combined = list.combine_with(lock.as_ref(), |_, op| {
+                            total.fetch_add(op, Ordering::Relaxed);
+                            op * 2
+                        });
+                        if combined.is_some() {
+                            // Our own op was either in the chain we just
+                            // drained or in one an earlier combiner took;
+                            // either way it is DONE now.
+                            let resp = list.poll(idx).expect("drain answers every publication");
+                            assert_eq!(resp, (i % 7) * 2);
+                            break;
+                        }
+                        crate::relax();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let expected: u64 = (0..iters).map(|i| i % 7).sum::<u64>() * THREADS;
+        assert_eq!(total.load(Ordering::Relaxed), expected);
+        assert!(!list.pending(), "no publication stranded");
+    }
+}
