@@ -32,6 +32,7 @@ use optik_harness::table::Table;
 struct Args {
     patterns: Vec<String>,
     filter: Option<String>,
+    ab: Option<(String, String)>,
     list: bool,
     digest: bool,
     json: Option<PathBuf>,
@@ -48,10 +49,15 @@ fn usage() -> ! {
         "usage: bench_all [PATTERN ...] [--list] [--json FILE] [--out-dir DIR]\n\
          \x20                [--baseline FILE] [--tolerance PCT] [--no-latency]\n\
          \x20                [--filter REGEX] [--digest] [--probe]\n\
-         \x20                [--trace-out DIR]\n\
+         \x20                [--trace-out DIR] [--ab LEFT,RIGHT]\n\
          \n\
          PATTERN selects scenarios by exact name or dot-boundary prefix\n\
          (family or group); no patterns = the whole registry.\n\
+         --ab LEFT,RIGHT runs an interleaved A/B comparison of two exact\n\
+         scenario names: BENCH_REPS pairs per thread count, run\n\
+         left,right,left,right back to back, reporting the median of the\n\
+         per-pair right/left throughput ratios (drift cancels per pair).\n\
+         Runs nothing else and writes no reports.\n\
          --filter REGEX narrows any selection to scenario names matching\n\
          the regex (anchors, classes, alternation; `--list` shows names),\n\
          e.g. --filter '^(kv\\.range|map\\.ordered)'.\n\
@@ -72,6 +78,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         patterns: Vec::new(),
         filter: None,
+        ab: None,
         list: false,
         digest: false,
         json: None,
@@ -86,6 +93,14 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--list" => args.list = true,
+            "--ab" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                let (l, r) = spec.split_once(',').unwrap_or_else(|| usage());
+                if l.is_empty() || r.is_empty() {
+                    usage();
+                }
+                args.ab = Some((l.to_string(), r.to_string()));
+            }
             "--filter" => args.filter = Some(it.next().unwrap_or_else(|| usage())),
             "--digest" => args.digest = true,
             "--json" => args.json = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
@@ -193,6 +208,56 @@ fn write_digest(args: &Args, reg: &optik_harness::Registry) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `--ab LEFT,RIGHT`: interleaved pairwise comparison of two scenarios.
+///
+/// Every claimed speedup in EXPERIMENTS.md comes through here: pairs run
+/// back to back under identical seeds, so the median per-pair ratio is
+/// robust against the slow drift that separate sweeps absorb into their
+/// absolute numbers.
+fn run_ab(left_name: &str, right_name: &str, reg: &optik_harness::Registry) -> ExitCode {
+    let find = |name: &str| reg.iter().find(|s| s.name() == name);
+    let (left, right) = match (find(left_name), find(right_name)) {
+        (Some(l), Some(r)) => (l, r),
+        (l, r) => {
+            for (name, found) in [(left_name, l.is_some()), (right_name, r.is_some())] {
+                if !found {
+                    eprintln!("--ab: no scenario named {name:?}; try --list");
+                }
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = SweepConfig::from_env();
+    cli::banner("bench_all --ab", "interleaved A/B comparison", &cfg);
+    println!("A (left):  {}\nB (right): {}", left.name(), right.name());
+    println!(
+        "{} interleaved pairs per thread count; ratio = median of per-pair B/A\n",
+        cfg.reps
+    );
+    let points = optik_harness::driver::run_ab(left, right, &cfg);
+    let mut t = Table::new([
+        "threads",
+        "A (Mops/s)",
+        "B (Mops/s)",
+        "B/A (median of pairs)",
+    ]);
+    for p in &points {
+        t.row([
+            p.threads.to_string(),
+            format!("{:.3}", p.left_mops),
+            format!("{:.3}", p.right_mops),
+            format!("{:.3}x", p.ratio),
+        ]);
+    }
+    t.print();
+    // Geomean across thread counts: one headline number per A/B claim.
+    let geomean = (points.iter().map(|p| p.ratio.max(1e-12).ln()).sum::<f64>()
+        / points.len().max(1) as f64)
+        .exp();
+    println!("\ngeomean B/A across thread counts: {geomean:.3}x");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     let reg = scenarios::registry();
@@ -209,6 +274,10 @@ fn main() -> ExitCode {
 
     if args.digest {
         return write_digest(&args, &reg);
+    }
+
+    if let Some((left, right)) = &args.ab {
+        return run_ab(left, right, &reg);
     }
 
     if (args.probe || args.trace_out.is_some()) && !optik_probe::enabled() {

@@ -108,6 +108,11 @@ pub fn group_blurb(group: &str) -> &'static str {
             "Allocation churn, cross-thread recirculation (threads displace each other's \
              nodes; retired slots flow through the depot)"
         }
+        "alloc.arena" => {
+            "Arena-backed pool twins of alloc.churn.pool / alloc.xthread.pool (aligned \
+             type-stable slabs; the depot sorts returned slots so magazine refills are \
+             address-clustered runs); A/B against the magazine pool with --ab"
+        }
         "kv.read-heavy" => {
             "kv store, read-heavy (8192 entries, zipf a=0.9, 90% get / 5% put / 5% remove, 8 shards)"
         }
@@ -125,6 +130,12 @@ pub fn group_blurb(group: &str) -> &'static str {
         }
         "kv.small" => {
             "kv store, small + read-heavy (256 entries, 16 shards): array-map shards vs bucketed"
+        }
+        "kv.multiget" => {
+            "kv multi-get heavy (8192 entries, uniform, 50% 16-key multi-gets + 10% writes, \
+             8 shards): shard-grouped multi_get (route once, one validated OPTIK window per \
+             involved shard, allocation-free planning) vs `-perkey` re-route-every-key \
+             twins (A/B with --ab)"
         }
         "kv.shards" => {
             "kv shard-count ablation (striped-optik backend, read-heavy zipf, 1..32 shards)"
@@ -443,6 +454,24 @@ fn fig10(r: &mut Registry) {
             w.clone(),
             move || OptikGlHashTable::new(buckets),
         ));
+        // Arena twins of the two pool-heavy columns: the same tables with
+        // their shared node pool mounted in arena mode. A/B against the
+        // magazine-pool columns with e.g.
+        //   bench_all --ab fig10.medium.optik-gl,fig10.medium.optik-gl-arena
+        r.register(Scenario::set(
+            &name("optik-gl-arena"),
+            about,
+            "ht/optik-gl-arena",
+            w.clone(),
+            move || OptikGlHashTable::arena(buckets),
+        ));
+        r.register(Scenario::set(
+            &name("java-optik-arena"),
+            about,
+            "ht/java-optik-arena",
+            w.clone(),
+            move || StripedOptikHashTable::arena(buckets, optik_hashtables::DEFAULT_SEGMENTS),
+        ));
         r.register(Scenario::set(
             &name("optik-map"),
             about,
@@ -671,9 +700,13 @@ const ALLOC_SLOTS_PER_THREAD: usize = 256;
 /// slots come straight back through the thread's own magazine;
 /// `shared == true` has threads displace each other's nodes, so slots
 /// recirculate through the depot.
-fn alloc_pool_scenario(name: &str, about: &str, id: &str, shared: bool) -> Scenario {
+fn alloc_pool_scenario(name: &str, about: &str, id: &str, shared: bool, arena: bool) -> Scenario {
     Scenario::custom(name, about, id, Subject::None, move |spec| {
-        let pool: Arc<NodePool<AllocNode>> = NodePool::new();
+        let pool: Arc<NodePool<AllocNode>> = if arena {
+            NodePool::arena()
+        } else {
+            NodePool::new()
+        };
         let slots: Vec<AtomicPtr<AllocNode>> = (0..spec.threads * ALLOC_SLOTS_PER_THREAD)
             .map(|_| AtomicPtr::new(std::ptr::null_mut()))
             .collect();
@@ -713,8 +746,16 @@ fn alloc_pool_scenario(name: &str, about: &str, id: &str, shared: bool) -> Scena
         let wall = start.elapsed();
         let ops: u64 = results.iter().sum();
         let stats = pool.stats();
-        Measurement::from_ops(ops, wall)
-            .with_extra("magazine_hit_pct", 100.0 * stats.magazine_hit_rate())
+        let mut m = Measurement::from_ops(ops, wall)
+            .with_extra("magazine_hit_pct", 100.0 * stats.magazine_hit_rate());
+        if let Some(a) = pool.arena_stats() {
+            m = m.with_extra("arena_slab_allocs", a.slab_allocs as f64);
+            m = m.with_extra(
+                "freed_per_run_refill",
+                a.refilled_slots as f64 / a.run_refills.max(1) as f64,
+            );
+        }
+        m
     })
 }
 
@@ -779,6 +820,7 @@ fn alloc(r: &mut Registry) {
         about,
         "alloc/churn-pool",
         false,
+        false,
     ));
     r.register(alloc_boxed_scenario(
         "alloc.churn.boxed",
@@ -791,11 +833,35 @@ fn alloc(r: &mut Registry) {
         about,
         "alloc/xthread-pool",
         true,
+        false,
     ));
     r.register(alloc_boxed_scenario(
         "alloc.xthread.boxed",
         about,
         "alloc/xthread-boxed",
+        true,
+    ));
+    // Arena-backed twins of the two pool scenarios: identical loops, the
+    // pool mounted in arena mode (aligned slabs, address-ordered refills).
+    // A/B against the magazine pool with
+    //   bench_all --ab alloc.churn.pool,alloc.arena.churn
+    //   bench_all --ab alloc.xthread.pool,alloc.arena.xthread
+    let about = "Arena-backed pool twins of alloc.churn.pool / \
+                 alloc.xthread.pool: aligned type-stable slabs, depot hands \
+                 out address-clustered magazine refills; compare interleaved \
+                 with --ab";
+    r.register(alloc_pool_scenario(
+        "alloc.arena.churn",
+        about,
+        "alloc/arena-churn",
+        false,
+        true,
+    ));
+    r.register(alloc_pool_scenario(
+        "alloc.arena.xthread",
+        about,
+        "alloc/arena-xthread",
+        true,
         true,
     ));
 }
@@ -1010,6 +1076,65 @@ fn kv(r: &mut Registry) {
         small,
         |_| OptikMapHashTable::with_bucket_capacity(32, 16),
     ));
+
+    // Multi-get–heavy: half the issued ops are 16-key multi-gets, with a
+    // 10% single-key write stream keeping shard versions moving. Each
+    // backend gets a `-perkey` twin that routes batched gets through the
+    // pre-grouping `multi_get_per_key` baseline; compare interleaved with
+    //   bench_all --ab kv.multiget.striped-perkey,kv.multiget.striped
+    let about = "kv multi-get heavy: 50% 16-key multi-gets under 10% writes; \
+                 grouped path routes once, validates one OPTIK window per \
+                 involved shard, and plans without allocating (probes \
+                 key-clustered only on contiguous-partition stores); \
+                 `-perkey` twins re-route every key (A/B with --ab)";
+    let grouped = KvWorkload::new(
+        SIZE,
+        false,
+        KvMix {
+            put_pm: 50,
+            remove_pm: 50,
+            batch_get_pm: 500,
+            batch: 16,
+            ..KvMix::default()
+        },
+    );
+    let mut per_key = grouped.clone();
+    per_key.mix.per_key_multiget = true;
+    for (series, w) in [("", &grouped), ("-perkey", &per_key)] {
+        let name = |backend: &str| format!("kv.multiget.{backend}{series}");
+        r.register(kv_scenario(
+            &name("optik-map"),
+            about,
+            "kv/optik-map",
+            SHARDS,
+            w.clone(),
+            move |_| OptikMapHashTable::with_bucket_capacity(span.max(16), 16),
+        ));
+        r.register(kv_scenario(
+            &name("striped"),
+            about,
+            "kv/striped",
+            SHARDS,
+            w.clone(),
+            move |_| StripedHashTable::new(span.max(16), 16),
+        ));
+        r.register(kv_scenario(
+            &name("striped-optik"),
+            about,
+            "kv/striped-optik",
+            SHARDS,
+            w.clone(),
+            move |_| StripedOptikHashTable::new(span.max(16), 16),
+        ));
+        r.register(kv_scenario(
+            &name("resizable"),
+            about,
+            "kv/resizable",
+            SHARDS,
+            w.clone(),
+            move |_| ResizableStripedHashTable::new(16, 8),
+        ));
+    }
 
     // Shard-count ablation: same backend, same workload, 1..32 shards.
     // Expectation: single-shard ~= the bare backend plus lock overhead;

@@ -86,7 +86,15 @@ unsafe impl<L: OptikLock> Sync for OptikGlBst<L> {}
 impl<L: OptikLock> OptikGlBst<L> {
     /// Creates an empty tree.
     pub fn new() -> Self {
-        let pool = NodePool::new();
+        Self::from_pool(NodePool::new())
+    }
+
+    /// Creates an empty tree with an arena-backed node pool.
+    pub fn new_arena() -> Self {
+        Self::from_pool(NodePool::arena())
+    }
+
+    fn from_pool(pool: Arc<NodePool<Node>>) -> Self {
         let l = pool.alloc_init(|| Node::leaf(SENTINEL_KEY, 0));
         let r = pool.alloc_init(|| Node::leaf(SENTINEL_KEY, 0));
         Self {

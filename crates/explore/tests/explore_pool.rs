@@ -16,11 +16,13 @@
 //! Two interleaving families over a deliberately tiny pool
 //! (2-slot magazines, single-digit chunks, a private QSBR domain):
 //!
-//! 1. **Exchange vs retire/grace-advance** — both threads run
-//!    alloc → retire → seal → quiesce → collect cycles, so recycled
-//!    slots re-enter magazines *while* the other thread is exchanging
-//!    with the depot. The invariant is the pool's conservation ledger:
-//!    after the run every slot is in exactly one place.
+//! 1. **Exchange vs retire/grace-advance** — on the *arena-backed* pool
+//!    (it mounts through the same `exchange_epoch` shim word): both
+//!    threads run alloc → retire → seal → quiesce → collect cycles, so
+//!    recycled slots re-enter magazines *while* the other thread is
+//!    exchanging with the sorted free store. The invariant is the pool's
+//!    conservation ledger plus the arena's own books: after the run
+//!    every slot is in exactly one place.
 //! 2. **Depot refill vs chunk growth** — allocation-only: both threads
 //!    drain the depot and race the bump region into growing chunks
 //!    under the pool lock. The invariant is exclusivity: no slot is
@@ -100,12 +102,17 @@ fn churn(pool: &Arc<NodePool<u64>>, domain: &Arc<Qsbr>, trial: &Trial) {
 }
 
 /// Family 1: magazine⇄depot exchanges racing concurrent retires and
-/// grace-period advances.
+/// grace-period advances — on the **arena-backed** pool. The arena mounts
+/// through the same `exchange_epoch` shim word as the boxed depot, so the
+/// identical schedule tree now interleaves its sorted free store (and its
+/// address-ordered run refills) with retires and grace advances; on top
+/// of the shared slot ledger, every schedule must balance the arena's own
+/// books ([`reclaim::ArenaStats::conservation`]).
 #[test]
 fn depot_exchange_races_retire_and_grace_advance() {
     let mut outcomes: BTreeSet<(u64, u64)> = BTreeSet::new();
     let stats = explore(pool_config(), |trial| {
-        let pool: Arc<NodePool<u64>> = NodePool::with_config(8, 2);
+        let pool: Arc<NodePool<u64>> = NodePool::arena_with_config(8, 2);
         let domain = Qsbr::new();
         let done = shim::AtomicU64::new(0);
         let worker = || {
@@ -144,6 +151,15 @@ fn depot_exchange_races_retire_and_grace_advance() {
             "slot conservation violated ({s:?}); replay with schedule token {}",
             trial.token()
         );
+        let a = pool.arena_stats().expect("arena mode");
+        for (label, x, y) in a.conservation() {
+            assert_eq!(
+                x,
+                y,
+                "arena ledger `{label}` broken ({a:?}); replay with schedule token {}",
+                trial.token()
+            );
+        }
         outcomes.insert((s.recycle_hits, s.slow_allocs));
     });
     eprintln!("explore_pool::depot_exchange_races_retire_and_grace_advance: {stats}");

@@ -126,6 +126,113 @@ fn counters_match_ground_truth_on_every_schedule() {
     });
 }
 
+/// The arena ledger under deterministic depot traffic: two threads churn
+/// slots through an arena-backed pool (2-slot magazines, 8-slot slabs, a
+/// private QSBR domain), and on *every* enumerated schedule the probe
+/// deltas must balance the arena's own books exactly — every allocation
+/// resolved as a magazine hit or a slow-path miss (never both, never
+/// neither), every mapped slab and every address-ordered run refill
+/// counted once, and the [`reclaim::ArenaStats::conservation`] identities
+/// (freed == refilled + parked, free store == depot, capacity == slabs ×
+/// chunk, every slot in exactly one place) holding at rest.
+#[test]
+fn arena_ledger_balances_on_every_schedule() {
+    use reclaim::{NodePool, Qsbr};
+    use std::sync::Arc;
+    use synchro::shim;
+
+    // Completion barrier, as in explore_pool.rs: no model thread may exit
+    // while a peer still touches the pool (the process-wide thread-index
+    // registry would otherwise leak TLS-destructor timing into the model).
+    fn arrive_and_wait(done: &shim::AtomicU64, n: u64) {
+        done.fetch_add(1, Ordering::AcqRel);
+        while done.load(Ordering::Acquire) < n {
+            synchro::relax();
+        }
+    }
+
+    // Two-phase burst, sized so the serial schedule provably pushes a
+    // whole magazine through the free store: with 2-slot magazines
+    // (loaded + prev), BURST = 6 slots freed in one collect overflow
+    // both magazines and surrender one run; DRAIN = 5 follow-up
+    // allocations empty both magazines and pull that run back out
+    // through an address-ordered refill.
+    const BURST: u64 = 6;
+    const DRAIN: u64 = 5;
+    let mut refill_counts = std::collections::BTreeSet::new();
+    let stats = explore(cfg(), |trial: &Trial| {
+        let before = Snapshot::take();
+        let pool: Arc<NodePool<u64>> = NodePool::arena_with_config(8, 2);
+        let domain = Qsbr::new();
+        let done = shim::AtomicU64::new(0);
+        let worker = || {
+            let h = domain.register();
+            let mut held: Vec<*mut u64> = Vec::new();
+            for phase in [BURST, DRAIN] {
+                for i in 0..phase {
+                    held.push(pool.alloc_init(|| i));
+                }
+                for p in held.drain(..) {
+                    // SAFETY: `p` came from this pool, was never
+                    // published, and is retired exactly once.
+                    unsafe { pool.retire(p, &h) };
+                }
+                h.flush();
+                h.quiescent();
+                h.collect();
+            }
+            arrive_and_wait(&done, 2);
+        };
+        trial.run(&[&worker, &worker]);
+        let d = Snapshot::take().delta_since(&before);
+        let a = pool.arena_stats().expect("arena mode");
+        assert_eq!(
+            d.get(Event::MagazineHit) + d.get(Event::MagazineMiss),
+            a.pool.allocations,
+            "an allocation resolved twice or never; replay with schedule token {}",
+            trial.token()
+        );
+        assert_eq!(
+            d.get(Event::MagazineMiss),
+            a.pool.slow_allocs,
+            "probe MagazineMiss diverged from the pool's slow-alloc count; \
+             replay with schedule token {}",
+            trial.token()
+        );
+        assert_eq!(
+            d.get(Event::ArenaSlabAlloc),
+            a.slab_allocs,
+            "probe ArenaSlabAlloc diverged from mapped slabs; \
+             replay with schedule token {}",
+            trial.token()
+        );
+        assert_eq!(
+            d.get(Event::ArenaRunRefill),
+            a.run_refills,
+            "probe ArenaRunRefill diverged from free-store refills; \
+             replay with schedule token {}",
+            trial.token()
+        );
+        for (label, x, y) in a.conservation() {
+            assert_eq!(
+                x,
+                y,
+                "arena ledger `{label}` broken in schedule {}",
+                trial.token()
+            );
+        }
+        refill_counts.insert(a.run_refills);
+    });
+    eprintln!("probe_conservation::arena_ledger_balances: {stats}");
+    assert!(!stats.truncated, "tree not exhausted: {stats}");
+    // The equalities proved nothing unless some schedule actually pushed
+    // a surrendered run back out through an address-ordered refill.
+    assert!(
+        refill_counts.iter().any(|&n| n > 0),
+        "no schedule exercised an arena run refill: {refill_counts:?}"
+    );
+}
+
 /// The flat-combining ledger over the real kv store: two eager writers
 /// race on a single shard, and on *every* enumerated schedule the probe
 /// deltas must balance the publication ledger exactly — each of the two

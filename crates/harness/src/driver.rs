@@ -248,6 +248,70 @@ pub fn run_scenario(
     }
 }
 
+/// One data point of an interleaved A/B comparison (see [`ab_sweep_with`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbPoint {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Median throughput of the left scenario over all pairs, in Mops/s.
+    pub left_mops: f64,
+    /// Median throughput of the right scenario over all pairs, in Mops/s.
+    pub right_mops: f64,
+    /// Median of the per-pair `right / left` throughput ratios. This is
+    /// the headline number: each ratio compares two back-to-back runs, so
+    /// slow drift (thermal, cache residency, background load) cancels
+    /// instead of biasing one whole sweep.
+    pub ratio: f64,
+    /// Number of pairs measured (= `cfg.reps`).
+    pub pairs: usize,
+}
+
+/// Interleaved A/B core: for each thread count, run `cfg.reps` *pairs*
+/// back to back — left, right, left, right, … — with per-pair seeds
+/// `cfg.seed + pair`, and report the median of the per-pair `right/left`
+/// throughput ratios (plus the median absolute throughputs).
+///
+/// Like [`sweep_with`], the closures decide what "time" means, so unit
+/// tests drive this with a fake clock.
+pub fn ab_sweep_with(
+    cfg: &SweepConfig,
+    mut left: impl FnMut(&RunSpec) -> Measurement,
+    mut right: impl FnMut(&RunSpec) -> Measurement,
+) -> Vec<AbPoint> {
+    let mut points = Vec::with_capacity(cfg.threads.len());
+    for &threads in &cfg.threads {
+        let mut lm = Vec::with_capacity(cfg.reps);
+        let mut rm = Vec::with_capacity(cfg.reps);
+        let mut ratios = Vec::with_capacity(cfg.reps);
+        for pair in 0..cfg.reps {
+            let spec = RunSpec {
+                threads,
+                duration: cfg.duration,
+                seed: cfg.seed + pair as u64,
+                record_latency: false,
+            };
+            let l = left(&spec).mops();
+            let r = right(&spec).mops();
+            lm.push(l);
+            rm.push(r);
+            ratios.push(r / l.max(1e-12));
+        }
+        points.push(AbPoint {
+            threads,
+            left_mops: stats::median(&lm),
+            right_mops: stats::median(&rm),
+            ratio: stats::median(&ratios),
+            pairs: cfg.reps,
+        });
+    }
+    points
+}
+
+/// [`ab_sweep_with`] over two real scenarios.
+pub fn run_ab(left: &Scenario, right: &Scenario, cfg: &SweepConfig) -> Vec<AbPoint> {
+    ab_sweep_with(cfg, |spec| left.run(spec), |spec| right.run(spec))
+}
+
 /// Sweeps a batch of scenarios, invoking `progress` after each finishes
 /// (for streaming table output).
 pub fn run_scenarios(
@@ -355,6 +419,46 @@ mod tests {
         assert_eq!(c.latency_threads(), 8);
         let c = cfg(vec![1, 12, 64], 1);
         assert_eq!(c.latency_threads(), 12);
+    }
+
+    #[test]
+    fn ab_sweep_interleaves_pairs_and_reports_median_ratio() {
+        // Record the exact execution order: the whole point of the A/B
+        // mode is that left/right alternate within each pair.
+        let order = std::cell::RefCell::new(Vec::new());
+        let points = ab_sweep_with(
+            &cfg(vec![2], 3),
+            |spec| {
+                order.borrow_mut().push(('L', spec.seed));
+                Measurement::from_ops(2_000_000, Duration::from_secs(1))
+            },
+            |spec| {
+                order.borrow_mut().push(('R', spec.seed));
+                // rep = seed - 40: ratios are {1.5, 2.0, 2.5}; median 2.0.
+                let rep = spec.seed - 40;
+                Measurement::from_ops(3_000_000 + rep * 1_000_000, Duration::from_secs(1))
+            },
+        );
+        assert_eq!(
+            order.into_inner(),
+            vec![
+                ('L', 40),
+                ('R', 40),
+                ('L', 41),
+                ('R', 41),
+                ('L', 42),
+                ('R', 42)
+            ],
+            "pairs run back to back with shared per-pair seeds"
+        );
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].pairs, 3);
+        assert!((points[0].left_mops - 2.0).abs() < 1e-9);
+        assert!((points[0].right_mops - 4.0).abs() < 1e-9);
+        assert!(
+            (points[0].ratio - 2.0).abs() < 1e-9,
+            "median of per-pair ratios"
+        );
     }
 
     #[test]

@@ -97,6 +97,15 @@ pub trait ShardPolicy: Send + Sync {
         None
     }
 
+    /// Whether ascending keys map to ascending positions *within* a
+    /// shard's backend (contiguous partitions over ordered maps).
+    /// Batched readers key-sort their per-shard probes only when this
+    /// holds — under hashed routing the backend scatters keys anyway,
+    /// so the sort would be pure cost.
+    fn key_ordered_shards(&self) -> bool {
+        false
+    }
+
     /// Downcast hook for the rebalancer, which needs the partition table
     /// itself. `None` for every policy but [`RangePolicy`].
     fn as_range(&self) -> Option<&RangePolicy> {
@@ -220,6 +229,9 @@ impl ShardPolicy for RangePolicy {
         self.bounds.len()
     }
     fn is_dynamic(&self) -> bool {
+        true
+    }
+    fn key_ordered_shards(&self) -> bool {
         true
     }
     fn version(&self) -> Version {

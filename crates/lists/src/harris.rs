@@ -65,7 +65,15 @@ unsafe impl Sync for HarrisList {}
 impl HarrisList {
     /// Creates an empty list.
     pub fn new() -> Self {
-        let pool = NodePool::with_chunk_capacity(LIST_POOL_CHUNK);
+        Self::from_pool(NodePool::with_chunk_capacity(LIST_POOL_CHUNK))
+    }
+
+    /// Creates an empty list with an arena-backed node pool.
+    pub fn new_arena() -> Self {
+        Self::from_pool(NodePool::arena_with_chunk_capacity(LIST_POOL_CHUNK))
+    }
+
+    fn from_pool(pool: Arc<NodePool<Node>>) -> Self {
         let tail = pool.alloc_init(|| Node::make(TAIL_KEY, 0, std::ptr::null_mut()));
         let head = pool.alloc_init(|| Node::make(crate::HEAD_KEY, 0, tail));
         Self { head, pool }
@@ -90,9 +98,11 @@ impl HarrisList {
                     // Advance over marked nodes, remembering the last
                     // unmarked predecessor.
                     let mut cur_next = (*cur).next.load(Ordering::Acquire);
+                    synchro::prefetch::read(unmark(cur_next) as *const Node);
                     while marked(cur_next) {
                         cur = unmark(cur_next) as *mut Node;
                         cur_next = (*cur).next.load(Ordering::Acquire);
+                        synchro::prefetch::read(unmark(cur_next) as *const Node);
                     }
                     if (*cur).key >= key {
                         // Snip the marked chain pred→...→cur if any.
@@ -147,6 +157,7 @@ impl ConcurrentSet for HarrisList {
             let mut cur = self.head;
             while (*cur).key < key {
                 cur = unmark((*cur).next.load(Ordering::Acquire)) as *mut Node;
+                synchro::prefetch::read(cur);
             }
             // Present iff key matches and the node is not logically deleted.
             ((*cur).key == key && !marked((*cur).next.load(Ordering::Acquire))).then(|| (*cur).val)
@@ -252,6 +263,7 @@ impl ConcurrentSet for HarrisList {
                     n += 1;
                 }
                 cur = unmark((*cur).next.load(Ordering::Acquire)) as *mut Node;
+                synchro::prefetch::read(cur);
             }
             n
         }

@@ -71,6 +71,12 @@ impl LazyListPool {
     pub fn new() -> Self {
         Self(NodePool::new())
     }
+
+    /// Creates an arena-backed pool ([`NodePool::arena`]): aligned slabs
+    /// and address-ordered magazine refills, same API and safety story.
+    pub fn arena() -> Self {
+        Self(NodePool::arena())
+    }
 }
 
 impl Default for LazyListPool {
@@ -83,6 +89,11 @@ impl LazyList {
     /// Creates an empty list with a private node pool.
     pub fn new() -> Self {
         Self::from_pool(NodePool::with_chunk_capacity(LIST_POOL_CHUNK))
+    }
+
+    /// Creates an empty list with a private arena-backed node pool.
+    pub fn new_arena() -> Self {
+        Self::from_pool(NodePool::arena_with_chunk_capacity(LIST_POOL_CHUNK))
     }
 
     /// Creates an empty list drawing nodes from `pool`, shared with other
@@ -109,6 +120,7 @@ impl LazyList {
             while (*cur).key < key {
                 pred = cur;
                 cur = (*cur).next.load(Ordering::Acquire);
+                synchro::prefetch::read(cur);
             }
             (pred, cur)
         }
@@ -146,6 +158,7 @@ impl ConcurrentSet for LazyList {
             let mut cur = self.head;
             while (*cur).key < key {
                 cur = (*cur).next.load(Ordering::Acquire);
+                synchro::prefetch::read(cur);
             }
             ((*cur).key == key && !(*cur).marked.load(Ordering::Acquire)).then(|| (*cur).val)
         }
@@ -230,6 +243,7 @@ impl ConcurrentSet for LazyList {
                     n += 1;
                 }
                 cur = (*cur).next.load(Ordering::Acquire);
+                synchro::prefetch::read(cur);
             }
             n
         }

@@ -132,6 +132,7 @@ impl LazyCacheList {
             while (*cur).key.load(Ordering::Acquire) < key {
                 pred = cur;
                 cur = (*cur).next.load(Ordering::Acquire);
+                synchro::prefetch::read(cur);
             }
             (pred, cur)
         }

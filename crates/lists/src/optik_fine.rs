@@ -73,6 +73,12 @@ impl OptikListPool {
     pub fn new() -> Self {
         Self(NodePool::new())
     }
+
+    /// Creates an arena-backed pool ([`NodePool::arena`]): aligned slabs
+    /// and address-ordered magazine refills, same API and safety story.
+    pub fn arena() -> Self {
+        Self(NodePool::arena())
+    }
 }
 
 impl Default for OptikListPool {
@@ -86,6 +92,11 @@ impl OptikList {
     /// node pool.
     pub fn new() -> Self {
         Self::from_pool(NodePool::with_chunk_capacity(LIST_POOL_CHUNK))
+    }
+
+    /// Creates an empty list with a private arena-backed node pool.
+    pub fn new_arena() -> Self {
+        Self::from_pool(NodePool::arena_with_chunk_capacity(LIST_POOL_CHUNK))
     }
 
     /// Creates an empty list drawing nodes from `pool`, shared with other
@@ -125,6 +136,7 @@ impl OptikList {
                 pred = cur;
                 predv = curv;
                 cur = (*pred).next.load(Ordering::Acquire);
+                synchro::prefetch::read(cur);
                 curv = (*cur).lock.get_version();
                 if (*cur).key >= key {
                     return (pred, predv, cur, curv);
@@ -150,6 +162,7 @@ impl ConcurrentSet for OptikList {
             let mut cur = self.head;
             while (*cur).key < key {
                 cur = (*cur).next.load(Ordering::Acquire);
+                synchro::prefetch::read(cur);
             }
             ((*cur).key == key).then(|| (*cur).val)
         }
@@ -230,6 +243,7 @@ impl ConcurrentSet for OptikList {
             while (*cur).key != TAIL_KEY {
                 n += 1;
                 cur = (*cur).next.load(Ordering::Acquire);
+                synchro::prefetch::read(cur);
             }
             n
         }

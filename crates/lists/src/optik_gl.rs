@@ -67,6 +67,12 @@ impl OptikGlListPool {
     pub fn new() -> Self {
         Self(NodePool::new())
     }
+
+    /// Creates an arena-backed pool ([`NodePool::arena`]): aligned slabs
+    /// and address-ordered magazine refills, same API and safety story.
+    pub fn arena() -> Self {
+        Self(NodePool::arena())
+    }
 }
 
 impl Default for OptikGlListPool {
@@ -79,6 +85,11 @@ impl<L: OptikLock> OptikGlList<L> {
     /// Creates an empty list with a private node pool.
     pub fn new() -> Self {
         Self::from_pool(NodePool::with_chunk_capacity(LIST_POOL_CHUNK))
+    }
+
+    /// Creates an empty list with a private arena-backed node pool.
+    pub fn new_arena() -> Self {
+        Self::from_pool(NodePool::arena_with_chunk_capacity(LIST_POOL_CHUNK))
     }
 
     /// Creates an empty list drawing nodes from `pool`, shared with other
@@ -109,6 +120,7 @@ impl<L: OptikLock> OptikGlList<L> {
             while (*cur).key < key {
                 pred = cur;
                 cur = (*cur).next.load(Ordering::Acquire);
+                synchro::prefetch::read(cur);
             }
             (pred, cur)
         }
@@ -204,6 +216,7 @@ impl<L: OptikLock> ConcurrentSet for OptikGlList<L> {
             while (*cur).key != TAIL_KEY {
                 n += 1;
                 cur = (*cur).next.load(Ordering::Acquire);
+                synchro::prefetch::read(cur);
             }
             n
         }

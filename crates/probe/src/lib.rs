@@ -148,10 +148,17 @@ pub enum Event {
     /// Published op applied by its own publisher (the waiter won the
     /// shard lock itself and drained the list, its own slot included).
     CombineSelfServe = 17,
+    /// Arena-backed pool mapped a fresh aligned slab.
+    ArenaSlabAlloc = 18,
+    /// Magazine refilled from the arena depot's address-ordered free
+    /// store (as opposed to a bump-fresh or loose-magazine refill).
+    ArenaRunRefill = 19,
+    /// Software prefetch issued one hop ahead of a traversal.
+    PrefetchIssued = 20,
 }
 
 /// Number of [`Event`] kinds.
-pub const EVENT_COUNT: usize = 18;
+pub const EVENT_COUNT: usize = 21;
 
 impl Event {
     /// All events, in counter order.
@@ -174,6 +181,9 @@ impl Event {
         Event::CombineBatch,
         Event::CombineApplied,
         Event::CombineSelfServe,
+        Event::ArenaSlabAlloc,
+        Event::ArenaRunRefill,
+        Event::PrefetchIssued,
     ];
 
     /// Stable snake_case key (report/JSON field name).
@@ -197,6 +207,9 @@ impl Event {
             Event::CombineBatch => "combine_batches",
             Event::CombineApplied => "combine_ops_applied",
             Event::CombineSelfServe => "combine_self_served",
+            Event::ArenaSlabAlloc => "arena_slab_allocs",
+            Event::ArenaRunRefill => "arena_run_refills",
+            Event::PrefetchIssued => "prefetch_issued",
         }
     }
 }
@@ -217,10 +230,15 @@ pub enum HistKind {
     /// Published ops applied per combiner drain (a *size*, not cycles —
     /// the log-2 buckets read as batch-size classes 1, 2–3, 4–7, …).
     CombineBatch = 4,
+    /// Length of each maximal address-contiguous run inside an arena
+    /// magazine refill (a *size* in nodes, not cycles: buckets read as
+    /// run-length classes 1, 2–3, 4–7, …). Longer runs mean recycled
+    /// nodes handed out physically adjacent.
+    ArenaRun = 5,
 }
 
 /// Number of [`HistKind`]s.
-pub const HIST_COUNT: usize = 5;
+pub const HIST_COUNT: usize = 6;
 
 /// Buckets per histogram: bucket `b` counts values in `[2^b, 2^(b+1))`
 /// (bucket 0 additionally holds zero).
@@ -234,6 +252,7 @@ impl HistKind {
         HistKind::ValidationWindow,
         HistKind::GraceLatency,
         HistKind::CombineBatch,
+        HistKind::ArenaRun,
     ];
 
     /// Stable snake_case key.
@@ -244,6 +263,7 @@ impl HistKind {
             HistKind::ValidationWindow => "range_window",
             HistKind::GraceLatency => "grace",
             HistKind::CombineBatch => "combine_batch",
+            HistKind::ArenaRun => "arena_run",
         }
     }
 }
@@ -666,6 +686,12 @@ impl Snapshot {
                 self.hist(HistKind::CombineBatch).mean(),
             ));
         }
+        if self.hist(HistKind::ArenaRun).count() > 0 {
+            out.push((
+                "arena_run_mean_len".into(),
+                self.hist(HistKind::ArenaRun).mean(),
+            ));
+        }
         for (e, label) in [
             (Event::BackoffEscalate, "backoff_escalations"),
             (Event::SpinAcquire, "spin_acquires"),
@@ -678,6 +704,9 @@ impl Snapshot {
             (Event::CombineBatch, "combine_batches"),
             (Event::CombineApplied, "combine_ops_applied"),
             (Event::CombineSelfServe, "combine_self_served"),
+            (Event::ArenaSlabAlloc, "arena_slab_allocs"),
+            (Event::ArenaRunRefill, "arena_run_refills"),
+            (Event::PrefetchIssued, "prefetch_issued"),
         ] {
             if self.get(e) > 0 {
                 out.push((label.into(), self.get(e) as f64));

@@ -1,0 +1,301 @@
+//! Arena-backed slab storage and the address-ordered depot free store.
+//!
+//! The magazine pool (`pool.rs`) stores slots in `Box<[Slot<T>]>` chunks
+//! and exchanges *whole magazines* with its depot: a surrendered
+//! magazine keeps the order its owner released slots in, so after a few
+//! churn generations a refilled magazine hands out nodes scattered
+//! across every chunk ever allocated — each traversal hop is a fresh
+//! cache line and, eventually, a fresh TLB page.
+//!
+//! The arena variant replaces both halves:
+//!
+//! - **Slabs** (`Slab`): chunk storage allocated directly from the
+//!   global allocator with an explicit [`Layout`], base-aligned to
+//!   [`SLAB_ALIGN`] so a slab never straddles more pages than its size
+//!   requires and node addresses are stable, dense, and comparable.
+//! - **An address-ordered free store** (`FreeStore`): surrendered
+//!   magazines merge into one flat pool of free slots that is sorted by
+//!   address (descending, lazily — one sort per refill, amortized over
+//!   `magazine_capacity` operations) before a magazine is handed back
+//!   out. Each refill drains the *lowest-address* tail, so recycled
+//!   nodes leave the depot in physically adjacent runs: a traversal
+//!   that inserts a burst of nodes places them on as few cache lines
+//!   as the free space permits.
+//!
+//! The refill path measures itself: every maximal run of consecutive
+//! addresses inside a handed-out magazine is recorded into the
+//! [`optik_probe::HistKind::ArenaRun`] log-2 histogram, so "did the
+//! sort actually cluster anything" is a reported number, not a hope.
+//! [`ArenaStats`] extends the pool ledger with the arena's own
+//! conservation identities.
+
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
+
+use crate::pool::PoolStats;
+
+/// Slab base alignment (bytes). One x86 page: keeps every slab's first
+/// node at offset zero of a page and makes slot addresses dense within
+/// page-aligned windows.
+pub const SLAB_ALIGN: usize = 4096;
+
+/// One aligned, type-stable slab of `E` slots. Never freed (or moved)
+/// while the owning pool lives; dropped with the pool.
+pub(crate) struct Slab<E> {
+    base: *mut E,
+    layout: Layout,
+}
+
+impl<E> Slab<E> {
+    /// Maps a slab of `cap` uninitialized slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `E` is zero-sized, `cap` is zero, or the layout
+    /// overflows `isize`. Aborts (via [`handle_alloc_error`]) if the
+    /// allocator fails.
+    pub(crate) fn new(cap: usize) -> Self {
+        assert!(std::mem::size_of::<E>() > 0, "arena slabs need sized slots");
+        assert!(cap > 0, "arena slabs need at least one slot");
+        let layout = Layout::array::<E>(cap)
+            .and_then(|l| l.align_to(SLAB_ALIGN.max(std::mem::align_of::<E>())))
+            .map(|l| l.pad_to_align())
+            .expect("slab layout overflows");
+        // SAFETY: layout has non-zero size (asserted above).
+        let base = unsafe { alloc(layout) };
+        if base.is_null() {
+            handle_alloc_error(layout);
+        }
+        Self {
+            base: base.cast::<E>(),
+            layout,
+        }
+    }
+
+    /// Pointer to slot `i` (caller keeps `i < cap`).
+    #[inline]
+    pub(crate) fn slot(&self, i: usize) -> *mut E {
+        // SAFETY: `i` is within the mapped array per the contract.
+        unsafe { self.base.add(i) }
+    }
+}
+
+impl<E> Drop for Slab<E> {
+    fn drop(&mut self) {
+        // Slot contents are abandoned in place (pooled node types carry
+        // no Drop glue, asserted at pool construction).
+        // SAFETY: `base` came from `alloc` with exactly this layout.
+        unsafe { dealloc(self.base.cast(), self.layout) };
+    }
+}
+
+/// The arena depot: one flat, address-sorted pool of free slots.
+///
+/// Kept sorted *descending* so the cheap end of the `Vec` (the tail,
+/// where `pop`/`drain` are O(1) per element) holds the lowest
+/// addresses; sorting is deferred (`dirty`) until a refill actually
+/// needs order, so a surrender is a plain batch append.
+pub(crate) struct FreeStore<T> {
+    free: Vec<*mut T>,
+    dirty: bool,
+    /// Slots ever surrendered into the store (cumulative).
+    pub(crate) freed: u64,
+    /// Slots ever handed back out of the store (cumulative).
+    pub(crate) refilled: u64,
+    /// Address-ordered magazine refills served.
+    pub(crate) run_refills: u64,
+}
+
+impl<T> FreeStore<T> {
+    pub(crate) fn new() -> Self {
+        Self {
+            free: Vec::new(),
+            dirty: false,
+            freed: 0,
+            refilled: 0,
+            run_refills: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Surrenders one slot (the no-magazine teardown path).
+    pub(crate) fn push(&mut self, ptr: *mut T) {
+        self.free.push(ptr);
+        self.dirty = true;
+        self.freed += 1;
+    }
+
+    /// Surrenders a whole magazine, draining `batch` in place (the
+    /// caller keeps the buffer and its capacity).
+    pub(crate) fn push_batch(&mut self, batch: &mut Vec<*mut T>) {
+        self.freed += batch.len() as u64;
+        self.free.append(batch);
+        self.dirty = true;
+    }
+
+    fn sort(&mut self) {
+        if self.dirty {
+            // Descending: the drained tail is the lowest-address cluster.
+            self.free.sort_unstable_by(|a, b| b.cmp(a));
+            self.dirty = false;
+        }
+    }
+
+    /// Hands out up to `want` slots from the lowest-address end into
+    /// `out`, recording each maximal address-contiguous run into the
+    /// [`optik_probe::HistKind::ArenaRun`] histogram. Returns how many
+    /// slots were taken (0 when the store is empty).
+    pub(crate) fn refill(&mut self, out: &mut Vec<*mut T>, want: usize) -> usize {
+        if self.free.is_empty() || want == 0 {
+            return 0;
+        }
+        self.sort();
+        let take = want.min(self.free.len());
+        let at = self.free.len() - take;
+        let stride = std::mem::size_of::<T>();
+        let mut run = 1u64;
+        for w in self.free[at..].windows(2) {
+            // Descending order: consecutive means exactly one node apart.
+            if (w[0] as usize).wrapping_sub(w[1] as usize) == stride {
+                run += 1;
+            } else {
+                optik_probe::record(optik_probe::HistKind::ArenaRun, run);
+                run = 1;
+            }
+        }
+        optik_probe::record(optik_probe::HistKind::ArenaRun, run);
+        optik_probe::count(optik_probe::Event::ArenaRunRefill);
+        self.run_refills += 1;
+        self.refilled += take as u64;
+        out.extend(self.free.drain(at..));
+        take
+    }
+
+    /// Hands out the single lowest-address slot (direct-path fallback;
+    /// no run accounting — there is no magazine to measure).
+    pub(crate) fn pop_one(&mut self) -> Option<*mut T> {
+        self.sort();
+        let ptr = self.free.pop()?;
+        self.refilled += 1;
+        Some(ptr)
+    }
+}
+
+/// A point-in-time snapshot of an arena-backed pool's ledger: the
+/// shared [`PoolStats`] plus the arena's own counters. Exact whenever
+/// every thread using the pool is at rest. See
+/// [`ArenaStats::conservation`] for the identities that must balance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// The common slot ledger (same meaning as for the boxed pool).
+    pub pool: PoolStats,
+    /// Slots per slab (the pool's chunk capacity).
+    pub chunk_capacity: u64,
+    /// Aligned slabs mapped so far.
+    pub slab_allocs: u64,
+    /// Address-ordered magazine refills served by the free store.
+    pub run_refills: u64,
+    /// Slots ever surrendered into the free store (cumulative).
+    pub freed_slots: u64,
+    /// Slots ever handed back out of the free store (cumulative).
+    pub refilled_slots: u64,
+    /// Slots currently parked in the free store.
+    pub free_store: u64,
+}
+
+impl ArenaStats {
+    /// The ledger equalities that must hold whenever every thread using
+    /// the pool is at rest, as `(description, lhs, rhs)` — the arena
+    /// analogue of the `PoolStats` capacity conservation check.
+    pub fn conservation(&self) -> Vec<(&'static str, u64, u64)> {
+        vec![
+            (
+                "every surrendered slot was refilled out or is still parked",
+                self.freed_slots,
+                self.refilled_slots + self.free_store,
+            ),
+            (
+                "the arena free store is the pool's entire depot",
+                self.pool.depot,
+                self.free_store,
+            ),
+            (
+                "capacity is exactly the mapped slabs",
+                self.pool.capacity,
+                self.slab_allocs * self.chunk_capacity,
+            ),
+            (
+                "every slot is in exactly one place",
+                self.pool.capacity,
+                self.pool.unallocated
+                    + self.pool.cached
+                    + self.pool.depot
+                    + self.pool.in_grace
+                    + self.pool.live(),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slabs_are_aligned_and_dense() {
+        let slab: Slab<[u64; 8]> = Slab::new(16);
+        assert_eq!(slab.slot(0) as usize % SLAB_ALIGN, 0, "base aligned");
+        for i in 0..16 {
+            assert_eq!(
+                slab.slot(i) as usize,
+                slab.slot(0) as usize + i * std::mem::size_of::<[u64; 8]>(),
+                "slots are contiguous"
+            );
+        }
+    }
+
+    #[test]
+    fn refill_hands_out_lowest_addresses_first() {
+        let slab: Slab<u64> = Slab::new(64);
+        let mut store: FreeStore<u64> = FreeStore::new();
+        // Surrender slots in a scrambled order.
+        for i in [9usize, 3, 7, 1, 5, 40, 42, 41, 2, 8] {
+            store.push(slab.slot(i));
+        }
+        let mut out = Vec::new();
+        assert_eq!(store.refill(&mut out, 8), 8);
+        // The 8 lowest addresses, regardless of surrender order.
+        let got: Vec<usize> = out.iter().map(|p| *p as usize).collect();
+        let mut expect: Vec<usize> = [9usize, 3, 7, 1, 5, 2, 8]
+            .iter()
+            .map(|&i| slab.slot(i) as usize)
+            .collect();
+        expect.push(slab.slot(40) as usize);
+        expect.sort_unstable();
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, expect);
+        assert_eq!(store.len(), 2, "41 and 42 stay parked");
+        assert_eq!(store.freed, 10);
+        assert_eq!(store.refilled, 8);
+        assert_eq!(store.run_refills, 1);
+    }
+
+    #[test]
+    fn ledger_balances_through_churn() {
+        let slab: Slab<u64> = Slab::new(32);
+        let mut store: FreeStore<u64> = FreeStore::new();
+        let mut batch: Vec<*mut u64> = (0..32).map(|i| slab.slot(i)).collect();
+        store.push_batch(&mut batch);
+        assert!(batch.is_empty());
+        let mut out = Vec::new();
+        store.refill(&mut out, 10);
+        store.pop_one().unwrap();
+        assert_eq!(store.freed, 32);
+        assert_eq!(store.refilled, 11);
+        assert_eq!(store.freed, store.refilled + store.len() as u64);
+    }
+}

@@ -141,7 +141,15 @@ unsafe impl Sync for FraserSkipList {}
 impl FraserSkipList {
     /// Creates an empty skip list.
     pub fn new() -> Self {
-        let pool = NodePool::new();
+        Self::from_pool(NodePool::new())
+    }
+
+    /// Creates an empty skip list with an arena-backed node pool.
+    pub fn new_arena() -> Self {
+        Self::from_pool(NodePool::arena())
+    }
+
+    fn from_pool(pool: Arc<NodePool<Node>>) -> Self {
         let tail = pool.alloc_init(|| Node::make(TAIL_KEY, 0, MAX_LEVEL - 1));
         let head = pool.alloc_init(|| Node::make(HEAD_KEY, 0, MAX_LEVEL - 1));
         // SAFETY: fresh nodes.
@@ -186,9 +194,11 @@ impl FraserSkipList {
                     loop {
                         // Skip over a chain of marked nodes.
                         let mut cur_w = (*cur).next[l].load(Ordering::Acquire);
+                        synchro::prefetch::read(unmark(cur_w) as *const Node);
                         while marked(cur_w) {
                             cur = unmark(cur_w) as *mut Node;
                             cur_w = (*cur).next[l].load(Ordering::Acquire);
+                            synchro::prefetch::read(unmark(cur_w) as *const Node);
                         }
                         if (*cur).key < key {
                             pred = cur;
@@ -416,8 +426,10 @@ impl FraserSkipList {
             let mut pred = self.head;
             for l in (0..MAX_LEVEL).rev() {
                 let mut cur = unmark((*pred).next[l].load(Ordering::Acquire)) as *mut Node;
+                synchro::prefetch::read(cur);
                 loop {
                     let cur_w = (*cur).next[l].load(Ordering::Acquire);
+                    synchro::prefetch::read(unmark(cur_w) as *const Node);
                     if marked(cur_w) {
                         cur = unmark(cur_w) as *mut Node;
                         continue;

@@ -64,7 +64,15 @@ unsafe impl Sync for HerlihySkipList {}
 impl HerlihySkipList {
     /// Creates an empty skip list.
     pub fn new() -> Self {
-        let pool = NodePool::new();
+        Self::from_pool(NodePool::new())
+    }
+
+    /// Creates an empty skip list with an arena-backed node pool.
+    pub fn new_arena() -> Self {
+        Self::from_pool(NodePool::arena())
+    }
+
+    fn from_pool(pool: Arc<NodePool<Node>>) -> Self {
         let tail = pool.alloc_init(|| Node::make(TAIL_KEY, 0, MAX_LEVEL - 1, true));
         let head = pool.alloc_init(|| Node::make(HEAD_KEY, 0, MAX_LEVEL - 1, true));
         // SAFETY: fresh nodes, no concurrency yet.
@@ -94,9 +102,11 @@ impl HerlihySkipList {
             let mut pred = self.head;
             for l in (0..MAX_LEVEL).rev() {
                 let mut cur = (*pred).next[l].load(Ordering::Acquire);
+                synchro::prefetch::read(cur);
                 while (*cur).key < key {
                     pred = cur;
                     cur = (*cur).next[l].load(Ordering::Acquire);
+                    synchro::prefetch::read(cur);
                 }
                 if lfound.is_none() && (*cur).key == key {
                     lfound = Some(l);
@@ -154,9 +164,11 @@ impl ConcurrentSet for HerlihySkipList {
             let mut found: *mut Node = std::ptr::null_mut();
             for l in (0..MAX_LEVEL).rev() {
                 let mut cur = (*pred).next[l].load(Ordering::Acquire);
+                synchro::prefetch::read(cur);
                 while (*cur).key < key {
                     pred = cur;
                     cur = (*cur).next[l].load(Ordering::Acquire);
+                    synchro::prefetch::read(cur);
                 }
                 if (*cur).key == key {
                     found = cur;
@@ -420,9 +432,11 @@ impl OrderedMap for HerlihySkipList {
                 let mut pred = self.head;
                 for l in (0..MAX_LEVEL).rev() {
                     let mut cur = (*pred).next[l].load(Ordering::Acquire);
+                    synchro::prefetch::read(cur);
                     while (*cur).key < from {
                         pred = cur;
                         cur = (*cur).next[l].load(Ordering::Acquire);
+                        synchro::prefetch::read(cur);
                     }
                 }
                 if fails >= RANGE_OPTIMISTIC_ATTEMPTS {

@@ -88,7 +88,15 @@ unsafe impl<const FINE: bool> Sync for OptikSkipList<FINE> {}
 impl<const FINE: bool> OptikSkipList<FINE> {
     /// Creates an empty skip list.
     pub fn new() -> Self {
-        let pool = NodePool::new();
+        Self::from_pool(NodePool::new())
+    }
+
+    /// Creates an empty skip list with an arena-backed node pool.
+    pub fn new_arena() -> Self {
+        Self::from_pool(NodePool::arena())
+    }
+
+    fn from_pool(pool: Arc<NodePool<Node>>) -> Self {
         let tail = pool.alloc_init(|| Node::make(TAIL_KEY, 0, MAX_LEVEL - 1, true));
         let head = pool.alloc_init(|| Node::make(HEAD_KEY, 0, MAX_LEVEL - 1, true));
         // SAFETY: fresh nodes.
@@ -131,10 +139,12 @@ impl<const FINE: bool> OptikSkipList<FINE> {
             let mut predv = (*pred).lock.get_version();
             for l in (0..MAX_LEVEL).rev() {
                 let mut cur = (*pred).next[l].load(Ordering::Acquire);
+                synchro::prefetch::read(cur);
                 while (*cur).key < key {
                     pred = cur;
                     predv = (*pred).lock.get_version();
                     cur = (*pred).next[l].load(Ordering::Acquire);
+                    synchro::prefetch::read(cur);
                 }
                 if lfound.is_none() && (*cur).key == key {
                     lfound = Some(l);
@@ -221,9 +231,11 @@ impl<const FINE: bool> ConcurrentSet for OptikSkipList<FINE> {
             let mut found: *mut Node = std::ptr::null_mut();
             for l in (0..MAX_LEVEL).rev() {
                 let mut cur = (*pred).next[l].load(Ordering::Acquire);
+                synchro::prefetch::read(cur);
                 while (*cur).key < key {
                     pred = cur;
                     cur = (*cur).next[l].load(Ordering::Acquire);
+                    synchro::prefetch::read(cur);
                 }
                 if (*cur).key == key {
                     found = cur;
@@ -512,10 +524,12 @@ impl<const FINE: bool> OrderedMap for OptikSkipList<FINE> {
                 let mut predv = (*pred).lock.get_version();
                 for l in (0..MAX_LEVEL).rev() {
                     let mut cur = (*pred).next[l].load(Ordering::Acquire);
+                    synchro::prefetch::read(cur);
                     while (*cur).key < from {
                         pred = cur;
                         predv = (*pred).lock.get_version();
                         cur = (*pred).next[l].load(Ordering::Acquire);
+                        synchro::prefetch::read(cur);
                     }
                 }
                 if fails >= RANGE_OPTIMISTIC_ATTEMPTS {

@@ -160,12 +160,10 @@ impl<O, R> PubList<O, R> {
             // Release: the chain hand-off publishes `op`, `state`, and
             // `next` to the combiner's Acquire swap (RMWs extend the
             // release sequence, so deeper links stay visible too).
-            match self.head.compare_exchange(
-                head,
-                idx + 1,
-                Ordering::Release,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .head
+                .compare_exchange(head, idx + 1, Ordering::Release, Ordering::Relaxed)
+            {
                 Ok(_) => return Some(idx),
                 Err(h) => head = h,
             }

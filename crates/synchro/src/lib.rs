@@ -26,6 +26,7 @@ pub mod combine;
 pub mod cycles;
 pub mod lock_api;
 pub mod mcs;
+pub mod prefetch;
 pub mod shim;
 pub mod stress;
 pub mod tas;

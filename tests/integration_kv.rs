@@ -225,6 +225,149 @@ fn kv_multi_get_observes_multi_put_atomically_full() {
 }
 
 // ---------------------------------------------------------------------------
+// Grouped multi_get: the shard-grouped read path must be observationally
+// identical to per-key reads, under churn, on both sharding modes.
+// ---------------------------------------------------------------------------
+
+/// The probe batch: deliberately unsorted, with duplicates, spanning
+/// every shard of the 4-shard stores below. The grouped path routes and
+/// sorts probes internally; the scatter back to input order (and the
+/// one-window guarantee for duplicate keys) is exactly what this pins.
+const MG_KEYS: [u64; 14] = [66, 9, 2, 91, 2, 33, 9, 55, 28, 70, 9, 11, 44, 55];
+
+/// Values encode their key (`k * 1_000_000 + round`), so a result
+/// scattered to the wrong input position is caught immediately, not as a
+/// silent wrong read.
+fn grouped_multiget_matches_per_key<B: ConcurrentMap + 'static>(
+    name: &'static str,
+    s: Arc<KvStore<B>>,
+    rounds: u64,
+) {
+    announce_seed();
+    let keys: Vec<u64> = MG_KEYS.to_vec();
+    assert!(
+        keys.iter()
+            .map(|&k| s.shard_of(k))
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+            > 1,
+        "{name}: working set must cross shards for grouping to mean anything"
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut writers = Vec::new();
+    for w in 0..2u64 {
+        let s = Arc::clone(&s);
+        let keys = keys.clone();
+        writers.push(std::thread::spawn(move || {
+            let mut x = stream(w, 0xA24BAED4963EE407);
+            for round in 0..rounds {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let k = keys[(x % keys.len() as u64) as usize];
+                if x % 8 == 0 {
+                    s.remove(k);
+                } else {
+                    s.put(k, k * 1_000_000 + round % 1_000_000);
+                }
+            }
+        }));
+    }
+    let mut readers = Vec::new();
+    for r in 0..2u64 {
+        let s = Arc::clone(&s);
+        let keys = keys.clone();
+        let stop = Arc::clone(&stop);
+        readers.push(std::thread::spawn(move || {
+            let mut observed = 0u64;
+            // Check-after-work, as in `batch_atomicity`: every run must
+            // observe at least one batch even if writers finish first.
+            loop {
+                // Alternate paths so both stay under churn in one run.
+                let vals = if (observed + r) % 2 == 0 {
+                    s.multi_get(&keys)
+                } else {
+                    s.multi_get_per_key(&keys)
+                };
+                assert_eq!(vals.len(), keys.len(), "{name}: result not scattered 1:1");
+                for (i, v) in vals.iter().enumerate() {
+                    if let Some(v) = v {
+                        assert_eq!(
+                            v / 1_000_000,
+                            keys[i],
+                            "{name}: position {i} holds a foreign key's value: {vals:?}"
+                        );
+                    }
+                }
+                // Duplicate keys probe the same shard window: one batch
+                // must never report two bindings for one key.
+                for i in 0..keys.len() {
+                    for j in i + 1..keys.len() {
+                        if keys[i] == keys[j] {
+                            assert_eq!(
+                                vals[i], vals[j],
+                                "{name}: duplicate key {} tore across one batch: {vals:?}",
+                                keys[i]
+                            );
+                        }
+                    }
+                }
+                observed += 1;
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            observed
+        }));
+    }
+    reclaim::offline_while(|| {
+        for h in writers {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in readers {
+            assert!(h.join().unwrap() > 0, "{name}: readers made no progress");
+        }
+    });
+    // Quiesced: all three read paths must agree exactly.
+    let grouped = s.multi_get(&keys);
+    let per_key = s.multi_get_per_key(&keys);
+    let singles: Vec<Option<u64>> = keys.iter().map(|&k| s.get(k)).collect();
+    assert_eq!(
+        grouped, per_key,
+        "{name}: grouped vs per-key batch diverged at rest"
+    );
+    assert_eq!(
+        grouped, singles,
+        "{name}: grouped batch vs single gets diverged at rest"
+    );
+}
+
+fn grouped_multiget_rounds(rounds: u64) {
+    // Hash sharding: routing scatters the batch, groups are sparse.
+    grouped_multiget_matches_per_key("kv/hash", striped_store(4), rounds);
+    // Ordered sharding: routing by partition bounds, groups are runs.
+    grouped_multiget_matches_per_key(
+        "kv/ordered",
+        Arc::new(KvStore::with_ordered_shards(4, 100, |_| {
+            OptikSkipList2::new()
+        })),
+        rounds,
+    );
+}
+
+#[test]
+fn kv_grouped_multi_get_matches_per_key_reads_under_churn() {
+    grouped_multiget_rounds(synchro::stress::ops(6_000));
+}
+
+#[test]
+#[ignore = "full-strength grouped multi_get equivalence tier; run in CI via --ignored"]
+fn kv_grouped_multi_get_matches_per_key_reads_under_churn_full() {
+    grouped_multiget_rounds(30_000);
+}
+
+// ---------------------------------------------------------------------------
 // Deadlock freedom: overlapping batches over random shard subsets.
 // ---------------------------------------------------------------------------
 

@@ -554,6 +554,100 @@ fn kv_store_stays_linearizable_across_forced_rebalances() {
     check_rebalance_rounds(3, 40);
 }
 
+// ---------------------------------------------------------------------------
+// Grouped multi_get rounds: multi-key reads across forced boundary
+// migrations, decided against the range spec.
+// ---------------------------------------------------------------------------
+
+/// 4 threads run the multi-key mix over the tracked keys while a
+/// rebalancer walks a partition boundary back and forth underneath them,
+/// so the batch's shard *grouping* changes continuously. The multi-key
+/// read op is the store's grouped `multi_get` over all tracked keys,
+/// recorded as a [`RangeOp::Range`] observation: against [`RangeMapSpec`]
+/// it must be a snapshot — one atomic window across every shard-group the
+/// batch touched, no matter how the router regrouped it mid-read. A
+/// grouped read that misses a routing flip (probing a key's old shard
+/// after migration) shows up here as a non-linearizable observation.
+fn check_multiget_rebalance_rounds(rounds: usize, shifts_per_round: u64) {
+    const KEYS: [u64; RANGE_KEYS] = [10, 20, 30];
+    for round in 0..rounds {
+        let store = Arc::new(KvStore::with_ordered_shards(4, 40, |_| {
+            optik_suite::skiplists::OptikSkipList2::new()
+        }));
+        let all = Arc::new(Mutex::new(Vec::new()));
+        let barrier = Arc::new(Barrier::new(5));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let store = Arc::clone(&store);
+            let all = Arc::clone(&all);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let mut rec = HistoryRecorder::new();
+                barrier.wait();
+                for i in 0..10u64 {
+                    let idx = ((t + 2 * i) % RANGE_KEYS as u64) as usize;
+                    match (t + i + round as u64) % 4 {
+                        0 => {
+                            let v = t * 1_000 + i + 1; // distinct in-history
+                            rec.record(
+                                || store.put(KEYS[idx], v),
+                                |prev| RangeOp::Put(idx, v, prev),
+                            );
+                        }
+                        1 => rec.record(|| store.remove(KEYS[idx]), |r| RangeOp::Remove(idx, r)),
+                        2 => rec.record(|| store.get(KEYS[idx]), |g| RangeOp::Get(idx, g)),
+                        _ => rec.record(
+                            || {
+                                let vals = store.multi_get(&KEYS);
+                                let mut obs = [None; RANGE_KEYS];
+                                obs.copy_from_slice(&vals);
+                                obs
+                            },
+                            RangeOp::Range,
+                        ),
+                    }
+                }
+                all.lock().unwrap().extend(rec.into_ops());
+            }));
+        }
+        // Walk bounds[1] between 15 and 25: KEYS[1] = 20 flips between
+        // shards 1 and 2 on every shift, regrouping the batch mid-flight.
+        let rebalancer = {
+            let store = Arc::clone(&store);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..shifts_per_round {
+                    let bound = if i % 2 == 0 { 25 } else { 15 };
+                    store.shift_boundary(1, bound).expect("legal shift");
+                }
+            })
+        };
+        reclaim::offline_while(|| {
+            for h in handles {
+                h.join().unwrap();
+            }
+            rebalancer.join().unwrap();
+        });
+        let history = all.lock().unwrap().clone();
+        assert!(
+            check(&RangeMapSpec::default(), &history),
+            "kv/multiget-rebalance: non-linearizable grouped multi_get history (round {round})"
+        );
+    }
+}
+
+#[test]
+fn kv_grouped_multi_get_stays_linearizable_across_rebalances() {
+    check_multiget_rebalance_rounds(3, 40);
+}
+
+#[test]
+#[ignore = "full-strength grouped-multiget rebalance linearizability tier; run in CI via --ignored"]
+fn kv_grouped_multi_get_stays_linearizable_across_rebalances_full() {
+    check_multiget_rebalance_rounds(30, 400);
+}
+
 #[test]
 #[ignore = "full-strength rebalance linearizability tier; run in CI via --ignored"]
 fn kv_store_stays_linearizable_across_forced_rebalances_full() {
